@@ -1,0 +1,78 @@
+// Shared helpers for the table/figure-regeneration benches.
+//
+// Each bench binary reproduces one table or figure of the paper (see
+// DESIGN.md §3). A "benchmark" here is one row: it runs the simulated
+// algorithm once and reports the *simulated* cost-sensitive metrics as
+// benchmark counters — communication cost (the weighted ledger), elapsed
+// simulated time, and the ratio of the measurement to the bound the
+// paper's table claims for that row. Wall-clock timing of the simulator
+// itself is irrelevant and iterations are pinned to 1.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <string>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "sim/message.h"
+
+namespace csca::bench {
+
+/// The families the evaluation sweeps. Weighted so that the interesting
+/// regimes appear: geometric = WAN-like (weights correlate with
+/// distance), heavy_chords = d << W (clock sync / synchronizer regime),
+/// lower_bound = Figure 7.
+inline Graph make_graph(const std::string& family, int n,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "gnp") {
+    return connected_gnp(n, 0.15, WeightSpec::uniform(1, 32), rng);
+  }
+  if (family == "gnp_pow2") {
+    return connected_gnp(n, 0.15, WeightSpec::power_of_two(0, 5), rng);
+  }
+  if (family == "geometric") {
+    return random_geometric(n, 0.3, 64, rng);
+  }
+  if (family == "grid") {
+    const int side = std::max(2, static_cast<int>(std::sqrt(n)));
+    return grid_graph(side, side, WeightSpec::uniform(1, 16), rng);
+  }
+  if (family == "cycle") {
+    return cycle_graph(n, WeightSpec::constant(2), rng);
+  }
+  if (family == "lower_bound") {
+    return lower_bound_family(n, 8);
+  }
+  if (family == "spt_heavy") {
+    return spt_heavy_family(n);
+  }
+  if (family == "mst_deep") {
+    return mst_deep_family(n);
+  }
+  if (family == "heavy_chords") {
+    Graph g(n);
+    for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 2);
+    g.add_edge(0, n - 1, 512);
+    g.add_edge(1, n / 2, 512);
+    g.add_edge(2, (3 * n) / 4, 256);
+    return g;
+  }
+  throw PreconditionError("unknown graph family: " + family);
+}
+
+/// Publishes the standard cost-sensitive counters on a bench row.
+inline void report(benchmark::State& state, const NetworkMeasures& m,
+                   const RunStats& stats) {
+  state.counters["n"] = static_cast<double>(m.n);
+  state.counters["E_w"] = static_cast<double>(m.comm_E);
+  state.counters["V_w"] = static_cast<double>(m.comm_V);
+  state.counters["D_w"] = static_cast<double>(m.comm_D);
+  state.counters["msgs"] = static_cast<double>(stats.total_messages());
+  state.counters["cost"] = static_cast<double>(stats.total_cost());
+  state.counters["time"] = stats.completion_time;
+}
+
+}  // namespace csca::bench

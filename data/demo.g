@@ -1,0 +1,13 @@
+# demo network: light ring + two heavy shortcuts
+9 11
+0 1 2
+1 2 2
+2 3 2
+3 4 2
+4 5 2
+5 6 2
+6 7 2
+7 8 2
+8 0 2
+0 4 30
+2 7 25

@@ -1,0 +1,78 @@
+// Runs every distributed algorithm in the library on one network and
+// prints the cost-sensitive ledger of each — a one-screen version of the
+// paper's Figures 2-4.
+//
+//   ./protocol_comparison
+#include <cstdio>
+
+#include "conn/dfs.h"
+#include "conn/flood.h"
+#include "conn/hybrid.h"
+#include "conn/mst_centr.h"
+#include "conn/spt_centr.h"
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "mst/ghs.h"
+#include "mst/hybrid.h"
+#include "spt/recur.h"
+#include "spt/spt_synch.h"
+
+using namespace csca;
+
+namespace {
+void row(const char* name, const RunStats& stats) {
+  std::printf("%-22s %10lld %14lld %14.0f\n", name,
+              static_cast<long long>(stats.total_messages()),
+              static_cast<long long>(stats.total_cost()),
+              stats.completion_time);
+}
+}  // namespace
+
+int main() {
+  Rng rng(11);
+  const Graph g = connected_gnp(32, 0.2, WeightSpec::uniform(1, 24), rng);
+  const NetworkMeasures m = measure(g);
+  std::printf("network: n=%d m=%d  E=%lld V=%lld D=%lld W=%lld\n\n", m.n,
+              m.m, static_cast<long long>(m.comm_E),
+              static_cast<long long>(m.comm_V),
+              static_cast<long long>(m.comm_D),
+              static_cast<long long>(m.W));
+  std::printf("%-22s %10s %14s %14s\n", "algorithm", "messages",
+              "comm cost", "time");
+  std::printf("-- connectivity / spanning tree (Figure 2) --\n");
+  row("CON_flood", run_flood(g, 0, make_exact_delay()).stats);
+  row("DFS", run_dfs(g, 0, make_exact_delay()).stats);
+  row("CON_hybrid", run_con_hybrid(g, 0, make_exact_delay()).stats);
+
+  std::printf("-- minimum spanning trees (Figure 3) --\n");
+  row("MST_ghs",
+      run_ghs(g, GhsMode::kSerialScan, make_exact_delay()).stats);
+  row("MST_fast",
+      run_ghs(g, GhsMode::kParallelGuess, make_exact_delay()).stats);
+  row("MST_centr", run_mst_centr(g, 0, make_exact_delay()).stats);
+  {
+    const auto run =
+        run_mst_hybrid(g, 0, [] { return make_exact_delay(); });
+    RunStats s;
+    s.algorithm_messages = run.total_messages();
+    s.algorithm_cost = run.total_cost();
+    s.completion_time = run.race_stats.completion_time +
+                        run.ghs_stats.completion_time;
+    row(run.used_ghs ? "MST_hybrid (via ghs)" : "MST_hybrid (via centr)",
+        s);
+  }
+
+  std::printf("-- shortest path trees (Figure 4) --\n");
+  row("SPT_centr", run_spt_centr(g, 0, make_exact_delay()).stats);
+  row("SPT_recur (tau=8)",
+      run_spt_recur(g, 0, 8, make_exact_delay()).stats);
+  {
+    const auto run = run_spt_synch(g, 0, 2, make_exact_delay());
+    row("SPT_synch (k=2)", run.async_run.stats);
+    std::printf("%-22s   (protocol c_pi=%lld over t_pi=%lld pulses; "
+                "rest is synchronizer overhead)\n",
+                "", static_cast<long long>(run.sync_stats.algorithm_cost),
+                static_cast<long long>(run.t_pi));
+  }
+  return 0;
+}

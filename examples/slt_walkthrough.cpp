@@ -1,0 +1,77 @@
+// Step-by-step walkthrough of the Figure 5 SLT algorithm, mirroring the
+// example run of Figure 6: prints the MST, its Euler line L, the
+// breakpoint scan, the grafted SPT paths, and the resulting tree's
+// weight/depth against the Lemma 2.4/2.5 bounds.
+//
+//   ./slt_walkthrough
+#include <cstdio>
+
+#include "core/slt.h"
+#include "graph/measures.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "graph/traversal.h"
+
+using namespace csca;
+
+int main() {
+  // The [BKJ83]-flavored bad case for pure trees: a light path (the MST)
+  // whose far end is close to the root through direct heavier edges.
+  const int n = 10;
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 2);
+  for (NodeId v = 3; v < n; v += 2) {
+    g.add_edge(0, v, 2 * v - 1);  // direct edge, just below path distance
+  }
+  const auto m = measure(g);
+  std::printf("graph: n=%d m=%d  V=%lld  D=%lld\n\n", n, g.edge_count(),
+              static_cast<long long>(m.comm_V),
+              static_cast<long long>(m.comm_D));
+
+  // Step 1: the two pure trees.
+  const RootedTree tm = mst_tree(g, 0);
+  const RootedTree ts = dijkstra(g, 0).tree(g);
+  std::printf("MST  T_M: weight=%lld depth=%lld   (light but deep)\n",
+              static_cast<long long>(tm.weight(g)),
+              static_cast<long long>(tm.height(g)));
+  std::printf("SPT  T_S: weight=%lld depth=%lld   (shallow but heavy)\n\n",
+              static_cast<long long>(ts.weight(g)),
+              static_cast<long long>(ts.height(g)));
+
+  // Step 2-3: the line L (the MST's Euler tour).
+  const auto tour = euler_tour(g, tm);
+  std::printf("Euler line L:");
+  for (NodeId v : tour) std::printf(" %d", v);
+  std::printf("\n\n");
+
+  // Steps 4-6 for a few values of q.
+  for (double q : {0.5, 2.0, 8.0}) {
+    const auto slt = build_slt(g, 0, q);
+    std::printf("q=%.1f: breakpoints at line positions [", q);
+    for (std::size_t i = 0; i < slt.breakpoints.size(); ++i) {
+      std::printf("%s%d", i ? " " : "", slt.breakpoints[i]);
+    }
+    int grafted = 0;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (slt.subgraph_edges[static_cast<std::size_t>(e)] &&
+          !(tm.contains(g.edge(e).u) &&
+            tm.parent_edge(g.edge(e).u) == e) &&
+          !(tm.contains(g.edge(e).v) &&
+            tm.parent_edge(g.edge(e).v) == e)) {
+        ++grafted;
+      }
+    }
+    std::printf("], %d grafted non-MST edges\n", grafted);
+    std::printf(
+        "        weight=%lld  <= (1+2/q)V = %.0f      depth=%lld  <= "
+        "(2q+1)D = %.0f\n",
+        static_cast<long long>(slt.weight(g)),
+        (1.0 + 2.0 / q) * static_cast<double>(m.comm_V),
+        static_cast<long long>(slt.depth(g)),
+        (2.0 * q + 1.0) * static_cast<double>(m.comm_D));
+  }
+  std::printf(
+      "\nSmall q grafts more shortcut paths (shallow, heavier); large q "
+      "trusts the\nMST (light, deeper) — the Figure 6 picture.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Demonstrates the paper's weighted synchronizer gamma_w (§4): a
+// synchronous protocol written for a network where every message on edge
+// e takes exactly w(e) time, executed unchanged on a fully asynchronous
+// network — with heavy links "cleaned" only once per w(e) pulses so the
+// overhead amortizes (Lemma 4.8).
+//
+//   ./synchronizer_demo
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "sim/sync_engine.h"
+#include "sync/protocols.h"
+#include "sync/synchronizer.h"
+
+using namespace csca;
+
+int main() {
+  // A light ring with two heavy chords, normalized weights (powers of 2).
+  const int n = 16;
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n, 1);
+  g.add_edge(0, n / 2, 64);
+  g.add_edge(3, 3 + n / 2, 32);
+  const NetworkMeasures m = measure(g);
+  std::printf("normalized network: n=%d, W=%lld, d=%lld\n\n", n,
+              static_cast<long long>(m.W), static_cast<long long>(m.d));
+
+  // The synchronous protocol: in-synch flooding from node 0; each vertex
+  // records the pulse at which the wave reached it.
+  const auto factory = [](NodeId v) {
+    return std::make_unique<InSynchFlood>(v, 0);
+  };
+
+  // Reference execution on the weighted synchronous engine.
+  SyncEngine ref(g, factory, /*enforce_in_synch=*/true);
+  const RunStats pi = ref.run();
+  const auto t_pi = static_cast<std::int64_t>(pi.completion_time) + 1;
+  std::printf("synchronous reference: c_pi=%lld, t_pi=%lld pulses\n",
+              static_cast<long long>(pi.algorithm_cost),
+              static_cast<long long>(t_pi));
+
+  // The same protocol under each synchronizer on the asynchronous net.
+  struct Row {
+    const char* name;
+    SynchronizerKind kind;
+  };
+  const Row rows[] = {
+      {"alpha (clean every link, every pulse)", SynchronizerKind::kAlpha},
+      {"beta  (tree convergecast per pulse)", SynchronizerKind::kBeta},
+      {"gamma_w (per-level, amortized)", SynchronizerKind::kGammaW},
+  };
+  std::printf("\n%-40s %12s %10s %8s\n", "synchronizer", "control cost",
+              "C_p", "T_p");
+  for (const Row& r : rows) {
+    SynchronizedNetwork net(g, factory, r.kind, 2, t_pi,
+                            make_exact_delay());
+    const SynchronizerRun run = net.run();
+    // Sanity: the hosted protocol saw exactly the synchronous execution.
+    for (NodeId v = 0; v < n; ++v) {
+      const auto got = net.hosted_as<InSynchFlood>(v).reached_at();
+      const auto want = ref.process_as<InSynchFlood>(v).reached_at();
+      if (got != want) {
+        std::printf("MISMATCH at node %d: %lld vs %lld\n", v,
+                    static_cast<long long>(got),
+                    static_cast<long long>(want));
+        return 1;
+      }
+    }
+    std::printf("%-40s %12lld %10.1f %8.2f\n", r.name,
+                static_cast<long long>(run.stats.control_cost),
+                static_cast<double>(run.stats.control_cost) /
+                    static_cast<double>(t_pi),
+                run.stats.completion_time / static_cast<double>(t_pi));
+  }
+  std::printf(
+      "\nAll three produce the identical synchronous execution "
+      "(Lemma 4.4); gamma_w's\nper-pulse time dilation T_p collapses "
+      "because heavy links are cleaned once\nper w(e) pulses instead of "
+      "every pulse (Lemma 4.8).\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Root arbitration hook used by the hybrid algorithms (§7.2, §8.2, §9.3).
+//
+// The paper's hybrid technique runs two protocols in parallel, both of
+// which periodically pause at the root with a "root estimate" of their
+// communication spent so far (always within a factor of two of the
+// truth). The root enables only the protocol with the smaller estimate,
+// so the combination costs at most four times the cheaper of the two.
+// Protocols call may_proceed at each pause point; a false return leaves
+// them suspended until the host calls their resume entry point.
+#pragma once
+
+#include "graph/graph.h"
+#include "sim/network.h"
+
+namespace csca {
+
+class ProtocolArbiter {
+ public:
+  virtual ~ProtocolArbiter() = default;
+
+  /// Invoked at the root when sub-protocol `id` pauses with a new root
+  /// estimate. Return true to let it continue immediately; return false
+  /// to suspend it (the host resumes it later).
+  virtual bool may_proceed(int id, Context& ctx, Weight estimate) = 0;
+
+  /// Invoked at the root when sub-protocol `id` has completed its task.
+  virtual void completed(int id, Context& ctx) = 0;
+};
+
+}  // namespace csca

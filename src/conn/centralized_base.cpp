@@ -1,0 +1,241 @@
+#include "conn/centralized_base.h"
+
+#include "graph/mst.h"
+
+namespace csca {
+
+CentralizedTreeProcess::CentralizedTreeProcess(const Graph& g, NodeId self,
+                                               NodeId root, int type_base,
+                                               ProtocolArbiter* arbiter,
+                                               int arbiter_id)
+    : graph_(&g),
+      self_(self),
+      root_(root),
+      type_base_(type_base),
+      arbiter_(arbiter),
+      arbiter_id_(arbiter_id),
+      in_tree_mask_(static_cast<std::size_t>(g.node_count()), 0),
+      parent_edge_of_(static_cast<std::size_t>(g.node_count()), kNoEdge),
+      aux_of_(static_cast<std::size_t>(g.node_count()), 0) {}
+
+bool CentralizedTreeProcess::candidate_less(const Candidate& a,
+                                            const Candidate& b) const {
+  if (a.edge == kNoEdge) return false;
+  if (b.edge == kNoEdge) return true;
+  if (a.key != b.key) return a.key < b.key;
+  return edge_less(*graph_, a.edge, b.edge);
+}
+
+void CentralizedTreeProcess::merge_candidate(const Candidate& c) {
+  if (candidate_less(c, best_)) best_ = c;
+}
+
+void CentralizedTreeProcess::on_start(Context& ctx) {
+  if (self_ != root_) return;
+  in_tree_mask_[static_cast<std::size_t>(root_)] = 1;
+  tree_size_ = 1;
+  start_phase(ctx);
+}
+
+void CentralizedTreeProcess::start_phase(Context& ctx) {
+  if (tree_size_ == graph_->node_count()) {
+    finish_all(ctx);
+    return;
+  }
+  // The probe + report sweep about to happen costs ~2 w(T).
+  spent_estimate_ += 2 * tree_weight_;
+  if (arbiter_ != nullptr &&
+      !arbiter_->may_proceed(arbiter_id_, ctx, spent_estimate_)) {
+    pending_ = Pending::kStartPhase;
+    return;
+  }
+  ++phase_;
+  begin_local_report(ctx);
+}
+
+void CentralizedTreeProcess::begin_local_report(Context& ctx) {
+  best_ = local_candidate();
+  reports_pending_ = static_cast<int>(my_children_edges_.size());
+  for (EdgeId e : my_children_edges_) {
+    ctx.send(e, Message{tag(kProbe), {phase_}});
+  }
+  if (reports_pending_ == 0) report_ready(ctx);
+}
+
+void CentralizedTreeProcess::report_ready(Context& ctx) {
+  if (self_ == root_) {
+    phase_complete(ctx);
+    return;
+  }
+  ctx.send(parent_edge_of_[static_cast<std::size_t>(self_)],
+           Message{tag(kReport),
+                   {phase_, best_.edge == kNoEdge ? -1 : best_.edge,
+                    best_.key}});
+}
+
+void CentralizedTreeProcess::phase_complete(Context& ctx) {
+  chosen_ = best_;
+  if (chosen_.edge == kNoEdge) {
+    // No edge leaves the tree: it spans the component.
+    finish_all(ctx);
+    return;
+  }
+  // Announcing the add costs ~w(T), the join stream |T| * w(e), and the
+  // accept walk back up at most w(T) again.
+  spent_estimate_ += 2 * tree_weight_ +
+                     static_cast<Weight>(tree_size_ + 1) *
+                         graph_->weight(chosen_.edge);
+  if (arbiter_ != nullptr &&
+      !arbiter_->may_proceed(arbiter_id_, ctx, spent_estimate_)) {
+    pending_ = Pending::kSendAdd;
+    return;
+  }
+  send_add(ctx);
+}
+
+void CentralizedTreeProcess::send_add(Context& ctx) {
+  const std::int64_t aux_value = aux_for_new_node(chosen_);
+  // Broadcast first (children edges reflect the pre-add tree), then apply.
+  for (EdgeId e : my_children_edges_) {
+    ctx.send(e, Message{tag(kAdd), {phase_, chosen_.edge, aux_value}});
+  }
+  apply_add(ctx, chosen_.edge, aux_value);
+}
+
+void CentralizedTreeProcess::apply_add(Context& ctx, EdgeId e,
+                                       std::int64_t aux_value) {
+  const Edge& ed = graph_->edge(e);
+  const NodeId fresh = node_in_tree(ed.u) ? ed.v : ed.u;
+  const NodeId owner = graph_->other(e, fresh);
+  ensure(node_in_tree(owner) && !node_in_tree(fresh),
+         "chosen edge must leave the tree");
+  in_tree_mask_[static_cast<std::size_t>(fresh)] = 1;
+  parent_edge_of_[static_cast<std::size_t>(fresh)] = e;
+  aux_of_[static_cast<std::size_t>(fresh)] = aux_value;
+  ++tree_size_;
+  tree_weight_ += ed.w;
+  if (owner == self_) {
+    my_children_edges_.push_back(e);
+    // Stream the whole tree to the joining vertex (§6.3: "each vertex in
+    // the tree knows the structure of the whole tree"). One message per
+    // tree vertex, all over the join edge.
+    for (NodeId t = 0; t < graph_->node_count(); ++t) {
+      if (!node_in_tree(t)) continue;
+      ctx.send(e,
+               Message{tag(kTreeEntry),
+                       {t,
+                        parent_edge_of_[static_cast<std::size_t>(t)] ==
+                                kNoEdge
+                            ? -1
+                            : parent_edge_of_[static_cast<std::size_t>(t)],
+                        aux_of_[static_cast<std::size_t>(t)]}});
+    }
+    ctx.send(e, Message{tag(kJoinEnd), {phase_}});
+  }
+}
+
+void CentralizedTreeProcess::finish_all(Context& ctx) {
+  done_ = true;
+  for (EdgeId e : my_children_edges_) {
+    ctx.send(e, Message{tag(kDone)});
+  }
+  ctx.finish();
+  if (self_ == root_ && arbiter_ != nullptr) {
+    arbiter_->completed(arbiter_id_, ctx);
+  }
+}
+
+void CentralizedTreeProcess::resume_root(Context& ctx) {
+  require(self_ == root_, "resume_root must run at the root");
+  require(pending_ != Pending::kNone, "protocol is not suspended");
+  // The host has decided to let this protocol run; no re-gating here.
+  const Pending p = pending_;
+  pending_ = Pending::kNone;
+  if (p == Pending::kStartPhase) {
+    ++phase_;
+    begin_local_report(ctx);
+  } else {
+    send_add(ctx);
+  }
+}
+
+void CentralizedTreeProcess::on_message(Context& ctx, const Message& m) {
+  switch (static_cast<MsgType>(m.type - type_base_)) {
+    case kProbe: {
+      ensure(static_cast<int>(m.at(0)) == phase_ + 1,
+             "probe phase mismatch");
+      phase_ = static_cast<int>(m.at(0));
+      begin_local_report(ctx);
+      return;
+    }
+    case kReport: {
+      ensure(static_cast<int>(m.at(0)) == phase_, "report phase mismatch");
+      if (m.at(1) >= 0) {
+        merge_candidate(
+            Candidate{static_cast<EdgeId>(m.at(1)), m.at(2)});
+      }
+      --reports_pending_;
+      ensure(reports_pending_ >= 0, "unexpected extra report");
+      if (reports_pending_ == 0) report_ready(ctx);
+      return;
+    }
+    case kAdd: {
+      phase_ = static_cast<int>(m.at(0));
+      for (EdgeId e : my_children_edges_) {
+        ctx.send(e, Message{tag(kAdd), {m.at(0), m.at(1), m.at(2)}});
+      }
+      apply_add(ctx, static_cast<EdgeId>(m.at(1)), m.at(2));
+      return;
+    }
+    case kTreeEntry: {
+      const NodeId t = static_cast<NodeId>(m.at(0));
+      in_tree_mask_[static_cast<std::size_t>(t)] = 1;
+      parent_edge_of_[static_cast<std::size_t>(t)] =
+          m.at(1) < 0 ? kNoEdge : static_cast<EdgeId>(m.at(1));
+      aux_of_[static_cast<std::size_t>(t)] = m.at(2);
+      return;
+    }
+    case kJoinEnd: {
+      // The stream includes this vertex's own entry; rebuild the derived
+      // state from the received copy.
+      ensure(in_tree(), "join stream must have included the joiner");
+      phase_ = static_cast<int>(m.at(0));
+      tree_size_ = 0;
+      tree_weight_ = 0;
+      my_children_edges_.clear();
+      for (NodeId t = 0; t < graph_->node_count(); ++t) {
+        if (!node_in_tree(t)) continue;
+        ++tree_size_;
+        const EdgeId pe = parent_edge_of_[static_cast<std::size_t>(t)];
+        if (pe == kNoEdge) continue;
+        tree_weight_ += graph_->weight(pe);
+        if (graph_->other(pe, t) == self_) {
+          my_children_edges_.push_back(pe);
+        }
+      }
+      ctx.send(parent_edge_of_[static_cast<std::size_t>(self_)],
+               Message{tag(kAccept)});
+      return;
+    }
+    case kAccept: {
+      if (self_ == root_) {
+        start_phase(ctx);
+      } else {
+        ctx.send(parent_edge_of_[static_cast<std::size_t>(self_)],
+                 Message{tag(kAccept)});
+      }
+      return;
+    }
+    case kDone: {
+      done_ = true;
+      for (EdgeId e : my_children_edges_) {
+        ctx.send(e, Message{tag(kDone)});
+      }
+      ctx.finish();
+      return;
+    }
+  }
+  ensure(false, "CentralizedTreeProcess received a foreign message type");
+}
+
+}  // namespace csca

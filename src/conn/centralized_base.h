@@ -1,0 +1,128 @@
+// Shared skeleton of the full-information algorithms MST_centr (§6.3) and
+// SPT_centr (§6.4).
+//
+// Both algorithms grow a tree from the root one vertex per phase and
+// maintain the invariant that *every tree vertex knows the structure of
+// the whole tree* (§6.3). A phase is: the root broadcasts a probe over
+// the tree; each tree vertex computes its best "candidate" edge leaving
+// the tree locally (it knows the graph and the tree, so no probing
+// messages cross non-tree edges); candidates are convergecast to the
+// root, which picks the global optimum, announces it over the tree, and
+// the tree endpoint of the chosen edge streams the tree structure to the
+// joining vertex. Per phase this costs O(w(T)) for the broadcast /
+// convergecast plus O(|T| * w(e)) for the join stream, giving the
+// O(n * V) total of Corollary 6.4 (and the O(n * w(SPT)) of Cor. 6.6).
+//
+// The two algorithms differ only in what a candidate's key is (edge
+// weight for Prim, source distance label for Dijkstra) and in the
+// auxiliary value attached to a joining vertex (nothing / its distance),
+// which subclasses provide.
+#pragma once
+
+#include "conn/arbiter.h"
+#include "graph/tree.h"
+#include "sim/network.h"
+
+namespace csca {
+
+class CentralizedTreeProcess : public Process {
+ public:
+  void on_start(Context& ctx) final;
+  void on_message(Context& ctx, const Message& m) final;
+
+  /// Host entry point: continues after an arbiter suspension (root only).
+  void resume_root(Context& ctx);
+
+  bool done() const { return done_; }
+  bool in_tree() const {
+    return in_tree_mask_[static_cast<std::size_t>(self_)] != 0;
+  }
+  /// This vertex's copy of the tree (valid for tree members).
+  EdgeId tree_parent_edge(NodeId v) const {
+    return parent_edge_of_[static_cast<std::size_t>(v)];
+  }
+  Weight tree_weight() const { return tree_weight_; }
+  int tree_size() const { return tree_size_; }
+  /// Root's running estimate of communication spent so far (§7.2's W_b);
+  /// stays within a small constant of the true ledger cost.
+  Weight spent_estimate() const { return spent_estimate_; }
+  std::int64_t aux(NodeId v) const {
+    return aux_of_[static_cast<std::size_t>(v)];
+  }
+  int phases_run() const { return phase_; }
+
+ protected:
+  /// A candidate edge leaving the tree; smaller key wins, ties broken by
+  /// the deterministic edge order. kNoEdge means "no outgoing edge here".
+  struct Candidate {
+    EdgeId edge = kNoEdge;
+    Weight key = 0;
+  };
+
+  CentralizedTreeProcess(const Graph& g, NodeId self, NodeId root,
+                         int type_base, ProtocolArbiter* arbiter,
+                         int arbiter_id);
+
+  /// The best candidate leaving the tree at this vertex, or {kNoEdge}.
+  virtual Candidate local_candidate() const = 0;
+
+  /// Auxiliary value recorded for the vertex joining via `chosen`
+  /// (e.g. its distance label in SPT_centr).
+  virtual std::int64_t aux_for_new_node(const Candidate& chosen) const = 0;
+
+  bool node_in_tree(NodeId v) const {
+    return in_tree_mask_[static_cast<std::size_t>(v)] != 0;
+  }
+  const Graph& graph() const { return *graph_; }
+  NodeId self() const { return self_; }
+
+ private:
+  enum MsgType {
+    kProbe = 0,      // data = [phase]
+    kReport = 1,     // data = [phase, edge or -1, key]
+    kAdd = 2,        // data = [phase, edge, aux]
+    kTreeEntry = 3,  // data = [node, parent_edge or -1, aux]
+    kJoinEnd = 4,    // data = []
+    kAccept = 5,     // data = []
+    kDone = 6,       // data = []
+  };
+  enum class Pending { kNone, kStartPhase, kSendAdd };
+
+  int tag(MsgType t) const { return type_base_ + static_cast<int>(t); }
+
+  bool candidate_less(const Candidate& a, const Candidate& b) const;
+  void merge_candidate(const Candidate& c);
+
+  void start_phase(Context& ctx);
+  void begin_local_report(Context& ctx);
+  void report_ready(Context& ctx);
+  void phase_complete(Context& ctx);
+  void send_add(Context& ctx);
+  void apply_add(Context& ctx, EdgeId e, std::int64_t aux_value);
+  void finish_all(Context& ctx);
+
+  const Graph* graph_;
+  NodeId self_;
+  NodeId root_;
+  int type_base_;
+  ProtocolArbiter* arbiter_;
+  int arbiter_id_;
+
+  // Tree copy (identical at every tree member).
+  std::vector<char> in_tree_mask_;
+  std::vector<EdgeId> parent_edge_of_;
+  std::vector<std::int64_t> aux_of_;
+  std::vector<EdgeId> my_children_edges_;
+  int tree_size_ = 0;
+  Weight tree_weight_ = 0;
+  Weight spent_estimate_ = 0;  // root only
+
+  int phase_ = 0;
+  int reports_pending_ = 0;
+  Candidate best_;
+  Candidate chosen_;  // root only: this phase's winner
+  Pending pending_ = Pending::kNone;
+  bool done_ = false;
+};
+
+}  // namespace csca

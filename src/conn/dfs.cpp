@@ -1,0 +1,172 @@
+#include "conn/dfs.h"
+
+#include "graph/traversal.h"
+
+namespace csca {
+
+DfsProcess::DfsProcess(NodeId self, NodeId root, int type_base,
+                       ProtocolArbiter* arbiter, int arbiter_id)
+    : self_(self),
+      root_(root),
+      type_base_(type_base),
+      arbiter_(arbiter),
+      arbiter_id_(arbiter_id) {}
+
+void DfsProcess::on_start(Context& ctx) {
+  if (self_ != root_) return;
+  visited_ = true;
+  advance(ctx);
+}
+
+void DfsProcess::advance(Context& ctx) {
+  const auto edges = ctx.incident();
+  while (next_idx_ < edges.size() && edges[next_idx_] == parent_edge_) {
+    ++next_idx_;
+  }
+  // Choose the pending traversal: the next untried edge, or the parent
+  // edge for backtracking, or completion at the root.
+  EdgeId e = kNoEdge;
+  bool backtracking = false;
+  if (next_idx_ < edges.size()) {
+    e = edges[next_idx_];
+  } else if (self_ != root_) {
+    e = parent_edge_;
+    backtracking = true;
+  } else {
+    complete(ctx);
+    return;
+  }
+
+  const Weight w = ctx.edge_weight(e);
+  if (est_ + w > 2 * est_known_root_) {
+    // Report the new estimate to the root before traversing (§6.2 rule 2).
+    const Weight new_est = est_ + w;
+    if (self_ == root_) {
+      est_root_ = new_est;
+      est_known_root_ = new_est;
+      if (arbiter_ != nullptr &&
+          !arbiter_->may_proceed(arbiter_id_, ctx, new_est)) {
+        suspended_at_root_ = true;
+        pending_is_local_ = true;
+        return;
+      }
+      advance(ctx);  // the doubling check now passes
+    } else {
+      ctx.send(parent_edge_, Message{tag(kUp), {new_est}});
+    }
+    return;
+  }
+
+  est_ += w;
+  if (backtracking) {
+    ctx.send(e, Message{tag(kBack), {est_, est_known_root_}});
+    ctx.finish();  // this node's subtree is fully explored
+  } else {
+    tried_idx_ = next_idx_;
+    ctx.send(e, Message{tag(kVisit), {est_, est_known_root_}});
+  }
+}
+
+void DfsProcess::on_message(Context& ctx, const Message& m) {
+  switch (untag(m.type)) {
+    case kVisit: {
+      if (visited_) {
+        ctx.send(m.edge, Message{tag(kReject)});
+        return;
+      }
+      visited_ = true;
+      parent_edge_ = m.edge;
+      est_ = m.at(0);
+      est_known_root_ = m.at(1);
+      next_idx_ = 0;
+      advance(ctx);
+      return;
+    }
+    case kReject: {
+      est_ += ctx.edge_weight(m.edge);
+      next_idx_ = tried_idx_ + 1;
+      advance(ctx);
+      return;
+    }
+    case kBack: {
+      est_ = m.at(0);
+      est_known_root_ = m.at(1);
+      next_idx_ = tried_idx_ + 1;
+      advance(ctx);
+      return;
+    }
+    case kUp: {
+      if (self_ == root_) {
+        est_root_ = m.at(0);
+        resume_child_edge_ = m.edge;
+        if (arbiter_ != nullptr &&
+            !arbiter_->may_proceed(arbiter_id_, ctx, est_root_)) {
+          suspended_at_root_ = true;
+          pending_is_local_ = false;
+          return;
+        }
+        ctx.send(resume_child_edge_, Message{tag(kResume), {est_root_}});
+        resume_child_edge_ = kNoEdge;
+      } else {
+        resume_child_edge_ = m.edge;
+        ctx.send(parent_edge_, Message{tag(kUp), {m.at(0)}});
+      }
+      return;
+    }
+    case kResume: {
+      if (resume_child_edge_ != kNoEdge) {
+        const EdgeId down = resume_child_edge_;
+        resume_child_edge_ = kNoEdge;
+        ctx.send(down, Message{tag(kResume), {m.at(0)}});
+      } else {
+        // The token holder that initiated the report.
+        est_known_root_ = m.at(0);
+        advance(ctx);
+      }
+      return;
+    }
+  }
+  ensure(false, "DfsProcess received a foreign message type");
+}
+
+void DfsProcess::resume_root(Context& ctx) {
+  require(self_ == root_, "resume_root must run at the root");
+  require(suspended_at_root_, "DFS is not suspended");
+  suspended_at_root_ = false;
+  if (pending_is_local_) {
+    advance(ctx);
+  } else {
+    ctx.send(resume_child_edge_, Message{tag(kResume), {est_root_}});
+    resume_child_edge_ = kNoEdge;
+  }
+}
+
+void DfsProcess::complete(Context& ctx) {
+  done_ = true;
+  est_root_ = est_;  // the traversal is over; the estimate is exact now
+  ctx.finish();
+  if (arbiter_ != nullptr) arbiter_->completed(arbiter_id_, ctx);
+}
+
+DfsRun run_dfs(const Graph& g, NodeId root,
+               std::unique_ptr<DelayModel> delay, std::uint64_t seed) {
+  g.check_node(root);
+  require(is_connected(g), "run_dfs requires a connected graph");
+  Network net(
+      g, [root](NodeId v) { return std::make_unique<DfsProcess>(v, root); },
+      std::move(delay), seed);
+  RunStats stats = net.run();
+  ensure(net.process_as<DfsProcess>(root).done(),
+         "DFS must terminate on a connected graph");
+  std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()),
+                              kNoEdge);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    parents[static_cast<std::size_t>(v)] =
+        net.process_as<DfsProcess>(v).parent_edge();
+  }
+  return DfsRun{
+      RootedTree::from_parent_edges(g, root, std::move(parents)), stats,
+      net.process_as<DfsProcess>(root).center_estimate()};
+}
+
+}  // namespace csca

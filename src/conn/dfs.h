@@ -1,0 +1,95 @@
+// Distributed depth-first search with root estimates (§6.2).
+//
+// A token performs a DFS traversal of the network. Fact 6.2: both the
+// communication and the time complexity are O(script-E) — each edge
+// carries O(1) token/reject/backtrack messages, each costing w(e).
+//
+// Following the paper, the algorithm maintains two estimates of the total
+// weight traversed so far: the *center estimate* carried with the token
+// (exact) and the *root estimate* held at the root (a lower bound within
+// a factor of two, including the next edge to traverse). Whenever the
+// center estimate is about to double past the root estimate, the token
+// "reports in": an update walks up the DFS tree to the root and back.
+// Because the root estimate doubles between reports, the walks sum to a
+// geometric series and at most double the total communication. The pause
+// at the root is the suspension point the hybrid algorithms arbitrate.
+#pragma once
+
+#include "conn/arbiter.h"
+#include "graph/tree.h"
+#include "sim/network.h"
+
+namespace csca {
+
+class DfsProcess final : public Process {
+ public:
+  /// type_base offsets this protocol's message tags so a host process can
+  /// multiplex it with another protocol; arbiter (optional, root only)
+  /// gates continuation at root pauses; arbiter_id tags arbiter calls.
+  DfsProcess(NodeId self, NodeId root, int type_base = 0,
+             ProtocolArbiter* arbiter = nullptr, int arbiter_id = 0);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+
+  /// Host entry point: continues a run suspended by the arbiter. Must be
+  /// invoked on the root's process.
+  void resume_root(Context& ctx);
+
+  bool visited() const { return visited_; }
+  EdgeId parent_edge() const { return parent_edge_; }
+  bool done() const { return done_; }
+  /// Exact total weight of token traversals (meaningful at the root after
+  /// completion, and at the token holder during the run).
+  Weight center_estimate() const { return est_; }
+  Weight root_estimate() const { return est_root_; }
+
+ private:
+  enum MsgType {
+    kVisit = 0,   // token moves forward; data = [est, estr]
+    kReject = 1,  // receiver was already visited
+    kBack = 2,    // token backtracks to parent; data = [est, estr]
+    kUp = 3,      // estimate update walking toward root; data = [new_est]
+    kResume = 4,  // root's answer walking back to the token; data = [estr]
+  };
+  int tag(MsgType t) const { return type_base_ + static_cast<int>(t); }
+  MsgType untag(int type) const {
+    return static_cast<MsgType>(type - type_base_);
+  }
+
+  /// Token-at-self continuation: picks the next traversal (visit or
+  /// backtrack), handling the estimate-doubling report-to-root rule.
+  void advance(Context& ctx);
+  void complete(Context& ctx);
+
+  NodeId self_;
+  NodeId root_;
+  int type_base_;
+  ProtocolArbiter* arbiter_;
+  int arbiter_id_;
+
+  bool visited_ = false;
+  bool done_ = false;
+  EdgeId parent_edge_ = kNoEdge;
+  std::size_t next_idx_ = 0;   // next incident-edge index to try
+  std::size_t tried_idx_ = 0;  // index of the edge currently being tried
+  Weight est_ = 0;             // center estimate (valid with token here)
+  Weight est_known_root_ = 0;  // token's view of the root estimate
+  Weight est_root_ = 0;        // root only: the actual root estimate
+  EdgeId resume_child_edge_ = kNoEdge;  // kUp came in here; kResume goes back
+  bool suspended_at_root_ = false;      // root holds a pending continuation
+  bool pending_is_local_ = false;  // suspended continuation is the root's own
+};
+
+/// Outcome of a standalone DFS run.
+struct DfsRun {
+  RootedTree tree;  ///< the DFS spanning tree
+  RunStats stats;
+  Weight traversal_weight = 0;  ///< final center estimate at the root
+};
+
+/// Runs DFS from root to completion on a connected graph.
+DfsRun run_dfs(const Graph& g, NodeId root,
+               std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1);
+
+}  // namespace csca

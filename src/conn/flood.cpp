@@ -1,0 +1,51 @@
+#include "conn/flood.h"
+
+#include "graph/traversal.h"
+
+namespace csca {
+
+namespace {
+constexpr int kFloodMsg = 1;
+}
+
+void FloodProcess::on_start(Context& ctx) {
+  if (is_initiator_) spread(ctx);
+}
+
+void FloodProcess::on_message(Context& ctx, const Message& m) {
+  if (reached_ || is_initiator_) return;  // later arrival: ignore
+  parent_edge_ = m.edge;
+  spread(ctx);
+}
+
+void FloodProcess::spread(Context& ctx) {
+  reached_ = true;
+  for (EdgeId e : ctx.incident()) {
+    if (e != parent_edge_) ctx.send(e, Message{kFloodMsg});
+  }
+  ctx.finish();
+}
+
+FloodRun run_flood(const Graph& g, NodeId initiator,
+                   std::unique_ptr<DelayModel> delay, std::uint64_t seed) {
+  g.check_node(initiator);
+  require(is_connected(g), "run_flood requires a connected graph");
+  Network net(
+      g,
+      [initiator](NodeId v) {
+        return std::make_unique<FloodProcess>(v, initiator);
+      },
+      std::move(delay), seed);
+  RunStats stats = net.run();
+  std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()),
+                              kNoEdge);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    parents[static_cast<std::size_t>(v)] =
+        net.process_as<FloodProcess>(v).parent_edge();
+  }
+  return FloodRun{
+      RootedTree::from_parent_edges(g, initiator, std::move(parents)),
+      stats};
+}
+
+}  // namespace csca

@@ -1,0 +1,51 @@
+// Algorithm CON_flood (§6.1): broadcast by flooding.
+//
+// Each vertex forwards the message to all neighbors on first receipt and
+// ignores later arrivals. Fact 6.1: communication O(script-E) — every edge
+// carries O(1) messages — and time O(script-D) — the wave follows shortest
+// weighted paths when delays are at their w(e) bounds. The parent edges
+// (first-receipt edges) form a spanning tree, which makes flooding a
+// (communication-expensive) connectivity/spanning-tree algorithm, the
+// CON_flood row of Figure 2.
+#pragma once
+
+#include "graph/tree.h"
+#include "sim/network.h"
+
+namespace csca {
+
+class FloodProcess final : public Process {
+ public:
+  /// initiator: the vertex that originates the broadcast.
+  FloodProcess(NodeId self, NodeId initiator)
+      : is_initiator_(self == initiator) {}
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+
+  /// Edge over which this vertex first received the broadcast (kNoEdge
+  /// for the initiator / unreached vertices).
+  EdgeId parent_edge() const { return parent_edge_; }
+  bool reached() const { return reached_; }
+
+ private:
+  void spread(Context& ctx);
+
+  bool is_initiator_;
+  bool reached_ = false;
+  EdgeId parent_edge_ = kNoEdge;
+};
+
+/// Outcome of one flooding run.
+struct FloodRun {
+  RootedTree tree;  ///< first-receipt spanning tree rooted at initiator
+  RunStats stats;
+};
+
+/// Builds the network, floods from initiator, returns tree + ledger.
+/// Requires g connected.
+FloodRun run_flood(const Graph& g, NodeId initiator,
+                   std::unique_ptr<DelayModel> delay,
+                   std::uint64_t seed = 1);
+
+}  // namespace csca

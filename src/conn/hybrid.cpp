@@ -1,0 +1,99 @@
+#include "conn/hybrid.h"
+
+#include "graph/traversal.h"
+
+namespace csca {
+
+HybridConnProcess::HybridConnProcess(const Graph& g, NodeId self,
+                                     NodeId root)
+    : self_(self), root_(root) {
+  ProtocolArbiter* arb = self == root ? this : nullptr;
+  dfs_ = std::make_unique<DfsProcess>(self, root, kDfsBase, arb, kDfsId);
+  mst_ = std::make_unique<MstCentrProcess>(g, self, root, kMstBase, arb,
+                                           kMstId);
+}
+
+void HybridConnProcess::on_start(Context& ctx) {
+  dfs_->on_start(ctx);
+  mst_->on_start(ctx);
+}
+
+void HybridConnProcess::on_message(Context& ctx, const Message& m) {
+  if (m.type == kResumeTick) {
+    const int id = resume_pending_;
+    resume_pending_ = -1;
+    if (id != -1 && waiting_[id] && winner_ == -1) resume(id, ctx);
+    return;
+  }
+  if (m.type >= kMstBase) {
+    mst_->on_message(ctx, m);
+  } else {
+    require(m.type >= kDfsBase, "message type outside sub-protocol ranges");
+    dfs_->on_message(ctx, m);
+  }
+}
+
+bool HybridConnProcess::may_proceed(int id, Context& ctx, Weight estimate) {
+  ensure(self_ == root_, "arbitration must happen at the root");
+  if (winner_ != -1) {
+    // Someone already finished: keep the loser suspended forever.
+    waiting_[id] = true;
+    return false;
+  }
+  (id == kDfsId ? wa_ : wb_) = estimate;
+  const int permitted = wa_ <= wb_ ? kDfsId : kMstId;
+  if (permitted == id) return true;
+  waiting_[id] = true;
+  if (waiting_[permitted]) request_resume(ctx, permitted);
+  return false;
+}
+
+void HybridConnProcess::request_resume(Context& ctx, int id) {
+  if (resume_pending_ == id) return;
+  resume_pending_ = id;
+  ctx.schedule_self(0.0, Message{kResumeTick});
+}
+
+void HybridConnProcess::resume(int id, Context& ctx) {
+  waiting_[id] = false;
+  if (id == kDfsId) {
+    dfs_->resume_root(ctx);
+  } else {
+    mst_->resume_root(ctx);
+  }
+}
+
+void HybridConnProcess::completed(int id, Context& ctx) {
+  if (winner_ == -1) winner_ = id;
+  ctx.finish();
+}
+
+HybridConnRun run_con_hybrid(const Graph& g, NodeId root,
+                             std::unique_ptr<DelayModel> delay,
+                             std::uint64_t seed) {
+  g.check_node(root);
+  require(is_connected(g), "run_con_hybrid requires a connected graph");
+  Network net(
+      g,
+      [&g, root](NodeId v) {
+        return std::make_unique<HybridConnProcess>(g, v, root);
+      },
+      std::move(delay), seed);
+  RunStats stats = net.run();
+  auto& root_proc = net.process_as<HybridConnProcess>(root);
+  ensure(root_proc.winner() != -1,
+         "one sub-protocol must terminate on a connected graph");
+  const bool dfs_won = root_proc.winner() == HybridConnProcess::kDfsId;
+  std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()),
+                              kNoEdge);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    parents[static_cast<std::size_t>(v)] =
+        dfs_won ? net.process_as<HybridConnProcess>(v).dfs().parent_edge()
+                : root_proc.mst().tree_parent_edge(v);
+  }
+  return HybridConnRun{
+      RootedTree::from_parent_edges(g, root, std::move(parents)), stats,
+      dfs_won};
+}
+
+}  // namespace csca

@@ -1,0 +1,74 @@
+// Algorithm CON_hybrid (§7.2): run DFS and MST_centr in parallel, let the
+// root enable only the currently-cheaper one.
+//
+// Claim 7.3: communication O(min{script-E, n * script-V}). Both
+// sub-protocols pause at the root with root estimates W_a (DFS) and W_b
+// (MST_centr) that are within a factor of two of their true spending;
+// the root's Permit goes to the smaller estimate, so the total cannot
+// exceed four times the cheaper algorithm — matching the Figure 2 lower
+// bound Omega(min{script-E, n * script-V}) up to constants.
+#pragma once
+
+#include "conn/dfs.h"
+#include "conn/mst_centr.h"
+
+namespace csca {
+
+/// Hosts one DfsProcess and one MstCentrProcess per node; the root's
+/// instance doubles as the arbiter implementing the Permit rule.
+class HybridConnProcess final : public Process, public ProtocolArbiter {
+ public:
+  static constexpr int kDfsId = 0;
+  static constexpr int kMstId = 1;
+
+  HybridConnProcess(const Graph& g, NodeId self, NodeId root);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+
+  bool may_proceed(int id, Context& ctx, Weight estimate) override;
+  void completed(int id, Context& ctx) override;
+
+  /// kDfsId or kMstId once some sub-protocol finished, -1 before.
+  int winner() const { return winner_; }
+  const DfsProcess& dfs() const { return *dfs_; }
+  const MstCentrProcess& mst() const { return *mst_; }
+  Weight dfs_estimate() const { return wa_; }
+  Weight mst_estimate() const { return wb_; }
+
+ private:
+  static constexpr int kResumeTick = 1;
+  static constexpr int kDfsBase = 100;
+  static constexpr int kMstBase = 200;
+
+  /// Resumption must leave the suspending protocol's call frame first
+  /// (it records its suspension state only after may_proceed returns), so
+  /// the arbiter requests it via a zero-delay self-event.
+  void request_resume(Context& ctx, int id);
+  void resume(int id, Context& ctx);
+
+  NodeId self_;
+  NodeId root_;
+  std::unique_ptr<DfsProcess> dfs_;
+  std::unique_ptr<MstCentrProcess> mst_;
+
+  // Root-only arbitration state.
+  Weight wa_ = 0;
+  Weight wb_ = 0;
+  bool waiting_[2] = {false, false};
+  int resume_pending_ = -1;
+  int winner_ = -1;
+};
+
+struct HybridConnRun {
+  RootedTree tree;  ///< spanning tree found by the winning sub-protocol
+  RunStats stats;
+  bool dfs_won = false;
+};
+
+/// Runs CON_hybrid from root to completion on a connected graph.
+HybridConnRun run_con_hybrid(const Graph& g, NodeId root,
+                             std::unique_ptr<DelayModel> delay,
+                             std::uint64_t seed = 1);
+
+}  // namespace csca

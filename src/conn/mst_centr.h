@@ -1,0 +1,43 @@
+// Algorithm MST_centr (§6.3): full-information distributed Prim.
+//
+// Corollary 6.4: communication O(n * script-V), time O(n * Diam(MST)).
+// Grows the (unique, under the deterministic edge order) minimum spanning
+// tree one vertex per phase; every tree vertex keeps a copy of the whole
+// tree, so the minimum outgoing edge is found by local inspection plus a
+// convergecast over the tree. Serves both as an MST algorithm (Figure 3)
+// and as the communication-frugal half of CON_hybrid (Figure 2): on
+// graphs whose total weight script-E dwarfs n * script-V — e.g. the
+// Figure 7 family — it beats every edge-scanning algorithm.
+#pragma once
+
+#include "conn/centralized_base.h"
+
+namespace csca {
+
+class MstCentrProcess final : public CentralizedTreeProcess {
+ public:
+  MstCentrProcess(const Graph& g, NodeId self, NodeId root,
+                  int type_base = 0, ProtocolArbiter* arbiter = nullptr,
+                  int arbiter_id = 0)
+      : CentralizedTreeProcess(g, self, root, type_base, arbiter,
+                               arbiter_id) {}
+
+ protected:
+  Candidate local_candidate() const override;
+  std::int64_t aux_for_new_node(const Candidate&) const override {
+    return 0;
+  }
+};
+
+struct MstCentrRun {
+  RootedTree tree;
+  RunStats stats;
+};
+
+/// Runs MST_centr from root to completion on a connected graph; the
+/// returned tree is the unique MST.
+MstCentrRun run_mst_centr(const Graph& g, NodeId root,
+                          std::unique_ptr<DelayModel> delay,
+                          std::uint64_t seed = 1);
+
+}  // namespace csca

@@ -1,0 +1,52 @@
+#include "conn/spt_centr.h"
+
+#include "graph/mst.h"
+#include "graph/traversal.h"
+
+namespace csca {
+
+CentralizedTreeProcess::Candidate SptCentrProcess::local_candidate() const {
+  Candidate best;
+  if (!in_tree()) return best;
+  const Weight my_dist = aux(self());
+  for (EdgeId e : graph().incident(self())) {
+    if (allowed_edges_ != nullptr &&
+        !(*allowed_edges_)[static_cast<std::size_t>(e)]) {
+      continue;
+    }
+    if (node_in_tree(graph().other(e, self()))) continue;
+    const Candidate c{e, my_dist + graph().weight(e)};
+    if (best.edge == kNoEdge || c.key < best.key ||
+        (c.key == best.key && edge_less(graph(), c.edge, best.edge))) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+SptCentrRun run_spt_centr(const Graph& g, NodeId root,
+                          std::unique_ptr<DelayModel> delay,
+                          std::uint64_t seed) {
+  g.check_node(root);
+  require(is_connected(g), "run_spt_centr requires a connected graph");
+  Network net(
+      g,
+      [&g, root](NodeId v) {
+        return std::make_unique<SptCentrProcess>(g, v, root);
+      },
+      std::move(delay), seed);
+  RunStats stats = net.run();
+  auto& root_proc = net.process_as<SptCentrProcess>(root);
+  ensure(root_proc.done(), "SPT_centr must terminate on a connected graph");
+  std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()));
+  std::vector<Weight> dist(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    parents[static_cast<std::size_t>(v)] = root_proc.tree_parent_edge(v);
+    dist[static_cast<std::size_t>(v)] = root_proc.dist(v);
+  }
+  return SptCentrRun{
+      RootedTree::from_parent_edges(g, root, std::move(parents)),
+      std::move(dist), stats};
+}
+
+}  // namespace csca

@@ -1,0 +1,52 @@
+// Algorithm SPT_centr (§6.4): full-information distributed Dijkstra.
+//
+// Corollary 6.6: communication O(n * w(SPT)) = O(n^2 * script-V), time
+// O(n * script-D). Identical phase structure to MST_centr; the candidate
+// key for a non-tree neighbor x of tree vertex y is the Dijkstra label
+// dist(s, y) + w(y, x), and the label becomes the joining vertex's
+// distance, stored as its auxiliary value.
+#pragma once
+
+#include "conn/centralized_base.h"
+
+namespace csca {
+
+class SptCentrProcess final : public CentralizedTreeProcess {
+ public:
+  /// allowed_edges (optional, must outlive the process) restricts the
+  /// algorithm to a subgraph G' = (V, E'); used by the distributed SLT
+  /// construction, which computes an SPT of the grafted subgraph.
+  SptCentrProcess(const Graph& g, NodeId self, NodeId root,
+                  int type_base = 0, ProtocolArbiter* arbiter = nullptr,
+                  int arbiter_id = 0,
+                  const std::vector<char>* allowed_edges = nullptr)
+      : CentralizedTreeProcess(g, self, root, type_base, arbiter,
+                               arbiter_id),
+        allowed_edges_(allowed_edges) {}
+
+  /// dist(source, v) as recorded in this vertex's tree copy.
+  Weight dist(NodeId v) const { return aux(v); }
+
+ protected:
+  Candidate local_candidate() const override;
+  std::int64_t aux_for_new_node(const Candidate& chosen) const override {
+    return chosen.key;  // the Dijkstra label is the new vertex's distance
+  }
+
+ private:
+  const std::vector<char>* allowed_edges_;
+};
+
+struct SptCentrRun {
+  RootedTree tree;
+  std::vector<Weight> dist;  ///< dist[v] = weighted distance from root
+  RunStats stats;
+};
+
+/// Runs SPT_centr from root to completion on a connected graph; the
+/// returned tree is a shortest-path tree of g rooted at root.
+SptCentrRun run_spt_centr(const Graph& g, NodeId root,
+                          std::unique_ptr<DelayModel> delay,
+                          std::uint64_t seed = 1);
+
+}  // namespace csca

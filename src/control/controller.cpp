@@ -1,0 +1,283 @@
+#include "control/controller.h"
+
+#include <algorithm>
+
+namespace csca {
+
+namespace {
+
+constexpr int kWrappedTag = 1000;  // inner type is carried in data[0]
+constexpr int kRequestTag = 1;     // data = [amount]
+constexpr int kGrantTag = 2;       // data = [amount]
+
+// Common shell: owns the inner protocol and adapts DiffusingContext.
+class HostBase : public Process {
+ public:
+  HostBase(const Graph& g, NodeId self, bool is_initiator,
+           std::unique_ptr<DiffusingProcess> inner)
+      : g_(&g),
+        self_(self),
+        is_initiator_(is_initiator),
+        inner_(std::move(inner)) {}
+
+  DiffusingProcess& inner() { return *inner_; }
+
+ protected:
+  class Ctx final : public DiffusingContext {
+   public:
+    Ctx(HostBase& host, Context& net) : host_(&host), net_(&net) {}
+    NodeId self() const override { return host_->self_; }
+    const Graph& graph() const override { return *host_->g_; }
+    double now() const override { return net_->now(); }
+    void send(EdgeId e, Message m) override {
+      host_->inner_send(*net_, e, std::move(m));
+    }
+    void finish() override { net_->finish(); }
+
+   private:
+    HostBase* host_;
+    Context* net_;
+  };
+
+  virtual void inner_send(Context& ctx, EdgeId e, Message m) = 0;
+
+  void deliver(Context& ctx, const Message& wrapped) {
+    Message m{static_cast<int>(wrapped.at(0))};
+    m.data.assign(wrapped.data.begin() + 1, wrapped.data.end());
+    m.from = wrapped.from;
+    m.edge = wrapped.edge;
+    Ctx c(*this, ctx);
+    inner_->on_message(c, m);
+  }
+
+  static Message wrap(const Message& m) {
+    Message w{kWrappedTag};
+    w.data.reserve(m.data.size() + 1);
+    w.data.push_back(m.type);
+    w.data.insert(w.data.end(), m.data.begin(), m.data.end());
+    return w;
+  }
+
+  const Graph* g_;
+  NodeId self_;
+  bool is_initiator_;
+  std::unique_ptr<DiffusingProcess> inner_;
+};
+
+// ------------------------------------------------------- uncontrolled
+class PassthroughHost final : public HostBase {
+ public:
+  using HostBase::HostBase;
+
+  void on_start(Context& ctx) override {
+    if (!is_initiator_) return;
+    Ctx c(*this, ctx);
+    inner_->on_start(c);
+  }
+
+  void on_message(Context& ctx, const Message& m) override {
+    deliver(ctx, m);
+  }
+
+ protected:
+  void inner_send(Context& ctx, EdgeId e, Message m) override {
+    ctx.send(e, wrap(m), MsgClass::kAlgorithm);
+  }
+};
+
+// --------------------------------------------------------- controlled
+class ControllerHost final : public HostBase {
+ public:
+  ControllerHost(const Graph& g, NodeId self, bool is_initiator,
+                 std::unique_ptr<DiffusingProcess> inner,
+                 const ControllerConfig& config)
+      : HostBase(g, self, is_initiator, std::move(inner)),
+        config_(config) {}
+
+  bool exhausted() const { return exhausted_; }
+  Weight permits_issued() const { return issued_; }
+
+  void on_start(Context& ctx) override {
+    if (!is_initiator_) return;
+    Ctx c(*this, ctx);
+    inner_->on_start(c);
+  }
+
+  void on_message(Context& ctx, const Message& m) override {
+    switch (m.type) {
+      case kWrappedTag: {
+        if (!is_initiator_ && parent_edge_ == kNoEdge) {
+          parent_edge_ = m.edge;  // the execution tree grows here
+        }
+        deliver(ctx, m);
+        return;
+      }
+      case kRequestTag: {
+        route_request(ctx, m.at(0), m.edge);
+        return;
+      }
+      case kGrantTag: {
+        ensure(!grant_route_.empty(), "grant without a routed request");
+        const EdgeId down = grant_route_.front();
+        grant_route_.pop_front();
+        if (down == kNoEdge) {
+          accept_grant(ctx, m.at(0));
+        } else {
+          ctx.send(down, Message{kGrantTag, {m.at(0)}},
+                   MsgClass::kControl);
+        }
+        return;
+      }
+    }
+    ensure(false, "ControllerHost received a foreign message type");
+  }
+
+ protected:
+  void inner_send(Context& ctx, EdgeId e, Message m) override {
+    const Weight w = g_->weight(e);
+    if (pending_.empty() && balance_ >= w) {
+      balance_ -= w;
+      consumed_ += w;
+      ctx.send(e, wrap(m), MsgClass::kAlgorithm);
+      return;
+    }
+    pending_.emplace_back(e, std::move(m));
+    pending_need_ += w;
+    maybe_request(ctx);
+  }
+
+ private:
+  void maybe_request(Context& ctx) {
+    if (request_outstanding_ || pending_.empty()) return;
+    const Weight need = pending_need_ - balance_;
+    ensure(need > 0, "queued sends imply an uncovered need");
+    Weight amount = need;
+    if (config_.aggregate) {
+      // Geometric batches, capped by consumption so that total issuance
+      // never exceeds twice total consumption (the paper's approximate
+      // counter).
+      amount = need + std::min(last_request_, consumed_);
+    }
+    last_request_ = amount;
+    request_outstanding_ = true;
+    route_request(ctx, amount, kNoEdge);
+  }
+
+  /// Handles a permit request for `amount`, arriving from `from`
+  /// (kNoEdge = this vertex's own request).
+  void route_request(Context& ctx, Weight amount, EdgeId from) {
+    if (is_initiator_) {
+      // The root's threshold is the §5 suspension rule.
+      if (issued_ + amount > config_.threshold) {
+        exhausted_ = true;
+        return;  // never granted: the requesting subtree suspends
+      }
+      issued_ += amount;
+      grant_toward(ctx, amount, from);
+      return;
+    }
+    if (config_.aggregate && from != kNoEdge && balance_ >= amount) {
+      // Serve a child from cached permits without climbing further.
+      balance_ -= amount;
+      grant_toward(ctx, amount, from);
+      return;
+    }
+    ensure(parent_edge_ != kNoEdge,
+           "non-initiator request before joining the execution tree");
+    grant_route_.push_back(from);
+    ctx.send(parent_edge_, Message{kRequestTag, {amount}},
+             MsgClass::kControl);
+  }
+
+  void grant_toward(Context& ctx, Weight amount, EdgeId down) {
+    if (down == kNoEdge) {
+      accept_grant(ctx, amount);
+    } else {
+      ctx.send(down, Message{kGrantTag, {amount}}, MsgClass::kControl);
+    }
+  }
+
+  void accept_grant(Context& ctx, Weight amount) {
+    balance_ += amount;
+    request_outstanding_ = false;
+    flush(ctx);
+  }
+
+  void flush(Context& ctx) {
+    while (!pending_.empty()) {
+      const Weight w = g_->weight(pending_.front().first);
+      if (balance_ < w) break;
+      balance_ -= w;
+      consumed_ += w;
+      pending_need_ -= w;
+      auto [e, m] = std::move(pending_.front());
+      pending_.pop_front();
+      ctx.send(e, wrap(m), MsgClass::kAlgorithm);
+    }
+    maybe_request(ctx);
+  }
+
+  ControllerConfig config_;
+  EdgeId parent_edge_ = kNoEdge;
+  Weight balance_ = 0;
+  Weight consumed_ = 0;
+  std::deque<std::pair<EdgeId, Message>> pending_;
+  Weight pending_need_ = 0;
+  Weight last_request_ = 0;
+  bool request_outstanding_ = false;
+  std::deque<EdgeId> grant_route_;
+  // Root only.
+  Weight issued_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+DiffusingProcess& ControlledRun::inner(NodeId v) const {
+  require(network != nullptr, "run has no live network");
+  return dynamic_cast<HostBase&>(network->process(v)).inner();
+}
+
+ControlledRun run_uncontrolled(const Graph& g,
+                               const DiffusingFactory& factory,
+                               NodeId initiator,
+                               std::unique_ptr<DelayModel> delay,
+                               std::uint64_t seed, double max_time) {
+  g.check_node(initiator);
+  ControlledRun out;
+  out.network = std::make_shared<Network>(
+      g,
+      [&](NodeId v) {
+        return std::make_unique<PassthroughHost>(g, v, v == initiator,
+                                                 factory(v));
+      },
+      std::move(delay), seed);
+  out.stats = out.network->run(max_time);
+  return out;
+}
+
+ControlledRun run_controlled(const Graph& g,
+                             const DiffusingFactory& factory,
+                             NodeId initiator,
+                             const ControllerConfig& config,
+                             std::unique_ptr<DelayModel> delay,
+                             std::uint64_t seed) {
+  g.check_node(initiator);
+  require(config.threshold >= 0, "threshold must be non-negative");
+  ControlledRun out;
+  out.network = std::make_shared<Network>(
+      g,
+      [&](NodeId v) {
+        return std::make_unique<ControllerHost>(g, v, v == initiator,
+                                                factory(v), config);
+      },
+      std::move(delay), seed);
+  out.stats = out.network->run();
+  auto& root =
+      dynamic_cast<ControllerHost&>(out.network->process(initiator));
+  out.exhausted = root.exhausted();
+  out.permits_issued = root.permits_issued();
+  return out;
+}
+
+}  // namespace csca

@@ -1,0 +1,75 @@
+// The §5 controller (after the MAIN CONTROLLER of [AAPS87]).
+//
+// Every message the controlled protocol sends consumes w(e) units of an
+// abstract resource that must be authorized by permits. Permits originate
+// at the initiator (the root of the dynamically growing execution tree),
+// which caps total issuance at a *threshold* set to the protocol's known
+// correct-execution complexity c_pi: correct executions are never
+// interfered with, while a protocol that diverges (bad inputs, faults) is
+// cut off after O(threshold) spending.
+//
+// Permit traffic follows [AAPS87]'s aggregation idea: a vertex that runs
+// dry requests a geometrically growing batch (covering its queued need,
+// growing with what it has already consumed), requests climb the
+// execution tree until an ancestor with enough cached permits (or the
+// root) fills them, and grants retrace the path. A vertex that spends b
+// units issues O(log b) requests, giving the Corollary 5.1 overhead
+// O(c_pi log^2 c_pi) in communication and time.
+//
+// Accounting note (the paper's "approximate permit counter"): batches are
+// capped by consumption, so total issuance is at most twice total
+// consumption. Set the threshold to 2 c_pi for the aggregating
+// controller (correct executions then never suspend, runaways are cut
+// off within O(c_pi)); the naive controller issues exactly what is
+// consumed, so its threshold is c_pi itself.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "control/diffusing.h"
+#include "sim/network.h"
+
+namespace csca {
+
+struct ControllerConfig {
+  /// Root permit budget; set to (an upper bound on) c_pi.
+  Weight threshold = 0;
+  /// If false, every request asks for exactly the queued need and goes
+  /// all the way to the root — the "naive controller" of §5, for
+  /// comparison benches.
+  bool aggregate = true;
+};
+
+struct ControlledRun {
+  RunStats stats;  ///< algorithm = protocol messages, control = permits
+  bool exhausted = false;   ///< the root refused further permits
+  Weight permits_issued = 0;
+  /// Keeps the simulation alive so inner protocol outputs stay readable.
+  std::shared_ptr<Network> network;
+
+  /// The inner protocol instance at v (for reading outputs).
+  DiffusingProcess& inner(NodeId v) const;
+};
+
+using DiffusingFactory =
+    std::function<std::unique_ptr<DiffusingProcess>(NodeId)>;
+
+/// Runs the protocol bare (no metering); the baseline c_pi measurement.
+/// max_time bounds runaway protocols.
+ControlledRun run_uncontrolled(
+    const Graph& g, const DiffusingFactory& factory, NodeId initiator,
+    std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1,
+    double max_time = std::numeric_limits<double>::infinity());
+
+/// Runs the protocol under the controller. The returned stats ledger
+/// separates protocol cost (algorithm) from permit traffic (control).
+ControlledRun run_controlled(const Graph& g,
+                             const DiffusingFactory& factory,
+                             NodeId initiator,
+                             const ControllerConfig& config,
+                             std::unique_ptr<DelayModel> delay,
+                             std::uint64_t seed = 1);
+
+}  // namespace csca

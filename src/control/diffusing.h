@@ -1,0 +1,47 @@
+// Diffusing computations ([DS80], the §5 model): a protocol started at a
+// single initiator, where every other vertex enters the computation by
+// receiving a message. Protocols written against this interface can run
+// either bare (PassthroughHost) or under the §5 controller, which
+// meters every send against a permit budget.
+#pragma once
+
+#include "graph/graph.h"
+#include "sim/message.h"
+
+namespace csca {
+
+class DiffusingContext {
+ public:
+  virtual ~DiffusingContext() = default;
+
+  virtual NodeId self() const = 0;
+  virtual const Graph& graph() const = 0;
+  virtual double now() const = 0;
+
+  /// Sends m over incident edge e, consuming w(e) resource units (§5:
+  /// "a transmission of a message on an edge e is a request to consume
+  /// w(e) units of the resource"). Under a controller the send may be
+  /// delayed until permits arrive, or dropped entirely once the root
+  /// threshold is exhausted.
+  virtual void send(EdgeId e, Message m) = 0;
+
+  virtual void finish() = 0;
+
+  std::span<const EdgeId> incident() const {
+    return graph().incident(self());
+  }
+  NodeId neighbor(EdgeId e) const { return graph().other(e, self()); }
+  Weight edge_weight(EdgeId e) const { return graph().weight(e); }
+};
+
+class DiffusingProcess {
+ public:
+  virtual ~DiffusingProcess() = default;
+
+  /// Invoked at the initiator only, at time 0.
+  virtual void on_start(DiffusingContext&) {}
+
+  virtual void on_message(DiffusingContext&, const Message& m) = 0;
+};
+
+}  // namespace csca

@@ -1,0 +1,97 @@
+// Diffusing protocols used to exercise the controller (tests, benches,
+// examples): a well-behaved terminating broadcast-echo and a faulty
+// protocol that would run forever — the exact scenario §5's controller
+// exists to contain.
+#pragma once
+
+#include "control/diffusing.h"
+
+namespace csca {
+
+/// Propagation of information with feedback (broadcast + echo): the
+/// initiator learns when the whole graph has been covered. Correct
+/// executions cost 2 messages per tree edge and 4 per non-tree edge
+/// (wave + immediate echo in both directions), so c_pi <= 4 * script-E —
+/// the natural controller threshold.
+class BroadcastEcho final : public DiffusingProcess {
+ public:
+  explicit BroadcastEcho(NodeId self) : self_(self) {}
+
+  void on_start(DiffusingContext& ctx) override {
+    covered_ = true;
+    expected_ = static_cast<int>(ctx.incident().size());
+    if (expected_ == 0) {
+      done_ = true;
+      ctx.finish();
+      return;
+    }
+    for (EdgeId e : ctx.incident()) {
+      ctx.send(e, Message{kWave});
+    }
+  }
+
+  void on_message(DiffusingContext& ctx, const Message& m) override {
+    if (m.type == kWave) {
+      if (covered_) {
+        ctx.send(m.edge, Message{kEcho});
+        return;
+      }
+      covered_ = true;
+      parent_ = m.edge;
+      expected_ = static_cast<int>(ctx.incident().size()) - 1;
+      for (EdgeId e : ctx.incident()) {
+        if (e != parent_) ctx.send(e, Message{kWave});
+      }
+      maybe_echo(ctx);
+      return;
+    }
+    // kEcho
+    ++echoes_;
+    maybe_echo(ctx);
+  }
+
+  bool covered() const { return covered_; }
+  bool done() const { return done_; }
+
+ private:
+  enum { kWave = 0, kEcho = 1 };
+
+  void maybe_echo(DiffusingContext& ctx) {
+    if (echoes_ < expected_) return;
+    done_ = true;
+    if (parent_ != kNoEdge) {
+      ctx.send(parent_, Message{kEcho});
+    }
+    ctx.finish();
+  }
+
+  NodeId self_;
+  bool covered_ = false;
+  bool done_ = false;
+  EdgeId parent_ = kNoEdge;
+  int expected_ = 0;
+  int echoes_ = 0;
+};
+
+/// A diverged protocol: every received message is answered, forever —
+/// unbounded communication unless a controller suspends it.
+class RunawaySpammer final : public DiffusingProcess {
+ public:
+  void on_start(DiffusingContext& ctx) override {
+    for (EdgeId e : ctx.incident()) {
+      ctx.send(e, Message{0});
+    }
+  }
+
+  void on_message(DiffusingContext& ctx, const Message& m) override {
+    ++received_;
+    ctx.send(m.edge, Message{0});
+  }
+
+  std::int64_t received() const { return received_; }
+
+ private:
+  std::int64_t received_ = 0;
+};
+
+}  // namespace csca

@@ -1,0 +1,139 @@
+#include "control/termination.h"
+
+namespace csca {
+
+namespace {
+
+constexpr int kWrappedTag = 1000;
+constexpr int kAckTag = 1;
+
+class DetectorHost final : public Process {
+ public:
+  DetectorHost(const Graph& g, NodeId self, bool is_initiator,
+               std::unique_ptr<DiffusingProcess> inner)
+      : g_(&g),
+        self_(self),
+        is_initiator_(is_initiator),
+        inner_(std::move(inner)) {}
+
+  DiffusingProcess& inner() { return *inner_; }
+  bool detected() const { return detected_; }
+  double detected_at() const { return detected_at_; }
+
+  void on_start(Context& ctx) override {
+    if (!is_initiator_) return;
+    Ctx c(*this, ctx);
+    inner_->on_start(c);
+    maybe_certify(ctx);
+  }
+
+  void on_message(Context& ctx, const Message& m) override {
+    if (m.type == kAckTag) {
+      ensure(--deficit_ >= 0, "ack without a matching send");
+      maybe_disengage(ctx);
+      return;
+    }
+    ensure(m.type == kWrappedTag, "detector: foreign message type");
+    const bool was_engaged = engaged_ || is_initiator_;
+    if (!was_engaged) {
+      engaged_ = true;
+      engager_ = m.edge;
+    }
+    Message unwrapped{static_cast<int>(m.at(0))};
+    unwrapped.data.assign(m.data.begin() + 1, m.data.end());
+    unwrapped.from = m.from;
+    unwrapped.edge = m.edge;
+    Ctx c(*this, ctx);
+    inner_->on_message(c, unwrapped);
+    if (was_engaged) {
+      ctx.send(m.edge, Message{kAckTag}, MsgClass::kControl);
+    }
+    maybe_disengage(ctx);
+  }
+
+ private:
+  class Ctx final : public DiffusingContext {
+   public:
+    Ctx(DetectorHost& host, Context& net) : host_(&host), net_(&net) {}
+    NodeId self() const override { return host_->self_; }
+    const Graph& graph() const override { return *host_->g_; }
+    double now() const override { return net_->now(); }
+    void send(EdgeId e, Message m) override {
+      ++host_->deficit_;
+      Message wrapped{kWrappedTag};
+      wrapped.data.reserve(m.data.size() + 1);
+      wrapped.data.push_back(m.type);
+      wrapped.data.insert(wrapped.data.end(), m.data.begin(),
+                          m.data.end());
+      net_->send(e, std::move(wrapped), MsgClass::kAlgorithm);
+    }
+    void finish() override { net_->finish(); }
+
+   private:
+    DetectorHost* host_;
+    Context* net_;
+  };
+
+  void maybe_disengage(Context& ctx) {
+    if (deficit_ > 0) return;
+    if (is_initiator_) {
+      maybe_certify(ctx);
+      return;
+    }
+    if (engaged_) {
+      engaged_ = false;
+      const EdgeId up = engager_;
+      engager_ = kNoEdge;
+      ctx.send(up, Message{kAckTag}, MsgClass::kControl);
+    }
+  }
+
+  void maybe_certify(Context& ctx) {
+    if (detected_ || deficit_ > 0) return;
+    detected_ = true;
+    detected_at_ = ctx.now();
+    ctx.finish();
+  }
+
+  const Graph* g_;
+  NodeId self_;
+  bool is_initiator_;
+  std::unique_ptr<DiffusingProcess> inner_;
+  bool engaged_ = false;
+  EdgeId engager_ = kNoEdge;
+  int deficit_ = 0;
+  bool detected_ = false;
+  double detected_at_ = -1;
+};
+
+}  // namespace
+
+DiffusingProcess& TerminationRun::inner(NodeId v) const {
+  require(network != nullptr, "run has no live network");
+  return dynamic_cast<DetectorHost&>(network->process(v)).inner();
+}
+
+TerminationRun run_with_termination_detection(
+    const Graph& g,
+    const std::function<std::unique_ptr<DiffusingProcess>(NodeId)>&
+        factory,
+    NodeId initiator, std::unique_ptr<DelayModel> delay,
+    std::uint64_t seed) {
+  g.check_node(initiator);
+  TerminationRun out;
+  out.network = std::make_shared<Network>(
+      g,
+      [&](NodeId v) {
+        return std::make_unique<DetectorHost>(g, v, v == initiator,
+                                              factory(v));
+      },
+      std::move(delay), seed);
+  out.stats = out.network->run();
+  auto& root =
+      dynamic_cast<DetectorHost&>(out.network->process(initiator));
+  out.detected = root.detected();
+  out.detected_at = root.detected_at();
+  return out;
+}
+
+}  // namespace csca

@@ -1,0 +1,41 @@
+// Termination detection for diffusing computations ([DS80], the model
+// §5 builds on, and §1.4.1's example of a task expressible as a global
+// computation). Wraps any DiffusingProcess: every protocol message is
+// acknowledged per the Dijkstra-Scholten discipline — a vertex holds the
+// acknowledgement of the message that *engaged* it until all of its own
+// messages are acknowledged — so the initiator's deficit reaching zero
+// certifies that the whole computation has gone quiet, and it learns so
+// at a concrete simulated time. The same machinery runs inline inside
+// SPT_recur's strips; this is the standalone, reusable form.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "control/diffusing.h"
+#include "sim/network.h"
+
+namespace csca {
+
+struct TerminationRun {
+  RunStats stats;  ///< algorithm = protocol messages, control = acks
+  bool detected = false;     ///< the initiator certified termination
+  double detected_at = -1;   ///< simulated time of certification
+  std::shared_ptr<Network> network;
+
+  /// The inner protocol instance at v (for reading outputs).
+  DiffusingProcess& inner(NodeId v) const;
+};
+
+/// Runs the protocol with Dijkstra-Scholten termination detection. The
+/// initiator's callback-free certificate is exposed via the returned
+/// TerminationRun. Acks double the message count (control class) but
+/// cost the same per edge as the traffic they confirm.
+TerminationRun run_with_termination_detection(
+    const Graph& g,
+    const std::function<std::unique_ptr<DiffusingProcess>(NodeId)>&
+        factory,
+    NodeId initiator, std::unique_ptr<DelayModel> delay,
+    std::uint64_t seed = 1);
+
+}  // namespace csca

@@ -1,0 +1,64 @@
+#include "core/distributed_slt.h"
+
+#include "conn/mst_centr.h"
+#include "conn/spt_centr.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+
+namespace csca {
+
+DistributedSltRun run_distributed_slt(const Graph& g, NodeId root, double q,
+                                      const DelayFactory& delay,
+                                      std::uint64_t seed) {
+  require(q > 0, "SLT parameter q must be positive");
+
+  // Stage 1: MST_centr. Afterwards every vertex knows the whole MST.
+  const auto mst_run = run_mst_centr(g, root, delay(), seed);
+  ensure(is_minimum_spanning_forest(g, mst_run.tree.edge_set()),
+         "stage 1 must produce the MST");
+
+  // Stage 2: SPT_centr on G gives every vertex the tree T_S (and thus
+  // all source distances).
+  const auto spt_run = run_spt_centr(g, root, delay(), seed + 1);
+
+  // Stage 3 (local): every vertex deterministically stretches the MST
+  // into the line, scans for breakpoints and derives the subgraph G'.
+  // This costs no communication; we reuse the centralized routine as the
+  // shared deterministic computation.
+  ShallowLightTree local = build_slt(g, root, q);
+
+  // Stage 4: SPT_centr restricted to G' produces the final tree T.
+  Network net(
+      g,
+      [&](NodeId v) {
+        return std::make_unique<SptCentrProcess>(
+            g, v, root, 0, nullptr, 0, &local.subgraph_edges);
+      },
+      delay(), seed + 2);
+  RunStats final_stats = net.run();
+  auto& root_proc = net.process_as<SptCentrProcess>(root);
+  ensure(root_proc.done(), "stage 4 must terminate");
+
+  std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    parents[static_cast<std::size_t>(v)] = root_proc.tree_parent_edge(v);
+  }
+  RootedTree final_tree =
+      RootedTree::from_parent_edges(g, root, std::move(parents));
+
+  // Sanity: the distributed SPT on G' realizes the same distances as the
+  // centralized SLT (the trees may differ on equal-length ties).
+  const auto sp_sub = dijkstra_subgraph(g, root, local.subgraph_edges);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ensure(final_tree.depth(g, v) ==
+               sp_sub.dist[static_cast<std::size_t>(v)],
+           "distributed SLT distances must match the centralized ones");
+  }
+
+  DistributedSltRun out{std::move(local), mst_run.stats, spt_run.stats,
+                        final_stats};
+  out.slt.tree = std::move(final_tree);
+  return out;
+}
+
+}  // namespace csca

@@ -1,0 +1,50 @@
+// Distributed SLT construction (Theorem 2.7).
+//
+// The paper's recipe: build the MST with MST_centr (O(n * script-V)
+// communication, O(n^2 * script-D) time), note that afterwards every
+// vertex knows the whole MST, "stretch the MST into a line" *locally*
+// (the Euler tour, breakpoint scan and path grafting are deterministic
+// functions of information every vertex already has — the graph and the
+// two trees), and finally run SPT_centr once more, restricted to the
+// grafted subgraph G', to obtain the tree T. An SPT_centr run on G
+// itself supplies T_S (also full-information afterwards). Overall:
+// O(script-V * n^2) communication and O(script-D * n^2) time.
+#pragma once
+
+#include <functional>
+
+#include "core/slt.h"
+#include "sim/delay.h"
+#include "sim/message.h"
+
+namespace csca {
+
+struct DistributedSltRun {
+  ShallowLightTree slt;  ///< identical to the centralized build_slt output
+  RunStats mst_stats;    ///< ledger of the MST_centr stage
+  RunStats spt_stats;    ///< ledger of the SPT_centr-on-G stage (T_S)
+  RunStats final_stats;  ///< ledger of the SPT_centr-on-G' stage (T)
+
+  std::int64_t total_messages() const {
+    return mst_stats.total_messages() + spt_stats.total_messages() +
+           final_stats.total_messages();
+  }
+  Weight total_cost() const {
+    return mst_stats.total_cost() + spt_stats.total_cost() +
+           final_stats.total_cost();
+  }
+  double total_time() const {
+    return mst_stats.completion_time + spt_stats.completion_time +
+           final_stats.completion_time;
+  }
+};
+
+using DelayFactory = std::function<std::unique_ptr<DelayModel>()>;
+
+/// Runs the three distributed stages of Theorem 2.7 and cross-checks the
+/// result against the centralized algorithm. Requires g connected, q > 0.
+DistributedSltRun run_distributed_slt(const Graph& g, NodeId root, double q,
+                                      const DelayFactory& delay,
+                                      std::uint64_t seed = 1);
+
+}  // namespace csca

@@ -1,0 +1,85 @@
+#include "core/global_compute.h"
+
+namespace csca {
+
+GlobalComputeProcess::GlobalComputeProcess(const Graph& g,
+                                           const RootedTree& tree,
+                                           NodeId self,
+                                           const SymmetricFunction& f,
+                                           std::int64_t input)
+    : self_(self), is_root_(tree.root() == self), f_(f), acc_(input) {
+  require(tree.spanning(), "global compute requires a spanning tree");
+  require(f.combine != nullptr, "symmetric function needs a combiner");
+  if (!is_root_) parent_edge_ = tree.parent_edge(self);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v == tree.root()) continue;
+    const EdgeId pe = tree.parent_edge(v);
+    if (g.other(pe, v) == self) children_edges_.push_back(pe);
+  }
+  reports_pending_ = static_cast<int>(children_edges_.size());
+}
+
+void GlobalComputeProcess::on_start(Context& ctx) { try_report(ctx); }
+
+void GlobalComputeProcess::try_report(Context& ctx) {
+  if (reports_pending_ > 0) return;
+  if (is_root_) {
+    result_ = acc_;
+    has_result_ = true;
+    for (EdgeId e : children_edges_) {
+      ctx.send(e, Message{kDown, {result_}});
+    }
+    ctx.finish();
+  } else {
+    ctx.send(parent_edge_, Message{kUp, {acc_}});
+  }
+}
+
+void GlobalComputeProcess::on_message(Context& ctx, const Message& m) {
+  switch (static_cast<MsgType>(m.type)) {
+    case kUp: {
+      acc_ = f_.combine(acc_, m.at(0));
+      --reports_pending_;
+      ensure(reports_pending_ >= 0, "unexpected extra report");
+      try_report(ctx);
+      return;
+    }
+    case kDown: {
+      result_ = m.at(0);
+      has_result_ = true;
+      for (EdgeId e : children_edges_) {
+        ctx.send(e, Message{kDown, {result_}});
+      }
+      ctx.finish();
+      return;
+    }
+  }
+  ensure(false, "GlobalComputeProcess received a foreign message type");
+}
+
+GlobalComputeRun run_global_compute(const Graph& g, const RootedTree& tree,
+                                    const SymmetricFunction& f,
+                                    std::span<const std::int64_t> inputs,
+                                    std::unique_ptr<DelayModel> delay,
+                                    std::uint64_t seed) {
+  require(inputs.size() == static_cast<std::size_t>(g.node_count()),
+          "one input per vertex required");
+  Network net(
+      g,
+      [&](NodeId v) {
+        return std::make_unique<GlobalComputeProcess>(
+            g, tree, v, f, inputs[static_cast<std::size_t>(v)]);
+      },
+      std::move(delay), seed);
+  RunStats stats = net.run();
+  ensure(net.all_finished(), "all vertices must learn the result");
+  const std::int64_t result =
+      net.process_as<GlobalComputeProcess>(tree.root()).result();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ensure(net.process_as<GlobalComputeProcess>(v).result() == result,
+           "all vertices must agree on the result");
+  }
+  return GlobalComputeRun{result, stats, net.last_finish_time()};
+}
+
+}  // namespace csca

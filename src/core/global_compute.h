@@ -1,0 +1,61 @@
+// Global function computation over a spanning tree (§2, Corollary 2.3).
+//
+// Given a spanning tree T known to all vertices (the model of §1.4.1),
+// each vertex holds one argument; a convergecast folds the arguments
+// toward the root and a broadcast returns the result, so every vertex
+// outputs f(x_1, ..., x_n). Communication is exactly 2 w(T) and time is
+// O(depth(T)) each way — run over a shallow-light tree this achieves the
+// optimal O(script-V) / O(script-D) of Figure 1.
+#pragma once
+
+#include "core/global_function.h"
+#include "graph/tree.h"
+#include "sim/network.h"
+
+namespace csca {
+
+class GlobalComputeProcess final : public Process {
+ public:
+  GlobalComputeProcess(const Graph& g, const RootedTree& tree, NodeId self,
+                       const SymmetricFunction& f, std::int64_t input);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+
+  bool has_result() const { return has_result_; }
+  std::int64_t result() const {
+    require(has_result_, "computation has not completed at this vertex");
+    return result_;
+  }
+
+ private:
+  enum MsgType { kUp = 0, kDown = 1 };
+
+  void try_report(Context& ctx);
+
+  NodeId self_;
+  bool is_root_;
+  EdgeId parent_edge_ = kNoEdge;
+  std::vector<EdgeId> children_edges_;
+  int reports_pending_ = 0;
+  SymmetricFunction f_;
+  std::int64_t acc_;
+  std::int64_t result_ = 0;
+  bool has_result_ = false;
+};
+
+struct GlobalComputeRun {
+  std::int64_t result = 0;
+  RunStats stats;
+  double completion_time = 0;  ///< when the last vertex learned the result
+};
+
+/// Computes f over the inputs (inputs[v] lives at vertex v) on the given
+/// spanning tree; validates that every vertex outputs the same value.
+GlobalComputeRun run_global_compute(const Graph& g, const RootedTree& tree,
+                                    const SymmetricFunction& f,
+                                    std::span<const std::int64_t> inputs,
+                                    std::unique_ptr<DelayModel> delay,
+                                    std::uint64_t seed = 1);
+
+}  // namespace csca

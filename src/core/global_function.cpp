@@ -1,0 +1,74 @@
+#include "core/global_function.h"
+
+#include <array>
+#include <limits>
+
+namespace csca {
+
+namespace functions {
+
+SymmetricFunction sum() {
+  return {"sum", 0, [](std::int64_t a, std::int64_t b) { return a + b; }};
+}
+
+SymmetricFunction max() {
+  return {"max", std::numeric_limits<std::int64_t>::min(),
+          [](std::int64_t a, std::int64_t b) { return a > b ? a : b; }};
+}
+
+SymmetricFunction min() {
+  return {"min", std::numeric_limits<std::int64_t>::max(),
+          [](std::int64_t a, std::int64_t b) { return a < b ? a : b; }};
+}
+
+SymmetricFunction bit_xor() {
+  return {"xor", 0, [](std::int64_t a, std::int64_t b) { return a ^ b; }};
+}
+
+SymmetricFunction bit_and() {
+  return {"and", ~std::int64_t{0},
+          [](std::int64_t a, std::int64_t b) { return a & b; }};
+}
+
+SymmetricFunction bit_or() {
+  return {"or", 0, [](std::int64_t a, std::int64_t b) { return a | b; }};
+}
+
+std::span<const SymmetricFunction> all() {
+  // arg_min is excluded: its domain is packed pairs, not raw integers.
+  static const std::array<SymmetricFunction, 6> kAll{
+      sum(), max(), min(), bit_xor(), bit_and(), bit_or()};
+  return kAll;
+}
+
+}  // namespace functions
+
+std::int64_t pack_value_id(std::int32_t value, std::int32_t id) {
+  // Order-preserving in `value` when compared as int64 (value in the
+  // high 32 bits with the sign handled by the shift), ties by id.
+  return (static_cast<std::int64_t>(value) << 32) |
+         static_cast<std::uint32_t>(id);
+}
+
+std::int32_t packed_value(std::int64_t packed) {
+  return static_cast<std::int32_t>(packed >> 32);
+}
+
+std::int32_t packed_id(std::int64_t packed) {
+  return static_cast<std::int32_t>(packed & 0xffffffff);
+}
+
+SymmetricFunction arg_min() {
+  return {"arg_min", std::numeric_limits<std::int64_t>::max(),
+          [](std::int64_t a, std::int64_t b) { return a < b ? a : b; }};
+}
+
+std::int64_t fold(const SymmetricFunction& f,
+                  std::span<const std::int64_t> inputs) {
+  require(f.combine != nullptr, "symmetric function needs a combiner");
+  std::int64_t acc = f.identity;
+  for (std::int64_t x : inputs) acc = f.combine(acc, x);
+  return acc;
+}
+
+}  // namespace csca

@@ -1,0 +1,57 @@
+// Symmetric compact functions (§1.4.1, after [GS86]).
+//
+// A family f_n : X^n -> X is symmetric (argument order is irrelevant) and
+// compact (any subset of arguments can be summarized in one value):
+// f_n(x_1..x_n) = g(f_k(x_1..x_k), f_{n-k}(x_{k+1}..x_n)). We model such
+// a family by its two-argument combiner g plus an identity element, i.e.
+// a commutative monoid over int64 — covering the paper's examples
+// (maximum, sum, XOR, AND, OR) and anything downstream users supply.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "util/require.h"
+
+namespace csca {
+
+struct SymmetricFunction {
+  /// Must be commutative and associative with `identity` as the neutral
+  /// element. May capture state (std::function), so users can encode
+  /// richer aggregates — e.g. argmin via packed (value, id) pairs.
+  using Combine = std::function<std::int64_t(std::int64_t, std::int64_t)>;
+
+  std::string name;
+  std::int64_t identity = 0;
+  Combine combine;
+};
+
+/// argmin as a symmetric compact function: inputs and outputs are packed
+/// (value, id) pairs via pack_value_id; the aggregate is the pair with
+/// the smallest value (ties to the smaller id). §1.4.1's point that many
+/// tasks — here, electing the node holding the minimum — reduce to one
+/// aggregation.
+std::int64_t pack_value_id(std::int32_t value, std::int32_t id);
+std::int32_t packed_value(std::int64_t packed);
+std::int32_t packed_id(std::int64_t packed);
+SymmetricFunction arg_min();
+
+namespace functions {
+SymmetricFunction sum();
+SymmetricFunction max();
+SymmetricFunction min();
+SymmetricFunction bit_xor();
+SymmetricFunction bit_and();
+SymmetricFunction bit_or();
+/// All of the above, for parameterized tests and benches.
+std::span<const SymmetricFunction> all();
+}  // namespace functions
+
+/// Reference evaluation: folds f over the inputs (the value every
+/// distributed computation must reproduce).
+std::int64_t fold(const SymmetricFunction& f,
+                  std::span<const std::int64_t> inputs);
+
+}  // namespace csca

@@ -1,0 +1,68 @@
+#include "core/slt.h"
+
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "graph/traversal.h"
+
+namespace csca {
+
+namespace {
+// Weighted distance between two tree nodes along tree edges.
+Weight tree_distance(const Graph& g, const RootedTree& t, NodeId a,
+                     NodeId b) {
+  return total_weight(g, t.path(g, a, b));
+}
+}  // namespace
+
+ShallowLightTree build_slt(const Graph& g, NodeId root, double q) {
+  g.check_node(root);
+  require(q > 0, "SLT parameter q must be positive");
+  require(is_connected(g), "build_slt requires a connected graph");
+
+  // Step 1: the MST T_M and the SPT T_S, both rooted at the root.
+  const RootedTree tm = mst_tree(g, root);
+  const ShortestPaths sp = dijkstra(g, root);
+  const RootedTree ts = sp.tree(g);
+
+  // Step 2-3: the line L = Euler tour of T_M with prefix weights.
+  const std::vector<NodeId> line = euler_tour(g, tm);
+  std::vector<Weight> prefix(line.size(), 0);
+  for (std::size_t i = 0; i + 1 < line.size(); ++i) {
+    const EdgeId e = g.find_edge(line[i], line[i + 1]);
+    ensure(e != kNoEdge, "euler tour steps must follow edges");
+    prefix[i + 1] = prefix[i] + g.weight(e);
+  }
+
+  // Step 4-5: scan for breakpoints; graft Path(v(X), v(Y), T_S) whenever
+  // the line distance exceeds q times the SPT-path distance.
+  std::vector<char> in_subgraph(static_cast<std::size_t>(g.edge_count()),
+                                0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (v != root) {
+      in_subgraph[static_cast<std::size_t>(tm.parent_edge(v))] = 1;
+    }
+  }
+  std::vector<int> breakpoints{0};
+  std::size_t x = 0;
+  for (std::size_t y = 1; y < line.size(); ++y) {
+    const Weight line_dist = prefix[y] - prefix[x];
+    const Weight ts_dist = tree_distance(g, ts, line[x], line[y]);
+    if (static_cast<double>(line_dist) >
+        q * static_cast<double>(ts_dist)) {
+      for (EdgeId e : ts.path(g, line[x], line[y])) {
+        in_subgraph[static_cast<std::size_t>(e)] = 1;
+      }
+      breakpoints.push_back(static_cast<int>(y));
+      x = y;
+    }
+  }
+
+  // Step 6: a shortest-path tree of G' = (V, E') rooted at the root.
+  const ShortestPaths sp_sub = dijkstra_subgraph(g, root, in_subgraph);
+  ShallowLightTree out{sp_sub.tree(g), q, std::move(breakpoints),
+                       line, std::move(in_subgraph)};
+  ensure(out.tree.spanning(), "SLT must span the graph");
+  return out;
+}
+
+}  // namespace csca

@@ -1,0 +1,216 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace csca {
+
+WeightSpec WeightSpec::constant(Weight w) {
+  require(w >= 1, "constant weight must be >= 1");
+  return WeightSpec(Kind::kConstant, w, w);
+}
+
+WeightSpec WeightSpec::uniform(Weight lo, Weight hi) {
+  require(lo >= 1 && lo <= hi, "uniform weight range invalid");
+  return WeightSpec(Kind::kUniform, lo, hi);
+}
+
+WeightSpec WeightSpec::power_of_two(int lo_exp, int hi_exp) {
+  require(lo_exp >= 0 && lo_exp <= hi_exp && hi_exp < 62,
+          "power_of_two exponent range invalid");
+  return WeightSpec(Kind::kPowerOfTwo, lo_exp, hi_exp);
+}
+
+Weight WeightSpec::sample(Rng& rng) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return lo_;
+    case Kind::kUniform:
+      return rng.uniform_int(lo_, hi_);
+    case Kind::kPowerOfTwo:
+      return Weight{1} << rng.uniform_int(lo_, hi_);
+  }
+  ensure(false, "unreachable weight kind");
+  return 1;
+}
+
+Graph path_graph(int n, WeightSpec weights, Rng& rng) {
+  require(n >= 1, "path_graph requires n >= 1");
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1, weights.sample(rng));
+  }
+  return g;
+}
+
+Graph cycle_graph(int n, WeightSpec weights, Rng& rng) {
+  require(n >= 3, "cycle_graph requires n >= 3");
+  Graph g = path_graph(n, weights, rng);
+  g.add_edge(n - 1, 0, weights.sample(rng));
+  return g;
+}
+
+Graph grid_graph(int rows, int cols, WeightSpec weights, Rng& rng) {
+  require(rows >= 1 && cols >= 1, "grid dimensions must be >= 1");
+  Graph g(rows * cols);
+  const auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        g.add_edge(id(r, c), id(r, c + 1), weights.sample(rng));
+      }
+      if (r + 1 < rows) {
+        g.add_edge(id(r, c), id(r + 1, c), weights.sample(rng));
+      }
+    }
+  }
+  return g;
+}
+
+Graph complete_graph(int n, WeightSpec weights, Rng& rng) {
+  require(n >= 1, "complete_graph requires n >= 1");
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      g.add_edge(u, v, weights.sample(rng));
+    }
+  }
+  return g;
+}
+
+Graph random_tree(int n, WeightSpec weights, Rng& rng) {
+  require(n >= 1, "random_tree requires n >= 1");
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) {
+    const NodeId parent =
+        static_cast<NodeId>(rng.uniform_int(0, v - 1));
+    g.add_edge(parent, v, weights.sample(rng));
+  }
+  return g;
+}
+
+Graph connected_gnp(int n, double p, WeightSpec weights, Rng& rng) {
+  require(n >= 1, "connected_gnp requires n >= 1");
+  require(p >= 0.0 && p <= 1.0, "probability out of range");
+  // Random attachment tree over a shuffled labelling keeps the backbone
+  // unbiased, then each remaining pair appears independently.
+  std::vector<NodeId> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng.engine());
+  Graph g(n);
+  for (int i = 1; i < n; ++i) {
+    const int j = static_cast<int>(rng.uniform_int(0, i - 1));
+    g.add_edge(perm[static_cast<std::size_t>(i)],
+               perm[static_cast<std::size_t>(j)], weights.sample(rng));
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v) && rng.chance(p)) {
+        g.add_edge(u, v, weights.sample(rng));
+      }
+    }
+  }
+  return g;
+}
+
+Graph random_geometric(int n, double radius, Weight scale, Rng& rng) {
+  require(n >= 1, "random_geometric requires n >= 1");
+  require(radius > 0.0, "radius must be positive");
+  require(scale >= 1, "scale must be >= 1");
+  std::vector<std::pair<double, double>> pts(static_cast<std::size_t>(n));
+  for (auto& p : pts) {
+    p = {rng.uniform_real(0.0, 1.0), rng.uniform_real(0.0, 1.0)};
+  }
+  const auto dist = [&](int a, int b) {
+    const double dx = pts[static_cast<std::size_t>(a)].first -
+                      pts[static_cast<std::size_t>(b)].first;
+    const double dy = pts[static_cast<std::size_t>(a)].second -
+                      pts[static_cast<std::size_t>(b)].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const auto w_of = [&](double d) {
+    return std::max<Weight>(
+        1, static_cast<Weight>(std::ceil(d * static_cast<double>(scale))));
+  };
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double d = dist(u, v);
+      if (d <= radius) g.add_edge(u, v, w_of(d));
+    }
+  }
+  // Connectivity backbone: a path through points sorted by x-coordinate,
+  // which keeps backbone edges geometrically short.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return pts[static_cast<std::size_t>(a)] <
+           pts[static_cast<std::size_t>(b)];
+  });
+  for (int i = 0; i + 1 < n; ++i) {
+    const NodeId a = order[static_cast<std::size_t>(i)];
+    const NodeId b = order[static_cast<std::size_t>(i + 1)];
+    if (!g.has_edge(a, b)) g.add_edge(a, b, w_of(dist(a, b)));
+  }
+  return g;
+}
+
+Graph spt_heavy_family(int n) {
+  require(n >= 3, "spt_heavy_family requires n >= 3");
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 2);
+  for (NodeId v = 2; v < n; ++v) g.add_edge(0, v, 2 * v - 1);
+  return g;
+}
+
+Graph mst_deep_family(int n) {
+  require(n >= 4, "mst_deep_family requires n >= 4");
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v, 2);
+  for (NodeId v = 1; v + 1 < n; ++v) g.add_edge(v, v + 1, 1);
+  return g;
+}
+
+namespace {
+Weight pow4(Weight x) {
+  require(x >= 2, "lower-bound family requires X >= 2");
+  require(x <= 50000, "X too large: X^4 would overflow Weight");
+  return x * x * x * x;
+}
+}  // namespace
+
+Graph lower_bound_family(int n, Weight x) {
+  require(n >= 4, "lower_bound_family requires n >= 4");
+  const Weight heavy = pow4(x);
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, x);
+  for (int j = 0; j < n / 2; ++j) {
+    const int mirror = n - 1 - j;
+    if (mirror > j + 1) g.add_edge(j, mirror, heavy);
+  }
+  return g;
+}
+
+Graph lower_bound_family_split(int n, Weight x, int i) {
+  require(n >= 4, "lower_bound_family_split requires n >= 4");
+  const int mirror = n - 1 - i;
+  require(i >= 0 && i < n / 2 && mirror > i + 1,
+          "i must index an existing bypass edge");
+  const Weight heavy = pow4(x);
+  Graph g(n + 2);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, x);
+  for (int j = 0; j < n / 2; ++j) {
+    const int m = n - 1 - j;
+    if (m <= j + 1) continue;
+    if (j == i) {
+      g.add_edge(j, n, heavy);       // pendant replacing one endpoint
+      g.add_edge(m, n + 1, heavy);   // pendant replacing the other
+    } else {
+      g.add_edge(j, m, heavy);
+    }
+  }
+  return g;
+}
+
+}  // namespace csca

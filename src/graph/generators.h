@@ -1,0 +1,84 @@
+// Graph families used by tests, examples, and the benchmark harnesses.
+//
+// Includes the paper's lower-bound family G_n of Figure 7 and its split
+// variant G'_{n,i} of Figure 8, plus the standard families the complexity
+// tables are exercised on (paths, grids, random graphs, geometric graphs).
+#pragma once
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace csca {
+
+/// How edge weights are drawn by a generator.
+class WeightSpec {
+ public:
+  /// Every edge has weight w.
+  static WeightSpec constant(Weight w);
+  /// Uniform integer in [lo, hi].
+  static WeightSpec uniform(Weight lo, Weight hi);
+  /// 2^j with j uniform in [lo_exp, hi_exp]; produces normalized networks.
+  static WeightSpec power_of_two(int lo_exp, int hi_exp);
+
+  Weight sample(Rng& rng) const;
+
+ private:
+  enum class Kind { kConstant, kUniform, kPowerOfTwo };
+  WeightSpec(Kind kind, Weight lo, Weight hi)
+      : kind_(kind), lo_(lo), hi_(hi) {}
+  Kind kind_;
+  Weight lo_;
+  Weight hi_;
+};
+
+/// Path 0 - 1 - ... - n-1.
+Graph path_graph(int n, WeightSpec weights, Rng& rng);
+
+/// Cycle on n >= 3 nodes.
+Graph cycle_graph(int n, WeightSpec weights, Rng& rng);
+
+/// rows x cols grid (4-neighborhood); node (r, c) has id r * cols + c.
+Graph grid_graph(int rows, int cols, WeightSpec weights, Rng& rng);
+
+/// Complete graph K_n.
+Graph complete_graph(int n, WeightSpec weights, Rng& rng);
+
+/// Uniform random spanning tree shape (random attachment), n >= 1.
+Graph random_tree(int n, WeightSpec weights, Rng& rng);
+
+/// Erdos-Renyi G(n, p) plus a random spanning tree so the result is
+/// always connected.
+Graph connected_gnp(int n, double p, WeightSpec weights, Rng& rng);
+
+/// Random geometric graph: n points in the unit square; nodes within
+/// `radius` are joined, weight = ceil(scale * euclidean distance) >= 1.
+/// A spanning path through the points is added for connectivity. Weights
+/// correlate with distance, the WAN-like regime the paper motivates.
+Graph random_geometric(int n, double radius, Weight scale, Rng& rng);
+
+/// The Figure 7 lower-bound family G_n: a path 0..n-1 whose edges have
+/// weight X, plus "bypassing" edges (j, n-1-j) of weight X^4 for
+/// 0 <= j < n/2 (skipping degenerate pairs). Any correct connectivity /
+/// spanning-tree algorithm must spend Omega(n * V) communication here.
+/// Requires n >= 4 and X >= 2 with X^4 within Weight range.
+Graph lower_bound_family(int n, Weight x);
+
+/// The Figure 8 variant G'_{n,i}: G_n with bypass edge (i, n-1-i)
+/// replaced by pendant edges (i, n) and (n-1-i, n+1) to two new nodes,
+/// both of weight X^4. Used by the indistinguishability argument.
+Graph lower_bound_family_split(int n, Weight x, int i);
+
+/// The [BKJ83] family where the SPT is maximally heavy, w(T_S) =
+/// Theta(n * script-V): a light path 0-1-...-n-1 (weight 2 edges, the
+/// MST) plus direct edges (0, v) of weight 2v - 1 — one unit below the
+/// path distance, so the SPT from 0 takes every direct edge. §2.2 cites
+/// this to motivate shallow-light trees. Requires n >= 3.
+Graph spt_heavy_family(int n);
+
+/// The [BKJ83] family where the MST is maximally deep, Diam(T_M) =
+/// Theta(n * script-D): a hub connected to every rim node by weight-2
+/// edges (script-D <= 4) while the rim forms a weight-1 path the MST
+/// prefers, making the MST a long chain. Requires n >= 4.
+Graph mst_deep_family(int n);
+
+}  // namespace csca

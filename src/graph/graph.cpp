@@ -1,0 +1,43 @@
+#include "graph/graph.h"
+
+namespace csca {
+
+Graph::Graph(int n) {
+  require(n >= 0, "node count must be non-negative");
+  incident_.resize(static_cast<std::size_t>(n));
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
+  check_node(u);
+  check_node(v);
+  require(u != v, "self-loops are not allowed");
+  require(w >= 1, "edge weights must be >= 1");
+  require(!has_edge(u, v), "parallel edges are not allowed");
+  const EdgeId id = edge_count();
+  edges_.push_back(Edge{u, v, w});
+  incident_[static_cast<std::size_t>(u)].push_back(id);
+  incident_[static_cast<std::size_t>(v)].push_back(id);
+  total_weight_ += w;
+  max_weight_ = std::max(max_weight_, w);
+  return id;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  // Scan from the lower-degree endpoint.
+  const NodeId from = degree(u) <= degree(v) ? u : v;
+  const NodeId to = from == u ? v : u;
+  for (EdgeId e : incident(from)) {
+    if (other(e, from) == to) return e;
+  }
+  return kNoEdge;
+}
+
+Weight total_weight(const Graph& g, std::span<const EdgeId> edge_set) {
+  Weight sum = 0;
+  for (EdgeId e : edge_set) sum += g.weight(e);
+  return sum;
+}
+
+}  // namespace csca

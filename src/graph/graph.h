@@ -1,0 +1,99 @@
+// Weighted undirected communication graph G = (V, E, w).
+//
+// This is the static network model of the paper (§1.2): the weight w(e) of
+// an edge is both the cost of transmitting one message over e and the upper
+// bound on its delay. Nodes are dense integers [0, n); edges are dense
+// integers [0, m) referring into a single edge table, so protocols and
+// algorithms can key per-edge state by EdgeId.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/require.h"
+
+namespace csca {
+
+using NodeId = int;
+using EdgeId = int;
+using Weight = std::int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr EdgeId kNoEdge = -1;
+
+/// One undirected weighted edge. Endpoints are stored in insertion order;
+/// use Graph::other() to walk from either side.
+struct Edge {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  Weight w = 0;
+};
+
+/// Weighted undirected multigraph-free graph. Immutable node count; edges
+/// are appended via add_edge. Self-loops and parallel edges are rejected,
+/// matching the standard network model.
+class Graph {
+ public:
+  /// Creates a graph with n isolated nodes. Requires n >= 0.
+  explicit Graph(int n);
+
+  /// Adds edge {u, v} with weight w >= 1 and returns its id.
+  /// Requires valid distinct endpoints and that the edge not already exist.
+  EdgeId add_edge(NodeId u, NodeId v, Weight w);
+
+  int node_count() const { return static_cast<int>(incident_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(EdgeId e) const {
+    require(e >= 0 && e < edge_count(), "edge id out of range");
+    return edges_[static_cast<std::size_t>(e)];
+  }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Ids of edges incident to v, in insertion order.
+  std::span<const EdgeId> incident(NodeId v) const {
+    check_node(v);
+    return incident_[static_cast<std::size_t>(v)];
+  }
+
+  int degree(NodeId v) const {
+    return static_cast<int>(incident(v).size());
+  }
+
+  /// The endpoint of e that is not v. Requires v to be an endpoint of e.
+  NodeId other(EdgeId e, NodeId v) const {
+    const Edge& ed = edge(e);
+    require(ed.u == v || ed.v == v, "node is not an endpoint of edge");
+    return ed.u == v ? ed.v : ed.u;
+  }
+
+  Weight weight(EdgeId e) const { return edge(e).w; }
+
+  /// Id of the edge {u, v}, or kNoEdge if absent. O(min-degree).
+  EdgeId find_edge(NodeId u, NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const {
+    return find_edge(u, v) != kNoEdge;
+  }
+
+  /// Sum of all edge weights: the paper's script-E.
+  Weight total_weight() const { return total_weight_; }
+
+  /// Maximum edge weight W. Zero on an edgeless graph.
+  Weight max_weight() const { return max_weight_; }
+
+  void check_node(NodeId v) const {
+    require(v >= 0 && v < node_count(), "node id out of range");
+  }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> incident_;
+  Weight total_weight_ = 0;
+  Weight max_weight_ = 0;
+};
+
+/// Total weight of a set of edges of g.
+Weight total_weight(const Graph& g, std::span<const EdgeId> edge_set);
+
+}  // namespace csca

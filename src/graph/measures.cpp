@@ -1,0 +1,69 @@
+#include "graph/measures.h"
+
+#include <algorithm>
+
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "graph/traversal.h"
+
+namespace csca {
+
+Weight weighted_radius(const Graph& g, NodeId v) {
+  const auto sp = dijkstra(g, v);
+  Weight r = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    require(sp.reachable(u), "weighted_radius requires a connected graph");
+    r = std::max(r, sp.dist[static_cast<std::size_t>(u)]);
+  }
+  return r;
+}
+
+Weight weighted_diameter(const Graph& g) {
+  require(is_connected(g), "weighted_diameter requires a connected graph");
+  Weight diam = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    diam = std::max(diam, weighted_radius(g, v));
+  }
+  return diam;
+}
+
+Weight max_neighbor_distance(const Graph& g) {
+  require(is_connected(g),
+          "max_neighbor_distance requires a connected graph");
+  Weight d = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto sp = dijkstra(g, v);
+    for (EdgeId e : g.incident(v)) {
+      const NodeId u = g.other(e, v);
+      d = std::max(d, sp.dist[static_cast<std::size_t>(u)]);
+    }
+  }
+  return d;
+}
+
+NetworkMeasures measure(const Graph& g) {
+  require(is_connected(g), "measure requires a connected graph");
+  NetworkMeasures out;
+  out.n = g.node_count();
+  out.m = g.edge_count();
+  out.comm_E = g.total_weight();
+  out.comm_V = mst_weight(g);
+  out.W = g.max_weight();
+  out.comm_D = 0;
+  out.d = 0;
+  // One Dijkstra per node serves both the diameter and d.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto sp = dijkstra(g, v);
+    for (NodeId u = 0; u < g.node_count(); ++u) {
+      out.comm_D =
+          std::max(out.comm_D, sp.dist[static_cast<std::size_t>(u)]);
+    }
+    for (EdgeId e : g.incident(v)) {
+      const NodeId u = g.other(e, v);
+      out.d = std::max(out.d, sp.dist[static_cast<std::size_t>(u)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace csca

@@ -1,0 +1,77 @@
+#include "graph/mst.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "graph/disjoint_sets.h"
+
+namespace csca {
+
+bool edge_less(const Graph& g, EdgeId a, EdgeId b) {
+  const Edge& ea = g.edge(a);
+  const Edge& eb = g.edge(b);
+  const auto key = [](const Edge& e) {
+    return std::tuple(e.w, std::min(e.u, e.v), std::max(e.u, e.v));
+  };
+  return key(ea) < key(eb);
+}
+
+std::vector<EdgeId> kruskal_mst(const Graph& g) {
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    order[static_cast<std::size_t>(e)] = e;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](EdgeId a, EdgeId b) { return edge_less(g, a, b); });
+  DisjointSets sets(g.node_count());
+  std::vector<EdgeId> mst;
+  for (EdgeId e : order) {
+    if (sets.unite(g.edge(e).u, g.edge(e).v)) mst.push_back(e);
+  }
+  return mst;
+}
+
+Weight mst_weight(const Graph& g) {
+  const auto mst = kruskal_mst(g);
+  return total_weight(g, mst);
+}
+
+RootedTree mst_tree(const Graph& g, NodeId root) {
+  const auto mst = kruskal_mst(g);
+  require(static_cast<int>(mst.size()) == g.node_count() - 1,
+          "mst_tree requires a connected graph");
+  // Orient the edge set away from root by BFS.
+  std::vector<std::vector<EdgeId>> adj(
+      static_cast<std::size_t>(g.node_count()));
+  for (EdgeId e : mst) {
+    adj[static_cast<std::size_t>(g.edge(e).u)].push_back(e);
+    adj[static_cast<std::size_t>(g.edge(e).v)].push_back(e);
+  }
+  std::vector<EdgeId> parent(static_cast<std::size_t>(g.node_count()),
+                             kNoEdge);
+  std::vector<char> seen(static_cast<std::size_t>(g.node_count()), 0);
+  seen[static_cast<std::size_t>(root)] = 1;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (EdgeId e : adj[static_cast<std::size_t>(v)]) {
+      const NodeId u = g.other(e, v);
+      if (seen[static_cast<std::size_t>(u)]) continue;
+      seen[static_cast<std::size_t>(u)] = 1;
+      parent[static_cast<std::size_t>(u)] = e;
+      stack.push_back(u);
+    }
+  }
+  return RootedTree::from_parent_edges(g, root, std::move(parent));
+}
+
+bool is_minimum_spanning_forest(const Graph& g,
+                                std::vector<EdgeId> edge_set) {
+  auto reference = kruskal_mst(g);
+  std::sort(edge_set.begin(), edge_set.end());
+  std::sort(reference.begin(), reference.end());
+  return edge_set == reference;
+}
+
+}  // namespace csca

@@ -1,0 +1,37 @@
+// Centralized minimum spanning tree construction and edge ordering.
+//
+// Kruskal is the reference oracle for every distributed MST algorithm.
+// The total order on edges (weight, then endpoints) is shared with the
+// distributed GHS implementation: GHS requires distinct edge weights, and
+// this lexicographic tie-break is the standard way to guarantee a unique
+// MST without actually perturbing weights.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree.h"
+
+namespace csca {
+
+/// Strict total order on edges: by weight, then by smaller endpoint pair.
+/// Guarantees a unique MST on any connected graph.
+bool edge_less(const Graph& g, EdgeId a, EdgeId b);
+
+/// Kruskal's algorithm under edge_less. Returns the edge ids of the unique
+/// MST (or minimum spanning forest if g is disconnected).
+std::vector<EdgeId> kruskal_mst(const Graph& g);
+
+/// Weight of the minimum spanning forest: the paper's script-V on
+/// connected graphs.
+Weight mst_weight(const Graph& g);
+
+/// The unique MST rooted at root as a RootedTree. Requires g connected.
+RootedTree mst_tree(const Graph& g, NodeId root);
+
+/// True iff edge_set is exactly the unique minimum spanning forest of g
+/// (order-insensitive).
+bool is_minimum_spanning_forest(const Graph& g,
+                                std::vector<EdgeId> edge_set);
+
+}  // namespace csca

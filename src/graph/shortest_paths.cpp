@@ -1,0 +1,78 @@
+#include "graph/shortest_paths.h"
+
+#include <queue>
+
+namespace csca {
+
+RootedTree ShortestPaths::tree(const Graph& g) const {
+  std::vector<EdgeId> pe = parent_edge;
+  return RootedTree::from_parent_edges(g, source, std::move(pe));
+}
+
+std::vector<EdgeId> ShortestPaths::path_to(const Graph& g, NodeId v) const {
+  require(reachable(v), "node unreachable from source");
+  std::vector<EdgeId> rev;
+  NodeId cur = v;
+  while (cur != source) {
+    const EdgeId pe = parent_edge[static_cast<std::size_t>(cur)];
+    rev.push_back(pe);
+    cur = g.other(pe, cur);
+  }
+  return {rev.rbegin(), rev.rend()};
+}
+
+namespace {
+ShortestPaths dijkstra_impl(const Graph& g, NodeId src,
+                            const std::vector<char>* allowed_edges) {
+  g.check_node(src);
+  const auto n = static_cast<std::size_t>(g.node_count());
+  ShortestPaths out;
+  out.source = src;
+  out.dist.assign(n, ShortestPaths::kUnreachable);
+  out.parent_edge.assign(n, kNoEdge);
+
+  using Entry = std::pair<Weight, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  std::vector<char> done(n, 0);
+  out.dist[static_cast<std::size_t>(src)] = 0;
+  heap.emplace(0, src);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (done[static_cast<std::size_t>(v)]) continue;
+    done[static_cast<std::size_t>(v)] = 1;
+    for (EdgeId e : g.incident(v)) {
+      if (allowed_edges != nullptr &&
+          !(*allowed_edges)[static_cast<std::size_t>(e)]) {
+        continue;
+      }
+      const NodeId u = g.other(e, v);
+      const Weight nd = d + g.weight(e);
+      Weight& du = out.dist[static_cast<std::size_t>(u)];
+      if (du == ShortestPaths::kUnreachable || nd < du) {
+        du = nd;
+        out.parent_edge[static_cast<std::size_t>(u)] = e;
+        heap.emplace(nd, u);
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+ShortestPaths dijkstra(const Graph& g, NodeId src) {
+  return dijkstra_impl(g, src, nullptr);
+}
+
+ShortestPaths dijkstra_subgraph(const Graph& g, NodeId src,
+                                const std::vector<char>& allowed_edges) {
+  require(allowed_edges.size() == static_cast<std::size_t>(g.edge_count()),
+          "allowed_edges mask size must equal edge count");
+  return dijkstra_impl(g, src, &allowed_edges);
+}
+
+Weight distance(const Graph& g, NodeId u, NodeId v) {
+  return dijkstra(g, u).dist[static_cast<std::size_t>(v)];
+}
+
+}  // namespace csca

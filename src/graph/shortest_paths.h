@@ -1,0 +1,49 @@
+// Centralized single-source shortest paths (Dijkstra).
+//
+// Serves two roles: (1) the reference oracle every distributed SPT
+// algorithm is validated against, and (2) a substrate inside centralized
+// constructions (the SLT algorithm of §2.2 builds an SPT twice).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree.h"
+
+namespace csca {
+
+/// Result of a single-source shortest-path computation. dist[v] is the
+/// weighted distance from the source (kUnreachable if disconnected);
+/// parent_edge[v] is the last edge on one shortest path to v.
+struct ShortestPaths {
+  static constexpr Weight kUnreachable = -1;
+
+  NodeId source = kNoNode;
+  std::vector<Weight> dist;
+  std::vector<EdgeId> parent_edge;
+
+  bool reachable(NodeId v) const {
+    return dist[static_cast<std::size_t>(v)] != kUnreachable;
+  }
+
+  /// The shortest-path tree as a RootedTree (paper's SPT). Requires the
+  /// graph used to compute this result.
+  RootedTree tree(const Graph& g) const;
+
+  /// Edge ids of one shortest path source -> v. Requires reachable(v).
+  std::vector<EdgeId> path_to(const Graph& g, NodeId v) const;
+};
+
+/// Dijkstra from src over non-negative integer weights.
+ShortestPaths dijkstra(const Graph& g, NodeId src);
+
+/// Dijkstra restricted to the subgraph G' = (V, E') where E' is the set
+/// of edges with allowed_edges[e] != 0. Used by the SLT construction
+/// (§2.2 step 6 computes an SPT of the subgraph G').
+ShortestPaths dijkstra_subgraph(const Graph& g, NodeId src,
+                                const std::vector<char>& allowed_edges);
+
+/// Weighted distance between two nodes (kUnreachable if disconnected).
+Weight distance(const Graph& g, NodeId u, NodeId v);
+
+}  // namespace csca

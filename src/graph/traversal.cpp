@@ -1,0 +1,94 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace csca {
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.component.assign(static_cast<std::size_t>(g.node_count()), -1);
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (out.component[static_cast<std::size_t>(start)] != -1) continue;
+    const int id = out.count++;
+    std::vector<NodeId> stack{start};
+    out.component[static_cast<std::size_t>(start)] = id;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (EdgeId e : g.incident(v)) {
+        const NodeId u = g.other(e, v);
+        if (out.component[static_cast<std::size_t>(u)] == -1) {
+          out.component[static_cast<std::size_t>(u)] = id;
+          stack.push_back(u);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  return g.node_count() <= 1 || connected_components(g).count == 1;
+}
+
+std::vector<int> hop_distances(const Graph& g, NodeId src) {
+  g.check_node(src);
+  std::vector<int> dist(static_cast<std::size_t>(g.node_count()), -1);
+  std::queue<NodeId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (EdgeId e : g.incident(v)) {
+      const NodeId u = g.other(e, v);
+      if (dist[static_cast<std::size_t>(u)] != -1) continue;
+      dist[static_cast<std::size_t>(u)] =
+          dist[static_cast<std::size_t>(v)] + 1;
+      q.push(u);
+    }
+  }
+  return dist;
+}
+
+int hop_diameter(const Graph& g) {
+  require(is_connected(g), "hop_diameter requires a connected graph");
+  int diam = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto dist = hop_distances(g, v);
+    diam = std::max(diam, *std::max_element(dist.begin(), dist.end()));
+  }
+  return diam;
+}
+
+std::vector<NodeId> euler_tour(const Graph& g, const RootedTree& t) {
+  auto children = t.children_edges(g);
+  std::vector<NodeId> tour;
+  tour.reserve(static_cast<std::size_t>(2 * t.size() - 1));
+  // Iterative DFS emitting the node each time the token visits it.
+  struct Frame {
+    NodeId node;
+    std::size_t next_child = 0;
+  };
+  std::vector<Frame> stack{{t.root()}};
+  tour.push_back(t.root());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto& kids = children[static_cast<std::size_t>(f.node)];
+    if (f.next_child < kids.size()) {
+      const EdgeId e = kids[f.next_child++];
+      const NodeId child = g.other(e, f.node);
+      tour.push_back(child);
+      stack.push_back({child});
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) tour.push_back(stack.back().node);
+    }
+  }
+  ensure(tour.size() == static_cast<std::size_t>(2 * t.size() - 1),
+         "euler tour must have 2s-1 entries");
+  return tour;
+}
+
+}  // namespace csca

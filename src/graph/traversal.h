@@ -1,0 +1,36 @@
+// Centralized traversals: connectivity, hop-BFS, and the DFS Euler tour
+// used by the SLT algorithm of §2.2 (the "line version" L of the MST).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/tree.h"
+
+namespace csca {
+
+/// component[v] = dense component index in [0, #components).
+struct Components {
+  std::vector<int> component;
+  int count = 0;
+
+  bool connected() const { return count <= 1; }
+};
+
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Hop distances (unweighted BFS) from src; -1 where unreachable.
+std::vector<int> hop_distances(const Graph& g, NodeId src);
+
+/// Unweighted (hop) diameter of a connected graph.
+int hop_diameter(const Graph& g);
+
+/// The DFS Euler tour of a rooted tree: the sequence v(0), ..., v(2s-2)
+/// of node ids visited by a depth-first traversal that walks each tree
+/// edge exactly twice (s = tree size). v(0) == v(2s-2) == root. This is
+/// exactly the paper's "mileage" sequence in step 2 of the SLT algorithm.
+std::vector<NodeId> euler_tour(const Graph& g, const RootedTree& t);
+
+}  // namespace csca

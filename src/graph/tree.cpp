@@ -1,0 +1,202 @@
+#include "graph/tree.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace csca {
+
+RootedTree::RootedTree(int n, NodeId root)
+    : root_(root), parent_edge_(static_cast<std::size_t>(n), kNoEdge) {
+  require(n >= 1, "tree host must have at least one node");
+  require(root >= 0 && root < n, "root out of range");
+}
+
+RootedTree RootedTree::from_parent_edges(const Graph& g, NodeId root,
+                                         std::vector<EdgeId> parent_edge) {
+  g.check_node(root);
+  require(static_cast<int>(parent_edge.size()) == g.node_count(),
+          "parent_edge size must equal node count");
+  require(parent_edge[static_cast<std::size_t>(root)] == kNoEdge,
+          "root must not have a parent edge");
+  RootedTree t(g.node_count(), root);
+  t.parent_edge_ = std::move(parent_edge);
+  // Validate: walking parents from every present node must reach the root
+  // without revisiting (acyclic, connected).
+  t.size_ = 0;
+  std::vector<char> verified(static_cast<std::size_t>(g.node_count()), 0);
+  verified[static_cast<std::size_t>(root)] = 1;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (!t.contains(v)) continue;
+    std::vector<NodeId> chain;
+    NodeId cur = v;
+    while (!verified[static_cast<std::size_t>(cur)]) {
+      chain.push_back(cur);
+      const EdgeId pe = t.parent_edge_[static_cast<std::size_t>(cur)];
+      require(pe != kNoEdge, "tree node disconnected from root");
+      const NodeId parent = g.other(pe, cur);
+      require(std::find(chain.begin(), chain.end(), parent) == chain.end(),
+              "cycle in parent edges");
+      cur = parent;
+    }
+    for (NodeId u : chain) verified[static_cast<std::size_t>(u)] = 1;
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (t.contains(v)) ++t.size_;
+  }
+  return t;
+}
+
+NodeId RootedTree::parent(const Graph& g, NodeId v) const {
+  require(contains(v), "node not in tree");
+  if (v == root_) return kNoNode;
+  return g.other(parent_edge(v), v);
+}
+
+void RootedTree::attach(const Graph& g, NodeId v, EdgeId e) {
+  g.check_node(v);
+  require(!contains(v), "node already in tree");
+  const NodeId p = g.other(e, v);
+  require(contains(p), "attachment edge must lead into the tree");
+  parent_edge_[static_cast<std::size_t>(v)] = e;
+  ++size_;
+}
+
+std::vector<std::vector<EdgeId>> RootedTree::children_edges(
+    const Graph& g) const {
+  std::vector<std::vector<EdgeId>> children(
+      static_cast<std::size_t>(host_node_count()));
+  for (NodeId v = 0; v < host_node_count(); ++v) {
+    if (v == root_ || !contains(v)) continue;
+    const NodeId p = g.other(parent_edge(v), v);
+    children[static_cast<std::size_t>(p)].push_back(parent_edge(v));
+  }
+  return children;
+}
+
+std::vector<NodeId> RootedTree::nodes_preorder(const Graph& g) const {
+  auto children = children_edges(g);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(size_));
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (EdgeId e : children[static_cast<std::size_t>(v)]) {
+      stack.push_back(g.other(e, v));
+    }
+  }
+  return order;
+}
+
+Weight RootedTree::weight(const Graph& g) const {
+  Weight sum = 0;
+  for (NodeId v = 0; v < host_node_count(); ++v) {
+    if (v != root_ && contains(v)) sum += g.weight(parent_edge(v));
+  }
+  return sum;
+}
+
+Weight RootedTree::depth(const Graph& g, NodeId v) const {
+  require(contains(v), "node not in tree");
+  Weight d = 0;
+  NodeId cur = v;
+  while (cur != root_) {
+    const EdgeId pe = parent_edge(cur);
+    d += g.weight(pe);
+    cur = g.other(pe, cur);
+  }
+  return d;
+}
+
+Weight RootedTree::height(const Graph& g) const {
+  Weight h = 0;
+  for (NodeId v = 0; v < host_node_count(); ++v) {
+    if (contains(v)) h = std::max(h, depth(g, v));
+  }
+  return h;
+}
+
+namespace {
+// Farthest tree node from start and its distance, by BFS over tree edges.
+std::pair<NodeId, Weight> farthest_in_tree(const Graph& g,
+                                           const RootedTree& t,
+                                           NodeId start) {
+  std::vector<Weight> dist(static_cast<std::size_t>(t.host_node_count()),
+                           -1);
+  // Build adjacency restricted to tree edges.
+  auto children = t.children_edges(g);
+  std::vector<std::vector<EdgeId>> adj(
+      static_cast<std::size_t>(t.host_node_count()));
+  for (NodeId v = 0; v < t.host_node_count(); ++v) {
+    if (v != t.root() && t.contains(v)) {
+      const EdgeId pe = t.parent_edge(v);
+      adj[static_cast<std::size_t>(v)].push_back(pe);
+      adj[static_cast<std::size_t>(g.other(pe, v))].push_back(pe);
+    }
+  }
+  std::queue<NodeId> q;
+  q.push(start);
+  dist[static_cast<std::size_t>(start)] = 0;
+  std::pair<NodeId, Weight> best{start, 0};
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (EdgeId e : adj[static_cast<std::size_t>(v)]) {
+      const NodeId u = g.other(e, v);
+      if (dist[static_cast<std::size_t>(u)] >= 0) continue;
+      dist[static_cast<std::size_t>(u)] =
+          dist[static_cast<std::size_t>(v)] + g.weight(e);
+      if (dist[static_cast<std::size_t>(u)] > best.second) {
+        best = {u, dist[static_cast<std::size_t>(u)]};
+      }
+      q.push(u);
+    }
+  }
+  return best;
+}
+}  // namespace
+
+Weight RootedTree::diameter(const Graph& g) const {
+  // Two-sweep: trees have the property that a farthest node from any node
+  // is a diameter endpoint. Edge weights are positive, so BFS order does
+  // not matter (we relax each tree edge exactly once in each sweep).
+  const auto [a, da] = farthest_in_tree(g, *this, root_);
+  (void)da;
+  const auto [b, db] = farthest_in_tree(g, *this, a);
+  (void)b;
+  return db;
+}
+
+std::vector<EdgeId> RootedTree::path(const Graph& g, NodeId x,
+                                     NodeId y) const {
+  require(contains(x) && contains(y), "path endpoints must be in tree");
+  // Climb both to the root, then trim the common suffix.
+  auto climb = [&](NodeId v) {
+    std::vector<EdgeId> up;
+    while (v != root_) {
+      up.push_back(parent_edge(v));
+      v = g.other(parent_edge(v), v);
+    }
+    return up;
+  };
+  std::vector<EdgeId> px = climb(x);
+  std::vector<EdgeId> py = climb(y);
+  while (!px.empty() && !py.empty() && px.back() == py.back()) {
+    px.pop_back();
+    py.pop_back();
+  }
+  px.insert(px.end(), py.rbegin(), py.rend());
+  return px;
+}
+
+std::vector<EdgeId> RootedTree::edge_set() const {
+  std::vector<EdgeId> out;
+  out.reserve(static_cast<std::size_t>(size_ > 0 ? size_ - 1 : 0));
+  for (NodeId v = 0; v < host_node_count(); ++v) {
+    if (v != root_ && contains(v)) out.push_back(parent_edge(v));
+  }
+  return out;
+}
+
+}  // namespace csca

@@ -1,0 +1,87 @@
+// Rooted spanning / partial trees over a Graph.
+//
+// Trees show up everywhere in the paper: MSTs, shortest-path trees,
+// shallow-light trees, synchronizer cluster trees, controller execution
+// trees. A RootedTree references edges of its host graph by id, so tree
+// weight and tree paths are always consistent with the graph's weights.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csca {
+
+/// A rooted tree over a subset of the nodes of a host graph. Node v is in
+/// the tree iff v == root or parent_edge[v] != kNoEdge. Every parent edge
+/// must be an edge of the host graph with v as one endpoint.
+class RootedTree {
+ public:
+  /// Creates the single-node tree {root} over a graph with n nodes.
+  RootedTree(int n, NodeId root);
+
+  /// Builds a rooted tree from a parent-edge array (kNoEdge everywhere a
+  /// node is absent; root's entry must be kNoEdge). Validates acyclicity
+  /// and connectivity to the root against g.
+  static RootedTree from_parent_edges(const Graph& g, NodeId root,
+                                      std::vector<EdgeId> parent_edge);
+
+  NodeId root() const { return root_; }
+  int host_node_count() const {
+    return static_cast<int>(parent_edge_.size());
+  }
+
+  bool contains(NodeId v) const {
+    return v == root_ ||
+           parent_edge_[static_cast<std::size_t>(v)] != kNoEdge;
+  }
+
+  /// Number of nodes currently in the tree.
+  int size() const { return size_; }
+
+  EdgeId parent_edge(NodeId v) const {
+    return parent_edge_[static_cast<std::size_t>(v)];
+  }
+
+  /// Parent of v in the tree (kNoNode for the root). Requires contains(v).
+  NodeId parent(const Graph& g, NodeId v) const;
+
+  /// Attaches node v via edge e (whose other endpoint must already be in
+  /// the tree). Requires v not yet in the tree.
+  void attach(const Graph& g, NodeId v, EdgeId e);
+
+  /// All nodes of the tree, root first, in BFS order over tree edges.
+  std::vector<NodeId> nodes_preorder(const Graph& g) const;
+
+  /// children[v] lists tree edges from v to its children.
+  std::vector<std::vector<EdgeId>> children_edges(const Graph& g) const;
+
+  /// Sum of parent-edge weights: w(T).
+  Weight weight(const Graph& g) const;
+
+  /// Weighted distance from root to v along tree edges.
+  Weight depth(const Graph& g, NodeId v) const;
+
+  /// max_v depth(v): weighted radius of the tree as seen from the root.
+  Weight height(const Graph& g) const;
+
+  /// Weighted diameter of the tree: max over tree node pairs of their
+  /// tree-path weight. O(size) via two-sweep.
+  Weight diameter(const Graph& g) const;
+
+  /// Tree path from x to y as a list of edge ids (paper's Path(x, y, T)).
+  std::vector<EdgeId> path(const Graph& g, NodeId x, NodeId y) const;
+
+  /// The distinct edge ids making up the tree.
+  std::vector<EdgeId> edge_set() const;
+
+  /// True iff the tree spans all n nodes of the host graph.
+  bool spanning() const { return size_ == host_node_count(); }
+
+ private:
+  NodeId root_;
+  std::vector<EdgeId> parent_edge_;
+  int size_ = 1;
+};
+
+}  // namespace csca

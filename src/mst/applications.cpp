@@ -1,0 +1,55 @@
+#include "mst/applications.h"
+
+#include "core/global_compute.h"
+
+namespace csca {
+
+LeaderElectionRun run_leader_election(const Graph& g,
+                                      std::unique_ptr<DelayModel> delay,
+                                      std::uint64_t seed) {
+  GhsRun ghs = run_ghs(g, GhsMode::kSerialScan, std::move(delay), seed);
+  return LeaderElectionRun{ghs.leader, std::move(ghs.mst_edges),
+                           ghs.stats};
+}
+
+CountingRun run_counting(
+    const Graph& g,
+    const std::function<std::unique_ptr<DelayModel>()>& delay,
+    std::uint64_t seed) {
+  const GhsRun ghs =
+      run_ghs(g, GhsMode::kSerialScan, delay(), seed);
+
+  // Orient the MST at the leader.
+  std::vector<std::vector<EdgeId>> adj(
+      static_cast<std::size_t>(g.node_count()));
+  for (EdgeId e : ghs.mst_edges) {
+    adj[static_cast<std::size_t>(g.edge(e).u)].push_back(e);
+    adj[static_cast<std::size_t>(g.edge(e).v)].push_back(e);
+  }
+  std::vector<EdgeId> parent(static_cast<std::size_t>(g.node_count()),
+                             kNoEdge);
+  std::vector<char> seen(static_cast<std::size_t>(g.node_count()), 0);
+  seen[static_cast<std::size_t>(ghs.leader)] = 1;
+  std::vector<NodeId> stack{ghs.leader};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (EdgeId e : adj[static_cast<std::size_t>(v)]) {
+      const NodeId u = g.other(e, v);
+      if (seen[static_cast<std::size_t>(u)]) continue;
+      seen[static_cast<std::size_t>(u)] = 1;
+      parent[static_cast<std::size_t>(u)] = e;
+      stack.push_back(u);
+    }
+  }
+  const RootedTree tree =
+      RootedTree::from_parent_edges(g, ghs.leader, std::move(parent));
+
+  const std::vector<std::int64_t> ones(
+      static_cast<std::size_t>(g.node_count()), 1);
+  const GlobalComputeRun agg = run_global_compute(
+      g, tree, functions::sum(), ones, delay(), seed + 1);
+  return CountingRun{agg.result, ghs.leader, ghs.stats, agg.stats};
+}
+
+}  // namespace csca

@@ -1,0 +1,43 @@
+// Applications §8 inherits from [Awe87]: leader election and counting,
+// both reductions to MST construction. GHS's final core edge breaks all
+// symmetry (exactly one pair of nodes exchanges the terminating reports),
+// so its higher-id endpoint becomes the leader at zero extra asymptotic
+// cost; counting is one symmetric-compact aggregation (§1.4.1) over the
+// tree GHS just built.
+#pragma once
+
+#include <functional>
+
+#include "graph/tree.h"
+#include "mst/ghs.h"
+
+namespace csca {
+
+struct LeaderElectionRun {
+  NodeId leader = kNoNode;
+  std::vector<EdgeId> mst_edges;  ///< the tree that elected the leader
+  RunStats stats;
+};
+
+/// Elects a unique leader on an anonymous-start network (every node
+/// wakes spontaneously; no distinguished initiator): GHS + the core-edge
+/// rule. O(script-E + script-V log n) communication (Lemma 8.1).
+LeaderElectionRun run_leader_election(const Graph& g,
+                                      std::unique_ptr<DelayModel> delay,
+                                      std::uint64_t seed = 1);
+
+struct CountingRun {
+  std::int64_t count = 0;   ///< |V|, learned by every node
+  NodeId leader = kNoNode;  ///< root of the counting tree
+  RunStats ghs_stats;       ///< tree construction ledger
+  RunStats count_stats;     ///< aggregation ledger (2 w(MST))
+};
+
+/// Counts the network's nodes without anyone knowing n a priori:
+/// leader election, then a sum-of-ones aggregation over the MST.
+CountingRun run_counting(
+    const Graph& g,
+    const std::function<std::unique_ptr<DelayModel>()>& delay,
+    std::uint64_t seed = 1);
+
+}  // namespace csca

@@ -1,0 +1,409 @@
+#include "mst/ghs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/mst.h"
+#include "graph/traversal.h"
+
+namespace csca {
+
+namespace {
+// Set CSCA_GHS_TRACE=1 to stream per-message protocol events to stderr;
+// invaluable when diagnosing fragment stalls.
+bool trace_enabled() {
+  static const bool enabled = std::getenv("CSCA_GHS_TRACE") != nullptr;
+  return enabled;
+}
+}  // namespace
+
+GhsProcess::GhsProcess(const Graph& g, NodeId self, GhsMode mode)
+    : g_(&g),
+      self_(self),
+      mode_(mode),
+      edge_states_(g.incident(self).size(), kBasic) {}
+
+GhsProcess::EdgeState& GhsProcess::edge_state(EdgeId e) {
+  const auto edges = g_->incident(self_);
+  const auto it = std::find(edges.begin(), edges.end(), e);
+  ensure(it != edges.end(), "edge not incident to this node");
+  return edge_states_[static_cast<std::size_t>(it - edges.begin())];
+}
+
+bool GhsProcess::branch(EdgeId e) const {
+  const auto edges = g_->incident(self_);
+  const auto it = std::find(edges.begin(), edges.end(), e);
+  ensure(it != edges.end(), "edge not incident to this node");
+  return edge_states_[static_cast<std::size_t>(it - edges.begin())] ==
+         kBranchEdge;
+}
+
+bool GhsProcess::moe_less(EdgeId a, EdgeId b) const {
+  if (a == kNoEdge) return false;
+  if (b == kNoEdge) return true;
+  return edge_less(*g_, a, b);
+}
+
+std::string GhsProcess::debug_string() const {
+  std::string out = "node " + std::to_string(self_) +
+                    " state=" + std::to_string(static_cast<int>(state_)) +
+                    " lvl=" + std::to_string(level_) +
+                    " frag=" + std::to_string(fragment_) +
+                    " parent=" + std::to_string(parent_edge_) +
+                    " find_count=" + std::to_string(find_count_) +
+                    " tests=" + std::to_string(tests_outstanding_) +
+                    " reported=" + std::to_string(reported_) +
+                    " deferred=" + std::to_string(deferred_.size());
+  for (const Message& m : deferred_) {
+    out += " [def type=" + std::to_string(m.type) +
+           " edge=" + std::to_string(m.edge) + "]";
+  }
+  return out;
+}
+
+void GhsProcess::on_start(Context& ctx) {
+  if (state_ == kSleeping) wakeup(ctx);
+}
+
+void GhsProcess::wakeup(Context& ctx) {
+  // Join the MST via the minimum incident edge as a level-0 fragment.
+  const auto edges = g_->incident(self_);
+  ensure(!edges.empty(), "GHS requires every node to have an edge");
+  EdgeId m = edges[0];
+  for (EdgeId e : edges) {
+    if (edge_less(*g_, e, m)) m = e;
+  }
+  edge_state(m) = kBranchEdge;
+  level_ = 0;
+  state_ = kFound;
+  find_count_ = 0;
+  ctx.send(m, Message{kConnect, {0}});
+}
+
+void GhsProcess::on_message(Context& ctx, const Message& m) {
+  handle(ctx, m);
+  drain_deferred(ctx);
+}
+
+void GhsProcess::drain_deferred(Context& ctx) {
+  // Re-attempt deferred messages until a full pass makes no progress.
+  bool progress = true;
+  while (progress && !deferred_.empty()) {
+    progress = false;
+    const std::size_t rounds = deferred_.size();
+    for (std::size_t i = 0; i < rounds; ++i) {
+      Message msg = deferred_.front();
+      deferred_.pop_front();
+      const std::size_t before = deferred_.size();
+      handle(ctx, msg);
+      if (deferred_.size() == before) progress = true;
+    }
+  }
+}
+
+void GhsProcess::handle(Context& ctx, const Message& m) {
+  if (trace_enabled()) {
+    std::fprintf(stderr,
+                 "[ghs t=%.2f] node %d <- type %d edge %d from %d data",
+                 ctx.now(), self_, m.type, m.edge, m.from);
+    for (auto d : m.data) std::fprintf(stderr, " %lld", (long long)d);
+    std::fprintf(stderr, " | %s\n", debug_string().c_str());
+  }
+  if (done_) return;  // post-halt stragglers are harmless
+  switch (static_cast<MsgType>(m.type)) {
+    case kConnect: {
+      if (state_ == kSleeping) wakeup(ctx);
+      const int l = static_cast<int>(m.at(0));
+      if (l < level_) {
+        // Absorb the lower-level fragment.
+        edge_state(m.edge) = kBranchEdge;
+        ctx.send(m.edge, Message{kInitiate,
+                                 {level_, fragment_, state_, guess_}});
+        if (state_ == kFind) ++find_count_;
+      } else if (edge_state(m.edge) == kBasic) {
+        defer(m);
+      } else {
+        // Both ends chose this edge: merge into a level l+1 fragment
+        // whose identity is the core edge.
+        ctx.send(m.edge,
+                 Message{kInitiate, {level_ + 1, m.edge, kFind, 1}});
+      }
+      return;
+    }
+    case kInitiate: {
+      level_ = static_cast<int>(m.at(0));
+      fragment_ = m.at(1);
+      state_ = static_cast<NodeState>(m.at(2));
+      guess_ = m.at(3);
+      parent_edge_ = m.edge;
+      best_moe_ = kNoEdge;
+      best_route_ = kNoEdge;
+      subtree_has_more_ = false;
+      reported_ = false;
+      local_accepted_ = false;
+      find_count_ = 0;
+      for (EdgeId e : g_->incident(self_)) {
+        if (e == m.edge || edge_state(e) != kBranchEdge) continue;
+        ctx.send(e, Message{kInitiate,
+                            {level_, fragment_, state_, guess_}});
+        if (state_ == kFind) ++find_count_;
+      }
+      if (state_ == kFind) start_tests(ctx);
+      return;
+    }
+    case kTest: {
+      if (state_ == kSleeping) wakeup(ctx);
+      const int l = static_cast<int>(m.at(0));
+      if (l > level_) {
+        defer(m);
+        return;
+      }
+      if (m.at(1) != fragment_) {
+        ctx.send(m.edge, Message{kAccept});
+        return;
+      }
+      if (edge_state(m.edge) == kBasic) edge_state(m.edge) = kRejected;
+      // If we are testing this edge too, both sides drop it silently.
+      const auto it =
+          std::find(outstanding_test_edges_.begin(),
+                    outstanding_test_edges_.end(), m.edge);
+      if (it != outstanding_test_edges_.end()) {
+        outstanding_test_edges_.erase(it);
+        --tests_outstanding_;
+        local_test_result(ctx, m.edge, /*accepted=*/false);
+      } else {
+        ctx.send(m.edge, Message{kReject});
+      }
+      return;
+    }
+    case kAccept: {
+      const auto it =
+          std::find(outstanding_test_edges_.begin(),
+                    outstanding_test_edges_.end(), m.edge);
+      ensure(it != outstanding_test_edges_.end(),
+             "ACCEPT for an edge we are not testing");
+      outstanding_test_edges_.erase(it);
+      --tests_outstanding_;
+      local_accepted_ = true;
+      if (moe_less(m.edge, best_moe_)) {
+        best_moe_ = m.edge;
+        best_route_ = m.edge;
+      }
+      // Serial scan stops at the first (minimum) accepted edge; the
+      // parallel mode just counts the reply either way.
+      local_test_result(ctx, m.edge, /*accepted=*/true);
+      return;
+    }
+    case kReject: {
+      if (edge_state(m.edge) == kBasic) edge_state(m.edge) = kRejected;
+      const auto it =
+          std::find(outstanding_test_edges_.begin(),
+                    outstanding_test_edges_.end(), m.edge);
+      ensure(it != outstanding_test_edges_.end(),
+             "REJECT for an edge we are not testing");
+      outstanding_test_edges_.erase(it);
+      --tests_outstanding_;
+      local_test_result(ctx, m.edge, /*accepted=*/false);
+      return;
+    }
+    case kReport: {
+      const EdgeId b = m.at(0) < 0 ? kNoEdge
+                                   : static_cast<EdgeId>(m.at(0));
+      const bool hm = m.at(1) != 0;
+      if (m.edge != parent_edge_) {
+        // A child's subtree result.
+        --find_count_;
+        if (moe_less(b, best_moe_)) {
+          best_moe_ = b;
+          best_route_ = m.edge;
+        }
+        subtree_has_more_ = subtree_has_more_ || hm;
+        maybe_report(ctx);
+        return;
+      }
+      // The other core node's result.
+      if (state_ == kFind) {
+        defer(m);
+        return;
+      }
+      if (moe_less(b, best_moe_)) {
+        return;  // their side owns the MOE; they will change root
+      }
+      if (best_moe_ != kNoEdge) {
+        ensure(moe_less(best_moe_, b),
+               "both core sides claim the same outgoing edge");
+        change_root(ctx);
+        return;
+      }
+      // Neither side found an outgoing edge.
+      if (mode_ == GhsMode::kParallelGuess &&
+          (my_reported_has_more_ || hm)) {
+        // Some basic edge above the guess remains: double and retry.
+        guess_ *= 2;
+        state_ = kFind;
+        reported_ = false;
+        local_accepted_ = false;
+        best_moe_ = kNoEdge;
+        best_route_ = kNoEdge;
+        subtree_has_more_ = false;
+        find_count_ = 0;
+        for (EdgeId e : g_->incident(self_)) {
+          if (e == parent_edge_ || edge_state(e) != kBranchEdge) continue;
+          ctx.send(e, Message{kRetry, {guess_}});
+          ++find_count_;
+        }
+        start_tests(ctx);
+        return;
+      }
+      // This node sits on the final core edge: the higher-id endpoint
+      // becomes the elected leader, announced with the HALT wave.
+      halt(ctx, std::max(g_->edge(static_cast<EdgeId>(fragment_)).u,
+                         g_->edge(static_cast<EdgeId>(fragment_)).v));
+      return;
+    }
+    case kChangeRoot: {
+      change_root(ctx);
+      return;
+    }
+    case kRetry: {
+      guess_ = m.at(0);
+      state_ = kFind;
+      reported_ = false;
+      local_accepted_ = false;
+      best_moe_ = kNoEdge;
+      best_route_ = kNoEdge;
+      subtree_has_more_ = false;
+      find_count_ = 0;
+      parent_edge_ = m.edge;
+      for (EdgeId e : g_->incident(self_)) {
+        if (e == m.edge || edge_state(e) != kBranchEdge) continue;
+        ctx.send(e, Message{kRetry, {guess_}});
+        ++find_count_;
+      }
+      start_tests(ctx);
+      return;
+    }
+    case kHalt: {
+      halt(ctx, static_cast<NodeId>(m.at(0)));
+      return;
+    }
+  }
+  ensure(false, "GhsProcess received a foreign message type");
+}
+
+void GhsProcess::start_tests(Context& ctx) {
+  outstanding_test_edges_.clear();
+  tests_outstanding_ = 0;
+  if (mode_ == GhsMode::kSerialScan) {
+    // Probe the minimum basic edge; continue on reject.
+    EdgeId t = kNoEdge;
+    for (EdgeId e : g_->incident(self_)) {
+      if (edge_state(e) == kBasic && moe_less(e, t)) t = e;
+    }
+    if (t != kNoEdge) {
+      outstanding_test_edges_.push_back(t);
+      tests_outstanding_ = 1;
+      ctx.send(t, Message{kTest, {level_, fragment_}});
+      return;
+    }
+  } else {
+    for (EdgeId e : g_->incident(self_)) {
+      if (edge_state(e) == kBasic && g_->weight(e) <= guess_) {
+        outstanding_test_edges_.push_back(e);
+      }
+    }
+    tests_outstanding_ =
+        static_cast<int>(outstanding_test_edges_.size());
+    for (EdgeId e : outstanding_test_edges_) {
+      ctx.send(e, Message{kTest, {level_, fragment_}});
+    }
+    if (tests_outstanding_ > 0) return;
+  }
+  maybe_report(ctx);
+}
+
+void GhsProcess::local_test_result(Context& ctx, EdgeId, bool) {
+  if (mode_ == GhsMode::kSerialScan) {
+    if (tests_outstanding_ == 0 && !local_accepted_ &&
+        state_ == kFind && !reported_) {
+      start_tests(ctx);  // scan the next minimum basic edge
+      return;
+    }
+  }
+  maybe_report(ctx);
+}
+
+void GhsProcess::maybe_report(Context& ctx) {
+  if (state_ != kFind || reported_) return;
+  if (find_count_ > 0 || tests_outstanding_ > 0) return;
+  reported_ = true;
+  state_ = kFound;
+  bool has_more = subtree_has_more_;
+  if (mode_ == GhsMode::kParallelGuess && best_moe_ == kNoEdge) {
+    for (EdgeId e : g_->incident(self_)) {
+      if (edge_state(e) == kBasic) {
+        has_more = true;
+        break;
+      }
+    }
+  }
+  my_reported_has_more_ = has_more;
+  ctx.send(parent_edge_,
+           Message{kReport,
+                   {best_moe_ == kNoEdge ? -1 : best_moe_,
+                    has_more ? 1 : 0}});
+}
+
+void GhsProcess::change_root(Context& ctx) {
+  ensure(best_route_ != kNoEdge, "change_root without a best edge");
+  if (edge_state(best_route_) == kBranchEdge) {
+    ctx.send(best_route_, Message{kChangeRoot});
+  } else {
+    edge_state(best_route_) = kBranchEdge;
+    ctx.send(best_route_, Message{kConnect, {level_}});
+  }
+}
+
+void GhsProcess::halt(Context& ctx, NodeId leader) {
+  if (done_) return;
+  done_ = true;
+  leader_ = leader;
+  for (EdgeId e : g_->incident(self_)) {
+    if (e != parent_edge_ && edge_state(e) == kBranchEdge) {
+      ctx.send(e, Message{kHalt, {leader}});
+    }
+  }
+  ctx.finish();
+}
+
+GhsRun run_ghs(const Graph& g, GhsMode mode,
+               std::unique_ptr<DelayModel> delay, std::uint64_t seed) {
+  require(g.node_count() >= 2, "run_ghs requires at least two nodes");
+  require(is_connected(g), "run_ghs requires a connected graph");
+  Network net(
+      g,
+      [&g, mode](NodeId v) {
+        return std::make_unique<GhsProcess>(g, v, mode);
+      },
+      std::move(delay), seed);
+  RunStats stats = net.run();
+  GhsRun out;
+  out.stats = stats;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& pu = net.process_as<GhsProcess>(g.edge(e).u);
+    const auto& pv = net.process_as<GhsProcess>(g.edge(e).v);
+    ensure(pu.done() && pv.done(), "GHS must terminate everywhere");
+    ensure(pu.branch(e) == pv.branch(e),
+           "edge state must agree at both endpoints");
+    if (pu.branch(e)) out.mst_edges.push_back(e);
+  }
+  out.leader = net.process_as<GhsProcess>(0).leader();
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    ensure(net.process_as<GhsProcess>(v).leader() == out.leader,
+           "all nodes must agree on the leader");
+  }
+  return out;
+}
+
+}  // namespace csca

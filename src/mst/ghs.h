@@ -1,0 +1,128 @@
+// Distributed minimum spanning tree: algorithm MST_ghs ([GHS83], §8.1)
+// and its MST_fast modification (§8.3).
+//
+// GHS grows fragments that merge along minimum outgoing edges (MOE),
+// with fragment levels gating asynchronous interactions. Weighted
+// complexity (Lemma 8.1): O(script-E + script-V log n) communication —
+// every non-tree edge is scanned O(1) times, every tree edge O(log n)
+// times.
+//
+// MST_fast changes only the MOE search inside a fragment: instead of
+// each vertex probing its basic edges serially in weight order, the
+// fragment root maintains a doubling *guess* for the MOE weight and all
+// vertices probe every basic edge up to the guess in parallel; a failed
+// round doubles the guess and retries. Corollary 8.3: communication
+// O(script-E log n log script-V), time O(Diam(MST) log script-V log n) —
+// it stops paying the serial-scan latency on heavy edges.
+//
+// Both share one implementation parameterized by the scan mode; fragment
+// identities use the deterministic total edge order of graph/mst.h
+// (distinct "weights" as GHS requires).
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "graph/tree.h"
+#include "sim/network.h"
+
+namespace csca {
+
+enum class GhsMode {
+  kSerialScan,     // classic GHS (MST_ghs)
+  kParallelGuess,  // MST_fast: test all basic edges <= guess in parallel
+};
+
+class GhsProcess final : public Process {
+ public:
+  GhsProcess(const Graph& g, NodeId self, GhsMode mode);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+
+  bool done() const { return done_; }
+  /// True iff e was selected into the MST (edge state Branch).
+  bool branch(EdgeId e) const;
+  int level() const { return level_; }
+
+  /// The elected leader: the higher-id endpoint of the final core edge,
+  /// announced with the HALT wave. GHS-based leader election is the
+  /// classic [Awe87] application §8 builds on: once the MST spans the
+  /// graph, exactly one core pair exists, breaking all symmetry.
+  NodeId leader() const {
+    require(done_, "leader is known only after termination");
+    return leader_;
+  }
+
+  /// One-line state dump for stall diagnostics.
+  std::string debug_string() const;
+
+ private:
+  enum MsgType {
+    kConnect = 0,    // data = [level]
+    kInitiate = 1,   // data = [level, fragment, state, guess]
+    kTest = 2,       // data = [level, fragment]
+    kAccept = 3,
+    kReject = 4,
+    kReport = 5,     // data = [best edge or -1, has_more]
+    kChangeRoot = 6,
+    kRetry = 7,      // data = [guess] (kParallelGuess only)
+    kHalt = 8,
+  };
+  enum NodeState { kSleeping = 0, kFind = 1, kFound = 2 };
+  enum EdgeState { kBasic = 0, kBranchEdge = 1, kRejected = 2 };
+
+  void wakeup(Context& ctx);
+  void handle(Context& ctx, const Message& m);
+  void drain_deferred(Context& ctx);
+  void defer(const Message& m) { deferred_.push_back(m); }
+
+  void begin_find(Context& ctx);
+  void start_tests(Context& ctx);
+  void local_test_result(Context& ctx, EdgeId e, bool accepted);
+  void maybe_report(Context& ctx);
+  void change_root(Context& ctx);
+  void halt(Context& ctx, NodeId leader);
+
+  EdgeState& edge_state(EdgeId e);
+  bool moe_less(EdgeId a, EdgeId b) const;  // -1 acts as +infinity
+
+  const Graph* g_;
+  NodeId self_;
+  GhsMode mode_;
+
+  NodeState state_ = kSleeping;
+  int level_ = 0;
+  std::int64_t fragment_ = -1;  // core edge id
+  EdgeId parent_edge_ = kNoEdge;
+  std::vector<EdgeState> edge_states_;  // indexed by incident slot
+  int find_count_ = 0;  // outstanding child REPORTs
+
+  // MOE search state.
+  Weight guess_ = 1;
+  int tests_outstanding_ = 0;
+  std::vector<EdgeId> outstanding_test_edges_;
+  EdgeId best_moe_ = kNoEdge;    // global edge id of subtree MOE
+  EdgeId best_route_ = kNoEdge;  // incident edge toward it
+  bool subtree_has_more_ = false;
+  bool reported_ = false;
+  bool my_reported_has_more_ = false;
+  bool local_accepted_ = false;  // serial scan found this node's MOE
+
+  std::deque<Message> deferred_;
+  bool done_ = false;
+  NodeId leader_ = kNoNode;
+};
+
+struct GhsRun {
+  std::vector<EdgeId> mst_edges;
+  NodeId leader = kNoNode;  ///< agreed-on leader (see GhsProcess::leader)
+  RunStats stats;
+};
+
+/// Runs GHS (or MST_fast) to completion with every node waking
+/// spontaneously at time 0. Requires g connected and n >= 2.
+GhsRun run_ghs(const Graph& g, GhsMode mode,
+               std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1);
+
+}  // namespace csca

@@ -1,0 +1,45 @@
+#include "mst/hybrid.h"
+
+#include "conn/hybrid.h"
+#include "graph/traversal.h"
+
+namespace csca {
+
+MstHybridRun run_mst_hybrid(const Graph& g, NodeId root,
+                            const MstDelayFactory& delay,
+                            std::uint64_t seed) {
+  require(is_connected(g), "run_mst_hybrid requires a connected graph");
+  MstHybridRun out;
+  if (g.node_count() <= 1) return out;
+
+  // Stage 1: the §7.2 race. The DFS side is the controlled wake-up; the
+  // MST_centr side may finish the whole job outright.
+  Network race(
+      g,
+      [&g, root](NodeId v) {
+        return std::make_unique<HybridConnProcess>(g, v, root);
+      },
+      delay(), seed);
+  out.race_stats = race.run();
+  auto& root_proc = race.process_as<HybridConnProcess>(root);
+  ensure(root_proc.winner() != -1, "race must terminate");
+
+  if (root_proc.winner() == HybridConnProcess::kMstId) {
+    // MST_centr (Prim) finished first: its tree is the MST.
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == root) continue;
+      out.mst_edges.push_back(root_proc.mst().tree_parent_edge(v));
+    }
+    return out;
+  }
+
+  // Stage 2: the DFS wake-up won, meaning script-E is the cheaper bill;
+  // run GHS, which costs O(script-E + script-V log n).
+  out.used_ghs = true;
+  GhsRun ghs = run_ghs(g, GhsMode::kSerialScan, delay(), seed + 1);
+  out.ghs_stats = ghs.stats;
+  out.mst_edges = std::move(ghs.mst_edges);
+  return out;
+}
+
+}  // namespace csca

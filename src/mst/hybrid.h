@@ -1,0 +1,42 @@
+// Algorithm MST_hybrid (§8.2): O(min{script-E + script-V log n,
+// n * script-V}) communication.
+//
+// Following the paper's two-step plan: (1) the wake-up is performed with
+// the *controlled* DFS of §6.2, whose root estimate exposes script-E to
+// the root; (2) it is combined with MST_centr exactly as in §7.2 — the
+// root-arbitrated race of CON_hybrid. If MST_centr wins the race, its
+// tree already is the MST (cost O(n * script-V)). If the DFS wake-up
+// wins (script-E is the smaller bill), GHS runs to completion for an
+// extra O(script-E + script-V log n). Either way the total is within a
+// constant of min{script-E + script-V log n, n * script-V}.
+#pragma once
+
+#include <functional>
+
+#include "mst/ghs.h"
+#include "sim/delay.h"
+
+namespace csca {
+
+struct MstHybridRun {
+  std::vector<EdgeId> mst_edges;
+  RunStats race_stats;  ///< the DFS vs MST_centr arbitrated race
+  RunStats ghs_stats;   ///< the GHS stage (empty if MST_centr won)
+  bool used_ghs = false;
+
+  std::int64_t total_messages() const {
+    return race_stats.total_messages() + ghs_stats.total_messages();
+  }
+  Weight total_cost() const {
+    return race_stats.total_cost() + ghs_stats.total_cost();
+  }
+};
+
+using MstDelayFactory = std::function<std::unique_ptr<DelayModel>()>;
+
+/// Runs MST_hybrid from root on a connected graph.
+MstHybridRun run_mst_hybrid(const Graph& g, NodeId root,
+                            const MstDelayFactory& delay,
+                            std::uint64_t seed = 1);
+
+}  // namespace csca

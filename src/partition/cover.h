@@ -1,0 +1,72 @@
+// Clusters, covers, and the [AP91] cover-coarsening of Theorem 1.1.
+//
+// A cluster is a set of vertices whose induced subgraph is connected; a
+// cover is a collection of clusters whose union is V. Theorem 1.1: given
+// an initial cover S and k >= 1, one can build a cover T that (1) subsumes
+// S, (2) has Rad(T) <= (2k-1) Rad(S), and (3) has small maximum degree.
+// We implement the greedy cluster-merging procedure (Peleg's sparse-covers
+// construction), which guarantees (1) and (2) exactly; see DESIGN.md for
+// the status of (3), which we measure rather than prove.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csca {
+
+/// A cluster: vertex ids, sorted ascending, inducing a connected subgraph.
+using Cluster = std::vector<NodeId>;
+
+/// A collection of clusters covering V.
+struct Cover {
+  std::vector<Cluster> clusters;
+
+  int size() const { return static_cast<int>(clusters.size()); }
+};
+
+/// Dijkstra from src restricted to the subgraph induced by the nodes with
+/// allowed[v] != 0. dist is kUnreachable (-1) outside / disconnected.
+std::vector<Weight> restricted_distances(const Graph& g, NodeId src,
+                                         const std::vector<char>& allowed);
+
+/// True iff the subgraph induced by the cluster is connected (and the
+/// cluster is non-empty, sorted, duplicate-free, in range).
+bool is_cluster(const Graph& g, const Cluster& s);
+
+/// Rad(S) = min over v in S of the eccentricity of v in G(S).
+/// Requires is_cluster. O(|S| * dijkstra).
+Weight cluster_radius(const Graph& g, const Cluster& s);
+
+/// A vertex realizing cluster_radius (the cluster's natural leader).
+NodeId cluster_center(const Graph& g, const Cluster& s);
+
+/// Rad of a cover: max cluster radius.
+Weight cover_radius(const Graph& g, const Cover& cover);
+
+/// deg_S(v): number of clusters containing v.
+int cover_degree(const Cover& cover, NodeId v);
+
+/// Delta(S) = max_v deg_S(v).
+int cover_max_degree(const Graph& g, const Cover& cover);
+
+/// True iff every vertex of g appears in some cluster and all clusters
+/// are valid clusters.
+bool is_cover(const Graph& g, const Cover& cover);
+
+/// True iff for every cluster of s there is a cluster of t containing it.
+bool subsumes(const Cover& t, const Cover& s);
+
+/// [AP91] Theorem 1.1 coarsening: merges clusters of s into a cover t with
+/// subsumes(t, s) and Rad(t) <= (2k-1) Rad(s). Requires is_cover(g, s) and
+/// k >= 1.
+Cover coarsen(const Graph& g, const Cover& s, int k);
+
+/// The singleton cover {{v} : v in V}, radius 0.
+Cover singleton_cover(const Graph& g);
+
+/// The cover of all shortest-path clusters {Path(u, v, G) : (u, v) in E}
+/// used to seed the tree edge-cover of §3.3; Rad <= d.
+Cover neighborhood_path_cover(const Graph& g);
+
+}  // namespace csca

@@ -1,0 +1,54 @@
+// Tree edge-covers (Definition 3.1), the structure behind clock
+// synchronizer gamma* (§3.3).
+//
+// A tree edge-cover is a collection M of (rooted) trees such that
+//   1. every edge of G lies in few trees (paper: O(log n)),
+//   2. each tree is shallow (paper: depth O(d log n)),
+//   3. for each edge of G some tree contains both its endpoints.
+// Lemma 3.2 builds one by coarsening the cover of shortest neighbor paths
+// {Path(u, v, G) : (u,v) in E} with parameter k = log n, then taking a
+// shortest-path spanning tree of every output cluster.
+#pragma once
+
+#include <vector>
+
+#include "graph/tree.h"
+#include "partition/cover.h"
+
+namespace csca {
+
+/// One tree of the edge-cover: its node set, its elected leader (the
+/// cluster center, which coordinates the tree in gamma*), and its
+/// shortest-path tree inside the induced subgraph.
+struct CoverTree {
+  Cluster cluster;
+  NodeId leader = kNoNode;
+  RootedTree tree;
+};
+
+struct TreeEdgeCover {
+  std::vector<CoverTree> trees;
+
+  int size() const { return static_cast<int>(trees.size()); }
+
+  /// Indices of trees whose node set contains both endpoints of e.
+  std::vector<int> trees_covering_edge(const Graph& g, EdgeId e) const;
+};
+
+/// Lemma 3.2 construction with explicit coarsening parameter k >= 1.
+TreeEdgeCover build_tree_edge_cover(const Graph& g, int k);
+
+/// Lemma 3.2 with the paper's choice k = ceil(log2 n) (min 1).
+TreeEdgeCover build_tree_edge_cover(const Graph& g);
+
+/// Property-3 check: every edge of g has a tree containing both endpoints.
+bool covers_all_edges(const Graph& g, const TreeEdgeCover& tec);
+
+/// Property-1 measurement: max over edges of g of the number of trees
+/// whose own tree-edge set uses that edge.
+int max_tree_edge_sharing(const Graph& g, const TreeEdgeCover& tec);
+
+/// Property-2 measurement: max weighted depth (height) over the trees.
+Weight max_tree_depth(const Graph& g, const TreeEdgeCover& tec);
+
+}  // namespace csca

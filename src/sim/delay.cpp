@@ -1,0 +1,39 @@
+#include "sim/delay.h"
+
+namespace csca {
+
+UniformDelay::UniformDelay(double lo_frac, double hi_frac)
+    : lo_frac_(lo_frac), hi_frac_(hi_frac) {
+  require(lo_frac >= 0.0 && lo_frac <= hi_frac && hi_frac <= 1.0,
+          "delay fractions must satisfy 0 <= lo <= hi <= 1");
+}
+
+double UniformDelay::delay(Weight w, Rng& rng) {
+  const double wd = static_cast<double>(w);
+  return rng.uniform_real(lo_frac_ * wd, hi_frac_ * wd);
+}
+
+TwoPointDelay::TwoPointDelay(double slow_prob) : slow_prob_(slow_prob) {
+  require(slow_prob >= 0.0 && slow_prob <= 1.0,
+          "slow probability must be in [0, 1]");
+}
+
+double TwoPointDelay::delay(Weight w, Rng& rng) {
+  const double wd = static_cast<double>(w);
+  return rng.chance(slow_prob_) ? wd : wd * 0.001;
+}
+
+std::unique_ptr<DelayModel> make_exact_delay() {
+  return std::make_unique<ExactDelay>();
+}
+
+std::unique_ptr<DelayModel> make_uniform_delay(double lo_frac,
+                                               double hi_frac) {
+  return std::make_unique<UniformDelay>(lo_frac, hi_frac);
+}
+
+std::unique_ptr<DelayModel> make_two_point_delay(double slow_prob) {
+  return std::make_unique<TwoPointDelay>(slow_prob);
+}
+
+}  // namespace csca

@@ -1,0 +1,64 @@
+// Edge-delay models for the asynchronous engine.
+//
+// The paper's model (§1.3): the delay on edge e varies between 0 and w(e).
+// ExactDelay pins every delay to w(e) (the adversarial maximum; time
+// complexity is measured against this model). UniformDelay samples a
+// uniform fraction of w(e), exercising genuinely asynchronous schedules.
+#pragma once
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace csca {
+
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Delay, in time units, for one message over an edge of weight w.
+  /// Must return a value in [0, w].
+  virtual double delay(Weight w, Rng& rng) = 0;
+};
+
+/// delay(e) == w(e): the worst case permitted by the model, and also the
+/// behaviour of the paper's weighted *synchronous* network.
+class ExactDelay final : public DelayModel {
+ public:
+  double delay(Weight w, Rng&) override {
+    return static_cast<double>(w);
+  }
+};
+
+/// delay(e) uniform in [lo_frac * w(e), hi_frac * w(e)].
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(double lo_frac, double hi_frac);
+  double delay(Weight w, Rng& rng) override;
+
+ private:
+  double lo_frac_;
+  double hi_frac_;
+};
+
+/// Two-point adversary: each message independently either crawls at the
+/// full w(e) bound (probability slow_prob) or arrives almost instantly.
+/// Maximizes reordering across different edges — the stress case for
+/// protocols whose correctness argument leans on "usually similar"
+/// delays (GHS merges, hybrid races, strip relaxation).
+class TwoPointDelay final : public DelayModel {
+ public:
+  explicit TwoPointDelay(double slow_prob);
+  double delay(Weight w, Rng& rng) override;
+
+ private:
+  double slow_prob_;
+};
+
+std::unique_ptr<DelayModel> make_exact_delay();
+std::unique_ptr<DelayModel> make_uniform_delay(double lo_frac,
+                                               double hi_frac);
+std::unique_ptr<DelayModel> make_two_point_delay(double slow_prob);
+
+}  // namespace csca

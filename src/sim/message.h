@@ -1,0 +1,61 @@
+// Messages exchanged by simulated protocols.
+//
+// A message carries a protocol-defined integer type tag and a small vector
+// of integers as payload; protocols define their own enum of type tags and
+// encode/decode payload fields positionally. Delivery metadata (sender,
+// edge) is stamped by the engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csca {
+
+/// Traffic class for cost accounting. The paper repeatedly separates the
+/// cost of the simulated algorithm from the overhead of the transformer
+/// wrapped around it (synchronizer pulses/acks, controller permits);
+/// keeping the classes distinct in the engine lets benches report each
+/// side of the ledger exactly as the paper defines it.
+enum class MsgClass {
+  kAlgorithm,  ///< messages of the protocol under study
+  kControl,    ///< synchronizer / controller overhead messages
+};
+
+struct Message {
+  int type = 0;
+  std::vector<std::int64_t> data;
+
+  // Delivery metadata, stamped by the engine on receipt.
+  NodeId from = kNoNode;
+  EdgeId edge = kNoEdge;
+
+  Message() = default;
+  explicit Message(int type_tag) : type(type_tag) {}
+  Message(int type_tag, std::vector<std::int64_t> payload)
+      : type(type_tag), data(std::move(payload)) {}
+
+  /// Payload accessor with bounds checking; protocols read fields by index.
+  std::int64_t at(std::size_t i) const {
+    require(i < data.size(), "message payload index out of range");
+    return data[i];
+  }
+};
+
+/// Cumulative cost ledger of one simulation run.
+struct RunStats {
+  std::int64_t algorithm_messages = 0;
+  std::int64_t control_messages = 0;
+  Weight algorithm_cost = 0;  ///< sum of w(e) over algorithm messages
+  Weight control_cost = 0;    ///< sum of w(e) over control messages
+  double completion_time = 0; ///< time of the last delivered event
+  std::int64_t events = 0;    ///< total deliveries processed
+
+  std::int64_t total_messages() const {
+    return algorithm_messages + control_messages;
+  }
+  Weight total_cost() const { return algorithm_cost + control_cost; }
+};
+
+}  // namespace csca

@@ -1,0 +1,126 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace csca {
+
+double Context::now() const { return net_->now_; }
+
+const Graph& Context::graph() const { return *net_->graph_; }
+
+void Context::send(EdgeId e, Message m, MsgClass cls) {
+  net_->do_send(self_, e, std::move(m), cls);
+}
+
+void Context::schedule_self(double delay, Message m) {
+  net_->do_schedule_self(self_, delay, std::move(m));
+}
+
+void Context::finish() { net_->do_finish(self_); }
+
+Network::Network(const Graph& g, const ProcessFactory& factory,
+                 std::unique_ptr<DelayModel> delay, std::uint64_t seed)
+    : graph_(&g),
+      delay_(std::move(delay)),
+      rng_(seed),
+      last_arrival_(static_cast<std::size_t>(2 * g.edge_count()), 0.0),
+      edge_messages_(static_cast<std::size_t>(g.edge_count()), 0),
+      finish_time_(static_cast<std::size_t>(g.node_count()), -1.0) {
+  require(delay_ != nullptr, "delay model must not be null");
+  processes_.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto p = factory(v);
+    require(p != nullptr, "process factory returned null");
+    processes_.push_back(std::move(p));
+  }
+}
+
+void Network::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
+  const Edge& edge = graph_->edge(e);
+  require(edge.u == from || edge.v == from,
+          "process may only send on its own incident edges");
+  const NodeId to = graph_->other(e, from);
+
+  const double d = delay_->delay(edge.w, rng_);
+  require(d >= 0.0 && d <= static_cast<double>(edge.w),
+          "delay model produced delay outside [0, w(e)]");
+  // FIFO per directed edge: never deliver before an earlier send on the
+  // same channel.
+  const std::size_t channel =
+      static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+  double arrival = std::max(now_ + d, last_arrival_[channel]);
+  last_arrival_[channel] = arrival;
+
+  m.from = from;
+  m.edge = e;
+  queue_.push(PendingDelivery{arrival, seq_++, to, std::move(m)});
+  ++edge_messages_[static_cast<std::size_t>(e)];
+
+  if (cls == MsgClass::kAlgorithm) {
+    ++stats_.algorithm_messages;
+    stats_.algorithm_cost += edge.w;
+  } else {
+    ++stats_.control_messages;
+    stats_.control_cost += edge.w;
+  }
+}
+
+void Network::do_schedule_self(NodeId v, double delay, Message m) {
+  require(delay >= 0.0, "self-delivery delay must be non-negative");
+  m.from = v;
+  m.edge = kNoEdge;
+  queue_.push(PendingDelivery{now_ + delay, seq_++, v, std::move(m)});
+}
+
+void Network::do_finish(NodeId v) {
+  double& t = finish_time_[static_cast<std::size_t>(v)];
+  if (t < 0) t = now_;
+}
+
+void Network::ensure_started() {
+  if (started_) return;
+  started_ = true;
+  now_ = 0;
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    Context ctx(*this, v);
+    processes_[static_cast<std::size_t>(v)]->on_start(ctx);
+  }
+}
+
+bool Network::step() {
+  ensure_started();
+  if (queue_.empty()) return false;
+  PendingDelivery ev = queue_.top();
+  queue_.pop();
+  now_ = ev.arrival;
+  stats_.completion_time = now_;
+  ++stats_.events;
+  Context ctx(*this, ev.to);
+  processes_[static_cast<std::size_t>(ev.to)]->on_message(ctx, ev.msg);
+  return true;
+}
+
+RunStats Network::run(double max_time) {
+  ensure_started();
+  while (!queue_.empty() && queue_.top().arrival <= max_time) {
+    step();
+  }
+  return stats_;
+}
+
+bool Network::all_finished() const {
+  return std::all_of(finish_time_.begin(), finish_time_.end(),
+                     [](double t) { return t >= 0; });
+}
+
+std::int64_t Network::max_edge_message_count() const {
+  if (edge_messages_.empty()) return 0;
+  return *std::max_element(edge_messages_.begin(), edge_messages_.end());
+}
+
+double Network::last_finish_time() const {
+  require(all_finished(), "not all nodes have finished");
+  return *std::max_element(finish_time_.begin(), finish_time_.end());
+}
+
+}  // namespace csca

@@ -1,0 +1,175 @@
+// The asynchronous message-passing engine.
+//
+// A Network hosts one Process per node of a weighted Graph and delivers
+// messages along edges with delays drawn from a DelayModel, clamped so
+// that each directed edge is a FIFO channel (the standard static-network
+// assumption; GHS and the synchronizers rely on it). Sending a message on
+// edge e adds w(e) to the communication-cost ledger — the paper's
+// cost-sensitive communication measure — and the run's completion time is
+// the cost-sensitive time measure when the delay model is ExactDelay.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "graph/graph.h"
+#include "sim/delay.h"
+#include "sim/message.h"
+#include "util/rng.h"
+
+namespace csca {
+
+class Network;
+
+/// The only window a protocol has onto the world: its own id, the local
+/// clock, the topology, and sends over incident edges. Handed to Process
+/// hooks by the engine; never stored by protocols beyond the call.
+class Context {
+ public:
+  NodeId self() const { return self_; }
+  double now() const;
+  const Graph& graph() const;
+
+  std::span<const EdgeId> incident() const {
+    return graph().incident(self_);
+  }
+  NodeId neighbor(EdgeId e) const { return graph().other(e, self_); }
+  Weight edge_weight(EdgeId e) const { return graph().weight(e); }
+
+  /// Sends m to the other endpoint of incident edge e. Costs w(e) in the
+  /// ledger class cls.
+  void send(EdgeId e, Message m, MsgClass cls = MsgClass::kAlgorithm);
+
+  /// Schedules m for delivery to this node itself after `delay` time
+  /// units (>= 0). Local computation is free in the model, so this costs
+  /// nothing in the ledger; it exists so protocols can defer work out of
+  /// the current handler (e.g. the hybrid arbiter's resume).
+  void schedule_self(double delay, Message m);
+
+  /// Marks this node as locally finished (used for termination checks and
+  /// per-node completion times). Idempotent.
+  void finish();
+
+ private:
+  friend class Network;
+  Context(Network& net, NodeId self) : net_(&net), self_(self) {}
+  Network* net_;
+  NodeId self_;
+};
+
+/// One per-node protocol instance. Implementations keep all their state as
+/// members and interact exclusively through the Context passed to hooks.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  /// Invoked once at time 0, before any delivery.
+  virtual void on_start(Context&) {}
+
+  /// Invoked for each delivered message.
+  virtual void on_message(Context&, const Message& m) = 0;
+};
+
+/// Simulation host: graph + processes + event queue + cost ledger.
+class Network {
+ public:
+  using ProcessFactory = std::function<std::unique_ptr<Process>(NodeId)>;
+
+  /// Builds one process per node via factory. The delay model services
+  /// every edge; seed drives all its randomness.
+  Network(const Graph& g, const ProcessFactory& factory,
+          std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1);
+
+  /// Runs to quiescence (empty event queue) or until simulated time
+  /// exceeds max_time. Returns the accumulated ledger. May be called
+  /// again to resume a run cut short by max_time.
+  RunStats run(double max_time = std::numeric_limits<double>::infinity());
+
+  /// Delivers the single next event (calling on_start hooks first on the
+  /// first step). Returns false when the queue is empty. Together with
+  /// stats(), lets a driver interleave two protocol executions under a
+  /// cost budget, the mechanism behind the paper's hybrid algorithms.
+  bool step();
+
+  /// True when no deliveries are pending.
+  bool idle() const { return queue_.empty(); }
+
+  /// Ledger accumulated so far (final after run() returns).
+  const RunStats& stats() const { return stats_; }
+
+  /// Messages sent over edge e so far (both directions, all classes).
+  /// Lets analyses measure per-link load — e.g. the congestion factor in
+  /// clock synchronizer gamma*, which the paper bounds by the tree
+  /// edge-cover's O(log n) sharing property.
+  std::int64_t edge_message_count(EdgeId e) const {
+    require(e >= 0 && e < graph_->edge_count(), "edge id out of range");
+    return edge_messages_[static_cast<std::size_t>(e)];
+  }
+
+  /// max over edges of edge_message_count.
+  std::int64_t max_edge_message_count() const;
+
+  /// Post-run access to protocol state, e.g. a computed tree or output.
+  Process& process(NodeId v) {
+    graph_->check_node(v);
+    return *processes_[static_cast<std::size_t>(v)];
+  }
+
+  template <typename T>
+  T& process_as(NodeId v) {
+    auto* p = dynamic_cast<T*>(&process(v));
+    require(p != nullptr, "process has unexpected concrete type");
+    return *p;
+  }
+
+  const Graph& graph() const { return *graph_; }
+  bool finished(NodeId v) const {
+    return finish_time_[static_cast<std::size_t>(v)] >= 0;
+  }
+  double finish_time(NodeId v) const {
+    return finish_time_[static_cast<std::size_t>(v)];
+  }
+  /// True iff every node called Context::finish().
+  bool all_finished() const;
+
+  /// Latest finish() timestamp across nodes; requires all_finished().
+  double last_finish_time() const;
+
+ private:
+  friend class Context;
+
+  struct PendingDelivery {
+    double arrival;
+    std::uint64_t seq;  // tie-break: deterministic FIFO order
+    NodeId to;
+    Message msg;
+    bool operator>(const PendingDelivery& o) const {
+      return std::tie(arrival, seq) > std::tie(o.arrival, o.seq);
+    }
+  };
+
+  void do_send(NodeId from, EdgeId e, Message m, MsgClass cls);
+  void do_schedule_self(NodeId v, double delay, Message m);
+  void do_finish(NodeId v);
+  void ensure_started();
+
+  const Graph* graph_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::unique_ptr<DelayModel> delay_;
+  Rng rng_;
+  double now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<PendingDelivery, std::vector<PendingDelivery>,
+                      std::greater<>>
+      queue_;
+  // last arrival time per directed edge (2 * edge + direction bit).
+  std::vector<double> last_arrival_;
+  std::vector<std::int64_t> edge_messages_;
+  std::vector<double> finish_time_;
+  RunStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace csca

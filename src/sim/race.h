@@ -1,0 +1,63 @@
+// Cost-budget interleaving of two protocol executions — the driver-side
+// form of the paper's hybrid technique (§7.2, §8.2, §9.3).
+//
+// The paper implements the interleaving *inside* the network: both
+// protocols keep root estimates of their spending and the root enables
+// the cheaper one. CON_hybrid (conn/hybrid.h) reproduces that in-protocol
+// mechanism. For algorithm pairs whose activity is not root-centered
+// (SPT_synch under a synchronizer vs SPT_recur), we interleave at the
+// simulation driver instead: always advance the execution that has spent
+// less so far, stopping when either completes. The cost guarantee is the
+// same as the paper's: the loser is never more than one message ahead of
+// the winner's final bill, so the combined cost is at most ~2x the
+// cheaper algorithm (the root-estimate version pays up to 4x).
+#pragma once
+
+#include <functional>
+
+#include "sim/network.h"
+
+namespace csca {
+
+struct RaceOutcome {
+  int winner = -1;  ///< 0 = first network, 1 = second
+  RunStats first_stats;
+  RunStats second_stats;
+
+  Weight total_cost() const {
+    return first_stats.total_cost() + second_stats.total_cost();
+  }
+};
+
+/// Steps the cheaper-so-far network until one of the finished predicates
+/// holds. Both predicates must eventually become true under exhaustive
+/// stepping of their own network; a network that goes idle without
+/// finishing stalls the race toward the other side.
+inline RaceOutcome race_networks(
+    Network& first, const std::function<bool(Network&)>& first_finished,
+    Network& second,
+    const std::function<bool(Network&)>& second_finished) {
+  // Kick both off so "idle" is meaningful.
+  first.step();
+  second.step();
+  while (true) {
+    if (first_finished(first)) {
+      return RaceOutcome{0, first.stats(), second.stats()};
+    }
+    if (second_finished(second)) {
+      return RaceOutcome{1, first.stats(), second.stats()};
+    }
+    Network* next =
+        first.stats().total_cost() <= second.stats().total_cost()
+            ? &first
+            : &second;
+    if (!next->step()) {
+      // The preferred side is idle but unfinished; advance the other.
+      Network* other = next == &first ? &second : &first;
+      require(other->step(),
+              "both executions idle but neither finished: deadlock");
+    }
+  }
+}
+
+}  // namespace csca

@@ -1,0 +1,76 @@
+#include "sim/sync_engine.h"
+
+#include <algorithm>
+
+namespace csca {
+
+SyncEngine::SyncEngine(const Graph& g, const ProcessFactory& factory,
+                       bool enforce_in_synch)
+    : graph_(&g),
+      enforce_in_synch_(enforce_in_synch),
+      finished_(static_cast<std::size_t>(g.node_count()), 0) {
+  processes_.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto p = factory(v);
+    require(p != nullptr, "process factory returned null");
+    processes_.push_back(std::move(p));
+  }
+}
+
+void SyncEngine::do_send(NodeId from, EdgeId e, Message m) {
+  const Edge& edge = graph_->edge(e);
+  require(edge.u == from || edge.v == from,
+          "process may only send on its own incident edges");
+  if (enforce_in_synch_) {
+    require(pulse_ % edge.w == 0,
+            "in-synch protocol may send on edge e only at pulses "
+            "divisible by w(e)");
+  }
+  m.from = from;
+  m.edge = e;
+  queue_.push(Event{pulse_ + edge.w, 0, seq_++, graph_->other(e, from),
+                    std::move(m)});
+  ++stats_.algorithm_messages;
+  stats_.algorithm_cost += edge.w;
+}
+
+void SyncEngine::do_wakeup(NodeId v, std::int64_t at_pulse) {
+  require(at_pulse > pulse_, "wakeup must be scheduled strictly ahead");
+  queue_.push(Event{at_pulse, 1, seq_++, v, Message{}});
+}
+
+void SyncEngine::do_finish(NodeId v) {
+  finished_[static_cast<std::size_t>(v)] = 1;
+}
+
+RunStats SyncEngine::run(std::int64_t max_pulse) {
+  require(!ran_, "SyncEngine::run may only be called once");
+  ran_ = true;
+  pulse_ = 0;
+  for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    EngineContext ctx(*this, v);
+    processes_[static_cast<std::size_t>(v)]->on_start(ctx);
+  }
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.pulse > max_pulse) break;
+    pulse_ = ev.pulse;
+    stats_.completion_time = static_cast<double>(pulse_);
+    ++stats_.events;
+    EngineContext ctx(*this, ev.to);
+    if (ev.kind == 0) {
+      processes_[static_cast<std::size_t>(ev.to)]->on_message(ctx, ev.msg);
+    } else {
+      processes_[static_cast<std::size_t>(ev.to)]->on_wakeup(ctx);
+    }
+  }
+  return stats_;
+}
+
+bool SyncEngine::all_finished() const {
+  return std::all_of(finished_.begin(), finished_.end(),
+                     [](char f) { return f != 0; });
+}
+
+}  // namespace csca

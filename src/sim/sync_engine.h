@@ -1,0 +1,102 @@
+// The weighted synchronous engine (§4.1's simulation target).
+//
+// In a weighted synchronous network the delay on edge e is *exactly* w(e).
+// This engine runs a SyncProcess per node under those semantics. It serves
+// three purposes:
+//   1. reference executions that synchronizer-driven asynchronous runs are
+//      validated against (same outputs required),
+//   2. the measurement of c_pi and t_pi, the synchronous protocol's own
+//      complexity, which Lemma 4.8's amortized overheads are defined
+//      against,
+//   3. a home for synchronous algorithms (SPT_synch's Bellman-Ford).
+//
+// The engine is event driven: empty pulses are skipped, so running a
+// protocol for D = n * W pulses costs only the work of its events. A
+// process that needs to act at a pulse with no arrivals schedules a wakeup.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <queue>
+
+#include "graph/graph.h"
+#include "sim/message.h"
+#include "sim/sync_process.h"
+
+namespace csca {
+
+class SyncEngine {
+ public:
+  using ProcessFactory = std::function<std::unique_ptr<SyncProcess>(NodeId)>;
+
+  /// If enforce_in_synch, sends on an edge of weight w are only legal at
+  /// pulses divisible by w (Def. 4.2); a violating protocol throws.
+  SyncEngine(const Graph& g, const ProcessFactory& factory,
+             bool enforce_in_synch = false);
+
+  /// Runs until quiescence or until pulse > max_pulse. completion_time in
+  /// the returned stats is the last pulse at which anything happened.
+  RunStats run(std::int64_t max_pulse = (std::int64_t{1} << 56));
+
+  SyncProcess& process(NodeId v) {
+    graph_->check_node(v);
+    return *processes_[static_cast<std::size_t>(v)];
+  }
+
+  template <typename T>
+  T& process_as(NodeId v) {
+    auto* p = dynamic_cast<T*>(&process(v));
+    require(p != nullptr, "process has unexpected concrete type");
+    return *p;
+  }
+
+  const Graph& graph() const { return *graph_; }
+  bool all_finished() const;
+
+ private:
+  class EngineContext final : public SyncContext {
+   public:
+    EngineContext(SyncEngine& eng, NodeId self) : eng_(&eng), self_(self) {}
+    NodeId self() const override { return self_; }
+    const Graph& graph() const override { return *eng_->graph_; }
+    std::int64_t pulse() const override { return eng_->pulse_; }
+    void send(EdgeId e, Message m) override {
+      eng_->do_send(self_, e, std::move(m));
+    }
+    void schedule_wakeup(std::int64_t at_pulse) override {
+      eng_->do_wakeup(self_, at_pulse);
+    }
+    void finish() override { eng_->do_finish(self_); }
+
+   private:
+    SyncEngine* eng_;
+    NodeId self_;
+  };
+
+  struct Event {
+    std::int64_t pulse;
+    int kind;  // 0 = message delivery, 1 = wakeup (delivered after msgs)
+    std::uint64_t seq;
+    NodeId to;
+    Message msg;
+    bool operator>(const Event& o) const {
+      return std::tie(pulse, kind, seq) > std::tie(o.pulse, o.kind, o.seq);
+    }
+  };
+
+  void do_send(NodeId from, EdgeId e, Message m);
+  void do_wakeup(NodeId v, std::int64_t at_pulse);
+  void do_finish(NodeId v);
+
+  const Graph* graph_;
+  std::vector<std::unique_ptr<SyncProcess>> processes_;
+  bool enforce_in_synch_;
+  std::int64_t pulse_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<char> finished_;
+  RunStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace csca

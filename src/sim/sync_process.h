@@ -1,0 +1,63 @@
+// The synchronous-protocol abstraction shared by the weighted synchronous
+// engine (sim/sync_engine.h) and the network synchronizers (§4).
+//
+// A SyncProcess sees the world in pulses: a message sent on edge e at
+// pulse p arrives at pulse p + w(e) (the weighted synchronous model). The
+// same protocol object can run on the SyncEngine (reference semantics,
+// used to measure c_pi and t_pi) or on an asynchronous network under a
+// synchronizer (which synthesizes these calls) — Lemma 4.4's correctness
+// statement is checked in tests by comparing the two executions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+#include "sim/message.h"
+
+namespace csca {
+
+/// Abstract window onto a (real or simulated) synchronous network.
+class SyncContext {
+ public:
+  virtual ~SyncContext() = default;
+
+  virtual NodeId self() const = 0;
+  virtual const Graph& graph() const = 0;
+  /// The current pulse number.
+  virtual std::int64_t pulse() const = 0;
+
+  /// Sends m over incident edge e; it arrives at pulse() + w(e). Under
+  /// the in-synch discipline (Def. 4.2), pulse() must be divisible by
+  /// w(e).
+  virtual void send(EdgeId e, Message m) = 0;
+
+  /// Requests an on_wakeup call at the given future pulse (> pulse()).
+  virtual void schedule_wakeup(std::int64_t at_pulse) = 0;
+
+  virtual void finish() = 0;
+
+  std::span<const EdgeId> incident() const {
+    return graph().incident(self());
+  }
+  NodeId neighbor(EdgeId e) const { return graph().other(e, self()); }
+  Weight edge_weight(EdgeId e) const { return graph().weight(e); }
+};
+
+/// A synchronous per-node protocol.
+class SyncProcess {
+ public:
+  virtual ~SyncProcess() = default;
+
+  /// Invoked once at pulse 0.
+  virtual void on_start(SyncContext&) {}
+
+  /// Invoked at the arrival pulse of each message (before any wakeup at
+  /// that pulse).
+  virtual void on_message(SyncContext&, const Message& m) = 0;
+
+  /// Invoked at pulses requested via schedule_wakeup.
+  virtual void on_wakeup(SyncContext&) {}
+};
+
+}  // namespace csca

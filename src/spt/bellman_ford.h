@@ -1,0 +1,100 @@
+// The synchronous SPT protocol behind algorithm SPT_synch (§9.1).
+//
+// On a weighted synchronous network where a message on e takes exactly
+// w(e) time, single-source distance propagation is nearly ideal: the
+// first wave to arrive tends to be the shortest path, so each vertex
+// improves O(1) times. The protocol below is an in-synch (Def. 4.2)
+// asynchronous-Bellman-Ford: distance payloads are computed with the
+// *original* edge weights (supplied separately) while transmission
+// happens on the normalized network, exactly the Lemma 4.5 split between
+// protocol semantics and timing. Final distances are therefore exact for
+// the original graph.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/sync_process.h"
+
+namespace csca {
+
+class InSynchBellmanFord final : public SyncProcess {
+ public:
+  /// orig_w[e] = the original (pre-normalization) weight of edge e, used
+  /// for the distance arithmetic; must outlive the process.
+  InSynchBellmanFord(NodeId self, NodeId source,
+                     const std::vector<Weight>* orig_w)
+      : self_(self), is_source_(self == source), orig_w_(orig_w) {
+    require(orig_w != nullptr, "original weights required");
+  }
+
+  void on_start(SyncContext& ctx) override {
+    if (!is_source_) return;
+    dist_ = 0;
+    ctx.finish();
+    announce(ctx);
+  }
+
+  void on_message(SyncContext& ctx, const Message& m) override {
+    const Weight cand =
+        m.at(0) + (*orig_w_)[static_cast<std::size_t>(m.edge)];
+    if (dist_ >= 0 && cand >= dist_) return;
+    const bool first = dist_ < 0;
+    dist_ = cand;
+    parent_edge_ = m.edge;
+    if (first) ctx.finish();
+    announce(ctx);
+  }
+
+  void on_wakeup(SyncContext& ctx) override {
+    const std::int64_t p = ctx.pulse();
+    const auto it = pending_.find(p);
+    if (it == pending_.end()) return;
+    const std::vector<EdgeId> edges = std::move(it->second);
+    pending_.erase(it);
+    for (EdgeId e : edges) {
+      send_dist(ctx, e);
+    }
+  }
+
+  Weight dist() const { return dist_; }
+  EdgeId parent_edge() const { return parent_edge_; }
+
+ private:
+  void announce(SyncContext& ctx) {
+    for (EdgeId e : ctx.incident()) {
+      const Weight w = ctx.edge_weight(e);  // normalized timing weight
+      if (ctx.pulse() % w == 0) {
+        send_dist(ctx, e);
+      } else {
+        // Defer to the next in-synch send slot; the latest distance is
+        // read at fire time, so multiple improvements coalesce.
+        const std::int64_t at = (ctx.pulse() / w + 1) * w;
+        auto [it, inserted] = pending_.try_emplace(at);
+        if (std::find(it->second.begin(), it->second.end(), e) ==
+            it->second.end()) {
+          it->second.push_back(e);
+        }
+        if (inserted) ctx.schedule_wakeup(at);
+      }
+    }
+  }
+
+  void send_dist(SyncContext& ctx, EdgeId e) {
+    auto [it, inserted] = last_sent_.try_emplace(e, -1);
+    if (!inserted && it->second == dist_) return;  // nothing new to say
+    it->second = dist_;
+    ctx.send(e, Message{0, {dist_}});
+  }
+
+  NodeId self_;
+  bool is_source_;
+  const std::vector<Weight>* orig_w_;
+  Weight dist_ = -1;
+  EdgeId parent_edge_ = kNoEdge;
+  std::map<std::int64_t, std::vector<EdgeId>> pending_;
+  std::map<EdgeId, Weight> last_sent_;
+};
+
+}  // namespace csca

@@ -1,0 +1,80 @@
+#include "spt/hybrid.h"
+
+#include "graph/traversal.h"
+#include "sim/race.h"
+#include "sim/sync_engine.h"
+#include "spt/bellman_ford.h"
+#include "spt/recur.h"
+#include "sync/synchronizer.h"
+
+namespace csca {
+
+SptHybridRun run_spt_hybrid(const Graph& g, NodeId source, int k,
+                            Weight tau, const SptDelayFactory& delay,
+                            std::uint64_t seed) {
+  g.check_node(source);
+  require(is_connected(g), "run_spt_hybrid requires a connected graph");
+
+  if (g.node_count() == 1) {
+    return SptHybridRun{{0}, RootedTree(1, source), {}, {}, true};
+  }
+
+  // SPT_synch contestant: in-synch Bellman-Ford under gamma_w on the
+  // normalized network. The pulse budget comes from a (cost-free,
+  // driver-side) reference run of the synchronous engine.
+  const Graph ng = normalized_copy(g);
+  std::vector<Weight> orig_w(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    orig_w[static_cast<std::size_t>(e)] = g.weight(e);
+  }
+  const auto bf_factory = [&](NodeId v) {
+    return std::make_unique<InSynchBellmanFord>(v, source, &orig_w);
+  };
+  SyncEngine ref(ng, bf_factory, /*enforce_in_synch=*/true);
+  const std::int64_t t_pi =
+      static_cast<std::int64_t>(ref.run().completion_time) + 1;
+  SynchronizedNetwork synch(ng, bf_factory, SynchronizerKind::kGammaW, k,
+                            t_pi, delay(), seed);
+
+  // SPT_recur contestant.
+  Network recur(
+      g,
+      [&g, source, tau](NodeId v) {
+        return std::make_unique<SptRecurProcess>(g, v, source, tau);
+      },
+      delay(), seed + 1);
+
+  const auto synch_finished = [](Network& net) {
+    return net.stats().events > 0 && net.idle();
+  };
+  const auto recur_finished = [source](Network& net) {
+    return net.process_as<SptRecurProcess>(source).done();
+  };
+
+  const RaceOutcome outcome = race_networks(
+      synch.network(), synch_finished, recur, recur_finished);
+
+  SptHybridRun out{{},      RootedTree(g.node_count(), source),
+                   outcome.first_stats, outcome.second_stats,
+                   outcome.winner == 0};
+  std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()),
+                              kNoEdge);
+  out.dist.resize(static_cast<std::size_t>(g.node_count()));
+  if (out.synch_won) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto& bf = synch.hosted_as<InSynchBellmanFord>(v);
+      out.dist[static_cast<std::size_t>(v)] = bf.dist();
+      parents[static_cast<std::size_t>(v)] = bf.parent_edge();
+    }
+  } else {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto& p = recur.process_as<SptRecurProcess>(v);
+      out.dist[static_cast<std::size_t>(v)] = p.dist();
+      parents[static_cast<std::size_t>(v)] = p.parent_edge();
+    }
+  }
+  out.tree = RootedTree::from_parent_edges(g, source, std::move(parents));
+  return out;
+}
+
+}  // namespace csca

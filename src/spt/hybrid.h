@@ -1,0 +1,34 @@
+// Algorithm SPT_hybrid (§9.3): run SPT_synch and SPT_recur under a
+// shared communication budget and keep whichever finishes first, for
+// O(min of the two bills) communication (Corollary 9.3).
+#pragma once
+
+#include <functional>
+
+#include "graph/tree.h"
+#include "sim/delay.h"
+#include "sim/message.h"
+
+namespace csca {
+
+struct SptHybridRun {
+  std::vector<Weight> dist;
+  RootedTree tree;
+  RunStats synch_stats;  ///< what the SPT_synch side spent in the race
+  RunStats recur_stats;  ///< what the SPT_recur side spent in the race
+  bool synch_won = false;
+
+  Weight total_cost() const {
+    return synch_stats.total_cost() + recur_stats.total_cost();
+  }
+};
+
+using SptDelayFactory = std::function<std::unique_ptr<DelayModel>()>;
+
+/// Races SPT_synch (gamma_w parameter k) against SPT_recur (strip width
+/// tau) from source. Requires g connected, k >= 2, tau >= 1.
+SptHybridRun run_spt_hybrid(const Graph& g, NodeId source, int k,
+                            Weight tau, const SptDelayFactory& delay,
+                            std::uint64_t seed = 1);
+
+}  // namespace csca

@@ -1,0 +1,223 @@
+#include "spt/recur.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace csca {
+
+SptRecurProcess::SptRecurProcess(const Graph& g, NodeId self,
+                                 NodeId source, Weight tau)
+    : g_(&g), self_(self), is_source_(self == source), tau_(tau) {
+  require(tau >= 1, "strip width must be >= 1");
+}
+
+void SptRecurProcess::on_start(Context& ctx) {
+  if (!is_source_) return;
+  dist_ = 0;
+  band_ = 1;
+  start_band(ctx);
+}
+
+void SptRecurProcess::start_band(Context& ctx) {
+  ensure(band_ * tau_ <= g_->total_weight() + tau_,
+         "strip scan ran past the largest possible distance");
+  deficit_ = 0;
+  for (EdgeId e : children_) {
+    send_tracked(ctx, e, Message{kGo, {band_}});
+  }
+  send_offers(ctx);
+  if (deficit_ == 0) band_complete(ctx);  // nothing to do this strip
+}
+
+void SptRecurProcess::send_offers(Context& ctx) {
+  if (dist_ < 0) return;
+  const Weight limit = band_ * tau_;
+  for (EdgeId e : g_->incident(self_)) {
+    const Weight val = dist_ + g_->weight(e);
+    if (val > limit) continue;
+    const auto it = last_offer_.find(e);
+    if (it != last_offer_.end() && it->second <= val) continue;
+    last_offer_[e] = val;
+    send_tracked(ctx, e, Message{kOffer, {val, band_}});
+  }
+}
+
+void SptRecurProcess::adopt(Context& ctx, EdgeId via, Weight value) {
+  if (dist_ >= 0 && value >= dist_) return;
+  const bool reparent = parent_edge_ != via;
+  if (reparent && parent_edge_ != kNoEdge) {
+    send_tracked(ctx, parent_edge_, Message{kDetach});
+  }
+  if (reparent) {
+    send_tracked(ctx, via, Message{kAttach});
+    parent_edge_ = via;
+  }
+  dist_ = value;
+  send_offers(ctx);
+}
+
+void SptRecurProcess::send_tracked(Context& ctx, EdgeId e, Message m) {
+  ++deficit_;
+  ctx.send(e, std::move(m));
+}
+
+void SptRecurProcess::on_message(Context& ctx, const Message& m) {
+  switch (static_cast<MsgType>(m.type)) {
+    case kGo:
+    case kOffer:
+    case kAttach:
+    case kDetach:
+      process_tracked(ctx, m);
+      return;
+    case kAck:
+      on_ack(ctx);
+      return;
+    case kCountReq: {
+      count_pending_ = static_cast<int>(children_.size());
+      count_acc_ = 1;
+      for (EdgeId e : children_) {
+        ctx.send(e, Message{kCountReq, {m.at(0)}});
+      }
+      maybe_count_done(ctx);
+      return;
+    }
+    case kCountResp: {
+      count_acc_ += m.at(1);
+      --count_pending_;
+      ensure(count_pending_ >= 0, "unexpected extra count response");
+      maybe_count_done(ctx);
+      return;
+    }
+    case kDone: {
+      finish_all(ctx);
+      return;
+    }
+  }
+  ensure(false, "SptRecurProcess received a foreign message type");
+}
+
+void SptRecurProcess::process_tracked(Context& ctx, const Message& m) {
+  const bool was_engaged = engaged_ || is_source_;
+  if (!was_engaged) {
+    engaged_ = true;
+    engager_ = m.edge;
+  }
+  switch (static_cast<MsgType>(m.type)) {
+    case kGo: {
+      band_ = std::max(band_, m.at(0));
+      for (EdgeId e : children_) {
+        if (e != m.edge) send_tracked(ctx, e, Message{kGo, {band_}});
+      }
+      send_offers(ctx);
+      break;
+    }
+    case kOffer: {
+      band_ = std::max(band_, m.at(1));
+      adopt(ctx, m.edge, m.at(0));
+      break;
+    }
+    case kAttach: {
+      children_.push_back(m.edge);
+      break;
+    }
+    case kDetach: {
+      const auto it =
+          std::find(children_.begin(), children_.end(), m.edge);
+      ensure(it != children_.end(), "detach from a non-child edge");
+      children_.erase(it);
+      break;
+    }
+    default:
+      ensure(false, "not a tracked message");
+  }
+  if (was_engaged) {
+    ctx.send(m.edge, Message{kAck});
+  }
+  maybe_disengage(ctx);
+}
+
+void SptRecurProcess::on_ack(Context& ctx) {
+  --deficit_;
+  ensure(deficit_ >= 0, "ack without a matching tracked send");
+  maybe_disengage(ctx);
+}
+
+void SptRecurProcess::maybe_disengage(Context& ctx) {
+  if (deficit_ > 0) return;
+  if (is_source_) {
+    band_complete(ctx);
+    return;
+  }
+  if (engaged_) {
+    engaged_ = false;
+    const EdgeId e = engager_;
+    engager_ = kNoEdge;
+    ctx.send(e, Message{kAck});
+  }
+}
+
+void SptRecurProcess::band_complete(Context& ctx) { start_count(ctx); }
+
+void SptRecurProcess::start_count(Context& ctx) {
+  count_pending_ = static_cast<int>(children_.size());
+  count_acc_ = 1;
+  for (EdgeId e : children_) {
+    ctx.send(e, Message{kCountReq, {band_}});
+  }
+  maybe_count_done(ctx);
+}
+
+void SptRecurProcess::maybe_count_done(Context& ctx) {
+  if (count_pending_ > 0) return;
+  if (!is_source_) {
+    ensure(parent_edge_ != kNoEdge, "counted node must have a parent");
+    ctx.send(parent_edge_, Message{kCountResp, {band_, count_acc_}});
+    return;
+  }
+  if (count_acc_ == g_->node_count()) {
+    finish_all(ctx);
+  } else {
+    ++band_;
+    start_band(ctx);
+  }
+}
+
+void SptRecurProcess::finish_all(Context& ctx) {
+  if (done_) return;
+  done_ = true;
+  for (EdgeId e : children_) {
+    ctx.send(e, Message{kDone});
+  }
+  ctx.finish();
+}
+
+SptRecurRun run_spt_recur(const Graph& g, NodeId source, Weight tau,
+                          std::unique_ptr<DelayModel> delay,
+                          std::uint64_t seed) {
+  g.check_node(source);
+  require(is_connected(g), "run_spt_recur requires a connected graph");
+  Network net(
+      g,
+      [&g, source, tau](NodeId v) {
+        return std::make_unique<SptRecurProcess>(g, v, source, tau);
+      },
+      std::move(delay), seed);
+  RunStats stats = net.run();
+  SptRecurRun out{{}, RootedTree(g.node_count(), source), stats, 0};
+  std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()),
+                              kNoEdge);
+  out.dist.resize(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto& p = net.process_as<SptRecurProcess>(v);
+    ensure(p.done(), "SPT_recur must terminate everywhere");
+    out.dist[static_cast<std::size_t>(v)] = p.dist();
+    parents[static_cast<std::size_t>(v)] = p.parent_edge();
+  }
+  out.tree = RootedTree::from_parent_edges(g, source, std::move(parents));
+  out.strips =
+      net.process_as<SptRecurProcess>(source).strips_run();
+  return out;
+}
+
+}  // namespace csca

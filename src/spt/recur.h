@@ -1,0 +1,104 @@
+// Algorithm SPT_recur (§9.2): the strip method of [Awe89] (Figure 9).
+//
+// The underlying DIJKSTRA algorithm grows the shortest-path tree in
+// globally synchronized *strips* of the distance axis: strip b finalizes
+// every vertex at distance in ((b-1) tau, b tau]. Inside a strip the
+// frontier relaxes asynchronously (offers may be improved before the
+// strip ends — the "short range" corrections); a Dijkstra-Scholten
+// diffusing-computation termination detection rooted at the source
+// detects strip quiescence, after which all offered distances <= b tau
+// are final, and a count convergecast over the grown tree tells the
+// source whether every vertex has been reached.
+//
+// The strip width tau is the communication/time dial of Figure 9:
+//   tau -> infinity: one strip, pure asynchronous Bellman-Ford —
+//         few synchronizations, but long-range wrong paths cost extra
+//         offer corrections;
+//   tau -> 1: per-distance synchronization, Dijkstra-exact — no wasted
+//         offers, but Theta(D / tau) tree sweeps of control traffic.
+// [Awe89]'s recursion re-applies the idea inside each strip to tune the
+// exponent; we implement the single-level method, which already exhibits
+// the tradeoff the paper's SPT table and Figure 9 illustrate (see
+// DESIGN.md on this substitution).
+#pragma once
+
+#include <map>
+
+#include "graph/tree.h"
+#include "sim/network.h"
+
+namespace csca {
+
+class SptRecurProcess final : public Process {
+ public:
+  SptRecurProcess(const Graph& g, NodeId self, NodeId source, Weight tau);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+
+  Weight dist() const { return dist_; }
+  EdgeId parent_edge() const { return parent_edge_; }
+  bool done() const { return done_; }
+  std::int64_t strips_run() const { return band_; }
+
+ private:
+  enum MsgType {
+    kGo = 0,        // tracked; data = [band]
+    kOffer = 1,     // tracked; data = [candidate dist, band]
+    kAttach = 2,    // tracked; child gained on this edge
+    kDetach = 3,    // tracked; child lost on this edge
+    kAck = 4,       // Dijkstra-Scholten acknowledgement
+    kCountReq = 5,  // data = [band]
+    kCountResp = 6, // data = [band, subtree size]
+    kDone = 7,
+  };
+
+  void start_band(Context& ctx);
+  void send_offers(Context& ctx);
+  void adopt(Context& ctx, EdgeId via, Weight value);
+  void send_tracked(Context& ctx, EdgeId e, Message m);
+  void process_tracked(Context& ctx, const Message& m);
+  void on_ack(Context& ctx);
+  void maybe_disengage(Context& ctx);
+  void band_complete(Context& ctx);
+  void start_count(Context& ctx);
+  void maybe_count_done(Context& ctx);
+  void finish_all(Context& ctx);
+
+  const Graph* g_;
+  NodeId self_;
+  bool is_source_;
+  Weight tau_;
+
+  Weight dist_ = -1;
+  EdgeId parent_edge_ = kNoEdge;
+  std::vector<EdgeId> children_;
+  std::int64_t band_ = 0;
+  std::map<EdgeId, Weight> last_offer_;  // smallest value sent per edge
+
+  // Dijkstra-Scholten state.
+  bool engaged_ = false;
+  EdgeId engager_ = kNoEdge;
+  int deficit_ = 0;
+
+  // Count convergecast state.
+  int count_pending_ = 0;
+  std::int64_t count_acc_ = 0;
+
+  bool done_ = false;
+};
+
+struct SptRecurRun {
+  std::vector<Weight> dist;
+  RootedTree tree;
+  RunStats stats;
+  std::int64_t strips = 0;  ///< number of strips processed
+};
+
+/// Runs SPT_recur from source with strip width tau >= 1 on a connected
+/// graph.
+SptRecurRun run_spt_recur(const Graph& g, NodeId source, Weight tau,
+                          std::unique_ptr<DelayModel> delay,
+                          std::uint64_t seed = 1);
+
+}  // namespace csca

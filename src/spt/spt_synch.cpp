@@ -1,0 +1,58 @@
+#include "spt/spt_synch.h"
+
+#include "graph/shortest_paths.h"
+#include "graph/traversal.h"
+#include "sim/sync_engine.h"
+#include "spt/bellman_ford.h"
+
+namespace csca {
+
+SptSynchRun run_spt_synch(const Graph& g, NodeId source, int k,
+                          std::unique_ptr<DelayModel> delay,
+                          std::uint64_t seed) {
+  g.check_node(source);
+  require(is_connected(g), "run_spt_synch requires a connected graph");
+
+  // Lemma 4.5 preprocessing: normalize the network; the protocol keeps
+  // computing with the original weights.
+  const Graph ng = normalized_copy(g);
+  std::vector<Weight> orig_w(static_cast<std::size_t>(g.edge_count()));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    orig_w[static_cast<std::size_t>(e)] = g.weight(e);
+  }
+  const auto factory = [&](NodeId v) {
+    return std::make_unique<InSynchBellmanFord>(v, source, &orig_w);
+  };
+
+  // Reference run on the weighted synchronous engine: c_pi and t_pi.
+  SyncEngine ref(ng, factory, /*enforce_in_synch=*/true);
+  const RunStats sync_stats = ref.run();
+  const auto t_pi =
+      static_cast<std::int64_t>(sync_stats.completion_time) + 1;
+
+  // The gamma_w-hosted asynchronous execution.
+  SynchronizedNetwork net(ng, factory, SynchronizerKind::kGammaW, k, t_pi,
+                          std::move(delay), seed);
+  const SynchronizerRun async_run = net.run();
+  ensure(async_run.hosted_all_finished,
+         "every vertex must obtain a distance");
+
+  std::vector<Weight> dist(static_cast<std::size_t>(g.node_count()));
+  std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()),
+                              kNoEdge);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto& bf = net.hosted_as<InSynchBellmanFord>(v);
+    dist[static_cast<std::size_t>(v)] = bf.dist();
+    parents[static_cast<std::size_t>(v)] = bf.parent_edge();
+    // Cross-check against the reference synchronous execution.
+    ensure(bf.dist() ==
+               ref.process_as<InSynchBellmanFord>(v).dist(),
+           "synchronized run must match the synchronous reference");
+  }
+  RootedTree tree =
+      RootedTree::from_parent_edges(g, source, std::move(parents));
+  return SptSynchRun{std::move(dist), std::move(tree), sync_stats,
+                     async_run, t_pi};
+}
+
+}  // namespace csca

@@ -1,0 +1,31 @@
+// Algorithm SPT_synch (§9.1): the synchronous SPT protocol executed on
+// the asynchronous network via synchronizer gamma_w.
+//
+// Corollary 9.1: communication O(script-E + script-D k n log n) and time
+// O(script-D log_k n log n) — the synchronous protocol costs O(script-E)
+// messages and runs for O(script-D) pulses; the synchronizer adds its
+// Lemma 4.8 amortized overheads per pulse. The driver measures both
+// sides of that ledger: the reference synchronous run supplies c_pi and
+// t_pi; the synchronized run's control ledger is the overhead.
+#pragma once
+
+#include "graph/tree.h"
+#include "sync/synchronizer.h"
+
+namespace csca {
+
+struct SptSynchRun {
+  std::vector<Weight> dist;  ///< exact distances in the original graph
+  RootedTree tree;           ///< shortest-path tree realizing them
+  RunStats sync_stats;       ///< the reference synchronous run (c_pi, t_pi)
+  SynchronizerRun async_run;  ///< the gamma_w-hosted asynchronous run
+  std::int64_t t_pi = 0;     ///< synchronous pulses to completion
+};
+
+/// Runs SPT_synch from source with gamma_w partition parameter k >= 2.
+/// Requires g connected.
+SptSynchRun run_spt_synch(const Graph& g, NodeId source, int k,
+                          std::unique_ptr<DelayModel> delay,
+                          std::uint64_t seed = 1);
+
+}  // namespace csca

@@ -1,0 +1,336 @@
+#include "sync/clock_sync.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+
+namespace csca {
+
+namespace {
+
+// Shared bookkeeping: pulse timestamps and the finish rule.
+class ClockBase : public Process {
+ public:
+  explicit ClockBase(int target) : target_(target) {}
+  const std::vector<double>& pulse_times() const { return pulse_times_; }
+
+ protected:
+  /// Records pulse generation; returns false once the train is complete.
+  bool record_pulse(Context& ctx) {
+    pulse_times_.push_back(ctx.now());
+    if (static_cast<int>(pulse_times_.size()) >= target_) {
+      ctx.finish();
+      return false;
+    }
+    return true;
+  }
+  int current_pulse() const {
+    return static_cast<int>(pulse_times_.size());
+  }
+  bool train_done() const {
+    return static_cast<int>(pulse_times_.size()) >= target_;
+  }
+
+ private:
+  int target_;
+  std::vector<double> pulse_times_;
+};
+
+// ---------------------------------------------------------------- alpha*
+class AlphaClock final : public ClockBase {
+ public:
+  AlphaClock(const Graph& g, NodeId self, int target)
+      : ClockBase(target),
+        recv_(static_cast<std::size_t>(g.degree(self)), 0) {}
+
+  void on_start(Context& ctx) override { generate(ctx); }
+
+  void on_message(Context& ctx, const Message& m) override {
+    // recv_[i] = highest pulse heard from the neighbor on incident edge i.
+    const auto edges = ctx.incident();
+    const auto it = std::find(edges.begin(), edges.end(), m.edge);
+    recv_[static_cast<std::size_t>(it - edges.begin())] =
+        std::max<std::int64_t>(
+            recv_[static_cast<std::size_t>(it - edges.begin())], m.at(0));
+    try_generate(ctx);
+  }
+
+ private:
+  void try_generate(Context& ctx) {
+    if (train_done()) return;
+    const auto p = current_pulse();  // next pulse to generate is p + 1
+    for (std::int64_t r : recv_) {
+      if (r < p) return;
+    }
+    generate(ctx);
+  }
+
+  void generate(Context& ctx) {
+    const bool more = record_pulse(ctx);
+    const std::int64_t p = current_pulse();
+    for (EdgeId e : ctx.incident()) {
+      ctx.send(e, Message{0, {p}});
+    }
+    if (more) try_generate(ctx);  // degree-0 safety (n == 1)
+  }
+
+  std::vector<std::int64_t> recv_;
+};
+
+// ----------------------------------------------------------------- beta*
+class BetaClock final : public ClockBase {
+ public:
+  enum MsgType { kDone = 0, kGo = 1 };
+
+  BetaClock(const Graph& g, const RootedTree& tree, NodeId self,
+            int target)
+      : ClockBase(target), is_root_(tree.root() == self) {
+    require(tree.spanning(), "beta* needs a spanning tree");
+    if (!is_root_) parent_edge_ = tree.parent_edge(self);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (v == tree.root()) continue;
+      const EdgeId pe = tree.parent_edge(v);
+      if (g.other(pe, v) == self) children_edges_.push_back(pe);
+    }
+  }
+
+  void on_start(Context& ctx) override {
+    generate(ctx);  // pulse 1 fires everywhere at time 0
+  }
+
+  void on_message(Context& ctx, const Message& m) override {
+    switch (static_cast<MsgType>(m.type)) {
+      case kDone: {
+        ++done_count_;
+        try_report(ctx);
+        return;
+      }
+      case kGo: {
+        for (EdgeId e : children_edges_) {
+          ctx.send(e, Message{kGo});
+        }
+        generate(ctx);
+        return;
+      }
+    }
+  }
+
+ private:
+  void generate(Context& ctx) {
+    if (!record_pulse(ctx)) return;
+    done_count_ = 0;
+    reported_ = false;
+    try_report(ctx);
+  }
+
+  void try_report(Context& ctx) {
+    if (reported_ || train_done()) return;
+    if (done_count_ < static_cast<int>(children_edges_.size())) return;
+    reported_ = true;
+    if (is_root_) {
+      for (EdgeId e : children_edges_) {
+        ctx.send(e, Message{kGo});
+      }
+      generate(ctx);
+    } else {
+      ctx.send(parent_edge_, Message{kDone});
+    }
+  }
+
+  bool is_root_;
+  EdgeId parent_edge_ = kNoEdge;
+  std::vector<EdgeId> children_edges_;
+  int done_count_ = 0;
+  bool reported_ = false;
+};
+
+// ---------------------------------------------------------------- gamma*
+//
+// Trees progress at different speeds, so a fast subtree may report pulse
+// p for one tree while this node still waits on pulse p-1 of another.
+// All progress is therefore tracked with monotone per-child / per-tree
+// pulse counters instead of per-round reset counts.
+class GammaClock final : public ClockBase {
+ public:
+  enum MsgType { kDone = 0, kTreeDone = 1 };
+
+  GammaClock(const Graph& g, const TreeEdgeCover& cover, NodeId self,
+             int target)
+      : ClockBase(target) {
+    for (int t = 0; t < cover.size(); ++t) {
+      const CoverTree& ct = cover.trees[static_cast<std::size_t>(t)];
+      if (!ct.tree.contains(self)) continue;
+      Membership m;
+      m.tree_index = t;
+      m.is_leader = ct.leader == self;
+      if (!m.is_leader) m.parent_edge = ct.tree.parent_edge(self);
+      for (NodeId v : ct.cluster) {
+        if (v == ct.leader) continue;
+        const EdgeId pe = ct.tree.parent_edge(v);
+        if (g.other(pe, v) == self) m.children_edges.push_back(pe);
+      }
+      m.child_done.assign(m.children_edges.size(), 0);
+      memberships_.push_back(std::move(m));
+    }
+    require(!memberships_.empty() || g.degree(self) == 0,
+            "every non-isolated node must belong to some cover tree");
+  }
+
+  void on_start(Context& ctx) override { generate(ctx); }
+
+  void on_message(Context& ctx, const Message& m) override {
+    Membership& mem = membership(static_cast<int>(m.at(0)));
+    switch (static_cast<MsgType>(m.type)) {
+      case kDone: {
+        // A child's subtree has completed pulse m.at(1) in this tree.
+        const std::size_t slot = child_slot(mem, m.edge);
+        mem.child_done[slot] =
+            std::max(mem.child_done[slot], m.at(1));
+        try_report(ctx, mem);
+        return;
+      }
+      case kTreeDone: {
+        for (EdgeId e : mem.children_edges) {
+          ctx.send(e, Message{kTreeDone, {m.at(0), m.at(1)}});
+        }
+        mem.tree_done = std::max(mem.tree_done, m.at(1));
+        try_generate(ctx);
+        return;
+      }
+    }
+  }
+
+ private:
+  struct Membership {
+    int tree_index = -1;
+    bool is_leader = false;
+    EdgeId parent_edge = kNoEdge;
+    std::vector<EdgeId> children_edges;
+    std::vector<std::int64_t> child_done;  // highest pulse per child
+    std::int64_t reported = 0;   // highest pulse sent up / declared
+    std::int64_t tree_done = 0;  // highest TREE_DONE pulse seen
+  };
+
+  Membership& membership(int tree_index) {
+    for (Membership& m : memberships_) {
+      if (m.tree_index == tree_index) return m;
+    }
+    ensure(false, "message for a tree this node does not belong to");
+    return memberships_.front();
+  }
+
+  static std::size_t child_slot(const Membership& mem, EdgeId e) {
+    for (std::size_t i = 0; i < mem.children_edges.size(); ++i) {
+      if (mem.children_edges[i] == e) return i;
+    }
+    ensure(false, "kDone arrived on a non-child edge");
+    return 0;
+  }
+
+  void generate(Context& ctx) {
+    if (!record_pulse(ctx)) return;
+    for (Membership& m : memberships_) {
+      try_report(ctx, m);
+    }
+    try_generate(ctx);  // isolated-node / single-member-tree safety
+  }
+
+  void try_report(Context& ctx, Membership& mem) {
+    const std::int64_t p = current_pulse();
+    if (mem.reported >= p || train_done()) return;
+    for (std::int64_t c : mem.child_done) {
+      if (c < p) return;
+    }
+    mem.reported = p;
+    if (mem.is_leader) {
+      for (EdgeId e : mem.children_edges) {
+        ctx.send(e, Message{kTreeDone, {mem.tree_index, p}});
+      }
+      mem.tree_done = std::max(mem.tree_done, p);
+      try_generate(ctx);
+    } else {
+      ctx.send(mem.parent_edge, Message{kDone, {mem.tree_index, p}});
+    }
+  }
+
+  void try_generate(Context& ctx) {
+    if (train_done()) return;
+    const std::int64_t p = current_pulse();
+    for (const Membership& m : memberships_) {
+      if (m.tree_done < p) return;
+    }
+    generate(ctx);
+  }
+
+  std::vector<Membership> memberships_;
+};
+
+// ---------------------------------------------------------------- driver
+template <typename MakeProcess>
+ClockSyncRun run_clock(const Graph& g, int pulses,
+                       std::unique_ptr<DelayModel> delay,
+                       std::uint64_t seed, const MakeProcess& make) {
+  require(pulses >= 1, "at least one pulse required");
+  require(is_connected(g), "clock synchronization needs a connected graph");
+  Network net(g, make, std::move(delay), seed);
+  ClockSyncRun out;
+  out.stats = net.run();
+  out.pulses = pulses;
+  double max_gap = 0;
+  double gap_sum = 0;
+  std::int64_t gap_count = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& times =
+        dynamic_cast<const ClockBase&>(net.process(v)).pulse_times();
+    ensure(static_cast<int>(times.size()) == pulses,
+           "every node must complete its pulse train");
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      const double gap = times[i] - times[i - 1];
+      max_gap = std::max(max_gap, gap);
+      gap_sum += gap;
+      ++gap_count;
+    }
+    out.total_time = std::max(out.total_time, times.back());
+  }
+  out.max_gap = max_gap;
+  out.mean_gap = gap_count > 0 ? gap_sum / static_cast<double>(gap_count)
+                               : 0.0;
+  out.cost_per_pulse =
+      static_cast<double>(out.stats.total_cost()) /
+      (static_cast<double>(pulses) * static_cast<double>(g.node_count()));
+  out.pulse_times.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out.pulse_times.push_back(
+        dynamic_cast<const ClockBase&>(net.process(v)).pulse_times());
+  }
+  out.max_edge_messages = net.max_edge_message_count();
+  return out;
+}
+
+}  // namespace
+
+ClockSyncRun run_clock_alpha(const Graph& g, int pulses,
+                             std::unique_ptr<DelayModel> delay,
+                             std::uint64_t seed) {
+  return run_clock(g, pulses, std::move(delay), seed, [&](NodeId v) {
+    return std::make_unique<AlphaClock>(g, v, pulses);
+  });
+}
+
+ClockSyncRun run_clock_beta(const Graph& g, const RootedTree& tree,
+                            int pulses, std::unique_ptr<DelayModel> delay,
+                            std::uint64_t seed) {
+  return run_clock(g, pulses, std::move(delay), seed, [&](NodeId v) {
+    return std::make_unique<BetaClock>(g, tree, v, pulses);
+  });
+}
+
+ClockSyncRun run_clock_gamma(const Graph& g, const TreeEdgeCover& cover,
+                             int pulses, std::unique_ptr<DelayModel> delay,
+                             std::uint64_t seed) {
+  return run_clock(g, pulses, std::move(delay), seed, [&](NodeId v) {
+    return std::make_unique<GammaClock>(g, cover, v, pulses);
+  });
+}
+
+}  // namespace csca

@@ -1,0 +1,61 @@
+// Clock synchronization (§3): generate a pulse train at every node such
+// that pulse p at a node happens causally after all its neighbors'
+// pulse p-1. The quality measure (after [ER90]) is the *pulse delay* —
+// the largest time between two successive pulses at any node.
+//
+//   alpha* (§3.1): exchange PULSE messages with all neighbors each pulse.
+//           Pulse delay Theta(W) — a heavy edge stalls both endpoints.
+//   beta*  (§3.2): convergecast/broadcast over one spanning tree.
+//           Pulse delay Theta(depth of the tree) >= script-D.
+//   gamma* (§3.3): beta* inside every tree of a tree edge-cover
+//           (Def. 3.1), alpha*-style coordination across trees. Pulse
+//           delay O(d log^2 n), approaching the Omega(d) lower bound.
+//
+// All three are implemented as real protocols on the asynchronous engine;
+// the run records per-node pulse timestamps so benches can report the
+// measured pulse delay directly.
+#pragma once
+
+#include "graph/tree.h"
+#include "partition/tree_edge_cover.h"
+#include "sim/network.h"
+
+namespace csca {
+
+struct ClockSyncRun {
+  RunStats stats;
+  int pulses = 0;        ///< pulses each node was asked to generate
+  double max_gap = 0;    ///< the measured pulse delay (max over nodes, p)
+  double mean_gap = 0;   ///< average inter-pulse gap
+  double total_time = 0; ///< time for all nodes to finish their train
+  /// Ledger cost divided by (pulses * n): per-node-pulse communication.
+  double cost_per_pulse = 0;
+  /// pulse_times[v][p] = simulated time node v generated pulse p + 1.
+  std::vector<std::vector<double>> pulse_times;
+  /// max over edges of messages carried — per pulse, this measures the
+  /// congestion gamma* pays for trees sharing an edge (Def. 3.1 bounds
+  /// the sharing by O(log n)).
+  std::int64_t max_edge_messages = 0;
+};
+
+/// Synchronizer alpha*: direct neighbor exchange. Requires pulses >= 1
+/// and a connected graph.
+ClockSyncRun run_clock_alpha(const Graph& g, int pulses,
+                             std::unique_ptr<DelayModel> delay,
+                             std::uint64_t seed = 1);
+
+/// Synchronizer beta*: convergecast + broadcast over the given spanning
+/// tree (its root acts as the leader).
+ClockSyncRun run_clock_beta(const Graph& g, const RootedTree& tree,
+                            int pulses, std::unique_ptr<DelayModel> delay,
+                            std::uint64_t seed = 1);
+
+/// Synchronizer gamma*: beta* per tree of the edge-cover; a node fires
+/// pulse p+1 once every tree containing it has completed pulse p (each
+/// edge lies in a shared tree — Def. 3.1 property 3 — so this dominates
+/// the causal requirement).
+ClockSyncRun run_clock_gamma(const Graph& g, const TreeEdgeCover& cover,
+                             int pulses, std::unique_ptr<DelayModel> delay,
+                             std::uint64_t seed = 1);
+
+}  // namespace csca

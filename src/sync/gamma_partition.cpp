@@ -1,0 +1,97 @@
+#include "sync/gamma_partition.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace csca {
+
+GammaPartition build_gamma_partition(const Graph& g,
+                                     const std::vector<char>& edge_mask,
+                                     int k) {
+  require(k >= 2, "gamma partition requires k >= 2");
+  require(edge_mask.size() == static_cast<std::size_t>(g.edge_count()),
+          "edge mask size must equal edge count");
+
+  const auto n = static_cast<std::size_t>(g.node_count());
+  GammaPartition out;
+  out.cluster_of.assign(n, -1);
+  out.parent_edge.assign(n, kNoEdge);
+  out.children_edges.assign(n, {});
+  out.preferred.assign(n, {});
+
+  std::vector<char> in_subgraph(n, 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!edge_mask[static_cast<std::size_t>(e)]) continue;
+    in_subgraph[static_cast<std::size_t>(g.edge(e).u)] = 1;
+    in_subgraph[static_cast<std::size_t>(g.edge(e).v)] = 1;
+  }
+
+  for (NodeId seed = 0; seed < g.node_count(); ++seed) {
+    if (!in_subgraph[static_cast<std::size_t>(seed)] ||
+        out.covered(seed)) {
+      continue;
+    }
+    const int cluster = out.cluster_count();
+    out.leaders.push_back(seed);
+    out.cluster_of[static_cast<std::size_t>(seed)] = cluster;
+
+    // BFS layer growth: absorb the next layer only while it multiplies
+    // the cluster size by more than k.
+    std::vector<NodeId> cluster_nodes{seed};
+    std::vector<NodeId> frontier{seed};
+    // Tentative parents for the next layer, committed only on absorb.
+    while (!frontier.empty()) {
+      std::vector<std::pair<NodeId, EdgeId>> next;  // (node, parent edge)
+      std::vector<char> seen(n, 0);
+      for (NodeId v : frontier) {
+        for (EdgeId e : g.incident(v)) {
+          if (!edge_mask[static_cast<std::size_t>(e)]) continue;
+          const NodeId u = g.other(e, v);
+          if (out.covered(u) || seen[static_cast<std::size_t>(u)]) {
+            continue;
+          }
+          seen[static_cast<std::size_t>(u)] = 1;
+          next.emplace_back(u, e);
+        }
+      }
+      if (next.empty() ||
+          next.size() <= static_cast<std::size_t>(k - 1) *
+                             cluster_nodes.size()) {
+        break;  // growth stalled: freeze the cluster here
+      }
+      frontier.clear();
+      for (const auto& [u, e] : next) {
+        out.cluster_of[static_cast<std::size_t>(u)] = cluster;
+        out.parent_edge[static_cast<std::size_t>(u)] = e;
+        out.children_edges[static_cast<std::size_t>(g.other(e, u))]
+            .push_back(e);
+        cluster_nodes.push_back(u);
+        frontier.push_back(u);
+      }
+    }
+  }
+
+  // One preferred edge per neighboring cluster pair: the smallest edge id
+  // connecting them.
+  std::map<std::pair<int, int>, EdgeId> preferred;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!edge_mask[static_cast<std::size_t>(e)]) continue;
+    const Edge& ed = g.edge(e);
+    const int cu = out.cluster_of[static_cast<std::size_t>(ed.u)];
+    const int cv = out.cluster_of[static_cast<std::size_t>(ed.v)];
+    ensure(cu != -1 && cv != -1, "masked edge endpoints must be covered");
+    if (cu == cv) continue;
+    const auto key = std::minmax(cu, cv);
+    const auto [it, inserted] =
+        preferred.try_emplace({key.first, key.second}, e);
+    if (!inserted && e < it->second) it->second = e;
+  }
+  for (const auto& [pair, e] : preferred) {
+    out.preferred[static_cast<std::size_t>(g.edge(e).u)].push_back(e);
+    out.preferred[static_cast<std::size_t>(g.edge(e).v)].push_back(e);
+  }
+  return out;
+}
+
+}  // namespace csca

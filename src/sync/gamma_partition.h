@@ -1,0 +1,46 @@
+// The cluster partition of synchronizer gamma ([Awe85a]), applied to a
+// subgraph (one weight level of the normalized network, §4.2).
+//
+// Nodes touched by the masked edge set are partitioned into disjoint
+// clusters, each with a BFS spanning tree and a leader. Growth rule: a
+// cluster absorbs its next BFS layer only while the layer multiplies the
+// cluster size by more than the parameter k, so every cluster tree has
+// hop-depth <= log_k(n) and the number of inter-cluster (boundary) edges
+// is bounded by (k - 1) n. For each pair of neighboring clusters exactly
+// one deterministic *preferred edge* carries the cross-cluster safety
+// handshake. This trades communication O(k n) per pulse against time
+// O(log_k n) per pulse — the knobs of Lemma 4.8.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csca {
+
+struct GammaPartition {
+  /// cluster_of[v] = cluster index, or -1 when v has no masked edges.
+  std::vector<int> cluster_of;
+  /// leader of each cluster (its BFS seed).
+  std::vector<NodeId> leaders;
+  /// parent_edge[v] = tree edge toward the leader (kNoEdge for leaders
+  /// and uncovered nodes).
+  std::vector<EdgeId> parent_edge;
+  /// children_edges[v] = tree edges toward v's cluster children.
+  std::vector<std::vector<EdgeId>> children_edges;
+  /// preferred[v] = the preferred inter-cluster edges incident to v.
+  std::vector<std::vector<EdgeId>> preferred;
+
+  int cluster_count() const { return static_cast<int>(leaders.size()); }
+  bool covered(NodeId v) const {
+    return cluster_of[static_cast<std::size_t>(v)] != -1;
+  }
+};
+
+/// Builds the partition over the subgraph formed by the edges with
+/// edge_mask[e] != 0. Requires k >= 2.
+GammaPartition build_gamma_partition(const Graph& g,
+                                     const std::vector<char>& edge_mask,
+                                     int k);
+
+}  // namespace csca

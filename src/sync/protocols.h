@@ -1,0 +1,66 @@
+// Small synchronous protocols used to exercise and measure the
+// synchronizers (tests, benches, examples).
+#pragma once
+
+#include <map>
+
+#include "sim/sync_process.h"
+
+namespace csca {
+
+/// In-synch flooding: the initiator starts a wave; every vertex records
+/// the pulse at which the wave first reached it, then forwards the wave
+/// on each incident edge at the next pulse divisible by that edge's
+/// weight (the Def. 4.2 discipline, i.e. the next_w(t) rule of the
+/// Lemma 4.5 transformation). On a normalized weighted synchronous
+/// network the recorded pulses approximate single-source distances
+/// within a factor < 2 per hop.
+class InSynchFlood final : public SyncProcess {
+ public:
+  InSynchFlood(NodeId self, NodeId initiator)
+      : is_initiator_(self == initiator) {}
+
+  void on_start(SyncContext& ctx) override {
+    if (is_initiator_) reach(ctx);
+  }
+
+  void on_message(SyncContext& ctx, const Message&) override {
+    if (reached_at_ < 0) reach(ctx);
+  }
+
+  void on_wakeup(SyncContext& ctx) override {
+    const std::int64_t p = ctx.pulse();
+    auto it = pending_.find(p);
+    if (it == pending_.end()) return;
+    for (EdgeId e : it->second) {
+      ctx.send(e, Message{0});
+    }
+    pending_.erase(it);
+  }
+
+  /// Pulse at which the wave arrived (-1 if never; 0 at the initiator).
+  std::int64_t reached_at() const { return reached_at_; }
+
+ private:
+  void reach(SyncContext& ctx) {
+    reached_at_ = ctx.pulse();
+    for (EdgeId e : ctx.incident()) {
+      const Weight w = ctx.edge_weight(e);
+      if (reached_at_ % w == 0) {
+        ctx.send(e, Message{0});
+      } else {
+        const std::int64_t at = (reached_at_ / w + 1) * w;
+        auto [it, inserted] = pending_.try_emplace(at);
+        it->second.push_back(e);
+        if (inserted) ctx.schedule_wakeup(at);
+      }
+    }
+    ctx.finish();
+  }
+
+  bool is_initiator_;
+  std::int64_t reached_at_ = -1;
+  std::map<std::int64_t, std::vector<EdgeId>> pending_;
+};
+
+}  // namespace csca

@@ -1,0 +1,105 @@
+// Network synchronizers (§4): run a weighted synchronous protocol on an
+// asynchronous weighted network.
+//
+// The host wraps every protocol message with its send pulse, buffers it
+// at the receiver until the local pulse count reaches send_pulse + w(e)
+// (the weighted synchronous arrival), and acknowledges it on physical
+// arrival so the sender can detect *safety* (Def. 4.1). Pulse generation
+// is driven by one of three strategies:
+//
+//   alpha ("clean every link every pulse"): after pulse p a node waits
+//         for all its sends to be acknowledged, then announces SAFE(p)
+//         to every neighbor; pulse p+1 fires when all neighbors are
+//         safe. O(script-E) control cost and O(W) time per pulse — the
+//         inefficiency §4.1 attributes to naive link cleaning.
+//   beta: safety is convergecast over a spanning tree to a leader whose
+//         GO broadcast releases the next pulse. O(tree weight) control
+//         cost and O(tree depth) time per pulse.
+//   gamma_w (the paper's contribution, §4.2): requires a *normalized*
+//         network (power-of-two weights) and an *in-synch* protocol
+//         (sends on e only at pulses divisible by w(e)). One synchronizer
+//         gamma_j of [Awe85a] per weight level 2^j, run on the subgraph
+//         G_j of weight-2^j edges once every 2^j pulses; pulse
+//         p = 2^j (2r + 1) waits only for the levels dividing p. Heavy
+//         links are "cleaned" rarely, amortizing their cost — Lemma 4.8:
+//         C_p = O(k n log n), T_p = O(log_k n log n).
+//
+// Lemma 4.4 (correctness) is validated in tests by checking that the
+// hosted protocol produces the same outputs as its reference run on the
+// weighted synchronous engine, and that the algorithm-class ledger of
+// the two runs is identical.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "graph/tree.h"
+#include "sim/network.h"
+#include "sim/sync_process.h"
+
+namespace csca {
+
+enum class SynchronizerKind { kAlpha, kBeta, kGammaW };
+
+/// Rounds every weight up to the next power of two: the network
+/// normalization of Lemma 4.5 (Def. 4.6; w <= power(w) < 2w, so
+/// weighted complexities at most double).
+Graph normalized_copy(const Graph& g);
+
+/// True iff every edge weight is a power of two.
+bool is_normalized(const Graph& g);
+
+struct SynchronizerRun {
+  RunStats stats;  ///< algorithm cost == the hosted protocol's c_pi;
+                   ///< control cost == the synchronizer overhead
+  std::int64_t max_pulse = 0;      ///< the pulse budget that was simulated
+  std::int64_t pulses_executed = 0;  ///< highest pulse any node reached
+  bool hosted_all_finished = false;  ///< every hosted process finish()ed
+};
+
+class SynchronizedNetwork {
+ public:
+  using SyncFactory = std::function<std::unique_ptr<SyncProcess>(NodeId)>;
+
+  /// k is the gamma partition parameter (>= 2, ignored by alpha/beta).
+  /// max_pulse bounds how many pulses are generated; it must be at least
+  /// the hosted protocol's synchronous running time t_pi for the
+  /// protocol to complete. gamma_w additionally requires is_normalized(g)
+  /// and enforces the in-synch send discipline.
+  SynchronizedNetwork(const Graph& g, const SyncFactory& factory,
+                      SynchronizerKind kind, int k,
+                      std::int64_t max_pulse,
+                      std::unique_ptr<DelayModel> delay,
+                      std::uint64_t seed = 1);
+  ~SynchronizedNetwork();
+
+  SynchronizerRun run();
+
+  /// The underlying asynchronous network, exposed so drivers can step
+  /// the execution manually (the §9.3 hybrid races two algorithms under
+  /// a shared cost budget).
+  Network& network() { return *net_; }
+
+  /// Collects the run summary from the current network state (valid
+  /// after run(), or mid-race after manual stepping).
+  SynchronizerRun summarize();
+
+  SyncProcess& hosted(NodeId v);
+
+  template <typename T>
+  T& hosted_as(NodeId v) {
+    auto* p = dynamic_cast<T*>(&hosted(v));
+    require(p != nullptr, "hosted process has unexpected concrete type");
+    return *p;
+  }
+
+  /// Implementation detail shared between the driver and the per-node
+  /// hosts (public so the hosts, internal to the .cpp, can name it).
+  struct Shared;
+
+ private:
+  std::shared_ptr<Shared> shared_;
+  std::unique_ptr<Network> net_;
+};
+
+}  // namespace csca

@@ -1,0 +1,145 @@
+#include "sync/transform.h"
+
+#include "graph/traversal.h"
+#include "sim/sync_engine.h"
+
+namespace csca {
+
+// Presents the hosted protocol with the original graph and the virtual
+// (divided-by-4) clock, routing its actions through the adapter.
+class InSynchAdapter::VirtualCtx final : public SyncContext {
+ public:
+  VirtualCtx(InSynchAdapter& adapter, SyncContext& actual)
+      : adapter_(&adapter), actual_(&actual) {}
+
+  NodeId self() const override { return adapter_->self_; }
+  const Graph& graph() const override { return *adapter_->original_; }
+  std::int64_t pulse() const override { return actual_->pulse() / 4; }
+
+  void send(EdgeId e, Message m) override {
+    adapter_->virtual_send(*actual_, pulse(), e, std::move(m));
+  }
+
+  void schedule_wakeup(std::int64_t at_pulse) override {
+    adapter_->virtual_wakeup(*actual_, at_pulse);
+  }
+
+  void finish() override {
+    adapter_->finished_ = true;
+    actual_->finish();
+  }
+
+ private:
+  InSynchAdapter* adapter_;
+  SyncContext* actual_;
+};
+
+InSynchAdapter::InSynchAdapter(const Graph& original, NodeId self,
+                               std::unique_ptr<SyncProcess> inner)
+    : original_(&original), self_(self), inner_(std::move(inner)) {
+  require(inner_ != nullptr, "adapter needs a protocol to host");
+}
+
+InSynchAdapter::Slot& InSynchAdapter::slot_at(SyncContext& ctx,
+                                              std::int64_t actual_pulse) {
+  ensure(actual_pulse > ctx.pulse(),
+         "slots must be scheduled strictly ahead");
+  auto [it, inserted] = slots_.try_emplace(actual_pulse);
+  if (inserted) ctx.schedule_wakeup(actual_pulse);
+  return it->second;
+}
+
+void InSynchAdapter::virtual_send(SyncContext& ctx,
+                                  std::int64_t virtual_pulse, EdgeId e,
+                                  Message m) {
+  // Step 3: the first actual pulse divisible by the normalized weight
+  // (next_w of Def. 4.7), at or after the virtual event's actual time.
+  const Weight w_hat = ctx.edge_weight(e);
+  const std::int64_t desired = 4 * virtual_pulse;
+  const std::int64_t slot =
+      ((desired + w_hat - 1) / w_hat) * w_hat;
+  Message wrapped{0};
+  wrapped.data.reserve(m.data.size() + 2);
+  wrapped.data.push_back(virtual_pulse);
+  wrapped.data.push_back(m.type);
+  wrapped.data.insert(wrapped.data.end(), m.data.begin(), m.data.end());
+  if (slot == ctx.pulse()) {
+    ctx.send(e, std::move(wrapped));
+  } else {
+    slot_at(ctx, slot).sends.emplace_back(e, std::move(wrapped));
+  }
+}
+
+void InSynchAdapter::virtual_wakeup(SyncContext& ctx,
+                                    std::int64_t at_virtual) {
+  require(4 * at_virtual > ctx.pulse(),
+          "hosted wakeup must be scheduled strictly ahead");
+  slot_at(ctx, 4 * at_virtual).hosted_wakeup = true;
+}
+
+void InSynchAdapter::on_start(SyncContext& ctx) {
+  VirtualCtx vctx(*this, ctx);
+  inner_->on_start(vctx);
+}
+
+void InSynchAdapter::on_message(SyncContext& ctx, const Message& m) {
+  // Step 2: the message arrived early (normalized weights are at most
+  // the stretched schedule); buffer until pi's processing time
+  // P = 4 (S + w), with w the original weight.
+  const std::int64_t virtual_send = m.at(0);
+  const Weight w_orig =
+      original_->weight(m.edge);
+  Message inner_msg{static_cast<int>(m.at(1))};
+  inner_msg.data.assign(m.data.begin() + 2, m.data.end());
+  inner_msg.from = m.from;
+  inner_msg.edge = m.edge;
+  const std::int64_t processing = 4 * (virtual_send + w_orig);
+  ensure(processing > ctx.pulse(),
+         "arrival must precede the processing time (Lemma 4.5)");
+  slot_at(ctx, processing).deliveries.push_back(std::move(inner_msg));
+}
+
+void InSynchAdapter::on_wakeup(SyncContext& ctx) {
+  const auto it = slots_.find(ctx.pulse());
+  if (it == slots_.end()) return;
+  Slot slot = std::move(it->second);
+  slots_.erase(it);
+  for (auto& [e, wrapped] : slot.sends) {
+    ensure(ctx.pulse() % ctx.edge_weight(e) == 0,
+           "deferred send missed its in-synch slot");
+    ctx.send(e, std::move(wrapped));
+  }
+  VirtualCtx vctx(*this, ctx);
+  for (Message& m : slot.deliveries) {
+    ensure(ctx.pulse() % 4 == 0, "processing times are multiples of 4");
+    inner_->on_message(vctx, m);
+  }
+  if (slot.hosted_wakeup) {
+    inner_->on_wakeup(vctx);
+  }
+}
+
+TransformedNetwork::TransformedNetwork(const Graph& g,
+                                       const SyncFactory& factory, int k,
+                                       std::unique_ptr<DelayModel> delay,
+                                       std::uint64_t seed)
+    : normalized_(normalized_copy(g)) {
+  require(is_connected(g), "transformed run requires a connected graph");
+  // Reference: pi on the exact weighted synchronous engine over G.
+  SyncEngine ref(g, factory, /*enforce_in_synch=*/false);
+  pi_stats_ = ref.run();
+  t_pi_ = static_cast<std::int64_t>(pi_stats_.completion_time) + 1;
+
+  const auto adapter_factory = [&g, &factory](NodeId v) {
+    return std::make_unique<InSynchAdapter>(g, v, factory(v));
+  };
+  net_ = std::make_unique<SynchronizedNetwork>(
+      normalized_, adapter_factory, SynchronizerKind::kGammaW, k,
+      4 * (t_pi_ + 2), std::move(delay), seed);
+}
+
+TransformedRun TransformedNetwork::run() {
+  return TransformedRun{net_->run(), t_pi_, pi_stats_};
+}
+
+}  // namespace csca

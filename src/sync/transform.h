@@ -1,0 +1,109 @@
+// The protocol transformation of Lemma 4.5 (§4.3), as executable code.
+//
+// Given an arbitrary synchronous protocol pi written for the *exact*
+// weighted synchronous network G (message on e arrives exactly w(e)
+// pulses later), the adapter produces the protocol pi' that (1) runs on
+// the normalized network G-hat, (2) obeys the in-synch discipline of
+// Def. 4.2 — so it can be driven by synchronizer gamma_w — and (3) is
+// output-identical to pi on G, with at most a constant-factor blowup in
+// complexity. The paper's three steps are implemented literally:
+//
+//   Step 1: slow the clock by 4: pi-event at virtual pulse v happens at
+//           actual pulse 4v.
+//   Step 2: run on G-hat = power-of-two rounded weights (Def. 4.6);
+//           messages now arrive *early* relative to pi's schedule, so
+//           they are buffered until their processing time
+//           P = 4 (S + w(e)), w the ORIGINAL weight.
+//   Step 3: defer each send to next_w-hat(4v), the first actual pulse
+//           divisible by the normalized edge weight (Def. 4.7); the
+//           deferral (< w-hat) never pushes arrival past P.
+//
+// The hosted protocol keeps seeing the original graph G: its context
+// reports original weights and a virtual clock, so *any* SyncProcess
+// written for the exact model runs unchanged.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "sim/sync_process.h"
+#include "sync/synchronizer.h"
+
+namespace csca {
+
+class InSynchAdapter final : public SyncProcess {
+ public:
+  /// original: the graph pi was written for (weights used for pi's
+  /// virtual clock; must outlive the adapter). The adapter itself runs
+  /// on a SyncContext over normalized_copy(original).
+  InSynchAdapter(const Graph& original, NodeId self,
+                 std::unique_ptr<SyncProcess> inner);
+
+  void on_start(SyncContext& ctx) override;
+  void on_message(SyncContext& ctx, const Message& m) override;
+  void on_wakeup(SyncContext& ctx) override;
+
+  SyncProcess& inner() { return *inner_; }
+
+ private:
+  /// Work scheduled for one actual pulse: sends whose in-synch slot has
+  /// come, deliveries whose processing time has come, and at most one
+  /// hosted wakeup.
+  struct Slot {
+    std::vector<std::pair<EdgeId, Message>> sends;  // wrapped messages
+    std::vector<Message> deliveries;                // unwrapped, virtual
+    bool hosted_wakeup = false;
+  };
+
+  class VirtualCtx;
+
+  void virtual_send(SyncContext& ctx, std::int64_t virtual_pulse,
+                    EdgeId e, Message m);
+  void virtual_wakeup(SyncContext& ctx, std::int64_t at_virtual);
+  Slot& slot_at(SyncContext& ctx, std::int64_t actual_pulse);
+
+  const Graph* original_;
+  NodeId self_;
+  std::unique_ptr<SyncProcess> inner_;
+  std::map<std::int64_t, Slot> slots_;  // keyed by actual pulse
+  bool finished_ = false;
+};
+
+struct TransformedRun {
+  SynchronizerRun run;
+  std::int64_t t_pi = 0;  ///< pi's running time on the exact sync engine
+  RunStats pi_stats;      ///< pi's own (reference) complexity
+};
+
+/// Applies Lemma 4.5 end to end: runs pi on the exact weighted
+/// synchronous engine over g as the reference, then runs the transformed
+/// pi' on an asynchronous normalized network under synchronizer gamma_w
+/// (partition parameter k), returning the synchronized run. Access the
+/// hosted pi instances through `net` for output comparison.
+class TransformedNetwork {
+ public:
+  using SyncFactory = std::function<std::unique_ptr<SyncProcess>(NodeId)>;
+
+  TransformedNetwork(const Graph& g, const SyncFactory& factory, int k,
+                     std::unique_ptr<DelayModel> delay,
+                     std::uint64_t seed = 1);
+
+  TransformedRun run();
+
+  /// The pi instance hosted at v (inside the adapter).
+  template <typename T>
+  T& inner_as(NodeId v) {
+    auto& adapter = net_->hosted_as<InSynchAdapter>(v);
+    auto* p = dynamic_cast<T*>(&adapter.inner());
+    require(p != nullptr, "inner process has unexpected concrete type");
+    return *p;
+  }
+
+ private:
+  Graph normalized_;
+  std::int64_t t_pi_;
+  RunStats pi_stats_;
+  std::unique_ptr<SynchronizedNetwork> net_;
+};
+
+}  // namespace csca

@@ -1,0 +1,29 @@
+#include "util/require.h"
+
+namespace csca::detail {
+
+namespace {
+std::string format(const char* kind, const std::string& message,
+                   const std::source_location& where) {
+  std::string out{kind};
+  out += ": ";
+  out += message;
+  out += " [";
+  out += where.file_name();
+  out += ":";
+  out += std::to_string(where.line());
+  out += "]";
+  return out;
+}
+}  // namespace
+
+void throw_precondition(const std::string& message,
+                        std::source_location where) {
+  throw PreconditionError(format("precondition violated", message, where));
+}
+
+void throw_invariant(const std::string& message, std::source_location where) {
+  throw InvariantError(format("invariant violated", message, where));
+}
+
+}  // namespace csca::detail

@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Rng is header-only today; this translation unit anchors the library so
+// that csca_util always has at least one object file.

@@ -1,0 +1,51 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the library (random graph generators, random
+// delay models) flows through Rng so that every test and benchmark run is
+// reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/require.h"
+
+namespace csca {
+
+/// Seeded deterministic random source. Thin wrapper over std::mt19937_64
+/// with convenience samplers; cheap to copy (copies fork the stream state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    require(lo <= hi, "uniform_int requires lo <= hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi) {
+    require(lo <= hi, "uniform_real requires lo <= hi");
+    if (lo == hi) return lo;
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p) {
+    require(p >= 0.0 && p <= 1.0, "chance requires p in [0,1]");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// subsystem its own stream so adding draws in one place does not
+  /// perturb another.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace csca

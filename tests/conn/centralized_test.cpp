@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "conn/mst_centr.h"
+#include "conn/spt_centr.h"
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+
+namespace csca {
+namespace {
+
+TEST(MstCentr, FindsUniqueMstOnSmallGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(2, 3, 3);
+  g.add_edge(0, 3, 10);
+  g.add_edge(0, 2, 10);
+  const auto run = run_mst_centr(g, 0, make_exact_delay());
+  EXPECT_TRUE(run.tree.spanning());
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.tree.edge_set()));
+}
+
+class MstCentrPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MstCentrPropertyTest, MatchesKruskalUnderRandomDelays) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.uniform_int(2, 30));
+  Graph g = connected_gnp(n, 0.3, WeightSpec::uniform(1, 40), rng);
+  const auto run =
+      run_mst_centr(g, static_cast<NodeId>(rng.uniform_int(0, n - 1)),
+                    make_uniform_delay(0.1, 1.0), GetParam());
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.tree.edge_set()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstCentrPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(MstCentr, Corollary64CommunicationBound) {
+  // O(n * script-V): probe/report/add cost O(w(T)) per phase and the
+  // join streams cost O(|T| * w(e)) <= O(n * V) overall.
+  Rng rng(77);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = connected_gnp(24, 0.25, WeightSpec::uniform(1, 25), rng);
+    const auto m = measure(g);
+    const auto run = run_mst_centr(g, 0, make_exact_delay());
+    EXPECT_LE(run.stats.algorithm_cost,
+              8 * static_cast<Weight>(m.n) * m.comm_V)
+        << "trial " << trial;
+  }
+}
+
+TEST(MstCentr, TimeBoundedByPhasesTimesTreeDepth) {
+  Rng rng(78);
+  Graph g = connected_gnp(20, 0.3, WeightSpec::uniform(1, 12), rng);
+  const auto run = run_mst_centr(g, 0, make_exact_delay());
+  const Weight mst_diam = run.tree.diameter(g);
+  // Cor 6.4: O(n * Diam(MST)) time; constant covers the 4 passes/phase.
+  EXPECT_LE(run.stats.completion_time,
+            8.0 * g.node_count() * static_cast<double>(mst_diam));
+}
+
+TEST(SptCentr, DistancesMatchDijkstraOnFixture) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 2, 5);
+  g.add_edge(2, 3, 2);
+  const auto run = run_spt_centr(g, 0, make_exact_delay());
+  EXPECT_EQ(run.dist, (std::vector<Weight>{0, 1, 2, 4}));
+  EXPECT_EQ(run.tree.depth(g, 3), 4);
+}
+
+class SptCentrPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SptCentrPropertyTest, MatchesDijkstraUnderRandomDelays) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.uniform_int(2, 28));
+  const NodeId src = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+  Graph g = connected_gnp(n, 0.25, WeightSpec::uniform(1, 30), rng);
+  const auto run =
+      run_spt_centr(g, src, make_uniform_delay(0.0, 1.0), GetParam());
+  const auto sp = dijkstra(g, src);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(run.dist[static_cast<std::size_t>(v)],
+              sp.dist[static_cast<std::size_t>(v)]);
+    // The tree realizes the distances.
+    EXPECT_EQ(run.tree.depth(g, v),
+              sp.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SptCentrPropertyTest,
+                         ::testing::Range<std::uint64_t>(20, 40));
+
+TEST(SptCentr, Corollary66CommunicationBound) {
+  Rng rng(79);
+  Graph g = connected_gnp(22, 0.3, WeightSpec::uniform(1, 20), rng);
+  const auto run = run_spt_centr(g, 0, make_exact_delay());
+  const Weight w_spt = run.tree.weight(g);
+  EXPECT_LE(run.stats.algorithm_cost,
+            8 * static_cast<Weight>(g.node_count()) * w_spt);
+}
+
+TEST(Centralized, RunsExactlyNMinusOnePhases) {
+  // Both full-information algorithms add one vertex per phase (§6.3/6.4).
+  Rng rng(81);
+  Graph g = connected_gnp(17, 0.3, WeightSpec::uniform(1, 25), rng);
+  {
+    Network net(
+        g,
+        [&g](NodeId v) {
+          return std::make_unique<MstCentrProcess>(g, v, 0);
+        },
+        make_exact_delay());
+    net.run();
+    EXPECT_EQ(net.process_as<MstCentrProcess>(0).phases_run(), 16);
+    EXPECT_EQ(net.process_as<MstCentrProcess>(0).tree_size(), 17);
+  }
+  {
+    Network net(
+        g,
+        [&g](NodeId v) {
+          return std::make_unique<SptCentrProcess>(g, v, 0);
+        },
+        make_exact_delay());
+    net.run();
+    EXPECT_EQ(net.process_as<SptCentrProcess>(0).phases_run(), 16);
+  }
+}
+
+TEST(Centralized, EveryTreeMemberHoldsTheIdenticalTreeCopy) {
+  // The §6.3 invariant: after termination all vertices agree on the
+  // whole tree, not just the root.
+  Rng rng(82);
+  Graph g = connected_gnp(12, 0.35, WeightSpec::uniform(1, 15), rng);
+  Network net(
+      g,
+      [&g](NodeId v) { return std::make_unique<MstCentrProcess>(g, v, 3); },
+      make_uniform_delay(0.1, 1.0), 9);
+  net.run();
+  const auto& root = net.process_as<MstCentrProcess>(3);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& p = net.process_as<MstCentrProcess>(v);
+    EXPECT_TRUE(p.done());
+    EXPECT_EQ(p.tree_weight(), root.tree_weight());
+    for (NodeId t = 0; t < g.node_count(); ++t) {
+      EXPECT_EQ(p.tree_parent_edge(t), root.tree_parent_edge(t))
+          << "copies diverge at node " << v << " entry " << t;
+    }
+  }
+}
+
+TEST(Centralized, SingleNodeAndSingleEdge) {
+  Graph g1(1);
+  EXPECT_TRUE(run_mst_centr(g1, 0, make_exact_delay()).tree.spanning());
+  EXPECT_TRUE(run_spt_centr(g1, 0, make_exact_delay()).tree.spanning());
+  Graph g2(2);
+  g2.add_edge(0, 1, 6);
+  const auto mst = run_mst_centr(g2, 1, make_exact_delay());
+  EXPECT_TRUE(mst.tree.spanning());
+  const auto spt = run_spt_centr(g2, 1, make_exact_delay());
+  EXPECT_EQ(spt.dist, (std::vector<Weight>{6, 0}));
+}
+
+TEST(Centralized, DisconnectedRejected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(run_mst_centr(g, 0, make_exact_delay()),
+               PreconditionError);
+  EXPECT_THROW(run_spt_centr(g, 0, make_exact_delay()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

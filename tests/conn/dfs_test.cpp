@@ -1,0 +1,124 @@
+#include "conn/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+// Checks the fundamental DFS-tree property for undirected graphs: every
+// non-tree edge joins an ancestor-descendant pair.
+bool is_dfs_tree(const Graph& g, const RootedTree& t) {
+  if (!t.spanning()) return false;
+  const auto is_ancestor = [&](NodeId a, NodeId b) {
+    NodeId cur = b;
+    while (cur != t.root()) {
+      if (cur == a) return true;
+      cur = g.other(t.parent_edge(cur), cur);
+    }
+    return a == t.root();
+  };
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& ed = g.edge(e);
+    if (t.contains(ed.u) && t.parent_edge(ed.u) == e) continue;
+    if (t.contains(ed.v) && t.parent_edge(ed.v) == e) continue;
+    if (!is_ancestor(ed.u, ed.v) && !is_ancestor(ed.v, ed.u)) return false;
+  }
+  return true;
+}
+
+TEST(Dfs, TraversesPathGraph) {
+  Rng rng(1);
+  Graph g = path_graph(5, WeightSpec::constant(3), rng);
+  const auto run = run_dfs(g, 0, make_exact_delay());
+  EXPECT_TRUE(run.tree.spanning());
+  // On a path the DFS tour walks each edge exactly twice.
+  EXPECT_EQ(run.traversal_weight, 2 * g.total_weight());
+}
+
+TEST(Dfs, ProducesDfsTreeOnRandomGraphs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = connected_gnp(20, 0.25, WeightSpec::uniform(1, 10), rng);
+    const auto run = run_dfs(g, 0, make_uniform_delay(0.2, 1.0),
+                             100 + static_cast<std::uint64_t>(trial));
+    EXPECT_TRUE(is_dfs_tree(g, run.tree)) << "trial " << trial;
+  }
+}
+
+TEST(Dfs, Fact62CommunicationLinearInScriptE) {
+  // Token + reject + backtrack puts at most ~4 messages on each edge and
+  // estimate reports add at most a constant factor more.
+  Rng rng(3);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = connected_gnp(25, 0.3, WeightSpec::uniform(1, 50), rng);
+    const auto run = run_dfs(g, 0, make_exact_delay(),
+                             200 + static_cast<std::uint64_t>(trial));
+    EXPECT_LE(run.stats.algorithm_cost, 10 * g.total_weight());
+    EXPECT_GE(run.stats.algorithm_cost, run.traversal_weight);
+  }
+}
+
+TEST(Dfs, TraversalWeightCountsTokenTourOnly) {
+  // Traversal weight (the center estimate) excludes report-to-root
+  // traffic, and the tour crosses each edge 2 or 4 times (visit/reject
+  // both directions), so it lies in [2 * w(tree), 4 * script-E].
+  Rng rng(4);
+  Graph g = connected_gnp(15, 0.4, WeightSpec::uniform(1, 7), rng);
+  const auto run = run_dfs(g, 2, make_exact_delay());
+  EXPECT_GE(run.traversal_weight, 2 * run.tree.weight(g));
+  EXPECT_LE(run.traversal_weight, 4 * g.total_weight());
+}
+
+TEST(Dfs, Fact62TimeTracksTraversalWeightUnderExactDelays) {
+  // DFS is inherently serial: with exact delays, elapsed time is at
+  // least the token's full tour weight and at most a constant multiple
+  // (the report-to-root walks).
+  Rng rng(7);
+  Graph g = connected_gnp(20, 0.3, WeightSpec::uniform(1, 20), rng);
+  const auto run = run_dfs(g, 0, make_exact_delay());
+  EXPECT_GE(run.stats.completion_time,
+            static_cast<double>(run.traversal_weight));
+  EXPECT_LE(run.stats.completion_time,
+            3.0 * static_cast<double>(run.traversal_weight));
+}
+
+TEST(Dfs, DeterministicUnderExactDelays) {
+  Rng rng(5);
+  Graph g = connected_gnp(18, 0.3, WeightSpec::uniform(1, 9), rng);
+  const auto a = run_dfs(g, 0, make_exact_delay());
+  const auto b = run_dfs(g, 0, make_exact_delay());
+  EXPECT_EQ(a.stats.algorithm_messages, b.stats.algorithm_messages);
+  EXPECT_EQ(a.traversal_weight, b.traversal_weight);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    EXPECT_EQ(a.tree.parent_edge(v), b.tree.parent_edge(v));
+  }
+}
+
+TEST(Dfs, WorksFromEveryRoot) {
+  Rng rng(6);
+  Graph g = grid_graph(3, 4, WeightSpec::uniform(1, 5), rng);
+  for (NodeId root = 0; root < g.node_count(); ++root) {
+    const auto run = run_dfs(g, root, make_exact_delay());
+    EXPECT_TRUE(run.tree.spanning());
+    EXPECT_EQ(run.tree.root(), root);
+  }
+}
+
+TEST(Dfs, SingleEdgeGraph) {
+  Graph g(2);
+  g.add_edge(0, 1, 4);
+  const auto run = run_dfs(g, 0, make_exact_delay());
+  EXPECT_TRUE(run.tree.spanning());
+  EXPECT_EQ(run.traversal_weight, 8);  // there and back
+}
+
+TEST(Dfs, DisconnectedRejected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(run_dfs(g, 0, make_exact_delay()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,87 @@
+#include "conn/flood.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/shortest_paths.h"
+
+namespace csca {
+namespace {
+
+TEST(Flood, BuildsSpanningTreeOnPath) {
+  Rng rng(1);
+  Graph g = path_graph(6, WeightSpec::constant(2), rng);
+  const auto run = run_flood(g, 0, make_exact_delay());
+  EXPECT_TRUE(run.tree.spanning());
+  EXPECT_EQ(run.tree.root(), 0);
+  EXPECT_EQ(run.tree.weight(g), 10);
+}
+
+TEST(Flood, Fact61CommunicationIsLinearInScriptE) {
+  // Every vertex sends at most one message per incident edge, so the
+  // total cost is at most 2 * script-E.
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = connected_gnp(30, 0.2, WeightSpec::uniform(1, 20), rng);
+    const auto run = run_flood(g, 0, make_uniform_delay(0.1, 1.0),
+                               1000 + static_cast<std::uint64_t>(trial));
+    EXPECT_LE(run.stats.algorithm_cost, 2 * g.total_weight());
+    EXPECT_GE(run.stats.algorithm_cost, g.total_weight());
+    EXPECT_TRUE(run.tree.spanning());
+  }
+}
+
+TEST(Flood, Fact61TimeIsWeightedRadiusUnderExactDelays) {
+  // With delays pinned at w(e) the wave reaches each vertex exactly at
+  // its weighted distance from the initiator.
+  Rng rng(3);
+  Graph g = connected_gnp(25, 0.15, WeightSpec::uniform(1, 30), rng);
+  Network net(
+      g, [](NodeId v) { return std::make_unique<FloodProcess>(v, 4); },
+      make_exact_delay());
+  net.run();
+  const auto sp = dijkstra(g, 4);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_DOUBLE_EQ(net.finish_time(v),
+                     static_cast<double>(
+                         sp.dist[static_cast<std::size_t>(v)]));
+  }
+}
+
+TEST(Flood, TreeDepthBoundedByDiameterUnderExactDelays) {
+  Rng rng(4);
+  Graph g = grid_graph(5, 5, WeightSpec::uniform(1, 9), rng);
+  const auto m = measure(g);
+  const auto run = run_flood(g, 0, make_exact_delay());
+  // First-receipt edges follow shortest-path timing, so each vertex's
+  // tree depth equals its weighted distance <= script-D.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_LE(run.tree.depth(g, v), m.comm_D);
+  }
+}
+
+TEST(Flood, RandomDelaysStillSpanEverySeed) {
+  Rng rng(5);
+  Graph g = connected_gnp(20, 0.3, WeightSpec::uniform(1, 15), rng);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto run = run_flood(g, 3, make_uniform_delay(0.0, 1.0), seed);
+    EXPECT_TRUE(run.tree.spanning()) << "seed " << seed;
+  }
+}
+
+TEST(Flood, DisconnectedGraphRejected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  EXPECT_THROW(run_flood(g, 0, make_exact_delay()), PreconditionError);
+}
+
+TEST(Flood, SingleNodeGraph) {
+  Graph g(1);
+  const auto run = run_flood(g, 0, make_exact_delay());
+  EXPECT_TRUE(run.tree.spanning());
+  EXPECT_EQ(run.stats.algorithm_messages, 0);
+}
+
+}  // namespace
+}  // namespace csca

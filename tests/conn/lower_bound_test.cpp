@@ -1,0 +1,110 @@
+// Empirical reproduction of §7.1 (Figures 7-8): the Omega(min{script-E,
+// n * script-V}) communication lower bound for connectivity / spanning
+// tree. We cannot run "every deterministic algorithm", but we verify the
+// two regimes of the bound against our implementations:
+//   - edge-scanning algorithms (flood, DFS) pay Theta(script-E) on G_n,
+//     which explodes with the bypass weight X^4;
+//   - tree-growing algorithms (MST_centr) pay Theta(n * script-V), which
+//     grows quadratically in n — exactly Lemma 7.2's sum
+//     X * sum_i (n + 1 - 2i) = Theta(n^2 X);
+//   - the Figure 8 split construction changes the answer, so any correct
+//     algorithm must spend enough to distinguish the two graphs.
+#include <gtest/gtest.h>
+
+#include "conn/dfs.h"
+#include "conn/flood.h"
+#include "conn/hybrid.h"
+#include "conn/mst_centr.h"
+#include "graph/generators.h"
+#include "graph/measures.h"
+
+namespace csca {
+namespace {
+
+TEST(LowerBound, EdgeScannersPayScriptEOnFamily) {
+  const int n = 13;
+  const Weight x = 10;
+  Graph g = lower_bound_family(n, x);
+  const Weight script_e = g.total_weight();
+
+  const auto flood = run_flood(g, 0, make_exact_delay());
+  const auto dfs = run_dfs(g, 0, make_exact_delay());
+  // Both must touch the bypass edges, whose weight dominates script-E.
+  EXPECT_GE(flood.stats.algorithm_cost, script_e / 2);
+  EXPECT_GE(dfs.stats.algorithm_cost, script_e);
+}
+
+TEST(LowerBound, TreeGrowerAvoidsBypassEdges) {
+  const int n = 13;
+  const Weight x = 10;
+  Graph g = lower_bound_family(n, x);
+  const auto mst = run_mst_centr(g, 0, make_exact_delay());
+  // MST_centr never sends a message over a bypass edge: all its traffic
+  // is on the path (weight-x) edges and the one-off probes, so its cost
+  // is polynomial in n * x, far below X^4.
+  EXPECT_LT(mst.stats.algorithm_cost, x * x * x * x);
+  EXPECT_TRUE(mst.tree.spanning());
+}
+
+TEST(LowerBound, Lemma72QuadraticGrowthInN) {
+  // Fit cost(n) ~ n^2: doubling n should roughly quadruple MST_centr's
+  // communication on G_n (V = (n-1) X, so n * V ~ n^2 X).
+  const Weight x = 6;
+  const auto cost_at = [&](int n) {
+    Graph g = lower_bound_family(n, x);
+    return static_cast<double>(
+        run_mst_centr(g, 0, make_exact_delay()).stats.algorithm_cost);
+  };
+  const double c16 = cost_at(17);
+  const double c32 = cost_at(33);
+  const double growth = c32 / c16;
+  EXPECT_GT(growth, 2.5);  // clearly super-linear
+  EXPECT_LT(growth, 6.5);  // and about quadratic, not cubic
+}
+
+TEST(LowerBound, SplitVariantChangesTheCorrectAnswer) {
+  // G_n and G'_{n,i} have different vertex sets and different spanning
+  // trees; a correct algorithm must produce a spanning tree of whichever
+  // graph it actually runs on (Lemma 7.1's distinguishability).
+  const int n = 13;
+  const Weight x = 6;
+  Graph g = lower_bound_family(n, x);
+  Graph gs = lower_bound_family_split(n, x, 1);
+  const auto t = run_con_hybrid(g, 0, make_exact_delay()).tree;
+  const auto ts = run_con_hybrid(gs, 0, make_exact_delay()).tree;
+  EXPECT_EQ(t.size(), n);
+  EXPECT_EQ(ts.size(), n + 2);
+  // The split graph's pendant vertices hang off the heavy edges; any
+  // spanning tree of G'_{n,i} must include both pendant edges.
+  EXPECT_TRUE(ts.contains(n));
+  EXPECT_TRUE(ts.contains(n + 1));
+}
+
+TEST(LowerBound, HybridTracksTheMinOfBothRegimes) {
+  // min{script-E, nV}: on G_n that's nV; on a light dense graph it's
+  // script-E. The hybrid lands within a constant of the min on both.
+  {
+    Graph g = lower_bound_family(17, 8);
+    const auto m = measure(g);
+    const auto run = run_con_hybrid(g, 0, make_exact_delay());
+    const double min_bound = std::min(
+        static_cast<double>(m.comm_E),
+        static_cast<double>(m.n) * static_cast<double>(m.comm_V));
+    EXPECT_LE(static_cast<double>(run.stats.algorithm_cost),
+              8.0 * min_bound);
+  }
+  {
+    Rng rng(9);
+    Graph g = complete_graph(12, WeightSpec::constant(2), rng);
+    const auto m = measure(g);
+    const auto run = run_con_hybrid(g, 0, make_exact_delay());
+    const double min_bound = std::min(
+        static_cast<double>(m.comm_E),
+        static_cast<double>(m.n) * static_cast<double>(m.comm_V));
+    EXPECT_LE(static_cast<double>(run.stats.algorithm_cost),
+              8.0 * min_bound);
+  }
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,77 @@
+#include "control/termination.h"
+
+#include <gtest/gtest.h>
+
+#include "control/protocols.h"
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+TEST(Termination, DetectsPifCompletionEverywhere) {
+  Rng rng(1);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = connected_gnp(14, 0.3, WeightSpec::uniform(1, 10), rng);
+    const auto run = run_with_termination_detection(
+        g, [](NodeId v) { return std::make_unique<BroadcastEcho>(v); },
+        0, make_uniform_delay(0.1, 1.0), seed);
+    EXPECT_TRUE(run.detected);
+    EXPECT_GE(run.detected_at, 0.0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_TRUE(dynamic_cast<BroadcastEcho&>(run.inner(v)).covered());
+    }
+  }
+}
+
+TEST(Termination, CertificateComesAfterAllProtocolActivity) {
+  // The detection time is at least the last protocol event: with exact
+  // delays, the PIF finishes at its deepest round trip; the certificate
+  // cannot precede it.
+  Rng rng(2);
+  Graph g = path_graph(8, WeightSpec::constant(5), rng);
+  const auto run = run_with_termination_detection(
+      g, [](NodeId v) { return std::make_unique<BroadcastEcho>(v); }, 0,
+      make_exact_delay());
+  EXPECT_TRUE(run.detected);
+  // Wave to the end (35) + echo back (35) = 70; the certificate needs
+  // at least that plus nothing less.
+  EXPECT_GE(run.detected_at, 70.0);
+}
+
+TEST(Termination, AckOverheadMatchesProtocolTraffic) {
+  // DS sends exactly one ack per protocol message.
+  Rng rng(3);
+  Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 8), rng);
+  const auto run = run_with_termination_detection(
+      g, [](NodeId v) { return std::make_unique<BroadcastEcho>(v); }, 0,
+      make_exact_delay());
+  EXPECT_EQ(run.stats.control_messages, run.stats.algorithm_messages);
+  EXPECT_EQ(run.stats.control_cost, run.stats.algorithm_cost);
+}
+
+TEST(Termination, TrivialProtocolCertifiesImmediately) {
+  class Mute final : public DiffusingProcess {
+   public:
+    void on_message(DiffusingContext&, const Message&) override {}
+  };
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 2);
+  const auto run = run_with_termination_detection(
+      g, [](NodeId) { return std::make_unique<Mute>(); }, 0,
+      make_exact_delay());
+  EXPECT_TRUE(run.detected);
+  EXPECT_DOUBLE_EQ(run.detected_at, 0.0);
+  EXPECT_EQ(run.stats.total_messages(), 0);
+}
+
+TEST(Termination, SingleNode) {
+  Graph g(1);
+  const auto run = run_with_termination_detection(
+      g, [](NodeId v) { return std::make_unique<BroadcastEcho>(v); }, 0,
+      make_exact_delay());
+  EXPECT_TRUE(run.detected);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,85 @@
+#include "core/distributed_slt.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/shortest_paths.h"
+
+namespace csca {
+namespace {
+
+DelayFactory exact() {
+  return [] { return make_exact_delay(); };
+}
+
+DelayFactory uniform(double lo, double hi) {
+  return [lo, hi] { return make_uniform_delay(lo, hi); };
+}
+
+TEST(DistributedSlt, MatchesCentralizedDistances) {
+  Rng rng(1);
+  Graph g = connected_gnp(15, 0.3, WeightSpec::uniform(1, 10), rng);
+  const auto run = run_distributed_slt(g, 0, 2.0, exact());
+  EXPECT_TRUE(run.slt.tree.spanning());
+  const auto sp_sub = dijkstra_subgraph(g, 0, run.slt.subgraph_edges);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(run.slt.tree.depth(g, v),
+              sp_sub.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+class DistributedSltPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistributedSltPropertyTest, BoundsHoldUnderRandomDelays) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.uniform_int(4, 18));
+  Graph g = connected_gnp(n, 0.3, WeightSpec::uniform(1, 20), rng);
+  const auto m = measure(g);
+  const double q = 2.0;
+  const auto run = run_distributed_slt(g, 0, q, uniform(0.1, 1.0),
+                                       GetParam());
+  EXPECT_LE(static_cast<double>(run.slt.weight(g)),
+            (1.0 + 2.0 / q) * static_cast<double>(m.comm_V) + 1e-9);
+  EXPECT_LE(static_cast<double>(run.slt.depth(g)),
+            (2.0 * q + 1.0) * static_cast<double>(m.comm_D) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedSltPropertyTest,
+                         ::testing::Values(7, 21, 42, 63));
+
+TEST(DistributedSlt, Theorem27ComplexityBounds) {
+  // O(V n^2) communication and O(D n^2) time overall.
+  Rng rng(2);
+  Graph g = connected_gnp(16, 0.3, WeightSpec::uniform(1, 15), rng);
+  const auto m = measure(g);
+  const auto run = run_distributed_slt(g, 0, 2.0, exact());
+  const double n2 = static_cast<double>(m.n) * static_cast<double>(m.n);
+  EXPECT_LE(static_cast<double>(run.total_cost()),
+            8.0 * static_cast<double>(m.comm_V) * n2);
+  EXPECT_LE(run.total_time(), 16.0 * static_cast<double>(m.comm_D) * n2);
+}
+
+TEST(DistributedSlt, StageLedgersAreAllPopulated) {
+  Rng rng(3);
+  Graph g = connected_gnp(10, 0.4, WeightSpec::uniform(1, 8), rng);
+  const auto run = run_distributed_slt(g, 0, 2.0, exact());
+  EXPECT_GT(run.mst_stats.algorithm_messages, 0);
+  EXPECT_GT(run.spt_stats.algorithm_messages, 0);
+  EXPECT_GT(run.final_stats.algorithm_messages, 0);
+  EXPECT_EQ(run.total_messages(),
+            run.mst_stats.total_messages() +
+                run.spt_stats.total_messages() +
+                run.final_stats.total_messages());
+}
+
+TEST(DistributedSlt, RejectsBadQ) {
+  Rng rng(4);
+  Graph g = path_graph(3, WeightSpec::constant(1), rng);
+  EXPECT_THROW(run_distributed_slt(g, 0, 0.0, exact()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,182 @@
+#include "core/global_compute.h"
+
+#include <gtest/gtest.h>
+
+#include "core/slt.h"
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+
+namespace csca {
+namespace {
+
+TEST(GlobalFunction, FoldMatchesDirectEvaluation) {
+  const std::vector<std::int64_t> xs{5, -3, 12, 0, 7};
+  EXPECT_EQ(fold(functions::sum(), xs), 21);
+  EXPECT_EQ(fold(functions::max(), xs), 12);
+  EXPECT_EQ(fold(functions::min(), xs), -3);
+  EXPECT_EQ(fold(functions::bit_xor(), xs), (5 ^ -3 ^ 12 ^ 0 ^ 7));
+  EXPECT_EQ(fold(functions::bit_and(), xs), (5 & -3 & 12 & 0 & 7));
+  EXPECT_EQ(fold(functions::bit_or(), xs), (5 | -3 | 12 | 0 | 7));
+}
+
+TEST(GlobalFunction, CompactnessProperty) {
+  // f(x1..xn) = g(f(x1..xk), f(x_{k+1}..xn)) for every split point.
+  Rng rng(1);
+  std::vector<std::int64_t> xs(9);
+  for (auto& x : xs) x = rng.uniform_int(-100, 100);
+  for (const auto& f : functions::all()) {
+    const auto whole = fold(f, xs);
+    for (std::size_t k = 0; k <= xs.size(); ++k) {
+      const auto left = fold(f, std::span(xs).first(k));
+      const auto right = fold(f, std::span(xs).subspan(k));
+      EXPECT_EQ(f.combine(left, right), whole) << f.name << " k=" << k;
+    }
+  }
+}
+
+TEST(GlobalCompute, SumOverPathTree) {
+  Rng rng(2);
+  Graph g = path_graph(5, WeightSpec::constant(2), rng);
+  const auto tree = mst_tree(g, 0);
+  const std::vector<std::int64_t> inputs{1, 2, 3, 4, 5};
+  const auto run = run_global_compute(g, tree, functions::sum(), inputs,
+                                      make_exact_delay());
+  EXPECT_EQ(run.result, 15);
+  // Convergecast + broadcast: exactly 2 messages per tree edge.
+  EXPECT_EQ(run.stats.algorithm_messages, 2 * 4);
+  EXPECT_EQ(run.stats.algorithm_cost, 2 * tree.weight(g));
+}
+
+class GlobalComputePropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GlobalComputePropertyTest, AllFunctionsAllTreesMatchFold) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.uniform_int(2, 30));
+  Graph g = connected_gnp(n, 0.25, WeightSpec::uniform(1, 12), rng);
+  std::vector<std::int64_t> inputs(static_cast<std::size_t>(n));
+  for (auto& x : inputs) x = rng.uniform_int(-1000, 1000);
+  const NodeId root = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+  const auto trees = {mst_tree(g, root), dijkstra(g, root).tree(g),
+                      build_slt(g, root, 2.0).tree};
+  for (const auto& tree : trees) {
+    for (const auto& f : functions::all()) {
+      const auto run = run_global_compute(g, tree, f, inputs,
+                                          make_uniform_delay(0.0, 1.0),
+                                          GetParam() + 99);
+      EXPECT_EQ(run.result, fold(f, inputs)) << f.name;
+      EXPECT_EQ(run.stats.algorithm_cost, 2 * tree.weight(g));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobalComputePropertyTest,
+                         ::testing::Values(3, 14, 25, 36, 47));
+
+TEST(GlobalCompute, OverSltAchievesFigure1Bounds) {
+  // Corollary 2.3: O(V) communication and O(D) time on an SLT.
+  Rng rng(4);
+  Graph g = connected_gnp(30, 0.2, WeightSpec::uniform(1, 25), rng);
+  const auto m = measure(g);
+  const double q = 2.0;
+  const auto slt = build_slt(g, 0, q);
+  std::vector<std::int64_t> inputs(30, 1);
+  const auto run = run_global_compute(g, slt.tree, functions::sum(),
+                                      inputs, make_exact_delay());
+  EXPECT_EQ(run.result, 30);
+  // Communication: 2 w(T) <= 2 (1 + 2/q) V.
+  EXPECT_LE(static_cast<double>(run.stats.algorithm_cost),
+            2.0 * (1.0 + 2.0 / q) * static_cast<double>(m.comm_V));
+  // Time: down + up <= 2 * depth <= 2 (2q + 1) D.
+  EXPECT_LE(run.completion_time,
+            2.0 * (2.0 * q + 1.0) * static_cast<double>(m.comm_D));
+}
+
+TEST(GlobalCompute, LowerBoundTheorem21CommunicationAtLeastV) {
+  // Theorem 2.1: any correct computation must move information along
+  // some spanning subgraph, costing at least V. Our implementation's
+  // cost is 2 w(T) >= 2 V >= V on every spanning tree.
+  Rng rng(5);
+  Graph g = connected_gnp(15, 0.3, WeightSpec::uniform(1, 9), rng);
+  const auto m = measure(g);
+  std::vector<std::int64_t> inputs(15, 3);
+  const auto run = run_global_compute(g, mst_tree(g, 0), functions::max(),
+                                      inputs, make_exact_delay());
+  EXPECT_GE(run.stats.algorithm_cost, m.comm_V);
+}
+
+TEST(GlobalFunction, ArgMinPackingRoundTrips) {
+  for (std::int32_t value : {-100000, -1, 0, 1, 42, 1 << 30}) {
+    for (std::int32_t id : {0, 1, 999}) {
+      const auto packed = pack_value_id(value, id);
+      EXPECT_EQ(packed_value(packed), value);
+      EXPECT_EQ(packed_id(packed), id);
+    }
+  }
+  // Comparisons follow values first, then ids.
+  EXPECT_LT(pack_value_id(-5, 9), pack_value_id(-4, 0));
+  EXPECT_LT(pack_value_id(7, 1), pack_value_id(7, 2));
+}
+
+TEST(GlobalCompute, ArgMinElectsTheMinimumHolder) {
+  // §1.4.1's generality claim in action: electing the node holding the
+  // minimum sensor reading is one symmetric-compact aggregation.
+  Rng rng(8);
+  Graph g = connected_gnp(20, 0.25, WeightSpec::uniform(1, 10), rng);
+  std::vector<std::int32_t> readings(20);
+  for (auto& r : readings) {
+    r = static_cast<std::int32_t>(rng.uniform_int(-500, 500));
+  }
+  std::vector<std::int64_t> inputs(20);
+  for (NodeId v = 0; v < 20; ++v) {
+    inputs[static_cast<std::size_t>(v)] =
+        pack_value_id(readings[static_cast<std::size_t>(v)], v);
+  }
+  const auto run = run_global_compute(g, mst_tree(g, 0),
+                                      arg_min(), inputs,
+                                      make_uniform_delay(0.1, 1.0), 4);
+  // Reference winner.
+  NodeId want = 0;
+  for (NodeId v = 1; v < 20; ++v) {
+    if (readings[static_cast<std::size_t>(v)] <
+            readings[static_cast<std::size_t>(want)] ||
+        (readings[static_cast<std::size_t>(v)] ==
+             readings[static_cast<std::size_t>(want)] &&
+         v < want)) {
+      want = v;
+    }
+  }
+  EXPECT_EQ(packed_id(run.result), want);
+  EXPECT_EQ(packed_value(run.result),
+            readings[static_cast<std::size_t>(want)]);
+}
+
+TEST(GlobalCompute, RejectsBadInputs) {
+  Rng rng(6);
+  Graph g = path_graph(3, WeightSpec::constant(1), rng);
+  const auto tree = mst_tree(g, 0);
+  const std::vector<std::int64_t> wrong_size{1, 2};
+  EXPECT_THROW(run_global_compute(g, tree, functions::sum(), wrong_size,
+                                  make_exact_delay()),
+               PreconditionError);
+  RootedTree partial(3, 0);
+  const std::vector<std::int64_t> inputs{1, 2, 3};
+  EXPECT_THROW(run_global_compute(g, partial, functions::sum(), inputs,
+                                  make_exact_delay()),
+               PreconditionError);
+}
+
+TEST(GlobalCompute, SingleNode) {
+  Graph g(1);
+  RootedTree t(1, 0);
+  const std::vector<std::int64_t> inputs{42};
+  const auto run = run_global_compute(g, t, functions::sum(), inputs,
+                                      make_exact_delay());
+  EXPECT_EQ(run.result, 42);
+  EXPECT_EQ(run.stats.algorithm_messages, 0);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,174 @@
+#include "core/slt.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "graph/traversal.h"
+
+namespace csca {
+namespace {
+
+TEST(Slt, SpansAndStartsAtRoot) {
+  Rng rng(1);
+  Graph g = connected_gnp(20, 0.25, WeightSpec::uniform(1, 15), rng);
+  const auto slt = build_slt(g, 3, 2.0);
+  EXPECT_TRUE(slt.tree.spanning());
+  EXPECT_EQ(slt.tree.root(), 3);
+  EXPECT_EQ(slt.breakpoints.front(), 0);
+}
+
+TEST(Slt, RejectsBadArguments) {
+  Rng rng(2);
+  Graph g = path_graph(4, WeightSpec::constant(1), rng);
+  EXPECT_THROW(build_slt(g, 0, 0.0), PreconditionError);
+  EXPECT_THROW(build_slt(g, 0, -1.0), PreconditionError);
+  Graph disc(3);
+  disc.add_edge(0, 1, 1);
+  EXPECT_THROW(build_slt(disc, 0, 2.0), PreconditionError);
+}
+
+TEST(Slt, OnTreeGraphSltIsTheTreeItself) {
+  Rng rng(3);
+  Graph g = random_tree(15, WeightSpec::uniform(1, 9), rng);
+  const auto slt = build_slt(g, 0, 2.0);
+  EXPECT_EQ(slt.weight(g), g.total_weight());
+}
+
+TEST(Slt, ClassicBadCaseForBothPureTrees) {
+  // Cycle with one heavy chord-free structure: on a unit cycle the MST
+  // (path) has diameter n-1 while the SPT is shallow but heavy; the SLT
+  // must interpolate.
+  Rng rng(4);
+  const int n = 40;
+  Graph g = cycle_graph(n, WeightSpec::constant(1), rng);
+  const auto m = measure(g);
+  const double q = 2.0;
+  const auto slt = build_slt(g, 0, q);
+  EXPECT_LE(static_cast<double>(slt.weight(g)),
+            (1.0 + 2.0 / q) * static_cast<double>(m.comm_V));
+  EXPECT_LE(static_cast<double>(slt.depth(g)),
+            (2.0 * q + 1.0) * static_cast<double>(m.comm_D));
+}
+
+class SltPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(SltPropertyTest, Lemma24WeightAndLemma25DepthBounds) {
+  const auto [seed, q] = GetParam();
+  Rng rng(seed);
+  const int n = static_cast<int>(rng.uniform_int(5, 40));
+  Graph g = connected_gnp(n, 0.2, WeightSpec::uniform(1, 50), rng);
+  const auto m = measure(g);
+  const auto slt = build_slt(g, 0, q);
+
+  EXPECT_TRUE(slt.tree.spanning());
+  // Lemma 2.4: w(T) <= (1 + 2/q) V.
+  EXPECT_LE(static_cast<double>(slt.weight(g)),
+            (1.0 + 2.0 / q) * static_cast<double>(m.comm_V) + 1e-9);
+  // Lemma 2.5 (provable form): depth <= (2q + 1) D.
+  EXPECT_LE(static_cast<double>(slt.depth(g)),
+            (2.0 * q + 1.0) * static_cast<double>(m.comm_D) + 1e-9);
+  // Diameter of a rooted tree is at most twice its depth.
+  EXPECT_LE(slt.diameter(g), 2 * slt.depth(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndQ, SltPropertyTest,
+    ::testing::Combine(::testing::Values(11, 23, 37, 53, 71),
+                       ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0)));
+
+TEST(Slt, QTradesWeightForDepth) {
+  // Larger q permits fewer grafts: weight shrinks toward V while depth
+  // may grow; q -> 0 grafts everywhere: depth approaches D.
+  Rng rng(5);
+  Graph g = cycle_graph(60, WeightSpec::constant(1), rng);
+  const auto slt_light = build_slt(g, 0, 16.0);
+  const auto slt_shallow = build_slt(g, 0, 0.125);
+  EXPECT_LE(slt_light.weight(g), slt_shallow.weight(g));
+  EXPECT_LE(slt_shallow.depth(g), slt_light.depth(g));
+  // Extreme ends: tiny q gives SPT-like depth; huge q gives MST weight.
+  const auto m = measure(g);
+  EXPECT_EQ(slt_shallow.depth(g), m.comm_D);
+  EXPECT_EQ(slt_light.weight(g), m.comm_V);
+}
+
+TEST(Slt, SubgraphContainsMstAndGraftedPathsOnly) {
+  Rng rng(6);
+  Graph g = connected_gnp(25, 0.3, WeightSpec::uniform(1, 20), rng);
+  const auto slt = build_slt(g, 0, 2.0);
+  const auto mst = kruskal_mst(g);
+  // Every MST edge is in E'.
+  for (EdgeId e : mst) {
+    EXPECT_TRUE(slt.subgraph_edges[static_cast<std::size_t>(e)]);
+  }
+  // Every SLT tree edge is in E'.
+  for (EdgeId e : slt.tree.edge_set()) {
+    EXPECT_TRUE(slt.subgraph_edges[static_cast<std::size_t>(e)]);
+  }
+}
+
+TEST(Slt, EulerLineIsTheMstTour) {
+  Rng rng(7);
+  Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 9), rng);
+  const auto slt = build_slt(g, 0, 2.0);
+  const auto tour = euler_tour(g, mst_tree(g, 0));
+  EXPECT_EQ(slt.euler_line, tour);
+}
+
+TEST(Slt, DepthNeverBelowSptDepthWeightNeverBelowMst) {
+  // Sanity floor: no spanning tree is lighter than the MST or shallower
+  // (from the root) than the SPT.
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = connected_gnp(18, 0.25, WeightSpec::uniform(1, 30), rng);
+    const auto slt = build_slt(g, 0, 3.0);
+    EXPECT_GE(slt.weight(g), mst_weight(g));
+    const auto sp = dijkstra(g, 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_GE(slt.tree.depth(g, v),
+                sp.dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(Slt, BeatsBothPureTreesOnTheirBkj83BadCases) {
+  // spt_heavy: the SPT costs Theta(n V); the SLT must stay near V while
+  // keeping near-SPT depth. mst_deep: the MST is Theta(n D) deep; the
+  // SLT must stay near D while keeping near-MST weight.
+  {
+    const int n = 40;
+    Graph g = spt_heavy_family(n);
+    const auto m = measure(g);
+    const auto spt = dijkstra(g, 0).tree(g);
+    const auto slt = build_slt(g, 0, 2.0);
+    EXPECT_GE(spt.weight(g), 5 * m.comm_V);      // the bad case is real
+    EXPECT_LE(slt.weight(g), 2 * m.comm_V);      // SLT fixes it
+    EXPECT_LE(slt.depth(g), 5 * m.comm_D);       // without deep trees
+  }
+  {
+    const int n = 40;
+    Graph g = mst_deep_family(n);
+    const auto m = measure(g);
+    const auto mst = mst_tree(g, 0);
+    const auto slt = build_slt(g, 0, 2.0);
+    EXPECT_GE(mst.diameter(g), 5 * m.comm_D);    // the bad case is real
+    EXPECT_LE(slt.depth(g), 5 * m.comm_D);       // SLT fixes it
+    EXPECT_LE(slt.weight(g), 2 * m.comm_V);      // without heavy trees
+  }
+}
+
+TEST(Slt, SingleNodeAndSingleEdge) {
+  Graph g1(1);
+  EXPECT_TRUE(build_slt(g1, 0, 2.0).tree.spanning());
+  Graph g2(2);
+  g2.add_edge(0, 1, 5);
+  const auto slt = build_slt(g2, 0, 2.0);
+  EXPECT_TRUE(slt.tree.spanning());
+  EXPECT_EQ(slt.weight(g2), 5);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,115 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/disjoint_sets.h"
+
+namespace csca {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g.total_weight(), 0);
+  EXPECT_EQ(g.max_weight(), 0);
+}
+
+TEST(Graph, RejectsNegativeNodeCount) {
+  EXPECT_THROW(Graph(-1), PreconditionError);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 5);
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_EQ(g.edge(e).u, 0);
+  EXPECT_EQ(g.edge(e).v, 1);
+  EXPECT_EQ(g.weight(e), 5);
+  EXPECT_EQ(g.other(e, 0), 1);
+  EXPECT_EQ(g.other(e, 1), 0);
+  EXPECT_EQ(g.total_weight(), 5);
+  EXPECT_EQ(g.max_weight(), 5);
+}
+
+TEST(Graph, OtherRejectsNonEndpoint) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 5);
+  EXPECT_THROW(g.other(e, 2), PreconditionError);
+}
+
+TEST(Graph, RejectsSelfLoopsParallelEdgesAndBadWeights) {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  EXPECT_THROW(g.add_edge(1, 1, 1), PreconditionError);
+  EXPECT_THROW(g.add_edge(0, 1, 3), PreconditionError);
+  EXPECT_THROW(g.add_edge(1, 0, 3), PreconditionError);  // reversed too
+  EXPECT_THROW(g.add_edge(1, 2, 0), PreconditionError);
+  EXPECT_THROW(g.add_edge(1, 2, -4), PreconditionError);
+  EXPECT_THROW(g.add_edge(1, 3, 1), PreconditionError);  // out of range
+}
+
+TEST(Graph, IncidentListsAndDegree) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1, 1);
+  const EdgeId e02 = g.add_edge(0, 2, 2);
+  const EdgeId e12 = g.add_edge(1, 2, 3);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(3), 0);
+  const auto inc0 = g.incident(0);
+  EXPECT_EQ(std::vector<EdgeId>(inc0.begin(), inc0.end()),
+            (std::vector<EdgeId>{e01, e02}));
+  const auto inc2 = g.incident(2);
+  EXPECT_EQ(std::vector<EdgeId>(inc2.begin(), inc2.end()),
+            (std::vector<EdgeId>{e02, e12}));
+}
+
+TEST(Graph, FindEdgeEitherOrientation) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(2, 0, 7);
+  EXPECT_EQ(g.find_edge(0, 2), e);
+  EXPECT_EQ(g.find_edge(2, 0), e);
+  EXPECT_EQ(g.find_edge(0, 1), kNoEdge);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 2));
+}
+
+TEST(Graph, TotalAndMaxWeightAccumulate) {
+  Graph g(4);
+  g.add_edge(0, 1, 10);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 4);
+  EXPECT_EQ(g.total_weight(), 15);
+  EXPECT_EQ(g.max_weight(), 10);
+}
+
+TEST(Graph, TotalWeightOfEdgeSubset) {
+  Graph g(4);
+  const EdgeId a = g.add_edge(0, 1, 10);
+  g.add_edge(1, 2, 1);
+  const EdgeId c = g.add_edge(2, 3, 4);
+  const std::vector<EdgeId> subset{a, c};
+  EXPECT_EQ(total_weight(g, subset), 14);
+}
+
+TEST(DisjointSets, UniteAndFind) {
+  DisjointSets ds(5);
+  EXPECT_FALSE(ds.same(0, 1));
+  EXPECT_TRUE(ds.unite(0, 1));
+  EXPECT_TRUE(ds.same(0, 1));
+  EXPECT_FALSE(ds.unite(1, 0));
+  EXPECT_TRUE(ds.unite(2, 3));
+  EXPECT_TRUE(ds.unite(0, 3));
+  EXPECT_TRUE(ds.same(1, 2));
+  EXPECT_EQ(ds.set_size(1), 4);
+  EXPECT_EQ(ds.set_size(4), 1);
+}
+
+TEST(DisjointSets, RangeChecks) {
+  DisjointSets ds(2);
+  EXPECT_THROW(ds.find(2), PreconditionError);
+  EXPECT_THROW(ds.find(-1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,96 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.h"
+#include "graph/mst.h"
+
+namespace csca {
+namespace {
+
+TEST(Components, CountsAndLabels) {
+  Graph g(6);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(3, 4, 1);
+  const auto c = connected_components(g);
+  EXPECT_EQ(c.count, 3);
+  EXPECT_EQ(c.component[0], c.component[2]);
+  EXPECT_EQ(c.component[3], c.component[4]);
+  EXPECT_NE(c.component[0], c.component[3]);
+  EXPECT_NE(c.component[0], c.component[5]);
+  EXPECT_FALSE(c.connected());
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, ConnectedGraph) {
+  Rng rng(1);
+  Graph g = cycle_graph(8, WeightSpec::constant(2), rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(connected_components(g).count, 1);
+}
+
+TEST(Components, EmptyAndSingletonAreConnected) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+}
+
+TEST(HopDistances, IgnoreWeights) {
+  Graph g(4);
+  g.add_edge(0, 1, 1000);
+  g.add_edge(1, 2, 1);
+  g.add_edge(0, 3, 1);
+  const auto d = hop_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 1}));
+}
+
+TEST(HopDiameter, PathAndCycle) {
+  Rng rng(2);
+  EXPECT_EQ(hop_diameter(path_graph(6, WeightSpec::constant(9), rng)), 5);
+  EXPECT_EQ(hop_diameter(cycle_graph(6, WeightSpec::constant(9), rng)), 3);
+}
+
+TEST(EulerTour, PathTreeVisitsEveryEdgeTwice) {
+  Rng rng(3);
+  Graph g = path_graph(4, WeightSpec::constant(1), rng);
+  const auto t = mst_tree(g, 0);
+  const auto tour = euler_tour(g, t);
+  EXPECT_EQ(tour, (std::vector<NodeId>{0, 1, 2, 3, 2, 1, 0}));
+}
+
+TEST(EulerTour, PropertiesOnRandomTrees) {
+  Rng rng(4);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 50));
+    Graph g = random_tree(n, WeightSpec::uniform(1, 5), rng);
+    const auto t = mst_tree(g, 0);
+    const auto tour = euler_tour(g, t);
+    ASSERT_EQ(tour.size(), static_cast<std::size_t>(2 * n - 1));
+    EXPECT_EQ(tour.front(), 0);
+    EXPECT_EQ(tour.back(), 0);
+    // Consecutive entries are tree neighbors; each tree edge used twice.
+    std::map<EdgeId, int> uses;
+    for (std::size_t i = 0; i + 1 < tour.size(); ++i) {
+      const EdgeId e = g.find_edge(tour[i], tour[i + 1]);
+      ASSERT_NE(e, kNoEdge) << "tour steps must follow edges";
+      ++uses[e];
+    }
+    for (const auto& [e, count] : uses) EXPECT_EQ(count, 2) << "edge " << e;
+    EXPECT_EQ(uses.size(), static_cast<std::size_t>(n - 1));
+    // Every node appears.
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    for (NodeId v : tour) seen[static_cast<std::size_t>(v)] = 1;
+    for (char s : seen) EXPECT_TRUE(s);
+  }
+}
+
+TEST(EulerTour, SingleNodeTree) {
+  Graph g(1);
+  RootedTree t(1, 0);
+  EXPECT_EQ(euler_tour(g, t), std::vector<NodeId>{0});
+}
+
+}  // namespace
+}  // namespace csca

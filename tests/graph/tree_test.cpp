@@ -1,0 +1,170 @@
+#include "graph/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+
+namespace csca {
+namespace {
+
+// Small fixture graph:
+//   0 --1-- 1 --2-- 2
+//   |               |
+//   4               8
+//   |               |
+//   3 ------16----- 4
+struct Fixture {
+  Graph g{5};
+  EdgeId e01, e12, e03, e24, e34;
+  Fixture() {
+    e01 = g.add_edge(0, 1, 1);
+    e12 = g.add_edge(1, 2, 2);
+    e03 = g.add_edge(0, 3, 4);
+    e24 = g.add_edge(2, 4, 8);
+    e34 = g.add_edge(3, 4, 16);
+  }
+};
+
+TEST(RootedTree, SingleNodeTree) {
+  RootedTree t(4, 2);
+  EXPECT_EQ(t.root(), 2);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_TRUE(t.contains(2));
+  EXPECT_FALSE(t.contains(0));
+  EXPECT_FALSE(t.spanning());
+}
+
+TEST(RootedTree, AttachGrowsTree) {
+  Fixture f;
+  RootedTree t(5, 0);
+  t.attach(f.g, 1, f.e01);
+  t.attach(f.g, 2, f.e12);
+  t.attach(f.g, 3, f.e03);
+  t.attach(f.g, 4, f.e24);
+  EXPECT_TRUE(t.spanning());
+  EXPECT_EQ(t.weight(f.g), 1 + 2 + 4 + 8);
+  EXPECT_EQ(t.depth(f.g, 4), 1 + 2 + 8);
+  EXPECT_EQ(t.height(f.g), 11);
+  EXPECT_EQ(t.parent(f.g, 4), 2);
+  EXPECT_EQ(t.parent(f.g, 0), kNoNode);
+}
+
+TEST(RootedTree, AttachRejectsDetachedEdge) {
+  Fixture f;
+  RootedTree t(5, 0);
+  // Edge (2,4): neither endpoint in tree yet.
+  EXPECT_THROW(t.attach(f.g, 4, f.e24), PreconditionError);
+  t.attach(f.g, 1, f.e01);
+  EXPECT_THROW(t.attach(f.g, 1, f.e01), PreconditionError);  // duplicate
+}
+
+TEST(RootedTree, FromParentEdgesValidates) {
+  Fixture f;
+  std::vector<EdgeId> pe(5, kNoEdge);
+  pe[1] = f.e01;
+  pe[2] = f.e12;
+  pe[3] = f.e03;
+  pe[4] = f.e24;
+  const auto t = RootedTree::from_parent_edges(f.g, 0, pe);
+  EXPECT_TRUE(t.spanning());
+  EXPECT_EQ(t.weight(f.g), 15);
+}
+
+TEST(RootedTree, FromParentEdgesRejectsDisconnected) {
+  Fixture f;
+  std::vector<EdgeId> pe(5, kNoEdge);
+  pe[4] = f.e24;  // 2 not in tree -> 4 dangles
+  EXPECT_THROW(RootedTree::from_parent_edges(f.g, 0, pe),
+               PreconditionError);
+}
+
+TEST(RootedTree, PathBetweenNodes) {
+  Fixture f;
+  RootedTree t(5, 0);
+  t.attach(f.g, 1, f.e01);
+  t.attach(f.g, 2, f.e12);
+  t.attach(f.g, 3, f.e03);
+  t.attach(f.g, 4, f.e24);
+  const auto p = t.path(f.g, 3, 4);
+  EXPECT_EQ(p, (std::vector<EdgeId>{f.e03, f.e01, f.e12, f.e24}));
+  EXPECT_EQ(total_weight(f.g, p), 15);
+  EXPECT_TRUE(t.path(f.g, 2, 2).empty());
+}
+
+TEST(RootedTree, DiameterTwoSweep) {
+  Fixture f;
+  RootedTree t(5, 0);
+  t.attach(f.g, 1, f.e01);
+  t.attach(f.g, 2, f.e12);
+  t.attach(f.g, 3, f.e03);
+  t.attach(f.g, 4, f.e24);
+  // Longest tree path: 3 - 0 - 1 - 2 - 4 = 4+1+2+8 = 15.
+  EXPECT_EQ(t.diameter(f.g), 15);
+}
+
+TEST(RootedTree, PreorderVisitsAllOnceRootFirst) {
+  Fixture f;
+  RootedTree t(5, 0);
+  t.attach(f.g, 1, f.e01);
+  t.attach(f.g, 2, f.e12);
+  t.attach(f.g, 3, f.e03);
+  t.attach(f.g, 4, f.e24);
+  auto order = t.nodes_preorder(f.g);
+  EXPECT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.front(), 0);
+  std::sort(order.begin(), order.end());
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(RootedTree, DiameterMatchesBruteForceOnRandomTrees) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 40));
+    Graph g = random_tree(n, WeightSpec::uniform(1, 50), rng);
+    const auto t = mst_tree(g, 0);
+    Weight brute = 0;
+    for (NodeId a = 0; a < n; ++a) {
+      const auto sp = dijkstra(g, a);
+      for (NodeId b = 0; b < n; ++b) {
+        brute = std::max(brute, sp.dist[static_cast<std::size_t>(b)]);
+      }
+    }
+    EXPECT_EQ(t.diameter(g), brute) << "n=" << n << " trial=" << trial;
+  }
+}
+
+TEST(RootedTree, PathWeightsMatchDijkstraOnRandomTrees) {
+  // On a tree, the unique tree path between any pair is the shortest
+  // path; path() must realize exactly the Dijkstra distance, from every
+  // root orientation.
+  Rng rng(321);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 30));
+    Graph g = random_tree(n, WeightSpec::uniform(1, 40), rng);
+    const NodeId root = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    const auto t = mst_tree(g, root);
+    const NodeId a = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+    const auto sp = dijkstra(g, a);
+    for (NodeId b = 0; b < n; ++b) {
+      EXPECT_EQ(total_weight(g, t.path(g, a, b)),
+                sp.dist[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+TEST(RootedTree, EdgeSetMatchesAttachedEdges) {
+  Fixture f;
+  RootedTree t(5, 0);
+  t.attach(f.g, 1, f.e01);
+  t.attach(f.g, 3, f.e03);
+  auto es = t.edge_set();
+  std::sort(es.begin(), es.end());
+  EXPECT_EQ(es, (std::vector<EdgeId>{f.e01, f.e03}));
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,175 @@
+// Cross-module robustness matrix: every distributed algorithm x every
+// delay model x adversarial topologies. The paper's model allows any
+// delay in [0, w(e)]; protocols must produce correct outputs under all
+// of them, including the two-point adversary that maximizes reordering.
+#include <gtest/gtest.h>
+
+#include "conn/dfs.h"
+#include "conn/flood.h"
+#include "conn/hybrid.h"
+#include "conn/mst_centr.h"
+#include "conn/spt_centr.h"
+#include "core/global_compute.h"
+#include "core/distributed_slt.h"
+#include "core/slt.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "mst/ghs.h"
+#include "mst/hybrid.h"
+#include "spt/recur.h"
+#include "spt/spt_synch.h"
+
+namespace csca {
+namespace {
+
+enum class DelayKind { kExact, kUniform, kTwoPoint, kNearZero };
+
+std::unique_ptr<DelayModel> make_delay(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::kExact:
+      return make_exact_delay();
+    case DelayKind::kUniform:
+      return make_uniform_delay(0.1, 1.0);
+    case DelayKind::kTwoPoint:
+      return make_two_point_delay(0.3);
+    case DelayKind::kNearZero:
+      return make_uniform_delay(0.0, 0.05);
+  }
+  return nullptr;
+}
+
+const char* delay_name(DelayKind kind) {
+  switch (kind) {
+    case DelayKind::kExact:
+      return "exact";
+    case DelayKind::kUniform:
+      return "uniform";
+    case DelayKind::kTwoPoint:
+      return "two_point";
+    case DelayKind::kNearZero:
+      return "near_zero";
+  }
+  return "?";
+}
+
+std::vector<Graph> topologies() {
+  Rng rng(404);
+  std::vector<Graph> out;
+  out.push_back(path_graph(12, WeightSpec::uniform(1, 30), rng));
+  // Star: one hub, extreme degree skew.
+  {
+    Graph star(10);
+    for (NodeId v = 1; v < 10; ++v) {
+      star.add_edge(0, v, static_cast<Weight>(rng.uniform_int(1, 20)));
+    }
+    out.push_back(std::move(star));
+  }
+  out.push_back(complete_graph(9, WeightSpec::uniform(1, 50), rng));
+  out.push_back(grid_graph(4, 4, WeightSpec::uniform(1, 9), rng));
+  out.push_back(lower_bound_family(11, 5));
+  out.push_back(random_geometric(20, 0.4, 30, rng));
+  return out;
+}
+
+class RobustnessTest : public ::testing::TestWithParam<DelayKind> {};
+
+TEST_P(RobustnessTest, ConnectivityAlgorithmsSpanEverywhere) {
+  for (const Graph& g : topologies()) {
+    for (std::uint64_t seed : {1u, 2u}) {
+      EXPECT_TRUE(
+          run_flood(g, 0, make_delay(GetParam()), seed).tree.spanning());
+      EXPECT_TRUE(
+          run_dfs(g, 0, make_delay(GetParam()), seed).tree.spanning());
+      EXPECT_TRUE(run_con_hybrid(g, 0, make_delay(GetParam()), seed)
+                      .tree.spanning());
+    }
+  }
+}
+
+TEST_P(RobustnessTest, MstAlgorithmsAgreeWithKruskalEverywhere) {
+  for (const Graph& g : topologies()) {
+    for (std::uint64_t seed : {3u, 4u}) {
+      EXPECT_TRUE(is_minimum_spanning_forest(
+          g, run_ghs(g, GhsMode::kSerialScan, make_delay(GetParam()),
+                     seed)
+                 .mst_edges))
+          << delay_name(GetParam());
+      EXPECT_TRUE(is_minimum_spanning_forest(
+          g, run_ghs(g, GhsMode::kParallelGuess, make_delay(GetParam()),
+                     seed)
+                 .mst_edges))
+          << delay_name(GetParam());
+      EXPECT_TRUE(is_minimum_spanning_forest(
+          g, run_mst_centr(g, 0, make_delay(GetParam()), seed)
+                 .tree.edge_set()));
+      const auto hybrid = run_mst_hybrid(
+          g, 0, [&] { return make_delay(GetParam()); }, seed);
+      EXPECT_TRUE(is_minimum_spanning_forest(g, hybrid.mst_edges));
+    }
+  }
+}
+
+TEST_P(RobustnessTest, SptAlgorithmsMatchDijkstraEverywhere) {
+  for (const Graph& g : topologies()) {
+    const auto sp = dijkstra(g, 0);
+    for (std::uint64_t seed : {5u, 6u}) {
+      const auto centr = run_spt_centr(g, 0, make_delay(GetParam()), seed);
+      const auto recur =
+          run_spt_recur(g, 0, 4, make_delay(GetParam()), seed);
+      const auto synch =
+          run_spt_synch(g, 0, 2, make_delay(GetParam()), seed);
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        const Weight want = sp.dist[static_cast<std::size_t>(v)];
+        EXPECT_EQ(centr.dist[static_cast<std::size_t>(v)], want);
+        EXPECT_EQ(recur.dist[static_cast<std::size_t>(v)], want)
+            << delay_name(GetParam()) << " node " << v;
+        EXPECT_EQ(synch.dist[static_cast<std::size_t>(v)], want);
+      }
+    }
+  }
+}
+
+TEST_P(RobustnessTest, GlobalComputeOverDistributedSltPipeline) {
+  // End-to-end: distributed MST -> SPT -> local stretch -> SPT on G'
+  // (Thm 2.7), then aggregate over the resulting SLT — the full §2
+  // pipeline under every delay model.
+  Rng rng(9);
+  Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 12), rng);
+  const auto kind = GetParam();
+  const auto slt = run_distributed_slt(
+      g, 0, 2.0, [kind] { return make_delay(kind); }, 11);
+  std::vector<std::int64_t> inputs(12);
+  Rng in_rng(13);
+  for (auto& x : inputs) x = in_rng.uniform_int(-50, 50);
+  const auto agg = run_global_compute(g, slt.slt.tree, functions::sum(),
+                                      inputs, make_delay(kind), 17);
+  EXPECT_EQ(agg.result, fold(functions::sum(), inputs));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDelays, RobustnessTest,
+                         ::testing::Values(DelayKind::kExact,
+                                           DelayKind::kUniform,
+                                           DelayKind::kTwoPoint,
+                                           DelayKind::kNearZero),
+                         [](const auto& info) {
+                           return delay_name(info.param);
+                         });
+
+TEST(DelayModels, TwoPointStaysInModelRange) {
+  Rng rng(1);
+  TwoPointDelay d(0.5);
+  int slow = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.delay(100, rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 100.0);
+    if (x > 50) ++slow;
+  }
+  EXPECT_GT(slow, 400);
+  EXPECT_LT(slow, 600);
+  EXPECT_THROW(TwoPointDelay(1.5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,76 @@
+// Larger-network checks: the per-module suites stay small for breadth;
+// these runs push node counts an order of magnitude higher to catch
+// anything that only shows up at scale (deep recursions, counter
+// widths, event-queue pressure, O(n^2) hot spots in protocols that
+// should be near-linear).
+#include <gtest/gtest.h>
+
+#include "conn/hybrid.h"
+#include "core/global_compute.h"
+#include "core/slt.h"
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "mst/ghs.h"
+#include "spt/recur.h"
+
+namespace csca {
+namespace {
+
+TEST(Scale, GhsOnTwoHundredNodes) {
+  Rng rng(1);
+  Graph g = connected_gnp(200, 0.04, WeightSpec::uniform(1, 1000), rng);
+  const auto run = run_ghs(g, GhsMode::kSerialScan,
+                           make_uniform_delay(0.1, 1.0), 7);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+}
+
+TEST(Scale, MstFastOnTwoHundredNodes) {
+  Rng rng(2);
+  Graph g = connected_gnp(200, 0.04, WeightSpec::power_of_two(0, 10),
+                          rng);
+  const auto run = run_ghs(g, GhsMode::kParallelGuess,
+                           make_uniform_delay(0.0, 1.0), 8);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+}
+
+TEST(Scale, SptRecurOnLargeGeometricNetwork) {
+  Rng rng(3);
+  Graph g = random_geometric(250, 0.15, 100, rng);
+  const auto run = run_spt_recur(g, 0, 25, make_uniform_delay(0.2, 1.0));
+  const auto sp = dijkstra(g, 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ASSERT_EQ(run.dist[static_cast<std::size_t>(v)],
+              sp.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(Scale, ConHybridOnLargeLowerBoundFamily) {
+  // X must satisfy X^3 >> n for the bypass weights to keep n*V below
+  // script-E at this size (the regime Figure 7 is about).
+  Graph g = lower_bound_family(129, 12);
+  const auto run = run_con_hybrid(g, 0, make_exact_delay());
+  EXPECT_TRUE(run.tree.spanning());
+  EXPECT_FALSE(run.dfs_won);
+  // Still in the n V regime, far below script-E.
+  EXPECT_LT(run.stats.algorithm_cost, g.total_weight());
+}
+
+TEST(Scale, SltAndAggregationOnThreeHundredNodes) {
+  Rng rng(4);
+  Graph g = random_geometric(300, 0.12, 200, rng);
+  const auto m = measure(g);
+  const auto slt = build_slt(g, 0, 2.0);
+  EXPECT_LE(static_cast<double>(slt.weight(g)),
+            2.0 * static_cast<double>(m.comm_V));
+  EXPECT_LE(static_cast<double>(slt.depth(g)),
+            5.0 * static_cast<double>(m.comm_D));
+  std::vector<std::int64_t> inputs(300, 1);
+  const auto agg = run_global_compute(g, slt.tree, functions::sum(),
+                                      inputs, make_exact_delay());
+  EXPECT_EQ(agg.result, 300);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,70 @@
+#include "mst/applications.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/mst.h"
+
+namespace csca {
+namespace {
+
+TEST(LeaderElection, UniqueAgreedLeaderOnRandomGraphs) {
+  Rng rng(1);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const int n = static_cast<int>(rng.uniform_int(2, 25));
+    Graph g = connected_gnp(n, 0.3, WeightSpec::uniform(1, 30), rng);
+    const auto run =
+        run_leader_election(g, make_uniform_delay(0.1, 1.0), seed);
+    EXPECT_GE(run.leader, 0);
+    EXPECT_LT(run.leader, n);
+    EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+  }
+}
+
+TEST(LeaderElection, LeaderIsCoreEdgeEndpointAndDeterministic) {
+  Rng rng(2);
+  Graph g = connected_gnp(15, 0.3, WeightSpec::uniform(1, 50), rng);
+  const auto a = run_leader_election(g, make_exact_delay());
+  const auto b = run_leader_election(g, make_exact_delay());
+  EXPECT_EQ(a.leader, b.leader);
+  // The leader is an endpoint of some MST edge by construction.
+  bool endpoint = false;
+  for (EdgeId e : a.mst_edges) {
+    if (g.edge(e).u == a.leader || g.edge(e).v == a.leader) {
+      endpoint = true;
+    }
+  }
+  EXPECT_TRUE(endpoint);
+}
+
+TEST(LeaderElection, SymmetricTwoNodeNetwork) {
+  Graph g(2);
+  g.add_edge(0, 1, 5);
+  const auto run = run_leader_election(g, make_exact_delay());
+  EXPECT_EQ(run.leader, 1);  // the higher-id core endpoint
+}
+
+TEST(Counting, EveryTopologyCountsItself) {
+  Rng rng(3);
+  const auto exact = [] { return make_exact_delay(); };
+  for (int n : {2, 5, 12, 30}) {
+    Graph g = connected_gnp(n, 0.3, WeightSpec::uniform(1, 10), rng);
+    const auto run = run_counting(g, exact);
+    EXPECT_EQ(run.count, n);
+    // The aggregation costs exactly 2 w(MST).
+    EXPECT_EQ(run.count_stats.total_cost(), 2 * mst_weight(g));
+  }
+}
+
+TEST(Counting, RobustUnderAdversarialDelays) {
+  Rng rng(4);
+  Graph g = connected_gnp(18, 0.25, WeightSpec::uniform(1, 20), rng);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto run = run_counting(
+        g, [] { return make_two_point_delay(0.4); }, seed);
+    EXPECT_EQ(run.count, 18);
+  }
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/mst.h"
+#include "mst/ghs.h"
+
+namespace csca {
+namespace {
+
+TEST(MstFast, Corollary83CommunicationBound) {
+  // O(script-E log n log script-V), generous constant.
+  Rng rng(1);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = connected_gnp(20, 0.3, WeightSpec::uniform(1, 64), rng);
+    const auto m = measure(g);
+    const auto run = run_ghs(g, GhsMode::kParallelGuess,
+                             make_exact_delay(),
+                             30 + static_cast<std::uint64_t>(trial));
+    const double bound = 8.0 * static_cast<double>(m.comm_E) *
+                         std::log2(m.n) *
+                         std::log2(static_cast<double>(m.comm_V) + 2);
+    EXPECT_LE(static_cast<double>(run.stats.algorithm_cost), bound);
+  }
+}
+
+TEST(MstFast, TimeShrinksRelativeToSerialOnHeavyTails) {
+  // Corollary 8.3's motivation: serial GHS's time can approach its
+  // communication on heavy-tailed weights; the parallel-guess search is
+  // bounded by fragment-diameter sweeps instead. Compare both modes on a
+  // family where heavy edges dominate the serial scan latency.
+  Rng rng(2);
+  double fast_wins = 0;
+  const int trials = 6;
+  for (int trial = 0; trial < trials; ++trial) {
+    Graph g(16);
+    for (NodeId v = 0; v + 1 < 16; ++v) {
+      g.add_edge(v, v + 1,
+                 static_cast<Weight>(rng.uniform_int(1, 3)));
+    }
+    for (int extra = 0; extra < 10; ++extra) {
+      const NodeId a = static_cast<NodeId>(rng.uniform_int(0, 15));
+      const NodeId b = static_cast<NodeId>(rng.uniform_int(0, 15));
+      if (a == b || g.has_edge(a, b)) continue;
+      g.add_edge(a, b, static_cast<Weight>(rng.uniform_int(2000, 9000)));
+    }
+    const auto slow = run_ghs(g, GhsMode::kSerialScan,
+                              make_exact_delay(), 50);
+    const auto fast = run_ghs(g, GhsMode::kParallelGuess,
+                              make_exact_delay(), 50);
+    EXPECT_TRUE(is_minimum_spanning_forest(g, slow.mst_edges));
+    EXPECT_TRUE(is_minimum_spanning_forest(g, fast.mst_edges));
+    if (fast.stats.completion_time < slow.stats.completion_time) {
+      fast_wins += 1;
+    }
+  }
+  EXPECT_GE(fast_wins, trials - 1);  // fast should win essentially always
+}
+
+TEST(MstFast, GuessDoublingTerminatesOnUniformWeights) {
+  // All weights equal: the first guess already covers everything.
+  Rng rng(3);
+  Graph g = complete_graph(10, WeightSpec::constant(8), rng);
+  const auto run = run_ghs(g, GhsMode::kParallelGuess,
+                           make_uniform_delay(0.0, 1.0), 4);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+}
+
+TEST(MstFast, PowerOfTwoWeights) {
+  Rng rng(4);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Graph g = connected_gnp(18, 0.3, WeightSpec::power_of_two(0, 10), rng);
+    const auto run = run_ghs(g, GhsMode::kParallelGuess,
+                             make_uniform_delay(0.1, 1.0), seed);
+    EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+  }
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,191 @@
+#include "mst/ghs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/mst.h"
+
+namespace csca {
+namespace {
+
+TEST(Ghs, TwoNodes) {
+  Graph g(2);
+  g.add_edge(0, 1, 7);
+  const auto run = run_ghs(g, GhsMode::kSerialScan, make_exact_delay());
+  EXPECT_EQ(run.mst_edges, (std::vector<EdgeId>{0}));
+}
+
+TEST(Ghs, TriangleDropsHeaviestEdge) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(0, 2, 5);
+  const auto run = run_ghs(g, GhsMode::kSerialScan, make_exact_delay());
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+}
+
+TEST(Ghs, EqualWeightsResolvedByTieBreak) {
+  Rng rng(1);
+  Graph g = complete_graph(8, WeightSpec::constant(3), rng);
+  const auto run = run_ghs(g, GhsMode::kSerialScan,
+                           make_uniform_delay(0.1, 1.0), 5);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+}
+
+class GhsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<GhsMode, std::uint64_t>> {
+};
+
+TEST_P(GhsPropertyTest, MatchesKruskalOnRandomGraphsAndDelays) {
+  const auto [mode, seed] = GetParam();
+  Rng rng(seed);
+  const int n = static_cast<int>(rng.uniform_int(2, 32));
+  const double p = rng.uniform_real(0.1, 0.5);
+  Graph g = connected_gnp(n, p, WeightSpec::uniform(1, 50), rng);
+  const auto run = run_ghs(g, mode, make_uniform_delay(0.0, 1.0), seed);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges))
+      << "n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, GhsPropertyTest,
+    ::testing::Combine(::testing::Values(GhsMode::kSerialScan,
+                                         GhsMode::kParallelGuess),
+                       ::testing::Range<std::uint64_t>(1, 41)));
+
+// Larger networks under the reorder-maximizing two-point adversary: the
+// regime where GHS's level discipline earns its keep.
+class GhsStressTest
+    : public ::testing::TestWithParam<std::tuple<GhsMode, std::uint64_t>> {
+};
+
+TEST_P(GhsStressTest, LargeGraphsUnderTwoPointAdversary) {
+  const auto [mode, seed] = GetParam();
+  Rng rng(seed * 31 + 5);
+  const int n = static_cast<int>(rng.uniform_int(40, 70));
+  Graph g = connected_gnp(n, 0.12, WeightSpec::uniform(1, 200), rng);
+  const auto run = run_ghs(g, mode, make_two_point_delay(0.4), seed);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges))
+      << "n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Stress, GhsStressTest,
+    ::testing::Combine(::testing::Values(GhsMode::kSerialScan,
+                                         GhsMode::kParallelGuess),
+                       ::testing::Range<std::uint64_t>(1, 7)));
+
+TEST(Ghs, Lemma81CommunicationBound) {
+  // O(script-E + script-V log n), with a generous constant.
+  Rng rng(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = connected_gnp(25, 0.3, WeightSpec::uniform(1, 30), rng);
+    const auto m = measure(g);
+    const auto run = run_ghs(g, GhsMode::kSerialScan, make_exact_delay(),
+                             10 + static_cast<std::uint64_t>(trial));
+    const double bound =
+        8.0 * (static_cast<double>(m.comm_E) +
+               static_cast<double>(m.comm_V) * std::log2(m.n));
+    EXPECT_LE(static_cast<double>(run.stats.algorithm_cost), bound);
+  }
+}
+
+TEST(Ghs, FastModeAvoidsSerialHeavyEdgeScans) {
+  // A fragment chain where the serial scan must walk heavy edges one by
+  // one while the parallel-guess mode tests cheap edges first. The fast
+  // mode should never be *slower* by more than the guess-retry constant,
+  // and on heavy-tailed weights it finishes sooner.
+  Graph g(12);
+  for (NodeId v = 0; v + 1 < 12; ++v) g.add_edge(v, v + 1, 2);
+  // Heavy chords at node 0, all internal to the final fragment: the
+  // serial scan must reject them one round-trip at a time, while the
+  // parallel-guess mode probes them all at once.
+  for (NodeId j = 3; j <= 10; ++j) {
+    g.add_edge(0, j, 4000 + j);
+  }
+  const auto slow =
+      run_ghs(g, GhsMode::kSerialScan, make_exact_delay());
+  const auto fast =
+      run_ghs(g, GhsMode::kParallelGuess, make_exact_delay());
+  EXPECT_TRUE(is_minimum_spanning_forest(g, slow.mst_edges));
+  EXPECT_TRUE(is_minimum_spanning_forest(g, fast.mst_edges));
+  EXPECT_LT(fast.stats.completion_time, slow.stats.completion_time);
+}
+
+TEST(Ghs, Lemma81TimeBound) {
+  // O(script-E + script-V log n) time under exact delays, with a
+  // generous constant for the serial scan chains.
+  Rng rng(56);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = connected_gnp(22, 0.3, WeightSpec::uniform(1, 25), rng);
+    const auto m = measure(g);
+    const auto run = run_ghs(g, GhsMode::kSerialScan, make_exact_delay(),
+                             60 + static_cast<std::uint64_t>(trial));
+    const double bound =
+        8.0 * (static_cast<double>(m.comm_E) +
+               static_cast<double>(m.comm_V) * std::log2(m.n));
+    EXPECT_LE(run.stats.completion_time, bound) << "trial " << trial;
+  }
+}
+
+TEST(Ghs, DeterministicReplayUnderTwoPointAdversary) {
+  // Identical seeds reproduce the entire execution, ledger included --
+  // the property every debugging session depends on.
+  Rng rng(57);
+  Graph g = connected_gnp(20, 0.3, WeightSpec::uniform(1, 30), rng);
+  const auto a = run_ghs(g, GhsMode::kParallelGuess,
+                         make_two_point_delay(0.5), 99);
+  const auto b = run_ghs(g, GhsMode::kParallelGuess,
+                         make_two_point_delay(0.5), 99);
+  EXPECT_EQ(a.mst_edges, b.mst_edges);
+  EXPECT_EQ(a.leader, b.leader);
+  EXPECT_EQ(a.stats.algorithm_messages, b.stats.algorithm_messages);
+  EXPECT_DOUBLE_EQ(a.stats.completion_time, b.stats.completion_time);
+}
+
+TEST(Ghs, FragmentLevelsNeverExceedLogN) {
+  // The GHS level invariant: a level-L fragment has >= 2^L vertices, so
+  // levels are bounded by log2(n).
+  Rng rng(55);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const int n = static_cast<int>(rng.uniform_int(4, 40));
+    Graph g = connected_gnp(n, 0.3, WeightSpec::uniform(1, 30), rng);
+    Network net(
+        g,
+        [&g](NodeId v) {
+          return std::make_unique<GhsProcess>(g, v,
+                                              GhsMode::kSerialScan);
+        },
+        make_uniform_delay(0.0, 1.0), seed);
+    net.run();
+    const int max_level = static_cast<int>(std::ceil(std::log2(n)));
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_LE(net.process_as<GhsProcess>(v).level(), max_level)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(Ghs, RejectsTrivialOrDisconnectedInputs) {
+  Graph g1(1);
+  EXPECT_THROW(run_ghs(g1, GhsMode::kSerialScan, make_exact_delay()),
+               PreconditionError);
+  Graph g2(3);
+  g2.add_edge(0, 1, 1);
+  EXPECT_THROW(run_ghs(g2, GhsMode::kSerialScan, make_exact_delay()),
+               PreconditionError);
+}
+
+TEST(Ghs, LowerBoundFamilyMstIsThePath) {
+  Graph g = lower_bound_family(11, 7);
+  const auto run = run_ghs(g, GhsMode::kSerialScan,
+                           make_uniform_delay(0.2, 1.0), 9);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+  EXPECT_EQ(total_weight(g, run.mst_edges), 10 * 7);
+}
+
+}  // namespace
+}  // namespace csca

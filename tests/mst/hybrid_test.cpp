@@ -1,0 +1,77 @@
+#include "mst/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/mst.h"
+
+namespace csca {
+namespace {
+
+MstDelayFactory exact() {
+  return [] { return make_exact_delay(); };
+}
+
+TEST(MstHybrid, CorrectMstOnRandomGraphs) {
+  Rng rng(1);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const int n = static_cast<int>(rng.uniform_int(2, 26));
+    Graph g = connected_gnp(n, 0.3, WeightSpec::uniform(1, 40), rng);
+    const auto run = run_mst_hybrid(
+        g, 0, [seed] { return make_uniform_delay(0.1, 1.0); }, seed);
+    EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges))
+        << "seed " << seed;
+  }
+}
+
+TEST(MstHybrid, MstCentrPathWinsOnLowerBoundFamily) {
+  // script-E >> n script-V: MST_centr must win the race outright and no
+  // GHS stage (which would scan the X^4 bypasses) should run.
+  Graph g = lower_bound_family(13, 10);
+  const auto run = run_mst_hybrid(g, 0, exact());
+  EXPECT_FALSE(run.used_ghs);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+  EXPECT_LT(run.total_cost(), g.total_weight());
+}
+
+TEST(MstHybrid, GhsPathWinsOnLightDenseGraph) {
+  Rng rng(2);
+  Graph g = complete_graph(14, WeightSpec::constant(1), rng);
+  const auto run = run_mst_hybrid(g, 0, exact());
+  EXPECT_TRUE(run.used_ghs);
+  EXPECT_TRUE(is_minimum_spanning_forest(g, run.mst_edges));
+}
+
+TEST(MstHybrid, Corollary82CommunicationBound) {
+  // O(min{script-E + script-V log n, n script-V}).
+  Rng rng(3);
+  for (int trial = 0; trial < 6; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(8, 24));
+    Graph g = connected_gnp(n, 0.35, WeightSpec::uniform(1, 25), rng);
+    const auto m = measure(g);
+    const auto run = run_mst_hybrid(
+        g, 0, exact(), 70 + static_cast<std::uint64_t>(trial));
+    const double ghs_bill =
+        static_cast<double>(m.comm_E) +
+        static_cast<double>(m.comm_V) * std::log2(m.n);
+    const double centr_bill =
+        static_cast<double>(m.n) * static_cast<double>(m.comm_V);
+    EXPECT_LE(static_cast<double>(run.total_cost()),
+              10.0 * std::min(ghs_bill, centr_bill))
+        << "n=" << n;
+  }
+}
+
+TEST(MstHybrid, TrivialGraphs) {
+  Graph g1(1);
+  const auto run1 = run_mst_hybrid(g1, 0, exact());
+  EXPECT_TRUE(run1.mst_edges.empty());
+  Graph g2(2);
+  g2.add_edge(0, 1, 3);
+  const auto run2 = run_mst_hybrid(g2, 0, exact());
+  EXPECT_EQ(run2.mst_edges, (std::vector<EdgeId>{0}));
+}
+
+}  // namespace
+}  // namespace csca

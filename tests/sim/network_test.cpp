@@ -1,0 +1,337 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+// Echoes every received message back once, tagging type + 1.
+class Echo final : public Process {
+ public:
+  explicit Echo(bool initiator) : initiator_(initiator) {}
+
+  void on_start(Context& ctx) override {
+    if (!initiator_) return;
+    for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+  }
+
+  void on_message(Context& ctx, const Message& m) override {
+    last_type = m.type;
+    last_from = m.from;
+    receive_time = ctx.now();
+    if (m.type == 0) ctx.send(m.edge, Message{1});
+    ctx.finish();
+  }
+
+  bool initiator_;
+  int last_type = -1;
+  NodeId last_from = kNoNode;
+  double receive_time = -1;
+};
+
+Network::ProcessFactory echo_factory(NodeId initiator) {
+  return [initiator](NodeId v) {
+    return std::make_unique<Echo>(v == initiator);
+  };
+}
+
+TEST(Network, PingPongCostAndTimeWithExactDelay) {
+  Graph g(2);
+  g.add_edge(0, 1, 7);
+  Network net(g, echo_factory(0), make_exact_delay());
+  const auto stats = net.run();
+  // One ping + one pong, each costing w = 7.
+  EXPECT_EQ(stats.algorithm_messages, 2);
+  EXPECT_EQ(stats.algorithm_cost, 14);
+  EXPECT_EQ(stats.control_messages, 0);
+  EXPECT_DOUBLE_EQ(stats.completion_time, 14.0);
+  EXPECT_EQ(net.process_as<Echo>(1).last_type, 0);
+  EXPECT_EQ(net.process_as<Echo>(0).last_type, 1);
+  EXPECT_EQ(net.process_as<Echo>(0).last_from, 1);
+}
+
+TEST(Network, UniformDelayWithinModelBounds) {
+  Graph g(2);
+  g.add_edge(0, 1, 100);
+  Network net(g, echo_factory(0), make_uniform_delay(0.2, 0.9), 42);
+  const auto stats = net.run();
+  // Two messages, each delayed in [20, 90].
+  EXPECT_GE(stats.completion_time, 40.0);
+  EXPECT_LE(stats.completion_time, 180.0);
+}
+
+TEST(Network, DelayModelViolationRejected) {
+  class BadDelay final : public DelayModel {
+   public:
+    double delay(Weight w, Rng&) override {
+      return static_cast<double>(w) + 1.0;
+    }
+  };
+  Graph g(2);
+  g.add_edge(0, 1, 3);
+  Network net(g, echo_factory(0), std::make_unique<BadDelay>());
+  EXPECT_THROW(net.run(), PreconditionError);
+}
+
+// Sends one message on a fixed foreign edge to test the incident check.
+class Trespasser final : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 0) ctx.send(1, Message{0});  // edge 1 = (1,2)
+  }
+  void on_message(Context&, const Message&) override {}
+};
+
+TEST(Network, SendingOnForeignEdgeRejected) {
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  Network net(
+      g, [](NodeId) { return std::make_unique<Trespasser>(); },
+      make_exact_delay());
+  EXPECT_THROW(net.run(), PreconditionError);
+}
+
+// Sends a burst of numbered messages; receiver records arrival order.
+class FifoSender final : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() != 0) return;
+    for (int i = 0; i < 50; ++i) {
+      ctx.send(ctx.incident()[0], Message{i});
+    }
+  }
+  void on_message(Context&, const Message& m) override {
+    received.push_back(m.type);
+  }
+  std::vector<int> received;
+};
+
+TEST(Network, ChannelsAreFifoUnderRandomDelays) {
+  Graph g(2);
+  g.add_edge(0, 1, 1000);
+  Network net(
+      g, [](NodeId) { return std::make_unique<FifoSender>(); },
+      make_uniform_delay(0.0, 1.0), 7);
+  net.run();
+  const auto& received = net.process_as<FifoSender>(1).received;
+  ASSERT_EQ(received.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+// Flood-and-reply: first receipt forwards to all other edges and
+// replies; used for per-edge traffic accounting tests.
+class FloodLike final : public Process {
+ public:
+  explicit FloodLike(NodeId self) : is_initiator_(self == 0) {}
+  void on_start(Context& ctx) override {
+    if (!is_initiator_) return;
+    reached_ = true;
+    for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+  }
+  void on_message(Context& ctx, const Message& m) override {
+    if (m.type == 1) return;  // a reply
+    if (!reached_) {
+      reached_ = true;
+      for (EdgeId e : ctx.incident()) {
+        if (e != m.edge) ctx.send(e, Message{0});
+      }
+    }
+    ctx.send(m.edge, Message{1});
+  }
+
+ private:
+  bool is_initiator_;
+  bool reached_ = false;
+};
+
+// Relays a token along the path 0 -> 1 -> ... -> n-1.
+class Relay final : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 0) forward(ctx);
+  }
+  void on_message(Context& ctx, const Message&) override {
+    forward(ctx);
+    ctx.finish();
+  }
+
+ private:
+  void forward(Context& ctx) {
+    for (EdgeId e : ctx.incident()) {
+      if (ctx.neighbor(e) == ctx.self() + 1) ctx.send(e, Message{0});
+    }
+    ctx.finish();
+  }
+};
+
+TEST(Network, RelayAccumulatesWeightedTime) {
+  Rng rng(1);
+  Graph g = path_graph(5, WeightSpec::constant(4), rng);
+  Network net(
+      g, [](NodeId) { return std::make_unique<Relay>(); },
+      make_exact_delay());
+  const auto stats = net.run();
+  EXPECT_EQ(stats.algorithm_messages, 4);
+  EXPECT_EQ(stats.algorithm_cost, 16);
+  EXPECT_DOUBLE_EQ(stats.completion_time, 16.0);
+  EXPECT_TRUE(net.all_finished());
+  EXPECT_DOUBLE_EQ(net.last_finish_time(), 16.0);
+  EXPECT_DOUBLE_EQ(net.finish_time(2), 8.0);
+}
+
+TEST(Network, ControlTrafficAccountedSeparately) {
+  class ControlSender final : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      if (ctx.self() != 0) return;
+      ctx.send(ctx.incident()[0], Message{0}, MsgClass::kAlgorithm);
+      ctx.send(ctx.incident()[0], Message{1}, MsgClass::kControl);
+      ctx.send(ctx.incident()[0], Message{2}, MsgClass::kControl);
+    }
+    void on_message(Context&, const Message&) override {}
+  };
+  Graph g(2);
+  g.add_edge(0, 1, 5);
+  Network net(
+      g, [](NodeId) { return std::make_unique<ControlSender>(); },
+      make_exact_delay());
+  const auto stats = net.run();
+  EXPECT_EQ(stats.algorithm_messages, 1);
+  EXPECT_EQ(stats.algorithm_cost, 5);
+  EXPECT_EQ(stats.control_messages, 2);
+  EXPECT_EQ(stats.control_cost, 10);
+  EXPECT_EQ(stats.total_messages(), 3);
+  EXPECT_EQ(stats.total_cost(), 15);
+}
+
+TEST(Network, MaxTimeCutsRunShort) {
+  Rng rng(1);
+  Graph g = path_graph(10, WeightSpec::constant(10), rng);
+  Network net(
+      g, [](NodeId) { return std::make_unique<Relay>(); },
+      make_exact_delay());
+  net.run(35.0);
+  // Token reached node 3 (time 30) but not node 4 (time 40).
+  EXPECT_TRUE(net.finished(3));
+  EXPECT_FALSE(net.finished(4));
+  EXPECT_FALSE(net.all_finished());
+  EXPECT_THROW(net.last_finish_time(), PreconditionError);
+}
+
+TEST(Network, RunResumesAfterMaxTime) {
+  Rng rng(1);
+  Graph g = path_graph(6, WeightSpec::constant(10), rng);
+  Network net(
+      g, [](NodeId) { return std::make_unique<Relay>(); },
+      make_exact_delay());
+  net.run(25.0);
+  EXPECT_FALSE(net.all_finished());
+  net.run();  // resume to quiescence
+  EXPECT_TRUE(net.all_finished());
+  EXPECT_DOUBLE_EQ(net.last_finish_time(), 50.0);
+}
+
+TEST(Network, StepDeliversOneEventAtATime) {
+  Rng rng(1);
+  Graph g = path_graph(4, WeightSpec::constant(2), rng);
+  Network net(
+      g, [](NodeId) { return std::make_unique<Relay>(); },
+      make_exact_delay());
+  int steps = 0;
+  while (net.step()) ++steps;
+  EXPECT_EQ(steps, 3);  // three relays delivered
+  EXPECT_TRUE(net.idle());
+  EXPECT_FALSE(net.step());
+  EXPECT_EQ(net.stats().algorithm_messages, 3);
+}
+
+TEST(Network, ProcessAsRejectsWrongType) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  Network net(g, echo_factory(0), make_exact_delay());
+  EXPECT_NO_THROW(net.process_as<Echo>(0));
+  EXPECT_THROW(net.process_as<FifoSender>(0), PreconditionError);
+}
+
+// Uses schedule_self to defer work out of the current handler.
+class SelfScheduler final : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() != 0) return;
+    ctx.schedule_self(5.0, Message{1});
+    ctx.schedule_self(2.0, Message{2});
+    ctx.schedule_self(2.0, Message{3});  // same time: FIFO by seq
+  }
+  void on_message(Context& ctx, const Message& m) override {
+    order.push_back(m.type);
+    times.push_back(ctx.now());
+    if (m.type == 1) ctx.schedule_self(0.0, Message{4});
+  }
+  std::vector<int> order;
+  std::vector<double> times;
+};
+
+TEST(Network, ScheduleSelfOrdersByTimeThenSequence) {
+  Graph g(1);
+  Network net(
+      g, [](NodeId) { return std::make_unique<SelfScheduler>(); },
+      make_exact_delay());
+  const auto stats = net.run();
+  const auto& p = net.process_as<SelfScheduler>(0);
+  EXPECT_EQ(p.order, (std::vector<int>{2, 3, 1, 4}));
+  EXPECT_DOUBLE_EQ(p.times[0], 2.0);
+  EXPECT_DOUBLE_EQ(p.times[2], 5.0);
+  EXPECT_DOUBLE_EQ(p.times[3], 5.0);  // zero-delay fires at same time
+  // Self-deliveries are free: no ledger entries.
+  EXPECT_EQ(stats.total_messages(), 0);
+  EXPECT_EQ(stats.total_cost(), 0);
+}
+
+TEST(Network, ScheduleSelfRejectsNegativeDelay) {
+  class Bad final : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      ctx.schedule_self(-1.0, Message{0});
+    }
+    void on_message(Context&, const Message&) override {}
+  };
+  Graph g(1);
+  Network net(
+      g, [](NodeId) { return std::make_unique<Bad>(); },
+      make_exact_delay());
+  EXPECT_THROW(net.run(), PreconditionError);
+}
+
+TEST(Network, EdgeMessageCountsTrackPerLinkTraffic) {
+  Rng rng(1);
+  Graph g = path_graph(3, WeightSpec::constant(2), rng);
+  Network net(
+      g, [](NodeId v) { return std::make_unique<FloodLike>(v); },
+      make_exact_delay());
+  net.run();
+  // Node 0 starts: edge 0 carries 0->1 and the 1->0 response; edge 1
+  // carries 1->2 and 2->1.
+  EXPECT_EQ(net.edge_message_count(0), 2);
+  EXPECT_EQ(net.edge_message_count(1), 2);
+  EXPECT_EQ(net.max_edge_message_count(), 2);
+  EXPECT_THROW(net.edge_message_count(7), PreconditionError);
+}
+
+TEST(Network, DeterministicAcrossIdenticalSeeds) {
+  Rng rng(1);
+  Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 9), rng);
+  auto run_once = [&] {
+    Network net(g, echo_factory(0), make_uniform_delay(0.0, 1.0), 99);
+    return net.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.algorithm_messages, b.algorithm_messages);
+  EXPECT_DOUBLE_EQ(a.completion_time, b.completion_time);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,111 @@
+#include "sim/race.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+// Token walks the path at one hop per message; finishes at the far end.
+class Walker final : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 0) hop(ctx);
+  }
+  void on_message(Context& ctx, const Message&) override { hop(ctx); }
+  bool at_end = false;
+
+ private:
+  void hop(Context& ctx) {
+    for (EdgeId e : ctx.incident()) {
+      if (ctx.neighbor(e) == ctx.self() + 1) {
+        ctx.send(e, Message{0});
+        return;
+      }
+    }
+    at_end = true;  // no next hop: far end reached
+    ctx.finish();
+  }
+};
+
+Network make_walk(const Graph& g) {
+  return Network(
+      g, [](NodeId) { return std::make_unique<Walker>(); },
+      make_exact_delay());
+}
+
+TEST(Race, CheaperSideWins) {
+  Rng rng(1);
+  Graph cheap = path_graph(5, WeightSpec::constant(1), rng);
+  Graph costly = path_graph(5, WeightSpec::constant(100), rng);
+  Network a = make_walk(cheap);
+  Network b = make_walk(costly);
+  const auto finished = [](Network& net) {
+    return net.process_as<Walker>(net.graph().node_count() - 1).at_end;
+  };
+  const auto outcome = race_networks(a, finished, b, finished);
+  EXPECT_EQ(outcome.winner, 0);
+  // The loser never spends more than the winner's final bill plus two
+  // messages (the start-up send and the one delivery used to kick the
+  // network off).
+  EXPECT_LE(outcome.second_stats.total_cost(),
+            outcome.first_stats.total_cost() + 200);
+}
+
+TEST(Race, SymmetricCostsStillTerminate) {
+  Rng rng(2);
+  Graph g1 = path_graph(6, WeightSpec::constant(3), rng);
+  Graph g2 = path_graph(6, WeightSpec::constant(3), rng);
+  Network a = make_walk(g1);
+  Network b = make_walk(g2);
+  const auto finished = [](Network& net) {
+    return net.process_as<Walker>(net.graph().node_count() - 1).at_end;
+  };
+  const auto outcome = race_networks(a, finished, b, finished);
+  EXPECT_GE(outcome.winner, 0);
+  EXPECT_LE(outcome.winner, 1);
+  EXPECT_LE(outcome.total_cost(), 2 * 15 + 3);
+}
+
+TEST(Race, IdleUnfinishedSideStallsTowardOther) {
+  // Side A idles immediately without finishing; the race must push B to
+  // completion anyway.
+  class Lazy final : public Process {
+   public:
+    void on_message(Context&, const Message&) override {}
+  };
+  Rng rng(3);
+  Graph ga = path_graph(3, WeightSpec::constant(1), rng);
+  Graph gb = path_graph(4, WeightSpec::constant(5), rng);
+  Network a(
+      ga, [](NodeId) { return std::make_unique<Lazy>(); },
+      make_exact_delay());
+  Network b = make_walk(gb);
+  const auto a_finished = [](Network&) { return false; };
+  const auto b_finished = [](Network& net) {
+    return net.process_as<Walker>(3).at_end;
+  };
+  const auto outcome = race_networks(a, a_finished, b, b_finished);
+  EXPECT_EQ(outcome.winner, 1);
+}
+
+TEST(Race, BothIdleUnfinishedIsDeadlock) {
+  class Lazy final : public Process {
+   public:
+    void on_message(Context&, const Message&) override {}
+  };
+  Rng rng(4);
+  Graph g = path_graph(3, WeightSpec::constant(1), rng);
+  Network a(
+      g, [](NodeId) { return std::make_unique<Lazy>(); },
+      make_exact_delay());
+  Network b(
+      g, [](NodeId) { return std::make_unique<Lazy>(); },
+      make_exact_delay());
+  const auto never = [](Network&) { return false; };
+  EXPECT_THROW(race_networks(a, never, b, never), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

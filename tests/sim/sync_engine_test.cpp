@@ -1,0 +1,161 @@
+#include "sim/sync_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+// Weighted-synchronous flooding: records the pulse at which the wave
+// reaches each node; with exact w(e) delays that pulse equals dist(0, v).
+class SyncFlood final : public SyncProcess {
+ public:
+  void on_start(SyncContext& ctx) override {
+    if (ctx.self() == 0) spread(ctx);
+  }
+  void on_message(SyncContext& ctx, const Message&) override {
+    if (reached_at >= 0) return;
+    spread(ctx);
+  }
+  std::int64_t reached_at = -1;
+
+ private:
+  void spread(SyncContext& ctx) {
+    reached_at = ctx.pulse();
+    for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+    ctx.finish();
+  }
+};
+
+TEST(SyncEngine, FloodArrivalPulsesEqualShortestDistanceOnPath) {
+  Rng rng(1);
+  Graph g = path_graph(5, WeightSpec::constant(3), rng);
+  SyncEngine eng(g, [](NodeId) { return std::make_unique<SyncFlood>(); });
+  const auto stats = eng.run();
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(eng.process_as<SyncFlood>(v).reached_at, 3 * v);
+  }
+  EXPECT_TRUE(eng.all_finished());
+  // Node 4 is reached at pulse 12; its flood-back lands at node 3 at
+  // pulse 15, the last delivered event.
+  EXPECT_DOUBLE_EQ(stats.completion_time, 15.0);
+}
+
+TEST(SyncEngine, MessageCostsAccumulateWeights) {
+  Graph g(2);
+  g.add_edge(0, 1, 9);
+  SyncEngine eng(g, [](NodeId) { return std::make_unique<SyncFlood>(); });
+  const auto stats = eng.run();
+  // 0 floods at pulse 0; 1 floods back at pulse 9.
+  EXPECT_EQ(stats.algorithm_messages, 2);
+  EXPECT_EQ(stats.algorithm_cost, 18);
+}
+
+// Sends on a weight-4 edge at pulse 2 (violating in-synch discipline).
+class OffBeat final : public SyncProcess {
+ public:
+  void on_start(SyncContext& ctx) override {
+    if (ctx.self() == 0) ctx.schedule_wakeup(2);
+  }
+  void on_wakeup(SyncContext& ctx) override {
+    ctx.send(ctx.incident()[0], Message{0});
+  }
+  void on_message(SyncContext&, const Message&) override {}
+};
+
+TEST(SyncEngine, InSynchEnforcementRejectsOffBeatSends) {
+  Graph g(2);
+  g.add_edge(0, 1, 4);
+  {
+    SyncEngine lax(g, [](NodeId) { return std::make_unique<OffBeat>(); },
+                   /*enforce_in_synch=*/false);
+    EXPECT_NO_THROW(lax.run());
+  }
+  {
+    SyncEngine strict(
+        g, [](NodeId) { return std::make_unique<OffBeat>(); },
+        /*enforce_in_synch=*/true);
+    EXPECT_THROW(strict.run(), PreconditionError);
+  }
+}
+
+// Wakes itself every k pulses, counting activations.
+class Ticker final : public SyncProcess {
+ public:
+  explicit Ticker(std::int64_t period) : period_(period) {}
+  void on_start(SyncContext& ctx) override {
+    if (ctx.self() == 0) ctx.schedule_wakeup(period_);
+  }
+  void on_wakeup(SyncContext& ctx) override {
+    ticks.push_back(ctx.pulse());
+    if (ticks.size() < 5) ctx.schedule_wakeup(ctx.pulse() + period_);
+  }
+  void on_message(SyncContext&, const Message&) override {}
+  std::vector<std::int64_t> ticks;
+
+ private:
+  std::int64_t period_;
+};
+
+TEST(SyncEngine, WakeupsFireAtRequestedPulses) {
+  Graph g(1);
+  SyncEngine eng(g, [](NodeId) { return std::make_unique<Ticker>(10); });
+  eng.run();
+  EXPECT_EQ(eng.process_as<Ticker>(0).ticks,
+            (std::vector<std::int64_t>{10, 20, 30, 40, 50}));
+}
+
+TEST(SyncEngine, WakeupInPastRejected) {
+  class BadWakeup final : public SyncProcess {
+   public:
+    void on_start(SyncContext& ctx) override {
+      if (ctx.self() == 0) ctx.schedule_wakeup(0);
+    }
+    void on_message(SyncContext&, const Message&) override {}
+  };
+  Graph g(1);
+  SyncEngine eng(g, [](NodeId) { return std::make_unique<BadWakeup>(); });
+  EXPECT_THROW(eng.run(), PreconditionError);
+}
+
+TEST(SyncEngine, MaxPulseStopsExecution) {
+  Rng rng(2);
+  Graph g = path_graph(6, WeightSpec::constant(5), rng);
+  SyncEngine eng(g, [](NodeId) { return std::make_unique<SyncFlood>(); });
+  eng.run(11);
+  EXPECT_EQ(eng.process_as<SyncFlood>(2).reached_at, 10);
+  EXPECT_EQ(eng.process_as<SyncFlood>(3).reached_at, -1);
+}
+
+TEST(SyncEngine, MessagesDeliveredBeforeWakeupAtSamePulse) {
+  // Node 0 sends over weight-5 edge at pulse 0 and node 1 schedules a
+  // wakeup at pulse 5: the message handler must run first.
+  class Receiver final : public SyncProcess {
+   public:
+    void on_start(SyncContext& ctx) override {
+      if (ctx.self() == 1) ctx.schedule_wakeup(5);
+      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{0});
+    }
+    void on_message(SyncContext&, const Message&) override {
+      order.push_back('m');
+    }
+    void on_wakeup(SyncContext&) override { order.push_back('w'); }
+    std::string order;
+  };
+  Graph g(2);
+  g.add_edge(0, 1, 5);
+  SyncEngine eng(g, [](NodeId) { return std::make_unique<Receiver>(); });
+  eng.run();
+  EXPECT_EQ(eng.process_as<Receiver>(1).order, "mw");
+}
+
+TEST(SyncEngine, RunTwiceRejected) {
+  Graph g(1);
+  SyncEngine eng(g, [](NodeId) { return std::make_unique<SyncFlood>(); });
+  eng.run();
+  EXPECT_THROW(eng.run(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

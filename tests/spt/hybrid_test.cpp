@@ -1,0 +1,63 @@
+#include "spt/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "spt/recur.h"
+#include "spt/spt_synch.h"
+
+namespace csca {
+namespace {
+
+SptDelayFactory exact() {
+  return [] { return make_exact_delay(); };
+}
+
+class SptHybridPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SptHybridPropertyTest, ExactDistancesWhicheverSideWins) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.uniform_int(2, 18));
+  const NodeId src = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+  Graph g = connected_gnp(n, 0.3, WeightSpec::uniform(1, 15), rng);
+  const auto run = run_spt_hybrid(
+      g, src, 2, 5, [] { return make_uniform_delay(0.2, 1.0); },
+      GetParam());
+  const auto sp = dijkstra(g, src);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(run.dist[static_cast<std::size_t>(v)],
+              sp.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SptHybridPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(SptHybrid, Corollary93CostNearTheCheaperSide) {
+  Rng rng(5);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = connected_gnp(16, 0.3, WeightSpec::uniform(1, 12), rng);
+    const auto hybrid = run_spt_hybrid(
+        g, 0, 2, 5, exact(), 100 + static_cast<std::uint64_t>(trial));
+    const auto synch = run_spt_synch(g, 0, 2, make_exact_delay());
+    const auto recur = run_spt_recur(g, 0, 5, make_exact_delay());
+    const Weight cheaper =
+        std::min(synch.async_run.stats.total_cost(),
+                 recur.stats.total_cost());
+    // Driver-level interleaving: loser trails winner by at most one
+    // message, so ~2x the cheaper bill plus slack for the final drain.
+    EXPECT_LE(hybrid.total_cost(), 3 * cheaper + 100);
+  }
+}
+
+TEST(SptHybrid, SingleNode) {
+  Graph g(1);
+  const auto run = run_spt_hybrid(g, 0, 2, 5, exact());
+  EXPECT_EQ(run.dist, (std::vector<Weight>{0}));
+  EXPECT_TRUE(run.synch_won);
+}
+
+}  // namespace
+}  // namespace csca

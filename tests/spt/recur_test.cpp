@@ -1,0 +1,109 @@
+#include "spt/recur.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/shortest_paths.h"
+
+namespace csca {
+namespace {
+
+TEST(SptRecur, ExactDistancesOnFixture) {
+  Graph g(4);
+  g.add_edge(0, 1, 3);
+  g.add_edge(1, 2, 3);
+  g.add_edge(0, 2, 10);
+  g.add_edge(2, 3, 1);
+  const auto run = run_spt_recur(g, 0, 4, make_exact_delay());
+  EXPECT_EQ(run.dist, (std::vector<Weight>{0, 3, 6, 7}));
+  EXPECT_EQ(run.tree.depth(g, 3), 7);
+}
+
+class SptRecurPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, Weight>> {
+};
+
+TEST_P(SptRecurPropertyTest, MatchesDijkstraAcrossTauAndDelays) {
+  const auto [seed, tau] = GetParam();
+  Rng rng(seed);
+  const int n = static_cast<int>(rng.uniform_int(2, 25));
+  const NodeId src = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+  Graph g = connected_gnp(n, 0.3, WeightSpec::uniform(1, 20), rng);
+  const auto run =
+      run_spt_recur(g, src, tau, make_uniform_delay(0.0, 1.0), seed);
+  const auto sp = dijkstra(g, src);
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(run.dist[static_cast<std::size_t>(v)],
+              sp.dist[static_cast<std::size_t>(v)])
+        << "node " << v << " tau " << tau;
+    EXPECT_EQ(run.tree.depth(g, v), sp.dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndTau, SptRecurPropertyTest,
+    ::testing::Combine(::testing::Values(1, 7, 13, 19, 23, 29, 37),
+                       ::testing::Values<Weight>(1, 3, 10, 1000000)));
+
+TEST(SptRecur, StripCountTracksDiameterOverTau) {
+  Rng rng(1);
+  Graph g = path_graph(10, WeightSpec::constant(5), rng);
+  // D = 45; with tau = 5 we need ceil(45/5) = 9 non-empty strips (plus
+  // the final confirming one).
+  const auto run = run_spt_recur(g, 0, 5, make_exact_delay());
+  EXPECT_GE(run.strips, 9);
+  EXPECT_LE(run.strips, 10);
+  // One giant strip does it in one pass.
+  const auto run_big = run_spt_recur(g, 0, 1000, make_exact_delay());
+  EXPECT_EQ(run_big.strips, 1);
+}
+
+TEST(SptRecur, Figure9TradeoffSyncsVsCorrections) {
+  // Small tau: more strips, more tree sweeps (message count rises with
+  // strip count). Huge tau: one strip, but on graphs with detours the
+  // optimistic relaxation sends corrective offers. Both must stay exact;
+  // the bench quantifies the curve, here we assert the strip counts and
+  // that costs are within sane envelopes.
+  Rng rng(2);
+  Graph g = connected_gnp(30, 0.2, WeightSpec::uniform(1, 30), rng);
+  const auto m = measure(g);
+  const auto fine = run_spt_recur(g, 0, 2, make_exact_delay());
+  const auto coarse = run_spt_recur(g, 0, m.comm_D + 1,
+                                    make_exact_delay());
+  EXPECT_EQ(fine.dist, coarse.dist);
+  EXPECT_GT(fine.strips, coarse.strips);
+}
+
+TEST(SptRecur, HandlesHeavyDetourGraph) {
+  // A direct heavy edge that a longer light path undercuts: the
+  // optimistic in-strip relaxation must correct itself.
+  Graph g(5);
+  g.add_edge(0, 4, 100);
+  g.add_edge(0, 1, 10);
+  g.add_edge(1, 2, 10);
+  g.add_edge(2, 3, 10);
+  g.add_edge(3, 4, 10);
+  for (Weight tau : {1, 7, 50, 200}) {
+    const auto run = run_spt_recur(g, 0, tau, make_exact_delay());
+    EXPECT_EQ(run.dist, (std::vector<Weight>{0, 10, 20, 30, 40}))
+        << "tau " << tau;
+  }
+}
+
+TEST(SptRecur, SingleNodeAndErrors) {
+  Graph g1(1);
+  const auto run = run_spt_recur(g1, 0, 5, make_exact_delay());
+  EXPECT_EQ(run.dist, (std::vector<Weight>{0}));
+  Graph g2(3);
+  g2.add_edge(0, 1, 1);
+  EXPECT_THROW(run_spt_recur(g2, 0, 5, make_exact_delay()),
+               PreconditionError);
+  Graph g3(2);
+  g3.add_edge(0, 1, 1);
+  EXPECT_THROW(run_spt_recur(g3, 0, 0, make_exact_delay()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,161 @@
+#include "sync/clock_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/shortest_paths.h"
+
+namespace csca {
+namespace {
+
+// The §3 regime of interest: a light backbone with heavy chords, so that
+// d (max distance between neighbors) is far below W (max edge weight).
+Graph heavy_chord_graph(int n, Weight light, Weight heavy) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, light);
+  g.add_edge(0, n - 1, heavy);
+  g.add_edge(1, n / 2, heavy);
+  return g;
+}
+
+// Causality (the defining property): pulse p+1 at a node happens after
+// every neighbor generated pulse p.
+void expect_causal(const Graph& g, const ClockSyncRun& run) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    const auto& tv = run.pulse_times[static_cast<std::size_t>(v)];
+    for (EdgeId e : g.incident(v)) {
+      const NodeId u = g.other(e, v);
+      const auto& tu = run.pulse_times[static_cast<std::size_t>(u)];
+      for (std::size_t p = 0; p + 1 < tv.size(); ++p) {
+        EXPECT_GE(tv[p + 1], tu[p])
+            << "node " << v << " pulse " << p + 2
+            << " preceded neighbor " << u << "'s pulse " << p + 1;
+      }
+    }
+  }
+}
+
+TEST(ClockAlpha, CausalAndCompletes) {
+  Rng rng(1);
+  Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 20), rng);
+  const auto run = run_clock_alpha(g, 6, make_uniform_delay(0.2, 1.0), 7);
+  EXPECT_EQ(run.pulses, 6);
+  expect_causal(g, run);
+}
+
+TEST(ClockAlpha, PulseDelayTracksW) {
+  // With exact delays the alpha* gap is exactly the heaviest incident
+  // exchange: Theta(W).
+  Graph g = heavy_chord_graph(10, 2, 300);
+  const auto m = measure(g);
+  const auto run = run_clock_alpha(g, 5, make_exact_delay());
+  EXPECT_GE(run.max_gap, static_cast<double>(m.W));
+  EXPECT_LE(run.max_gap, 2.0 * static_cast<double>(m.W));
+}
+
+TEST(ClockBeta, CausalAndGapTracksTreeDepth) {
+  Graph g = heavy_chord_graph(12, 2, 300);
+  const auto tree = dijkstra(g, 0).tree(g);
+  const auto run = run_clock_beta(g, tree, 5, make_exact_delay());
+  expect_causal(g, run);
+  // Gap ~ one convergecast + one broadcast over the tree.
+  const double depth = static_cast<double>(tree.height(g));
+  EXPECT_GE(run.max_gap, depth);
+  EXPECT_LE(run.max_gap, 4.0 * depth + 1.0);
+}
+
+TEST(ClockGamma, CausalOnRandomGraphs) {
+  Rng rng(2);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = connected_gnp(14, 0.3, WeightSpec::uniform(1, 25), rng);
+    const auto cover = build_tree_edge_cover(g);
+    const auto run = run_clock_gamma(g, cover, 5,
+                                     make_uniform_delay(0.3, 1.0),
+                                     40 + static_cast<std::uint64_t>(trial));
+    expect_causal(g, run);
+  }
+}
+
+TEST(ClockGamma, Section3HeadlineBeatAlphaWhenDMuchSmallerThanW) {
+  // The whole point of gamma*: pulse delay O(d log^2 n) despite W >> d.
+  Graph g = heavy_chord_graph(16, 2, 1000);
+  const auto m = measure(g);
+  ASSERT_LT(m.d, m.W / 10);
+
+  const auto cover = build_tree_edge_cover(g);
+  const auto gamma = run_clock_gamma(g, cover, 6, make_exact_delay());
+  const auto alpha = run_clock_alpha(g, 6, make_exact_delay());
+
+  expect_causal(g, gamma);
+  // gamma* stays within the O(d log^2 n) budget...
+  const double logn = std::log2(g.node_count());
+  EXPECT_LE(gamma.max_gap,
+            4.0 * static_cast<double>(m.d) * logn * logn);
+  // ...which on this family is far below alpha*'s Theta(W).
+  EXPECT_LT(gamma.max_gap, alpha.max_gap / 4.0);
+}
+
+TEST(ClockGamma, LowerBoundOmegaD) {
+  // No causal pulse train can beat the neighbor-distance bound Omega(d):
+  // information from a neighbor at weighted distance d takes d time.
+  Graph g = heavy_chord_graph(12, 3, 200);
+  const auto m = measure(g);
+  const auto cover = build_tree_edge_cover(g);
+  const auto run = run_clock_gamma(g, cover, 6, make_exact_delay());
+  // Steady-state gap cannot be below d (messages must traverse trees
+  // that span each heavy edge's endpoints, at distance up to d).
+  EXPECT_GE(run.max_gap + 1e-9, static_cast<double>(m.d));
+}
+
+TEST(ClockGamma, CongestionBoundedByCoverSharing) {
+  // The paper charges gamma* an O(log n) time factor for trees sharing
+  // an edge. Our simulator has no bandwidth contention, but the sharing
+  // itself is measurable: per pulse, an edge carries at most ~2 messages
+  // per tree using it, and Def 3.1 bounds the sharing by O(log n).
+  Rng rng(5);
+  Graph g = connected_gnp(16, 0.3, WeightSpec::uniform(1, 20), rng);
+  const auto cover = build_tree_edge_cover(g);
+  const int pulses = 6;
+  const auto run = run_clock_gamma(g, cover, pulses, make_exact_delay());
+  const int sharing = max_tree_edge_sharing(g, cover);
+  const double per_pulse = static_cast<double>(run.max_edge_messages) /
+                           static_cast<double>(pulses);
+  EXPECT_LE(per_pulse, 2.0 * sharing + 2.0);
+  const double logn = std::log2(g.node_count());
+  EXPECT_LE(per_pulse, 2.0 * (8.0 * logn + 4.0) + 2.0);
+}
+
+TEST(ClockSync, SingleNodeTrainsAreInstant) {
+  Graph g(1);
+  const auto run = run_clock_alpha(g, 5, make_exact_delay());
+  EXPECT_EQ(run.pulses, 5);
+  EXPECT_DOUBLE_EQ(run.max_gap, 0.0);
+}
+
+TEST(ClockSync, RejectsBadArguments) {
+  Rng rng(3);
+  Graph g = path_graph(4, WeightSpec::constant(2), rng);
+  EXPECT_THROW(run_clock_alpha(g, 0, make_exact_delay()),
+               PreconditionError);
+  Graph disc(3);
+  disc.add_edge(0, 1, 1);
+  EXPECT_THROW(run_clock_alpha(disc, 3, make_exact_delay()),
+               PreconditionError);
+}
+
+TEST(ClockSync, GapStatisticsAreConsistent) {
+  Rng rng(4);
+  Graph g = grid_graph(3, 3, WeightSpec::uniform(1, 10), rng);
+  const auto tree = dijkstra(g, 0).tree(g);
+  const auto run = run_clock_beta(g, tree, 8, make_exact_delay());
+  EXPECT_LE(run.mean_gap, run.max_gap);
+  EXPECT_GT(run.mean_gap, 0.0);
+  EXPECT_GE(run.total_time, run.max_gap);
+  EXPECT_GT(run.cost_per_pulse, 0.0);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,160 @@
+#include "sync/gamma_partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+std::vector<char> full_mask(const Graph& g) {
+  return std::vector<char>(static_cast<std::size_t>(g.edge_count()), 1);
+}
+
+// Hop-depth of v's cluster tree path to its leader.
+int tree_hops(const Graph& g, const GammaPartition& p, NodeId v) {
+  int hops = 0;
+  NodeId cur = v;
+  while (p.parent_edge[static_cast<std::size_t>(cur)] != kNoEdge) {
+    cur = g.other(p.parent_edge[static_cast<std::size_t>(cur)], cur);
+    ++hops;
+  }
+  return hops;
+}
+
+TEST(GammaPartition, CoversExactlyTheMaskedNodes) {
+  Rng rng(1);
+  Graph g = connected_gnp(20, 0.2, WeightSpec::power_of_two(0, 3), rng);
+  // Mask only the weight-1 edges.
+  std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 0);
+  std::vector<char> touched(static_cast<std::size_t>(g.node_count()), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.weight(e) == 1) {
+      mask[static_cast<std::size_t>(e)] = 1;
+      touched[static_cast<std::size_t>(g.edge(e).u)] = 1;
+      touched[static_cast<std::size_t>(g.edge(e).v)] = 1;
+    }
+  }
+  const auto p = build_gamma_partition(g, mask, 2);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(p.covered(v), touched[static_cast<std::size_t>(v)] != 0);
+  }
+}
+
+TEST(GammaPartition, TreesPointToLeadersAlongMaskedEdges) {
+  Rng rng(2);
+  Graph g = connected_gnp(25, 0.25, WeightSpec::constant(2), rng);
+  const auto mask = full_mask(g);
+  const auto p = build_gamma_partition(g, mask, 2);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ASSERT_TRUE(p.covered(v));
+    const int c = p.cluster_of[static_cast<std::size_t>(v)];
+    // Walking parents stays inside the cluster and ends at its leader.
+    NodeId cur = v;
+    int steps = 0;
+    while (p.parent_edge[static_cast<std::size_t>(cur)] != kNoEdge) {
+      const EdgeId pe = p.parent_edge[static_cast<std::size_t>(cur)];
+      EXPECT_TRUE(mask[static_cast<std::size_t>(pe)]);
+      cur = g.other(pe, cur);
+      EXPECT_EQ(p.cluster_of[static_cast<std::size_t>(cur)], c);
+      ASSERT_LT(++steps, g.node_count());
+    }
+    EXPECT_EQ(cur, p.leaders[static_cast<std::size_t>(c)]);
+  }
+}
+
+TEST(GammaPartition, ChildrenListsMirrorParentEdges) {
+  Rng rng(3);
+  Graph g = grid_graph(4, 5, WeightSpec::constant(1), rng);
+  const auto p = build_gamma_partition(g, full_mask(g), 3);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (EdgeId e : p.children_edges[static_cast<std::size_t>(v)]) {
+      const NodeId child = g.other(e, v);
+      EXPECT_EQ(p.parent_edge[static_cast<std::size_t>(child)], e);
+    }
+  }
+}
+
+TEST(GammaPartition, HopDepthBoundedByLogKN) {
+  Rng rng(4);
+  for (int k : {2, 3, 5}) {
+    Graph g = connected_gnp(40, 0.3, WeightSpec::constant(1), rng);
+    const auto p = build_gamma_partition(g, full_mask(g), k);
+    const double bound = std::log(40.0) / std::log(static_cast<double>(k));
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_LE(tree_hops(g, p, v), static_cast<int>(bound) + 1)
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(GammaPartition, PreferredEdgesOnePerNeighboringClusterPair) {
+  Rng rng(5);
+  Graph g = connected_gnp(30, 0.25, WeightSpec::constant(1), rng);
+  const auto p = build_gamma_partition(g, full_mask(g), 2);
+  // Collect preferred edges from the per-node lists; each must appear at
+  // exactly its two endpoints, and pairs must be unique.
+  std::map<std::pair<int, int>, int> pair_count;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (EdgeId e : p.preferred[static_cast<std::size_t>(v)]) {
+      const int cu = p.cluster_of[static_cast<std::size_t>(g.edge(e).u)];
+      const int cv = p.cluster_of[static_cast<std::size_t>(g.edge(e).v)];
+      EXPECT_NE(cu, cv);
+      const auto key = std::minmax(cu, cv);
+      ++pair_count[{key.first, key.second}];
+    }
+  }
+  for (const auto& [pair, count] : pair_count) {
+    EXPECT_EQ(count, 2) << "cluster pair " << pair.first << ","
+                        << pair.second;
+  }
+  // Completeness: every inter-cluster edge's cluster pair has a
+  // preferred edge.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const int cu = p.cluster_of[static_cast<std::size_t>(g.edge(e).u)];
+    const int cv = p.cluster_of[static_cast<std::size_t>(g.edge(e).v)];
+    if (cu == cv) continue;
+    const auto key = std::minmax(cu, cv);
+    EXPECT_TRUE(pair_count.count({key.first, key.second}));
+  }
+}
+
+TEST(GammaPartition, LargerKGivesShallowerMoreNumerousClusters) {
+  Rng rng(6);
+  Graph g = connected_gnp(50, 0.3, WeightSpec::constant(1), rng);
+  const auto p2 = build_gamma_partition(g, full_mask(g), 2);
+  const auto p8 = build_gamma_partition(g, full_mask(g), 8);
+  int max_depth2 = 0;
+  int max_depth8 = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    max_depth2 = std::max(max_depth2, tree_hops(g, p2, v));
+    max_depth8 = std::max(max_depth8, tree_hops(g, p8, v));
+  }
+  EXPECT_LE(max_depth8, max_depth2);
+  EXPECT_GE(p8.cluster_count(), p2.cluster_count());
+}
+
+TEST(GammaPartition, RejectsBadArguments) {
+  Rng rng(7);
+  Graph g = path_graph(3, WeightSpec::constant(1), rng);
+  EXPECT_THROW(build_gamma_partition(g, full_mask(g), 1),
+               PreconditionError);
+  EXPECT_THROW(build_gamma_partition(g, std::vector<char>(1, 1), 2),
+               PreconditionError);
+}
+
+TEST(GammaPartition, EmptyMaskYieldsNoClusters) {
+  Rng rng(8);
+  Graph g = path_graph(4, WeightSpec::constant(1), rng);
+  std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 0);
+  const auto p = build_gamma_partition(g, mask, 2);
+  EXPECT_EQ(p.cluster_count(), 0);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_FALSE(p.covered(v));
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,332 @@
+#include "sync/synchronizer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/measures.h"
+#include "graph/shortest_paths.h"
+#include "sim/sync_engine.h"
+#include "sync/protocols.h"
+
+namespace csca {
+namespace {
+
+// Reference run of InSynchFlood on the weighted synchronous engine.
+std::vector<std::int64_t> reference_reached(const Graph& g,
+                                            NodeId initiator,
+                                            RunStats* stats = nullptr) {
+  SyncEngine eng(
+      g,
+      [initiator](NodeId v) {
+        return std::make_unique<InSynchFlood>(v, initiator);
+      },
+      /*enforce_in_synch=*/true);
+  const RunStats s = eng.run();
+  if (stats != nullptr) *stats = s;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out[static_cast<std::size_t>(v)] =
+        eng.process_as<InSynchFlood>(v).reached_at();
+  }
+  return out;
+}
+
+std::vector<std::int64_t> synchronized_reached(
+    const Graph& g, NodeId initiator, SynchronizerKind kind, int k,
+    std::int64_t max_pulse, std::uint64_t seed,
+    SynchronizerRun* run_out = nullptr) {
+  SynchronizedNetwork net(
+      g,
+      [initiator](NodeId v) {
+        return std::make_unique<InSynchFlood>(v, initiator);
+      },
+      kind, k, max_pulse, make_uniform_delay(0.2, 1.0), seed);
+  const SynchronizerRun run = net.run();
+  if (run_out != nullptr) *run_out = run;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    out[static_cast<std::size_t>(v)] =
+        net.hosted_as<InSynchFlood>(v).reached_at();
+  }
+  return out;
+}
+
+TEST(Normalization, PowerOfTwoRounding) {
+  Graph g(3);
+  g.add_edge(0, 1, 5);
+  g.add_edge(1, 2, 8);
+  EXPECT_FALSE(is_normalized(g));
+  const Graph ng = normalized_copy(g);
+  EXPECT_TRUE(is_normalized(ng));
+  EXPECT_EQ(ng.weight(0), 8);
+  EXPECT_EQ(ng.weight(1), 8);
+  // Def 4.6: w <= power(w) < 2w.
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_GE(ng.weight(e), g.weight(e));
+    EXPECT_LT(ng.weight(e), 2 * g.weight(e));
+  }
+}
+
+class SynchronizerCorrectness
+    : public ::testing::TestWithParam<SynchronizerKind> {};
+
+TEST_P(SynchronizerCorrectness, Lemma44HostedRunMatchesSynchronousRun) {
+  Rng rng(11);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = normalized_copy(
+        connected_gnp(12, 0.3, WeightSpec::power_of_two(0, 4), rng));
+    RunStats ref_stats;
+    const auto ref = reference_reached(g, 0, &ref_stats);
+    const std::int64_t t_pi =
+        static_cast<std::int64_t>(ref_stats.completion_time) + 1;
+    SynchronizerRun run;
+    const auto got = synchronized_reached(
+        g, 0, GetParam(), 2, t_pi, 100 + static_cast<std::uint64_t>(trial),
+        &run);
+    EXPECT_EQ(got, ref) << "trial " << trial;
+    EXPECT_TRUE(run.hosted_all_finished);
+    // The algorithm-class ledger equals the synchronous protocol's own
+    // cost: the synchronizer only adds control traffic.
+    EXPECT_EQ(run.stats.algorithm_messages, ref_stats.algorithm_messages);
+    EXPECT_EQ(run.stats.algorithm_cost, ref_stats.algorithm_cost);
+    EXPECT_GT(run.stats.control_messages, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SynchronizerCorrectness,
+                         ::testing::Values(SynchronizerKind::kAlpha,
+                                           SynchronizerKind::kBeta,
+                                           SynchronizerKind::kGammaW));
+
+TEST(Synchronizer, GammaWRequiresNormalizedNetwork) {
+  Graph g(2);
+  g.add_edge(0, 1, 3);
+  EXPECT_THROW(
+      SynchronizedNetwork(
+          g, [](NodeId v) { return std::make_unique<InSynchFlood>(v, 0); },
+          SynchronizerKind::kGammaW, 2, 10, make_exact_delay()),
+      PreconditionError);
+}
+
+TEST(Synchronizer, GammaWInSynchViolationThrows) {
+  // A protocol violating Def 4.2 (sending on a weight-4 edge at pulse 2)
+  // must be rejected by the gamma_w host.
+  class OffBeat final : public SyncProcess {
+   public:
+    void on_start(SyncContext& ctx) override {
+      if (ctx.self() == 0) ctx.schedule_wakeup(2);
+    }
+    void on_wakeup(SyncContext& ctx) override {
+      ctx.send(ctx.incident()[0], Message{0});
+    }
+    void on_message(SyncContext&, const Message&) override {}
+  };
+  Graph g(2);
+  g.add_edge(0, 1, 4);
+  SynchronizedNetwork net(
+      g, [](NodeId) { return std::make_unique<OffBeat>(); },
+      SynchronizerKind::kGammaW, 2, 10, make_exact_delay());
+  EXPECT_THROW(net.run(), PreconditionError);
+}
+
+TEST(Synchronizer, GammaWAmortizesHeavyEdges) {
+  // A network with one very heavy chord: alpha cleans it every pulse,
+  // gamma_w only every W pulses. Control cost per pulse must be far
+  // smaller under gamma_w.
+  const int n = 12;
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 1);
+  g.add_edge(0, n - 1, 256);
+  g.add_edge(2, 9, 256);
+
+  RunStats ref_stats;
+  const auto ref = reference_reached(g, 0, &ref_stats);
+  const std::int64_t t_pi =
+      static_cast<std::int64_t>(ref_stats.completion_time) + 1;
+
+  SynchronizerRun alpha;
+  SynchronizerRun gamma;
+  const auto got_alpha = synchronized_reached(
+      g, 0, SynchronizerKind::kAlpha, 2, t_pi, 5, &alpha);
+  const auto got_gamma = synchronized_reached(
+      g, 0, SynchronizerKind::kGammaW, 2, t_pi, 5, &gamma);
+  EXPECT_EQ(got_alpha, ref);
+  EXPECT_EQ(got_gamma, ref);
+  EXPECT_LT(gamma.stats.control_cost, alpha.stats.control_cost / 4);
+}
+
+TEST(Synchronizer, PulseBudgetTooSmallLeavesProtocolUnfinished) {
+  Rng rng(12);
+  Graph g = normalized_copy(
+      path_graph(6, WeightSpec::constant(4), rng));
+  SynchronizedNetwork net(
+      g, [](NodeId v) { return std::make_unique<InSynchFlood>(v, 0); },
+      SynchronizerKind::kGammaW, 2, 7, make_exact_delay());
+  const auto run = net.run();
+  EXPECT_FALSE(run.hosted_all_finished);
+  EXPECT_LE(run.pulses_executed, 7);
+}
+
+TEST(Synchronizer, SilentProtocolStillPulsesAndPaysOnlyOverhead) {
+  // A protocol that never sends: the synchronizer must still generate
+  // the full pulse train (that is its job), all of it control traffic.
+  class Silent final : public SyncProcess {
+   public:
+    void on_message(SyncContext&, const Message&) override {}
+  };
+  Rng rng(21);
+  Graph g = normalized_copy(
+      connected_gnp(10, 0.3, WeightSpec::power_of_two(0, 3), rng));
+  for (auto kind : {SynchronizerKind::kAlpha, SynchronizerKind::kBeta,
+                    SynchronizerKind::kGammaW}) {
+    SynchronizedNetwork net(
+        g, [](NodeId) { return std::make_unique<Silent>(); }, kind, 2,
+        16, make_exact_delay());
+    const auto run = net.run();
+    EXPECT_EQ(run.stats.algorithm_messages, 0);
+    EXPECT_GT(run.stats.control_messages, 0);
+    EXPECT_EQ(run.pulses_executed, 16);
+  }
+}
+
+TEST(Synchronizer, ZeroPulseBudgetDoesNothing) {
+  Graph g(2);
+  g.add_edge(0, 1, 2);
+  SynchronizedNetwork net(
+      g, [](NodeId v) { return std::make_unique<InSynchFlood>(v, 0); },
+      SynchronizerKind::kGammaW, 2, 0, make_exact_delay());
+  const auto run = net.run();
+  EXPECT_EQ(run.pulses_executed, 0);
+  // Pulse 0 fired (on_start), so the initiator's first sends went out,
+  // but nothing beyond pulse 0 was cleared.
+  EXPECT_FALSE(run.hosted_all_finished);
+}
+
+TEST(Synchronizer, SingleNodeNetworkRunsItsPulseTrain) {
+  Graph g(1);
+  class Counter final : public SyncProcess {
+   public:
+    void on_start(SyncContext& ctx) override { ctx.schedule_wakeup(1); }
+    void on_wakeup(SyncContext& ctx) override {
+      ++wakeups;
+      if (ctx.pulse() < 5) ctx.schedule_wakeup(ctx.pulse() + 1);
+      else ctx.finish();
+    }
+    void on_message(SyncContext&, const Message&) override {}
+    int wakeups = 0;
+  };
+  SynchronizedNetwork net(
+      g, [](NodeId) { return std::make_unique<Counter>(); },
+      SynchronizerKind::kGammaW, 2, 10, make_exact_delay());
+  const auto run = net.run();
+  EXPECT_TRUE(run.hosted_all_finished);
+  EXPECT_EQ(net.hosted_as<Counter>(0).wakeups, 5);
+}
+
+TEST(Synchronizer, BetaOnStarTopology) {
+  // Degenerate tree: the root is every node's parent; convergecast and
+  // broadcast collapse to one hop each.
+  Graph g(6);
+  for (NodeId v = 1; v < 6; ++v) g.add_edge(0, v, 4);
+  RunStats ref_stats;
+  const auto ref = reference_reached(g, 0, &ref_stats);
+  const std::int64_t t_pi =
+      static_cast<std::int64_t>(ref_stats.completion_time) + 1;
+  SynchronizerRun run;
+  const auto got = synchronized_reached(g, 0, SynchronizerKind::kBeta, 2,
+                                        t_pi, 3, &run);
+  EXPECT_EQ(got, ref);
+  EXPECT_TRUE(run.hosted_all_finished);
+}
+
+TEST(Synchronizer, GammaWOnUnitWeightsIsClassicGamma) {
+  // With all weights 1 there is a single level, and gamma_w degenerates
+  // to [Awe85a]'s synchronizer gamma: per-pulse control cost O(k n)
+  // (cluster trees + preferred edges) instead of alpha's O(m), and both
+  // must drive the protocol to the same result.
+  Rng rng(31);
+  Graph g = connected_gnp(30, 0.35, WeightSpec::constant(1), rng);
+  RunStats ref_stats;
+  const auto ref = reference_reached(g, 0, &ref_stats);
+  const std::int64_t t_pi =
+      static_cast<std::int64_t>(ref_stats.completion_time) + 1;
+  SynchronizerRun gamma;
+  SynchronizerRun alpha;
+  const auto got_gamma = synchronized_reached(
+      g, 0, SynchronizerKind::kGammaW, 2, t_pi, 9, &gamma);
+  const auto got_alpha = synchronized_reached(
+      g, 0, SynchronizerKind::kAlpha, 2, t_pi, 9, &alpha);
+  EXPECT_EQ(got_gamma, ref);
+  EXPECT_EQ(got_alpha, ref);
+  // On a dense unit graph, gamma's per-pulse message count beats
+  // alpha's (which is ~2m per pulse).
+  EXPECT_LT(gamma.stats.control_messages, alpha.stats.control_messages);
+}
+
+class GammaWShapeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GammaWShapeTest, CorrectAcrossTopologyShapes) {
+  // gamma_w's per-level partitions meet very different structures on
+  // different shapes (singleton clusters on paths, one big cluster on
+  // stars, mixed on multi-level graphs); all must reproduce the
+  // synchronous reference.
+  const int shape = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(shape));
+  Graph g = [&]() -> Graph {
+    switch (shape) {
+      case 0:  // heavy star
+      {
+        Graph s(9);
+        for (NodeId v = 1; v < 9; ++v) s.add_edge(0, v, 1 << (v % 4));
+        return s;
+      }
+      case 1:  // two-level ladder
+      {
+        Graph s(12);
+        for (NodeId v = 0; v + 1 < 12; ++v) s.add_edge(v, v + 1, 1);
+        for (NodeId v = 0; v + 4 < 12; v += 2) s.add_edge(v, v + 4, 8);
+        return s;
+      }
+      case 2:  // normalized cycle
+        return normalized_copy(
+            cycle_graph(14, WeightSpec::power_of_two(0, 3), rng));
+      default:  // dense multi-level
+        return normalized_copy(
+            connected_gnp(16, 0.4, WeightSpec::power_of_two(0, 5), rng));
+    }
+  }();
+  RunStats ref_stats;
+  const auto ref = reference_reached(g, 0, &ref_stats);
+  const std::int64_t t_pi =
+      static_cast<std::int64_t>(ref_stats.completion_time) + 1;
+  for (int k : {2, 5}) {
+    SynchronizerRun run;
+    const auto got = synchronized_reached(
+        g, 0, SynchronizerKind::kGammaW, k, t_pi,
+        7 + static_cast<std::uint64_t>(shape), &run);
+    EXPECT_EQ(got, ref) << "shape " << shape << " k " << k;
+    EXPECT_TRUE(run.hosted_all_finished);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GammaWShapeTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Synchronizer, ReachedPulsesApproximateDistances) {
+  // Lemma 4.5 in action: on the normalized network the flood reaches
+  // each vertex within [dist, 4 dist] of the original weighted distance
+  // (x2 for normalization, x2 for in-synch send alignment).
+  Rng rng(13);
+  Graph g = connected_gnp(14, 0.3, WeightSpec::uniform(1, 20), rng);
+  Graph ng = normalized_copy(g);
+  const auto ref = reference_reached(ng, 0);
+  const auto sp = dijkstra(g, 0);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    const auto d = sp.dist[static_cast<std::size_t>(v)];
+    EXPECT_GE(ref[static_cast<std::size_t>(v)], d);
+    EXPECT_LE(ref[static_cast<std::size_t>(v)], 4 * d);
+  }
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,139 @@
+#include "sync/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_paths.h"
+#include "sim/sync_engine.h"
+
+namespace csca {
+namespace {
+
+// A protocol written for the EXACT weighted synchronous model, with no
+// in-synch discipline whatsoever: plain flooding that forwards the wave
+// the instant it arrives. On the exact model the arrival pulse at v is
+// dist(source, v). Lemma 4.5 must make it runnable under gamma_w
+// unchanged.
+class ExactFlood final : public SyncProcess {
+ public:
+  ExactFlood(NodeId self, NodeId source)
+      : is_source_(self == source) {}
+
+  void on_start(SyncContext& ctx) override {
+    if (is_source_) spread(ctx);
+  }
+
+  void on_message(SyncContext& ctx, const Message&) override {
+    if (reached_at_ < 0) spread(ctx);
+  }
+
+  std::int64_t reached_at() const { return reached_at_; }
+
+ private:
+  void spread(SyncContext& ctx) {
+    reached_at_ = ctx.pulse();
+    for (EdgeId e : ctx.incident()) {
+      ctx.send(e, Message{0});  // sends at arbitrary pulses: NOT in-synch
+    }
+    ctx.finish();
+  }
+
+  bool is_source_;
+  std::int64_t reached_at_ = -1;
+};
+
+// A protocol that also uses wakeups and payloads: every node waits until
+// (virtual) pulse 3, then sends its id along every edge; each node
+// records the multiset-sum of ids received by pulse 3 + W.
+class DelayedGossip final : public SyncProcess {
+ public:
+  explicit DelayedGossip(NodeId self) : self_(self) {}
+
+  void on_start(SyncContext& ctx) override {
+    ctx.schedule_wakeup(3);
+  }
+
+  void on_wakeup(SyncContext& ctx) override {
+    for (EdgeId e : ctx.incident()) {
+      ctx.send(e, Message{0, {self_}});
+    }
+    ctx.finish();
+  }
+
+  void on_message(SyncContext&, const Message& m) override {
+    sum_ += m.at(0);
+  }
+
+  std::int64_t sum() const { return sum_; }
+
+ private:
+  NodeId self_;
+  std::int64_t sum_ = 0;
+};
+
+TEST(Transform, ExactFloodReachedPulsesSurviveTheTransformation) {
+  Rng rng(1);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 20), rng);
+    const auto factory = [](NodeId v) {
+      return std::make_unique<ExactFlood>(v, 0);
+    };
+    // Reference semantics: reached_at == exact weighted distance.
+    SyncEngine ref(g, factory);
+    ref.run();
+    TransformedNetwork net(g, factory, 2, make_uniform_delay(0.1, 1.0),
+                           50 + static_cast<std::uint64_t>(trial));
+    const auto run = net.run();
+    EXPECT_TRUE(run.run.hosted_all_finished);
+    const auto sp = dijkstra(g, 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(net.inner_as<ExactFlood>(v).reached_at(),
+                ref.process_as<ExactFlood>(v).reached_at())
+          << "node " << v;
+      // And both equal the true weighted distance (exact-model flood).
+      EXPECT_EQ(net.inner_as<ExactFlood>(v).reached_at(),
+                sp.dist[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(Transform, WakeupsAndPayloadsSurviveTheTransformation) {
+  Rng rng(2);
+  Graph g = connected_gnp(10, 0.4, WeightSpec::uniform(1, 9), rng);
+  const auto factory = [](NodeId v) {
+    return std::make_unique<DelayedGossip>(v);
+  };
+  SyncEngine ref(g, factory);
+  ref.run();
+  TransformedNetwork net(g, factory, 2, make_exact_delay());
+  net.run();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(net.inner_as<DelayedGossip>(v).sum(),
+              ref.process_as<DelayedGossip>(v).sum());
+  }
+}
+
+TEST(Transform, Lemma45ComplexityBlowupAtMostConstant) {
+  Rng rng(3);
+  Graph g = connected_gnp(14, 0.3, WeightSpec::uniform(1, 16), rng);
+  const auto factory = [](NodeId v) {
+    return std::make_unique<ExactFlood>(v, 0);
+  };
+  TransformedNetwork net(g, factory, 2, make_exact_delay());
+  const auto run = net.run();
+  // Message count identical; cost at most doubled by normalization.
+  EXPECT_EQ(run.run.stats.algorithm_messages,
+            run.pi_stats.algorithm_messages);
+  EXPECT_LE(run.run.stats.algorithm_cost, 2 * run.pi_stats.algorithm_cost);
+  // Virtual clock ran 4x, so pulses executed <= 4 (t_pi + 2).
+  EXPECT_LE(run.run.pulses_executed, 4 * (run.t_pi + 2));
+}
+
+TEST(Transform, AdapterRejectsNullInner) {
+  Graph g(2);
+  g.add_edge(0, 1, 2);
+  EXPECT_THROW(InSynchAdapter(g, 0, nullptr), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,39 @@
+#include "util/require.h"
+
+#include <gtest/gtest.h>
+
+namespace csca {
+namespace {
+
+TEST(Require, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(require(true, "never"));
+  EXPECT_NO_THROW(ensure(true, "never"));
+}
+
+TEST(Require, FailingRequireThrowsPreconditionError) {
+  EXPECT_THROW(require(false, "bad argument"), PreconditionError);
+}
+
+TEST(Require, FailingEnsureThrowsInvariantError) {
+  EXPECT_THROW(ensure(false, "broken"), InvariantError);
+}
+
+TEST(Require, MessageContainsTextAndLocation) {
+  try {
+    require(false, "the answer is 42");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the answer is 42"), std::string::npos);
+    EXPECT_NE(what.find("require_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Require, PreconditionErrorIsInvalidArgument) {
+  // Callers may catch the std type without knowing about ours.
+  EXPECT_THROW(require(false, "x"), std::invalid_argument);
+  EXPECT_THROW(ensure(false, "x"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,79 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace csca {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(-5, 17);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 17);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(3, 3), 3);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(2, 1), PreconditionError);
+}
+
+TEST(Rng, UniformRealStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(0.25, 0.75);
+    EXPECT_GE(x, 0.25);
+    EXPECT_LT(x, 0.75);
+  }
+}
+
+TEST(Rng, UniformRealDegenerateRange) {
+  Rng rng(9);
+  EXPECT_DOUBLE_EQ(rng.uniform_real(0.5, 0.5), 0.5);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+  EXPECT_THROW(rng.chance(1.5), PreconditionError);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDrawCount) {
+  Rng a(5);
+  Rng child = a.fork();
+  // Parent keeps producing; child's stream was fixed at fork time.
+  const auto c1 = child.uniform_int(0, 1 << 30);
+  Rng b(5);
+  Rng child2 = b.fork();
+  EXPECT_EQ(child2.uniform_int(0, 1 << 30), c1);
+}
+
+}  // namespace
+}  // namespace csca
