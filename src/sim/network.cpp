@@ -24,7 +24,9 @@ Network::Network(const Graph& g, const ProcessFactory& factory,
       delay_(std::move(delay)),
       rng_(seed),
       last_arrival_(static_cast<std::size_t>(2 * g.edge_count()), 0.0),
-      edge_messages_(static_cast<std::size_t>(g.edge_count()), 0),
+      edge_messages_{
+          std::vector<std::int64_t>(static_cast<std::size_t>(g.edge_count()), 0),
+          std::vector<std::int64_t>(static_cast<std::size_t>(g.edge_count()), 0)},
       finish_time_(static_cast<std::size_t>(g.node_count()), -1.0) {
   require(delay_ != nullptr, "delay model must not be null");
   processes_.reserve(static_cast<std::size_t>(g.node_count()));
@@ -39,8 +41,6 @@ void Network::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
   const Edge& edge = graph_->edge(e);
   require(edge.u == from || edge.v == from,
           "process may only send on its own incident edges");
-  const NodeId to = graph_->other(e, from);
-
   const double d = delay_->delay(edge.w, rng_);
   require(d >= 0.0 && d <= static_cast<double>(edge.w),
           "delay model produced delay outside [0, w(e)]");
@@ -53,8 +53,9 @@ void Network::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
 
   m.from = from;
   m.edge = e;
-  queue_.push(PendingDelivery{arrival, seq_++, to, std::move(m)});
-  ++edge_messages_[static_cast<std::size_t>(e)];
+  require(seq_ != UINT32_MAX, "event sequence space exhausted");
+  queue_.push(HeapKey{arrival, seq_++}, std::move(m));
+  ++edge_messages_[class_index(cls)][static_cast<std::size_t>(e)];
 
   if (cls == MsgClass::kAlgorithm) {
     ++stats_.algorithm_messages;
@@ -69,7 +70,8 @@ void Network::do_schedule_self(NodeId v, double delay, Message m) {
   require(delay >= 0.0, "self-delivery delay must be non-negative");
   m.from = v;
   m.edge = kNoEdge;
-  queue_.push(PendingDelivery{now_ + delay, seq_++, v, std::move(m)});
+  require(seq_ != UINT32_MAX, "event sequence space exhausted");
+  queue_.push(HeapKey{now_ + delay, seq_++}, std::move(m));
 }
 
 void Network::do_finish(NodeId v) {
@@ -90,21 +92,40 @@ void Network::ensure_started() {
 bool Network::step() {
   ensure_started();
   if (queue_.empty()) return false;
-  PendingDelivery ev = queue_.top();
-  queue_.pop();
-  now_ = ev.arrival;
-  stats_.completion_time = now_;
-  ++stats_.events;
-  Context ctx(*this, ev.to);
-  processes_[static_cast<std::size_t>(ev.to)]->on_message(ctx, ev.msg);
+  deliver(queue_.top_key());
   return true;
+}
+
+void Network::deliver(HeapKey key) {
+  now_ = key.t;
+  const Message msg = queue_.pop();
+  // The delivery target is not stored with the pooled node; an edge
+  // message goes to the endpoint opposite its stamped sender, a
+  // self-delivery back to the sender itself.
+  const NodeId to =
+      msg.edge == kNoEdge ? msg.from : graph_->other(msg.edge, msg.from);
+  // completion_time is the paper's time measure: the clock of the last
+  // *edge* delivery. Free self-deliveries (deferred local computation)
+  // advance the clock but must not inflate the measured time.
+  if (msg.edge != kNoEdge) stats_.completion_time = now_;
+  ++stats_.events;
+  Context ctx(*this, to);
+  processes_[static_cast<std::size_t>(to)]->on_message(ctx, msg);
 }
 
 RunStats Network::run(double max_time) {
   ensure_started();
-  while (!queue_.empty() && queue_.top().arrival <= max_time) {
-    step();
+  // The loop peeks once per event: the key that passes the budget test
+  // is handed straight to deliver() instead of being recomputed.
+  while (!queue_.empty()) {
+    const HeapKey key = queue_.top_key();
+    if (key.t > max_time) break;
+    deliver(key);
   }
+  // Cut short by the budget: the slice consumed the full interval, so
+  // advance the clock to the boundary (see the contract in network.h).
+  // Events already queued beyond max_time stay queued for the resume.
+  if (!queue_.empty() && now_ < max_time) now_ = max_time;
   return stats_;
 }
 
@@ -114,8 +135,17 @@ bool Network::all_finished() const {
 }
 
 std::int64_t Network::max_edge_message_count() const {
-  if (edge_messages_.empty()) return 0;
-  return *std::max_element(edge_messages_.begin(), edge_messages_.end());
+  std::int64_t best = 0;
+  for (EdgeId e = 0; e < graph_->edge_count(); ++e) {
+    best = std::max(best, edge_message_count(e));
+  }
+  return best;
+}
+
+std::int64_t Network::max_edge_message_count(MsgClass cls) const {
+  const auto& counts = edge_messages_[class_index(cls)];
+  if (counts.empty()) return 0;
+  return *std::max_element(counts.begin(), counts.end());
 }
 
 double Network::last_finish_time() const {

@@ -9,13 +9,15 @@
 // the cost-sensitive time measure when the delay model is ExactDelay.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <limits>
 #include <memory>
-#include <queue>
+#include <utility>
 
 #include "graph/graph.h"
 #include "sim/delay.h"
+#include "sim/event_heap.h"
 #include "sim/message.h"
 #include "util/rng.h"
 
@@ -82,9 +84,17 @@ class Network {
   Network(const Graph& g, const ProcessFactory& factory,
           std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1);
 
-  /// Runs to quiescence (empty event queue) or until simulated time
-  /// exceeds max_time. Returns the accumulated ledger. May be called
-  /// again to resume a run cut short by max_time.
+  /// Runs to quiescence (empty event queue) or until the next pending
+  /// event lies beyond max_time. Returns the accumulated ledger. May be
+  /// called again to resume a run cut short by max_time.
+  ///
+  /// Resume clock contract: events with arrival <= max_time are
+  /// delivered (inclusive); every later event stays queued, untouched.
+  /// When the run is cut short, now() is advanced to max_time — the
+  /// budget slice consumes the whole interval — so interleaved budget
+  /// slices observe a monotone clock and a resumed run delivers the
+  /// exact same event sequence as an unbudgeted run would have. After
+  /// quiescence, now() is the time of the last delivered event.
   RunStats run(double max_time = std::numeric_limits<double>::infinity());
 
   /// Delivers the single next event (calling on_start hooks first on the
@@ -96,8 +106,14 @@ class Network {
   /// True when no deliveries are pending.
   bool idle() const { return queue_.empty(); }
 
+  /// The simulated clock (see run() for the budget-slice contract).
+  double now() const { return now_; }
+
   /// Ledger accumulated so far (final after run() returns).
   const RunStats& stats() const { return stats_; }
+
+  /// Peak number of simultaneously pending deliveries so far.
+  std::size_t peak_queue_depth() const { return queue_.peak_size(); }
 
   /// Messages sent over edge e so far (both directions, all classes).
   /// Lets analyses measure per-link load — e.g. the congestion factor in
@@ -105,11 +121,24 @@ class Network {
   /// edge-cover's O(log n) sharing property.
   std::int64_t edge_message_count(EdgeId e) const {
     require(e >= 0 && e < graph_->edge_count(), "edge id out of range");
-    return edge_messages_[static_cast<std::size_t>(e)];
+    const auto i = static_cast<std::size_t>(e);
+    return edge_messages_[0][i] + edge_messages_[1][i];
+  }
+
+  /// Messages of one ledger class sent over edge e. The paper's
+  /// congestion analyses (gamma* sharing) reason about the protocol's
+  /// own traffic, so per-link measures must not be polluted by
+  /// transformer overhead running on the same network.
+  std::int64_t edge_message_count(EdgeId e, MsgClass cls) const {
+    require(e >= 0 && e < graph_->edge_count(), "edge id out of range");
+    return edge_messages_[class_index(cls)][static_cast<std::size_t>(e)];
   }
 
   /// max over edges of edge_message_count.
   std::int64_t max_edge_message_count() const;
+
+  /// max over edges of edge_message_count(e, cls).
+  std::int64_t max_edge_message_count(MsgClass cls) const;
 
   /// Post-run access to protocol state, e.g. a computed tree or output.
   Process& process(NodeId v) {
@@ -140,33 +169,37 @@ class Network {
  private:
   friend class Context;
 
-  struct PendingDelivery {
-    double arrival;
-    std::uint64_t seq;  // tie-break: deterministic FIFO order
-    NodeId to;
-    Message msg;
-    bool operator>(const PendingDelivery& o) const {
-      return std::tie(arrival, seq) > std::tie(o.arrival, o.seq);
-    }
-  };
+  // Pending deliveries are pooled Messages keyed by (arrival, send
+  // sequence) — the seq tie-break makes the order total, so delivery
+  // order is deterministic FIFO. The 32-bit sequence bounds a single
+  // network at 2^32 - 1 sends+self-schedules over its lifetime
+  // (enforced in do_send / do_schedule_self). Arrival time and
+  // destination are not stored in the node: the time lives in the heap
+  // key and the destination is recomputed from the stamped from/edge
+  // metadata, keeping each pooled node to one cache line.
+
+  static std::size_t class_index(MsgClass cls) {
+    return cls == MsgClass::kAlgorithm ? 0 : 1;
+  }
 
   void do_send(NodeId from, EdgeId e, Message m, MsgClass cls);
   void do_schedule_self(NodeId v, double delay, Message m);
   void do_finish(NodeId v);
   void ensure_started();
+  // Pops and delivers the event whose key the caller just peeked.
+  void deliver(HeapKey key);
 
   const Graph* graph_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::unique_ptr<DelayModel> delay_;
   Rng rng_;
   double now_ = 0;
-  std::uint64_t seq_ = 0;
-  std::priority_queue<PendingDelivery, std::vector<PendingDelivery>,
-                      std::greater<>>
-      queue_;
+  std::uint32_t seq_ = 0;
+  EventHeap<Message> queue_;
   // last arrival time per directed edge (2 * edge + direction bit).
   std::vector<double> last_arrival_;
-  std::vector<std::int64_t> edge_messages_;
+  // per-link message counts, indexed [class][edge].
+  std::array<std::vector<std::int64_t>, 2> edge_messages_;
   std::vector<double> finish_time_;
   RunStats stats_;
   bool started_ = false;

@@ -28,41 +28,54 @@ void SyncEngine::do_send(NodeId from, EdgeId e, Message m) {
   }
   m.from = from;
   m.edge = e;
-  queue_.push(Event{pulse_ + edge.w, 0, seq_++, graph_->other(e, from),
-                    std::move(m)});
+  check_event_bounds(pulse_ + edge.w);
+  queue_.push(event_key(pulse_ + edge.w, 0, seq_++), std::move(m));
   ++stats_.algorithm_messages;
   stats_.algorithm_cost += edge.w;
 }
 
 void SyncEngine::do_wakeup(NodeId v, std::int64_t at_pulse) {
   require(at_pulse > pulse_, "wakeup must be scheduled strictly ahead");
-  queue_.push(Event{at_pulse, 1, seq_++, v, Message{}});
+  check_event_bounds(at_pulse);
+  Message m;
+  m.from = v;
+  queue_.push(event_key(at_pulse, 1, seq_++), std::move(m));
 }
 
 void SyncEngine::do_finish(NodeId v) {
   finished_[static_cast<std::size_t>(v)] = 1;
 }
 
-RunStats SyncEngine::run(std::int64_t max_pulse) {
-  require(!ran_, "SyncEngine::run may only be called once");
-  ran_ = true;
+void SyncEngine::ensure_started() {
+  if (started_) return;
+  started_ = true;
   pulse_ = 0;
   for (NodeId v = 0; v < graph_->node_count(); ++v) {
     EngineContext ctx(*this, v);
     processes_[static_cast<std::size_t>(v)]->on_start(ctx);
   }
+}
+
+RunStats SyncEngine::run(std::int64_t max_pulse) {
+  ensure_started();
+  // Peek before popping: an event beyond the pulse budget must stay
+  // queued so a later run() call resumes with it (popping it first and
+  // then checking would silently destroy it).
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.pulse > max_pulse) break;
-    pulse_ = ev.pulse;
+    const HeapKey key = queue_.top_key();
+    if (key.t > static_cast<double>(max_pulse)) break;
+    const bool is_wakeup = (key.aux >> 31) != 0;
+    const Message msg = queue_.pop();
+    pulse_ = static_cast<std::int64_t>(key.t);
     stats_.completion_time = static_cast<double>(pulse_);
     ++stats_.events;
-    EngineContext ctx(*this, ev.to);
-    if (ev.kind == 0) {
-      processes_[static_cast<std::size_t>(ev.to)]->on_message(ctx, ev.msg);
+    const NodeId to =
+        msg.edge == kNoEdge ? msg.from : graph_->other(msg.edge, msg.from);
+    EngineContext ctx(*this, to);
+    if (!is_wakeup) {
+      processes_[static_cast<std::size_t>(to)]->on_message(ctx, msg);
     } else {
-      processes_[static_cast<std::size_t>(ev.to)]->on_wakeup(ctx);
+      processes_[static_cast<std::size_t>(to)]->on_wakeup(ctx);
     }
   }
   return stats_;

@@ -17,9 +17,9 @@
 
 #include <functional>
 #include <memory>
-#include <queue>
 
 #include "graph/graph.h"
+#include "sim/event_heap.h"
 #include "sim/message.h"
 #include "sim/sync_process.h"
 
@@ -34,9 +34,25 @@ class SyncEngine {
   SyncEngine(const Graph& g, const ProcessFactory& factory,
              bool enforce_in_synch = false);
 
-  /// Runs until quiescence or until pulse > max_pulse. completion_time in
-  /// the returned stats is the last pulse at which anything happened.
+  /// Runs until quiescence or until the next pending event lies beyond
+  /// max_pulse. completion_time in the returned stats is the last pulse
+  /// at which anything happened.
+  ///
+  /// Same resume contract as Network::run: events at pulses <= max_pulse
+  /// are processed (inclusive); an over-budget event stays queued and is
+  /// processed by a later run() call, so budgeted slices compose into
+  /// exactly the unbudgeted execution. The hybrid drivers rely on this
+  /// to charge a synchronous contestant one pulse budget at a time.
   RunStats run(std::int64_t max_pulse = (std::int64_t{1} << 56));
+
+  /// True when no events are pending.
+  bool idle() const { return queue_.empty(); }
+
+  /// Ledger accumulated so far (final once idle()).
+  const RunStats& stats() const { return stats_; }
+
+  /// Peak number of simultaneously pending events so far.
+  std::size_t peak_queue_depth() const { return queue_.peak_size(); }
 
   SyncProcess& process(NodeId v) {
     graph_->check_node(v);
@@ -73,30 +89,42 @@ class SyncEngine {
     NodeId self_;
   };
 
-  struct Event {
-    std::int64_t pulse;
-    int kind;  // 0 = message delivery, 1 = wakeup (delivered after msgs)
-    std::uint64_t seq;
-    NodeId to;
-    Message msg;
-    bool operator>(const Event& o) const {
-      return std::tie(pulse, kind, seq) > std::tie(o.pulse, o.kind, o.seq);
-    }
-  };
+  // Events are pooled Messages; everything else lives in the heap key:
+  // t = pulse (exact for pulses below 2^53), aux = kind bit (0 =
+  // message delivery, 1 = wakeup, delivered after messages) then a
+  // 31-bit sequence — so messages precede wakeups at the same pulse and
+  // the seq tie-break makes the order total/deterministic. Both bounds
+  // are enforced where events are queued. The destination is
+  // recomputed from the stamped from/edge metadata on delivery.
+  static HeapKey event_key(std::int64_t pulse, int kind,
+                           std::uint32_t seq) {
+    return HeapKey{static_cast<double>(pulse),
+                   (static_cast<std::uint32_t>(kind) << 31) | seq};
+  }
+
+  // Pulses must stay below 2^53 so their double image in the heap key
+  // is exact, and the 31-bit sequence bounds one engine at 2^31 - 1
+  // queued events over its lifetime.
+  void check_event_bounds(std::int64_t pulse) const {
+    require(pulse < (std::int64_t{1} << 53), "pulse too large for event key");
+    require(seq_ < (std::uint32_t{1} << 31),
+            "event sequence space exhausted");
+  }
 
   void do_send(NodeId from, EdgeId e, Message m);
   void do_wakeup(NodeId v, std::int64_t at_pulse);
   void do_finish(NodeId v);
+  void ensure_started();
 
   const Graph* graph_;
   std::vector<std::unique_ptr<SyncProcess>> processes_;
   bool enforce_in_synch_;
   std::int64_t pulse_ = 0;
-  std::uint64_t seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::uint32_t seq_ = 0;
+  EventHeap<Message> queue_;
   std::vector<char> finished_;
   RunStats stats_;
-  bool ran_ = false;
+  bool started_ = false;
 };
 
 }  // namespace csca

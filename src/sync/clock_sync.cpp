@@ -303,7 +303,10 @@ ClockSyncRun run_clock(const Graph& g, int pulses,
     out.pulse_times.push_back(
         dynamic_cast<const ClockBase&>(net.process(v)).pulse_times());
   }
-  out.max_edge_messages = net.max_edge_message_count();
+  // The gamma* congestion measure counts the clock protocol's own
+  // traffic; control-class overhead from any transformer sharing the
+  // network must not leak into the per-link sharing bound.
+  out.max_edge_messages = net.max_edge_message_count(MsgClass::kAlgorithm);
   return out;
 }
 

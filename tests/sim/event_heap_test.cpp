@@ -1,0 +1,111 @@
+#include "sim/event_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <queue>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace csca {
+namespace {
+
+// Mirror of HeapKey the reference std::priority_queue can order.
+using RefKey = std::pair<double, std::uint32_t>;
+
+struct Item {
+  int tag = 0;
+};
+
+TEST(EventHeap, PopsInKeyOrderWithDeterministicTieBreaks) {
+  EventHeap<Item> heap;
+  Rng rng(11);
+  std::vector<RefKey> reference;
+  for (std::uint32_t s = 0; s < 500; ++s) {
+    // Coarse keys force many ties; aux must decide them FIFO.
+    const RefKey k{static_cast<double>(rng.uniform_int(0, 9)), s};
+    reference.push_back(k);
+    heap.push(HeapKey{k.first, k.second}, Item{static_cast<int>(s)});
+  }
+  std::sort(reference.begin(), reference.end());
+  for (const RefKey& want : reference) {
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap.top_key(), (HeapKey{want.first, want.second}));
+    const Item got = heap.pop();
+    EXPECT_EQ(got.tag, static_cast<int>(want.second));
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeap, MatchesPriorityQueueUnderInterleavedPushPop) {
+  EventHeap<Item> heap;
+  std::priority_queue<RefKey, std::vector<RefKey>, std::greater<>> ref;
+  Rng rng(17);
+  std::uint32_t seq = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (ref.empty() || rng.uniform_int(0, 2) != 0) {
+      const RefKey k{rng.uniform_real(0.0, 100.0), seq++};
+      ref.push(k);
+      heap.push(HeapKey{k.first, k.second}, Item{static_cast<int>(k.second)});
+    } else {
+      const RefKey want = ref.top();
+      ref.pop();
+      ASSERT_EQ(heap.top_key(), (HeapKey{want.first, want.second}));
+      ASSERT_EQ(heap.pop().tag, static_cast<int>(want.second));
+    }
+    ASSERT_EQ(heap.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(heap.pop().tag, static_cast<int>(ref.top().second));
+    ref.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(EventHeap, MoveOnlyEventsAreMovedNotCopied) {
+  struct MoveOnly {
+    std::unique_ptr<int> box;
+  };
+  EventHeap<MoveOnly> heap;
+  for (int i = 9; i >= 0; --i) {
+    heap.push(HeapKey{static_cast<double>(i), static_cast<std::uint32_t>(i)},
+              MoveOnly{std::make_unique<int>(i)});
+  }
+  for (int i = 0; i < 10; ++i) {
+    MoveOnly got = heap.pop();
+    ASSERT_NE(got.box, nullptr);
+    EXPECT_EQ(*got.box, i);
+  }
+}
+
+TEST(EventHeap, ArenaSlotsAreRecycledAcrossDrains) {
+  EventHeap<Item> heap;
+  std::uint32_t seq = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      heap.push(HeapKey{static_cast<double>(i), seq++}, Item{i});
+    }
+    while (!heap.empty()) heap.pop();
+  }
+  // 8 concurrent events ever; 50 drains reuse the same 8 slots.
+  EXPECT_EQ(heap.arena_slots(), 8u);
+  EXPECT_EQ(heap.peak_size(), 8u);
+}
+
+TEST(EventHeap, PeakSizeTracksHighWaterMark) {
+  EventHeap<Item> heap;
+  for (std::uint32_t s = 0; s < 5; ++s) heap.push(HeapKey{1.0, s}, Item{0});
+  heap.pop();
+  heap.pop();
+  for (std::uint32_t s = 5; s < 7; ++s) heap.push(HeapKey{1.0, s}, Item{0});
+  EXPECT_EQ(heap.size(), 5u);
+  EXPECT_EQ(heap.peak_size(), 5u);
+  EXPECT_THROW(EventHeap<Item>{}.top(), PreconditionError);
+  EXPECT_THROW(EventHeap<Item>{}.top_key(), PreconditionError);
+  EXPECT_THROW(EventHeap<Item>{}.pop(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace csca

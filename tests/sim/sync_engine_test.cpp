@@ -126,6 +126,45 @@ TEST(SyncEngine, MaxPulseStopsExecution) {
   eng.run(11);
   EXPECT_EQ(eng.process_as<SyncFlood>(2).reached_at, 10);
   EXPECT_EQ(eng.process_as<SyncFlood>(3).reached_at, -1);
+  EXPECT_FALSE(eng.idle());
+}
+
+TEST(SyncEngine, BudgetedRunPreservesOverBudgetEvents) {
+  // A budget cut must leave every event beyond max_pulse queued: the
+  // resumed execution has to be indistinguishable from an unbudgeted
+  // one (the hybrid drivers charge pulse budgets one slice at a time).
+  Rng rng(2);
+  Graph g = path_graph(6, WeightSpec::constant(5), rng);
+  const auto factory = [](NodeId) { return std::make_unique<SyncFlood>(); };
+
+  SyncEngine whole(g, factory);
+  const RunStats full = whole.run();
+
+  SyncEngine sliced(g, factory);
+  sliced.run(11);   // cuts mid-flood; events at pulse 15 stay queued
+  sliced.run(27);   // another partial slice
+  const RunStats resumed = sliced.run();
+
+  EXPECT_TRUE(sliced.idle());
+  EXPECT_EQ(resumed.events, full.events);
+  EXPECT_EQ(resumed.algorithm_messages, full.algorithm_messages);
+  EXPECT_EQ(resumed.algorithm_cost, full.algorithm_cost);
+  EXPECT_DOUBLE_EQ(resumed.completion_time, full.completion_time);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(sliced.process_as<SyncFlood>(v).reached_at,
+              whole.process_as<SyncFlood>(v).reached_at);
+  }
+}
+
+TEST(SyncEngine, WakeupBeyondBudgetSurvivesResume) {
+  Graph g(1);
+  SyncEngine eng(g, [](NodeId) { return std::make_unique<Ticker>(10); });
+  eng.run(5);  // budget ends before the first wakeup at pulse 10
+  EXPECT_TRUE(eng.process_as<Ticker>(0).ticks.empty());
+  EXPECT_FALSE(eng.idle());
+  eng.run();
+  EXPECT_EQ(eng.process_as<Ticker>(0).ticks,
+            (std::vector<std::int64_t>{10, 20, 30, 40, 50}));
 }
 
 TEST(SyncEngine, MessagesDeliveredBeforeWakeupAtSamePulse) {
@@ -150,11 +189,19 @@ TEST(SyncEngine, MessagesDeliveredBeforeWakeupAtSamePulse) {
   EXPECT_EQ(eng.process_as<Receiver>(1).order, "mw");
 }
 
-TEST(SyncEngine, RunTwiceRejected) {
-  Graph g(1);
+TEST(SyncEngine, RunAfterQuiescenceIsIdempotent) {
+  // run() resumes rather than restarting: after quiescence a second
+  // call delivers nothing, fires no on_start hooks again, and returns
+  // the same ledger (matching Network::run's contract).
+  Graph g(2);
+  g.add_edge(0, 1, 9);
   SyncEngine eng(g, [](NodeId) { return std::make_unique<SyncFlood>(); });
-  eng.run();
-  EXPECT_THROW(eng.run(), PreconditionError);
+  const RunStats first = eng.run();
+  const RunStats again = eng.run();
+  EXPECT_EQ(again.events, first.events);
+  EXPECT_EQ(again.algorithm_messages, first.algorithm_messages);
+  EXPECT_DOUBLE_EQ(again.completion_time, first.completion_time);
+  EXPECT_EQ(eng.process_as<SyncFlood>(1).reached_at, 9);
 }
 
 }  // namespace

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification gate: tier-1 suite in the normal configuration,
+# the same suite under ASan+UBSan, and the engine bench in smoke mode.
+#
+# Usage: tools/check.sh [--no-sanitize]   (run from the repo root)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+RUN_SANITIZE=1
+[[ "${1:-}" == "--no-sanitize" ]] && RUN_SANITIZE=0
+
+echo "== tier-1: plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_SANITIZE" == 1 ]]; then
+  echo "== tier-1: ASan+UBSan build =="
+  cmake -B build-asan -S . -DCSCA_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "== engine bench (smoke) =="
+./build/bench/bench_engine --smoke --out=build/BENCH_engine.json
+
+echo "check.sh: all gates passed"
