@@ -1,0 +1,239 @@
+#include "check/invariants.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace csca {
+
+namespace {
+std::string at_time(double t) {
+  std::ostringstream os;
+  os << " (t=" << t << ")";
+  return os.str();
+}
+}  // namespace
+
+void DefaultInvariantChecker::ensure_sized(const Network& net) {
+  if (sized_) return;
+  sized_ = true;
+  const auto m = static_cast<std::size_t>(net.graph().edge_count());
+  channels_.resize(2 * m);
+  sent_algorithm_.assign(m, 0);
+  sent_control_.assign(m, 0);
+}
+
+void DefaultInvariantChecker::report(std::string what) {
+  if (opts_.fail_fast) {
+    ensure(false, "invariant violation: " + what);
+  }
+  if (violations_.size() < opts_.max_violations) {
+    violations_.push_back(std::move(what));
+  } else {
+    ++suppressed_;
+  }
+}
+
+std::size_t DefaultInvariantChecker::channel_of(const Network& net,
+                                                NodeId from,
+                                                EdgeId e) const {
+  const Edge& edge = net.graph().edge(e);
+  return static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+}
+
+void DefaultInvariantChecker::on_send(const Network& net, NodeId from,
+                                      EdgeId e, MsgClass cls,
+                                      double delay, double arrival) {
+  ensure_sized(net);
+  const Graph& g = net.graph();
+  if (e < 0 || e >= g.edge_count()) {
+    std::ostringstream os;
+    os << "send on out-of-range edge " << e << " by node " << from
+       << at_time(net.now());
+    report(os.str());
+    return;
+  }
+  const Edge& edge = g.edge(e);
+  if (edge.u != from && edge.v != from) {
+    std::ostringstream os;
+    os << "node " << from << " sent on non-incident edge " << e << " ("
+       << edge.u << "-" << edge.v << ")" << at_time(net.now());
+    report(os.str());
+  }
+  const auto w = static_cast<double>(edge.w);
+  if (std::isnan(delay) || delay < 0.0 || delay > w) {
+    std::ostringstream os;
+    os << "delay model produced " << delay << " outside [0, " << w
+       << "] on edge " << e << at_time(net.now());
+    report(os.str());
+  }
+  if (net.finished(from) && from != delivering_to_) {
+    std::ostringstream os;
+    os << "spontaneous send by finished node " << from << " on edge "
+       << e << at_time(net.now());
+    report(os.str());
+  }
+  auto& chan = channels_[channel_of(net, from, e)];
+  if (arrival < net.now() ||
+      (!chan.empty() && arrival < chan.back())) {
+    std::ostringstream os;
+    os << "arrival " << arrival << " on edge " << e
+       << " violates the FIFO clamp (now=" << net.now()
+       << ", channel tail="
+       << (chan.empty() ? net.now() : chan.back()) << ")";
+    report(os.str());
+  }
+  chan.push_back(arrival);
+  auto& tally = cls == MsgClass::kAlgorithm ? sent_algorithm_
+                                            : sent_control_;
+  ++tally[static_cast<std::size_t>(e)];
+}
+
+void DefaultInvariantChecker::on_self_schedule(const Network& net,
+                                               NodeId v, double delay) {
+  ensure_sized(net);
+  ++self_schedules_seen_;
+  if (std::isnan(delay) || delay < 0.0) {
+    std::ostringstream os;
+    os << "node " << v << " scheduled a self-delivery with delay "
+       << delay << at_time(net.now());
+    report(os.str());
+  }
+  if (net.finished(v) && v != delivering_to_) {
+    std::ostringstream os;
+    os << "spontaneous self-schedule by finished node " << v
+       << at_time(net.now());
+    report(os.str());
+  }
+}
+
+void DefaultInvariantChecker::on_deliver(const Network& net, NodeId to,
+                                         const Message& m, double t) {
+  ensure_sized(net);
+  ++deliveries_seen_;
+  if (t < last_now_) {
+    std::ostringstream os;
+    os << "clock ran backwards: delivery at t=" << t << " after t="
+       << last_now_;
+    report(os.str());
+  }
+  last_now_ = t;
+  if (m.edge == kNoEdge) {
+    if (m.from != to) {
+      std::ostringstream os;
+      os << "self-delivery scheduled by node " << m.from
+         << " delivered to node " << to << at_time(t);
+      report(os.str());
+    }
+  } else if (m.edge < 0 || m.edge >= net.graph().edge_count()) {
+    std::ostringstream os;
+    os << "delivery over out-of-range edge " << m.edge << at_time(t);
+    report(os.str());
+  } else {
+    auto& chan = channels_[channel_of(net, m.from, m.edge)];
+    if (chan.empty()) {
+      std::ostringstream os;
+      os << "delivery to node " << to << " over edge " << m.edge
+         << " without a matching send" << at_time(t);
+      report(os.str());
+    } else {
+      if (chan.front() != t) {
+        std::ostringstream os;
+        os << "FIFO order violated on edge " << m.edge
+           << ": oldest outstanding send arrives at " << chan.front()
+           << " but a delivery happened" << at_time(t);
+        report(os.str());
+      }
+      chan.pop_front();
+    }
+    if (net.graph().other(m.edge, m.from) != to) {
+      std::ostringstream os;
+      os << "edge message from node " << m.from << " over edge "
+         << m.edge << " delivered to node " << to
+         << ", not the opposite endpoint" << at_time(t);
+      report(os.str());
+    }
+  }
+  delivering_to_ = to;
+}
+
+void DefaultInvariantChecker::on_finish(const Network& net, NodeId v,
+                                        double t) {
+  ensure_sized(net);
+  if (t != net.now()) {
+    std::ostringstream os;
+    os << "node " << v << " finish time " << t
+       << " differs from the clock " << net.now();
+    report(os.str());
+  }
+}
+
+void DefaultInvariantChecker::check_final(const Network& net) {
+  ensure_sized(net);
+  const Graph& g = net.graph();
+  const RunStats& stats = net.stats();
+
+  // Ledger conservation: RunStats totals vs the per-edge counters, and
+  // the engine's counters vs this checker's independent tally.
+  std::int64_t algo_msgs = 0;
+  std::int64_t ctrl_msgs = 0;
+  Weight algo_cost = 0;
+  Weight ctrl_cost = 0;
+  std::int64_t total_sends = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    const std::int64_t a = net.edge_message_count(e, MsgClass::kAlgorithm);
+    const std::int64_t c = net.edge_message_count(e, MsgClass::kControl);
+    algo_msgs += a;
+    ctrl_msgs += c;
+    algo_cost += a * g.weight(e);
+    ctrl_cost += c * g.weight(e);
+    total_sends += a + c;
+    if (a != sent_algorithm_[i] || c != sent_control_[i]) {
+      std::ostringstream os;
+      os << "edge " << e << " per-class counters (" << a << ", " << c
+         << ") disagree with the observed sends ("
+         << sent_algorithm_[i] << ", " << sent_control_[i] << ")";
+      report(os.str());
+    }
+  }
+  if (algo_msgs != stats.algorithm_messages ||
+      ctrl_msgs != stats.control_messages ||
+      algo_cost != stats.algorithm_cost ||
+      ctrl_cost != stats.control_cost) {
+    std::ostringstream os;
+    os << "ledger conservation failed: per-edge sums give msgs=("
+       << algo_msgs << ", " << ctrl_msgs << ") cost=(" << algo_cost
+       << ", " << ctrl_cost << ") but RunStats holds msgs=("
+       << stats.algorithm_messages << ", " << stats.control_messages
+       << ") cost=(" << stats.algorithm_cost << ", "
+       << stats.control_cost << ")";
+    report(os.str());
+  }
+  if (stats.events != deliveries_seen_) {
+    std::ostringstream os;
+    os << "RunStats counts " << stats.events << " deliveries but "
+       << deliveries_seen_ << " were observed (checker attached late?)";
+    report(os.str());
+  }
+  if (net.idle()) {
+    std::int64_t undelivered = 0;
+    for (const auto& chan : channels_) {
+      undelivered += static_cast<std::int64_t>(chan.size());
+    }
+    if (undelivered != 0) {
+      std::ostringstream os;
+      os << undelivered
+         << " sent message(s) never delivered on a quiescent network";
+      report(os.str());
+    }
+    if (total_sends + self_schedules_seen_ != deliveries_seen_) {
+      std::ostringstream os;
+      os << "event conservation failed: " << total_sends << " sends + "
+         << self_schedules_seen_ << " self-schedules vs "
+         << deliveries_seen_ << " deliveries at quiescence";
+      report(os.str());
+    }
+  }
+}
+
+}  // namespace csca

@@ -1,0 +1,95 @@
+// Default invariant checker for the asynchronous engine.
+//
+// Attach a DefaultInvariantChecker to a Network (Network::set_observer)
+// before the first step and it mechanically re-verifies, at every event,
+// the invariants the paper's model (§1.3) and the engine's FIFO-channel
+// contract promise — independently of the engine's own bookkeeping:
+//
+//   * sends happen only on edges incident to the sender;
+//   * DelayModel outputs are non-NaN and within [0, w(e)];
+//   * per-directed-edge channels are FIFO: every delivery matches the
+//     oldest outstanding send on its channel, at exactly the arrival
+//     time the engine committed to at send time;
+//   * the simulated clock never runs backwards;
+//   * self-deliveries return to their scheduler, with delay >= 0;
+//   * no *spontaneous* sends after a node's local finish(): a finished
+//     node may still respond while a message is being delivered to it
+//     (DFS reject replies, GHS halt stragglers), but must not originate
+//     traffic from on_start after finishing;
+//   * ledger conservation (check_final): the final RunStats totals
+//     equal the sum over edges of per-class message counts times edge
+//     weights, the engine's per-edge counters match the checker's
+//     independent tally, and a quiescent network has no channel with an
+//     undelivered send.
+//
+// Violations are collected as human-readable strings (or thrown
+// immediately with fail_fast), so the schedule-exploration checker can
+// report them alongside the schedule that produced them.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace csca {
+
+class DefaultInvariantChecker final : public InvariantObserver {
+ public:
+  struct Options {
+    /// Throw InvariantError at the first violation instead of
+    /// collecting it (useful to fail a test at the offending event).
+    bool fail_fast = false;
+    /// Cap on collected violation strings; the rest are counted only.
+    std::size_t max_violations = 64;
+  };
+
+  DefaultInvariantChecker() = default;
+  explicit DefaultInvariantChecker(Options opts) : opts_(opts) {}
+
+  void on_send(const Network& net, NodeId from, EdgeId e, MsgClass cls,
+               double delay, double arrival) override;
+  void on_self_schedule(const Network& net, NodeId v,
+                        double delay) override;
+  void on_deliver(const Network& net, NodeId to, const Message& m,
+                  double t) override;
+  void on_finish(const Network& net, NodeId v, double t) override;
+
+  /// End-of-run checks (ledger conservation, channel drain). Call after
+  /// run(); the channel-drain check only applies when net.idle().
+  void check_final(const Network& net);
+
+  bool ok() const { return violations_.empty() && suppressed_ == 0; }
+  const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  /// Violations dropped beyond Options::max_violations.
+  std::size_t suppressed() const { return suppressed_; }
+
+ private:
+  void ensure_sized(const Network& net);
+  void report(std::string what);
+  // Directed channel id for a message from `from` over edge e.
+  std::size_t channel_of(const Network& net, NodeId from, EdgeId e) const;
+
+  Options opts_;
+  std::vector<std::string> violations_;
+  std::size_t suppressed_ = 0;
+
+  // Outstanding arrival times per directed channel, in send order.
+  std::vector<std::deque<double>> channels_;
+  // Independent per-edge tallies, indexed [class][edge].
+  std::vector<std::int64_t> sent_algorithm_;
+  std::vector<std::int64_t> sent_control_;
+  std::int64_t deliveries_seen_ = 0;
+  std::int64_t self_schedules_seen_ = 0;
+  double last_now_ = 0.0;
+  // Node currently having a message delivered to it; sends by it are
+  // reactive and exempt from the post-finish rule.
+  NodeId delivering_to_ = kNoNode;
+  bool sized_ = false;
+};
+
+}  // namespace csca

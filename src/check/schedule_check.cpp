@@ -1,0 +1,93 @@
+#include "check/schedule_check.h"
+
+#include "check/invariants.h"
+
+namespace csca {
+
+std::vector<ScheduleSpec> default_portfolio() {
+  std::vector<ScheduleSpec> out;
+  out.push_back({"exact", 1, [] { return make_exact_delay(); }});
+  out.push_back(
+      {"uniform[0,1)#101", 101, [] { return make_uniform_delay(0, 1); }});
+  out.push_back(
+      {"uniform[0,1)#202", 202, [] { return make_uniform_delay(0, 1); }});
+  out.push_back({"uniform[0,0.5)#303", 303,
+                 [] { return make_uniform_delay(0, 0.5); }});
+  out.push_back({"twopoint(0.5)#404", 404,
+                 [] { return make_two_point_delay(0.5); }});
+  out.push_back({"twopoint(0.9)#505", 505,
+                 [] { return make_two_point_delay(0.9); }});
+  out.push_back(
+      {"edgefrac(7)", 7, [] { return make_edge_fraction_delay(7); }});
+  out.push_back(
+      {"edgefrac(99)", 99, [] { return make_edge_fraction_delay(99); }});
+  return out;
+}
+
+SubjectOutcome run_checked(
+    const Graph& g, const Network::ProcessFactory& factory,
+    const ScheduleSpec& spec,
+    const std::function<std::string(Network&, std::vector<std::string>&)>&
+        digest) {
+  SubjectOutcome out;
+  try {
+    Network net(g, factory, spec.make_delay(), spec.seed);
+    DefaultInvariantChecker checker;
+    net.set_observer(&checker);
+    net.run();
+    checker.check_final(net);
+    net.set_observer(nullptr);
+    out.violations = checker.violations();
+    if (checker.suppressed() > 0) {
+      out.violations.push_back(
+          "... " + std::to_string(checker.suppressed()) +
+          " further violation(s) suppressed");
+    }
+    out.digest = digest(net, out.violations);
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+ScheduleCheckReport check_subject(
+    const CheckSubject& subject, const Graph& g,
+    const std::string& graph_name,
+    std::span<const ScheduleSpec> portfolio) {
+  require(!portfolio.empty(), "schedule portfolio must not be empty");
+  ScheduleCheckReport report;
+  const auto finding = [&](const ScheduleSpec& spec, std::string kind,
+                           std::string detail) {
+    report.findings.push_back(CheckFinding{subject.name, graph_name,
+                                           spec.name, spec.seed,
+                                           std::move(kind),
+                                           std::move(detail)});
+  };
+  bool have_reference = false;
+  for (const ScheduleSpec& spec : portfolio) {
+    const SubjectOutcome outcome = subject.run(g, spec);
+    ++report.runs;
+    if (outcome.failed) {
+      finding(spec, "error", outcome.error);
+      continue;
+    }
+    for (const std::string& v : outcome.violations) {
+      finding(spec, "invariant", v);
+    }
+    if (!have_reference) {
+      // First schedule that completed: its digest is the reference.
+      have_reference = true;
+      report.reference_schedule = spec.name;
+      report.reference_digest = outcome.digest;
+    } else if (outcome.digest != report.reference_digest) {
+      finding(spec, "divergence",
+              "digest \"" + outcome.digest + "\" differs from " +
+                  report.reference_schedule + "'s \"" +
+                  report.reference_digest + "\"");
+    }
+  }
+  return report;
+}
+
+}  // namespace csca

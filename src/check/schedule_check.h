@@ -1,0 +1,107 @@
+// Schedule-exploration race detector (the asynchronous analog of a
+// data-race checker).
+//
+// The paper's correctness quantifier (§1.3) ranges over *every* delay
+// assignment in [0, w(e)]: a protocol is correct only if its output is
+// identical under all admissible schedules. A single test run fixes one
+// schedule and so cannot distinguish "correct" from "correct under the
+// schedule I happened to get". This module replays a protocol across a
+// portfolio of delay models and seeds — the exact worst case, random
+// uniform and two-point adversaries, and the deterministic per-edge
+// EdgeFractionDelay — with the DefaultInvariantChecker attached to
+// every run, and reports
+//
+//   * invariant violations, tagged with the schedule that produced them;
+//   * digest divergences: the protocol-supplied output digest (e.g. an
+//     MST edge set, SPT distances) differing between two schedules;
+//   * errors: exceptions escaping a run (engine precondition failures,
+//     protocol ensure()s), likewise tagged.
+//
+// Every finding carries the schedule name and network seed, so it
+// reproduces exactly by re-running that one (subject, graph, schedule)
+// triple. tools/csca_check.cpp sweeps the repo's protocols x graph
+// families through this machinery; docs/checking.md is the manual.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace csca {
+
+/// One admissible schedule: a delay-model recipe plus the network seed
+/// driving any randomness in it. The recipe is a factory because each
+/// replay needs a fresh model.
+struct ScheduleSpec {
+  std::string name;  ///< human-readable, parameters included
+  std::uint64_t seed = 1;
+  std::function<std::unique_ptr<DelayModel>()> make_delay;
+};
+
+/// The standard portfolio (8 schedules): exact worst case, three
+/// uniform draws, two two-point adversaries, two deterministic per-edge
+/// fraction assignments. The exact schedule comes first and serves as
+/// the digest reference.
+std::vector<ScheduleSpec> default_portfolio();
+
+/// Result of replaying a subject once under one schedule.
+struct SubjectOutcome {
+  std::string digest;  ///< schedule-invariant output fingerprint
+  std::vector<std::string> violations;  ///< checker + subject findings
+  bool failed = false;  ///< an exception escaped the run
+  std::string error;
+};
+
+/// A protocol adapter: given a graph and a schedule, run the protocol
+/// to completion with the invariant checker attached and digest its
+/// output. The digest must cover exactly the schedule-invariant part of
+/// the output (an MST edge set, distances — not a first-receipt tree).
+struct CheckSubject {
+  std::string name;
+  std::function<SubjectOutcome(const Graph&, const ScheduleSpec&)> run;
+};
+
+/// One reportable finding of a schedule sweep.
+struct CheckFinding {
+  std::string subject;
+  std::string graph;
+  std::string schedule;
+  std::uint64_t seed = 0;
+  std::string kind;  ///< "invariant" | "divergence" | "error"
+  std::string detail;
+};
+
+struct ScheduleCheckReport {
+  int runs = 0;
+  std::string reference_schedule;
+  std::string reference_digest;
+  std::vector<CheckFinding> findings;
+  bool ok() const { return findings.empty(); }
+};
+
+/// Replays `subject` on g under every schedule of the portfolio. The
+/// first schedule's digest is the reference; later digests must match
+/// it. graph_name labels findings.
+ScheduleCheckReport check_subject(const CheckSubject& subject,
+                                  const Graph& g,
+                                  const std::string& graph_name,
+                                  std::span<const ScheduleSpec> portfolio);
+
+/// Building block for plain-Process subjects: constructs a Network from
+/// the factory under `spec`, attaches a DefaultInvariantChecker, runs
+/// to quiescence, runs the final ledger checks, and applies `digest` to
+/// the quiesced network. The digest callback may append protocol-level
+/// validation failures (oracle mismatches, agreement violations) to the
+/// violations list it is handed. Exceptions become a failed outcome.
+SubjectOutcome run_checked(
+    const Graph& g, const Network::ProcessFactory& factory,
+    const ScheduleSpec& spec,
+    const std::function<std::string(Network&, std::vector<std::string>&)>&
+        digest);
+
+}  // namespace csca

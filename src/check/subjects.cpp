@@ -1,0 +1,244 @@
+#include "check/subjects.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "check/invariants.h"
+#include "conn/dfs.h"
+#include "conn/flood.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "graph/tree.h"
+#include "mst/ghs.h"
+#include "sim/sync_engine.h"
+#include "spt/bellman_ford.h"
+#include "spt/recur.h"
+#include "sync/synchronizer.h"
+
+namespace csca {
+
+namespace {
+
+std::string join(const std::vector<std::int64_t>& xs) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << xs[i];
+  }
+  return os.str();
+}
+
+SubjectOutcome run_flood_subject(const Graph& g,
+                                 const ScheduleSpec& spec) {
+  return run_checked(
+      g,
+      [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
+      spec, [&g](Network& net, std::vector<std::string>& violations) {
+        int reached = 0;
+        std::vector<EdgeId> parents(
+            static_cast<std::size_t>(g.node_count()), kNoEdge);
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          const auto& p = net.process_as<FloodProcess>(v);
+          if (p.reached()) ++reached;
+          parents[static_cast<std::size_t>(v)] = p.parent_edge();
+        }
+        bool spanning = false;
+        try {
+          spanning = RootedTree::from_parent_edges(g, 0,
+                                                   std::move(parents))
+                         .spanning();
+        } catch (const std::exception& e) {
+          violations.push_back(
+              std::string("first-receipt edges are not a tree: ") +
+              e.what());
+        }
+        std::ostringstream os;
+        os << "reached=" << reached << "/" << g.node_count()
+           << " spanning=" << (spanning ? 1 : 0);
+        return os.str();
+      });
+}
+
+SubjectOutcome run_dfs_subject(const Graph& g, const ScheduleSpec& spec) {
+  return run_checked(
+      g, [](NodeId v) { return std::make_unique<DfsProcess>(v, 0); },
+      spec, [&g](Network& net, std::vector<std::string>&) {
+        std::vector<std::int64_t> tree;
+        int visited = 0;
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          const auto& p = net.process_as<DfsProcess>(v);
+          if (p.visited()) ++visited;
+          if (p.parent_edge() != kNoEdge) tree.push_back(p.parent_edge());
+        }
+        std::sort(tree.begin(), tree.end());
+        std::ostringstream os;
+        os << "visited=" << visited << " tree=[" << join(tree) << "] w="
+           << net.process_as<DfsProcess>(0).center_estimate()
+           << " done=" << (net.process_as<DfsProcess>(0).done() ? 1 : 0);
+        return os.str();
+      });
+}
+
+SubjectOutcome run_ghs_subject(const Graph& g, const ScheduleSpec& spec,
+                               GhsMode mode) {
+  return run_checked(
+      g,
+      [&g, mode](NodeId v) {
+        return std::make_unique<GhsProcess>(g, v, mode);
+      },
+      spec, [&g](Network& net, std::vector<std::string>& violations) {
+        NodeId leader = kNoNode;
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          const auto& p = net.process_as<GhsProcess>(v);
+          if (!p.done()) {
+            violations.push_back("node " + std::to_string(v) +
+                                 " never terminated");
+            return std::string("unterminated");
+          }
+          if (v == 0) {
+            leader = p.leader();
+          } else if (p.leader() != leader) {
+            violations.push_back(
+                "leader disagreement: node " + std::to_string(v) +
+                " elected " + std::to_string(p.leader()) +
+                ", node 0 elected " + std::to_string(leader));
+          }
+        }
+        std::vector<std::int64_t> mst;
+        Weight w = 0;
+        for (EdgeId e = 0; e < g.edge_count(); ++e) {
+          const auto& pu = net.process_as<GhsProcess>(g.edge(e).u);
+          const auto& pv = net.process_as<GhsProcess>(g.edge(e).v);
+          if (pu.branch(e) != pv.branch(e)) {
+            violations.push_back("edge " + std::to_string(e) +
+                                 " branch state disagrees between its "
+                                 "endpoints");
+          }
+          if (pu.branch(e)) {
+            mst.push_back(e);
+            w += g.weight(e);
+          }
+        }
+        std::vector<EdgeId> oracle = kruskal_mst(g);
+        std::sort(oracle.begin(), oracle.end());
+        if (!std::equal(mst.begin(), mst.end(), oracle.begin(),
+                        oracle.end(), [](std::int64_t a, EdgeId b) {
+                          return a == static_cast<std::int64_t>(b);
+                        })) {
+          violations.push_back(
+              "computed MST differs from the Kruskal oracle");
+        }
+        std::ostringstream os;
+        os << "mst=[" << join(mst) << "] w=" << w;
+        return os.str();
+      });
+}
+
+SubjectOutcome run_spt_recur_subject(const Graph& g,
+                                     const ScheduleSpec& spec) {
+  const Weight tau = std::max<Weight>(1, g.max_weight());
+  return run_checked(
+      g,
+      [&g, tau](NodeId v) {
+        return std::make_unique<SptRecurProcess>(g, v, 0, tau);
+      },
+      spec, [&g](Network& net, std::vector<std::string>& violations) {
+        std::vector<std::int64_t> dist;
+        for (NodeId v = 0; v < g.node_count(); ++v) {
+          dist.push_back(net.process_as<SptRecurProcess>(v).dist());
+        }
+        const ShortestPaths sp = dijkstra(g, 0);
+        if (dist != sp.dist) {
+          violations.push_back(
+              "distances differ from the Dijkstra oracle");
+        }
+        return "dist=[" + join(dist) + "]";
+      });
+}
+
+// Shared driver for the synchronizer-hosted Bellman-Ford subjects: a
+// reference run on the weighted synchronous engine supplies t_pi, then
+// the hosted asynchronous run executes under `spec` with the invariant
+// checker attached to the underlying network.
+SubjectOutcome run_synchronized_bf(const Graph& g,
+                                   const ScheduleSpec& spec,
+                                   SynchronizerKind kind) {
+  SubjectOutcome out;
+  try {
+    const Graph ng =
+        kind == SynchronizerKind::kGammaW ? normalized_copy(g) : g;
+    std::vector<Weight> orig_w(static_cast<std::size_t>(g.edge_count()));
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      orig_w[static_cast<std::size_t>(e)] = g.weight(e);
+    }
+    const auto factory = [&orig_w](NodeId v) {
+      return std::make_unique<InSynchBellmanFord>(v, 0, &orig_w);
+    };
+    SyncEngine ref(ng, factory, kind == SynchronizerKind::kGammaW);
+    const RunStats sync_stats = ref.run();
+    const auto t_pi =
+        static_cast<std::int64_t>(sync_stats.completion_time) + 1;
+
+    SynchronizedNetwork snet(ng, factory, kind, /*k=*/2, t_pi,
+                             spec.make_delay(), spec.seed);
+    DefaultInvariantChecker checker;
+    snet.network().set_observer(&checker);
+    const SynchronizerRun run = snet.run();
+    checker.check_final(snet.network());
+    snet.network().set_observer(nullptr);
+    out.violations = checker.violations();
+    if (!run.hosted_all_finished) {
+      out.violations.push_back(
+          "hosted protocol unfinished after t_pi pulses");
+    }
+
+    const ShortestPaths sp = dijkstra(g, 0);
+    std::vector<std::int64_t> dist;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const Weight d = snet.hosted_as<InSynchBellmanFord>(v).dist();
+      dist.push_back(d);
+      if (d != sp.dist[static_cast<std::size_t>(v)]) {
+        out.violations.push_back(
+            "distance at node " + std::to_string(v) + " is " +
+            std::to_string(d) + ", Dijkstra oracle says " +
+            std::to_string(sp.dist[static_cast<std::size_t>(v)]));
+      }
+    }
+    out.digest = "dist=[" + join(dist) + "]";
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<CheckSubject> builtin_subjects() {
+  std::vector<CheckSubject> out;
+  out.push_back({"flood", run_flood_subject});
+  out.push_back({"dfs", run_dfs_subject});
+  out.push_back({"ghs", [](const Graph& g, const ScheduleSpec& s) {
+                   return run_ghs_subject(g, s, GhsMode::kSerialScan);
+                 }});
+  out.push_back({"mst_fast", [](const Graph& g, const ScheduleSpec& s) {
+                   return run_ghs_subject(g, s,
+                                          GhsMode::kParallelGuess);
+                 }});
+  out.push_back({"spt_recur", run_spt_recur_subject});
+  out.push_back({"spt_synch", [](const Graph& g, const ScheduleSpec& s) {
+                   return run_synchronized_bf(
+                       g, s, SynchronizerKind::kGammaW);
+                 }});
+  out.push_back({"bf_alpha", [](const Graph& g, const ScheduleSpec& s) {
+                   return run_synchronized_bf(g, s,
+                                              SynchronizerKind::kAlpha);
+                 }});
+  out.push_back({"bf_beta", [](const Graph& g, const ScheduleSpec& s) {
+                   return run_synchronized_bf(g, s,
+                                              SynchronizerKind::kBeta);
+                 }});
+  return out;
+}
+
+}  // namespace csca

@@ -1,0 +1,35 @@
+// Built-in check subjects: the repo's protocols wrapped for the
+// schedule-exploration race detector.
+//
+// Each subject replays one protocol under an arbitrary ScheduleSpec
+// with the invariant checker attached and digests the part of its
+// output the model requires to be schedule-invariant:
+//
+//   flood      reach count + spanning-tree validity (the first-receipt
+//              tree shape is legitimately schedule-dependent);
+//   dfs        the full DFS tree + traversal weight (the token walk is
+//              sequential, so the tree is schedule-invariant);
+//   ghs        the MST edge set + weight (unique under the
+//              deterministic total edge order), validated against the
+//              Kruskal oracle; per-run leader agreement;
+//   mst_fast   the same digest via the §8.3 parallel-guess scan;
+//   spt_recur  SPT distances (strip method), validated against the
+//              Dijkstra oracle;
+//   spt_synch  SPT distances via synchronizer gamma_w (§9.1);
+//   bf_alpha / bf_beta
+//              the in-synch Bellman-Ford hosted under synchronizers
+//              alpha and beta, distances validated against Dijkstra.
+//
+// Digest divergence on any of these is a schedule-sensitivity bug in
+// the protocol (or the engine); tools/csca_check.cpp sweeps them.
+#pragma once
+
+#include "check/schedule_check.h"
+
+namespace csca {
+
+/// All built-in subjects, in a stable order. Every graph handed to them
+/// must be connected with n >= 2.
+std::vector<CheckSubject> builtin_subjects();
+
+}  // namespace csca

@@ -23,6 +23,34 @@ double TwoPointDelay::delay(Weight w, Rng& rng) {
   return rng.chance(slow_prob_) ? wd : wd * 0.001;
 }
 
+namespace {
+// splitmix64 finalizer: a high-quality 64-bit mixing function.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+double EdgeFractionDelay::delay(Weight, Rng&) {
+  require(false,
+          "EdgeFractionDelay assigns delays per edge; the caller must "
+          "use delay_on(e, w, rng)");
+  return 0.0;  // unreachable
+}
+
+double EdgeFractionDelay::fraction(EdgeId e) const {
+  const std::uint64_t h =
+      mix64(salt_ ^ (static_cast<std::uint64_t>(e) + 1));
+  // 53 high bits -> [0, 1); the weight multiply keeps it within [0, w].
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double EdgeFractionDelay::delay_on(EdgeId e, Weight w, Rng&) {
+  return fraction(e) * static_cast<double>(w);
+}
+
 std::unique_ptr<DelayModel> make_exact_delay() {
   return std::make_unique<ExactDelay>();
 }
@@ -34,6 +62,10 @@ std::unique_ptr<DelayModel> make_uniform_delay(double lo_frac,
 
 std::unique_ptr<DelayModel> make_two_point_delay(double slow_prob) {
   return std::make_unique<TwoPointDelay>(slow_prob);
+}
+
+std::unique_ptr<DelayModel> make_edge_fraction_delay(std::uint64_t salt) {
+  return std::make_unique<EdgeFractionDelay>(salt);
 }
 
 }  // namespace csca

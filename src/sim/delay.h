@@ -4,6 +4,9 @@
 // ExactDelay pins every delay to w(e) (the adversarial maximum; time
 // complexity is measured against this model). UniformDelay samples a
 // uniform fraction of w(e), exercising genuinely asynchronous schedules.
+// EdgeFractionDelay fixes a deterministic per-edge fraction, giving the
+// schedule-exploration checker (check/schedule_check.h) reproducible
+// adversaries that do not depend on the order delays are drawn in.
 #pragma once
 
 #include <memory>
@@ -20,6 +23,16 @@ class DelayModel {
   /// Delay, in time units, for one message over an edge of weight w.
   /// Must return a value in [0, w].
   virtual double delay(Weight w, Rng& rng) = 0;
+
+  /// Engine entry point: delay for one message over edge e of weight w.
+  /// The default ignores the edge identity; per-edge adversaries
+  /// (EdgeFractionDelay) override this instead of delay(). Concrete
+  /// weight-only models also override it (forwarding to their own
+  /// sampler) purely to skip the double virtual dispatch on the
+  /// engine's send path.
+  virtual double delay_on(EdgeId /*e*/, Weight w, Rng& rng) {
+    return delay(w, rng);
+  }
 };
 
 /// delay(e) == w(e): the worst case permitted by the model, and also the
@@ -29,6 +42,9 @@ class ExactDelay final : public DelayModel {
   double delay(Weight w, Rng&) override {
     return static_cast<double>(w);
   }
+  double delay_on(EdgeId, Weight w, Rng&) override {
+    return static_cast<double>(w);
+  }
 };
 
 /// delay(e) uniform in [lo_frac * w(e), hi_frac * w(e)].
@@ -36,6 +52,9 @@ class UniformDelay final : public DelayModel {
  public:
   UniformDelay(double lo_frac, double hi_frac);
   double delay(Weight w, Rng& rng) override;
+  double delay_on(EdgeId, Weight w, Rng& rng) override {
+    return delay(w, rng);
+  }
 
  private:
   double lo_frac_;
@@ -51,14 +70,42 @@ class TwoPointDelay final : public DelayModel {
  public:
   explicit TwoPointDelay(double slow_prob);
   double delay(Weight w, Rng& rng) override;
+  double delay_on(EdgeId, Weight w, Rng& rng) override {
+    return delay(w, rng);
+  }
 
  private:
   double slow_prob_;
+};
+
+/// Deterministic per-edge adversary: edge e always delays by
+/// fraction(e) * w(e), where fraction(e) in [0, 1] is a fixed hash of
+/// (salt, e). Unlike the random models, the schedule it induces is a
+/// pure function of the salt and the topology — independent of the
+/// order sends happen in and of the network seed — so a divergence it
+/// exposes reproduces exactly from the reported salt. Different salts
+/// give unrelated delay landscapes (fast/slow edge mixtures), the
+/// "fixed but arbitrary" delay assignments the paper's §1.3 correctness
+/// quantifier ranges over.
+class EdgeFractionDelay final : public DelayModel {
+ public:
+  explicit EdgeFractionDelay(std::uint64_t salt) : salt_(salt) {}
+
+  /// Not usable without the edge identity; the engine calls delay_on.
+  double delay(Weight, Rng&) override;
+  double delay_on(EdgeId e, Weight w, Rng&) override;
+
+  /// The fixed fraction assigned to edge e (exposed for tests).
+  double fraction(EdgeId e) const;
+
+ private:
+  std::uint64_t salt_;
 };
 
 std::unique_ptr<DelayModel> make_exact_delay();
 std::unique_ptr<DelayModel> make_uniform_delay(double lo_frac,
                                                double hi_frac);
 std::unique_ptr<DelayModel> make_two_point_delay(double slow_prob);
+std::unique_ptr<DelayModel> make_edge_fraction_delay(std::uint64_t salt);
 
 }  // namespace csca

@@ -41,7 +41,7 @@ void Network::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
   const Edge& edge = graph_->edge(e);
   require(edge.u == from || edge.v == from,
           "process may only send on its own incident edges");
-  const double d = delay_->delay(edge.w, rng_);
+  const double d = delay_->delay_on(e, edge.w, rng_);
   require(d >= 0.0 && d <= static_cast<double>(edge.w),
           "delay model produced delay outside [0, w(e)]");
   // FIFO per directed edge: never deliver before an earlier send on the
@@ -64,6 +64,7 @@ void Network::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
     ++stats_.control_messages;
     stats_.control_cost += edge.w;
   }
+  if (observer_) observer_->on_send(*this, from, e, cls, d, arrival);
 }
 
 void Network::do_schedule_self(NodeId v, double delay, Message m) {
@@ -72,11 +73,15 @@ void Network::do_schedule_self(NodeId v, double delay, Message m) {
   m.edge = kNoEdge;
   require(seq_ != UINT32_MAX, "event sequence space exhausted");
   queue_.push(HeapKey{now_ + delay, seq_++}, std::move(m));
+  if (observer_) observer_->on_self_schedule(*this, v, delay);
 }
 
 void Network::do_finish(NodeId v) {
   double& t = finish_time_[static_cast<std::size_t>(v)];
-  if (t < 0) t = now_;
+  if (t < 0) {
+    t = now_;
+    if (observer_) observer_->on_finish(*this, v, now_);
+  }
 }
 
 void Network::ensure_started() {
@@ -109,6 +114,7 @@ void Network::deliver(HeapKey key) {
   // advance the clock but must not inflate the measured time.
   if (msg.edge != kNoEdge) stats_.completion_time = now_;
   ++stats_.events;
+  if (observer_) observer_->on_deliver(*this, to, msg, now_);
   Context ctx(*this, to);
   processes_[static_cast<std::size_t>(to)]->on_message(ctx, msg);
 }

@@ -74,6 +74,36 @@ class Process {
   virtual void on_message(Context&, const Message& m) = 0;
 };
 
+/// Passive hook interface for the protocol analysis layer (src/check/).
+/// When attached via Network::set_observer, the engine invokes one hook
+/// per state transition; with no observer attached each hook site costs
+/// a single predicted-not-taken branch. Hooks fire *after* the
+/// transition is applied (counters updated, event queued, finish time
+/// stamped), so checkers can cross-validate the engine's bookkeeping
+/// against their own. See check/invariants.h for the default checker.
+class InvariantObserver {
+ public:
+  virtual ~InvariantObserver() = default;
+
+  /// A send by `from` on edge e was queued. `delay` is the raw
+  /// DelayModel output, `arrival` the FIFO-clamped delivery time.
+  virtual void on_send(const Network&, NodeId /*from*/, EdgeId /*e*/,
+                       MsgClass /*cls*/, double /*delay*/,
+                       double /*arrival*/) {}
+
+  /// A self-delivery by v was queued `delay` time units ahead.
+  virtual void on_self_schedule(const Network&, NodeId /*v*/,
+                                double /*delay*/) {}
+
+  /// An event is about to be handed to node `to` (now() == t). Fires
+  /// before the process handler runs.
+  virtual void on_deliver(const Network&, NodeId /*to*/,
+                          const Message& /*m*/, double /*t*/) {}
+
+  /// Node v called Context::finish() for the first time, at time t.
+  virtual void on_finish(const Network&, NodeId /*v*/, double /*t*/) {}
+};
+
 /// Simulation host: graph + processes + event queue + cost ledger.
 class Network {
  public:
@@ -166,6 +196,12 @@ class Network {
   /// Latest finish() timestamp across nodes; requires all_finished().
   double last_finish_time() const;
 
+  /// Attaches a passive observer (nullptr detaches). The observer is
+  /// not owned and must outlive the network or be detached first; for
+  /// complete bookkeeping it must be attached before the first step.
+  void set_observer(InvariantObserver* obs) { observer_ = obs; }
+  InvariantObserver* observer() const { return observer_; }
+
  private:
   friend class Context;
 
@@ -202,6 +238,7 @@ class Network {
   std::array<std::vector<std::int64_t>, 2> edge_messages_;
   std::vector<double> finish_time_;
   RunStats stats_;
+  InvariantObserver* observer_ = nullptr;
   bool started_ = false;
 };
 

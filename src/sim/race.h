@@ -37,9 +37,11 @@ inline RaceOutcome race_networks(
     Network& first, const std::function<bool(Network&)>& first_finished,
     Network& second,
     const std::function<bool(Network&)>& second_finished) {
-  // Kick both off so "idle" is meaningful.
-  first.step();
-  second.step();
+  // The predicates are consulted before every step: a side that is
+  // already finished (or finishes during its on_start hooks, at time 0)
+  // wins without either execution delivering one event past its
+  // predicate, so the winner's ledger never includes post-finish
+  // deliveries and the loser is never advanced gratuitously.
   while (true) {
     if (first_finished(first)) {
       return RaceOutcome{0, first.stats(), second.stats()};
@@ -52,10 +54,29 @@ inline RaceOutcome race_networks(
             ? &first
             : &second;
     if (!next->step()) {
-      // The preferred side is idle but unfinished; advance the other.
+      // The preferred side is idle. Its failed step may still have run
+      // its on_start hooks (a protocol can finish at time 0 with no
+      // events pending), so re-check before declaring it stalled.
+      if (first_finished(first)) {
+        return RaceOutcome{0, first.stats(), second.stats()};
+      }
+      if (second_finished(second)) {
+        return RaceOutcome{1, first.stats(), second.stats()};
+      }
+      // Idle but unfinished; advance the other side instead. Its own
+      // failed step gets the same on-start re-check before the race is
+      // declared deadlocked.
       Network* other = next == &first ? &second : &first;
-      require(other->step(),
-              "both executions idle but neither finished: deadlock");
+      if (!other->step()) {
+        if (first_finished(first)) {
+          return RaceOutcome{0, first.stats(), second.stats()};
+        }
+        if (second_finished(second)) {
+          return RaceOutcome{1, first.stats(), second.stats()};
+        }
+        require(false,
+                "both executions idle but neither finished: deadlock");
+      }
     }
   }
 }

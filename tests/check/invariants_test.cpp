@@ -1,0 +1,126 @@
+#include "check/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include "conn/dfs.h"
+#include "conn/flood.h"
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+Network flood_network(const Graph& g) {
+  return Network(
+      g, [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
+      make_exact_delay());
+}
+
+TEST(Invariants, CleanFloodRunPasses) {
+  Rng rng(1);
+  const Graph g = grid_graph(3, 4, WeightSpec::uniform(1, 9), rng);
+  Network net = flood_network(g);
+  DefaultInvariantChecker checker;
+  net.set_observer(&checker);
+  net.run();
+  checker.check_final(net);
+  EXPECT_TRUE(checker.ok()) << checker.violations().front();
+}
+
+TEST(Invariants, ReactivePostFinishSendsAllowed) {
+  // DFS on a cycle: the last probe of a cross edge reaches a node that
+  // already finished, and its reject reply must not be flagged.
+  Rng rng(2);
+  const Graph g = cycle_graph(5, WeightSpec::uniform(1, 5), rng);
+  Network net(
+      g, [](NodeId v) { return std::make_unique<DfsProcess>(v, 0); },
+      make_exact_delay());
+  DefaultInvariantChecker checker;
+  net.set_observer(&checker);
+  net.run();
+  checker.check_final(net);
+  EXPECT_TRUE(checker.ok()) << checker.violations().front();
+  EXPECT_TRUE(net.process_as<DfsProcess>(0).done());
+}
+
+// Finishes in on_start and only then originates traffic: the kind of
+// "talks after claiming to be done" bug the checker exists to catch.
+class FinishThenSend final : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() != 0) return;
+    ctx.finish();
+    ctx.send(ctx.incident()[0], Message{0});
+  }
+  void on_message(Context&, const Message&) override {}
+};
+
+TEST(Invariants, SpontaneousPostFinishSendFlagged) {
+  Rng rng(3);
+  const Graph g = path_graph(2, WeightSpec::constant(1), rng);
+  Network net(
+      g, [](NodeId) { return std::make_unique<FinishThenSend>(); },
+      make_exact_delay());
+  DefaultInvariantChecker checker;
+  net.set_observer(&checker);
+  net.run();
+  checker.check_final(net);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("spontaneous send"),
+            std::string::npos);
+}
+
+TEST(Invariants, FailFastThrowsAtTheOffendingEvent) {
+  Rng rng(4);
+  const Graph g = path_graph(2, WeightSpec::constant(1), rng);
+  Network net(
+      g, [](NodeId) { return std::make_unique<FinishThenSend>(); },
+      make_exact_delay());
+  DefaultInvariantChecker checker({.fail_fast = true});
+  net.set_observer(&checker);
+  EXPECT_THROW(net.run(), InvariantError);
+}
+
+TEST(Invariants, DeliveryWithoutSendFlagged) {
+  Rng rng(5);
+  const Graph g = path_graph(2, WeightSpec::constant(1), rng);
+  Network net = flood_network(g);
+  DefaultInvariantChecker checker;
+  // Fabricate a delivery the checker never saw a send for.
+  Message m{0};
+  m.from = 0;
+  m.edge = 0;
+  checker.on_deliver(net, 1, m, 0.0);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("without a matching send"),
+            std::string::npos);
+}
+
+TEST(Invariants, NanDelayFlagged) {
+  Rng rng(6);
+  const Graph g = path_graph(2, WeightSpec::constant(1), rng);
+  Network net = flood_network(g);
+  DefaultInvariantChecker checker;
+  checker.on_send(net, 0, 0, MsgClass::kAlgorithm,
+                  std::numeric_limits<double>::quiet_NaN(), 0.0);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_NE(checker.violations().front().find("delay model produced"),
+            std::string::npos);
+}
+
+TEST(Invariants, LateAttachmentCaughtByFinalCheck) {
+  // Attaching mid-run means the checker's tally cannot match the
+  // engine's counters; check_final must say so rather than vouch for a
+  // run it only half observed.
+  Rng rng(7);
+  const Graph g = grid_graph(3, 3, WeightSpec::constant(2), rng);
+  Network net = flood_network(g);
+  for (int i = 0; i < 3; ++i) net.step();
+  DefaultInvariantChecker checker;
+  net.set_observer(&checker);
+  net.run();
+  checker.check_final(net);
+  EXPECT_FALSE(checker.ok());
+}
+
+}  // namespace
+}  // namespace csca

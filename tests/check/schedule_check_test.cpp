@@ -1,0 +1,160 @@
+#include "check/schedule_check.h"
+
+#include <gtest/gtest.h>
+
+#include "check/subjects.h"
+#include "conn/flood.h"
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+TEST(SchedulePortfolio, HasAtLeastSixSchedules) {
+  const auto portfolio = default_portfolio();
+  EXPECT_GE(portfolio.size(), 6u);
+  // The exact worst case leads: it is the digest reference.
+  ASSERT_FALSE(portfolio.empty());
+  EXPECT_EQ(portfolio.front().name, "exact");
+}
+
+TEST(SchedulePortfolio, EdgeFractionDelayIsDeterministic) {
+  EdgeFractionDelay a(7);
+  EdgeFractionDelay b(7);
+  EdgeFractionDelay other(99);
+  Rng rng(1);
+  bool any_differs = false;
+  for (EdgeId e = 0; e < 16; ++e) {
+    const double f = a.fraction(e);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LT(f, 1.0);
+    EXPECT_EQ(f, b.fraction(e));
+    EXPECT_EQ(a.delay_on(e, 10, rng), f * 10.0);
+    if (other.fraction(e) != f) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs) << "different salts should give different "
+                              "delay landscapes";
+}
+
+// A deliberately schedule-sensitive protocol: two peripheral nodes probe
+// a center, and the center's "output" is whichever probe arrived first.
+// Under ExactDelay the lighter edge always wins; under asynchronous
+// schedules either can. The checker must report this as a digest
+// divergence with a reproducing schedule.
+class FirstProbeWins final : public Process {
+ public:
+  static constexpr NodeId kCenter = 0;
+
+  void on_start(Context& ctx) override {
+    if (ctx.self() == kCenter) return;
+    ctx.send(ctx.incident()[0], Message{0});
+    ctx.finish();
+  }
+
+  void on_message(Context& ctx, const Message& m) override {
+    if (winner_ == kNoNode) winner_ = m.from;
+    if (++probes_ == static_cast<int>(ctx.incident().size())) {
+      ctx.finish();
+    }
+  }
+
+  NodeId winner() const { return winner_; }
+
+ private:
+  NodeId winner_ = kNoNode;
+  int probes_ = 0;
+};
+
+CheckSubject first_probe_subject() {
+  return CheckSubject{
+      "first_probe",
+      [](const Graph& g, const ScheduleSpec& spec) {
+        return run_checked(
+            g, [](NodeId) { return std::make_unique<FirstProbeWins>(); },
+            spec,
+            [](Network& net, std::vector<std::string>&) {
+              const NodeId w =
+                  net.process_as<FirstProbeWins>(FirstProbeWins::kCenter)
+                      .winner();
+              return "winner=" + std::to_string(w);
+            });
+      }};
+}
+
+// Star: center 0 with two near-tied spokes. Weights 100 vs 101 make the
+// exact schedule deterministic (node 1 wins) while leaving essentially a
+// coin flip under the portfolio's asynchronous schedules.
+Graph near_tied_star() {
+  Graph g(3);
+  g.add_edge(0, 1, 100);
+  g.add_edge(0, 2, 101);
+  return g;
+}
+
+TEST(ScheduleCheck, CatchesScheduleSensitiveProtocol) {
+  const Graph g = near_tied_star();
+  const auto portfolio = default_portfolio();
+  const ScheduleCheckReport report =
+      check_subject(first_probe_subject(), g, "star", portfolio);
+
+  EXPECT_EQ(report.reference_schedule, "exact");
+  EXPECT_EQ(report.reference_digest, "winner=1");
+  ASSERT_FALSE(report.ok())
+      << "a near-tied race must diverge somewhere in the portfolio";
+  const CheckFinding& f = report.findings.front();
+  EXPECT_EQ(f.kind, "divergence");
+  EXPECT_EQ(f.graph, "star");
+
+  // The finding must reproduce: re-running just the reported schedule
+  // yields the same divergent digest.
+  const auto it = std::find_if(
+      portfolio.begin(), portfolio.end(),
+      [&](const ScheduleSpec& s) { return s.name == f.schedule; });
+  ASSERT_NE(it, portfolio.end());
+  const SubjectOutcome replay = first_probe_subject().run(g, *it);
+  EXPECT_FALSE(replay.failed) << replay.error;
+  EXPECT_NE(replay.digest, report.reference_digest);
+  EXPECT_NE(f.detail.find(replay.digest), std::string::npos)
+      << "finding should quote the divergent digest: " << f.detail;
+}
+
+TEST(ScheduleCheck, InvariantViolationsAreReportedWithTheirSchedule) {
+  // A delay model that breaks the [0, w] contract: the engine rejects
+  // it, and run_checked must surface that as a failed outcome tied to
+  // the schedule instead of crashing the sweep.
+  class TooSlowDelay final : public DelayModel {
+   public:
+    double delay(Weight w, Rng&) override {
+      return 2.0 * static_cast<double>(w);
+    }
+  };
+  ScheduleSpec bad{"too_slow", 1,
+                   [] { return std::make_unique<TooSlowDelay>(); }};
+  Rng rng(11);
+  const Graph g = path_graph(3, WeightSpec::constant(2), rng);
+  const SubjectOutcome out = run_checked(
+      g, [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
+      bad,
+      [](Network&, std::vector<std::string>&) { return std::string("x"); });
+  EXPECT_TRUE(out.failed);
+  EXPECT_NE(out.error.find("delay"), std::string::npos) << out.error;
+}
+
+TEST(ScheduleCheck, BuiltinSubjectsCleanOnSmallGraph) {
+  // The full sweep lives in csca_check (ctest: check_smoke); here just
+  // pin that every builtin subject is clean on one small graph so a
+  // digest regression fails close to its cause.
+  Rng rng(5);
+  const Graph g = grid_graph(2, 3, WeightSpec::uniform(1, 7), rng);
+  const auto portfolio = default_portfolio();
+  for (const CheckSubject& subject : builtin_subjects()) {
+    const ScheduleCheckReport report =
+        check_subject(subject, g, "grid2x3", portfolio);
+    EXPECT_TRUE(report.ok())
+        << subject.name << ": " << report.findings.front().kind << " — "
+        << report.findings.front().detail;
+    EXPECT_EQ(report.runs, static_cast<int>(portfolio.size()));
+  }
+}
+
+}  // namespace
+}  // namespace csca

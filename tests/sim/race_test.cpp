@@ -90,6 +90,72 @@ TEST(Race, IdleUnfinishedSideStallsTowardOther) {
   EXPECT_EQ(outcome.winner, 1);
 }
 
+TEST(Race, WinnerLedgerExcludesPostFinishActivity) {
+  // Node 1 finishes on the first probe but also emits a reply. The race
+  // must stop at the predicate: the reply's send is charged (sends are
+  // charged at send time) but its delivery never happens, and the loser
+  // is not stepped at all once the winner is done.
+  class FinishAndReply final : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{0});
+    }
+    void on_message(Context& ctx, const Message& m) override {
+      done = true;
+      ctx.finish();
+      ctx.send(m.edge, Message{1});
+    }
+    bool done = false;
+  };
+  Rng rng(5);
+  Graph ga = path_graph(2, WeightSpec::constant(1), rng);
+  Graph gb = path_graph(4, WeightSpec::constant(100), rng);
+  Network a(
+      ga, [](NodeId) { return std::make_unique<FinishAndReply>(); },
+      make_exact_delay());
+  Network b = make_walk(gb);
+  const auto a_done = [](Network& net) {
+    return net.process_as<FinishAndReply>(1).done;
+  };
+  const auto b_done = [](Network& net) {
+    return net.process_as<Walker>(3).at_end;
+  };
+  const auto outcome = race_networks(a, a_done, b, b_done);
+  EXPECT_EQ(outcome.winner, 0);
+  // Exactly the probe was delivered; the reply stays queued.
+  EXPECT_EQ(outcome.first_stats.events, 1);
+  EXPECT_EQ(outcome.first_stats.total_messages(), 2);
+  // The loser was never the cheaper side, so it was never advanced.
+  EXPECT_EQ(outcome.second_stats.events, 0);
+  EXPECT_EQ(outcome.second_stats.total_cost(), 0);
+}
+
+TEST(Race, FinishInOnStartWinsWithoutDeadlock) {
+  // A protocol can finish during its on_start hooks with no events ever
+  // queued; the failed kick-off step must be followed by a predicate
+  // re-check, not a deadlock report.
+  class Instant final : public Process {
+   public:
+    void on_start(Context& ctx) override { ctx.finish(); }
+    void on_message(Context&, const Message&) override {}
+  };
+  Rng rng(6);
+  Graph ga = path_graph(2, WeightSpec::constant(1), rng);
+  Graph gb = path_graph(3, WeightSpec::constant(1), rng);
+  Network a(
+      ga, [](NodeId) { return std::make_unique<Instant>(); },
+      make_exact_delay());
+  Network b = make_walk(gb);
+  const auto a_done = [](Network& net) { return net.all_finished(); };
+  const auto b_done = [](Network& net) {
+    return net.process_as<Walker>(2).at_end;
+  };
+  const auto outcome = race_networks(a, a_done, b, b_done);
+  EXPECT_EQ(outcome.winner, 0);
+  EXPECT_EQ(outcome.first_stats.events, 0);
+  EXPECT_EQ(outcome.second_stats.events, 0);
+}
+
 TEST(Race, BothIdleUnfinishedIsDeadlock) {
   class Lazy final : public Process {
    public:

@@ -1,25 +1,44 @@
 #!/usr/bin/env bash
-# Full verification gate: tier-1 suite in the normal configuration,
-# the same suite under ASan+UBSan, and the engine bench in smoke mode.
+# Full verification gate: tier-1 suite with warnings promoted to errors,
+# the same suite under ASan+UBSan, the lint pass, and the engine bench in
+# smoke mode. The protocol-analysis sweep (csca_check --smoke) runs as a
+# ctest entry in both configurations.
 #
-# Usage: tools/check.sh [--no-sanitize]   (run from the repo root)
+# Usage: tools/check.sh [--no-sanitize] [--no-lint]   (from the repo root)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_SANITIZE=1
-[[ "${1:-}" == "--no-sanitize" ]] && RUN_SANITIZE=0
+RUN_LINT=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-sanitize) RUN_SANITIZE=0 ;;
+    --no-lint) RUN_LINT=0 ;;
+    *) echo "usage: tools/check.sh [--no-sanitize] [--no-lint]" >&2
+       exit 2 ;;
+  esac
+done
 
-echo "== tier-1: plain build =="
-cmake -B build -S . >/dev/null
+echo "== tier-1: plain build (-Werror) =="
+cmake -B build -S . -DCSCA_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then
   echo "== tier-1: ASan+UBSan build =="
-  cmake -B build-asan -S . -DCSCA_SANITIZE=ON >/dev/null
+  cmake -B build-asan -S . -DCSCA_SANITIZE=ON -DCSCA_WERROR=ON >/dev/null
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$RUN_LINT" == 1 ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "== lint (clang-tidy) =="
+    tools/lint.sh build
+  else
+    echo "== lint: SKIPPED (clang-tidy not on PATH; install it or pass --no-lint to silence this) =="
+  fi
 fi
 
 echo "== engine bench (smoke) =="
