@@ -30,10 +30,13 @@
 #include <fstream>
 #include <queue>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "graph/generators.h"
+#include "par/run_pool.h"
+#include "par/shard_engine.h"
 #include "sim/network.h"
 #include "sim/sync_engine.h"
 
@@ -285,6 +288,163 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
   std::printf("wrote %s\n", path.c_str());
 }
 
+// ---- parallel scaling (BENCH_parallel.json) -------------------------
+//
+// Two independent axes of parallelism, measured against the same-seed
+// sequential execution run back-to-back on the same machine:
+//
+//   * shard_engine: one flood storm on the sharded conservative engine
+//     at 1/2/4/8 shards (threads = shards), vs the keyed sequential
+//     Network. The ledgers are asserted bit-identical before the timing
+//     is trusted — a fast wrong engine is not a speedup.
+//   * multi_run: a sweep of independent whole runs (split()-derived
+//     seeds) through the RunPool harness at 1/2/4/8 workers, vs the
+//     same sweep on one worker.
+//
+// speedup_vs_seq is recorded honestly for whatever machine runs this;
+// hardware_concurrency is written alongside so a 1-core container's
+// ~1x numbers are interpretable.
+
+struct ParRow {
+  int shards = 0;
+  int threads = 0;
+  std::int64_t events = 0;
+  double seconds = 0;
+  double events_per_sec = 0;
+  double speedup_vs_seq = 0;
+};
+
+struct MultiRow {
+  int jobs = 0;
+  int runs = 0;
+  std::int64_t events = 0;
+  double seconds = 0;
+  double speedup_vs_seq = 0;
+};
+
+void write_parallel_json(const std::string& path, bool smoke,
+                         const std::vector<ParRow>& shard_rows,
+                         const std::vector<MultiRow>& multi_rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench_engine: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"parallel_scaling\",\n  \"smoke\": "
+      << (smoke ? "true" : "false") << ",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n  \"shard_engine\": [\n";
+  for (std::size_t i = 0; i < shard_rows.size(); ++i) {
+    const ParRow& r = shard_rows[i];
+    out << "    {\"shards\": " << r.shards << ", \"threads\": " << r.threads
+        << ", \"events\": " << r.events << ", \"seconds\": " << r.seconds
+        << ", \"events_per_sec\": " << r.events_per_sec
+        << ", \"speedup_vs_seq\": " << r.speedup_vs_seq << "}"
+        << (i + 1 < shard_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"multi_run\": [\n";
+  for (std::size_t i = 0; i < multi_rows.size(); ++i) {
+    const MultiRow& r = multi_rows[i];
+    out << "    {\"jobs\": " << r.jobs << ", \"runs\": " << r.runs
+        << ", \"events\": " << r.events << ", \"seconds\": " << r.seconds
+        << ", \"speedup_vs_seq\": " << r.speedup_vs_seq << "}"
+        << (i + 1 < multi_rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void bench_parallel(bool smoke, const std::string& path) {
+  // Shard-engine scaling: one storm, keyed sequential reference.
+  const int side = smoke ? 12 : 32;
+  const std::int64_t ttl = smoke ? 6 : 8;
+  Rng rng(7);
+  Graph g = grid_graph(side, side, WeightSpec::uniform(1, 16), rng);
+  const auto factory = [ttl](NodeId) { return std::make_unique<Storm>(ttl); };
+
+  Network ref(g, factory, make_uniform_delay(0.1, 0.9), 1234);
+  ref.set_keyed_delays(true);
+  const auto r0 = std::chrono::steady_clock::now();
+  const RunStats seq = ref.run();
+  const double seq_secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - r0)
+                              .count();
+  std::printf("%-18s %-10s n=%-6d events=%-9lld secs=%7.3f (keyed seq "
+              "reference)\n",
+              "par_flood_seq", "grid", side * side,
+              static_cast<long long>(seq.events), seq_secs);
+
+  std::vector<ParRow> shard_rows;
+  for (const int k : {1, 2, 4, 8}) {
+    ShardEngine eng(g, factory, make_uniform_delay(0.1, 0.9), 1234,
+                    ShardEngine::Options{k, 0});
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunStats stats = eng.run();
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    require(stats.events == seq.events &&
+                stats.completion_time == seq.completion_time &&
+                stats.algorithm_cost == seq.algorithm_cost,
+            "sharded engine diverged from the sequential reference");
+    ParRow row;
+    row.shards = k;
+    row.threads = k;
+    row.events = stats.events;
+    row.seconds = secs;
+    row.events_per_sec =
+        static_cast<double>(stats.events) / std::max(secs, 1e-12);
+    row.speedup_vs_seq = seq_secs / std::max(secs, 1e-12);
+    std::printf("%-18s %-10s n=%-6d events=%-9lld secs=%7.3f "
+                "events/sec=%11.0f  -> speedup %.2fx\n",
+                ("par_flood_s" + std::to_string(k)).c_str(), "grid",
+                side * side, static_cast<long long>(row.events), row.seconds,
+                row.events_per_sec, row.speedup_vs_seq);
+    shard_rows.push_back(row);
+  }
+
+  // Multi-run harness scaling: independent whole runs, split seeds.
+  const int runs = 8;
+  const int run_side = smoke ? 10 : 24;
+  const std::int64_t run_ttl = smoke ? 5 : 7;
+  Rng rng2(11);
+  Graph g2 = grid_graph(run_side, run_side, WeightSpec::uniform(1, 16), rng2);
+  Rng seeds(9000);
+  const auto one_run = [&](std::size_t i) {
+    Network net(
+        g2, [run_ttl](NodeId) { return std::make_unique<Storm>(run_ttl); },
+        make_uniform_delay(0.1, 0.9), seeds.split(i).seed());
+    return net.run().events;
+  };
+
+  std::vector<MultiRow> multi_rows;
+  double base_secs = 0;
+  for (const int jobs : {1, 2, 4, 8}) {
+    RunPool pool(jobs);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<std::int64_t> events = pool.map(runs, one_run);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    std::int64_t total = 0;
+    for (const std::int64_t e : events) total += e;
+    if (jobs == 1) base_secs = secs;
+    MultiRow row;
+    row.jobs = jobs;
+    row.runs = runs;
+    row.events = total;
+    row.seconds = secs;
+    row.speedup_vs_seq = base_secs / std::max(secs, 1e-12);
+    std::printf("%-18s %-10s n=%-6d events=%-9lld secs=%7.3f "
+                "jobs=%d  -> speedup %.2fx\n",
+                "par_multirun", "grid", run_side * run_side,
+                static_cast<long long>(total), secs, jobs,
+                row.speedup_vs_seq);
+    multi_rows.push_back(row);
+  }
+
+  write_parallel_json(path, smoke, shard_rows, multi_rows);
+}
+
 }  // namespace
 }  // namespace csca
 
@@ -292,14 +452,18 @@ int main(int argc, char** argv) {
   using namespace csca;
   bool smoke = false;
   std::string out_path = "BENCH_engine.json";
+  std::string par_out_path = "BENCH_parallel.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out_path = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--par-out=", 10) == 0) {
+      par_out_path = argv[i] + 10;
     } else {
       std::fprintf(stderr,
-                   "usage: bench_engine [--smoke] [--out=PATH]\n");
+                   "usage: bench_engine [--smoke] [--out=PATH] "
+                   "[--par-out=PATH]\n");
       return 2;
     }
   }
@@ -318,5 +482,6 @@ int main(int argc, char** argv) {
     rows.push_back(sync_flood_grid("sync_flood_1M", 64, 11));
   }
   write_json(out_path, rows, smoke);
+  bench_parallel(smoke, par_out_path);
   return 0;
 }

@@ -24,11 +24,9 @@ std::vector<ScheduleSpec> default_portfolio() {
   return out;
 }
 
-SubjectOutcome run_checked(
-    const Graph& g, const Network::ProcessFactory& factory,
-    const ScheduleSpec& spec,
-    const std::function<std::string(Network&, std::vector<std::string>&)>&
-        digest) {
+SubjectOutcome run_checked(const Graph& g, const ProcessFactory& factory,
+                           const ScheduleSpec& spec,
+                           const DigestFn& digest) {
   SubjectOutcome out;
   try {
     Network net(g, factory, spec.make_delay(), spec.seed);
@@ -43,7 +41,24 @@ SubjectOutcome run_checked(
           "... " + std::to_string(checker.suppressed()) +
           " further violation(s) suppressed");
     }
+    out.stats = net.stats();
     out.digest = digest(net, out.violations);
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
+SubjectOutcome run_on_shards(const Graph& g, const ProcessFactory& factory,
+                             const ScheduleSpec& spec, int shards,
+                             const DigestFn& digest) {
+  SubjectOutcome out;
+  try {
+    ShardEngine eng(g, factory, spec.make_delay(), spec.seed,
+                    ShardEngine::Options{shards, 0});
+    out.stats = eng.run();
+    out.digest = digest(eng, out.violations);
   } catch (const std::exception& e) {
     out.failed = true;
     out.error = e.what();
@@ -54,8 +69,10 @@ SubjectOutcome run_checked(
 ScheduleCheckReport check_subject(
     const CheckSubject& subject, const Graph& g,
     const std::string& graph_name,
-    std::span<const ScheduleSpec> portfolio) {
+    std::span<const ScheduleSpec> portfolio, int shards) {
   require(!portfolio.empty(), "schedule portfolio must not be empty");
+  require(shards == 0 || subject.run_par != nullptr,
+          "subject has no parallel runner");
   ScheduleCheckReport report;
   const auto finding = [&](const ScheduleSpec& spec, std::string kind,
                            std::string detail) {
@@ -66,7 +83,9 @@ ScheduleCheckReport check_subject(
   };
   bool have_reference = false;
   for (const ScheduleSpec& spec : portfolio) {
-    const SubjectOutcome outcome = subject.run(g, spec);
+    const SubjectOutcome outcome = shards > 0
+                                       ? subject.run_par(g, spec, shards)
+                                       : subject.run(g, spec);
     ++report.runs;
     if (outcome.failed) {
       finding(spec, "error", outcome.error);

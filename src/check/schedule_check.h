@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "par/shard_engine.h"
 #include "sim/network.h"
 
 namespace csca {
@@ -53,6 +54,7 @@ std::vector<ScheduleSpec> default_portfolio();
 struct SubjectOutcome {
   std::string digest;  ///< schedule-invariant output fingerprint
   std::vector<std::string> violations;  ///< checker + subject findings
+  RunStats stats;      ///< the run's cost ledger
   bool failed = false;  ///< an exception escaped the run
   std::string error;
 };
@@ -61,9 +63,14 @@ struct SubjectOutcome {
 /// to completion with the invariant checker attached and digest its
 /// output. The digest must cover exactly the schedule-invariant part of
 /// the output (an MST edge set, distances — not a first-receipt tree).
+/// run_par replays the same subject on the sharded conservative engine
+/// (par/shard_engine.h) with the given shard count — same digest
+/// contract, but without the sequential-only invariant observer.
 struct CheckSubject {
   std::string name;
   std::function<SubjectOutcome(const Graph&, const ScheduleSpec&)> run;
+  std::function<SubjectOutcome(const Graph&, const ScheduleSpec&, int)>
+      run_par;
 };
 
 /// One reportable finding of a schedule sweep.
@@ -86,11 +93,19 @@ struct ScheduleCheckReport {
 
 /// Replays `subject` on g under every schedule of the portfolio. The
 /// first schedule's digest is the reference; later digests must match
-/// it. graph_name labels findings.
+/// it. graph_name labels findings. With shards > 0, runs go through
+/// subject.run_par on the sharded engine instead (the digest contract
+/// is engine-independent, so the report means the same thing).
 ScheduleCheckReport check_subject(const CheckSubject& subject,
                                   const Graph& g,
                                   const std::string& graph_name,
-                                  std::span<const ScheduleSpec> portfolio);
+                                  std::span<const ScheduleSpec> portfolio,
+                                  int shards = 0);
+
+/// Digests read results through ProcessHost, so one digest closure
+/// validates the sequential and the sharded engine bit-for-bit.
+using DigestFn =
+    std::function<std::string(ProcessHost&, std::vector<std::string>&)>;
 
 /// Building block for plain-Process subjects: constructs a Network from
 /// the factory under `spec`, attaches a DefaultInvariantChecker, runs
@@ -98,10 +113,15 @@ ScheduleCheckReport check_subject(const CheckSubject& subject,
 /// the quiesced network. The digest callback may append protocol-level
 /// validation failures (oracle mismatches, agreement violations) to the
 /// violations list it is handed. Exceptions become a failed outcome.
-SubjectOutcome run_checked(
-    const Graph& g, const Network::ProcessFactory& factory,
-    const ScheduleSpec& spec,
-    const std::function<std::string(Network&, std::vector<std::string>&)>&
-        digest);
+SubjectOutcome run_checked(const Graph& g, const ProcessFactory& factory,
+                           const ScheduleSpec& spec, const DigestFn& digest);
+
+/// Parallel counterpart of run_checked: the same factory and digest on
+/// a ShardEngine with `shards` shards. The invariant observer is a
+/// sequential-engine feature and is not attached; digest-level
+/// validation (oracles, agreement) still runs.
+SubjectOutcome run_on_shards(const Graph& g, const ProcessFactory& factory,
+                             const ScheduleSpec& spec, int shards,
+                             const DigestFn& digest);
 
 }  // namespace csca

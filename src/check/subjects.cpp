@@ -6,6 +6,7 @@
 #include "check/invariants.h"
 #include "conn/dfs.h"
 #include "conn/flood.h"
+#include "graph/generators.h"
 #include "graph/mst.h"
 #include "graph/shortest_paths.h"
 #include "graph/tree.h"
@@ -28,141 +29,148 @@ std::string join(const std::vector<std::int64_t>& xs) {
   return os.str();
 }
 
-SubjectOutcome run_flood_subject(const Graph& g,
-                                 const ScheduleSpec& spec) {
-  return run_checked(
-      g,
-      [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
-      spec, [&g](Network& net, std::vector<std::string>& violations) {
-        int reached = 0;
-        std::vector<EdgeId> parents(
-            static_cast<std::size_t>(g.node_count()), kNoEdge);
-        for (NodeId v = 0; v < g.node_count(); ++v) {
-          const auto& p = net.process_as<FloodProcess>(v);
-          if (p.reached()) ++reached;
-          parents[static_cast<std::size_t>(v)] = p.parent_edge();
-        }
-        bool spanning = false;
-        try {
-          spanning = RootedTree::from_parent_edges(g, 0,
-                                                   std::move(parents))
-                         .spanning();
-        } catch (const std::exception& e) {
-          violations.push_back(
-              std::string("first-receipt edges are not a tree: ") +
-              e.what());
-        }
-        std::ostringstream os;
-        os << "reached=" << reached << "/" << g.node_count()
-           << " spanning=" << (spanning ? 1 : 0);
-        return os.str();
-      });
+// Each plain subject is one (factory, digest) pair; run_checked and
+// run_on_shards consume the same pair, which is what makes the
+// cross-engine determinism contract checkable per subject. The digest
+// closures capture the graph by reference: they are only invoked inside
+// the run_* call, while the caller's graph is alive.
+
+ProcessFactory flood_factory(const Graph&) {
+  return [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); };
 }
 
-SubjectOutcome run_dfs_subject(const Graph& g, const ScheduleSpec& spec) {
-  return run_checked(
-      g, [](NodeId v) { return std::make_unique<DfsProcess>(v, 0); },
-      spec, [&g](Network& net, std::vector<std::string>&) {
-        std::vector<std::int64_t> tree;
-        int visited = 0;
-        for (NodeId v = 0; v < g.node_count(); ++v) {
-          const auto& p = net.process_as<DfsProcess>(v);
-          if (p.visited()) ++visited;
-          if (p.parent_edge() != kNoEdge) tree.push_back(p.parent_edge());
-        }
-        std::sort(tree.begin(), tree.end());
-        std::ostringstream os;
-        os << "visited=" << visited << " tree=[" << join(tree) << "] w="
-           << net.process_as<DfsProcess>(0).center_estimate()
-           << " done=" << (net.process_as<DfsProcess>(0).done() ? 1 : 0);
-        return os.str();
-      });
+DigestFn flood_digest(const Graph& g) {
+  return [&g](ProcessHost& net, std::vector<std::string>& violations) {
+    int reached = 0;
+    std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()),
+                                kNoEdge);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto& p = net.process_as<FloodProcess>(v);
+      if (p.reached()) ++reached;
+      parents[static_cast<std::size_t>(v)] = p.parent_edge();
+    }
+    bool spanning = false;
+    try {
+      spanning =
+          RootedTree::from_parent_edges(g, 0, std::move(parents)).spanning();
+    } catch (const std::exception& e) {
+      violations.push_back(
+          std::string("first-receipt edges are not a tree: ") + e.what());
+    }
+    std::ostringstream os;
+    os << "reached=" << reached << "/" << g.node_count()
+       << " spanning=" << (spanning ? 1 : 0);
+    return os.str();
+  };
 }
 
-SubjectOutcome run_ghs_subject(const Graph& g, const ScheduleSpec& spec,
-                               GhsMode mode) {
-  return run_checked(
-      g,
-      [&g, mode](NodeId v) {
-        return std::make_unique<GhsProcess>(g, v, mode);
-      },
-      spec, [&g](Network& net, std::vector<std::string>& violations) {
-        NodeId leader = kNoNode;
-        for (NodeId v = 0; v < g.node_count(); ++v) {
-          const auto& p = net.process_as<GhsProcess>(v);
-          if (!p.done()) {
-            violations.push_back("node " + std::to_string(v) +
-                                 " never terminated");
-            return std::string("unterminated");
-          }
-          if (v == 0) {
-            leader = p.leader();
-          } else if (p.leader() != leader) {
-            violations.push_back(
-                "leader disagreement: node " + std::to_string(v) +
-                " elected " + std::to_string(p.leader()) +
-                ", node 0 elected " + std::to_string(leader));
-          }
-        }
-        std::vector<std::int64_t> mst;
-        Weight w = 0;
-        for (EdgeId e = 0; e < g.edge_count(); ++e) {
-          const auto& pu = net.process_as<GhsProcess>(g.edge(e).u);
-          const auto& pv = net.process_as<GhsProcess>(g.edge(e).v);
-          if (pu.branch(e) != pv.branch(e)) {
-            violations.push_back("edge " + std::to_string(e) +
-                                 " branch state disagrees between its "
-                                 "endpoints");
-          }
-          if (pu.branch(e)) {
-            mst.push_back(e);
-            w += g.weight(e);
-          }
-        }
-        std::vector<EdgeId> oracle = kruskal_mst(g);
-        std::sort(oracle.begin(), oracle.end());
-        if (!std::equal(mst.begin(), mst.end(), oracle.begin(),
-                        oracle.end(), [](std::int64_t a, EdgeId b) {
-                          return a == static_cast<std::int64_t>(b);
-                        })) {
-          violations.push_back(
-              "computed MST differs from the Kruskal oracle");
-        }
-        std::ostringstream os;
-        os << "mst=[" << join(mst) << "] w=" << w;
-        return os.str();
-      });
+ProcessFactory dfs_factory(const Graph&) {
+  return [](NodeId v) { return std::make_unique<DfsProcess>(v, 0); };
 }
 
-SubjectOutcome run_spt_recur_subject(const Graph& g,
-                                     const ScheduleSpec& spec) {
+DigestFn dfs_digest(const Graph& g) {
+  return [&g](ProcessHost& net, std::vector<std::string>&) {
+    std::vector<std::int64_t> tree;
+    int visited = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto& p = net.process_as<DfsProcess>(v);
+      if (p.visited()) ++visited;
+      if (p.parent_edge() != kNoEdge) tree.push_back(p.parent_edge());
+    }
+    std::sort(tree.begin(), tree.end());
+    std::ostringstream os;
+    os << "visited=" << visited << " tree=[" << join(tree) << "] w="
+       << net.process_as<DfsProcess>(0).center_estimate()
+       << " done=" << (net.process_as<DfsProcess>(0).done() ? 1 : 0);
+    return os.str();
+  };
+}
+
+ProcessFactory ghs_factory(const Graph& g, GhsMode mode) {
+  return [&g, mode](NodeId v) {
+    return std::make_unique<GhsProcess>(g, v, mode);
+  };
+}
+
+DigestFn ghs_digest(const Graph& g) {
+  return [&g](ProcessHost& net, std::vector<std::string>& violations) {
+    NodeId leader = kNoNode;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto& p = net.process_as<GhsProcess>(v);
+      if (!p.done()) {
+        violations.push_back("node " + std::to_string(v) +
+                             " never terminated");
+        return std::string("unterminated");
+      }
+      if (v == 0) {
+        leader = p.leader();
+      } else if (p.leader() != leader) {
+        violations.push_back(
+            "leader disagreement: node " + std::to_string(v) + " elected " +
+            std::to_string(p.leader()) + ", node 0 elected " +
+            std::to_string(leader));
+      }
+    }
+    std::vector<std::int64_t> mst;
+    Weight w = 0;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto& pu = net.process_as<GhsProcess>(g.edge(e).u);
+      const auto& pv = net.process_as<GhsProcess>(g.edge(e).v);
+      if (pu.branch(e) != pv.branch(e)) {
+        violations.push_back("edge " + std::to_string(e) +
+                             " branch state disagrees between its "
+                             "endpoints");
+      }
+      if (pu.branch(e)) {
+        mst.push_back(e);
+        w += g.weight(e);
+      }
+    }
+    std::vector<EdgeId> oracle = kruskal_mst(g);
+    std::sort(oracle.begin(), oracle.end());
+    if (!std::equal(mst.begin(), mst.end(), oracle.begin(), oracle.end(),
+                    [](std::int64_t a, EdgeId b) {
+                      return a == static_cast<std::int64_t>(b);
+                    })) {
+      violations.push_back("computed MST differs from the Kruskal oracle");
+    }
+    std::ostringstream os;
+    os << "mst=[" << join(mst) << "] w=" << w;
+    return os.str();
+  };
+}
+
+ProcessFactory spt_recur_factory(const Graph& g) {
   const Weight tau = std::max<Weight>(1, g.max_weight());
-  return run_checked(
-      g,
-      [&g, tau](NodeId v) {
-        return std::make_unique<SptRecurProcess>(g, v, 0, tau);
-      },
-      spec, [&g](Network& net, std::vector<std::string>& violations) {
-        std::vector<std::int64_t> dist;
-        for (NodeId v = 0; v < g.node_count(); ++v) {
-          dist.push_back(net.process_as<SptRecurProcess>(v).dist());
-        }
-        const ShortestPaths sp = dijkstra(g, 0);
-        if (dist != sp.dist) {
-          violations.push_back(
-              "distances differ from the Dijkstra oracle");
-        }
-        return "dist=[" + join(dist) + "]";
-      });
+  return [&g, tau](NodeId v) {
+    return std::make_unique<SptRecurProcess>(g, v, 0, tau);
+  };
+}
+
+DigestFn spt_recur_digest(const Graph& g) {
+  return [&g](ProcessHost& net, std::vector<std::string>& violations) {
+    std::vector<std::int64_t> dist;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      dist.push_back(net.process_as<SptRecurProcess>(v).dist());
+    }
+    const ShortestPaths sp = dijkstra(g, 0);
+    if (dist != sp.dist) {
+      violations.push_back("distances differ from the Dijkstra oracle");
+    }
+    return "dist=[" + join(dist) + "]";
+  };
 }
 
 // Shared driver for the synchronizer-hosted Bellman-Ford subjects: a
 // reference run on the weighted synchronous engine supplies t_pi, then
-// the hosted asynchronous run executes under `spec` with the invariant
-// checker attached to the underlying network.
-SubjectOutcome run_synchronized_bf(const Graph& g,
-                                   const ScheduleSpec& spec,
-                                   SynchronizerKind kind) {
+// the hosted asynchronous run executes under `spec` — on the sequential
+// Network with the invariant checker attached (shards == 0), or on the
+// sharded conservative engine via the synchronizer's host_factory
+// (shards > 0). The SynchronizedNetwork is built either way: it owns
+// the shared coordination data (beta tree, gamma partitions) the hosts
+// read.
+SubjectOutcome run_synchronized_bf(const Graph& g, const ScheduleSpec& spec,
+                                   SynchronizerKind kind, int shards) {
   SubjectOutcome out;
   try {
     const Graph ng =
@@ -181,21 +189,44 @@ SubjectOutcome run_synchronized_bf(const Graph& g,
 
     SynchronizedNetwork snet(ng, factory, kind, /*k=*/2, t_pi,
                              spec.make_delay(), spec.seed);
-    DefaultInvariantChecker checker;
-    snet.network().set_observer(&checker);
-    const SynchronizerRun run = snet.run();
-    checker.check_final(snet.network());
-    snet.network().set_observer(nullptr);
-    out.violations = checker.violations();
-    if (!run.hosted_all_finished) {
-      out.violations.push_back(
-          "hosted protocol unfinished after t_pi pulses");
+    ProcessHost* host = nullptr;
+    std::unique_ptr<ShardEngine> par;
+    if (shards > 0) {
+      par = std::make_unique<ShardEngine>(ng, snet.host_factory(factory),
+                                          spec.make_delay(), spec.seed,
+                                          ShardEngine::Options{shards, 0});
+      out.stats = par->run();
+      host = par.get();
+      bool all_finished = true;
+      for (NodeId v = 0; v < ng.node_count(); ++v) {
+        all_finished = all_finished &&
+                       SynchronizedNetwork::hosted_finished_in(*par, v);
+      }
+      if (!all_finished) {
+        out.violations.push_back(
+            "hosted protocol unfinished after t_pi pulses");
+      }
+    } else {
+      DefaultInvariantChecker checker;
+      snet.network().set_observer(&checker);
+      const SynchronizerRun run = snet.run();
+      checker.check_final(snet.network());
+      snet.network().set_observer(nullptr);
+      out.violations = checker.violations();
+      out.stats = run.stats;
+      if (!run.hosted_all_finished) {
+        out.violations.push_back(
+            "hosted protocol unfinished after t_pi pulses");
+      }
+      host = &snet.network();
     }
 
     const ShortestPaths sp = dijkstra(g, 0);
     std::vector<std::int64_t> dist;
     for (NodeId v = 0; v < g.node_count(); ++v) {
-      const Weight d = snet.hosted_as<InSynchBellmanFord>(v).dist();
+      const Weight d = dynamic_cast<InSynchBellmanFord&>(
+                           SynchronizedNetwork::hosted_in(*host, v))
+                           .dist();
       dist.push_back(d);
       if (d != sp.dist[static_cast<std::size_t>(v)]) {
         out.violations.push_back(
@@ -212,32 +243,76 @@ SubjectOutcome run_synchronized_bf(const Graph& g,
   return out;
 }
 
+// Wraps a (factory, digest) pair into the sequential and parallel
+// runners of one CheckSubject.
+template <typename FactoryFn, typename DigestMakerFn>
+CheckSubject plain_subject(std::string name, FactoryFn make_factory,
+                           DigestMakerFn make_digest) {
+  CheckSubject out;
+  out.name = std::move(name);
+  out.run = [make_factory, make_digest](const Graph& g,
+                                        const ScheduleSpec& s) {
+    return run_checked(g, make_factory(g), s, make_digest(g));
+  };
+  out.run_par = [make_factory, make_digest](const Graph& g,
+                                            const ScheduleSpec& s,
+                                            int shards) {
+    return run_on_shards(g, make_factory(g), s, shards, make_digest(g));
+  };
+  return out;
+}
+
+CheckSubject sync_subject(std::string name, SynchronizerKind kind) {
+  CheckSubject out;
+  out.name = std::move(name);
+  out.run = [kind](const Graph& g, const ScheduleSpec& s) {
+    return run_synchronized_bf(g, s, kind, /*shards=*/0);
+  };
+  out.run_par = [kind](const Graph& g, const ScheduleSpec& s, int shards) {
+    return run_synchronized_bf(g, s, kind, shards);
+  };
+  return out;
+}
+
 }  // namespace
 
 std::vector<CheckSubject> builtin_subjects() {
   std::vector<CheckSubject> out;
-  out.push_back({"flood", run_flood_subject});
-  out.push_back({"dfs", run_dfs_subject});
-  out.push_back({"ghs", [](const Graph& g, const ScheduleSpec& s) {
-                   return run_ghs_subject(g, s, GhsMode::kSerialScan);
-                 }});
-  out.push_back({"mst_fast", [](const Graph& g, const ScheduleSpec& s) {
-                   return run_ghs_subject(g, s,
-                                          GhsMode::kParallelGuess);
-                 }});
-  out.push_back({"spt_recur", run_spt_recur_subject});
-  out.push_back({"spt_synch", [](const Graph& g, const ScheduleSpec& s) {
-                   return run_synchronized_bf(
-                       g, s, SynchronizerKind::kGammaW);
-                 }});
-  out.push_back({"bf_alpha", [](const Graph& g, const ScheduleSpec& s) {
-                   return run_synchronized_bf(g, s,
-                                              SynchronizerKind::kAlpha);
-                 }});
-  out.push_back({"bf_beta", [](const Graph& g, const ScheduleSpec& s) {
-                   return run_synchronized_bf(g, s,
-                                              SynchronizerKind::kBeta);
-                 }});
+  out.push_back(plain_subject("flood", flood_factory, flood_digest));
+  out.push_back(plain_subject("dfs", dfs_factory, dfs_digest));
+  out.push_back(plain_subject(
+      "ghs", [](const Graph& g) { return ghs_factory(g, GhsMode::kSerialScan); },
+      ghs_digest));
+  out.push_back(plain_subject(
+      "mst_fast",
+      [](const Graph& g) { return ghs_factory(g, GhsMode::kParallelGuess); },
+      ghs_digest));
+  out.push_back(
+      plain_subject("spt_recur", spt_recur_factory, spt_recur_digest));
+  out.push_back(sync_subject("spt_synch", SynchronizerKind::kGammaW));
+  out.push_back(sync_subject("bf_alpha", SynchronizerKind::kAlpha));
+  out.push_back(sync_subject("bf_beta", SynchronizerKind::kBeta));
+  return out;
+}
+
+std::vector<GraphFamily> builtin_families(bool smoke) {
+  Rng rng(2026);
+  std::vector<GraphFamily> out;
+  if (smoke) {
+    out.push_back({"path6", path_graph(6, WeightSpec::uniform(1, 8), rng)});
+    out.push_back(
+        {"grid2x3", grid_graph(2, 3, WeightSpec::power_of_two(0, 3), rng)});
+    out.push_back(
+        {"gnp8", connected_gnp(8, 0.4, WeightSpec::uniform(1, 6), rng)});
+    return out;
+  }
+  out.push_back({"path16", path_graph(16, WeightSpec::uniform(1, 9), rng)});
+  out.push_back(
+      {"grid4x5", grid_graph(4, 5, WeightSpec::power_of_two(0, 4), rng)});
+  out.push_back(
+      {"gnp14", connected_gnp(14, 0.3, WeightSpec::uniform(1, 12), rng)});
+  out.push_back({"geo12", random_geometric(12, 0.5, 8, rng)});
+  out.push_back({"lower8", lower_bound_family(8, 2)});
   return out;
 }
 

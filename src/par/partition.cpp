@@ -1,0 +1,79 @@
+#include "par/partition.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+namespace csca {
+
+std::vector<int> ShardPartition::sizes() const {
+  std::vector<int> out(static_cast<std::size_t>(shards), 0);
+  for (int s : shard_of) ++out[static_cast<std::size_t>(s)];
+  return out;
+}
+
+ShardPartition partition_shards(const Graph& g, int k) {
+  require(k >= 1, "shard count must be >= 1");
+  const int n = g.node_count();
+  ShardPartition out;
+  out.shard_of.assign(static_cast<std::size_t>(n), -1);
+  if (n == 0) {
+    out.shards = 1;
+    return out;
+  }
+  k = std::min(k, n);
+  const int target = (n + k - 1) / k;
+
+  // Max-heap of (attraction, node): attraction is the total weight of
+  // edges from `node` into the shard currently being grown. Entries go
+  // stale when a node's attraction grows or the node is assigned;
+  // stale entries are skipped on pop (lazy deletion). Ties prefer the
+  // smaller node id so the result is independent of heap internals.
+  using Cand = std::pair<Weight, NodeId>;
+  const auto cand_less = [](const Cand& a, const Cand& b) {
+    return a.first < b.first ||
+           (a.first == b.first && a.second > b.second);
+  };
+  std::vector<Weight> attraction(static_cast<std::size_t>(n), 0);
+
+  int assigned = 0;
+  NodeId scan = 0;  // lowest possibly-unassigned node
+  int shard = 0;
+  while (assigned < n) {
+    // Grow one shard to its target size. If the frontier exhausts early
+    // (disconnected remainder), reseed the same shard from the next
+    // unassigned node: each pass fills exactly min(target, remaining)
+    // nodes, so the shard count never exceeds k.
+    std::priority_queue<Cand, std::vector<Cand>, decltype(cand_less)>
+        frontier(cand_less);
+    std::fill(attraction.begin(), attraction.end(), Weight{0});
+    int size = 0;
+    while (size < target && assigned < n) {
+      if (frontier.empty()) {
+        while (out.shard_of[static_cast<std::size_t>(scan)] != -1) ++scan;
+        frontier.push({Weight{0}, scan});
+      }
+      const auto [gain, v] = frontier.top();
+      frontier.pop();
+      const auto vi = static_cast<std::size_t>(v);
+      if (out.shard_of[vi] != -1 || gain != attraction[vi]) {
+        continue;  // already assigned, or a stale entry
+      }
+      out.shard_of[vi] = shard;
+      ++size;
+      ++assigned;
+      for (EdgeId e : g.incident(v)) {
+        const NodeId u = g.other(e, v);
+        const auto ui = static_cast<std::size_t>(u);
+        if (out.shard_of[ui] != -1) continue;
+        attraction[ui] += g.weight(e);
+        frontier.push({attraction[ui], u});
+      }
+    }
+    ++shard;
+  }
+  out.shards = shard;
+  return out;
+}
+
+}  // namespace csca

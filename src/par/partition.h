@@ -1,0 +1,42 @@
+// Node partitioner for the sharded conservative engine.
+//
+// Grows k connected-ish regions by weighted-greedy BFS: each shard
+// starts from the lowest-id unassigned node and repeatedly absorbs the
+// frontier node with the largest total edge weight into the shard so
+// far (ties broken by node id), until the shard reaches its target size
+// ceil(n / k). Heavier edges are thus likelier to be shard-internal,
+// which matters twice for the engine: internal traffic needs no
+// cross-shard forwarding, and — because a heavy cross edge contributes
+// w-scaled lookahead while a light one contributes little — keeping
+// light edges out of the cut keeps the conservative safe windows wide.
+//
+// src/partition/ (the paper's radius covers) solves a different
+// problem: its clusters overlap by construction, and an event must have
+// exactly one owner. Hence this small dedicated partitioner.
+//
+// Deterministic: a pure function of the graph (+ k). The parallel
+// engine's reproducibility contract starts here.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csca {
+
+struct ShardPartition {
+  int shards = 1;
+  std::vector<int> shard_of;  ///< node -> shard id in [0, shards)
+
+  int shard(NodeId v) const {
+    return shard_of[static_cast<std::size_t>(v)];
+  }
+  /// Nodes per shard.
+  std::vector<int> sizes() const;
+};
+
+/// Partitions g's nodes into at most k non-empty shards (fewer only
+/// when k > n). Requires k >= 1.
+ShardPartition partition_shards(const Graph& g, int k);
+
+}  // namespace csca

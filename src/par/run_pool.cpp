@@ -1,0 +1,68 @@
+#include "par/run_pool.h"
+
+namespace csca {
+
+RunPool::RunPool(int threads) {
+  require(threads >= 1, "RunPool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RunPool::~RunPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void RunPool::submit(std::function<void()> job) {
+  require(job != nullptr, "RunPool job must not be null");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Compact the drained prefix occasionally so the queue does not
+    // grow monotonically across a long sweep.
+    if (queue_head_ > 64 && queue_head_ * 2 > queue_.size()) {
+      queue_.erase(queue_.begin(),
+                   queue_.begin() + static_cast<std::ptrdiff_t>(queue_head_));
+      queue_head_ = 0;
+    }
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void RunPool::wait_all() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] {
+    return queue_head_ == queue_.size() && active_ == 0;
+  });
+}
+
+void RunPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || queue_head_ < queue_.size();
+    });
+    if (queue_head_ == queue_.size()) {
+      // stop_ set and no work left.
+      return;
+    }
+    std::function<void()> job = std::move(queue_[queue_head_]);
+    ++queue_head_;
+    ++active_;
+    lock.unlock();
+    job();
+    lock.lock();
+    --active_;
+    if (queue_head_ == queue_.size() && active_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace csca

@@ -1,0 +1,457 @@
+#include "par/shard_engine.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace csca {
+
+// ---------------------------------------------------------------------------
+// Shard: one event loop. Owns a subset of nodes, their pending events,
+// and the lineage records of everything it has delivered. Implements
+// EngineBackend so protocol Contexts route sends straight here.
+// ---------------------------------------------------------------------------
+
+struct ShardEngine::Shard final : public EngineBackend {
+  Shard(ShardEngine* engine, int shard_id) : eng(engine), id(shard_id) {}
+
+  /// A pending event: arrival time, birth certificate (parent handler's
+  /// lineage + send index within that handler), and the arena slot
+  /// holding the message body.
+  struct Entry {
+    double t = 0;
+    const Lineage* parent = nullptr;
+    std::uint32_t send_index = 0;
+    std::uint32_t slot = 0;
+  };
+
+  // -- ordering ------------------------------------------------------------
+
+  /// Sequential-order comparison of two handlers by genealogy: earlier
+  /// delivery time first; at equal times, recurse on the parents and
+  /// fall back to the send index within a shared parent. on_start
+  /// markers (t = -1, null parent) compare by node id, matching the
+  /// sequential engine's ascending start order. Total order; the walk
+  /// terminates because lineage chains are finite and (parent,
+  /// send_index) is unique per record.
+  static bool lineage_before(const Lineage* a, const Lineage* b) {
+    while (true) {
+      if (a == b) return false;
+      if (a->t != b->t) return a->t < b->t;
+      if (a->parent == nullptr || b->parent == nullptr) {
+        // Markers carry t = -1 and deliveries t >= 0, so equal times
+        // with a null parent on either side means both are markers.
+        return a->origin < b->origin;
+      }
+      if (a->parent == b->parent) return a->send_index < b->send_index;
+      a = a->parent;
+      b = b->parent;
+    }
+  }
+
+  /// Pending-event order: time, then birth order — the parent handlers'
+  /// sequential order, then the send index for siblings. Equals the
+  /// sequential engine's (t, seq) order restricted to events that are
+  /// ever simultaneously pending.
+  static bool entry_before(const Entry& x, const Entry& y) {
+    if (x.t != y.t) return x.t < y.t;
+    if (x.parent == y.parent) return x.send_index < y.send_index;
+    return lineage_before(x.parent, y.parent);
+  }
+
+  /// Heap comparator: std:: heaps are max-heaps under their comparator,
+  /// so invert to keep the sequentially-first entry on top.
+  static bool entry_after(const Entry& x, const Entry& y) {
+    return entry_before(y, x);
+  }
+
+  // -- event queue ---------------------------------------------------------
+
+  void push_local(double t, const Lineage* parent, std::uint32_t send_index,
+                  Message&& m) {
+    std::uint32_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+      slots[slot] = std::move(m);
+    } else {
+      slot = static_cast<std::uint32_t>(slots.size());
+      slots.push_back(std::move(m));
+    }
+    heap.push_back(Entry{t, parent, send_index, slot});
+    std::push_heap(heap.begin(), heap.end(), entry_after);
+  }
+
+  Entry pop_top() {
+    std::pop_heap(heap.begin(), heap.end(), entry_after);
+    Entry top = heap.back();
+    heap.pop_back();
+    return top;
+  }
+
+  double next_time() const { return heap.empty() ? kInf : heap.front().t; }
+
+  // -- lineage -------------------------------------------------------------
+
+  /// Lazily publishes the current handler's lineage record: only
+  /// handlers that send anything allocate one. The deque arena keeps
+  /// records pointer-stable for the lifetime of the run; cross-shard
+  /// readers reach them through the channel's release/acquire edge.
+  const Lineage* handler_lineage() {
+    if (cur_lineage == nullptr) {
+      if (cur_is_start) {
+        arena.push_back(Lineage{-1.0, nullptr, 0, cur_node});
+      } else {
+        arena.push_back(Lineage{now, cur_parent, cur_send_index, cur_node});
+      }
+      cur_lineage = &arena.back();
+    }
+    return cur_lineage;
+  }
+
+  // -- EngineBackend -------------------------------------------------------
+
+  double engine_now() const override { return now; }
+  const Graph& engine_graph() const override { return *eng->graph_; }
+
+  void engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) override {
+    const Graph& g = *eng->graph_;
+    const Edge& edge = g.edge(e);
+    require(edge.u == from || edge.v == from,
+            "process may only send on its own incident edges");
+    // Same directed-channel FIFO clamp as the sequential engine. The
+    // channel's unique sender node lives in exactly this shard, so the
+    // per-channel counters are written race-free.
+    const std::size_t channel =
+        static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+    const double d = eng->delay_->delay_keyed(
+        e, edge.w,
+        channel_delay_key(eng->seed_, channel, eng->channel_sends_[channel]++));
+    require(d >= 0.0 && d <= static_cast<double>(edge.w),
+            "delay model produced delay outside [0, w(e)]");
+    // The conservative windows are sound only if every actual draw
+    // respects the model's declared lookahead floor.
+    require(d >= eng->delay_->min_delay(e, edge.w),
+            "delay model drew below its declared min_delay");
+    const double arrival = std::max(now + d, eng->last_arrival_[channel]);
+    eng->last_arrival_[channel] = arrival;
+
+    m.from = from;
+    m.edge = e;
+    ++eng->channel_messages_[class_index(cls)][channel];
+    if (cls == MsgClass::kAlgorithm) {
+      ++stats.algorithm_messages;
+      stats.algorithm_cost += edge.w;
+    } else {
+      ++stats.control_messages;
+      stats.control_cost += edge.w;
+    }
+
+    const Lineage* lin = handler_lineage();
+    require(sends_in_handler != UINT32_MAX, "send index space exhausted");
+    const std::uint32_t idx = sends_in_handler++;
+    const NodeId to = g.other(e, from);
+    const int dest = eng->part_.shard(to);
+    if (dest == id) {
+      push_local(arrival, lin, idx, std::move(m));
+    } else {
+      eng->channel(id, dest).push(CrossMsg{arrival, lin, idx, std::move(m)});
+    }
+  }
+
+  void engine_schedule_self(NodeId v, double delay, Message m) override {
+    require(delay >= 0.0, "self-delivery delay must be non-negative");
+    m.from = v;
+    m.edge = kNoEdge;
+    const Lineage* lin = handler_lineage();
+    require(sends_in_handler != UINT32_MAX, "send index space exhausted");
+    const std::uint32_t idx = sends_in_handler++;
+    // v is the node currently executing here, so its shard is this one.
+    push_local(now + delay, lin, idx, std::move(m));
+  }
+
+  void engine_finish(NodeId v) override {
+    double& t = eng->finish_time_[static_cast<std::size_t>(v)];
+    if (t < 0) t = now;
+  }
+
+  // -- round phases (called from pool workers, one worker per shard) -------
+
+  void start() {
+    now = 0;
+    cur_is_start = true;
+    for (NodeId v : owned) {
+      cur_node = v;
+      cur_lineage = nullptr;
+      sends_in_handler = 0;
+      Context ctx = make_context(v);
+      eng->processes_[static_cast<std::size_t>(v)]->on_start(ctx);
+    }
+    cur_is_start = false;
+  }
+
+  void drain_in() {
+    for (int a = 0; a < eng->part_.shards; ++a) {
+      if (a == id) continue;
+      eng->channel(a, id).drain([this](CrossMsg&& cm) {
+        push_local(cm.t, cm.parent, cm.send_index, std::move(cm.msg));
+      });
+    }
+  }
+
+  void deliver(const Entry& ev) {
+    now = ev.t;
+    Message msg = std::move(slots[ev.slot]);
+    free_slots.push_back(ev.slot);
+    const NodeId to =
+        msg.edge == kNoEdge ? msg.from : eng->graph_->other(msg.edge, msg.from);
+    // Mirrors the sequential ledger: only edge deliveries advance the
+    // paper's time measure. Merged across shards as a max.
+    if (msg.edge != kNoEdge) stats.completion_time = now;
+    ++stats.events;
+    cur_t = ev.t;
+    cur_parent = ev.parent;
+    cur_send_index = ev.send_index;
+    cur_node = to;
+    cur_lineage = nullptr;
+    sends_in_handler = 0;
+    Context ctx = make_context(to);
+    eng->processes_[static_cast<std::size_t>(to)]->on_message(ctx, msg);
+  }
+
+  /// Normal round: deliver everything strictly before the safe bound.
+  /// Locally generated events that land inside the window join the heap
+  /// and are delivered in comparator order within the same call.
+  void run_window(double bound) {
+    while (!heap.empty() && heap.front().t < bound) deliver(pop_top());
+  }
+
+  /// Zero-lookahead round: snapshot the currently-pending events at
+  /// exactly t (one causal generation, already in sequential order via
+  /// successive pops), then run their handlers. Children spawned at the
+  /// same t re-enter the heap and wait for the next wave — they are
+  /// genealogically later than everything in this snapshot.
+  void run_wave(double t) {
+    wave.clear();
+    while (!heap.empty() && heap.front().t == t) wave.push_back(pop_top());
+    for (const Entry& ev : wave) deliver(ev);
+  }
+
+  ShardEngine* eng;
+  int id;
+  std::vector<NodeId> owned;  // ascending node ids
+  double now = 0;
+
+  std::vector<Entry> heap;
+  std::vector<Message> slots;
+  std::vector<std::uint32_t> free_slots;
+  std::deque<Lineage> arena;  // pointer-stable lineage records
+  std::vector<Entry> wave;    // scratch for run_wave
+
+  // Current handler identity (for lazy lineage creation).
+  double cur_t = 0;
+  const Lineage* cur_parent = nullptr;
+  std::uint32_t cur_send_index = 0;
+  NodeId cur_node = kNoNode;
+  bool cur_is_start = false;
+  const Lineage* cur_lineage = nullptr;
+  std::uint32_t sends_in_handler = 0;
+
+  RunStats stats;
+};
+
+// ---------------------------------------------------------------------------
+// ShardEngine
+// ---------------------------------------------------------------------------
+
+ShardEngine::ShardEngine(const Graph& g, const ProcessFactory& factory,
+                         std::unique_ptr<DelayModel> delay, std::uint64_t seed,
+                         Options opt)
+    : graph_(&g),
+      delay_(std::move(delay)),
+      seed_(seed),
+      part_(partition_shards(g, opt.shards)),
+      last_arrival_(static_cast<std::size_t>(2 * g.edge_count()), 0.0),
+      channel_sends_(static_cast<std::size_t>(2 * g.edge_count()), 0),
+      channel_messages_{
+          std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
+                                    0),
+          std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
+                                    0)},
+      finish_time_(static_cast<std::size_t>(g.node_count()), -1.0) {
+  require(delay_ != nullptr, "delay model must not be null");
+  require(opt.threads >= 0, "thread count must be >= 0");
+  processes_.reserve(static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto p = factory(v);
+    require(p != nullptr, "process factory returned null");
+    processes_.push_back(std::move(p));
+  }
+
+  const int k = part_.shards;
+  shards_.reserve(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    shards_.push_back(std::make_unique<Shard>(this, s));
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    shards_[static_cast<std::size_t>(part_.shard(v))]->owned.push_back(v);
+  }
+  channels_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) {
+      if (a != b) {
+        channels_[static_cast<std::size_t>(a * k + b)] =
+            std::make_unique<SpscChannel<CrossMsg>>();
+      }
+    }
+  }
+
+  // Lookahead closure. Direct entries are the minimum declared delay
+  // over boundary edges; the Floyd-Warshall pass (diagonal seeded to
+  // infinity) extends them to shortest >= 1-edge paths, including
+  // cycles back into the same shard. The closure is what makes the
+  // per-round bounds sound against multi-hop relays: a message may
+  // reach s through a shard whose queue is currently empty, and cycles
+  // bound how far a shard may run ahead of its own feedback.
+  cross_min_.assign(static_cast<std::size_t>(k) * static_cast<std::size_t>(k),
+                    kInf);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    const int a = part_.shard(edge.u);
+    const int b = part_.shard(edge.v);
+    if (a == b) continue;
+    const double d = delay_->min_delay(e, edge.w);
+    require(d >= 0.0, "min_delay must be non-negative");
+    double& ab = cross_min_[static_cast<std::size_t>(a * k + b)];
+    double& ba = cross_min_[static_cast<std::size_t>(b * k + a)];
+    ab = std::min(ab, d);
+    ba = std::min(ba, d);
+  }
+  for (int m = 0; m < k; ++m) {
+    for (int a = 0; a < k; ++a) {
+      for (int s = 0; s < k; ++s) {
+        const double via = cross_min_[static_cast<std::size_t>(a * k + m)] +
+                           cross_min_[static_cast<std::size_t>(m * k + s)];
+        double& as = cross_min_[static_cast<std::size_t>(a * k + s)];
+        as = std::min(as, via);
+      }
+    }
+  }
+
+  next_t_.assign(static_cast<std::size_t>(k), kInf);
+  bound_.assign(static_cast<std::size_t>(k), kInf);
+  const int threads = opt.threads > 0 ? std::min(opt.threads, k) : k;
+  pool_ = std::make_unique<RunPool>(threads);
+}
+
+ShardEngine::ShardEngine(const Graph& g, const ProcessFactory& factory,
+                         std::unique_ptr<DelayModel> delay, std::uint64_t seed)
+    : ShardEngine(g, factory, std::move(delay), seed, Options{}) {}
+
+ShardEngine::~ShardEngine() = default;
+
+RunStats ShardEngine::run() {
+  require(!ran_, "ShardEngine::run is single-shot");
+  ran_ = true;
+  const int k = part_.shards;
+  const auto ks = static_cast<std::size_t>(k);
+
+  pool_->run_indexed(ks, [this](std::size_t s) { shards_[s]->start(); });
+
+  for (;;) {
+    // Drain phase: move channel traffic into heaps, publish next times.
+    pool_->run_indexed(ks, [this](std::size_t s) {
+      shards_[s]->drain_in();
+      next_t_[s] = shards_[s]->next_time();
+    });
+
+    // Serial phase: global minimum and per-shard safe bounds. Any
+    // message that arrives in shard s after this point was created by
+    // processing an event currently in some shard a's heap (chains
+    // trace back to the barrier snapshot), so it lands at
+    // >= next_t[a] + closure(a, s) >= bound[s].
+    double t_min = kInf;
+    for (int s = 0; s < k; ++s) t_min = std::min(t_min, next_t_[s]);
+    if (t_min == kInf) break;
+
+    bool progress = false;
+    for (int s = 0; s < k; ++s) {
+      double b = kInf;
+      for (int a = 0; a < k; ++a) {
+        if (next_t_[a] == kInf) continue;
+        const double la = cross_min_[static_cast<std::size_t>(a * k + s)];
+        if (la == kInf) continue;
+        b = std::min(b, next_t_[a] + la);
+      }
+      bound_[static_cast<std::size_t>(s)] = b;
+      if (next_t_[s] < b) progress = true;
+    }
+
+    ++rounds_;
+    if (progress) {
+      pool_->run_indexed(ks, [this](std::size_t s) {
+        shards_[s]->run_window(bound_[s]);
+      });
+    } else {
+      // Zero-lookahead standstill: every pending minimum is blocked by
+      // a zero-length path. Deliver exactly the current generation at
+      // t_min; progress is guaranteed (some shard sits at t_min).
+      ++wave_rounds_;
+      const double t = t_min;
+      pool_->run_indexed(ks, [this, t](std::size_t s) {
+        if (shards_[s]->next_time() == t) shards_[s]->run_wave(t);
+      });
+    }
+  }
+
+  stats_ = RunStats{};
+  for (const auto& sh : shards_) {
+    stats_.algorithm_messages += sh->stats.algorithm_messages;
+    stats_.control_messages += sh->stats.control_messages;
+    stats_.algorithm_cost += sh->stats.algorithm_cost;
+    stats_.control_cost += sh->stats.control_cost;
+    stats_.completion_time =
+        std::max(stats_.completion_time, sh->stats.completion_time);
+    stats_.events += sh->stats.events;
+  }
+  return stats_;
+}
+
+bool ShardEngine::all_finished() const {
+  return std::all_of(finish_time_.begin(), finish_time_.end(),
+                     [](double t) { return t >= 0; });
+}
+
+double ShardEngine::last_finish_time() const {
+  require(all_finished(), "not all nodes have finished");
+  return *std::max_element(finish_time_.begin(), finish_time_.end());
+}
+
+std::int64_t ShardEngine::edge_message_count(EdgeId e) const {
+  const auto c = static_cast<std::size_t>(2 * e);
+  return channel_messages_[0][c] + channel_messages_[0][c + 1] +
+         channel_messages_[1][c] + channel_messages_[1][c + 1];
+}
+
+std::int64_t ShardEngine::edge_message_count(EdgeId e, MsgClass cls) const {
+  const auto c = static_cast<std::size_t>(2 * e);
+  const auto& counts = channel_messages_[class_index(cls)];
+  return counts[c] + counts[c + 1];
+}
+
+std::int64_t ShardEngine::max_edge_message_count() const {
+  std::int64_t best = 0;
+  for (EdgeId e = 0; e < graph_->edge_count(); ++e) {
+    best = std::max(best, edge_message_count(e));
+  }
+  return best;
+}
+
+std::int64_t ShardEngine::max_edge_message_count(MsgClass cls) const {
+  std::int64_t best = 0;
+  for (EdgeId e = 0; e < graph_->edge_count(); ++e) {
+    best = std::max(best, edge_message_count(e, cls));
+  }
+  return best;
+}
+
+}  // namespace csca

@@ -1,0 +1,188 @@
+// Sharded conservative parallel engine.
+//
+// Partitions the graph's nodes into k shards (par/partition.h), gives
+// each shard its own event queue, clock, and worker, forwards
+// cross-shard sends through SPSC channels (par/spsc.h), and advances
+// shards in conservative CMB-style rounds bounded by per-boundary-edge
+// lookahead. Its contract is strict: **the execution is bit-identical
+// to the sequential Network** — same per-node delivery sequences, same
+// digests, same RunStats ledger — at every shard/thread count. Two
+// mechanisms make that possible:
+//
+// 1. Keyed delay draws. Random delay models consume a per-run RNG
+//    stream whose draw order a parallel engine cannot reproduce, so
+//    this engine only draws through DelayModel::delay_keyed, keyed by
+//    (run seed, directed channel, per-channel send count) — a pure
+//    function of protocol behaviour, not of interleaving. A Network
+//    with set_keyed_delays(true) is the sequential reference; for
+//    deterministic models (ExactDelay, EdgeFractionDelay) keyed and
+//    plain draws coincide, so the plain Network is directly comparable.
+//
+// 2. Genealogical tie-break. The Network orders same-time events by a
+//    global send sequence number, which does not exist across shards.
+//    But among *simultaneously pending* same-time events, that seq
+//    order equals a causal (genealogical) order: compare the events'
+//    parent handlers — recursively, by delivery time, then genealogy —
+//    and within one handler by send index. Each delivered event gets an
+//    immutable Lineage record; pending events carry a pointer to their
+//    parent's record. The conservative rounds guarantee an event is
+//    only popped when everything sequentially before it in its shard is
+//    already delivered or provably later, so per-shard pop order equals
+//    the sequential delivery order restricted to the shard — and every
+//    per-node state evolution, FIFO clamp, and keyed draw matches the
+//    sequential run exactly.
+//
+// Round structure (run()):
+//   drain    each shard moves its in-channel messages into its heap and
+//            publishes next_t = earliest pending time  (parallel)
+//   bound    bound[s] = min over shards a of next_t[a] + L(a, s), where
+//            L is the min-plus closure (shortest >= 1-edge path,
+//            including cycles back into s) of the k x k matrix of
+//            DelayModel::min_delay over boundary edges. The closure —
+//            not the direct edge minimum — is essential: a message can
+//            relay into s through a shard whose queue is momentarily
+//            empty, and a shard's own sends can cycle back   (serial)
+//   window   every shard delivers its events with t < bound[s]
+//            (parallel); any message it receives later provably has
+//            t >= bound[s], so the window is safe including ties
+//   wave     if no shard has next_t < bound (zero-lookahead cycles at
+//            one timestamp T), shards at T deliver exactly their
+//            currently-pending events at T — a causal generation.
+//            Children land at T with strictly later genealogy, so
+//            generation-by-generation delivery refines the sequential
+//            same-time order. Guarantees progress every round.
+//
+// Shared state is written under strict ownership (per-channel counters
+// by the channel's unique sender shard, per-node state by the owner
+// shard), and rounds are separated by the RunPool barrier, so the
+// engine is lock-free on the hot path and clean under TSan.
+//
+// Not supported (sequential-engine features that have no cross-shard
+// meaning): InvariantObserver hooks, step()/budget slicing.
+#pragma once
+
+#include <array>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "par/partition.h"
+#include "par/run_pool.h"
+#include "par/spsc.h"
+#include "sim/delay.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace csca {
+
+class ShardEngine final : public ProcessHost {
+ public:
+  struct Options {
+    int shards = 1;
+    int threads = 0;  ///< pool workers; 0 means one per shard
+  };
+
+  ShardEngine(const Graph& g, const ProcessFactory& factory,
+              std::unique_ptr<DelayModel> delay, std::uint64_t seed,
+              Options opt);
+  ShardEngine(const Graph& g, const ProcessFactory& factory,
+              std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1);
+  ~ShardEngine() override;
+
+  /// Runs the protocol to quiescence and returns the merged ledger.
+  /// Single-shot: a ShardEngine instance runs once.
+  RunStats run();
+
+  int shard_count() const { return part_.shards; }
+  const ShardPartition& partition() const { return part_; }
+  /// Barrier rounds executed, and how many were zero-lookahead waves.
+  std::int64_t rounds() const { return rounds_; }
+  std::int64_t wave_rounds() const { return wave_rounds_; }
+
+  // ProcessHost: post-run access, identical semantics to Network.
+  const Graph& graph() const override { return *graph_; }
+  const RunStats& stats() const override { return stats_; }
+  Process& process(NodeId v) override {
+    graph_->check_node(v);
+    return *processes_[static_cast<std::size_t>(v)];
+  }
+  bool finished(NodeId v) const override {
+    return finish_time_[static_cast<std::size_t>(v)] >= 0;
+  }
+  double finish_time(NodeId v) const override {
+    return finish_time_[static_cast<std::size_t>(v)];
+  }
+  bool all_finished() const override;
+  double last_finish_time() const override;
+  std::int64_t edge_message_count(EdgeId e) const override;
+  std::int64_t edge_message_count(EdgeId e, MsgClass cls) const override;
+  std::int64_t max_edge_message_count() const override;
+  std::int64_t max_edge_message_count(MsgClass cls) const override;
+
+ private:
+  friend struct ShardEngineTestPeer;
+
+  /// Birth certificate of a delivered event (or an on_start marker):
+  /// enough to compare two events' positions in the sequential delivery
+  /// order without a global counter. Records are immutable once
+  /// published and owned by the arena of the shard that delivered the
+  /// event; cross-shard readers see them through the channel's
+  /// release/acquire edge (and the round barrier).
+  struct Lineage {
+    double t = 0;             ///< delivery time; -1 for on_start markers
+    const Lineage* parent = nullptr;  ///< null => on_start marker
+    std::uint32_t send_index = 0;  ///< birth send's index in its handler
+    NodeId origin = kNoNode;  ///< marker only: the node starting up
+  };
+
+  /// A message in flight between shards.
+  struct CrossMsg {
+    double t = 0;  ///< FIFO-clamped arrival time
+    const Lineage* parent = nullptr;
+    std::uint32_t send_index = 0;
+    Message msg;
+  };
+
+  struct Shard;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  static std::size_t class_index(MsgClass cls) {
+    return cls == MsgClass::kAlgorithm ? 0 : 1;
+  }
+  SpscChannel<CrossMsg>& channel(int from, int to) {
+    return *channels_[static_cast<std::size_t>(from) *
+                          static_cast<std::size_t>(part_.shards) +
+                      static_cast<std::size_t>(to)];
+  }
+
+  const Graph* graph_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::unique_ptr<DelayModel> delay_;
+  std::uint64_t seed_;
+  ShardPartition part_;
+
+  // Sender-owned per-directed-channel state (2 * edge + direction): the
+  // unique sender node of a channel lives in exactly one shard, so
+  // these vectors are written race-free without locks.
+  std::vector<double> last_arrival_;
+  std::vector<std::uint64_t> channel_sends_;
+  std::array<std::vector<std::int64_t>, 2> channel_messages_;
+
+  // Owner-shard-written per-node state.
+  std::vector<double> finish_time_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<SpscChannel<CrossMsg>>> channels_;
+  std::vector<double> cross_min_;  // k x k lookahead closure (see above)
+  std::vector<double> next_t_;
+  std::vector<double> bound_;
+  std::unique_ptr<RunPool> pool_;
+
+  RunStats stats_;
+  std::int64_t rounds_ = 0;
+  std::int64_t wave_rounds_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace csca

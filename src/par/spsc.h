@@ -1,0 +1,92 @@
+// Single-producer single-consumer channel for cross-shard message
+// forwarding.
+//
+// One channel exists per ordered shard pair (a -> b): only shard a's
+// worker pushes, only shard b's worker pops, so a wait-free linked
+// queue with one release/acquire pair per element suffices — no CAS, no
+// locks on the engine's cross-shard send path. The conservative engine
+// drains channels at round barriers, but the channel itself is safe for
+// fully concurrent push/pop, so the rounds' drain placement is a
+// scheduling choice rather than a correctness requirement.
+//
+// Memory ordering: push publishes the node with a release store to the
+// predecessor's `next`; pop reads it with an acquire load, so the
+// consumer sees the fully-constructed value (and anything the producer
+// wrote before pushing, e.g. the lineage records a forwarded message
+// points into).
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "util/require.h"
+
+namespace csca {
+
+template <typename T>
+class SpscChannel {
+ public:
+  SpscChannel() : head_(new Node), tail_(head_) {}
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  ~SpscChannel() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Producer side. Wait-free: one allocation + one release store.
+  void push(T value) {
+    Node* node = new Node;
+    node->value = std::move(value);
+    tail_->next.store(node, std::memory_order_release);
+    tail_ = node;
+  }
+
+  /// Consumer side: pops the oldest element into out. Returns false
+  /// when the channel is (momentarily) empty.
+  bool pop(T& out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    delete head_;
+    head_ = next;
+    return true;
+  }
+
+  /// Consumer side: pops every currently-visible element into f, in
+  /// push order. Returns how many were consumed.
+  template <typename F>
+  std::size_t drain(F&& f) {
+    std::size_t count = 0;
+    T value;
+    while (pop(value)) {
+      f(std::move(value));
+      ++count;
+    }
+    return count;
+  }
+
+  /// Consumer-side emptiness probe (a momentary answer under
+  /// concurrent pushes).
+  bool empty() const {
+    return head_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  // head_ is a consumed dummy; the logical front is head_->next.
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  Node* head_;  // consumer-owned
+  Node* tail_;  // producer-owned
+};
+
+}  // namespace csca

@@ -2,6 +2,14 @@
 
 namespace csca {
 
+double DelayModel::delay_keyed(EdgeId, Weight, std::uint64_t) const {
+  require(false,
+          "delay model does not implement keyed draws; the sharded "
+          "engine needs delay_keyed to make schedules independent of "
+          "send interleaving");
+  return 0.0;  // unreachable
+}
+
 UniformDelay::UniformDelay(double lo_frac, double hi_frac)
     : lo_frac_(lo_frac), hi_frac_(hi_frac) {
   require(lo_frac >= 0.0 && lo_frac <= hi_frac && hi_frac <= 1.0,
@@ -20,18 +28,8 @@ TwoPointDelay::TwoPointDelay(double slow_prob) : slow_prob_(slow_prob) {
 
 double TwoPointDelay::delay(Weight w, Rng& rng) {
   const double wd = static_cast<double>(w);
-  return rng.chance(slow_prob_) ? wd : wd * 0.001;
+  return rng.chance(slow_prob_) ? wd : wd * kFastFraction;
 }
-
-namespace {
-// splitmix64 finalizer: a high-quality 64-bit mixing function.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-}  // namespace
 
 double EdgeFractionDelay::delay(Weight, Rng&) {
   require(false,

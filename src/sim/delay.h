@@ -33,7 +33,42 @@ class DelayModel {
   virtual double delay_on(EdgeId /*e*/, Weight w, Rng& rng) {
     return delay(w, rng);
   }
+
+  /// Keyed draw: the delay for the message whose 64-bit key this is.
+  /// Unlike delay_on, the result is a pure function of (e, w, key) —
+  /// independent of how many draws other edges made before this one —
+  /// which is what makes random schedules reproducible across engines
+  /// that interleave sends differently (the sharded engine draws only
+  /// through this entry point, keying by per-channel send counts; see
+  /// channel_delay_key). Must return a value in [min_delay(e, w), w].
+  /// The base implementation rejects: models opt in explicitly so a
+  /// silently-unkeyed model cannot masquerade as schedule-stable.
+  virtual double delay_keyed(EdgeId e, Weight w, std::uint64_t key) const;
+
+  /// A lower bound on every delay this model can produce on edge e
+  /// (through either entry point). The conservative parallel engine
+  /// uses it as the per-boundary-edge lookahead: a message crossing e
+  /// arrives at least min_delay after it was sent, so a shard knows how
+  /// far it may safely advance past its neighbors. 0 is always sound;
+  /// tighter bounds buy larger safe windows.
+  virtual double min_delay(EdgeId /*e*/, Weight /*w*/) const { return 0.0; }
 };
+
+/// Derivation key for the keyed draw of send number `count` (0-based)
+/// on directed channel `channel` (2 * edge + direction) of the run
+/// seeded with `seed`. Two splitmix64 derivations: seed -> channel
+/// stream -> per-send key, so channels are mutually independent and
+/// successive sends on one channel are decorrelated.
+inline std::uint64_t channel_delay_key(std::uint64_t seed,
+                                       std::uint64_t channel,
+                                       std::uint64_t count) {
+  return derive_stream_seed(derive_stream_seed(seed, channel), count);
+}
+
+/// Maps a 64-bit key to a uniform double in [0, 1) (53 high bits).
+inline double key_to_unit(std::uint64_t key) {
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
 
 /// delay(e) == w(e): the worst case permitted by the model, and also the
 /// behaviour of the paper's weighted *synchronous* network.
@@ -45,6 +80,12 @@ class ExactDelay final : public DelayModel {
   double delay_on(EdgeId, Weight w, Rng&) override {
     return static_cast<double>(w);
   }
+  double delay_keyed(EdgeId, Weight w, std::uint64_t) const override {
+    return static_cast<double>(w);
+  }
+  double min_delay(EdgeId, Weight w) const override {
+    return static_cast<double>(w);
+  }
 };
 
 /// delay(e) uniform in [lo_frac * w(e), hi_frac * w(e)].
@@ -54,6 +95,13 @@ class UniformDelay final : public DelayModel {
   double delay(Weight w, Rng& rng) override;
   double delay_on(EdgeId, Weight w, Rng& rng) override {
     return delay(w, rng);
+  }
+  double delay_keyed(EdgeId, Weight w, std::uint64_t key) const override {
+    const double wd = static_cast<double>(w);
+    return lo_frac_ * wd + key_to_unit(key) * (hi_frac_ - lo_frac_) * wd;
+  }
+  double min_delay(EdgeId, Weight w) const override {
+    return lo_frac_ * static_cast<double>(w);
   }
 
  private:
@@ -68,10 +116,19 @@ class UniformDelay final : public DelayModel {
 /// delays (GHS merges, hybrid races, strip relaxation).
 class TwoPointDelay final : public DelayModel {
  public:
+  static constexpr double kFastFraction = 0.001;
+
   explicit TwoPointDelay(double slow_prob);
   double delay(Weight w, Rng& rng) override;
   double delay_on(EdgeId, Weight w, Rng& rng) override {
     return delay(w, rng);
+  }
+  double delay_keyed(EdgeId, Weight w, std::uint64_t key) const override {
+    const double wd = static_cast<double>(w);
+    return key_to_unit(key) < slow_prob_ ? wd : wd * kFastFraction;
+  }
+  double min_delay(EdgeId, Weight w) const override {
+    return static_cast<double>(w) * kFastFraction;
   }
 
  private:
@@ -94,6 +151,12 @@ class EdgeFractionDelay final : public DelayModel {
   /// Not usable without the edge identity; the engine calls delay_on.
   double delay(Weight, Rng&) override;
   double delay_on(EdgeId e, Weight w, Rng&) override;
+  double delay_keyed(EdgeId e, Weight w, std::uint64_t) const override {
+    return fraction(e) * static_cast<double>(w);
+  }
+  double min_delay(EdgeId e, Weight w) const override {
+    return fraction(e) * static_cast<double>(w);
+  }
 
   /// The fixed fraction assigned to edge e (exposed for tests).
   double fraction(EdgeId e) const;

@@ -4,25 +4,12 @@
 
 namespace csca {
 
-double Context::now() const { return net_->now_; }
-
-const Graph& Context::graph() const { return *net_->graph_; }
-
-void Context::send(EdgeId e, Message m, MsgClass cls) {
-  net_->do_send(self_, e, std::move(m), cls);
-}
-
-void Context::schedule_self(double delay, Message m) {
-  net_->do_schedule_self(self_, delay, std::move(m));
-}
-
-void Context::finish() { net_->do_finish(self_); }
-
 Network::Network(const Graph& g, const ProcessFactory& factory,
                  std::unique_ptr<DelayModel> delay, std::uint64_t seed)
     : graph_(&g),
       delay_(std::move(delay)),
       rng_(seed),
+      seed_(seed),
       last_arrival_(static_cast<std::size_t>(2 * g.edge_count()), 0.0),
       edge_messages_{
           std::vector<std::int64_t>(static_cast<std::size_t>(g.edge_count()), 0),
@@ -37,17 +24,32 @@ Network::Network(const Graph& g, const ProcessFactory& factory,
   }
 }
 
-void Network::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
+void Network::set_keyed_delays(bool on) {
+  require(!started_,
+          "keyed-delay mode must be chosen before the first step");
+  keyed_delays_ = on;
+  if (on && channel_sends_.empty()) {
+    channel_sends_.assign(
+        static_cast<std::size_t>(2 * graph_->edge_count()), 0);
+  }
+}
+
+void Network::engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
   const Edge& edge = graph_->edge(e);
   require(edge.u == from || edge.v == from,
           "process may only send on its own incident edges");
-  const double d = delay_->delay_on(e, edge.w, rng_);
-  require(d >= 0.0 && d <= static_cast<double>(edge.w),
-          "delay model produced delay outside [0, w(e)]");
   // FIFO per directed edge: never deliver before an earlier send on the
   // same channel.
   const std::size_t channel =
       static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+  const double d =
+      keyed_delays_
+          ? delay_->delay_keyed(
+                e, edge.w,
+                channel_delay_key(seed_, channel, channel_sends_[channel]++))
+          : delay_->delay_on(e, edge.w, rng_);
+  require(d >= 0.0 && d <= static_cast<double>(edge.w),
+          "delay model produced delay outside [0, w(e)]");
   double arrival = std::max(now_ + d, last_arrival_[channel]);
   last_arrival_[channel] = arrival;
 
@@ -67,7 +69,7 @@ void Network::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
   if (observer_) observer_->on_send(*this, from, e, cls, d, arrival);
 }
 
-void Network::do_schedule_self(NodeId v, double delay, Message m) {
+void Network::engine_schedule_self(NodeId v, double delay, Message m) {
   require(delay >= 0.0, "self-delivery delay must be non-negative");
   m.from = v;
   m.edge = kNoEdge;
@@ -76,7 +78,7 @@ void Network::do_schedule_self(NodeId v, double delay, Message m) {
   if (observer_) observer_->on_self_schedule(*this, v, delay);
 }
 
-void Network::do_finish(NodeId v) {
+void Network::engine_finish(NodeId v) {
   double& t = finish_time_[static_cast<std::size_t>(v)];
   if (t < 0) {
     t = now_;
@@ -89,7 +91,7 @@ void Network::ensure_started() {
   started_ = true;
   now_ = 0;
   for (NodeId v = 0; v < graph_->node_count(); ++v) {
-    Context ctx(*this, v);
+    Context ctx = make_context(v);
     processes_[static_cast<std::size_t>(v)]->on_start(ctx);
   }
 }
@@ -115,7 +117,7 @@ void Network::deliver(HeapKey key) {
   if (msg.edge != kNoEdge) stats_.completion_time = now_;
   ++stats_.events;
   if (observer_) observer_->on_deliver(*this, to, msg, now_);
-  Context ctx(*this, to);
+  Context ctx = make_context(to);
   processes_[static_cast<std::size_t>(to)]->on_message(ctx, msg);
 }
 

@@ -7,6 +7,10 @@
 // edge e adds w(e) to the communication-cost ledger — the paper's
 // cost-sensitive communication measure — and the run's completion time is
 // the cost-sensitive time measure when the delay model is ExactDelay.
+//
+// Context / Process / the engine interfaces live in sim/engine.h; the
+// Network is the sequential reference implementation of both surfaces
+// (EngineBackend for its processes, ProcessHost for the analysis layer).
 #pragma once
 
 #include <array>
@@ -17,6 +21,7 @@
 
 #include "graph/graph.h"
 #include "sim/delay.h"
+#include "sim/engine.h"
 #include "sim/event_heap.h"
 #include "sim/message.h"
 #include "util/rng.h"
@@ -25,55 +30,6 @@ namespace csca {
 
 class Network;
 
-/// The only window a protocol has onto the world: its own id, the local
-/// clock, the topology, and sends over incident edges. Handed to Process
-/// hooks by the engine; never stored by protocols beyond the call.
-class Context {
- public:
-  NodeId self() const { return self_; }
-  double now() const;
-  const Graph& graph() const;
-
-  std::span<const EdgeId> incident() const {
-    return graph().incident(self_);
-  }
-  NodeId neighbor(EdgeId e) const { return graph().other(e, self_); }
-  Weight edge_weight(EdgeId e) const { return graph().weight(e); }
-
-  /// Sends m to the other endpoint of incident edge e. Costs w(e) in the
-  /// ledger class cls.
-  void send(EdgeId e, Message m, MsgClass cls = MsgClass::kAlgorithm);
-
-  /// Schedules m for delivery to this node itself after `delay` time
-  /// units (>= 0). Local computation is free in the model, so this costs
-  /// nothing in the ledger; it exists so protocols can defer work out of
-  /// the current handler (e.g. the hybrid arbiter's resume).
-  void schedule_self(double delay, Message m);
-
-  /// Marks this node as locally finished (used for termination checks and
-  /// per-node completion times). Idempotent.
-  void finish();
-
- private:
-  friend class Network;
-  Context(Network& net, NodeId self) : net_(&net), self_(self) {}
-  Network* net_;
-  NodeId self_;
-};
-
-/// One per-node protocol instance. Implementations keep all their state as
-/// members and interact exclusively through the Context passed to hooks.
-class Process {
- public:
-  virtual ~Process() = default;
-
-  /// Invoked once at time 0, before any delivery.
-  virtual void on_start(Context&) {}
-
-  /// Invoked for each delivered message.
-  virtual void on_message(Context&, const Message& m) = 0;
-};
-
 /// Passive hook interface for the protocol analysis layer (src/check/).
 /// When attached via Network::set_observer, the engine invokes one hook
 /// per state transition; with no observer attached each hook site costs
@@ -81,6 +37,8 @@ class Process {
 /// transition is applied (counters updated, event queued, finish time
 /// stamped), so checkers can cross-validate the engine's bookkeeping
 /// against their own. See check/invariants.h for the default checker.
+/// Observers are a sequential-engine feature: they receive the Network
+/// mid-step, which has no meaning across the parallel engine's shards.
 class InvariantObserver {
  public:
   virtual ~InvariantObserver() = default;
@@ -105,14 +63,26 @@ class InvariantObserver {
 };
 
 /// Simulation host: graph + processes + event queue + cost ledger.
-class Network {
+class Network : public ProcessHost, private EngineBackend {
  public:
-  using ProcessFactory = std::function<std::unique_ptr<Process>(NodeId)>;
+  using ProcessFactory = csca::ProcessFactory;
 
   /// Builds one process per node via factory. The delay model services
   /// every edge; seed drives all its randomness.
   Network(const Graph& g, const ProcessFactory& factory,
           std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1);
+
+  /// Switches delay draws to the keyed entry point
+  /// (DelayModel::delay_keyed with channel_delay_key(seed, channel,
+  /// count)): each draw becomes a pure function of the run seed, the
+  /// directed channel, and that channel's send count, independent of
+  /// the global interleaving of sends. This is the discipline the
+  /// sharded engine always uses, so a keyed Network is its sequential
+  /// reference for random delay models. Default off: the shared-stream
+  /// discipline below is pinned by the golden-ledger test and stays the
+  /// behaviour of every existing single-threaded experiment. Must be
+  /// called before the first step.
+  void set_keyed_delays(bool on);
 
   /// Runs to quiescence (empty event queue) or until the next pending
   /// event lies beyond max_time. Returns the accumulated ledger. May be
@@ -140,61 +110,41 @@ class Network {
   double now() const { return now_; }
 
   /// Ledger accumulated so far (final after run() returns).
-  const RunStats& stats() const { return stats_; }
+  const RunStats& stats() const override { return stats_; }
 
   /// Peak number of simultaneously pending deliveries so far.
   std::size_t peak_queue_depth() const { return queue_.peak_size(); }
 
-  /// Messages sent over edge e so far (both directions, all classes).
-  /// Lets analyses measure per-link load — e.g. the congestion factor in
-  /// clock synchronizer gamma*, which the paper bounds by the tree
-  /// edge-cover's O(log n) sharing property.
-  std::int64_t edge_message_count(EdgeId e) const {
+  std::int64_t edge_message_count(EdgeId e) const override {
     require(e >= 0 && e < graph_->edge_count(), "edge id out of range");
     const auto i = static_cast<std::size_t>(e);
     return edge_messages_[0][i] + edge_messages_[1][i];
   }
 
-  /// Messages of one ledger class sent over edge e. The paper's
-  /// congestion analyses (gamma* sharing) reason about the protocol's
-  /// own traffic, so per-link measures must not be polluted by
-  /// transformer overhead running on the same network.
-  std::int64_t edge_message_count(EdgeId e, MsgClass cls) const {
+  std::int64_t edge_message_count(EdgeId e, MsgClass cls) const override {
     require(e >= 0 && e < graph_->edge_count(), "edge id out of range");
     return edge_messages_[class_index(cls)][static_cast<std::size_t>(e)];
   }
 
-  /// max over edges of edge_message_count.
-  std::int64_t max_edge_message_count() const;
+  std::int64_t max_edge_message_count() const override;
 
-  /// max over edges of edge_message_count(e, cls).
-  std::int64_t max_edge_message_count(MsgClass cls) const;
+  std::int64_t max_edge_message_count(MsgClass cls) const override;
 
-  /// Post-run access to protocol state, e.g. a computed tree or output.
-  Process& process(NodeId v) {
+  Process& process(NodeId v) override {
     graph_->check_node(v);
     return *processes_[static_cast<std::size_t>(v)];
   }
 
-  template <typename T>
-  T& process_as(NodeId v) {
-    auto* p = dynamic_cast<T*>(&process(v));
-    require(p != nullptr, "process has unexpected concrete type");
-    return *p;
-  }
-
-  const Graph& graph() const { return *graph_; }
-  bool finished(NodeId v) const {
+  const Graph& graph() const override { return *graph_; }
+  bool finished(NodeId v) const override {
     return finish_time_[static_cast<std::size_t>(v)] >= 0;
   }
-  double finish_time(NodeId v) const {
+  double finish_time(NodeId v) const override {
     return finish_time_[static_cast<std::size_t>(v)];
   }
-  /// True iff every node called Context::finish().
-  bool all_finished() const;
+  bool all_finished() const override;
 
-  /// Latest finish() timestamp across nodes; requires all_finished().
-  double last_finish_time() const;
+  double last_finish_time() const override;
 
   /// Attaches a passive observer (nullptr detaches). The observer is
   /// not owned and must outlive the network or be detached first; for
@@ -203,13 +153,11 @@ class Network {
   InvariantObserver* observer() const { return observer_; }
 
  private:
-  friend class Context;
-
   // Pending deliveries are pooled Messages keyed by (arrival, send
   // sequence) — the seq tie-break makes the order total, so delivery
   // order is deterministic FIFO. The 32-bit sequence bounds a single
   // network at 2^32 - 1 sends+self-schedules over its lifetime
-  // (enforced in do_send / do_schedule_self). Arrival time and
+  // (enforced in engine_send / engine_schedule_self). Arrival time and
   // destination are not stored in the node: the time lives in the heap
   // key and the destination is recomputed from the stamped from/edge
   // metadata, keeping each pooled node to one cache line.
@@ -218,9 +166,11 @@ class Network {
     return cls == MsgClass::kAlgorithm ? 0 : 1;
   }
 
-  void do_send(NodeId from, EdgeId e, Message m, MsgClass cls);
-  void do_schedule_self(NodeId v, double delay, Message m);
-  void do_finish(NodeId v);
+  double engine_now() const override { return now_; }
+  const Graph& engine_graph() const override { return *graph_; }
+  void engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) override;
+  void engine_schedule_self(NodeId v, double delay, Message m) override;
+  void engine_finish(NodeId v) override;
   void ensure_started();
   // Pops and delivers the event whose key the caller just peeked.
   void deliver(HeapKey key);
@@ -229,6 +179,7 @@ class Network {
   std::vector<std::unique_ptr<Process>> processes_;
   std::unique_ptr<DelayModel> delay_;
   Rng rng_;
+  std::uint64_t seed_;
   double now_ = 0;
   std::uint32_t seq_ = 0;
   EventHeap<Message> queue_;
@@ -240,6 +191,10 @@ class Network {
   RunStats stats_;
   InvariantObserver* observer_ = nullptr;
   bool started_ = false;
+  // Keyed-draw mode (set_keyed_delays): per-directed-channel send
+  // counts, allocated on enable.
+  bool keyed_delays_ = false;
+  std::vector<std::uint64_t> channel_sends_;
 };
 
 }  // namespace csca

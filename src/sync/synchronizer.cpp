@@ -620,23 +620,41 @@ SynchronizedNetwork::SynchronizedNetwork(
     }
   }
 
-  const auto make = [this, &g, kind, &factory](NodeId v)
-      -> std::unique_ptr<Process> {
+  net_ = std::make_unique<Network>(g, host_factory(factory),
+                                   std::move(delay), seed);
+}
+
+ProcessFactory SynchronizedNetwork::host_factory(
+    const SyncFactory& factory) const {
+  std::shared_ptr<Shared> sh = shared_;
+  return [sh, factory](NodeId v) -> std::unique_ptr<Process> {
     auto sp = factory(v);
     require(sp != nullptr, "sync process factory returned null");
-    switch (kind) {
+    const Graph& g = *sh->g;
+    switch (sh->kind) {
       case SynchronizerKind::kAlpha:
-        return std::make_unique<AlphaHost>(g, v, std::move(sp), *shared_);
+        return std::make_unique<AlphaHost>(g, v, std::move(sp), *sh);
       case SynchronizerKind::kBeta:
-        return std::make_unique<BetaHost>(g, v, std::move(sp), *shared_);
+        return std::make_unique<BetaHost>(g, v, std::move(sp), *sh);
       case SynchronizerKind::kGammaW:
-        return std::make_unique<GammaWHost>(g, v, std::move(sp),
-                                            *shared_);
+        return std::make_unique<GammaWHost>(g, v, std::move(sp), *sh);
     }
     ensure(false, "unreachable synchronizer kind");
     return nullptr;
   };
-  net_ = std::make_unique<Network>(g, make, std::move(delay), seed);
+}
+
+SyncProcess& SynchronizedNetwork::hosted_in(ProcessHost& host, NodeId v) {
+  return dynamic_cast<HostBase&>(host.process(v)).hosted();
+}
+
+bool SynchronizedNetwork::hosted_finished_in(ProcessHost& host, NodeId v) {
+  return dynamic_cast<HostBase&>(host.process(v)).hosted_finished();
+}
+
+std::int64_t SynchronizedNetwork::pulses_executed_in(ProcessHost& host,
+                                                     NodeId v) {
+  return dynamic_cast<HostBase&>(host.process(v)).pulses_executed();
 }
 
 SynchronizedNetwork::~SynchronizedNetwork() = default;

@@ -93,6 +93,21 @@ class SynchronizedNetwork {
     return *p;
   }
 
+  /// A ProcessFactory minting this synchronizer's per-node hosts, for
+  /// running the same hosted execution on a different engine (the
+  /// sharded conservative engine in particular). Captures the shared
+  /// coordination data (beta tree, gamma partitions) by shared_ptr and
+  /// `factory` by value, so the closure outlives this object — but not
+  /// the graph the synchronizer was built on.
+  ProcessFactory host_factory(const SyncFactory& factory) const;
+
+  /// Host-state accessors that work on any ProcessHost whose processes
+  /// came from host_factory() — the parallel analog of hosted() /
+  /// summarize()'s per-node reads.
+  static SyncProcess& hosted_in(ProcessHost& host, NodeId v);
+  static bool hosted_finished_in(ProcessHost& host, NodeId v);
+  static std::int64_t pulses_executed_in(ProcessHost& host, NodeId v);
+
   /// Implementation detail shared between the driver and the per-node
   /// hosts (public so the hosts, internal to the .cpp, can name it).
   struct Shared;

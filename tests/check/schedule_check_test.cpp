@@ -71,13 +71,14 @@ CheckSubject first_probe_subject() {
         return run_checked(
             g, [](NodeId) { return std::make_unique<FirstProbeWins>(); },
             spec,
-            [](Network& net, std::vector<std::string>&) {
+            [](ProcessHost& net, std::vector<std::string>&) {
               const NodeId w =
                   net.process_as<FirstProbeWins>(FirstProbeWins::kCenter)
                       .winner();
               return "winner=" + std::to_string(w);
             });
-      }};
+      },
+      /*run_par=*/nullptr};
 }
 
 // Star: center 0 with two near-tied spokes. Weights 100 vs 101 make the
@@ -134,7 +135,7 @@ TEST(ScheduleCheck, InvariantViolationsAreReportedWithTheirSchedule) {
   const SubjectOutcome out = run_checked(
       g, [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
       bad,
-      [](Network&, std::vector<std::string>&) { return std::string("x"); });
+      [](ProcessHost&, std::vector<std::string>&) { return std::string("x"); });
   EXPECT_TRUE(out.failed);
   EXPECT_NE(out.error.find("delay"), std::string::npos) << out.error;
 }

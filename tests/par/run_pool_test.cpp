@@ -1,0 +1,101 @@
+#include "par/run_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+namespace csca {
+namespace {
+
+TEST(RunPool, RejectsZeroWorkers) {
+  EXPECT_THROW(RunPool(0), std::exception);
+  EXPECT_THROW(RunPool(-3), std::exception);
+}
+
+TEST(RunPool, MapReturnsResultsInSubmissionOrder) {
+  RunPool pool(4);
+  const auto out =
+      pool.map(100, [](std::size_t i) { return static_cast<int>(i) * 3; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+// The harness contract: result order tracks submission, not completion.
+// Make the first job adversarially slow and prove both halves — the
+// results came back in submission order AND the slow job genuinely
+// finished last.
+TEST(RunPool, SubmissionOrderHoldsUnderAdversariallySlowFirstJob) {
+  RunPool pool(4);
+  std::atomic<int> finish_counter{0};
+  std::vector<int> finish_rank(8, -1);
+  const auto out = pool.map(8, [&](std::size_t i) {
+    if (i == 0) {
+      // Long enough that every other job (trivial) completes first even
+      // on a single hardware core with the pool's 4 workers.
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    finish_rank[i] = finish_counter.fetch_add(1);
+    return static_cast<int>(i) + 1000;
+  });
+  ASSERT_EQ(out.size(), 8u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) + 1000)
+        << "slot " << i << " must hold job " << i << "'s result";
+  }
+  EXPECT_GT(finish_rank[0], 0)
+      << "the adversarially slow first job should not finish first; "
+         "otherwise this test proves nothing about ordering";
+}
+
+TEST(RunPool, EarliestSubmittedExceptionWins) {
+  RunPool pool(4);
+  // Jobs 2 and 5 both throw; job 2 sleeps so it *completes* after job 5.
+  // The rethrown error must still be job 2's (submission order), making
+  // sweep failures reproducible at any thread count.
+  try {
+    pool.run_indexed(8, [](std::size_t i) {
+      if (i == 2) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        throw std::runtime_error("boom-2");
+      }
+      if (i == 5) throw std::runtime_error("boom-5");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom-2");
+  }
+}
+
+TEST(RunPool, ReusableAcrossBatches) {
+  RunPool pool(2);
+  long total = 0;
+  for (int batch = 0; batch < 50; ++batch) {
+    const auto out = pool.map(
+        16, [batch](std::size_t i) { return batch + static_cast<int>(i); });
+    total += std::accumulate(out.begin(), out.end(), 0L);
+  }
+  // sum over batches of sum_i (batch + i) = 50*120 + (0+..+49)*16
+  EXPECT_EQ(total, 50L * 120 + 1225L * 16);
+}
+
+TEST(RunPool, WaitAllOnIdlePoolReturnsImmediately) {
+  RunPool pool(2);
+  pool.wait_all();
+  EXPECT_EQ(pool.thread_count(), 2);
+}
+
+TEST(RunPool, SingleWorkerPoolRunsEverything) {
+  RunPool pool(1);
+  std::atomic<int> count{0};
+  pool.run_indexed(32, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 32);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,104 @@
+#include "par/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+void expect_valid(const ShardPartition& p, const Graph& g, int k) {
+  EXPECT_GE(p.shards, 1);
+  EXPECT_LE(p.shards, std::max(1, std::min(k, g.node_count())));
+  ASSERT_EQ(p.shard_of.size(), static_cast<std::size_t>(g.node_count()));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(p.shard(v), 0);
+    EXPECT_LT(p.shard(v), p.shards);
+  }
+  const auto sizes = p.sizes();
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    EXPECT_GT(sizes[s], 0) << "shard " << s << " is empty";
+  }
+}
+
+TEST(ShardPartition, RejectsNonPositiveK) {
+  Rng rng(1);
+  const Graph g = path_graph(4, WeightSpec::constant(1), rng);
+  EXPECT_THROW(partition_shards(g, 0), std::exception);
+}
+
+TEST(ShardPartition, SingleShardTakesEverything) {
+  Rng rng(2);
+  const Graph g = connected_gnp(12, 0.4, WeightSpec::uniform(1, 9), rng);
+  const ShardPartition p = partition_shards(g, 1);
+  expect_valid(p, g, 1);
+  EXPECT_EQ(p.shards, 1);
+}
+
+TEST(ShardPartition, KLargerThanNodeCountCapsAtN) {
+  Rng rng(3);
+  const Graph g = path_graph(5, WeightSpec::constant(2), rng);
+  const ShardPartition p = partition_shards(g, 64);
+  expect_valid(p, g, 64);
+  EXPECT_EQ(p.shards, 5);
+}
+
+TEST(ShardPartition, BalancedToCeilTarget) {
+  Rng rng(4);
+  const Graph g = grid_graph(6, 6, WeightSpec::uniform(1, 8), rng);
+  for (int k : {2, 3, 4, 5}) {
+    const ShardPartition p = partition_shards(g, k);
+    expect_valid(p, g, k);
+    const int target = (g.node_count() + k - 1) / k;
+    for (int size : p.sizes()) EXPECT_LE(size, target);
+  }
+}
+
+TEST(ShardPartition, DeterministicAcrossCalls) {
+  Rng rng(5);
+  const Graph g = connected_gnp(20, 0.25, WeightSpec::uniform(1, 12), rng);
+  const ShardPartition a = partition_shards(g, 4);
+  const ShardPartition b = partition_shards(g, 4);
+  EXPECT_EQ(a.shard_of, b.shard_of);
+}
+
+TEST(ShardPartition, DisconnectedGraphStaysWithinK) {
+  // Many components, few shards: the grower must reseed within a shard
+  // instead of opening a new shard per component.
+  Graph g(9);  // 4 isolated pairs + 1 singleton, no edges between them
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(4, 5, 1);
+  g.add_edge(6, 7, 1);
+  const ShardPartition p = partition_shards(g, 2);
+  expect_valid(p, g, 2);
+  EXPECT_LE(p.shards, 2);
+}
+
+TEST(ShardPartition, HeavyEdgesPreferentiallyInternal) {
+  // A dumbbell: two heavy cliques joined by a light bridge. At k=2 the
+  // weighted-greedy growth should cut the bridge, not a clique.
+  Graph g(8);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = u + 1; v < 4; ++v) g.add_edge(u, v, 100);
+  }
+  for (NodeId u = 4; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) g.add_edge(u, v, 100);
+  }
+  g.add_edge(3, 4, 1);  // light bridge
+  const ShardPartition p = partition_shards(g, 2);
+  expect_valid(p, g, 2);
+  ASSERT_EQ(p.shards, 2);
+  EXPECT_EQ(p.shard(0), p.shard(1));
+  EXPECT_EQ(p.shard(0), p.shard(2));
+  EXPECT_EQ(p.shard(0), p.shard(3));
+  EXPECT_EQ(p.shard(4), p.shard(5));
+  EXPECT_EQ(p.shard(4), p.shard(6));
+  EXPECT_EQ(p.shard(4), p.shard(7));
+  EXPECT_NE(p.shard(0), p.shard(4));
+}
+
+}  // namespace
+}  // namespace csca

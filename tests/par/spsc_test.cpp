@@ -1,0 +1,69 @@
+#include "par/spsc.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace csca {
+namespace {
+
+TEST(SpscChannel, EmptyPopsNothing) {
+  SpscChannel<int> ch;
+  int out = -1;
+  EXPECT_TRUE(ch.empty());
+  EXPECT_FALSE(ch.pop(out));
+  EXPECT_EQ(out, -1);
+}
+
+TEST(SpscChannel, FifoWithinOneThread) {
+  SpscChannel<int> ch;
+  for (int i = 0; i < 100; ++i) ch.push(i);
+  EXPECT_FALSE(ch.empty());
+  for (int i = 0; i < 100; ++i) {
+    int out = -1;
+    ASSERT_TRUE(ch.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(ch.empty());
+}
+
+TEST(SpscChannel, DrainConsumesInPushOrder) {
+  SpscChannel<int> ch;
+  for (int i = 0; i < 10; ++i) ch.push(i * i);
+  std::vector<int> seen;
+  const std::size_t n = ch.drain([&](int&& v) { seen.push_back(v); });
+  EXPECT_EQ(n, 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(SpscChannel, DestructionDropsUnconsumedElements) {
+  // No leak under ASan: elements still queued when the channel dies.
+  SpscChannel<std::vector<int>> ch;
+  ch.push(std::vector<int>(1000, 7));
+  ch.push(std::vector<int>(1000, 8));
+}
+
+// Fully concurrent producer/consumer: the consumer must observe every
+// element exactly once, in push order, with the payload intact. Run
+// under TSan by tools/check.sh.
+TEST(SpscChannel, ConcurrentPushPopPreservesOrder) {
+  constexpr int kCount = 20000;
+  SpscChannel<std::pair<int, int>> ch;
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) ch.push({i, i ^ 0x5a5a});
+  });
+  int expected = 0;
+  while (expected < kCount) {
+    std::pair<int, int> out;
+    if (!ch.pop(out)) continue;
+    ASSERT_EQ(out.first, expected);
+    ASSERT_EQ(out.second, expected ^ 0x5a5a);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(ch.empty());
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,23 +1,37 @@
 #!/usr/bin/env bash
 # Full verification gate: tier-1 suite with warnings promoted to errors,
-# the same suite under ASan+UBSan, the lint pass, and the engine bench in
-# smoke mode. The protocol-analysis sweep (csca_check --smoke) runs as a
-# ctest entry in both configurations.
+# the same suite under ASan+UBSan, the parallel suite under TSan, the
+# lint pass, and the engine bench in smoke mode. The protocol-analysis
+# sweep (csca_check --smoke) runs as a ctest entry in both
+# configurations, then again here sequentially vs parallelized to show
+# the multi-run harness wall-clock side by side.
 #
-# Usage: tools/check.sh [--no-sanitize] [--no-lint]   (from the repo root)
+# Usage: tools/check.sh [--jobs N] [--no-sanitize] [--no-tsan] [--no-lint]
+# (from the repo root). --jobs caps build parallelism and is forwarded
+# to csca_check --jobs for the harness timing comparison.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_SANITIZE=1
+RUN_TSAN=1
 RUN_LINT=1
-for arg in "$@"; do
-  case "$arg" in
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs) shift
+            [[ $# -gt 0 && "$1" =~ ^[0-9]+$ && "$1" -ge 1 ]] || {
+              echo "check.sh: --jobs needs a positive integer" >&2; exit 2; }
+            JOBS="$1" ;;
+    --jobs=*) JOBS="${1#--jobs=}"
+              [[ "$JOBS" =~ ^[0-9]+$ && "$JOBS" -ge 1 ]] || {
+                echo "check.sh: --jobs needs a positive integer" >&2; exit 2; } ;;
     --no-sanitize) RUN_SANITIZE=0 ;;
+    --no-tsan) RUN_TSAN=0 ;;
     --no-lint) RUN_LINT=0 ;;
-    *) echo "usage: tools/check.sh [--no-sanitize] [--no-lint]" >&2
+    *) echo "usage: tools/check.sh [--jobs N] [--no-sanitize] [--no-tsan] [--no-lint]" >&2
        exit 2 ;;
   esac
+  shift
 done
 
 echo "== tier-1: plain build (-Werror) =="
@@ -25,11 +39,34 @@ cmake -B build -S . -DCSCA_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== protocol sweep: sequential vs multi-run harness (--jobs $JOBS) =="
+./build/tools/csca_check --smoke
+./build/tools/csca_check --smoke --jobs="$JOBS"
+./build/tools/csca_check --smoke --shards=2
+
 if [[ "$RUN_SANITIZE" == 1 ]]; then
   echo "== tier-1: ASan+UBSan build =="
   cmake -B build-asan -S . -DCSCA_SANITIZE=ON -DCSCA_WERROR=ON >/dev/null
   cmake --build build-asan -j "$JOBS"
   ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  # TSan needs compiler/runtime support (libtsan); probe before
+  # configuring so unsupported toolchains skip with a notice instead of
+  # failing the gate.
+  if echo 'int main(){return 0;}' | c++ -fsanitize=thread -x c++ - \
+       -o /tmp/csca_tsan_probe.$$ 2>/dev/null \
+     && /tmp/csca_tsan_probe.$$ 2>/dev/null; then
+    rm -f /tmp/csca_tsan_probe.$$
+    echo "== parallel suite: TSan build (par_test) =="
+    cmake -B build-tsan -S . -DCSCA_TSAN=ON -DCSCA_WERROR=ON >/dev/null
+    cmake --build build-tsan -j "$JOBS" --target par_test
+    ./build-tsan/tests/par_test
+  else
+    rm -f /tmp/csca_tsan_probe.$$
+    echo "== parallel suite: TSan SKIPPED (toolchain lacks -fsanitize=thread support) =="
+  fi
 fi
 
 if [[ "$RUN_LINT" == 1 ]]; then
@@ -42,6 +79,7 @@ if [[ "$RUN_LINT" == 1 ]]; then
 fi
 
 echo "== engine bench (smoke) =="
-./build/bench/bench_engine --smoke --out=build/BENCH_engine.json
+./build/bench/bench_engine --smoke --out=build/BENCH_engine.json \
+  --par-out=build/BENCH_parallel.json
 
 echo "check.sh: all gates passed"

@@ -4,64 +4,42 @@
 // divergences, and errors. Exits nonzero on any finding.
 //
 // Usage:
-//   csca_check [--smoke] [--subject=NAME] [--family=NAME] [--list] [-v]
+//   csca_check [--smoke] [--subject=NAME] [--family=NAME]
+//              [--jobs=N] [--shards=K] [--list] [-v]
 //
 //   --smoke          tiny graphs (the ctest gate; seconds, ASan-safe)
 //   --subject=NAME   only the named subject (see --list)
 //   --family=NAME    only the named graph family
+//   --jobs=N         run (subject, family) sweeps on N worker threads;
+//                    output and exit code are identical to --jobs=1
+//                    (results merge in submission order)
+//   --shards=K       replay subjects on the sharded conservative engine
+//                    with K shards instead of the sequential engine
 //   --list           print subjects and families, run nothing
 //   -v               per-(subject, family) digest lines even when clean
 //
 // A reported finding names its (subject, family, schedule, seed)
 // quadruple; re-running with --subject/--family filters replays it
-// exactly (schedules are deterministic given name + seed). See
-// docs/checking.md.
+// exactly (schedules are deterministic given name + seed, and each
+// sweep is self-contained, so --jobs never changes what a run sees).
+// See docs/checking.md and docs/parallel.md.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "check/subjects.h"
-#include "graph/generators.h"
+#include "par/run_pool.h"
 
 using namespace csca;
 
 namespace {
 
-struct Family {
-  std::string name;
-  Graph graph;
-};
-
-// The sweep's graph families. Weights mix constant, uniform and
-// power-of-two specs so in-synch protocols and the gamma_w partition
-// see non-trivial weight structure. Sizes are small: the sweep runs
-// |subjects| x |families| x |portfolio| full protocol executions.
-std::vector<Family> make_families(bool smoke) {
-  Rng rng(2026);
-  std::vector<Family> out;
-  if (smoke) {
-    out.push_back({"path6", path_graph(6, WeightSpec::uniform(1, 8), rng)});
-    out.push_back(
-        {"grid2x3", grid_graph(2, 3, WeightSpec::power_of_two(0, 3), rng)});
-    out.push_back(
-        {"gnp8", connected_gnp(8, 0.4, WeightSpec::uniform(1, 6), rng)});
-    return out;
-  }
-  out.push_back({"path16", path_graph(16, WeightSpec::uniform(1, 9), rng)});
-  out.push_back(
-      {"grid4x5", grid_graph(4, 5, WeightSpec::power_of_two(0, 4), rng)});
-  out.push_back(
-      {"gnp14", connected_gnp(14, 0.3, WeightSpec::uniform(1, 12), rng)});
-  out.push_back({"geo12", random_geometric(12, 0.5, 8, rng)});
-  out.push_back({"lower8", lower_bound_family(8, 2)});
-  return out;
-}
-
 int usage() {
   std::fprintf(stderr,
                "usage: csca_check [--smoke] [--subject=NAME] "
-               "[--family=NAME] [--list] [-v]\n");
+               "[--family=NAME] [--jobs=N] [--shards=K] [--list] [-v]\n");
   return 2;
 }
 
@@ -71,6 +49,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool list = false;
   bool verbose = false;
+  int jobs = 1;
+  int shards = 0;
   std::string only_subject;
   std::string only_family;
   for (int i = 1; i < argc; ++i) {
@@ -85,6 +65,12 @@ int main(int argc, char** argv) {
       only_subject = arg.substr(std::strlen("--subject="));
     } else if (arg.rfind("--family=", 0) == 0) {
       only_family = arg.substr(std::strlen("--family="));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + std::strlen("--jobs="));
+      if (jobs < 1) return usage();
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      shards = std::atoi(arg.c_str() + std::strlen("--shards="));
+      if (shards < 1) return usage();
     } else {
       return usage();
     }
@@ -92,7 +78,7 @@ int main(int argc, char** argv) {
 
   try {
     const std::vector<CheckSubject> subjects = builtin_subjects();
-    const std::vector<Family> families = make_families(smoke);
+    const std::vector<GraphFamily> families = builtin_families(smoke);
     const std::vector<ScheduleSpec> portfolio = default_portfolio();
 
     if (list) {
@@ -106,31 +92,61 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    int runs = 0;
-    int sweeps = 0;
-    std::vector<CheckFinding> findings;
+    // Materialize the work list up front; each sweep is independent, so
+    // the pool runs them in any order while map() hands the reports
+    // back in submission order — byte-identical output at every N.
+    struct Sweep {
+      const CheckSubject* subject;
+      const GraphFamily* family;
+    };
+    std::vector<Sweep> sweeps;
     for (const CheckSubject& subject : subjects) {
       if (!only_subject.empty() && subject.name != only_subject) continue;
-      for (const Family& family : families) {
+      for (const GraphFamily& family : families) {
         if (!only_family.empty() && family.name != only_family) continue;
-        const ScheduleCheckReport report =
-            check_subject(subject, family.graph, family.name, portfolio);
-        runs += report.runs;
-        ++sweeps;
-        if (verbose || !report.ok()) {
-          std::printf("%-10s %-8s %-3d schedules  %s  %s\n",
-                      subject.name.c_str(), family.name.c_str(),
-                      report.runs, report.ok() ? "ok " : "FAIL",
-                      report.reference_digest.c_str());
-        }
-        findings.insert(findings.end(), report.findings.begin(),
-                        report.findings.end());
+        sweeps.push_back({&subject, &family});
       }
     }
-    if (sweeps == 0) {
+    if (sweeps.empty()) {
       std::fprintf(stderr, "csca_check: no (subject, family) matched "
                            "the filters\n");
       return 2;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<ScheduleCheckReport> reports;
+    if (jobs == 1) {
+      reports.reserve(sweeps.size());
+      for (const Sweep& s : sweeps) {
+        reports.push_back(check_subject(*s.subject, s.family->graph,
+                                        s.family->name, portfolio, shards));
+      }
+    } else {
+      RunPool pool(jobs);
+      reports = pool.map(sweeps.size(), [&](std::size_t i) {
+        const Sweep& s = sweeps[i];
+        return check_subject(*s.subject, s.family->graph, s.family->name,
+                             portfolio, shards);
+      });
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    int runs = 0;
+    std::vector<CheckFinding> findings;
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      const Sweep& s = sweeps[i];
+      const ScheduleCheckReport& report = reports[i];
+      runs += report.runs;
+      if (verbose || !report.ok()) {
+        std::printf("%-10s %-8s %-3d schedules  %s  %s\n",
+                    s.subject->name.c_str(), s.family->name.c_str(),
+                    report.runs, report.ok() ? "ok " : "FAIL",
+                    report.reference_digest.c_str());
+      }
+      findings.insert(findings.end(), report.findings.begin(),
+                      report.findings.end());
     }
 
     for (const CheckFinding& f : findings) {
@@ -141,10 +157,13 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(f.seed),
                   f.detail.c_str());
     }
-    std::printf("csca_check: %d runs (%d sweeps x %zu schedules), "
-                "%zu finding(s)%s\n",
-                runs, sweeps, portfolio.size(), findings.size(),
-                findings.empty() ? " -- all clean" : "");
+    const std::string engine_note =
+        shards > 0 ? ", " + std::to_string(shards) + " shards" : "";
+    std::printf("csca_check: %d runs (%zu sweeps x %zu schedules%s), "
+                "%zu finding(s)%s [%d job(s), %.2fs]\n",
+                runs, sweeps.size(), portfolio.size(), engine_note.c_str(),
+                findings.size(), findings.empty() ? " -- all clean" : "",
+                jobs, wall);
     return findings.empty() ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "csca_check: error: %s\n", e.what());
