@@ -1,83 +1,9 @@
-// §3 (clock synchronization): measured pulse delay of alpha*, beta*,
-// gamma* on networks where d << W — the regime the section is about.
-//
-//   alpha*: pulse delay Theta(W)          (stalls on the heavy chords)
-//   beta*:  pulse delay Theta(tree depth) (>= script-D)
-//   gamma*: pulse delay O(d log^2 n)      (the §3 headline)
-//
-// gap_over_d and gap_over_W are the shape columns: gamma*'s gap_over_W
-// collapses as W grows while alpha*'s stays ~1.
-#include <cmath>
-
-#include "../bench/common.h"
-#include "graph/shortest_paths.h"
-#include "partition/tree_edge_cover.h"
-#include "sync/clock_sync.h"
-
-namespace csca::bench {
-namespace {
-
-Graph chord_graph(int n, Weight heavy) {
-  Graph g(n);
-  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 2);
-  g.add_edge(0, n - 1, heavy);
-  g.add_edge(1, n / 2, heavy);
-  g.add_edge(2, (3 * n) / 4, heavy / 2);
-  return g;
-}
-
-void BM_ClockSync(benchmark::State& state, const std::string& algo,
-                  int n, Weight heavy) {
-  const Graph g = chord_graph(n, heavy);
-  const auto m = measure(g);
-  const int pulses = 8;
-  ClockSyncRun run;
-  for (auto _ : state) {
-    if (algo == "alpha") {
-      run = run_clock_alpha(g, pulses, make_exact_delay());
-    } else if (algo == "beta") {
-      const auto tree = dijkstra(g, 0).tree(g);
-      run = run_clock_beta(g, tree, pulses, make_exact_delay());
-    } else {
-      const auto cover = build_tree_edge_cover(g);
-      run = run_clock_gamma(g, cover, pulses, make_exact_delay());
-    }
-  }
-  const double logn = std::log2(m.n + 2);
-  state.counters["n"] = static_cast<double>(m.n);
-  state.counters["W"] = static_cast<double>(m.W);
-  state.counters["d"] = static_cast<double>(m.d);
-  state.counters["max_gap"] = run.max_gap;
-  state.counters["mean_gap"] = run.mean_gap;
-  state.counters["gap_over_d"] =
-      run.max_gap / static_cast<double>(m.d);
-  state.counters["gap_over_W"] =
-      run.max_gap / static_cast<double>(m.W);
-  state.counters["gap_over_dlog2n"] =
-      run.max_gap / (static_cast<double>(m.d) * logn * logn);
-  state.counters["cost_per_pulse"] = run.cost_per_pulse;
-}
-
-void register_all() {
-  for (Weight heavy : {64, 256, 1024, 4096}) {
-    for (const std::string algo : {"alpha", "beta", "gamma"}) {
-      benchmark::RegisterBenchmark(
-          ("clock_sync/" + algo + "/W=" + std::to_string(heavy)).c_str(),
-          [algo, heavy](benchmark::State& s) {
-            BM_ClockSync(s, algo, 24, heavy);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Section 3: clock synchronization (alpha*, beta*, gamma*) on networks
+// where d << W. Rows and bounds live in
+// src/bench_harness/tables/s3_clock_sync.cpp; this binary selects table
+// S3 (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"S3"}, argc, argv);
 }

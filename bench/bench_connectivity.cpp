@@ -1,75 +1,9 @@
-// Figure 2: connectivity / spanning tree algorithms.
-//
-//   DFS        O(script-E) comm, O(script-E) time
-//   CON_flood  O(script-E) comm, O(script-D) time
-//   CON_hybrid O(min{script-E, n script-V}) comm
-//   lower bound Omega(min{script-E, n script-V})
-//
-// The cost_over_bound counter divides the measured communication by the
-// row's claimed bound; it should stay a small constant across families —
-// including the Figure 7 lower-bound family, where script-E explodes and
-// only CON_hybrid stays near n * script-V.
-#include "../bench/common.h"
-#include "conn/dfs.h"
-#include "conn/flood.h"
-#include "conn/hybrid.h"
-#include "conn/mst_centr.h"
-
-namespace csca::bench {
-namespace {
-
-void BM_Connectivity(benchmark::State& state, const std::string& algo,
-                     const std::string& family, int n) {
-  const Graph g = make_graph(family, n, 42);
-  const auto m = measure(g);
-  RunStats stats;
-  for (auto _ : state) {
-    if (algo == "flood") {
-      stats = run_flood(g, 0, make_exact_delay()).stats;
-    } else if (algo == "dfs") {
-      stats = run_dfs(g, 0, make_exact_delay()).stats;
-    } else if (algo == "mst_centr") {
-      stats = run_mst_centr(g, 0, make_exact_delay()).stats;
-    } else {
-      stats = run_con_hybrid(g, 0, make_exact_delay()).stats;
-    }
-  }
-  report(state, m, stats);
-  const double e = static_cast<double>(m.comm_E);
-  const double nv = static_cast<double>(m.n) *
-                    static_cast<double>(m.comm_V);
-  double bound = e;  // flood, dfs
-  if (algo == "mst_centr") bound = nv;
-  if (algo == "hybrid") bound = std::min(e, nv);
-  state.counters["bound"] = bound;
-  state.counters["cost_over_bound"] =
-      static_cast<double>(stats.total_cost()) / bound;
-  state.counters["min_E_nV"] = std::min(e, nv);
-}
-
-void register_all() {
-  for (const std::string family :
-       {"gnp", "geometric", "lower_bound"}) {
-    const int n = family == "lower_bound" ? 33 : 48;
-    for (const std::string algo :
-         {"dfs", "flood", "mst_centr", "hybrid"}) {
-      benchmark::RegisterBenchmark(
-          ("connectivity/" + algo + "/" + family).c_str(),
-          [algo, family, n](benchmark::State& s) {
-            BM_Connectivity(s, algo, family, n);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Figure 2: connectivity / spanning tree algorithms (DFS, CON_flood,
+// MST_centr, CON_hybrid). Rows and bounds live in
+// src/bench_harness/tables/f2_connectivity.cpp; this binary selects
+// table F2 (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"F2"}, argc, argv);
 }

@@ -1,100 +1,9 @@
-// Corollary 5.1: controller overhead c_phi = O(c_pi log^2 c_pi), and
-// containment of diverged protocols.
-//
-// Rows sweep the network size (hence c_pi) for the well-behaved
-// broadcast-echo (overhead_over_bound should stay a flat small constant)
-// and run the runaway spammer under a fixed budget (contained spending
-// vs. the uncontrolled explosion).
-#include <cmath>
-
-#include "../bench/common.h"
-#include "control/controller.h"
-#include "control/protocols.h"
-
-namespace csca::bench {
-namespace {
-
-void BM_ControlledEcho(benchmark::State& state, bool aggregate, int n) {
-  const Graph g = make_graph("gnp", n, 42);
-  const auto m = measure(g);
-  const Weight c_pi = 4 * g.total_weight();
-  ControlledRun run;
-  for (auto _ : state) {
-    run = run_controlled(
-        g, [](NodeId v) { return std::make_unique<BroadcastEcho>(v); },
-        0, ControllerConfig{2 * c_pi, aggregate}, make_exact_delay());
-  }
-  const double log_c = std::log2(static_cast<double>(c_pi) + 2);
-  report(state, m, run.stats);
-  state.counters["c_pi_bound"] = static_cast<double>(c_pi);
-  state.counters["control_cost"] =
-      static_cast<double>(run.stats.control_cost);
-  state.counters["overhead_over_bound"] =
-      static_cast<double>(run.stats.control_cost) /
-      (static_cast<double>(c_pi) * log_c * log_c);
-  state.counters["exhausted"] = run.exhausted ? 1 : 0;
-}
-
-void BM_Runaway(benchmark::State& state, bool controlled) {
-  const Graph g = make_graph("gnp", 16, 42);
-  const Weight budget = 2000;
-  RunStats stats;
-  bool exhausted = false;
-  for (auto _ : state) {
-    if (controlled) {
-      const auto run = run_controlled(
-          g, [](NodeId) { return std::make_unique<RunawaySpammer>(); },
-          0, ControllerConfig{budget, true}, make_exact_delay());
-      stats = run.stats;
-      exhausted = run.exhausted;
-    } else {
-      const auto run = run_uncontrolled(
-          g, [](NodeId) { return std::make_unique<RunawaySpammer>(); },
-          0, make_exact_delay(), 1, /*max_time=*/3000.0);
-      stats = run.stats;
-    }
-  }
-  state.counters["budget"] = static_cast<double>(budget);
-  state.counters["protocol_cost"] =
-      static_cast<double>(stats.algorithm_cost);
-  state.counters["control_cost"] =
-      static_cast<double>(stats.control_cost);
-  state.counters["exhausted"] = exhausted ? 1 : 0;
-}
-
-void register_all() {
-  for (int n : {12, 24, 48}) {
-    for (bool aggregate : {false, true}) {
-      benchmark::RegisterBenchmark(
-          (std::string("controller/echo/") +
-           (aggregate ? "aggregating" : "naive") + "/n=" +
-           std::to_string(n))
-              .c_str(),
-          [aggregate, n](benchmark::State& s) {
-            BM_ControlledEcho(s, aggregate, n);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-  benchmark::RegisterBenchmark(
-      "controller/runaway/contained",
-      [](benchmark::State& s) { BM_Runaway(s, true); })
-      ->Iterations(1)
-      ->Unit(benchmark::kMillisecond);
-  benchmark::RegisterBenchmark(
-      "controller/runaway/uncontrolled_3000_time_units",
-      [](benchmark::State& s) { BM_Runaway(s, false); })
-      ->Iterations(1)
-      ->Unit(benchmark::kMillisecond);
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Corollary 5.1: controller overhead and containment of diverged
+// protocols. Rows and bounds live in
+// src/bench_harness/tables/s5_controller.cpp; this binary selects table
+// S5 (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"S5"}, argc, argv);
 }

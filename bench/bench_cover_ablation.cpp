@@ -1,86 +1,9 @@
-// Ablation for the [AP91] Theorem 1.1 substitution (DESIGN.md): the
-// greedy cluster-merging coarsening guarantees subsumption and the
-// (2k-1) radius bound by construction; the max-degree property is the
-// one we measure instead of prove. This bench sweeps k and reports
-//   rad_slack    = Rad(T) / ((2k-1) Rad(S))        (must be <= 1)
-//   degree_norm  = Delta(T) / (k |S|^{1/k})        (Thm 1.1(3) shape)
-//   clusters     = |T|
-// plus the induced tree-edge-cover's Def. 3.1 measurements (max depth
-// over d log n, max edge sharing over log n).
-#include <cmath>
-
-#include "../bench/common.h"
-#include "partition/cover.h"
-#include "partition/tree_edge_cover.h"
-
-namespace csca::bench {
-namespace {
-
-void BM_Coarsen(benchmark::State& state, const std::string& family, int n,
-                int k) {
-  const Graph g = make_graph(family, n, 42);
-  const Cover s = neighborhood_path_cover(g);
-  Cover t;
-  for (auto _ : state) {
-    t = coarsen(g, s, k);
-  }
-  const double rs = static_cast<double>(
-      std::max<Weight>(1, cover_radius(g, s)));
-  const double rt = static_cast<double>(cover_radius(g, t));
-  const double deg = cover_max_degree(g, t);
-  state.counters["k"] = k;
-  state.counters["initial_clusters"] = s.size();
-  state.counters["clusters"] = t.size();
-  state.counters["rad_S"] = rs;
-  state.counters["rad_T"] = rt;
-  state.counters["rad_slack"] = rt / ((2.0 * k - 1.0) * rs);
-  state.counters["max_degree"] = deg;
-  state.counters["degree_norm"] =
-      deg / (k * std::pow(static_cast<double>(s.size()), 1.0 / k));
-}
-
-void BM_TreeEdgeCover(benchmark::State& state, const std::string& family,
-                      int n) {
-  const Graph g = make_graph(family, n, 42);
-  const auto m = measure(g);
-  TreeEdgeCover tec;
-  for (auto _ : state) {
-    tec = build_tree_edge_cover(g);
-  }
-  const double logn = std::log2(n + 2);
-  state.counters["trees"] = tec.size();
-  state.counters["depth_over_dlogn"] =
-      static_cast<double>(max_tree_depth(g, tec)) /
-      (static_cast<double>(m.d) * logn);
-  state.counters["sharing_over_logn"] =
-      static_cast<double>(max_tree_edge_sharing(g, tec)) / logn;
-}
-
-void register_all() {
-  for (const std::string family : {"gnp", "grid", "heavy_chords"}) {
-    for (int k : {1, 2, 3, 5, 8}) {
-      benchmark::RegisterBenchmark(
-          ("coarsen/" + family + "/k=" + std::to_string(k)).c_str(),
-          [family, k](benchmark::State& s) {
-            BM_Coarsen(s, family, 32, k);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-    benchmark::RegisterBenchmark(
-        ("tree_edge_cover/" + family).c_str(),
-        [family](benchmark::State& s) { BM_TreeEdgeCover(s, family, 32); })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// DESIGN.md ablation for the [AP91] Thm 1.1 substitution: cover
+// coarsening radius/degree and the tree-edge-cover measurements. Rows
+// and bounds live in src/bench_harness/tables/a1_cover.cpp; this binary
+// selects table A1 (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"A1"}, argc, argv);
 }

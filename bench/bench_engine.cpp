@@ -14,7 +14,12 @@
 //   * sync_flood: the storm on the weighted synchronous engine.
 //
 // Prints one row per workload and writes a machine-readable
-// BENCH_engine.json so the perf trajectory is tracked PR over PR.
+// BENCH_engine.json so the perf trajectory is tracked PR over PR. The
+// workload rows run through the shared bench_harness SweepRunner (pinned
+// to jobs=1 — these rows time wall-clock, so running them concurrently
+// would corrupt the measurement) and render with the common BENCH json
+// schema; this table is deliberately NOT in builtin_tables(), because
+// its wall-clock fields are outside the byte-identical JSON contract.
 //
 // Usage: bench_engine [--smoke] [--out=PATH]
 //   --smoke     tiny inputs (~10^4 events/row); used by tools/check.sh
@@ -34,6 +39,8 @@
 #include <tuple>
 #include <vector>
 
+#include "bench_harness/json.h"
+#include "bench_harness/sweep.h"
 #include "graph/generators.h"
 #include "par/run_pool.h"
 #include "par/shard_engine.h"
@@ -263,29 +270,59 @@ Row sync_flood_grid(const std::string& name, int side, std::int64_t ttl) {
   return timed(name, "grid", side * side, eng, [&] { return eng.run(); });
 }
 
-void write_json(const std::string& path, const std::vector<Row>& rows,
-                bool smoke) {
-  std::ofstream out(path);
-  if (!out) {
-    std::fprintf(stderr, "bench_engine: cannot write %s\n", path.c_str());
-    return;
+// Runs the workload named by spec.algo and reports it as a harness row
+// (metrics only, no bound checks — throughput has no paper claim).
+bench::RowResult run_workload(const bench::RowSpec& spec) {
+  Row row;
+  if (spec.algo == "flood_grid_10k") {
+    row = flood_grid(spec.algo, 16, 7, /*with_baseline=*/true);
+  } else if (spec.algo == "ping_ring_10k") {
+    row = ping_ring(spec.algo, 128, 8, 10);
+  } else if (spec.algo == "sync_flood_10k") {
+    row = sync_flood_grid(spec.algo, 16, 7);
+  } else if (spec.algo == "flood_grid_100k") {
+    row = flood_grid(spec.algo, 32, 8);
+  } else if (spec.algo == "flood_grid_1M") {
+    row = flood_grid(spec.algo, 64, 11, /*with_baseline=*/true);
+  } else if (spec.algo == "flood_gnp_2M") {
+    row = flood_gnp(spec.algo, 256, 3);
+  } else if (spec.algo == "ping_ring_1M") {
+    row = ping_ring(spec.algo, 1024, 32, 30);
+  } else if (spec.algo == "ping_ring_10M") {
+    row = ping_ring(spec.algo, 1024, 64, 150);
+  } else {
+    require(spec.algo == "sync_flood_1M",
+            "bench_engine: unknown workload " + spec.algo);
+    row = sync_flood_grid(spec.algo, 64, 11);
   }
-  out << "{\n  \"bench\": \"engine_throughput\",\n  \"smoke\": "
-      << (smoke ? "true" : "false") << ",\n  \"workloads\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    out << "    {\"workload\": \"" << r.workload << "\", \"family\": \""
-        << r.family << "\", \"n\": " << r.n << ", \"events\": " << r.events
-        << ", \"seconds\": " << r.seconds
-        << ", \"events_per_sec\": " << r.events_per_sec
-        << ", \"peak_queue_depth\": " << r.peak_queue_depth;
-    if (r.speedup_vs_seed > 0) {
-      out << ", \"speedup_vs_seed\": " << r.speedup_vs_seed;
-    }
-    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  bench::RowResult out;
+  out.measured.push_back({"events", static_cast<double>(row.events)});
+  out.measured.push_back({"seconds", row.seconds});
+  out.measured.push_back({"events_per_sec", row.events_per_sec});
+  out.measured.push_back(
+      {"peak_queue_depth", static_cast<double>(row.peak_queue_depth)});
+  if (row.speedup_vs_seed > 0) {
+    out.measured.push_back({"speedup_vs_seed", row.speedup_vs_seed});
   }
-  out << "  ]\n}\n";
-  std::printf("wrote %s\n", path.c_str());
+  return out;
+}
+
+bench::SweepSpec engine_spec() {
+  bench::SweepSpec spec;
+  spec.table = "engine";
+  spec.title = "Engine event throughput (wall-clock, not a table repro)";
+  spec.run = run_workload;
+  spec.rows.push_back({"flood_grid_100k", "grid", 32 * 32});
+  spec.rows.push_back({"flood_grid_1M", "grid", 64 * 64});
+  spec.rows.push_back({"flood_gnp_2M", "gnp", 256});
+  spec.rows.push_back({"ping_ring_1M", "cycle", 1024});
+  spec.rows.push_back({"ping_ring_10M", "cycle", 1024});
+  spec.rows.push_back({"sync_flood_1M", "grid", 64 * 64});
+  spec.smoke_rows.push_back({"flood_grid_10k", "grid", 16 * 16});
+  spec.smoke_rows.push_back({"ping_ring_10k", "cycle", 128});
+  spec.smoke_rows.push_back({"sync_flood_10k", "grid", 16 * 16});
+  bench::finalize_rows(spec);
+  return spec;
 }
 
 // ---- parallel scaling (BENCH_parallel.json) -------------------------
@@ -468,20 +505,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<Row> rows;
-  if (smoke) {
-    rows.push_back(flood_grid("flood_grid_10k", 16, 7, /*with_baseline=*/true));
-    rows.push_back(ping_ring("ping_ring_10k", 128, 8, 10));
-    rows.push_back(sync_flood_grid("sync_flood_10k", 16, 7));
+  // jobs pinned to 1: the rows time wall-clock, so concurrency would
+  // corrupt the measurement.
+  const bench::SweepRunner runner({/*jobs=*/1, smoke});
+  const bench::TableResult table = runner.run(engine_spec());
+  std::ofstream out(out_path);
+  if (out) {
+    out << bench::render_table_json(table);
+    std::printf("wrote %s\n", out_path.c_str());
   } else {
-    rows.push_back(flood_grid("flood_grid_100k", 32, 8));
-    rows.push_back(flood_grid("flood_grid_1M", 64, 11, /*with_baseline=*/true));
-    rows.push_back(flood_gnp("flood_gnp_2M", 256, 3));
-    rows.push_back(ping_ring("ping_ring_1M", 1024, 32, 30));
-    rows.push_back(ping_ring("ping_ring_10M", 1024, 64, 150));
-    rows.push_back(sync_flood_grid("sync_flood_1M", 64, 11));
+    std::fprintf(stderr, "bench_engine: cannot write %s\n", out_path.c_str());
   }
-  write_json(out_path, rows, smoke);
   bench_parallel(smoke, par_out_path);
+  if (!table.pass()) {
+    for (const auto& row : table.rows) {
+      if (row.failed) {
+        std::fprintf(stderr, "bench_engine: row %s failed: %s\n",
+                     row.spec.algo.c_str(), row.error.c_str());
+      }
+    }
+    return 1;
+  }
   return 0;
 }

@@ -1,102 +1,9 @@
-// Figure 1: global function computation — upper bound O(script-V)
-// communication / O(script-D) time via shallow-light trees, against the
-// lower bounds Omega(script-V) / Omega(script-D) (Theorem 2.1).
-//
-// Rows: the aggregation tree used (MST / SPT / SLT(q=2)) x graph family.
-// cost_over_V and time_over_D are the headline columns: for the SLT both
-// stay bounded by small constants simultaneously; the MST's time ratio
-// and the SPT's cost ratio blow up on adversarial families (the cycle is
-// the classic bad case). Also reproduces Theorem 2.7 (distributed SLT
-// construction cost, O(script-V n^2) / O(script-D n^2)) as *_over rows.
-#include "../bench/common.h"
-#include "core/distributed_slt.h"
-#include "core/global_compute.h"
-#include "core/slt.h"
-#include "graph/mst.h"
-#include "graph/shortest_paths.h"
-
-namespace csca::bench {
-namespace {
-
-RootedTree make_tree(const std::string& kind, const Graph& g) {
-  if (kind == "mst") return mst_tree(g, 0);
-  if (kind == "spt") return dijkstra(g, 0).tree(g);
-  return build_slt(g, 0, 2.0).tree;  // "slt"
-}
-
-void BM_GlobalCompute(benchmark::State& state, const std::string& tree,
-                      const std::string& family, int n) {
-  const Graph g = make_graph(family, n, 42);
-  const auto m = measure(g);
-  const RootedTree t = make_tree(tree, g);
-  std::vector<std::int64_t> inputs(
-      static_cast<std::size_t>(g.node_count()));
-  Rng rng(7);
-  for (auto& x : inputs) x = rng.uniform_int(-1000, 1000);
-  GlobalComputeRun run{};
-  for (auto _ : state) {
-    run = run_global_compute(g, t, functions::sum(), inputs,
-                             make_exact_delay());
-  }
-  report(state, m, run.stats);
-  state.counters["cost_over_V"] =
-      static_cast<double>(run.stats.total_cost()) /
-      static_cast<double>(m.comm_V);
-  state.counters["time_over_D"] =
-      run.completion_time / static_cast<double>(m.comm_D);
-}
-
-void BM_DistributedSlt(benchmark::State& state, const std::string& family,
-                       int n) {
-  const Graph g = make_graph(family, n, 42);
-  const auto m = measure(g);
-  double cost = 0;
-  double time = 0;
-  for (auto _ : state) {
-    const auto run = run_distributed_slt(
-        g, 0, 2.0, [] { return make_exact_delay(); });
-    cost = static_cast<double>(run.total_cost());
-    time = run.total_time();
-  }
-  const double n2 = static_cast<double>(m.n) * static_cast<double>(m.n);
-  state.counters["cost"] = cost;
-  state.counters["time"] = time;
-  state.counters["cost_over_Vn2"] =
-      cost / (static_cast<double>(m.comm_V) * n2);
-  state.counters["time_over_Dn2"] =
-      time / (static_cast<double>(m.comm_D) * n2);
-}
-
-void register_all() {
-  for (const std::string family : {"gnp", "geometric", "cycle"}) {
-    const int n = family == "cycle" ? 64 : 48;
-    for (const std::string tree : {"mst", "spt", "slt"}) {
-      benchmark::RegisterBenchmark(
-          ("global_function/" + tree + "/" + family).c_str(),
-          [tree, family, n](benchmark::State& s) {
-            BM_GlobalCompute(s, tree, family, n);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-  for (const std::string family : {"gnp", "grid"}) {
-    benchmark::RegisterBenchmark(
-        ("distributed_slt/" + family).c_str(),
-        [family](benchmark::State& s) {
-          BM_DistributedSlt(s, family, 24);
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Figure 1 + Theorem 2.7: global function computation over MST / SPT /
+// SLT / distributed-SLT aggregation trees. The row grid, bound formulas
+// and tolerances live in src/bench_harness/tables/f1_global_function.cpp;
+// this binary selects table F1 (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"F1"}, argc, argv);
 }

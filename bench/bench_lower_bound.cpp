@@ -1,64 +1,10 @@
-// Figures 7-8 / Lemma 7.2: the Omega(min{script-E, n script-V})
-// connectivity lower bound, reproduced as a scaling experiment on the
-// family G_n. As n doubles:
-//   - script-E ~ n X^4 grows linearly, and the edge-scanners' (flood,
-//     DFS) cost tracks it (cost_over_E flat);
-//   - n script-V ~ n^2 X grows quadratically, and the tree-growers'
-//     (MST_centr, CON_hybrid) cost tracks it (cost_over_nV flat) —
-//     exactly Lemma 7.2's Theta(n^2 X) sum.
-#include "../bench/common.h"
-#include "conn/dfs.h"
-#include "conn/flood.h"
-#include "conn/hybrid.h"
-#include "conn/mst_centr.h"
-
-namespace csca::bench {
-namespace {
-
-void BM_LowerBound(benchmark::State& state, const std::string& algo,
-                   int n) {
-  const Graph g = make_graph("lower_bound", n, 0);
-  const auto m = measure(g);
-  RunStats stats;
-  for (auto _ : state) {
-    if (algo == "flood") {
-      stats = run_flood(g, 0, make_exact_delay()).stats;
-    } else if (algo == "dfs") {
-      stats = run_dfs(g, 0, make_exact_delay()).stats;
-    } else if (algo == "mst_centr") {
-      stats = run_mst_centr(g, 0, make_exact_delay()).stats;
-    } else {
-      stats = run_con_hybrid(g, 0, make_exact_delay()).stats;
-    }
-  }
-  report(state, m, stats);
-  state.counters["cost_over_E"] =
-      static_cast<double>(stats.total_cost()) /
-      static_cast<double>(m.comm_E);
-  state.counters["cost_over_nV"] =
-      static_cast<double>(stats.total_cost()) /
-      (static_cast<double>(m.n) * static_cast<double>(m.comm_V));
-}
-
-void register_all() {
-  for (int n : {9, 17, 33, 65}) {
-    for (const std::string algo :
-         {"flood", "dfs", "mst_centr", "hybrid"}) {
-      benchmark::RegisterBenchmark(
-          ("lower_bound/" + algo + "/n=" + std::to_string(n)).c_str(),
-          [algo, n](benchmark::State& s) { BM_LowerBound(s, algo, n); })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Figures 7-8 / Lemma 7.2: the Omega(min{script-E, n script-V}) lower
+// bound as a scaling experiment on G_n and the split variant G_{n,i}.
+// Rows and bounds live in src/bench_harness/tables/f7_f8_lower_bound.cpp;
+// this binary selects tables F7 and F8 (flags: --smoke --jobs=N
+// --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"F7", "F8"}, argc, argv);
 }

@@ -1,97 +1,8 @@
-// Figure 3: MST algorithms.
-//
-//   MST_ghs    O(script-E + script-V log n) comm,  same time
-//   MST_centr  O(n script-V) comm,  O(n Diam(MST)) time
-//   MST_fast   O(script-E log n log script-V) comm,
-//              O(Diam(MST) log script-V log n) time
-//   MST_hybrid O(min{script-E + script-V log n, n script-V}) comm
-//
-// cost_over_bound / time_over_bound divide measurements by the row's
-// claim. The heavy_chords family shows MST_fast's raison d'etre: its
-// *time* ratio stays flat where MST_ghs's serial scans stall; the
-// lower_bound family shows MST_hybrid tracking the n script-V side.
-#include <cmath>
-
-#include "../bench/common.h"
-#include "conn/mst_centr.h"
-#include "graph/mst.h"
-#include "mst/ghs.h"
-#include "mst/hybrid.h"
-
-namespace csca::bench {
-namespace {
-
-void BM_Mst(benchmark::State& state, const std::string& algo,
-            const std::string& family, int n) {
-  const Graph g = make_graph(family, n, 42);
-  const auto m = measure(g);
-  const Weight mst_diam = mst_tree(g, 0).diameter(g);
-  RunStats stats;
-  for (auto _ : state) {
-    if (algo == "ghs") {
-      stats = run_ghs(g, GhsMode::kSerialScan, make_exact_delay()).stats;
-    } else if (algo == "fast") {
-      stats =
-          run_ghs(g, GhsMode::kParallelGuess, make_exact_delay()).stats;
-    } else if (algo == "centr") {
-      stats = run_mst_centr(g, 0, make_exact_delay()).stats;
-    } else {
-      const auto run = run_mst_hybrid(
-          g, 0, [] { return make_exact_delay(); });
-      stats.algorithm_messages = run.total_messages();
-      stats.algorithm_cost = run.total_cost();
-      stats.completion_time = run.race_stats.completion_time +
-                              run.ghs_stats.completion_time;
-    }
-  }
-  report(state, m, stats);
-  const double e = static_cast<double>(m.comm_E);
-  const double v = static_cast<double>(m.comm_V);
-  const double logn = std::log2(m.n + 2);
-  const double logv = std::log2(v + 2);
-  const double ghs_bill = e + v * logn;
-  const double centr_bill = static_cast<double>(m.n) * v;
-  double cost_bound = ghs_bill;
-  double time_bound = ghs_bill;
-  if (algo == "fast") {
-    cost_bound = e * logn * logv;
-    time_bound = static_cast<double>(mst_diam) * logv * logn;
-  } else if (algo == "centr") {
-    cost_bound = centr_bill;
-    time_bound = static_cast<double>(m.n) * static_cast<double>(mst_diam);
-  } else if (algo == "hybrid") {
-    cost_bound = std::min(ghs_bill, centr_bill);
-    time_bound = cost_bound;  // the paper gives no sharper time claim
-  }
-  state.counters["cost_over_bound"] =
-      static_cast<double>(stats.total_cost()) / cost_bound;
-  state.counters["time_over_bound"] =
-      stats.completion_time / time_bound;
-  state.counters["mst_diam"] = static_cast<double>(mst_diam);
-}
-
-void register_all() {
-  for (const std::string family :
-       {"gnp", "geometric", "heavy_chords", "lower_bound"}) {
-    const int n = family == "lower_bound" ? 33 : 48;
-    for (const std::string algo : {"ghs", "fast", "centr", "hybrid"}) {
-      benchmark::RegisterBenchmark(
-          ("mst/" + algo + "/" + family).c_str(),
-          [algo, family, n](benchmark::State& s) {
-            BM_Mst(s, algo, family, n);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Figure 3: MST algorithms (MST_ghs, MST_fast, MST_centr, MST_hybrid).
+// Rows and bounds live in src/bench_harness/tables/f3_mst.cpp; this
+// binary selects table F3 (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"F3"}, argc, argv);
 }

@@ -1,68 +1,9 @@
-// Figures 5-6: the SLT algorithm — the weight/depth trade-off as the
-// parameter q sweeps (Lemmas 2.4 / 2.5):
-//   w(T)   <= (1 + 2/q) script-V
-//   depth  <= (2q + 1) script-D
-// weight_over_V should fall toward 1 and depth_over_D rise (bounded) as
-// q grows; lemma_24_slack / lemma_25_slack are measured/bound ratios and
-// must stay <= 1.
-#include "../bench/common.h"
-#include "core/slt.h"
-
-namespace csca::bench {
-namespace {
-
-void BM_Slt(benchmark::State& state, const std::string& family, int n,
-            double q) {
-  const Graph g = make_graph(family, n, 42);
-  const auto m = measure(g);
-  Weight weight = 0;
-  Weight depth = 0;
-  Weight diam = 0;
-  int breakpoints = 0;
-  for (auto _ : state) {
-    const auto slt = build_slt(g, 0, q);
-    weight = slt.weight(g);
-    depth = slt.depth(g);
-    diam = slt.diameter(g);
-    breakpoints = static_cast<int>(slt.breakpoints.size());
-  }
-  state.counters["n"] = static_cast<double>(m.n);
-  state.counters["q"] = q;
-  state.counters["weight_over_V"] =
-      static_cast<double>(weight) / static_cast<double>(m.comm_V);
-  state.counters["depth_over_D"] =
-      static_cast<double>(depth) / static_cast<double>(m.comm_D);
-  state.counters["diam_over_D"] =
-      static_cast<double>(diam) / static_cast<double>(m.comm_D);
-  state.counters["breakpoints"] = static_cast<double>(breakpoints);
-  state.counters["lemma_24_slack"] =
-      (static_cast<double>(weight) / static_cast<double>(m.comm_V)) /
-      (1.0 + 2.0 / q);
-  state.counters["lemma_25_slack"] =
-      (static_cast<double>(depth) / static_cast<double>(m.comm_D)) /
-      (2.0 * q + 1.0);
-}
-
-void register_all() {
-  for (const std::string family :
-       {"cycle", "gnp", "geometric", "spt_heavy", "mst_deep"}) {
-    const int n = family == "cycle" ? 96 : 64;
-    for (double q : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-      benchmark::RegisterBenchmark(
-          ("slt/" + family + "/q=" + std::to_string(q)).c_str(),
-          [family, n, q](benchmark::State& s) { BM_Slt(s, family, n, q); })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Figures 5-6: the SLT weight/depth trade-off (q sweep) and the [BKJ83]
+// extremal families. Rows and the Lemma 2.4 / 2.5 checks live in
+// src/bench_harness/tables/f5_f6_slt.cpp; this binary selects tables
+// F5 and F6 (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"F5", "F6"}, argc, argv);
 }

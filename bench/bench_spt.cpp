@@ -1,98 +1,9 @@
-// Figure 4: SPT algorithms.
-//
-//   SPT_centr  O(n w(SPT)) comm, O(n script-D) time
-//   SPT_recur  strips: comm grows with sync sweeps, time with strips
-//   SPT_synch  O(script-E + script-D k n log n) comm,
-//              O(script-D log_k n log n) time
-//   SPT_hybrid min of synch and recur
-//
-// cost_over_bound divides the measured total by each row's claim.
-#include <cmath>
-
-#include "../bench/common.h"
-#include "conn/spt_centr.h"
-#include "spt/hybrid.h"
-#include "spt/recur.h"
-#include "spt/spt_synch.h"
-
-namespace csca::bench {
-namespace {
-
-void BM_Spt(benchmark::State& state, const std::string& algo,
-            const std::string& family, int n) {
-  const Graph g = make_graph(family, n, 42);
-  const auto m = measure(g);
-  RunStats stats;
-  Weight w_spt = 0;
-  for (auto _ : state) {
-    if (algo == "centr") {
-      const auto run = run_spt_centr(g, 0, make_exact_delay());
-      stats = run.stats;
-      w_spt = run.tree.weight(g);
-    } else if (algo == "recur") {
-      const auto run = run_spt_recur(g, 0, 8, make_exact_delay());
-      stats = run.stats;
-      w_spt = run.tree.weight(g);
-    } else if (algo == "synch") {
-      const auto run = run_spt_synch(g, 0, 2, make_exact_delay());
-      stats = run.async_run.stats;
-      stats.completion_time = run.async_run.stats.completion_time;
-      w_spt = run.tree.weight(g);
-      state.counters["t_pi"] = static_cast<double>(run.t_pi);
-    } else {
-      const auto run = run_spt_hybrid(
-          g, 0, 2, 8, [] { return make_exact_delay(); });
-      stats.algorithm_cost = run.total_cost();
-      stats.algorithm_messages =
-          run.synch_stats.total_messages() +
-          run.recur_stats.total_messages();
-      stats.completion_time =
-          std::max(run.synch_stats.completion_time,
-                   run.recur_stats.completion_time);
-      w_spt = run.tree.weight(g);
-      state.counters["synch_won"] = run.synch_won ? 1 : 0;
-    }
-  }
-  report(state, m, stats);
-  const double e = static_cast<double>(m.comm_E);
-  const double d = static_cast<double>(m.comm_D);
-  const double logn = std::log2(m.n + 2);
-  const double synch_bill = e + d * 2 * m.n * logn;
-  const double centr_bill = static_cast<double>(m.n) *
-                            static_cast<double>(w_spt);
-  double bound = centr_bill;
-  if (algo == "synch") bound = synch_bill;
-  if (algo == "recur") bound = e + (d / 8 + 2) * 2 * m.n;
-  if (algo == "hybrid") {
-    bound = std::min(synch_bill, e + (d / 8 + 2) * 2 * m.n);
-  }
-  state.counters["w_spt"] = static_cast<double>(w_spt);
-  state.counters["bound"] = bound;
-  state.counters["cost_over_bound"] =
-      static_cast<double>(stats.total_cost()) / bound;
-}
-
-void register_all() {
-  for (const std::string family : {"gnp_pow2", "geometric", "grid"}) {
-    for (const std::string algo :
-         {"centr", "recur", "synch", "hybrid"}) {
-      benchmark::RegisterBenchmark(
-          ("spt/" + algo + "/" + family).c_str(),
-          [algo, family](benchmark::State& s) {
-            BM_Spt(s, algo, family, 36);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Figure 4: SPT algorithms (SPT_centr, SPT_recur, SPT_synch,
+// SPT_hybrid). Rows and bounds live in
+// src/bench_harness/tables/f4_spt.cpp; this binary selects table F4
+// (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"F4"}, argc, argv);
 }

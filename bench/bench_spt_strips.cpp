@@ -1,56 +1,8 @@
-// Figure 9: the strip method. Sweeping the strip width tau on SPT_recur
-// exposes the communication/time dial:
-//   small tau  -> many strips: control traffic (tree sweeps) dominates,
-//                 but no wasted optimistic offers;
-//   large tau  -> one strip: minimal syncs, extra correction offers on
-//                 graphs with detours.
-// strips, msgs, cost and time per row trace the curve.
-#include "../bench/common.h"
-#include "spt/recur.h"
-
-namespace csca::bench {
-namespace {
-
-void BM_Strips(benchmark::State& state, const std::string& family, int n,
-               Weight tau) {
-  const Graph g = make_graph(family, n, 42);
-  const auto m = measure(g);
-  RunStats stats;
-  std::int64_t strips = 0;
-  for (auto _ : state) {
-    const auto run = run_spt_recur(g, 0, tau, make_exact_delay());
-    stats = run.stats;
-    strips = run.strips;
-  }
-  report(state, m, stats);
-  state.counters["tau"] = static_cast<double>(tau);
-  state.counters["strips"] = static_cast<double>(strips);
-  state.counters["msgs_per_node"] =
-      static_cast<double>(stats.total_messages()) /
-      static_cast<double>(m.n);
-}
-
-void register_all() {
-  for (const std::string family : {"gnp", "geometric", "grid"}) {
-    for (Weight tau : {1, 2, 4, 8, 16, 32, 64, 1 << 20}) {
-      benchmark::RegisterBenchmark(
-          ("spt_strips/" + family + "/tau=" + std::to_string(tau))
-              .c_str(),
-          [family, tau](benchmark::State& s) {
-            BM_Strips(s, family, 48, tau);
-          })
-          ->Iterations(1)
-          ->Unit(benchmark::kMillisecond);
-    }
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Figure 9: the strip method (tau sweep on SPT_recur). Rows and bounds
+// live in src/bench_harness/tables/f9_strips.cpp; this binary selects
+// table F9 (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"F9"}, argc, argv);
 }

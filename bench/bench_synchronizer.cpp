@@ -1,106 +1,9 @@
-// Lemma 4.8: the amortized per-pulse overhead of synchronizer gamma_w,
-//   C_p = O(k n log n)       (control cost per pulse)
-//   T_p = O(log_k n log n)   (time dilation per pulse)
-// measured against alpha and beta hosting the same in-synch flooding
-// protocol on normalized networks with heavy chords (log W levels).
-// alpha's per-pulse control cost carries the full script-E (it cleans
-// every link every pulse); gamma_w's collapses because heavy levels run
-// rarely. The k sweep shows gamma's communication/time dial.
-#include <cmath>
-
-#include "../bench/common.h"
-#include "sim/sync_engine.h"
-#include "sync/protocols.h"
-#include "sync/synchronizer.h"
-
-namespace csca::bench {
-namespace {
-
-Graph normalized_chords(int n) {
-  // Dense unit-weight level-0 subgraph (so the gamma partition parameter
-  // k genuinely trades cluster depth against inter-cluster edges) plus
-  // heavy chords spanning three higher weight levels.
-  Rng rng(99);
-  Graph dense = connected_gnp(n, 0.25, WeightSpec::constant(1), rng);
-  Graph g(n);
-  const std::vector<std::pair<std::pair<NodeId, NodeId>, Weight>> chords{
-      {{0, n - 1}, 256}, {{1, n / 2}, 128}, {{2, (3 * n) / 4}, 64}};
-  for (const auto& [pair, w] : chords) {
-    g.add_edge(pair.first, pair.second, w);
-  }
-  for (const Edge& e : dense.edges()) {
-    if (!g.has_edge(e.u, e.v)) g.add_edge(e.u, e.v, e.w);
-  }
-  return g;
-}
-
-void BM_Synchronizer(benchmark::State& state, const std::string& kind,
-                     int k, int n) {
-  const Graph g = normalized_chords(n);
-  const auto factory = [](NodeId v) {
-    return std::make_unique<InSynchFlood>(v, 0);
-  };
-  SyncEngine ref(g, factory, /*enforce_in_synch=*/true);
-  const RunStats pi = ref.run();
-  const auto t_pi = static_cast<std::int64_t>(pi.completion_time) + 1;
-
-  SynchronizerRun run;
-  for (auto _ : state) {
-    SynchronizerKind sk = SynchronizerKind::kGammaW;
-    if (kind == "alpha") sk = SynchronizerKind::kAlpha;
-    if (kind == "beta") sk = SynchronizerKind::kBeta;
-    SynchronizedNetwork net(g, factory, sk, k, t_pi,
-                            make_exact_delay());
-    run = net.run();
-  }
-  const double tp = static_cast<double>(t_pi);
-  const double logn = std::log2(n + 2);
-  state.counters["n"] = n;
-  state.counters["k"] = k;
-  state.counters["t_pi"] = tp;
-  state.counters["c_pi"] = static_cast<double>(pi.algorithm_cost);
-  state.counters["control_cost"] =
-      static_cast<double>(run.stats.control_cost);
-  state.counters["control_msgs"] =
-      static_cast<double>(run.stats.control_messages);
-  // Lemma 4.8's amortized measures.
-  state.counters["C_p"] =
-      static_cast<double>(run.stats.control_cost) / tp;
-  state.counters["T_p"] = run.stats.completion_time / tp;
-  state.counters["C_p_over_knlogn"] =
-      static_cast<double>(run.stats.control_cost) / tp /
-      (k * n * logn);
-  state.counters["finished"] = run.hosted_all_finished ? 1 : 0;
-}
-
-void register_all() {
-  const int n = 24;
-  for (const std::string kind : {"alpha", "beta"}) {
-    benchmark::RegisterBenchmark(
-        ("synchronizer/" + kind).c_str(),
-        [kind, n](benchmark::State& s) {
-          BM_Synchronizer(s, kind, 2, n);
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-  for (int k : {2, 4, 8}) {
-    benchmark::RegisterBenchmark(
-        ("synchronizer/gamma_w/k=" + std::to_string(k)).c_str(),
-        [k, n](benchmark::State& s) {
-          BM_Synchronizer(s, "gamma", k, n);
-        })
-        ->Iterations(1)
-        ->Unit(benchmark::kMillisecond);
-  }
-}
-
-}  // namespace
-}  // namespace csca::bench
+// Lemma 4.8: synchronizer gamma_w amortized per-pulse overhead vs alpha
+// and beta. Rows and bounds live in
+// src/bench_harness/tables/s4_synchronizer.cpp; this binary selects
+// table S4 (flags: --smoke --jobs=N --out-dir=P).
+#include "bench_harness/driver.h"
 
 int main(int argc, char** argv) {
-  csca::bench::register_all();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return csca::bench::sweep_main({"S4"}, argc, argv);
 }

@@ -1,0 +1,23 @@
+// The shared command-line front end for table sweeps. tools/csca_sweep
+// drives every table; each bench/bench_*.cpp is a thin main that passes
+// its own default table subset. Flags:
+//
+//   --table=ID    sweep only this table (repeatable; overrides defaults)
+//   --smoke       the small-n conformance grids instead of the full ones
+//   --jobs=N      worker threads (output is byte-identical for every N)
+//   --out-dir=P   where BENCH_<id>.json files land (default bench_out)
+//   --list        print the table registry and exit
+//
+// Exit status: 0 when every bound check passes, 1 when any row fails or
+// errors, 2 on bad usage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csca::bench {
+
+int sweep_main(const std::vector<std::string>& default_tables, int argc,
+               char** argv);
+
+}  // namespace csca::bench

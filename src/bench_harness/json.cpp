@@ -1,0 +1,110 @@
+#include "bench_harness/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace csca::bench {
+
+std::string format_double(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void render_check(std::ostringstream& os, const BoundCheck& c) {
+  os << "{\"name\": \"" << json_escape(c.name) << "\", \"measured\": "
+     << format_double(c.measured) << ", \"bound\": "
+     << format_double(c.bound) << ", \"ratio\": "
+     << format_double(c.ratio()) << ", \"tolerance\": "
+     << format_double(c.tolerance);
+  if (c.min_ratio > 0) {
+    os << ", \"min_ratio\": " << format_double(c.min_ratio);
+  }
+  os << ", \"pass\": " << (c.pass() ? "true" : "false") << "}";
+}
+
+void render_row(std::ostringstream& os, const TableResult& table,
+                const RowResult& row) {
+  const RowSpec& s = row.spec;
+  os << "    {\"name\": \"" << json_escape(s.name(table.param_name))
+     << "\",\n     \"algo\": \"" << json_escape(s.algo)
+     << "\", \"family\": \"" << json_escape(s.family)
+     << "\", \"n\": " << s.n << ", \"seed\": " << s.seed;
+  if (!table.param_name.empty()) {
+    os << ", \"" << json_escape(table.param_name)
+       << "\": " << format_double(s.param);
+  }
+  if (row.failed) {
+    os << ",\n     \"error\": \"" << json_escape(row.error) << "\"";
+  }
+  os << ",\n     \"measured\": {";
+  for (std::size_t i = 0; i < row.measured.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(row.measured[i].name)
+       << "\": " << format_double(row.measured[i].value);
+  }
+  os << "},\n     \"checks\": [";
+  for (std::size_t i = 0; i < row.checks.size(); ++i) {
+    if (i > 0) os << ",\n                ";
+    render_check(os, row.checks[i]);
+  }
+  os << "],\n     \"pass\": " << (row.pass() ? "true" : "false") << "}";
+}
+
+}  // namespace
+
+std::string render_table_json(const TableResult& table) {
+  std::ostringstream os;
+  os << "{\n  \"table\": \"" << json_escape(table.table)
+     << "\",\n  \"title\": \"" << json_escape(table.title)
+     << "\",\n  \"smoke\": " << (table.smoke ? "true" : "false")
+     << ",\n  \"pass\": " << (table.pass() ? "true" : "false")
+     << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    render_row(os, table, table.rows[i]);
+    os << (i + 1 < table.rows.size() ? ",\n" : "\n");
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string write_table_json(const std::string& dir,
+                             const TableResult& table) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // ok if it exists
+  const std::string path = dir + "/BENCH_" + table.table + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  out << render_table_json(table);
+  return out ? path : "";
+}
+
+}  // namespace csca::bench

@@ -1,0 +1,40 @@
+// Deterministic JSON rendering of sweep results — the BENCH_<id>.json
+// schema every table emits:
+//
+//   {
+//     "table": "F3", "title": "...", "smoke": false, "pass": true,
+//     "rows": [
+//       { "name": "ghs/gnp/n=48",
+//         "algo": "ghs", "family": "gnp", "n": 48, "seed": 1234,
+//         "q": 2,                             // when the table has a knob
+//         "measured": {"cost": 123, "time": 45, ...},
+//         "checks": [ {"name": "cost_over_bound", "measured": 123,
+//                      "bound": 100, "ratio": 1.23, "tolerance": 2.5,
+//                      "pass": true} ],
+//         "pass": true } ] }
+//
+// Rendering is pure string formatting over TableResult (%.10g doubles,
+// fixed key order), so equal results render byte-identically — the
+// contract the --jobs determinism tests diff on.
+#pragma once
+
+#include <string>
+
+#include "bench_harness/sweep.h"
+
+namespace csca::bench {
+
+/// %.10g with non-finite values mapped to JSON null.
+std::string format_double(double value);
+
+std::string json_escape(const std::string& text);
+
+/// The full BENCH_<id>.json document for one table.
+std::string render_table_json(const TableResult& table);
+
+/// Writes render_table_json to <dir>/BENCH_<table>.json, creating dir if
+/// needed. Returns the path written, or "" on I/O failure.
+std::string write_table_json(const std::string& dir,
+                             const TableResult& table);
+
+}  // namespace csca::bench

@@ -1,0 +1,93 @@
+// F1 — Figure 1: global function computation, O(script-V) communication
+// / O(script-D) time via shallow-light trees against the Theorem 2.1
+// lower bounds. Rows: aggregation tree (MST / SPT / SLT(q=2)) x family;
+// cost_over_V and time_over_D are the headline checks — only the SLT
+// keeps both small on every family (the MST's time blows up on the
+// cycle, the SPT's cost on heavy-SPT graphs). The dslt rows reproduce
+// Theorem 2.7: distributed SLT construction in O(script-V n^2) comm /
+// O(script-D n^2) time.
+#include "bench_harness/table_common.h"
+#include "bench_harness/tables.h"
+#include "core/distributed_slt.h"
+#include "core/global_compute.h"
+#include "core/slt.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "util/rng.h"
+
+namespace csca::bench {
+
+namespace {
+
+RootedTree make_tree(const std::string& kind, const Graph& g) {
+  if (kind == "mst") return mst_tree(g, 0);
+  if (kind == "spt") return dijkstra(g, 0).tree(g);
+  return build_slt(g, 0, 2.0).tree;  // "slt"
+}
+
+RowResult run_row(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+
+  if (spec.algo == "dslt") {
+    const auto run = run_distributed_slt(g, 0, 2.0,
+                                         [] { return make_exact_delay(); });
+    const double cost = static_cast<double>(run.total_cost());
+    const double time = run.total_time();
+    const double n2 = static_cast<double>(m.n) * static_cast<double>(m.n);
+    add_metric(out, "cost", cost);
+    add_metric(out, "time", time);
+    add_check(out, "cost_over_Vn2", cost,
+              static_cast<double>(m.comm_V) * n2, /*tolerance=*/1.0);
+    add_check(out, "time_over_Dn2", time,
+              static_cast<double>(m.comm_D) * n2, /*tolerance=*/1.0);
+    return out;
+  }
+
+  const RootedTree t = make_tree(spec.algo, g);
+  std::vector<std::int64_t> inputs(static_cast<std::size_t>(g.node_count()));
+  Rng rng(derive_stream_seed(spec.seed, 1));
+  for (auto& x : inputs) x = rng.uniform_int(-1000, 1000);
+  const GlobalComputeRun run =
+      run_global_compute(g, t, functions::sum(), inputs, make_exact_delay());
+  report_stats(out, m, run.stats);
+
+  // The convergecast + broadcast round trip costs 2 tree traversals, so
+  // ~2 is the floor; the tolerances record how far each tree's bad case
+  // is allowed to drift (the MST's time on the cycle, the SPT's cost).
+  const double cost_tol = spec.algo == "spt" ? 5.0 : 3.0;
+  const double time_tol = spec.algo == "mst" ? 6.0 : 3.5;
+  add_check(out, "cost_over_V",
+            static_cast<double>(run.stats.total_cost()),
+            static_cast<double>(m.comm_V), cost_tol);
+  add_check(out, "time_over_D", run.completion_time,
+            static_cast<double>(m.comm_D), time_tol);
+  return out;
+}
+
+}  // namespace
+
+SweepSpec table_f1_global_function() {
+  SweepSpec spec;
+  spec.table = "F1";
+  spec.title = "Figure 1 - global function computation via SLTs";
+  spec.run = run_row;
+  for (const char* family : {"gnp", "geometric", "cycle"}) {
+    const int n = std::string(family) == "cycle" ? 64 : 48;
+    for (const char* tree : {"mst", "spt", "slt"}) {
+      spec.rows.push_back({tree, family, n});
+    }
+  }
+  for (const char* family : {"gnp", "grid"}) {
+    spec.rows.push_back({"dslt", family, 24});
+  }
+  for (const char* tree : {"mst", "spt", "slt"}) {
+    spec.smoke_rows.push_back({tree, "gnp", 12});
+  }
+  spec.smoke_rows.push_back({"dslt", "gnp", 10});
+  finalize_rows(spec);
+  return spec;
+}
+
+}  // namespace csca::bench

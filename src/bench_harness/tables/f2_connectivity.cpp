@@ -1,0 +1,76 @@
+// F2 — Figure 2: connectivity / spanning tree algorithms.
+//
+//   DFS        O(script-E) comm,  CON_flood O(script-E) comm / O(D) time
+//   MST_centr  O(n script-V)      CON_hybrid O(min{script-E, n script-V})
+//
+// cost_over_bound divides the measured communication by the row's claim
+// and must stay a small constant on every family — including the Figure
+// 7 lower-bound family, where script-E explodes and only CON_hybrid
+// stays near n script-V.
+#include <algorithm>
+
+#include "bench_harness/table_common.h"
+#include "bench_harness/tables.h"
+#include "conn/dfs.h"
+#include "conn/flood.h"
+#include "conn/hybrid.h"
+#include "conn/mst_centr.h"
+
+namespace csca::bench {
+
+namespace {
+
+RowResult run_row(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+  RunStats stats;
+  if (spec.algo == "flood") {
+    stats = run_flood(g, 0, make_exact_delay()).stats;
+  } else if (spec.algo == "dfs") {
+    stats = run_dfs(g, 0, make_exact_delay()).stats;
+  } else if (spec.algo == "mst_centr") {
+    stats = run_mst_centr(g, 0, make_exact_delay()).stats;
+  } else {
+    stats = run_con_hybrid(g, 0, make_exact_delay()).stats;
+  }
+  report_stats(out, m, stats);
+
+  const double e = static_cast<double>(m.comm_E);
+  const double nv = static_cast<double>(m.n) * static_cast<double>(m.comm_V);
+  double bound = e;  // flood, dfs
+  double tolerance = spec.algo == "dfs" ? 6.0 : 3.0;
+  if (spec.algo == "mst_centr") {
+    bound = nv;
+    tolerance = 3.5;
+  } else if (spec.algo == "hybrid") {
+    bound = std::min(e, nv);
+    tolerance = 8.0;  // the §7.2 factor ~4 plus the loser's final drain
+  }
+  add_metric(out, "min_E_nV", std::min(e, nv));
+  add_check(out, "cost_over_bound", static_cast<double>(stats.total_cost()),
+            bound, tolerance);
+  return out;
+}
+
+}  // namespace
+
+SweepSpec table_f2_connectivity() {
+  SweepSpec spec;
+  spec.table = "F2";
+  spec.title = "Figure 2 - connectivity / spanning tree";
+  spec.run = run_row;
+  for (const char* family : {"gnp", "geometric", "lower_bound"}) {
+    const int n = std::string(family) == "lower_bound" ? 33 : 48;
+    for (const char* algo : {"dfs", "flood", "mst_centr", "hybrid"}) {
+      spec.rows.push_back({algo, family, n});
+    }
+  }
+  for (const char* algo : {"dfs", "flood", "mst_centr", "hybrid"}) {
+    spec.smoke_rows.push_back({algo, "gnp", 12});
+  }
+  finalize_rows(spec);
+  return spec;
+}
+
+}  // namespace csca::bench

@@ -1,0 +1,106 @@
+// F4 — Figure 4: SPT algorithms.
+//
+//   SPT_centr  O(n w(SPT)) comm, O(n script-D) time
+//   SPT_recur  strips: comm grows with sync sweeps, time with strips
+//   SPT_synch  O(script-E + script-D k n log n) comm,
+//              O(script-D log_k n log n) time
+//   SPT_hybrid min of synch and recur
+//
+// cost_over_bound divides the measured total by each row's claim. All
+// four algorithms produce exact distances (cross-checked against
+// Dijkstra in the tests).
+#include <algorithm>
+
+#include "bench_harness/table_common.h"
+#include "bench_harness/tables.h"
+#include "conn/spt_centr.h"
+#include "spt/hybrid.h"
+#include "spt/recur.h"
+#include "spt/spt_synch.h"
+
+namespace csca::bench {
+
+namespace {
+
+RowResult run_row(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+
+  RunStats stats;
+  Weight w_spt = 0;
+  if (spec.algo == "centr") {
+    const auto run = run_spt_centr(g, 0, make_exact_delay());
+    stats = run.stats;
+    w_spt = run.tree.weight(g);
+  } else if (spec.algo == "recur") {
+    const auto run = run_spt_recur(g, 0, 8, make_exact_delay());
+    stats = run.stats;
+    w_spt = run.tree.weight(g);
+  } else if (spec.algo == "synch") {
+    const auto run = run_spt_synch(g, 0, 2, make_exact_delay());
+    stats = run.async_run.stats;
+    w_spt = run.tree.weight(g);
+    add_metric(out, "t_pi", static_cast<double>(run.t_pi));
+  } else {
+    const auto run =
+        run_spt_hybrid(g, 0, 2, 8, [] { return make_exact_delay(); });
+    stats.algorithm_cost = run.total_cost();
+    stats.algorithm_messages = run.synch_stats.total_messages() +
+                               run.recur_stats.total_messages();
+    stats.completion_time = std::max(run.synch_stats.completion_time,
+                                     run.recur_stats.completion_time);
+    w_spt = run.tree.weight(g);
+    add_metric(out, "synch_won", run.synch_won ? 1 : 0);
+  }
+  report_stats(out, m, stats);
+  add_metric(out, "w_spt", static_cast<double>(w_spt));
+
+  // recur's strip boundaries cost weighted tree sweeps (~2 script-V
+  // each, see F9); hybrid pays BOTH racers until the winner finishes,
+  // so its tolerance over the min-bill carries the loser's spend.
+  const double e = static_cast<double>(m.comm_E);
+  const double d = static_cast<double>(m.comm_D);
+  const double v = static_cast<double>(m.comm_V);
+  const double logn = log2n(m.n);
+  const double synch_bill = e + d * 2 * m.n * logn;
+  const double recur_bill = e + (d / 8 + 2) * 2 * v;
+  const double centr_bill =
+      static_cast<double>(m.n) * static_cast<double>(w_spt);
+  double bound = centr_bill;
+  double tolerance = 3.0;
+  if (spec.algo == "synch") {
+    bound = synch_bill;
+    tolerance = 3.5;
+  } else if (spec.algo == "recur") {
+    bound = recur_bill;
+    tolerance = 3.0;
+  } else if (spec.algo == "hybrid") {
+    bound = std::min(synch_bill, recur_bill);
+    tolerance = 8.0;
+  }
+  add_check(out, "cost_over_bound", static_cast<double>(stats.total_cost()),
+            bound, tolerance);
+  return out;
+}
+
+}  // namespace
+
+SweepSpec table_f4_spt() {
+  SweepSpec spec;
+  spec.table = "F4";
+  spec.title = "Figure 4 - SPT algorithms";
+  spec.run = run_row;
+  for (const char* family : {"gnp_pow2", "geometric", "grid"}) {
+    for (const char* algo : {"centr", "recur", "synch", "hybrid"}) {
+      spec.rows.push_back({algo, family, 36});
+    }
+  }
+  for (const char* algo : {"centr", "recur", "synch", "hybrid"}) {
+    spec.smoke_rows.push_back({algo, "gnp_pow2", 10});
+  }
+  finalize_rows(spec);
+  return spec;
+}
+
+}  // namespace csca::bench

@@ -1,0 +1,90 @@
+// F7 / F8 — Figures 7-8 / Lemma 7.2: the Omega(min{script-E,
+// n script-V}) connectivity lower bound as a scaling experiment.
+//
+// F7 sweeps n on the family G_n: as n doubles, script-E ~ n X^4 grows
+// linearly and the edge-scanners' (flood, DFS) cost tracks it
+// (cost_over_E flat), while n script-V ~ n^2 X grows quadratically and
+// the tree-growers' (MST_centr, CON_hybrid) cost tracks that — exactly
+// Lemma 7.2's Theta(n^2 X) sum.
+//
+// F8 repeats the experiment on the split variant G'_{n,i} (bypass edge
+// (i, n-1-i) replaced by two heavy pendant edges): the algorithms must
+// distinguish it from G_n and still pay the same regimes.
+#include "bench_harness/table_common.h"
+#include "bench_harness/tables.h"
+#include "conn/dfs.h"
+#include "conn/flood.h"
+#include "conn/hybrid.h"
+#include "conn/mst_centr.h"
+
+namespace csca::bench {
+
+namespace {
+
+RowResult run_row(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+  RunStats stats;
+  if (spec.algo == "flood") {
+    stats = run_flood(g, 0, make_exact_delay()).stats;
+  } else if (spec.algo == "dfs") {
+    stats = run_dfs(g, 0, make_exact_delay()).stats;
+  } else if (spec.algo == "mst_centr") {
+    stats = run_mst_centr(g, 0, make_exact_delay()).stats;
+  } else {
+    stats = run_con_hybrid(g, 0, make_exact_delay()).stats;
+  }
+  report_stats(out, m, stats);
+
+  const double cost = static_cast<double>(stats.total_cost());
+  const double e = static_cast<double>(m.comm_E);
+  const double nv = static_cast<double>(m.n) * static_cast<double>(m.comm_V);
+  add_metric(out, "cost_over_E", cost / e);
+  add_metric(out, "cost_over_nV", cost / nv);
+  // Edge-scanners are flat in script-E, tree-growers in n script-V; the
+  // tolerances freeze the Theta regimes (flood sits at 2, dfs at ~4,
+  // mst_centr at 2.5, the hybrid inside the §7.2 factor).
+  if (spec.algo == "flood") {
+    add_check(out, "cost_over_E", cost, e, 3.0);
+  } else if (spec.algo == "dfs") {
+    add_check(out, "cost_over_E", cost, e, 5.0);
+  } else if (spec.algo == "mst_centr") {
+    add_check(out, "cost_over_nV", cost, nv, 3.0);
+  } else {
+    add_check(out, "cost_over_nV", cost, nv, 8.0);
+  }
+  return out;
+}
+
+SweepSpec make_lb_table(const char* table, const char* title,
+                        const char* family, const std::vector<int>& sizes) {
+  SweepSpec spec;
+  spec.table = table;
+  spec.title = title;
+  spec.run = run_row;
+  for (const int n : sizes) {
+    for (const char* algo : {"flood", "dfs", "mst_centr", "hybrid"}) {
+      spec.rows.push_back({algo, family, n});
+    }
+  }
+  for (const char* algo : {"flood", "dfs", "mst_centr", "hybrid"}) {
+    spec.smoke_rows.push_back({algo, family, 9});
+  }
+  finalize_rows(spec);
+  return spec;
+}
+
+}  // namespace
+
+SweepSpec table_f7_lower_bound() {
+  return make_lb_table("F7", "Figure 7 - lower-bound family G_n",
+                       "lower_bound", {9, 17, 33, 65});
+}
+
+SweepSpec table_f8_lower_bound_split() {
+  return make_lb_table("F8", "Figure 8 - split variant G'_{n,i}",
+                       "lower_bound_split", {9, 17, 33});
+}
+
+}  // namespace csca::bench

@@ -1,0 +1,65 @@
+// F9 — Figure 9: the strip method. Sweeping the strip width tau on
+// SPT_recur exposes the communication/time dial:
+//   small tau  -> many strips: control traffic (tree sweeps) dominates,
+//                 but no wasted optimistic offers;
+//   large tau  -> one strip: minimal syncs, extra correction offers on
+//                 graphs with detours.
+// The bound check bills each row its own tau: script-E for the offers
+// plus (script-D / tau + 2) tree sweeps of 2n each.
+#include "bench_harness/table_common.h"
+#include "bench_harness/tables.h"
+#include "spt/recur.h"
+
+namespace csca::bench {
+
+namespace {
+
+RowResult run_row(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+  const auto tau = static_cast<Weight>(spec.param);
+
+  const auto run = run_spt_recur(g, 0, tau, make_exact_delay());
+  report_stats(out, m, run.stats);
+  add_metric(out, "strips", static_cast<double>(run.strips));
+  add_metric(out, "msgs_per_node",
+             static_cast<double>(run.stats.total_messages()) /
+                 static_cast<double>(m.n));
+
+  // Each strip boundary costs two weighted tree sweeps (~2 w(T) each,
+  // proxied by 2 script-V) on top of the script-E offer traffic.
+  const double e = static_cast<double>(m.comm_E);
+  const double d = static_cast<double>(m.comm_D);
+  const double v = static_cast<double>(m.comm_V);
+  const double bill =
+      e + (d / static_cast<double>(tau) + 2.0) * 2.0 * v;
+  // 4.5: at large tau the bill's sweep term vanishes but the wasted
+  // optimistic offers on detour-heavy graphs don't — measured ratios
+  // peak ~3.6 there (see EXPERIMENTS.md).
+  add_check(out, "cost_over_bound",
+            static_cast<double>(run.stats.total_cost()), bill, 4.5);
+  return out;
+}
+
+}  // namespace
+
+SweepSpec table_f9_strips() {
+  SweepSpec spec;
+  spec.table = "F9";
+  spec.title = "Figure 9 - strip method tau sweep";
+  spec.param_name = "tau";
+  spec.run = run_row;
+  for (const char* family : {"gnp", "geometric", "grid"}) {
+    for (const int tau : {1, 2, 4, 8, 16, 32, 64, 1 << 20}) {
+      spec.rows.push_back({"recur", family, 48, static_cast<double>(tau)});
+    }
+  }
+  for (const int tau : {2, 16}) {
+    spec.smoke_rows.push_back({"recur", "gnp", 12, static_cast<double>(tau)});
+  }
+  finalize_rows(spec);
+  return spec;
+}
+
+}  // namespace csca::bench

@@ -1,0 +1,98 @@
+// S5 — Corollary 5.1: controller overhead c_phi = O(c_pi log^2 c_pi),
+// and containment of diverged protocols.
+//
+// echo rows sweep the network size (hence c_pi) for the well-behaved
+// broadcast-echo; overhead_over_bound must stay a flat small constant.
+// The runaway rows are the containment demonstration: the contained
+// spammer's total spend stays within a small factor of the budget, while
+// the uncontrolled one — checked with min_ratio — must blow PAST the
+// same budget (a passing run proves the control was load-bearing).
+#include <memory>
+
+#include "bench_harness/table_common.h"
+#include "bench_harness/tables.h"
+#include "control/controller.h"
+#include "control/protocols.h"
+
+namespace csca::bench {
+
+namespace {
+
+RowResult run_echo(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+  const Weight c_pi = 4 * g.total_weight();
+  const bool aggregate = spec.algo == "echo_aggregating";
+  const auto run = run_controlled(
+      g, [](NodeId v) { return std::make_unique<BroadcastEcho>(v); }, 0,
+      ControllerConfig{2 * c_pi, aggregate}, make_exact_delay());
+  report_stats(out, m, run.stats);
+
+  const double log_c = log2n(static_cast<double>(c_pi));
+  add_metric(out, "c_pi_bound", static_cast<double>(c_pi));
+  add_metric(out, "exhausted", run.exhausted ? 1 : 0);
+  add_check(out, "overhead_over_bound",
+            static_cast<double>(run.stats.control_cost),
+            static_cast<double>(c_pi) * log_c * log_c, 1.0);
+  return out;
+}
+
+RowResult run_runaway(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+  const Weight budget = 2000;
+  if (spec.algo == "runaway_contained") {
+    const auto run = run_controlled(
+        g, [](NodeId) { return std::make_unique<RunawaySpammer>(); }, 0,
+        ControllerConfig{budget, true}, make_exact_delay());
+    report_stats(out, m, run.stats);
+    add_metric(out, "exhausted", run.exhausted ? 1 : 0);
+    add_check(out, "spend_over_budget",
+              static_cast<double>(run.stats.algorithm_cost),
+              static_cast<double>(budget), 1.5);
+  } else {
+    const auto run = run_uncontrolled(
+        g, [](NodeId) { return std::make_unique<RunawaySpammer>(); }, 0,
+        make_exact_delay(), 1, /*max_time=*/3000.0);
+    report_stats(out, m, run.stats);
+    // min_ratio: the uncontrolled spammer MUST blow past the budget the
+    // controlled run respected, or containment proved nothing.
+    add_check(out, "spend_over_budget",
+              static_cast<double>(run.stats.algorithm_cost),
+              static_cast<double>(budget), 1.0e6, /*min_ratio=*/2.0);
+  }
+  add_metric(out, "budget", static_cast<double>(budget));
+  return out;
+}
+
+RowResult run_row(const RowSpec& spec) {
+  if (spec.algo == "runaway_contained" || spec.algo == "runaway_uncontrolled") {
+    return run_runaway(spec);
+  }
+  return run_echo(spec);
+}
+
+}  // namespace
+
+SweepSpec table_s5_controller() {
+  SweepSpec spec;
+  spec.table = "S5";
+  spec.title = "Section 5 - controller overhead and containment";
+  spec.run = run_row;
+  for (const int n : {12, 24, 48}) {
+    spec.rows.push_back({"echo_naive", "gnp", n});
+    spec.rows.push_back({"echo_aggregating", "gnp", n});
+  }
+  spec.rows.push_back({"runaway_contained", "gnp", 16});
+  spec.rows.push_back({"runaway_uncontrolled", "gnp", 16});
+  spec.smoke_rows.push_back({"echo_naive", "gnp", 12});
+  spec.smoke_rows.push_back({"echo_aggregating", "gnp", 12});
+  spec.smoke_rows.push_back({"runaway_contained", "gnp", 12});
+  spec.smoke_rows.push_back({"runaway_uncontrolled", "gnp", 12});
+  finalize_rows(spec);
+  return spec;
+}
+
+}  // namespace csca::bench

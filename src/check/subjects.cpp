@@ -295,25 +295,4 @@ std::vector<CheckSubject> builtin_subjects() {
   return out;
 }
 
-std::vector<GraphFamily> builtin_families(bool smoke) {
-  Rng rng(2026);
-  std::vector<GraphFamily> out;
-  if (smoke) {
-    out.push_back({"path6", path_graph(6, WeightSpec::uniform(1, 8), rng)});
-    out.push_back(
-        {"grid2x3", grid_graph(2, 3, WeightSpec::power_of_two(0, 3), rng)});
-    out.push_back(
-        {"gnp8", connected_gnp(8, 0.4, WeightSpec::uniform(1, 6), rng)});
-    return out;
-  }
-  out.push_back({"path16", path_graph(16, WeightSpec::uniform(1, 9), rng)});
-  out.push_back(
-      {"grid4x5", grid_graph(4, 5, WeightSpec::power_of_two(0, 4), rng)});
-  out.push_back(
-      {"gnp14", connected_gnp(14, 0.3, WeightSpec::uniform(1, 12), rng)});
-  out.push_back({"geo12", random_geometric(12, 0.5, 8, rng)});
-  out.push_back({"lower8", lower_bound_family(8, 2)});
-  return out;
-}
-
 }  // namespace csca

@@ -25,25 +25,15 @@
 #pragma once
 
 #include "check/schedule_check.h"
+#include "graph/families.h"
 
 namespace csca {
 
 /// All built-in subjects, in a stable order. Every graph handed to them
 /// must be connected with n >= 2. Each subject carries both the
 /// sequential runner and a run_par runner for the sharded engine.
+/// The sweep families they replay over live in graph/families.h
+/// (builtin_families) — one source of truth with the bench harness.
 std::vector<CheckSubject> builtin_subjects();
-
-/// A named sweep graph.
-struct GraphFamily {
-  std::string name;
-  Graph graph;
-};
-
-/// The standard sweep families (shared by tools/csca_check and the
-/// determinism tests). Weights mix constant, uniform and power-of-two
-/// specs so in-synch protocols and the gamma_w partition see
-/// non-trivial weight structure. smoke selects the tiny ctest-gate
-/// set; otherwise the full set.
-std::vector<GraphFamily> builtin_families(bool smoke);
 
 }  // namespace csca

@@ -1,0 +1,55 @@
+// The sweep graph families — the single source of truth shared by the
+// bench harness (src/bench_harness/), the protocol-analysis sweep
+// (tools/csca_check via check/subjects.h) and the tests. Each family is
+// defined exactly once, keyed by name, with the size n and the seed as
+// the only free parameters; the table drivers and the check sweeps both
+// build their graphs through make_family, so a family tweak moves every
+// consumer at once.
+//
+// Weighted so the interesting regimes appear: geometric = WAN-like
+// (weights correlate with distance), heavy_chords = d << W (clock sync /
+// synchronizer regime), lower_bound = Figure 7, lower_bound_split =
+// Figure 8.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace csca {
+
+/// Builds the named family at size n; all randomness derives from seed,
+/// so two calls with equal (family, n, seed) are bit-identical. Throws
+/// PreconditionError on an unknown family name.
+Graph make_family(const std::string& family, int n, std::uint64_t seed);
+
+/// Every name make_family accepts, in a stable order.
+const std::vector<std::string>& family_names();
+
+/// The §3 clock-synchronization topology: a light backbone path
+/// (weight-2 edges) plus three chords of weight `heavy` / `heavy` /
+/// `heavy / 2` — the d << W regime. make_family("heavy_chords") pins
+/// heavy = 512; the S3 table sweeps it. Requires n >= 5.
+Graph heavy_chords_graph(int n, Weight heavy);
+
+/// The Lemma 4.8 synchronizer topology: a dense unit-weight level-0
+/// subgraph (so the gamma partition parameter k genuinely trades cluster
+/// depth against inter-cluster edges) plus heavy chords spanning three
+/// higher weight levels (64 / 128 / 256). Requires n >= 5.
+Graph normalized_chords_graph(int n, std::uint64_t seed);
+
+/// A named sweep graph.
+struct GraphFamily {
+  std::string name;
+  Graph graph;
+};
+
+/// The standard pre-built sweep set (shared by tools/csca_check and the
+/// determinism tests). Weights mix constant, uniform and power-of-two
+/// specs so in-synch protocols and the gamma_w partition see non-trivial
+/// weight structure. smoke selects the tiny ctest-gate set; otherwise
+/// the full set.
+std::vector<GraphFamily> builtin_families(bool smoke);
+
+}  // namespace csca

@@ -1,0 +1,61 @@
+// The conformance tier (ctest -L conformance): every registered
+// reproduction table's small-n smoke grid, asserting each row's
+// measured/bound ratio stays inside its recorded tolerance band. This
+// is the machine-checked form of EXPERIMENTS.md — if an algorithm or
+// bound formula regresses past its tolerance, the table's test names
+// the row and ratio.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bench_harness/sweep.h"
+#include "bench_harness/tables.h"
+
+namespace csca::bench {
+namespace {
+
+class Conformance : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Conformance, SmokeRowsStayWithinRecordedTolerances) {
+  const std::vector<SweepSpec> tables = builtin_tables();
+  const SweepSpec* spec = find_table(tables, GetParam());
+  ASSERT_NE(spec, nullptr) << GetParam();
+  ASSERT_FALSE(spec->smoke_rows.empty()) << GetParam();
+
+  const TableResult result =
+      SweepRunner({/*jobs=*/2, /*smoke=*/true}).run(*spec);
+  for (const RowResult& row : result.rows) {
+    const std::string name = row.spec.name(result.param_name);
+    EXPECT_FALSE(row.failed) << name << ": " << row.error;
+    EXPECT_FALSE(row.checks.empty()) << name << " has no bound checks";
+    for (const BoundCheck& check : row.checks) {
+      EXPECT_TRUE(check.pass())
+          << name << ": " << check.name << " ratio " << check.ratio()
+          << " outside [" << check.min_ratio << ", " << check.tolerance
+          << "] (measured " << check.measured << ", bound " << check.bound
+          << ")";
+    }
+  }
+}
+
+std::vector<std::string> table_ids() {
+  std::vector<std::string> ids;
+  for (const SweepSpec& spec : builtin_tables()) ids.push_back(spec.table);
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTables, Conformance,
+                         ::testing::ValuesIn(table_ids()),
+                         [](const auto& info) { return info.param; });
+
+TEST(ConformanceRegistry, CoversEveryPaperTable) {
+  const auto ids = table_ids();
+  for (const char* required : {"F1", "F2", "F3", "F4", "F5", "F6", "F7",
+                               "F8", "F9", "S3", "S4", "S5"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), required), ids.end())
+        << required;
+  }
+}
+
+}  // namespace
+}  // namespace csca::bench

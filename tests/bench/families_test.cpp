@@ -1,0 +1,95 @@
+// The unified family registry (src/graph/families.h) is the single
+// source of truth for every sweep graph — these tests pin its contract:
+// every family builds connected, same-seed constructions are
+// bit-identical, and the special-regime families actually exhibit their
+// advertised regimes.
+#include "graph/families.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/measures.h"
+#include "graph/traversal.h"
+#include "util/require.h"
+
+namespace csca {
+namespace {
+
+// A size valid for every family (lower_bound wants 2^k + 1 shapes;
+// grid rounds to a square; all minimum-n preconditions pass at 9+).
+int size_for(const std::string& family) {
+  if (family == "lower_bound" || family == "lower_bound_x2" ||
+      family == "lower_bound_split") {
+    return 9;
+  }
+  return 12;
+}
+
+TEST(Families, EveryFamilyBuildsConnected) {
+  for (const std::string& family : family_names()) {
+    const Graph g = make_family(family, size_for(family), 7);
+    EXPECT_TRUE(is_connected(g)) << family;
+    // Grid families round n down to a full square.
+    EXPECT_GE(g.node_count(), size_for(family) / 2) << family;
+    EXPECT_GE(g.edge_count(), g.node_count() - 1) << family;
+  }
+}
+
+TEST(Families, SameSeedIsBitIdentical) {
+  for (const std::string& family : family_names()) {
+    const int n = size_for(family);
+    const Graph a = make_family(family, n, 1234);
+    const Graph b = make_family(family, n, 1234);
+    ASSERT_EQ(a.node_count(), b.node_count()) << family;
+    ASSERT_EQ(a.edge_count(), b.edge_count()) << family;
+    for (EdgeId e = 0; e < a.edge_count(); ++e) {
+      EXPECT_EQ(a.edge(e).u, b.edge(e).u) << family << " edge " << e;
+      EXPECT_EQ(a.edge(e).v, b.edge(e).v) << family << " edge " << e;
+      EXPECT_EQ(a.edge(e).w, b.edge(e).w) << family << " edge " << e;
+    }
+  }
+}
+
+TEST(Families, SeedActuallyFeedsTheRandomFamilies) {
+  const Graph a = make_family("gnp", 16, 1);
+  const Graph b = make_family("gnp", 16, 2);
+  bool differs = a.edge_count() != b.edge_count();
+  for (EdgeId e = 0; !differs && e < a.edge_count(); ++e) {
+    differs = a.edge(e).u != b.edge(e).u || a.edge(e).v != b.edge(e).v ||
+              a.edge(e).w != b.edge(e).w;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Families, HeavyChordsIsTheAdvertisedRegime) {
+  // The §3 regime d << W: the heavy chords dominate W while every
+  // chord's endpoints stay close through the light backbone.
+  const Graph g = make_family("heavy_chords", 24, 0);
+  const NetworkMeasures m = measure(g);
+  EXPECT_EQ(m.W, 512);
+  EXPECT_LE(4 * m.d, m.W) << "d=" << m.d << " W=" << m.W;
+
+  // And the parameterized builder sweeps the regime without moving d.
+  const NetworkMeasures wide = measure(heavy_chords_graph(24, 4096));
+  EXPECT_EQ(wide.W, 4096);
+  EXPECT_EQ(wide.d, m.d);
+}
+
+TEST(Families, UnknownFamilyThrows) {
+  EXPECT_THROW(make_family("no_such_family", 12, 0), PreconditionError);
+}
+
+TEST(Families, BuiltinSetsAreConnectedAndUniquelyNamed) {
+  for (const bool smoke : {true, false}) {
+    const auto set = builtin_families(smoke);
+    EXPECT_EQ(set.size(), smoke ? 3u : 5u);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      EXPECT_TRUE(is_connected(set[i].graph)) << set[i].name;
+      for (std::size_t j = i + 1; j < set.size(); ++j) {
+        EXPECT_NE(set[i].name, set[j].name);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csca

@@ -4,7 +4,10 @@
 # lint pass, and the engine bench in smoke mode. The protocol-analysis
 # sweep (csca_check --smoke) runs as a ctest entry in both
 # configurations, then again here sequentially vs parallelized to show
-# the multi-run harness wall-clock side by side.
+# the multi-run harness wall-clock side by side. The table-sweep gate
+# runs the conformance tier (ctest -L conformance), then csca_sweep's
+# smoke grids at --jobs=1 vs --jobs=N and diffs the BENCH_<id>.json
+# trees byte for byte.
 #
 # Usage: tools/check.sh [--jobs N] [--no-sanitize] [--no-tsan] [--no-lint]
 # (from the repo root). --jobs caps build parallelism and is forwarded
@@ -43,6 +46,14 @@ echo "== protocol sweep: sequential vs multi-run harness (--jobs $JOBS) =="
 ./build/tools/csca_check --smoke
 ./build/tools/csca_check --smoke --jobs="$JOBS"
 ./build/tools/csca_check --smoke --shards=2
+
+echo "== table sweep: conformance tier + --jobs byte-identity =="
+ctest --test-dir build -L conformance --output-on-failure -j "$JOBS"
+./build/tools/csca_sweep --list
+./build/tools/csca_sweep --smoke --jobs=1 --out-dir=build/sweep_j1
+./build/tools/csca_sweep --smoke --jobs="$JOBS" --out-dir=build/sweep_jN
+diff -r build/sweep_j1 build/sweep_jN \
+  || { echo "check.sh: csca_sweep output differs across --jobs" >&2; exit 1; }
 
 if [[ "$RUN_SANITIZE" == 1 ]]; then
   echo "== tier-1: ASan+UBSan build =="
