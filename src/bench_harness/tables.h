@@ -13,6 +13,7 @@
 //   S4  Lemma 4.8  synchronizer gamma_w per-pulse overheads
 //   S5  Cor. 5.1   controllers
 //   A1  DESIGN.md  cover-coarsening substitution ablation
+//   fault  docs/faults.md  ARQ overhead vs drop/dup rate (degradation)
 //
 // Each table's rows, bound formulas and tolerances live in
 // tables/<id>_*.cpp; bench/bench_*.cpp, tools/csca_sweep and the ctest
@@ -36,6 +37,7 @@ SweepSpec table_s3_clock_sync();
 SweepSpec table_s4_synchronizer();
 SweepSpec table_s5_controller();
 SweepSpec table_a1_cover();
+SweepSpec table_fault_degradation();
 
 /// All tables, in the id order above.
 std::vector<SweepSpec> builtin_tables();

@@ -1,0 +1,171 @@
+// fault — the reliability degradation table (BENCH_fault.json).
+//
+// Each row runs one protocol (flooding, broadcast-echo, or the
+// controller-metered echo) twice on the same graph and seed: once bare
+// on reliable links (the fault-free baseline) and once behind the ARQ
+// layer under a symmetric drop/duplicate plan at rate p (the row's
+// param). The row then asserts two things:
+//
+//   completed        the protocol's output is still correct — flooding
+//                    reaches everyone, the echo terminates covered, the
+//                    controller never cuts a correct execution off;
+//   overhead_over_bound
+//                    faulted weighted cost <= R(p) * fault-free cost,
+//                    with R(p) = kArqBaseOverhead * (1 + kArqFaultSlope
+//                    * p): the factor-2 ack tax (one ACK per DATA, same
+//                    edge weight) plus retransmit traffic growing
+//                    linearly in the fault rate. The constants are the
+//                    documented bound of docs/faults.md.
+//
+// The p = 0 rows measure the pure ack tax (the plan is inactive, so the
+// engine runs its fault-free path and only the ARQ layer's own frames
+// cost anything), anchoring the R(p) curve.
+#include <memory>
+
+#include "bench_harness/table_common.h"
+#include "bench_harness/tables.h"
+#include "conn/flood.h"
+#include "control/controller.h"
+#include "control/protocols.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/reliable_link.h"
+
+namespace csca::bench {
+
+namespace {
+
+// Documented overhead bound R(p) = kArqBaseOverhead * (1 +
+// kArqFaultSlope * p); see docs/faults.md for the derivation.
+constexpr double kArqBaseOverhead = 2.5;
+constexpr double kArqFaultSlope = 10.0;
+
+FaultPlan drop_dup_plan(double p) {
+  FaultPlan plan;
+  plan.drop_rate = p;
+  plan.dup_rate = p;
+  plan.salt = 0xFA17;
+  return plan;
+}
+
+std::int64_t total_retransmits(ProcessHost& host, const Graph& g) {
+  std::int64_t total = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    total += arq_host(host, g.edge(e).u).retransmit_count(e);
+    total += arq_host(host, g.edge(e).v).retransmit_count(e);
+  }
+  return total;
+}
+
+RowResult run_row(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+  const double p = spec.param;
+  const FaultInjector inj(drop_dup_plan(p), g, spec.seed);
+
+  RunStats base;
+  RunStats faulted;
+  bool completed = false;
+  std::int64_t retransmits = 0;
+
+  if (spec.algo == "flood") {
+    base = run_flood(g, 0, make_exact_delay(), spec.seed).stats;
+    const auto factory = [](NodeId v) {
+      return std::make_unique<FloodProcess>(v, 0);
+    };
+    Network net(g, arq_factory(factory), make_exact_delay(), spec.seed);
+    net.set_faults(&inj);
+    faulted = net.run();
+    completed = true;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      completed = completed &&
+                  dynamic_cast<FloodProcess&>(arq_inner(net, v)).reached();
+    }
+    retransmits = total_retransmits(net, g);
+  } else {
+    RunEnv env;
+    env.faults = &inj;
+    env.wrap = [](ProcessFactory f) { return arq_factory(std::move(f)); };
+    env.unwrap = [](Process& outer) -> Process& {
+      return dynamic_cast<ArqHost&>(outer).inner();
+    };
+    const auto factory = [](NodeId v) {
+      return std::make_unique<BroadcastEcho>(v);
+    };
+    const auto check_echo = [&](const ControlledRun& run) {
+      bool ok = dynamic_cast<BroadcastEcho&>(run.inner(0)).done();
+      for (NodeId v = 0; v < g.node_count(); ++v) {
+        ok = ok && dynamic_cast<BroadcastEcho&>(run.inner(v)).covered();
+      }
+      return ok;
+    };
+    if (spec.algo == "echo") {
+      base = run_uncontrolled(g, factory, 0, make_exact_delay(), spec.seed)
+                 .stats;
+      const auto run =
+          run_uncontrolled(g, factory, 0, make_exact_delay(), spec.seed,
+                           std::numeric_limits<double>::infinity(), env);
+      faulted = run.stats;
+      completed = check_echo(run);
+      retransmits = total_retransmits(*run.network, g);
+    } else {  // controller
+      const Weight c_pi = 4 * g.total_weight();
+      const ControllerConfig cfg{2 * c_pi, /*aggregate=*/true};
+      base = run_controlled(g, factory, 0, cfg, make_exact_delay(),
+                            spec.seed)
+                 .stats;
+      const auto run = run_controlled(g, factory, 0, cfg,
+                                      make_exact_delay(), spec.seed, env);
+      faulted = run.stats;
+      // A correct execution must never be cut off by its controller,
+      // faults or not: the permit ledger meters logical sends, which the
+      // ARQ layer leaves untouched.
+      completed = check_echo(run) && !run.exhausted;
+      retransmits = total_retransmits(*run.network, g);
+    }
+  }
+
+  report_stats(out, m, faulted);
+  add_metric(out, "base_cost", static_cast<double>(base.total_cost()));
+  add_metric(out, "retransmits", static_cast<double>(retransmits));
+  add_metric(out, "overhead_ratio",
+             base.total_cost() != 0
+                 ? static_cast<double>(faulted.total_cost()) /
+                       static_cast<double>(base.total_cost())
+                 : 0);
+  add_check(out, "overhead_over_bound",
+            static_cast<double>(faulted.total_cost()),
+            kArqBaseOverhead * (1.0 + kArqFaultSlope * p) *
+                static_cast<double>(base.total_cost()),
+            1.0);
+  add_check(out, "completed", completed ? 1.0 : 0.0, 1.0, 1.0,
+            /*min_ratio=*/1.0);
+  return out;
+}
+
+}  // namespace
+
+SweepSpec table_fault_degradation() {
+  SweepSpec spec;
+  spec.table = "fault";
+  spec.title = "Reliability degradation - ARQ overhead vs fault rate";
+  spec.param_name = "drop";
+  spec.run = run_row;
+  for (const char* family : {"gnp", "geometric", "grid"}) {
+    for (const char* algo : {"flood", "echo", "controller"}) {
+      for (const double p : {0.0, 0.01, 0.02, 0.05}) {
+        spec.rows.push_back({algo, family, 24, p});
+      }
+    }
+  }
+  for (const char* algo : {"flood", "echo", "controller"}) {
+    for (const double p : {0.0, 0.01}) {
+      spec.smoke_rows.push_back({algo, "gnp", 12, p});
+    }
+  }
+  finalize_rows(spec);
+  return spec;
+}
+
+}  // namespace csca::bench

@@ -3,6 +3,9 @@
 #include <cmath>
 #include <sstream>
 
+#include "fault/fault_injector.h"
+#include "fault/reliable_link.h"
+
 namespace csca {
 
 namespace {
@@ -18,6 +21,9 @@ void DefaultInvariantChecker::ensure_sized(const Network& net) {
   sized_ = true;
   const auto m = static_cast<std::size_t>(net.graph().edge_count());
   channels_.resize(2 * m);
+  dup_arrivals_.resize(2 * m);
+  arq_expected_.assign(2 * m, 0);
+  arq_buffered_.resize(2 * m);
   sent_algorithm_.assign(m, 0);
   sent_control_.assign(m, 0);
 }
@@ -70,6 +76,12 @@ void DefaultInvariantChecker::on_send(const Network& net, NodeId from,
     std::ostringstream os;
     os << "spontaneous send by finished node " << from << " on edge "
        << e << at_time(net.now());
+    report(os.str());
+  }
+  if (faults_ != nullptr && faults_->crashed(from, net.now())) {
+    std::ostringstream os;
+    os << "send by node " << from << " on edge " << e
+       << " after its crash" << at_time(net.now());
     report(os.str());
   }
   auto& chan = channels_[channel_of(net, from, e)];
@@ -129,21 +141,52 @@ void DefaultInvariantChecker::on_deliver(const Network& net, NodeId to,
     os << "delivery over out-of-range edge " << m.edge << at_time(t);
     report(os.str());
   } else {
-    auto& chan = channels_[channel_of(net, m.from, m.edge)];
-    if (chan.empty()) {
+    const std::size_t ch = channel_of(net, m.from, m.edge);
+    auto& chan = channels_[ch];
+    auto& dups = dup_arrivals_[ch];
+    if (!chan.empty() && chan.front() == t) {
+      chan.pop_front();
+    } else if (const auto dup_it = dups.find(t); dup_it != dups.end()) {
+      // A phantom duplicate landing at its recorded arrival time.
+      dups.erase(dup_it);
+    } else if (chan.empty()) {
       std::ostringstream os;
       os << "delivery to node " << to << " over edge " << m.edge
          << " without a matching send" << at_time(t);
       report(os.str());
     } else {
-      if (chan.front() != t) {
+      std::ostringstream os;
+      os << "FIFO order violated on edge " << m.edge
+         << ": oldest outstanding send arrives at " << chan.front()
+         << " but a delivery happened" << at_time(t);
+      report(os.str());
+      chan.pop_front();
+    }
+    if (faults_ != nullptr) {
+      if (faults_->link_down(m.edge, t)) {
         std::ostringstream os;
-        os << "FIFO order violated on edge " << m.edge
-           << ": oldest outstanding send arrives at " << chan.front()
-           << " but a delivery happened" << at_time(t);
+        os << "delivery over edge " << m.edge
+           << " while the link is down" << at_time(t);
         report(os.str());
       }
-      chan.pop_front();
+      if (faults_->crashed(to, t)) {
+        std::ostringstream os;
+        os << "delivery to node " << to << " after its crash"
+           << at_time(t);
+        report(os.str());
+      }
+    }
+    // Independent replay of the ARQ receiver: DATA frame seqs must
+    // hand up a contiguous prefix per channel (check_arq compares).
+    if (m.type == kArqData && m.data.size() >= 2) {
+      std::int64_t& expected = arq_expected_[ch];
+      if (const std::int64_t seq = m.data[0]; seq == expected) {
+        ++expected;
+        auto& buf = arq_buffered_[ch];
+        while (buf.erase(expected) != 0) ++expected;
+      } else if (seq > expected) {
+        arq_buffered_[ch].insert(seq);
+      }
     }
     if (net.graph().other(m.edge, m.from) != to) {
       std::ostringstream os;
@@ -154,6 +197,39 @@ void DefaultInvariantChecker::on_deliver(const Network& net, NodeId to,
     }
   }
   delivering_to_ = to;
+}
+
+void DefaultInvariantChecker::on_drop(const Network& net, NodeId from,
+                                      EdgeId e, MsgClass cls,
+                                      FaultDropReason /*reason*/) {
+  ensure_sized(net);
+  ++drops_seen_;
+  // The attempt is charged to the ledger even though nothing was
+  // queued, so it joins the send tally — but not the channel queue.
+  auto& tally = cls == MsgClass::kAlgorithm ? sent_algorithm_
+                                            : sent_control_;
+  ++tally[static_cast<std::size_t>(e)];
+  const Edge& edge = net.graph().edge(e);
+  if (edge.u != from && edge.v != from) {
+    std::ostringstream os;
+    os << "node " << from << " dropped-send on non-incident edge " << e
+       << at_time(net.now());
+    report(os.str());
+  }
+}
+
+void DefaultInvariantChecker::on_duplicate(const Network& net,
+                                           NodeId from, EdgeId e,
+                                           double arrival) {
+  ensure_sized(net);
+  ++dups_seen_;
+  if (arrival < net.now()) {
+    std::ostringstream os;
+    os << "duplicate on edge " << e << " scheduled into the past ("
+       << arrival << ")" << at_time(net.now());
+    report(os.str());
+  }
+  dup_arrivals_[channel_of(net, from, e)].insert(arrival);
 }
 
 void DefaultInvariantChecker::on_finish(const Network& net, NodeId v,
@@ -226,12 +302,72 @@ void DefaultInvariantChecker::check_final(const Network& net) {
          << " sent message(s) never delivered on a quiescent network";
       report(os.str());
     }
-    if (total_sends + self_schedules_seen_ != deliveries_seen_) {
+    std::int64_t undelivered_dups = 0;
+    for (const auto& dups : dup_arrivals_) {
+      undelivered_dups += static_cast<std::int64_t>(dups.size());
+    }
+    if (undelivered_dups != 0) {
       std::ostringstream os;
-      os << "event conservation failed: " << total_sends << " sends + "
+      os << undelivered_dups
+         << " phantom duplicate(s) never delivered on a quiescent "
+            "network";
+      report(os.str());
+    }
+    // Attempts that were dropped never become deliveries; surviving
+    // duplicates add deliveries the tally never saw as sends.
+    if (total_sends - drops_seen_ + dups_seen_ + self_schedules_seen_ !=
+        deliveries_seen_) {
+      std::ostringstream os;
+      os << "event conservation failed: " << total_sends << " sends - "
+         << drops_seen_ << " drops + " << dups_seen_ << " duplicates + "
          << self_schedules_seen_ << " self-schedules vs "
          << deliveries_seen_ << " deliveries at quiescence";
       report(os.str());
+    }
+  }
+}
+
+void DefaultInvariantChecker::check_arq(ProcessHost& host) {
+  const Graph& g = host.graph();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto* arq = dynamic_cast<ArqHost*>(&host.process(v));
+    if (arq == nullptr) {
+      std::ostringstream os;
+      os << "check_arq: node " << v << " is not wrapped by arq_factory";
+      report(os.str());
+      continue;
+    }
+    for (const EdgeId e : g.incident(v)) {
+      const NodeId peer_node = g.other(e, v);
+      const Edge& edge = g.edge(e);
+      // The directed channel carrying DATA from the peer to v.
+      const std::size_t ch = static_cast<std::size_t>(2 * e) +
+                             (peer_node == edge.u ? 0 : 1);
+      const std::int64_t expected = arq->next_expected_in(e);
+      const std::int64_t delivered = arq->delivered_up(e);
+      if (delivered != expected) {
+        std::ostringstream os;
+        os << "ARQ exactly-once broken at node " << v << " edge " << e
+           << ": delivered " << delivered << " inner messages but next "
+           << "expected seq is " << expected;
+        report(os.str());
+      }
+      if (sized_ && expected != arq_expected_[ch]) {
+        std::ostringstream os;
+        os << "ARQ receiver state at node " << v << " edge " << e
+           << " (next expected " << expected
+           << ") diverges from the checker's frame replay ("
+           << arq_expected_[ch] << ")";
+        report(os.str());
+      }
+      if (auto* peer = dynamic_cast<ArqHost*>(&host.process(peer_node));
+          peer != nullptr && delivered > peer->data_sent(e)) {
+        std::ostringstream os;
+        os << "ARQ delivered " << delivered << " inner messages at node "
+           << v << " edge " << e << " but the peer only framed "
+           << peer->data_sent(e);
+        report(os.str());
+      }
     }
   }
 }

@@ -22,6 +22,17 @@
 //     independent tally, and a quiescent network has no channel with an
 //     undelivered send.
 //
+// Under fault injection (Network::set_faults) the checker adapts: drop
+// notifications join the send tally (attempts are charged), duplicate
+// deliveries match against recorded phantom arrivals, and event
+// conservation accounts for both. Give the checker the same injector
+// via set_faults and it additionally verifies that no send leaves a
+// crashed node, nothing is delivered over a link that is down, and
+// nothing reaches a crashed node. check_arq verifies exactly-once FIFO
+// delivery above the reliable-link layer (fault/reliable_link.h)
+// against an independent receiver model built from the observed DATA
+// frames.
+//
 // Violations are collected as human-readable strings (or thrown
 // immediately with fail_fast), so the schedule-exploration checker can
 // report them alongside the schedule that produced them.
@@ -29,6 +40,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -56,10 +68,28 @@ class DefaultInvariantChecker final : public InvariantObserver {
   void on_deliver(const Network& net, NodeId to, const Message& m,
                   double t) override;
   void on_finish(const Network& net, NodeId v, double t) override;
+  void on_drop(const Network& net, NodeId from, EdgeId e, MsgClass cls,
+               FaultDropReason reason) override;
+  void on_duplicate(const Network& net, NodeId from, EdgeId e,
+                    double arrival) override;
+
+  /// Gives the checker the injector attached to the network so it can
+  /// independently verify the crash / outage rules (no sends from a
+  /// crashed node, no delivery on a down link or to a crashed node).
+  /// Optional; the drop/duplicate bookkeeping works without it.
+  void set_faults(const FaultInjector* f) { faults_ = f; }
 
   /// End-of-run checks (ledger conservation, channel drain). Call after
   /// run(); the channel-drain check only applies when net.idle().
   void check_final(const Network& net);
+
+  /// Exactly-once FIFO above the ARQ layer: every node's ArqHost
+  /// receiver state (next expected seq, inner deliveries) must match
+  /// the checker's independent per-channel replay of the DATA frames it
+  /// observed, and never exceed what the peer's sender side framed.
+  /// Call after run() on a host whose processes were built by
+  /// arq_factory.
+  void check_arq(ProcessHost& host);
 
   bool ok() const { return violations_.empty() && suppressed_ == 0; }
   const std::vector<std::string>& violations() const {
@@ -80,11 +110,22 @@ class DefaultInvariantChecker final : public InvariantObserver {
 
   // Outstanding arrival times per directed channel, in send order.
   std::vector<std::deque<double>> channels_;
+  // Phantom (duplicate) arrivals per directed channel, unordered: a
+  // duplicate is clamped behind the original but later traffic can
+  // still be delivered around it.
+  std::vector<std::multiset<double>> dup_arrivals_;
+  // Independent per-channel replay of ARQ DATA frames: next expected
+  // seq and the out-of-order seqs seen so far.
+  std::vector<std::int64_t> arq_expected_;
+  std::vector<std::set<std::int64_t>> arq_buffered_;
   // Independent per-edge tallies, indexed [class][edge].
   std::vector<std::int64_t> sent_algorithm_;
   std::vector<std::int64_t> sent_control_;
   std::int64_t deliveries_seen_ = 0;
   std::int64_t self_schedules_seen_ = 0;
+  std::int64_t drops_seen_ = 0;
+  std::int64_t dups_seen_ = 0;
+  const FaultInjector* faults_ = nullptr;
   double last_now_ = 0.0;
   // Node currently having a message delivered to it; sends by it are
   // reactive and exempt from the post-finish rule.

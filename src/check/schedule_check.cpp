@@ -1,26 +1,52 @@
 #include "check/schedule_check.h"
 
+#include <optional>
+
 #include "check/invariants.h"
+#include "fault/fault_injector.h"
 
 namespace csca {
 
+namespace {
+
+int count_finished(const ProcessHost& host, const Graph& g) {
+  int n = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (host.finished(v)) ++n;
+  }
+  return n;
+}
+
+// Builds the injector for a faulted spec; nullopt when the spec has no
+// plan or the plan is inactive (so the engine keeps its zero-cost
+// fault-free path and byte-identical ledgers).
+std::optional<FaultInjector> make_injector(const Graph& g,
+                                           const ScheduleSpec& spec) {
+  if (!spec.make_faults) return std::nullopt;
+  FaultInjector inj(spec.make_faults(g), g, spec.seed);
+  if (!inj.active()) return std::nullopt;
+  return inj;
+}
+
+}  // namespace
+
 std::vector<ScheduleSpec> default_portfolio() {
   std::vector<ScheduleSpec> out;
-  out.push_back({"exact", 1, [] { return make_exact_delay(); }});
-  out.push_back(
-      {"uniform[0,1)#101", 101, [] { return make_uniform_delay(0, 1); }});
-  out.push_back(
-      {"uniform[0,1)#202", 202, [] { return make_uniform_delay(0, 1); }});
+  out.push_back({"exact", 1, [] { return make_exact_delay(); }, {}});
+  out.push_back({"uniform[0,1)#101", 101,
+                 [] { return make_uniform_delay(0, 1); }, {}});
+  out.push_back({"uniform[0,1)#202", 202,
+                 [] { return make_uniform_delay(0, 1); }, {}});
   out.push_back({"uniform[0,0.5)#303", 303,
-                 [] { return make_uniform_delay(0, 0.5); }});
+                 [] { return make_uniform_delay(0, 0.5); }, {}});
   out.push_back({"twopoint(0.5)#404", 404,
-                 [] { return make_two_point_delay(0.5); }});
+                 [] { return make_two_point_delay(0.5); }, {}});
   out.push_back({"twopoint(0.9)#505", 505,
-                 [] { return make_two_point_delay(0.9); }});
+                 [] { return make_two_point_delay(0.9); }, {}});
   out.push_back(
-      {"edgefrac(7)", 7, [] { return make_edge_fraction_delay(7); }});
+      {"edgefrac(7)", 7, [] { return make_edge_fraction_delay(7); }, {}});
   out.push_back(
-      {"edgefrac(99)", 99, [] { return make_edge_fraction_delay(99); }});
+      {"edgefrac(99)", 99, [] { return make_edge_fraction_delay(99); }, {}});
   return out;
 }
 
@@ -31,6 +57,11 @@ SubjectOutcome run_checked(const Graph& g, const ProcessFactory& factory,
   try {
     Network net(g, factory, spec.make_delay(), spec.seed);
     DefaultInvariantChecker checker;
+    const std::optional<FaultInjector> inj = make_injector(g, spec);
+    if (inj) {
+      net.set_faults(&*inj);
+      checker.set_faults(&*inj);
+    }
     net.set_observer(&checker);
     net.run();
     checker.check_final(net);
@@ -42,7 +73,10 @@ SubjectOutcome run_checked(const Graph& g, const ProcessFactory& factory,
           " further violation(s) suppressed");
     }
     out.stats = net.stats();
-    out.digest = digest(net, out.violations);
+    out.finished_nodes = count_finished(net, g);
+    // Under active faults, oracle mismatches the digest reports are
+    // expected degradation, not simulation bugs: route them aside.
+    out.digest = digest(net, inj ? out.degraded : out.violations);
   } catch (const std::exception& e) {
     out.failed = true;
     out.error = e.what();
@@ -57,8 +91,11 @@ SubjectOutcome run_on_shards(const Graph& g, const ProcessFactory& factory,
   try {
     ShardEngine eng(g, factory, spec.make_delay(), spec.seed,
                     ShardEngine::Options{shards, 0});
+    const std::optional<FaultInjector> inj = make_injector(g, spec);
+    if (inj) eng.set_faults(&*inj);
     out.stats = eng.run();
-    out.digest = digest(eng, out.violations);
+    out.finished_nodes = count_finished(eng, g);
+    out.digest = digest(eng, inj ? out.degraded : out.violations);
   } catch (const std::exception& e) {
     out.failed = true;
     out.error = e.what();
@@ -83,16 +120,34 @@ ScheduleCheckReport check_subject(
   };
   bool have_reference = false;
   for (const ScheduleSpec& spec : portfolio) {
+    const bool faulty = spec.make_faults && spec.make_faults(g).active();
     const SubjectOutcome outcome = shards > 0
                                        ? subject.run_par(g, spec, shards)
                                        : subject.run(g, spec);
     ++report.runs;
     if (outcome.failed) {
-      finding(spec, "error", outcome.error);
+      // A protocol ensure() tripping under injected faults is expected
+      // degradation (that is what ARQ is for); without faults it is a
+      // hard error.
+      finding(spec, faulty ? "degraded" : "error",
+              "run failed: " + outcome.error);
       continue;
+    }
+    ++report.runs_completed;
+    if (outcome.finished_nodes == g.node_count()) {
+      ++report.runs_all_finished;
     }
     for (const std::string& v : outcome.violations) {
       finding(spec, "invariant", v);
+    }
+    for (const std::string& d : outcome.degraded) {
+      finding(spec, "degraded", d);
+    }
+    if (faulty) {
+      // Which sends a keyed fault stream hits depends on the delay
+      // schedule, so faulted digests legitimately differ per schedule:
+      // no reference, no divergence findings.
+      continue;
     }
     if (!have_reference) {
       // First schedule that completed: its digest is the reference.

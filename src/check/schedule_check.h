@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "par/shard_engine.h"
 #include "sim/network.h"
 
@@ -37,11 +38,15 @@ namespace csca {
 
 /// One admissible schedule: a delay-model recipe plus the network seed
 /// driving any randomness in it. The recipe is a factory because each
-/// replay needs a fresh model.
+/// replay needs a fresh model. When make_faults is set, the run also
+/// executes under the FaultPlan it builds for the graph (keyed off the
+/// same seed), and the sweep switches to degraded-mode reporting: see
+/// check_subject.
 struct ScheduleSpec {
   std::string name;  ///< human-readable, parameters included
   std::uint64_t seed = 1;
   std::function<std::unique_ptr<DelayModel>()> make_delay;
+  std::function<FaultPlan(const Graph&)> make_faults;  ///< optional
 };
 
 /// The standard portfolio (8 schedules): exact worst case, three
@@ -54,7 +59,13 @@ std::vector<ScheduleSpec> default_portfolio();
 struct SubjectOutcome {
   std::string digest;  ///< schedule-invariant output fingerprint
   std::vector<std::string> violations;  ///< checker + subject findings
+  /// Protocol-level oracle mismatches observed under an *active* fault
+  /// plan. Faults are allowed to degrade a protocol's output (that is
+  /// what the sweep measures), so these are reported separately from
+  /// violations, which remain hard failures of the simulation model.
+  std::vector<std::string> degraded;
   RunStats stats;      ///< the run's cost ledger
+  int finished_nodes = 0;  ///< nodes that called finish() by end of run
   bool failed = false;  ///< an exception escaped the run
   std::string error;
 };
@@ -79,16 +90,25 @@ struct CheckFinding {
   std::string graph;
   std::string schedule;
   std::uint64_t seed = 0;
-  std::string kind;  ///< "invariant" | "divergence" | "error"
+  std::string kind;  ///< "invariant" | "divergence" | "error" | "degraded"
   std::string detail;
 };
 
 struct ScheduleCheckReport {
   int runs = 0;
+  int runs_completed = 0;     ///< runs no exception escaped
+  int runs_all_finished = 0;  ///< runs where every node finished
   std::string reference_schedule;
   std::string reference_digest;
   std::vector<CheckFinding> findings;
-  bool ok() const { return findings.empty(); }
+  /// "degraded" findings are expected under an active fault plan and do
+  /// not fail the sweep; everything else does.
+  bool ok() const {
+    for (const CheckFinding& f : findings) {
+      if (f.kind != "degraded") return false;
+    }
+    return true;
+  }
 };
 
 /// Replays `subject` on g under every schedule of the portfolio. The
@@ -96,6 +116,12 @@ struct ScheduleCheckReport {
 /// it. graph_name labels findings. With shards > 0, runs go through
 /// subject.run_par on the sharded engine instead (the digest contract
 /// is engine-independent, so the report means the same thing).
+///
+/// Schedules with an active fault plan are exempt from the digest
+/// comparison — which messages a keyed fault stream fates depends on
+/// the delay schedule, so divergence between faulted schedules is
+/// expected, not a bug — and their oracle mismatches surface as
+/// "degraded" findings instead of "invariant" ones.
 ScheduleCheckReport check_subject(const CheckSubject& subject,
                                   const Graph& g,
                                   const std::string& graph_name,
@@ -112,7 +138,10 @@ using DigestFn =
 /// to quiescence, runs the final ledger checks, and applies `digest` to
 /// the quiesced network. The digest callback may append protocol-level
 /// validation failures (oracle mismatches, agreement violations) to the
-/// violations list it is handed. Exceptions become a failed outcome.
+/// violations list it is handed — under an active fault plan that list
+/// is SubjectOutcome::degraded instead of violations. Exceptions become
+/// a failed outcome. When spec.make_faults yields an active plan, a
+/// FaultInjector is attached to both the network and the checker.
 SubjectOutcome run_checked(const Graph& g, const ProcessFactory& factory,
                            const ScheduleSpec& spec, const DigestFn& digest);
 

@@ -233,25 +233,49 @@ class ControllerHost final : public HostBase {
 
 }  // namespace
 
+namespace {
+
+// Sees through RunEnv::wrap's extra layer to the controller host at v.
+Process& host_at(const ControlledRun& run, NodeId v) {
+  Process& outer = run.network->process(v);
+  return run.unwrap ? run.unwrap(outer) : outer;
+}
+
+ProcessFactory apply_env(ProcessFactory base, const RunEnv& env) {
+  if (!env.wrap) return base;
+  require(env.unwrap != nullptr,
+          "RunEnv::wrap without unwrap would make run results unreadable");
+  return env.wrap(std::move(base));
+}
+
+}  // namespace
+
 DiffusingProcess& ControlledRun::inner(NodeId v) const {
   require(network != nullptr, "run has no live network");
-  return dynamic_cast<HostBase&>(network->process(v)).inner();
+  Process& outer = network->process(v);
+  Process& host = unwrap ? unwrap(outer) : outer;
+  return dynamic_cast<HostBase&>(host).inner();
 }
 
 ControlledRun run_uncontrolled(const Graph& g,
                                const DiffusingFactory& factory,
                                NodeId initiator,
                                std::unique_ptr<DelayModel> delay,
-                               std::uint64_t seed, double max_time) {
+                               std::uint64_t seed, double max_time,
+                               const RunEnv& env) {
   g.check_node(initiator);
   ControlledRun out;
+  out.unwrap = env.unwrap;
   out.network = std::make_shared<Network>(
       g,
-      [&](NodeId v) {
-        return std::make_unique<PassthroughHost>(g, v, v == initiator,
-                                                 factory(v));
-      },
+      apply_env(
+          [&g, &factory, initiator](NodeId v) -> std::unique_ptr<Process> {
+            return std::make_unique<PassthroughHost>(g, v, v == initiator,
+                                                     factory(v));
+          },
+          env),
       std::move(delay), seed);
+  if (env.faults != nullptr) out.network->set_faults(env.faults);
   out.stats = out.network->run(max_time);
   return out;
 }
@@ -261,20 +285,24 @@ ControlledRun run_controlled(const Graph& g,
                              NodeId initiator,
                              const ControllerConfig& config,
                              std::unique_ptr<DelayModel> delay,
-                             std::uint64_t seed) {
+                             std::uint64_t seed, const RunEnv& env) {
   g.check_node(initiator);
   require(config.threshold >= 0, "threshold must be non-negative");
   ControlledRun out;
+  out.unwrap = env.unwrap;
   out.network = std::make_shared<Network>(
       g,
-      [&](NodeId v) {
-        return std::make_unique<ControllerHost>(g, v, v == initiator,
-                                                factory(v), config);
-      },
+      apply_env(
+          [&g, &factory, initiator, &config](
+              NodeId v) -> std::unique_ptr<Process> {
+            return std::make_unique<ControllerHost>(g, v, v == initiator,
+                                                    factory(v), config);
+          },
+          env),
       std::move(delay), seed);
+  if (env.faults != nullptr) out.network->set_faults(env.faults);
   out.stats = out.network->run();
-  auto& root =
-      dynamic_cast<ControllerHost&>(out.network->process(initiator));
+  auto& root = dynamic_cast<ControllerHost&>(host_at(out, initiator));
   out.exhausted = root.exhausted();
   out.permits_issued = root.permits_issued();
   return out;

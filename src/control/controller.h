@@ -33,6 +33,25 @@
 
 namespace csca {
 
+class FaultInjector;
+
+/// Optional run environment for the controller drivers: fault injection
+/// plus an extra process layer (e.g. fault/reliable_link.h's
+/// arq_factory) between the controller hosts and the wire.
+struct RunEnv {
+  /// Attached to the Network before the run (Network::set_faults); the
+  /// injector must stay alive for the duration of the run. nullptr or
+  /// an inactive injector leaves the engine on its fault-free path.
+  const FaultInjector* faults = nullptr;
+  /// Wraps the host factory (outermost layer wins the wire). Used to
+  /// slide the ARQ layer under the controller: wrap = arq_factory.
+  std::function<ProcessFactory(ProcessFactory)> wrap;
+  /// Inverse of wrap for post-run reads: maps the network's outermost
+  /// process back to the controller host it wraps (e.g. the ArqHost's
+  /// inner()). Required when wrap is set; identity when empty.
+  std::function<Process&(Process&)> unwrap;
+};
+
 struct ControllerConfig {
   /// Root permit budget; set to (an upper bound on) c_pi.
   Weight threshold = 0;
@@ -48,6 +67,9 @@ struct ControlledRun {
   Weight permits_issued = 0;
   /// Keeps the simulation alive so inner protocol outputs stay readable.
   std::shared_ptr<Network> network;
+  /// RunEnv::unwrap of the run that produced this, so inner() can see
+  /// through any extra process layer.
+  std::function<Process&(Process&)> unwrap;
 
   /// The inner protocol instance at v (for reading outputs).
   DiffusingProcess& inner(NodeId v) const;
@@ -61,7 +83,8 @@ using DiffusingFactory =
 ControlledRun run_uncontrolled(
     const Graph& g, const DiffusingFactory& factory, NodeId initiator,
     std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1,
-    double max_time = std::numeric_limits<double>::infinity());
+    double max_time = std::numeric_limits<double>::infinity(),
+    const RunEnv& env = {});
 
 /// Runs the protocol under the controller. The returned stats ledger
 /// separates protocol cost (algorithm) from permit traffic (control).
@@ -70,6 +93,7 @@ ControlledRun run_controlled(const Graph& g,
                              NodeId initiator,
                              const ControllerConfig& config,
                              std::unique_ptr<DelayModel> delay,
-                             std::uint64_t seed = 1);
+                             std::uint64_t seed = 1,
+                             const RunEnv& env = {});
 
 }  // namespace csca

@@ -1,0 +1,36 @@
+#include "fault/fault_injector.h"
+
+#include <limits>
+
+#include "util/require.h"
+
+namespace csca {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, const Graph& g,
+                             std::uint64_t run_seed)
+    : plan_(plan),
+      fate_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0xFA7E)),
+      dup_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0xD0B1)),
+      crash_time_(static_cast<std::size_t>(g.node_count()),
+                  std::numeric_limits<double>::infinity()),
+      outages_(static_cast<std::size_t>(g.edge_count())) {
+  require(plan.drop_rate >= 0 && plan.dup_rate >= 0 &&
+              plan.drop_rate + plan.dup_rate <= 1.0,
+          "fault plan rates must be non-negative with drop + dup <= 1");
+  for (const CrashEvent& c : plan.crashes) {
+    g.check_node(c.node);
+    require(c.at >= 0, "crash time must be non-negative");
+    double& t = crash_time_[static_cast<std::size_t>(c.node)];
+    t = std::min(t, c.at);
+  }
+  for (const LinkOutage& o : plan.outages) {
+    require(o.edge >= 0 && o.edge < g.edge_count(),
+            "outage edge id out of range");
+    require(o.down_at >= 0 && o.up_at > o.down_at,
+            "outage interval must be non-empty with down_at >= 0");
+    outages_[static_cast<std::size_t>(o.edge)].emplace_back(o.down_at,
+                                                           o.up_at);
+  }
+}
+
+}  // namespace csca

@@ -1,0 +1,99 @@
+// Engine-facing view of a FaultPlan.
+//
+// The injector materializes a plan against a concrete graph (per-node
+// crash times, per-edge outage intervals) and answers the three
+// questions the engines ask on their send/schedule paths:
+//
+//   crashed(v, t)      — has v crash-stopped by time t?
+//   link_down(e, t)    — is edge e inside an outage interval at t?
+//   send_fate(ch, cnt) — is send number cnt on directed channel ch
+//                        dropped, duplicated, or delivered normally?
+//
+// send_fate is a pure function of (run seed, plan salt, channel, count)
+// — the same keyed-per-channel-stream discipline as delay_keyed /
+// channel_delay_key — so every engine (sequential, keyed sequential,
+// sharded at any shard count) draws identical fates for the same
+// logical send, and the fault stream never perturbs delay draws.
+//
+// All fault decisions are made at *send* time (crash schedules and
+// outage intervals are static data, and the arrival time is known when
+// the message is enqueued), so the delivery hot loop stays fault-free.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace csca {
+
+class FaultInjector {
+ public:
+  /// Materializes `plan` against `g`. `run_seed` should be the engine's
+  /// seed so fates are reproducible from the same single seed as
+  /// everything else. Rejects out-of-range crash nodes / outage edges,
+  /// malformed intervals, and drop_rate + dup_rate outside [0, 1].
+  FaultInjector(const FaultPlan& plan, const Graph& g,
+                std::uint64_t run_seed);
+
+  /// False for a zero-rate, event-free plan; engines treat attaching an
+  /// inactive injector exactly like attaching none.
+  bool active() const { return plan_.active(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  double crash_time(NodeId v) const {
+    return crash_time_[static_cast<std::size_t>(v)];
+  }
+  bool crashed(NodeId v, double t) const {
+    return t >= crash_time_[static_cast<std::size_t>(v)];
+  }
+  bool any_crashes() const { return !plan_.crashes.empty(); }
+
+  bool link_down(EdgeId e, double t) const {
+    for (const auto& [down, up] : outages_[static_cast<std::size_t>(e)]) {
+      if (t >= down && t < up) return true;
+    }
+    return false;
+  }
+
+  struct SendFate {
+    bool drop = false;
+    bool duplicate = false;
+  };
+
+  /// Fate of send number `count` (0-based) on directed channel
+  /// `channel` (2 * edge + direction, as in channel_delay_key). One
+  /// keyed unit draw decides: u < drop_rate drops, u in
+  /// [drop_rate, drop_rate + dup_rate) duplicates.
+  SendFate send_fate(std::uint64_t channel, std::uint64_t count) const {
+    if (plan_.drop_rate == 0 && plan_.dup_rate == 0) return {};
+    const double u = key_to_unit(
+        derive_stream_seed(derive_stream_seed(fate_seed_, channel), count));
+    if (u < plan_.drop_rate) return {true, false};
+    if (u < plan_.drop_rate + plan_.dup_rate) return {false, true};
+    return {};
+  }
+
+  /// Delay-draw key for the phantom copy of a duplicated send: same
+  /// keying discipline as channel_delay_key but from the fault stream,
+  /// so the duplicate's delay is independent of the original's and of
+  /// every other draw in the run.
+  std::uint64_t dup_delay_key(std::uint64_t channel,
+                              std::uint64_t count) const {
+    return derive_stream_seed(derive_stream_seed(dup_seed_, channel), count);
+  }
+
+ private:
+  FaultPlan plan_;
+  std::uint64_t fate_seed_;
+  std::uint64_t dup_seed_;
+  // Crash time per node, +infinity when the node never crashes.
+  std::vector<double> crash_time_;
+  // Outage intervals [down, up) per edge, in plan order.
+  std::vector<std::vector<std::pair<double, double>>> outages_;
+};
+
+}  // namespace csca

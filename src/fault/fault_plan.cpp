@@ -1,0 +1,61 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace csca {
+
+std::vector<std::string> builtin_fault_plan_names() {
+  return {"none", "drop1pct", "dup1pct", "crash_one", "link_flap"};
+}
+
+namespace {
+
+double max_edge_weight(const Graph& g) {
+  Weight w = 1;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    w = std::max(w, g.edge(e).w);
+  }
+  return static_cast<double>(w);
+}
+
+}  // namespace
+
+FaultPlan make_builtin_fault_plan(const std::string& name, const Graph& g) {
+  FaultPlan plan;
+  plan.salt = 0xFA17;
+  if (name == "none") return plan;
+  if (name == "drop1pct") {
+    plan.drop_rate = 0.01;
+    return plan;
+  }
+  if (name == "dup1pct") {
+    plan.dup_rate = 0.01;
+    return plan;
+  }
+  if (name == "crash_one") {
+    // A mid-id node, late enough that the protocol is under way when it
+    // dies: 1.5 heavy hops into the run.
+    plan.crashes.push_back(
+        {g.node_count() / 2, 1.5 * max_edge_weight(g)});
+    return plan;
+  }
+  if (name == "link_flap") {
+    const double period = 2.0 * max_edge_weight(g);
+    const EdgeId m = g.edge_count();
+    for (const EdgeId e : {EdgeId{0}, m / 3, (2 * m) / 3}) {
+      if (e >= m) continue;
+      for (int i = 0; i < 4; ++i) {
+        // Down for the first half of each period, starting one period in.
+        const double down = period * static_cast<double>(2 * i + 1);
+        plan.outages.push_back({e, down, down + period / 2});
+      }
+    }
+    return plan;
+  }
+  require(false, "unknown builtin fault plan: " + name);
+  return plan;
+}
+
+}  // namespace csca

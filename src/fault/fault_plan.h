@@ -1,0 +1,78 @@
+// Declarative fault model for a single simulation run.
+//
+// A FaultPlan describes everything that can go wrong with the channel
+// assumptions the paper's protocols rely on: crash-stop node failures at
+// scheduled virtual times, link up/down outage intervals, and per-send
+// drop / duplication draws. The plan is pure data — engines consume it
+// through a FaultInjector (fault_injector.h), which turns the stochastic
+// part into keyed per-channel draws so the bit-identical contract of the
+// sharded engine survives faults at any shard count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csca {
+
+/// Node `node` halts (crash-stop) at virtual time `at`: it executes no
+/// further handlers, sends nothing, and every message arriving at or
+/// after `at` is lost. `at == 0` means the node never starts.
+struct CrashEvent {
+  NodeId node = kNoNode;
+  double at = 0;
+};
+
+/// Edge `edge` carries no messages during [down_at, up_at): sends
+/// attempted while down are lost at the sender, and messages already in
+/// flight are lost if their arrival falls inside the interval.
+struct LinkOutage {
+  EdgeId edge = kNoEdge;
+  double down_at = 0;
+  double up_at = 0;
+};
+
+/// The full fault model for one run. Default-constructed plans are
+/// inactive: attaching one to an engine is observably free (ledgers and
+/// digests byte-identical to a no-fault run).
+struct FaultPlan {
+  /// Per-send probability that the message is silently lost. The draw
+  /// is keyed by (run seed, salt, directed channel, send count), so it
+  /// is independent of delay draws and of scheduling.
+  double drop_rate = 0;
+  /// Per-send probability that the channel delivers a second, phantom
+  /// copy of the message (with its own delay draw). Disjoint with drop:
+  /// one unit draw decides, so drop_rate + dup_rate must be <= 1.
+  double dup_rate = 0;
+  std::vector<CrashEvent> crashes;
+  std::vector<LinkOutage> outages;
+  /// Decorrelates the fault stream from everything else derived from
+  /// the run seed (and lets two plans with equal rates draw different
+  /// fates under the same seed).
+  std::uint64_t salt = 0;
+
+  /// True when the plan can affect a run at all.
+  bool active() const {
+    return drop_rate > 0 || dup_rate > 0 || !crashes.empty() ||
+           !outages.empty();
+  }
+};
+
+/// Names accepted by make_builtin_fault_plan, in presentation order:
+/// none, drop1pct, dup1pct, crash_one, link_flap.
+std::vector<std::string> builtin_fault_plan_names();
+
+/// Builds a named builtin plan against a concrete graph (crash targets
+/// and flapping links are picked from the graph, deterministically):
+///  - none:      inactive plan (zero rates, no events).
+///  - drop1pct:  1% keyed drop rate on every channel.
+///  - dup1pct:   1% keyed duplication rate on every channel.
+///  - crash_one: node n/2 crash-stops at 1.5 * max edge weight.
+///  - link_flap: three spread-out edges cycle down/up with period
+///               2 * max edge weight, four outages each.
+/// Rejects unknown names.
+FaultPlan make_builtin_fault_plan(const std::string& name, const Graph& g);
+
+}  // namespace csca

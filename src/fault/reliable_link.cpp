@@ -1,0 +1,267 @@
+#include "fault/reliable_link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/require.h"
+
+namespace csca {
+
+namespace {
+
+/// RAII guard: hooks run with cur_ pointing at the engine's real
+/// context so inner sends minted through the ArqHost backend can reach
+/// the wire; cleared on exit so stale contexts are never dereferenced.
+class CurrentContext {
+ public:
+  CurrentContext(Context** slot, Context* ctx) : slot_(slot) { *slot_ = ctx; }
+  ~CurrentContext() { *slot_ = nullptr; }
+  CurrentContext(const CurrentContext&) = delete;
+  CurrentContext& operator=(const CurrentContext&) = delete;
+
+ private:
+  Context** slot_;
+};
+
+}  // namespace
+
+ArqHost::ArqHost(NodeId self, std::unique_ptr<Process> inner, ArqConfig cfg)
+    : self_(self), inner_(std::move(inner)), cfg_(cfg) {
+  require(inner_ != nullptr, "ArqHost requires an inner process");
+  require(cfg_.timeout_factor > 0 && cfg_.backoff >= 1.0 &&
+              cfg_.max_retries >= 0,
+          "ArqConfig requires timeout_factor > 0, backoff >= 1, "
+          "max_retries >= 0");
+}
+
+ArqHost::Link& ArqHost::link(EdgeId e) {
+  for (Link& l : links_) {
+    if (l.e == e) return l;
+  }
+  require(false, "edge is not incident to this ARQ host");
+  return links_.front();
+}
+
+const ArqHost::Link& ArqHost::link(EdgeId e) const {
+  return const_cast<ArqHost*>(this)->link(e);
+}
+
+double ArqHost::timeout(EdgeId e, int attempt) const {
+  double t = cfg_.timeout_factor * static_cast<double>(graph_->weight(e));
+  for (int i = 0; i < attempt; ++i) t *= cfg_.backoff;
+  return t;
+}
+
+void ArqHost::on_start(Context& ctx) {
+  graph_ = &ctx.graph();
+  links_.clear();
+  for (const EdgeId e : ctx.incident()) {
+    Link l;
+    l.e = e;
+    links_.push_back(std::move(l));
+  }
+  CurrentContext guard(&cur_, &ctx);
+  Context ictx = make_context(self_);
+  inner_->on_start(ictx);
+}
+
+void ArqHost::on_message(Context& ctx, const Message& m) {
+  CurrentContext guard(&cur_, &ctx);
+  if (m.edge == kNoEdge) {
+    if (m.type == kArqTimer) {
+      handle_timer(ctx, m);
+      return;
+    }
+    require(m.type == kArqSelf,
+            "ArqHost received an unframed self-delivery");
+    // Unwrap the inner self-scheduled message.
+    Message inner_msg(static_cast<int>(m.at(0)),
+                      Payload(m.data.begin() + 1, m.data.end()));
+    inner_msg.from = self_;
+    inner_msg.edge = kNoEdge;
+    Context ictx = make_context(self_);
+    inner_->on_message(ictx, inner_msg);
+    return;
+  }
+  if (m.type == kArqData) {
+    handle_data(ctx, m);
+    return;
+  }
+  require(m.type == kArqAck, "ArqHost received a foreign message type");
+  handle_ack(m);
+}
+
+void ArqHost::handle_data(Context& ctx, const Message& frame) {
+  const EdgeId e = frame.edge;
+  Link& l = link(e);
+  const std::int64_t seq = frame.at(0);
+  if (seq == l.expected) {
+    Message inner_msg(static_cast<int>(frame.at(1)),
+                      Payload(frame.data.begin() + 2, frame.data.end()));
+    inner_msg.from = frame.from;
+    inner_msg.edge = e;
+    ++l.expected;
+    ++l.delivered;
+    deliver_up(std::move(inner_msg));
+    // Drain buffered successors that are now in order. links_ is fixed
+    // at on_start, so the reference stays valid across inner handlers.
+    while (true) {
+      auto it = l.buffered.find(l.expected);
+      if (it == l.buffered.end()) break;
+      Message next = std::move(it->second);
+      l.buffered.erase(it);
+      ++l.expected;
+      ++l.delivered;
+      deliver_up(std::move(next));
+    }
+  } else if (seq > l.expected) {
+    // Out of order (the fault layer only reorders via duplicates, but
+    // ARQ retransmissions themselves can leapfrog): hold the inner
+    // message until the gap fills.
+    if (l.buffered.find(seq) == l.buffered.end()) {
+      Message inner_msg(static_cast<int>(frame.at(1)),
+                        Payload(frame.data.begin() + 2, frame.data.end()));
+      inner_msg.from = frame.from;
+      inner_msg.edge = e;
+      l.buffered.emplace(seq, std::move(inner_msg));
+    }
+  }
+  // else: stale duplicate below the cumulative ack — deliver nothing.
+  //
+  // Always (re-)acknowledge cumulatively: a lost ACK is healed by the
+  // duplicate DATA the ensuing retransmission produces.
+  ctx.send(e, Message(kArqAck, {l.expected}), MsgClass::kControl);
+}
+
+void ArqHost::handle_ack(const Message& frame) {
+  Link& l = link(frame.edge);
+  const std::int64_t ack = frame.at(0);
+  l.unacked.erase(
+      std::remove_if(l.unacked.begin(), l.unacked.end(),
+                     [ack](const Pending& p) { return p.seq < ack; }),
+      l.unacked.end());
+}
+
+void ArqHost::handle_timer(Context& ctx, const Message& m) {
+  const EdgeId e = static_cast<EdgeId>(m.at(0));
+  const std::int64_t seq = m.at(1);
+  const int attempt = static_cast<int>(m.at(2));
+  Link& l = link(e);
+  if (l.dead) return;
+  const auto it =
+      std::find_if(l.unacked.begin(), l.unacked.end(),
+                   [seq](const Pending& p) { return p.seq == seq; });
+  if (it == l.unacked.end()) return;  // acked in the meantime
+  if (attempt >= cfg_.max_retries) {
+    // Retransmit exhaustion: declare the peer dead and stop. This is
+    // the crash signal — the run quiesces instead of retrying forever.
+    l.dead = true;
+    l.unacked.clear();
+    return;
+  }
+  // Retransmission is pure overhead: billed kControl regardless of the
+  // inner send's class.
+  ctx.send(e, it->frame, MsgClass::kControl);
+  l.retransmit_times.push_back(ctx.now());
+  ctx.schedule_self(timeout(e, attempt + 1),
+                    Message(kArqTimer, {e, seq, attempt + 1}));
+}
+
+void ArqHost::deliver_up(Message inner_msg) {
+  Context ictx = make_context(self_);
+  inner_->on_message(ictx, inner_msg);
+}
+
+double ArqHost::engine_now() const {
+  require(cur_ != nullptr, "ArqHost inner call outside a handler");
+  return cur_->now();
+}
+
+const Graph& ArqHost::engine_graph() const {
+  require(graph_ != nullptr, "ArqHost used before on_start");
+  return *graph_;
+}
+
+void ArqHost::engine_send(NodeId /*from*/, EdgeId e, Message m,
+                          MsgClass cls) {
+  require(cur_ != nullptr, "ArqHost inner send outside a handler");
+  Link& l = link(e);
+  if (l.dead) {
+    // The peer was declared dead; nothing can be delivered there.
+    ++l.suppressed;
+    return;
+  }
+  const std::int64_t seq = l.next_seq++;
+  Message frame(kArqData);
+  frame.data.reserve(2 + m.data.size());
+  frame.data.push_back(seq);
+  frame.data.push_back(m.type);
+  frame.data.insert(frame.data.end(), m.data.begin(), m.data.end());
+  l.unacked.push_back(Pending{seq, frame});
+  // First copy rides in the inner send's own class: the algorithm
+  // ledger of a faulted+ARQ run records the protocol's own sends.
+  cur_->send(e, std::move(frame), cls);
+  cur_->schedule_self(timeout(e, 0), Message(kArqTimer, {e, seq, 0}));
+}
+
+void ArqHost::engine_schedule_self(NodeId /*v*/, double delay, Message m) {
+  require(cur_ != nullptr, "ArqHost inner call outside a handler");
+  Message wrapped(kArqSelf);
+  wrapped.data.reserve(1 + m.data.size());
+  wrapped.data.push_back(m.type);
+  wrapped.data.insert(wrapped.data.end(), m.data.begin(), m.data.end());
+  cur_->schedule_self(delay, std::move(wrapped));
+}
+
+void ArqHost::engine_finish(NodeId /*v*/) {
+  require(cur_ != nullptr, "ArqHost inner call outside a handler");
+  cur_->finish();
+}
+
+std::int64_t ArqHost::data_sent(EdgeId e) const { return link(e).next_seq; }
+
+std::int64_t ArqHost::next_expected_in(EdgeId e) const {
+  return link(e).expected;
+}
+
+std::int64_t ArqHost::delivered_up(EdgeId e) const {
+  return link(e).delivered;
+}
+
+std::int64_t ArqHost::retransmit_count(EdgeId e) const {
+  return static_cast<std::int64_t>(link(e).retransmit_times.size());
+}
+
+const std::vector<double>& ArqHost::retransmit_times(EdgeId e) const {
+  return link(e).retransmit_times;
+}
+
+bool ArqHost::peer_dead(EdgeId e) const { return link(e).dead; }
+
+bool ArqHost::any_peer_dead() const {
+  return std::any_of(links_.begin(), links_.end(),
+                     [](const Link& l) { return l.dead; });
+}
+
+std::int64_t ArqHost::suppressed_sends(EdgeId e) const {
+  return link(e).suppressed;
+}
+
+ProcessFactory arq_factory(ProcessFactory inner, ArqConfig cfg) {
+  require(inner != nullptr, "arq_factory requires an inner factory");
+  return [inner = std::move(inner), cfg](NodeId v) {
+    auto p = inner(v);
+    require(p != nullptr, "process factory returned null");
+    return std::make_unique<ArqHost>(v, std::move(p), cfg);
+  };
+}
+
+ArqHost& arq_host(ProcessHost& host, NodeId v) {
+  return host.process_as<ArqHost>(v);
+}
+
+Process& arq_inner(ProcessHost& host, NodeId v) {
+  return arq_host(host, v).inner();
+}
+
+}  // namespace csca

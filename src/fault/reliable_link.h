@@ -1,0 +1,139 @@
+// Per-edge ARQ: a reliable-link layer over faulty channels.
+//
+// The paper's protocols assume reliable FIFO links. A FaultPlan breaks
+// that assumption (drops, duplicates, crashes, outages); this layer
+// restores it, at a measurable weighted cost. Each node's process is
+// wrapped in an ArqHost (via arq_factory), which frames every inner
+// send as a sequence-numbered DATA message, acknowledges every DATA it
+// receives with a cumulative ACK, and retransmits unacknowledged DATA
+// on a deterministic exponential-backoff timer. Above the layer the
+// inner protocol sees exactly the paper's channel model: exactly-once,
+// FIFO-per-channel delivery.
+//
+// Cost accounting (the point of the exercise): the *first* copy of a
+// DATA frame is billed in the inner send's own ledger class, so the
+// algorithm ledger of a faulted+ARQ run equals the protocol's own send
+// pattern; every retransmission and every ACK is billed as
+// MsgClass::kControl. The reliability overhead factor is therefore
+// directly readable from the ledger as total_cost / algorithm_cost
+// (see docs/faults.md and the "fault" degradation table).
+//
+// Crash detection: a DATA frame retransmitted past max_retries marks
+// the link peer-dead — retransmission stops, later inner sends on the
+// edge are suppressed, and the run quiesces instead of hanging. The
+// signal surfaces through peer_dead() / any_peer_dead().
+//
+// The wrapper is engine-agnostic: ArqHost is a plain Process that
+// implements EngineBackend for its inner process (the same adapter
+// pattern as the controller's host wrappers), so it runs unmodified on
+// the Network, the SyncEngine-driven synchronizer stacks, and the
+// sharded engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace csca {
+
+/// ARQ frame type tags. Inner protocols must not use these values.
+enum ArqTag : int {
+  kArqData = 71001,   ///< [seq, inner type, inner payload...]
+  kArqAck = 71002,    ///< [cumulative ack: next seq expected]
+  kArqTimer = 71003,  ///< self only: [edge, seq, attempt]
+  kArqSelf = 71004,   ///< wrapped inner self-delivery: [inner type, ...]
+};
+
+struct ArqConfig {
+  /// Initial retransmit timeout on edge e is timeout_factor * w(e). A
+  /// full data+ack round trip takes 2 w(e) under ExactDelay, so the
+  /// default leaves a 4x margin before the first spurious retransmit.
+  double timeout_factor = 8.0;
+  /// Timeout multiplier per retransmission (exponential backoff).
+  double backoff = 2.0;
+  /// Retransmissions before the peer is declared dead. Attempt numbers
+  /// run 0 (first transmission) through max_retries.
+  int max_retries = 12;
+};
+
+/// Wraps one node's process behind the ARQ layer. Built by arq_factory;
+/// reached after a run via ProcessHost::process_as<ArqHost>(v).
+class ArqHost final : public Process, private EngineBackend {
+ public:
+  ArqHost(NodeId self, std::unique_ptr<Process> inner, ArqConfig cfg);
+
+  void on_start(Context& ctx) override;
+  void on_message(Context& ctx, const Message& m) override;
+
+  /// The wrapped protocol process (post-run state inspection).
+  Process& inner() { return *inner_; }
+  const Process& inner() const { return *inner_; }
+
+  // Per-incident-edge link state, for tests and the invariant checker.
+  // All take an edge incident to this node.
+  std::int64_t data_sent(EdgeId e) const;      ///< DATA seqs consumed
+  std::int64_t next_expected_in(EdgeId e) const;
+  std::int64_t delivered_up(EdgeId e) const;   ///< inner deliveries
+  std::int64_t retransmit_count(EdgeId e) const;
+  /// Virtual times at which each retransmission of edge e fired, in
+  /// order — the backoff schedule, deterministic per seed.
+  const std::vector<double>& retransmit_times(EdgeId e) const;
+  /// True once retransmission on e exhausted max_retries.
+  bool peer_dead(EdgeId e) const;
+  bool any_peer_dead() const;
+  /// Inner sends suppressed because the link was already peer-dead.
+  std::int64_t suppressed_sends(EdgeId e) const;
+
+ private:
+  struct Pending {
+    std::int64_t seq = 0;
+    Message frame;  ///< the DATA frame, kept for retransmission
+  };
+  struct Link {
+    EdgeId e = kNoEdge;
+    // Sender side.
+    std::int64_t next_seq = 0;
+    std::vector<Pending> unacked;
+    std::vector<double> retransmit_times;
+    bool dead = false;
+    std::int64_t suppressed = 0;
+    // Receiver side.
+    std::int64_t expected = 0;
+    std::map<std::int64_t, Message> buffered;  ///< out-of-order inner msgs
+    std::int64_t delivered = 0;
+  };
+
+  Link& link(EdgeId e);
+  const Link& link(EdgeId e) const;
+  double timeout(EdgeId e, int attempt) const;
+  void handle_data(Context& ctx, const Message& frame);
+  void handle_ack(const Message& frame);
+  void handle_timer(Context& ctx, const Message& m);
+  void deliver_up(Message inner_msg);
+
+  // EngineBackend for the inner process: frame and forward.
+  double engine_now() const override;
+  const Graph& engine_graph() const override;
+  void engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) override;
+  void engine_schedule_self(NodeId v, double delay, Message m) override;
+  void engine_finish(NodeId v) override;
+
+  NodeId self_;
+  std::unique_ptr<Process> inner_;
+  ArqConfig cfg_;
+  const Graph* graph_ = nullptr;
+  std::vector<Link> links_;  ///< one per incident edge, insertion order
+  Context* cur_ = nullptr;   ///< the real context, valid during hooks
+};
+
+/// Wraps every process `inner` builds behind the ARQ layer.
+ProcessFactory arq_factory(ProcessFactory inner, ArqConfig cfg = {});
+
+/// Convenience accessors for wrapped hosts.
+ArqHost& arq_host(ProcessHost& host, NodeId v);
+Process& arq_inner(ProcessHost& host, NodeId v);
+
+}  // namespace csca

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "fault/fault_injector.h"
+
 namespace csca {
 
 // ---------------------------------------------------------------------------
@@ -123,6 +125,10 @@ struct ShardEngine::Shard final : public EngineBackend {
     // per-channel counters are written race-free.
     const std::size_t channel =
         static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+    if (eng->faults_ != nullptr) {
+      engine_send_faulty(from, e, edge, channel, std::move(m), cls);
+      return;
+    }
     const double d = eng->delay_->delay_keyed(
         e, edge.w,
         channel_delay_key(eng->seed_, channel, eng->channel_sends_[channel]++));
@@ -158,8 +164,86 @@ struct ShardEngine::Shard final : public EngineBackend {
     }
   }
 
+  /// Mirror of Network::engine_send_faulty, drawing the identical keyed
+  /// fate for the identical logical send: the per-channel count is
+  /// consumed exactly when the sequential engine consumes it, dropped
+  /// sends consume no send index, and a surviving duplicate consumes
+  /// the next one — so delivery order stays bit-identical to the keyed
+  /// Network at every shard count.
+  void engine_send_faulty(NodeId from, EdgeId e, const Edge& edge,
+                          std::size_t channel, Message m, MsgClass cls) {
+    const FaultInjector& faults = *eng->faults_;
+    if (faults.crashed(from, now)) return;
+    const std::uint64_t count = eng->channel_sends_[channel]++;
+    const auto charge = [&] {
+      ++eng->channel_messages_[class_index(cls)][channel];
+      if (cls == MsgClass::kAlgorithm) {
+        ++stats.algorithm_messages;
+        stats.algorithm_cost += edge.w;
+      } else {
+        ++stats.control_messages;
+        stats.control_cost += edge.w;
+      }
+    };
+    const FaultInjector::SendFate fate = faults.send_fate(channel, count);
+    if (fate.drop || faults.link_down(e, now)) {
+      charge();
+      return;
+    }
+    const double d = eng->delay_->delay_keyed(
+        e, edge.w, channel_delay_key(eng->seed_, channel, count));
+    require(d >= 0.0 && d <= static_cast<double>(edge.w),
+            "delay model produced delay outside [0, w(e)]");
+    require(d >= eng->delay_->min_delay(e, edge.w),
+            "delay model drew below its declared min_delay");
+    const double arrival = std::max(now + d, eng->last_arrival_[channel]);
+    const NodeId to = eng->graph_->other(e, from);
+    if (faults.link_down(e, arrival) || faults.crashed(to, arrival)) {
+      charge();
+      return;
+    }
+    eng->last_arrival_[channel] = arrival;
+    m.from = from;
+    m.edge = e;
+    Message dup;
+    if (fate.duplicate) dup = m;
+    charge();
+    const Lineage* lin = handler_lineage();
+    require(sends_in_handler != UINT32_MAX, "send index space exhausted");
+    const std::uint32_t idx = sends_in_handler++;
+    const int dest = eng->part_.shard(to);
+    if (dest == id) {
+      push_local(arrival, lin, idx, std::move(m));
+    } else {
+      eng->channel(id, dest).push(CrossMsg{arrival, lin, idx, std::move(m)});
+    }
+    if (fate.duplicate) {
+      const double d2 = eng->delay_->delay_keyed(
+          e, edge.w, faults.dup_delay_key(channel, count));
+      require(d2 >= 0.0 && d2 <= static_cast<double>(edge.w),
+              "delay model produced delay outside [0, w(e)]");
+      require(d2 >= eng->delay_->min_delay(e, edge.w),
+              "delay model drew below its declared min_delay");
+      const double arr2 = std::max(now + d2, eng->last_arrival_[channel]);
+      if (!faults.link_down(e, arr2) && !faults.crashed(to, arr2)) {
+        require(sends_in_handler != UINT32_MAX, "send index space exhausted");
+        const std::uint32_t idx2 = sends_in_handler++;
+        if (dest == id) {
+          push_local(arr2, lin, idx2, std::move(dup));
+        } else {
+          eng->channel(id, dest).push(
+              CrossMsg{arr2, lin, idx2, std::move(dup)});
+        }
+      }
+    }
+  }
+
   void engine_schedule_self(NodeId v, double delay, Message m) override {
     require(delay >= 0.0, "self-delivery delay must be non-negative");
+    // A timer that would fire at or after its owner's crash dies with
+    // the node (cf. Network::engine_schedule_self).
+    if (eng->faults_ != nullptr && eng->faults_->crashed(v, now + delay))
+      return;
     m.from = v;
     m.edge = kNoEdge;
     const Lineage* lin = handler_lineage();
@@ -180,6 +264,8 @@ struct ShardEngine::Shard final : public EngineBackend {
     now = 0;
     cur_is_start = true;
     for (NodeId v : owned) {
+      // A node crashed at time 0 never participates at all.
+      if (eng->faults_ != nullptr && eng->faults_->crashed(v, 0.0)) continue;
       cur_node = v;
       cur_lineage = nullptr;
       sends_in_handler = 0;
@@ -348,6 +434,11 @@ ShardEngine::ShardEngine(const Graph& g, const ProcessFactory& factory,
     : ShardEngine(g, factory, std::move(delay), seed, Options{}) {}
 
 ShardEngine::~ShardEngine() = default;
+
+void ShardEngine::set_faults(const FaultInjector* f) {
+  require(!ran_, "faults must be attached before run()");
+  faults_ = (f != nullptr && f->active()) ? f : nullptr;
+}
 
 RunStats ShardEngine::run() {
   require(!ran_, "ShardEngine::run is single-shot");

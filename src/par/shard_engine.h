@@ -75,6 +75,8 @@
 
 namespace csca {
 
+class FaultInjector;
+
 class ShardEngine final : public ProcessHost {
  public:
   struct Options {
@@ -92,6 +94,13 @@ class ShardEngine final : public ProcessHost {
   /// Runs the protocol to quiescence and returns the merged ledger.
   /// Single-shot: a ShardEngine instance runs once.
   RunStats run();
+
+  /// Attaches a fault injector (nullptr detaches; not owned). Fault
+  /// fates key off the same per-channel send counts as the keyed delay
+  /// draws, so a faulted run stays bit-identical to the keyed Network
+  /// at every shard count. Same contract as Network::set_faults:
+  /// inactive injectors are discarded; must be called before run().
+  void set_faults(const FaultInjector* f);
 
   int shard_count() const { return part_.shards; }
   const ShardPartition& partition() const { return part_; }
@@ -183,6 +192,7 @@ class ShardEngine final : public ProcessHost {
   std::int64_t rounds_ = 0;
   std::int64_t wave_rounds_ = 0;
   bool ran_ = false;
+  const FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace csca

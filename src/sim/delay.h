@@ -65,11 +65,6 @@ inline std::uint64_t channel_delay_key(std::uint64_t seed,
   return derive_stream_seed(derive_stream_seed(seed, channel), count);
 }
 
-/// Maps a 64-bit key to a uniform double in [0, 1) (53 high bits).
-inline double key_to_unit(std::uint64_t key) {
-  return static_cast<double>(key >> 11) * 0x1.0p-53;
-}
-
 /// delay(e) == w(e): the worst case permitted by the model, and also the
 /// behaviour of the paper's weighted *synchronous* network.
 class ExactDelay final : public DelayModel {

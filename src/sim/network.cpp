@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
+
 namespace csca {
 
 Network::Network(const Graph& g, const ProcessFactory& factory,
@@ -42,6 +44,10 @@ void Network::engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
   // same channel.
   const std::size_t channel =
       static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+  if (faults_) {
+    engine_send_faulty(from, e, edge, channel, std::move(m), cls);
+    return;
+  }
   const double d =
       keyed_delays_
           ? delay_->delay_keyed(
@@ -69,8 +75,108 @@ void Network::engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
   if (observer_) observer_->on_send(*this, from, e, cls, d, arrival);
 }
 
+void Network::engine_send_faulty(NodeId from, EdgeId e, const Edge& edge,
+                                 std::size_t channel, Message m,
+                                 MsgClass cls) {
+  // Crash-stop belt-and-braces: a crashed node never runs another
+  // handler, but nothing it emits at its crash instant may leave either.
+  if (faults_->crashed(from, now_)) return;
+  // Fault fates are keyed by the same per-channel send count as keyed
+  // delay draws, so the sharded engine draws the identical fate for the
+  // identical logical send (set_faults allocates the counters even in
+  // unkeyed mode).
+  const std::uint64_t count = channel_sends_[channel]++;
+  // Transmission attempts are charged whether or not the message
+  // survives the channel: the sender paid for the send (see
+  // docs/faults.md).
+  const auto charge = [&] {
+    ++edge_messages_[class_index(cls)][static_cast<std::size_t>(e)];
+    if (cls == MsgClass::kAlgorithm) {
+      ++stats_.algorithm_messages;
+      stats_.algorithm_cost += edge.w;
+    } else {
+      ++stats_.control_messages;
+      stats_.control_cost += edge.w;
+    }
+  };
+  const FaultInjector::SendFate fate = faults_->send_fate(channel, count);
+  if (fate.drop || faults_->link_down(e, now_)) {
+    charge();
+    if (observer_) {
+      observer_->on_drop(*this, from, e, cls,
+                         fate.drop ? FaultDropReason::kChannelDrop
+                                   : FaultDropReason::kLinkDown);
+    }
+    return;
+  }
+  const double d =
+      keyed_delays_
+          ? delay_->delay_keyed(e, edge.w,
+                                channel_delay_key(seed_, channel, count))
+          : delay_->delay_on(e, edge.w, rng_);
+  require(d >= 0.0 && d <= static_cast<double>(edge.w),
+          "delay model produced delay outside [0, w(e)]");
+  const double arrival = std::max(now_ + d, last_arrival_[channel]);
+  const NodeId to = graph_->other(e, from);
+  // Lost in transit: the link goes down before the message lands, or
+  // the receiver has crash-stopped by then. The FIFO clamp is only
+  // committed by messages that are actually delivered.
+  if (faults_->link_down(e, arrival) || faults_->crashed(to, arrival)) {
+    charge();
+    if (observer_) {
+      observer_->on_drop(*this, from, e, cls,
+                         faults_->link_down(e, arrival)
+                             ? FaultDropReason::kLinkDown
+                             : FaultDropReason::kReceiverCrashed);
+    }
+    return;
+  }
+  last_arrival_[channel] = arrival;
+  m.from = from;
+  m.edge = e;
+  Message dup;
+  if (fate.duplicate) dup = m;
+  require(seq_ != UINT32_MAX, "event sequence space exhausted");
+  queue_.push(HeapKey{arrival, seq_++}, std::move(m));
+  charge();
+  if (observer_) observer_->on_send(*this, from, e, cls, d, arrival);
+  if (fate.duplicate) {
+    // Phantom copy with its own keyed delay draw; clamped behind the
+    // original (the clamp was just committed) but never committing the
+    // clamp itself, and never charged: duplication is channel noise,
+    // not a protocol send. It does consume the next event sequence
+    // number, exactly like the sharded engine's next send index.
+    const double d2 =
+        keyed_delays_
+            ? delay_->delay_keyed(e, edge.w,
+                                  faults_->dup_delay_key(channel, count))
+            : delay_->delay_on(e, edge.w, rng_);
+    require(d2 >= 0.0 && d2 <= static_cast<double>(edge.w),
+            "delay model produced delay outside [0, w(e)]");
+    const double arr2 = std::max(now_ + d2, last_arrival_[channel]);
+    if (!faults_->link_down(e, arr2) && !faults_->crashed(to, arr2)) {
+      require(seq_ != UINT32_MAX, "event sequence space exhausted");
+      queue_.push(HeapKey{arr2, seq_++}, std::move(dup));
+      if (observer_) observer_->on_duplicate(*this, from, e, arr2);
+    }
+  }
+}
+
+void Network::set_faults(const FaultInjector* f) {
+  require(!started_, "faults must be attached before the first step");
+  faults_ = (f != nullptr && f->active()) ? f : nullptr;
+  if (faults_ != nullptr && channel_sends_.empty()) {
+    channel_sends_.assign(static_cast<std::size_t>(2 * graph_->edge_count()),
+                          0);
+  }
+}
+
 void Network::engine_schedule_self(NodeId v, double delay, Message m) {
   require(delay >= 0.0, "self-delivery delay must be non-negative");
+  // A timer that would fire at or after its owner's crash time dies
+  // with the node: it is silently never queued (so crashed nodes hold
+  // no pending retransmit timers and runs quiesce instead of hanging).
+  if (faults_ != nullptr && faults_->crashed(v, now_ + delay)) return;
   m.from = v;
   m.edge = kNoEdge;
   require(seq_ != UINT32_MAX, "event sequence space exhausted");
@@ -91,6 +197,8 @@ void Network::ensure_started() {
   started_ = true;
   now_ = 0;
   for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    // A node crashed at time 0 never participates at all.
+    if (faults_ != nullptr && faults_->crashed(v, 0.0)) continue;
     Context ctx = make_context(v);
     processes_[static_cast<std::size_t>(v)]->on_start(ctx);
   }

@@ -29,6 +29,14 @@
 namespace csca {
 
 class Network;
+class FaultInjector;
+
+/// Why a fault swallowed a send attempt (see InvariantObserver::on_drop).
+enum class FaultDropReason {
+  kChannelDrop,      // keyed per-send drop draw
+  kLinkDown,         // edge inside an outage interval at send or arrival
+  kReceiverCrashed,  // destination crash-stops before the arrival time
+};
 
 /// Passive hook interface for the protocol analysis layer (src/check/).
 /// When attached via Network::set_observer, the engine invokes one hook
@@ -60,6 +68,20 @@ class InvariantObserver {
 
   /// Node v called Context::finish() for the first time, at time t.
   virtual void on_finish(const Network&, NodeId /*v*/, double /*t*/) {}
+
+  /// A send attempt by `from` on edge e was swallowed by a fault. The
+  /// ledger charges the attempt (transmission cost is paid whether or
+  /// not the message survives the channel) but nothing was queued and
+  /// nothing will be delivered for it. Only fires with faults attached.
+  virtual void on_drop(const Network&, NodeId /*from*/, EdgeId /*e*/,
+                       MsgClass /*cls*/, FaultDropReason /*reason*/) {}
+
+  /// The channel duplicated a send by `from` on edge e: a phantom copy
+  /// was queued to arrive at `arrival`. Duplicates are channel noise,
+  /// not protocol sends — they are *not* charged to the ledger or the
+  /// per-edge counters. Only fires with faults attached.
+  virtual void on_duplicate(const Network&, NodeId /*from*/, EdgeId /*e*/,
+                            double /*arrival*/) {}
 };
 
 /// Simulation host: graph + processes + event queue + cost ledger.
@@ -152,6 +174,16 @@ class Network : public ProcessHost, private EngineBackend {
   void set_observer(InvariantObserver* obs) { observer_ = obs; }
   InvariantObserver* observer() const { return observer_; }
 
+  /// Attaches a fault injector (nullptr detaches; not owned, must
+  /// outlive the network). All fault decisions happen at send /
+  /// schedule time — see fault/fault_injector.h — so the delivery loop
+  /// is untouched. An *inactive* injector (zero rates, no events) is
+  /// discarded here, keeping the no-faults hot path byte-identical
+  /// whether or not a plan was attached. Must be called before the
+  /// first step.
+  void set_faults(const FaultInjector* f);
+  const FaultInjector* faults() const { return faults_; }
+
  private:
   // Pending deliveries are pooled Messages keyed by (arrival, send
   // sequence) — the seq tie-break makes the order total, so delivery
@@ -169,6 +201,10 @@ class Network : public ProcessHost, private EngineBackend {
   double engine_now() const override { return now_; }
   const Graph& engine_graph() const override { return *graph_; }
   void engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) override;
+  // Cold continuation of engine_send when a fault injector is attached:
+  // fate draw, loss checks at send and arrival time, phantom duplicate.
+  void engine_send_faulty(NodeId from, EdgeId e, const Edge& edge,
+                          std::size_t channel, Message m, MsgClass cls);
   void engine_schedule_self(NodeId v, double delay, Message m) override;
   void engine_finish(NodeId v) override;
   void ensure_started();
@@ -192,9 +228,11 @@ class Network : public ProcessHost, private EngineBackend {
   InvariantObserver* observer_ = nullptr;
   bool started_ = false;
   // Keyed-draw mode (set_keyed_delays): per-directed-channel send
-  // counts, allocated on enable.
+  // counts, allocated on enable. Fault fates are keyed by the same
+  // counts, so attaching an active injector also allocates them.
   bool keyed_delays_ = false;
   std::vector<std::uint64_t> channel_sends_;
+  const FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace csca

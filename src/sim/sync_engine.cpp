@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
+
 namespace csca {
 
 SyncEngine::SyncEngine(const Graph& g, const ProcessFactory& factory,
@@ -28,14 +30,61 @@ void SyncEngine::do_send(NodeId from, EdgeId e, Message m) {
   }
   m.from = from;
   m.edge = e;
+  if (faults_ != nullptr) {
+    // Mirror of Network::engine_send_faulty in the pulse domain: the
+    // attempt is always charged, fates are keyed by the per-channel
+    // send count, and loss is decided at send time (arrival pulses are
+    // known exactly).
+    if (faults_->crashed(from, static_cast<double>(pulse_))) return;
+    const std::size_t channel =
+        static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+    const std::uint64_t count = channel_sends_[channel]++;
+    ++stats_.algorithm_messages;
+    stats_.algorithm_cost += edge.w;
+    const NodeId to = graph_->other(e, from);
+    const double arrival = static_cast<double>(pulse_ + edge.w);
+    const FaultInjector::SendFate fate = faults_->send_fate(channel, count);
+    if (fate.drop || faults_->link_down(e, static_cast<double>(pulse_)) ||
+        faults_->link_down(e, arrival) || faults_->crashed(to, arrival)) {
+      return;
+    }
+    check_event_bounds(pulse_ + edge.w);
+    if (fate.duplicate) {
+      // The phantom copy arrives one transmission later (p + 2w), the
+      // pulse-domain analogue of an independent second delay draw.
+      const double arr2 = static_cast<double>(pulse_ + 2 * edge.w);
+      if (!faults_->link_down(e, arr2) && !faults_->crashed(to, arr2)) {
+        Message dup = m;
+        check_event_bounds(pulse_ + 2 * edge.w);
+        queue_.push(event_key(pulse_ + edge.w, 0, seq_++), std::move(m));
+        queue_.push(event_key(pulse_ + 2 * edge.w, 0, seq_++),
+                    std::move(dup));
+        return;
+      }
+    }
+    queue_.push(event_key(pulse_ + edge.w, 0, seq_++), std::move(m));
+    return;
+  }
   check_event_bounds(pulse_ + edge.w);
   queue_.push(event_key(pulse_ + edge.w, 0, seq_++), std::move(m));
   ++stats_.algorithm_messages;
   stats_.algorithm_cost += edge.w;
 }
 
+void SyncEngine::set_faults(const FaultInjector* f) {
+  require(!started_, "faults must be attached before the first step");
+  faults_ = (f != nullptr && f->active()) ? f : nullptr;
+  if (faults_ != nullptr && channel_sends_.empty()) {
+    channel_sends_.assign(static_cast<std::size_t>(2 * graph_->edge_count()),
+                          0);
+  }
+}
+
 void SyncEngine::do_wakeup(NodeId v, std::int64_t at_pulse) {
   require(at_pulse > pulse_, "wakeup must be scheduled strictly ahead");
+  // Wakeups die with their owner (cf. Network::engine_schedule_self).
+  if (faults_ != nullptr && faults_->crashed(v, static_cast<double>(at_pulse)))
+    return;
   check_event_bounds(at_pulse);
   Message m;
   m.from = v;
@@ -51,6 +100,7 @@ void SyncEngine::ensure_started() {
   started_ = true;
   pulse_ = 0;
   for (NodeId v = 0; v < graph_->node_count(); ++v) {
+    if (faults_ != nullptr && faults_->crashed(v, 0.0)) continue;
     EngineContext ctx(*this, v);
     processes_[static_cast<std::size_t>(v)]->on_start(ctx);
   }

@@ -25,6 +25,8 @@
 
 namespace csca {
 
+class FaultInjector;
+
 class SyncEngine {
  public:
   using ProcessFactory = std::function<std::unique_ptr<SyncProcess>(NodeId)>;
@@ -68,6 +70,13 @@ class SyncEngine {
 
   const Graph& graph() const { return *graph_; }
   bool all_finished() const;
+
+  /// Attaches a fault injector (nullptr detaches; not owned). Same
+  /// contract as Network::set_faults: decisions at send/wakeup time in
+  /// the pulse domain (a send at pulse p arrives at p + w, a duplicate
+  /// at p + 2w), inactive injectors are discarded, and it must be
+  /// called before the first step.
+  void set_faults(const FaultInjector* f);
 
  private:
   class EngineContext final : public SyncContext {
@@ -125,6 +134,10 @@ class SyncEngine {
   std::vector<char> finished_;
   RunStats stats_;
   bool started_ = false;
+  const FaultInjector* faults_ = nullptr;
+  // Per-directed-channel send counts keying fault fates; allocated by
+  // set_faults (the pulse engine has no keyed-delay mode of its own).
+  std::vector<std::uint64_t> channel_sends_;
 };
 
 }  // namespace csca

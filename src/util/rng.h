@@ -33,6 +33,11 @@ inline std::uint64_t derive_stream_seed(std::uint64_t base,
   return mix64(base + stream * 0x9e3779b97f4a7c15ULL);
 }
 
+/// Maps a 64-bit key to a uniform double in [0, 1) (53 high bits).
+inline double key_to_unit(std::uint64_t key) {
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
 /// Seeded deterministic random source. Thin wrapper over std::mt19937_64
 /// with convenience samplers; cheap to copy (copies fork the stream state).
 class Rng {

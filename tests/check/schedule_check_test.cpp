@@ -129,7 +129,7 @@ TEST(ScheduleCheck, InvariantViolationsAreReportedWithTheirSchedule) {
     }
   };
   ScheduleSpec bad{"too_slow", 1,
-                   [] { return std::make_unique<TooSlowDelay>(); }};
+                   [] { return std::make_unique<TooSlowDelay>(); }, {}};
   Rng rng(11);
   const Graph g = path_graph(3, WeightSpec::constant(2), rng);
   const SubjectOutcome out = run_checked(

@@ -1,0 +1,173 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/fault_plan.h"
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+Graph triangle() {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(1, 2, 3);
+  g.add_edge(0, 2, 5);
+  return g;
+}
+
+TEST(FaultPlan, DefaultIsInactive) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.active());
+  plan.salt = 0xFA17;  // salt alone does not activate a plan
+  EXPECT_FALSE(plan.active());
+  plan.drop_rate = 0.01;
+  EXPECT_TRUE(plan.active());
+}
+
+TEST(FaultInjector, RejectsMalformedPlans) {
+  const Graph g = triangle();
+  FaultPlan bad_rate;
+  bad_rate.drop_rate = -0.1;
+  EXPECT_ANY_THROW(FaultInjector(bad_rate, g, 1));
+
+  FaultPlan over_one;
+  over_one.drop_rate = 0.6;
+  over_one.dup_rate = 0.5;
+  EXPECT_ANY_THROW(FaultInjector(over_one, g, 1));
+
+  FaultPlan bad_node;
+  bad_node.crashes.push_back({7, 1.0});
+  EXPECT_ANY_THROW(FaultInjector(bad_node, g, 1));
+
+  FaultPlan bad_edge;
+  bad_edge.outages.push_back({9, 0.0, 1.0});
+  EXPECT_ANY_THROW(FaultInjector(bad_edge, g, 1));
+
+  FaultPlan empty_interval;
+  empty_interval.outages.push_back({0, 2.0, 2.0});
+  EXPECT_ANY_THROW(FaultInjector(empty_interval, g, 1));
+}
+
+TEST(FaultInjector, CrashTimesAndIntervalSemantics) {
+  const Graph g = triangle();
+  FaultPlan plan;
+  plan.crashes.push_back({1, 4.0});
+  plan.outages.push_back({0, 2.0, 6.0});
+  const FaultInjector inj(plan, g, 1);
+  EXPECT_TRUE(inj.active());
+  EXPECT_TRUE(inj.any_crashes());
+
+  EXPECT_FALSE(inj.crashed(1, 3.9));
+  EXPECT_TRUE(inj.crashed(1, 4.0));  // crash takes effect at `at`
+  EXPECT_TRUE(inj.crashed(1, 100.0));
+  EXPECT_FALSE(inj.crashed(0, 100.0));
+  EXPECT_EQ(inj.crash_time(1), 4.0);
+  EXPECT_TRUE(std::isinf(inj.crash_time(0)));
+
+  EXPECT_FALSE(inj.link_down(0, 1.9));
+  EXPECT_TRUE(inj.link_down(0, 2.0));  // [down, up)
+  EXPECT_TRUE(inj.link_down(0, 5.9));
+  EXPECT_FALSE(inj.link_down(0, 6.0));
+  EXPECT_FALSE(inj.link_down(1, 3.0));  // other edges unaffected
+}
+
+// send_fate is a pure function of (seed, salt, channel, count):
+// reconstructing the injector reproduces every fate, changing the seed
+// or the salt changes the stream.
+TEST(FaultInjector, FatesAreKeyedAndReproducible) {
+  const Graph g = triangle();
+  FaultPlan plan;
+  plan.drop_rate = 0.2;
+  plan.dup_rate = 0.2;
+  plan.salt = 0xFA17;
+  const FaultInjector a(plan, g, 42);
+  const FaultInjector b(plan, g, 42);
+  const FaultInjector other_seed(plan, g, 43);
+  FaultPlan salted = plan;
+  salted.salt = 0xFA18;
+  const FaultInjector other_salt(salted, g, 42);
+
+  int differs_seed = 0;
+  int differs_salt = 0;
+  for (std::uint64_t ch = 0; ch < 6; ++ch) {
+    for (std::uint64_t cnt = 0; cnt < 200; ++cnt) {
+      const auto fa = a.send_fate(ch, cnt);
+      const auto fb = b.send_fate(ch, cnt);
+      EXPECT_EQ(fa.drop, fb.drop);
+      EXPECT_EQ(fa.duplicate, fb.duplicate);
+      EXPECT_FALSE(fa.drop && fa.duplicate);
+      const auto fs = other_seed.send_fate(ch, cnt);
+      if (fs.drop != fa.drop || fs.duplicate != fa.duplicate) {
+        ++differs_seed;
+      }
+      const auto ft = other_salt.send_fate(ch, cnt);
+      if (ft.drop != fa.drop || ft.duplicate != fa.duplicate) {
+        ++differs_salt;
+      }
+      EXPECT_EQ(a.dup_delay_key(ch, cnt), b.dup_delay_key(ch, cnt));
+    }
+  }
+  EXPECT_GT(differs_seed, 0);
+  EXPECT_GT(differs_salt, 0);
+}
+
+// Empirical fate frequencies track the configured rates.
+TEST(FaultInjector, FateFrequenciesMatchRates) {
+  const Graph g = triangle();
+  FaultPlan plan;
+  plan.drop_rate = 0.1;
+  plan.dup_rate = 0.05;
+  const FaultInjector inj(plan, g, 7);
+  int drops = 0;
+  int dups = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const auto f = inj.send_fate(static_cast<std::uint64_t>(i % 6),
+                                 static_cast<std::uint64_t>(i / 6));
+    drops += f.drop ? 1 : 0;
+    dups += f.duplicate ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / trials, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(dups) / trials, 0.05, 0.01);
+}
+
+TEST(BuiltinFaultPlans, AllNamesBuildAndValidate) {
+  Rng rng(5);
+  const Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 9), rng);
+  const auto names = builtin_fault_plan_names();
+  ASSERT_EQ(names.size(), 5u);
+  for (const std::string& name : names) {
+    const FaultPlan plan = make_builtin_fault_plan(name, g);
+    // Every builtin must materialize cleanly against the graph.
+    const FaultInjector inj(plan, g, 1);
+    EXPECT_EQ(plan.active(), name != "none") << name;
+  }
+  EXPECT_ANY_THROW(make_builtin_fault_plan("bogus", g));
+}
+
+TEST(BuiltinFaultPlans, ShapesMatchTheirNames) {
+  Rng rng(5);
+  const Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 9), rng);
+  const FaultPlan drop = make_builtin_fault_plan("drop1pct", g);
+  EXPECT_DOUBLE_EQ(drop.drop_rate, 0.01);
+  EXPECT_DOUBLE_EQ(drop.dup_rate, 0.0);
+  const FaultPlan dup = make_builtin_fault_plan("dup1pct", g);
+  EXPECT_DOUBLE_EQ(dup.drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(dup.dup_rate, 0.01);
+  const FaultPlan crash = make_builtin_fault_plan("crash_one", g);
+  ASSERT_EQ(crash.crashes.size(), 1u);
+  EXPECT_EQ(crash.crashes[0].node, g.node_count() / 2);
+  const FaultPlan flap = make_builtin_fault_plan("link_flap", g);
+  EXPECT_FALSE(flap.outages.empty());
+  for (const LinkOutage& o : flap.outages) {
+    EXPECT_LT(o.down_at, o.up_at);
+    EXPECT_GE(o.edge, 0);
+    EXPECT_LT(o.edge, g.edge_count());
+  }
+}
+
+}  // namespace
+}  // namespace csca

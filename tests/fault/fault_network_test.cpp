@@ -1,0 +1,325 @@
+// Engine-level fault semantics: what the injector does to the
+// sequential Network, the pulse engine, and the sharded engine — and,
+// just as load-bearing, what an *inactive* plan must not do (anything).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "check/invariants.h"
+#include "conn/flood.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "graph/generators.h"
+#include "par/shard_engine.h"
+#include "sim/network.h"
+#include "sim/sync_engine.h"
+
+namespace csca {
+namespace {
+
+void expect_stats_identical(const RunStats& a, const RunStats& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.algorithm_messages, b.algorithm_messages) << label;
+  EXPECT_EQ(a.control_messages, b.control_messages) << label;
+  EXPECT_EQ(a.algorithm_cost, b.algorithm_cost) << label;
+  EXPECT_EQ(a.control_cost, b.control_cost) << label;
+  EXPECT_EQ(a.events, b.events) << label;
+  EXPECT_EQ(a.completion_time, b.completion_time) << label;
+}
+
+// TTL broadcast storm with mixed classes (the golden-ledger workload).
+class Storm final : public Process {
+ public:
+  explicit Storm(std::int64_t ttl) : ttl_(ttl) {}
+  void on_start(Context& ctx) override {
+    if (ctx.self() != 0) return;
+    for (EdgeId e : ctx.incident()) {
+      ctx.send(e, Message{0, {ttl_}});
+    }
+  }
+  void on_message(Context& ctx, const Message& m) override {
+    const std::int64_t ttl = m.at(0);
+    if (ttl <= 0) return;
+    const MsgClass cls =
+        (ttl % 2 != 0) ? MsgClass::kAlgorithm : MsgClass::kControl;
+    for (EdgeId e : ctx.incident()) {
+      ctx.send(e, Message{0, {ttl - 1}}, cls);
+    }
+  }
+
+ private:
+  std::int64_t ttl_;
+};
+
+// Counts deliveries at node 1 of a single node-0 send.
+class OneShotCounter final : public Process {
+ public:
+  void on_start(Context& ctx) override {
+    if (ctx.self() == 0) ctx.send(0, Message{7});
+  }
+  void on_message(Context&, const Message&) override { ++deliveries; }
+  int deliveries = 0;
+};
+
+ProcessFactory storm_factory() {
+  return [](NodeId) { return std::make_unique<Storm>(3); };
+}
+
+// The acceptance bar for "observably free when inactive": attaching a
+// zero-rate plan leaves ledgers, per-edge counters and finish behaviour
+// byte-identical on every engine.
+TEST(FaultFreePath, InactivePlanIsByteIdenticalOnAllEngines) {
+  Rng rng(11);
+  const Graph g = connected_gnp(16, 0.25, WeightSpec::uniform(1, 9), rng);
+  FaultPlan plan;  // inactive: zero rates, no events
+  plan.salt = 0xFA17;
+  const FaultInjector inj(plan, g, 5);
+  ASSERT_FALSE(inj.active());
+
+  for (const bool keyed : {false, true}) {
+    Network plain(g, storm_factory(), make_uniform_delay(0, 1), 5);
+    plain.set_keyed_delays(keyed);
+    Network faulted(g, storm_factory(), make_uniform_delay(0, 1), 5);
+    faulted.set_keyed_delays(keyed);
+    faulted.set_faults(&inj);
+    EXPECT_EQ(faulted.faults(), nullptr);  // inactive => discarded
+    const RunStats a = plain.run();
+    const RunStats b = faulted.run();
+    expect_stats_identical(a, b, keyed ? "network-keyed" : "network");
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_EQ(plain.edge_message_count(e), faulted.edge_message_count(e));
+    }
+  }
+
+  ShardEngine par_plain(g, storm_factory(), make_uniform_delay(0, 1), 5,
+                        ShardEngine::Options{2, 0});
+  ShardEngine par_faulted(g, storm_factory(), make_uniform_delay(0, 1), 5,
+                          ShardEngine::Options{2, 0});
+  par_faulted.set_faults(&inj);
+  expect_stats_identical(par_plain.run(), par_faulted.run(), "shards");
+}
+
+TEST(FaultNetwork, DropRateOneChargesSendsButDeliversNothing) {
+  Graph g(3);
+  g.add_edge(0, 1, 2);
+  g.add_edge(0, 2, 3);
+  FaultPlan plan;
+  plan.drop_rate = 1.0;
+  const FaultInjector inj(plan, g, 1);
+  Network net(
+      g, [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
+      make_exact_delay(), 1);
+  net.set_faults(&inj);
+  const RunStats stats = net.run();
+  // The initiator's two sends are charged (transmission cost is paid
+  // whether or not the channel delivers)...
+  EXPECT_EQ(stats.total_messages(), 2);
+  EXPECT_EQ(stats.total_cost(), 5);
+  EXPECT_EQ(net.edge_message_count(0), 1);
+  EXPECT_EQ(net.edge_message_count(1), 1);
+  // ...but nothing arrives.
+  EXPECT_EQ(stats.events, 0);
+  EXPECT_FALSE(net.process_as<FloodProcess>(1).reached());
+  EXPECT_FALSE(net.process_as<FloodProcess>(2).reached());
+}
+
+TEST(FaultNetwork, CrashAtZeroSuppressesOnStart) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  FaultPlan plan;
+  plan.crashes.push_back({0, 0.0});
+  const FaultInjector inj(plan, g, 1);
+  Network net(
+      g, [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
+      make_exact_delay(), 1);
+  net.set_faults(&inj);
+  const RunStats stats = net.run();
+  EXPECT_EQ(stats.total_messages(), 0);
+  EXPECT_FALSE(net.process_as<FloodProcess>(1).reached());
+}
+
+TEST(FaultNetwork, ArrivalAtCrashedNodeIsLost) {
+  // 0 -1- 1 -1- 2: node 1 crashes at 0.5; the flood wave arrives there
+  // at t = 1 and dies, so node 2 is never reached and edge (1,2) stays
+  // silent — no sends from a crashed node.
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  FaultPlan plan;
+  plan.crashes.push_back({1, 0.5});
+  const FaultInjector inj(plan, g, 1);
+  Network net(
+      g, [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
+      make_exact_delay(), 1);
+  net.set_faults(&inj);
+  net.run();
+  EXPECT_EQ(net.edge_message_count(0), 1);  // charged attempt
+  EXPECT_EQ(net.edge_message_count(1), 0);  // crashed node sent nothing
+  EXPECT_FALSE(net.process_as<FloodProcess>(1).reached());
+  EXPECT_FALSE(net.process_as<FloodProcess>(2).reached());
+}
+
+TEST(FaultNetwork, LinkOutageLosesSendsDownAtSendOrArrival) {
+  for (const bool down_at_send : {true, false}) {
+    Graph g(2);
+    g.add_edge(0, 1, 2);
+    FaultPlan plan;
+    // Send happens at t = 0, arrival at t = 2.
+    plan.outages.push_back(down_at_send ? LinkOutage{0, 0.0, 1.0}
+                                        : LinkOutage{0, 1.0, 3.0});
+    const FaultInjector inj(plan, g, 1);
+    Network net(
+        g, [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
+        make_exact_delay(), 1);
+    net.set_faults(&inj);
+    const RunStats stats = net.run();
+    EXPECT_EQ(stats.total_messages(), 1);  // attempt charged either way
+    EXPECT_EQ(stats.events, 0);
+    EXPECT_FALSE(net.process_as<FloodProcess>(1).reached());
+  }
+}
+
+TEST(FaultNetwork, DuplicateDeliversTwiceButChargesOnce) {
+  Graph g(2);
+  g.add_edge(0, 1, 4);
+  FaultPlan plan;
+  plan.dup_rate = 1.0;
+  const FaultInjector inj(plan, g, 1);
+  Network net(
+      g, [](NodeId) { return std::make_unique<OneShotCounter>(); },
+      make_exact_delay(), 1);
+  net.set_faults(&inj);
+  const RunStats stats = net.run();
+  EXPECT_EQ(net.process_as<OneShotCounter>(1).deliveries, 2);
+  // Duplicates are channel noise: one charged send, one edge count.
+  EXPECT_EQ(stats.total_messages(), 1);
+  EXPECT_EQ(stats.total_cost(), 4);
+  EXPECT_EQ(net.edge_message_count(0), 1);
+  EXPECT_EQ(stats.events, 2);
+}
+
+// The invariant checker, given the same injector, accepts a heavily
+// faulted run: drops tally as charged attempts, duplicates match their
+// recorded phantom arrivals, and event conservation balances.
+TEST(FaultNetwork, CheckerStaysCleanUnderHeavyFaults) {
+  Rng rng(13);
+  const Graph g = connected_gnp(14, 0.3, WeightSpec::uniform(1, 9), rng);
+  FaultPlan plan;
+  plan.drop_rate = 0.2;
+  plan.dup_rate = 0.2;
+  plan.salt = 0xFA17;
+  plan.crashes.push_back({3, 5.0});
+  plan.outages.push_back({1, 2.0, 9.0});
+  const FaultInjector inj(plan, g, 9);
+  Network net(g, storm_factory(), make_uniform_delay(0, 1), 9);
+  net.set_faults(&inj);
+  DefaultInvariantChecker checker;
+  checker.set_faults(&inj);
+  net.set_observer(&checker);
+  net.run();
+  checker.check_final(net);
+  EXPECT_TRUE(checker.ok()) << (checker.violations().empty()
+                                    ? "suppressed"
+                                    : checker.violations().front());
+}
+
+// The observer drop/duplicate hooks fire and carry sane reasons.
+TEST(FaultNetwork, ObserverSeesDropsAndDuplicates) {
+  class CountingObserver final : public InvariantObserver {
+   public:
+    void on_drop(const Network&, NodeId, EdgeId, MsgClass,
+                 FaultDropReason reason) override {
+      ++drops;
+      if (reason == FaultDropReason::kChannelDrop) ++channel_drops;
+    }
+    void on_duplicate(const Network&, NodeId, EdgeId, double) override {
+      ++dups;
+    }
+    int drops = 0;
+    int channel_drops = 0;
+    int dups = 0;
+  };
+  Rng rng(17);
+  const Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 9), rng);
+  FaultPlan plan;
+  plan.drop_rate = 0.25;
+  plan.dup_rate = 0.25;
+  const FaultInjector inj(plan, g, 3);
+  Network net(g, storm_factory(), make_exact_delay(), 3);
+  net.set_faults(&inj);
+  CountingObserver obs;
+  net.set_observer(&obs);
+  net.run();
+  EXPECT_GT(obs.drops, 0);
+  EXPECT_EQ(obs.drops, obs.channel_drops);
+  EXPECT_GT(obs.dups, 0);
+}
+
+// Pulse-domain faults: the SyncEngine applies the same send-time
+// semantics with arrivals at pulse + w.
+TEST(FaultSyncEngine, DropAndCrashSemantics) {
+  class PulseFlood final : public SyncProcess {
+   public:
+    void on_start(SyncContext& ctx) override {
+      if (ctx.self() != 0) return;
+      seen = true;
+      for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+    }
+    void on_message(SyncContext& ctx, const Message&) override {
+      if (seen) return;
+      seen = true;
+      for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+    }
+    bool seen = false;
+  };
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  const auto factory = [](NodeId) { return std::make_unique<PulseFlood>(); };
+
+  {
+    FaultPlan plan;
+    plan.drop_rate = 1.0;
+    const FaultInjector inj(plan, g, 1);
+    SyncEngine eng(g, factory);
+    eng.set_faults(&inj);
+    const RunStats stats = eng.run();
+    EXPECT_EQ(stats.total_messages(), 1);  // charged attempt from node 0
+    EXPECT_FALSE(eng.process_as<PulseFlood>(1).seen);
+  }
+  {
+    FaultPlan plan;
+    plan.crashes.push_back({1, 1.0});  // wave reaches node 1 at pulse 1
+    const FaultInjector inj(plan, g, 1);
+    SyncEngine eng(g, factory);
+    eng.set_faults(&inj);
+    eng.run();
+    EXPECT_FALSE(eng.process_as<PulseFlood>(1).seen);
+    EXPECT_FALSE(eng.process_as<PulseFlood>(2).seen);
+  }
+  {
+    // Inactive plan: byte-identical to the no-fault pulse run.
+    const FaultInjector inj(FaultPlan{}, g, 1);
+    SyncEngine plain(g, factory);
+    SyncEngine faulted(g, factory);
+    faulted.set_faults(&inj);
+    expect_stats_identical(plain.run(), faulted.run(), "sync-inactive");
+  }
+}
+
+TEST(FaultNetwork, SetFaultsRejectedAfterStart) {
+  Graph g(2);
+  g.add_edge(0, 1, 1);
+  FaultPlan plan;
+  plan.drop_rate = 0.5;
+  const FaultInjector inj(plan, g, 1);
+  Network net(
+      g, [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); },
+      make_exact_delay(), 1);
+  net.step();
+  EXPECT_ANY_THROW(net.set_faults(&inj));
+}
+
+}  // namespace
+}  // namespace csca

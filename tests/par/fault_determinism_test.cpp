@@ -1,0 +1,222 @@
+// The PR-3 bit-identity contract extended to fault injection: fault
+// fates key off the same per-channel send counts as the keyed delay
+// draws, so a faulted run on the sharded conservative engine must match
+// the keyed sequential Network exactly — at every shard count, under
+// every fault class — and multi-run harness results must not depend on
+// the worker count.
+#include "par/shard_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/reliable_link.h"
+#include "graph/generators.h"
+#include "par/run_pool.h"
+#include "sim/network.h"
+
+namespace csca {
+namespace {
+
+void expect_stats_identical(const RunStats& a, const RunStats& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.algorithm_messages, b.algorithm_messages) << label;
+  EXPECT_EQ(a.control_messages, b.control_messages) << label;
+  EXPECT_EQ(a.algorithm_cost, b.algorithm_cost) << label;
+  EXPECT_EQ(a.control_cost, b.control_cost) << label;
+  EXPECT_EQ(a.events, b.events) << label;
+  EXPECT_EQ(a.completion_time, b.completion_time) << label;
+}
+
+void expect_hosts_identical(const ProcessHost& a, const ProcessHost& b,
+                            const Graph& g, const std::string& label) {
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(a.finish_time(v), b.finish_time(v)) << label << " node " << v;
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(a.edge_message_count(e), b.edge_message_count(e))
+        << label << " edge " << e;
+    EXPECT_EQ(a.edge_message_count(e, MsgClass::kAlgorithm),
+              b.edge_message_count(e, MsgClass::kAlgorithm))
+        << label << " edge " << e;
+    EXPECT_EQ(a.edge_message_count(e, MsgClass::kControl),
+              b.edge_message_count(e, MsgClass::kControl))
+        << label << " edge " << e;
+  }
+}
+
+// Same mixed-class TTL storm as the shard-engine suite: enough traffic
+// per channel that drop/dup draws and crash/outage windows all bite.
+class Storm final : public Process {
+ public:
+  explicit Storm(std::int64_t ttl) : ttl_(ttl) {}
+  void on_start(Context& ctx) override {
+    if (ctx.self() != 0) return;
+    for (EdgeId e : ctx.incident()) {
+      ctx.send(e, Message{0, {ttl_, 0, 0, 0}});
+    }
+  }
+  void on_message(Context& ctx, const Message& m) override {
+    const std::int64_t ttl = m.at(0);
+    if (ttl <= 0) return;
+    const MsgClass cls =
+        (ttl % 2 != 0) ? MsgClass::kAlgorithm : MsgClass::kControl;
+    for (EdgeId e : ctx.incident()) {
+      ctx.send(e, Message{0, {ttl - 1, m.at(1) + 1, ctx.self(), m.at(3)}},
+               cls);
+    }
+  }
+
+ private:
+  std::int64_t ttl_;
+};
+
+FaultPlan drop_dup_plan() {
+  FaultPlan p;
+  p.drop_rate = 0.1;
+  p.dup_rate = 0.1;
+  p.salt = 0xFA17;
+  return p;
+}
+
+FaultPlan crash_plan(const Graph& g) {
+  FaultPlan p;
+  p.crashes.push_back({g.node_count() / 2, 1.5});
+  p.crashes.push_back({g.node_count() - 1, 0.0});
+  return p;
+}
+
+FaultPlan outage_plan(const Graph& g) {
+  FaultPlan p;
+  for (EdgeId e = 0; e < g.edge_count(); e += 3) {
+    p.outages.push_back({e, 0.5, 2.5});
+  }
+  return p;
+}
+
+// Keyed Network vs ShardEngine at 1/2/4 shards: ledger, per-node finish
+// times and per-link per-class counts bit-identical for every fault
+// class on both random delay schedules.
+TEST(FaultDeterminism, ShardEngineMatchesKeyedNetworkUnderAllFaultClasses) {
+  Rng rng(3);
+  const Graph g = connected_gnp(24, 0.2, WeightSpec::uniform(1, 9), rng);
+  const auto factory = [](NodeId) { return std::make_unique<Storm>(3); };
+  struct Plan {
+    const char* name;
+    FaultPlan plan;
+  };
+  const Plan plans[] = {
+      {"dropdup", drop_dup_plan()},
+      {"crash", crash_plan(g)},
+      {"outage", outage_plan(g)},
+  };
+  struct Schedule {
+    const char* name;
+    std::function<std::unique_ptr<DelayModel>()> make;
+    std::uint64_t seed;
+  };
+  const Schedule schedules[] = {
+      {"uniform", [] { return make_uniform_delay(0.0, 1.0); }, 42},
+      {"twopoint", [] { return make_two_point_delay(0.7); }, 99},
+  };
+  for (const Plan& p : plans) {
+    for (const Schedule& sched : schedules) {
+      const FaultInjector inj(p.plan, g, sched.seed);
+      Network ref(g, factory, sched.make(), sched.seed);
+      ref.set_keyed_delays(true);
+      ref.set_faults(&inj);
+      const RunStats ref_stats = ref.run();
+      EXPECT_GT(ref_stats.events, 0) << p.name;
+
+      for (const int shards : {1, 2, 4}) {
+        const std::string label = std::string(p.name) + "/" + sched.name +
+                                  "@" + std::to_string(shards) + "shards";
+        ShardEngine eng(g, factory, sched.make(), sched.seed,
+                        ShardEngine::Options{shards, 0});
+        eng.set_faults(&inj);
+        const RunStats par_stats = eng.run();
+        expect_stats_identical(par_stats, ref_stats, label);
+        expect_hosts_identical(eng, ref, g, label);
+      }
+    }
+  }
+}
+
+// The ARQ layer rides on ordinary sends and self-schedules, so a
+// recovered protocol (flooding behind ARQ over a lossy channel) must
+// also replay bit-identically — including every host's retransmission
+// schedule — at every shard count.
+TEST(FaultDeterminism, ArqRecoveryIsBitIdenticalAcrossShardCounts) {
+  Rng rng(9);
+  const Graph g = connected_gnp(16, 0.25, WeightSpec::uniform(1, 6), rng);
+  const auto factory = arq_factory(
+      [](NodeId) { return std::make_unique<Storm>(2); });
+  FaultPlan plan = drop_dup_plan();
+  const std::uint64_t seed = 17;
+  const FaultInjector inj(plan, g, seed);
+
+  Network ref(g, factory, make_uniform_delay(0.0, 1.0), seed);
+  ref.set_keyed_delays(true);
+  ref.set_faults(&inj);
+  const RunStats ref_stats = ref.run();
+
+  std::int64_t total_retransmits = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (EdgeId e : g.incident(v)) {
+      total_retransmits += arq_host(ref, v).retransmit_count(e);
+    }
+  }
+  EXPECT_GT(total_retransmits, 0) << "plan should force retransmissions";
+
+  for (const int shards : {1, 2, 4}) {
+    const std::string label = std::to_string(shards) + "shards";
+    ShardEngine eng(g, factory, make_uniform_delay(0.0, 1.0), seed,
+                    ShardEngine::Options{shards, 0});
+    eng.set_faults(&inj);
+    const RunStats par_stats = eng.run();
+    expect_stats_identical(par_stats, ref_stats, label);
+    expect_hosts_identical(eng, ref, g, label);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      for (EdgeId e : g.incident(v)) {
+        EXPECT_EQ(arq_host(eng, v).retransmit_times(e),
+                  arq_host(ref, v).retransmit_times(e))
+            << label << " node " << v << " edge " << e;
+      }
+    }
+  }
+}
+
+// Multi-run harness leg: a batch of independent faulted runs mapped on
+// the RunPool returns the same ledgers at jobs = 1 and jobs = 4.
+TEST(FaultDeterminism, RunPoolJobsCountDoesNotChangeFaultedResults) {
+  Rng rng(5);
+  const Graph g = connected_gnp(14, 0.3, WeightSpec::uniform(1, 8), rng);
+  const auto factory = [](NodeId) { return std::make_unique<Storm>(3); };
+  const FaultPlan plan = drop_dup_plan();
+  const auto one_run = [&](std::size_t i) {
+    const std::uint64_t seed = 100 + i;
+    const FaultInjector inj(plan, g, seed);
+    Network net(g, factory, make_uniform_delay(0.0, 1.0), seed);
+    net.set_keyed_delays(true);
+    net.set_faults(&inj);
+    return net.run();
+  };
+  const std::size_t kRuns = 8;
+  std::vector<RunStats> serial;
+  for (std::size_t i = 0; i < kRuns; ++i) serial.push_back(one_run(i));
+  RunPool pool(4);
+  const std::vector<RunStats> pooled = pool.map(kRuns, one_run);
+  ASSERT_EQ(pooled.size(), serial.size());
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    expect_stats_identical(pooled[i], serial[i],
+                           "run " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace csca

@@ -4,7 +4,9 @@
 # lint pass, and the engine bench in smoke mode. The protocol-analysis
 # sweep (csca_check --smoke) runs as a ctest entry in both
 # configurations, then again here sequentially vs parallelized to show
-# the multi-run harness wall-clock side by side. The table-sweep gate
+# the multi-run harness wall-clock side by side, and once more under a
+# builtin fault plan (plain + sharded; the TSan leg repeats the sharded
+# faulted run) to gate the fault-injection hooks. The table-sweep gate
 # runs the conformance tier (ctest -L conformance), then csca_sweep's
 # smoke grids at --jobs=1 vs --jobs=N and diffs the BENCH_<id>.json
 # trees byte for byte.
@@ -47,6 +49,10 @@ echo "== protocol sweep: sequential vs multi-run harness (--jobs $JOBS) =="
 ./build/tools/csca_check --smoke --jobs="$JOBS"
 ./build/tools/csca_check --smoke --shards=2
 
+echo "== fault smoke: portfolio under a 1% drop plan (see docs/faults.md) =="
+./build/tools/csca_check --smoke --faults=drop1pct
+./build/tools/csca_check --smoke --faults=drop1pct --shards=2
+
 echo "== table sweep: conformance tier + --jobs byte-identity =="
 ctest --test-dir build -L conformance --output-on-failure -j "$JOBS"
 ./build/tools/csca_sweep --list
@@ -70,10 +76,11 @@ if [[ "$RUN_TSAN" == 1 ]]; then
        -o /tmp/csca_tsan_probe.$$ 2>/dev/null \
      && /tmp/csca_tsan_probe.$$ 2>/dev/null; then
     rm -f /tmp/csca_tsan_probe.$$
-    echo "== parallel suite: TSan build (par_test) =="
+    echo "== parallel suite: TSan build (par_test + faulted shard run) =="
     cmake -B build-tsan -S . -DCSCA_TSAN=ON -DCSCA_WERROR=ON >/dev/null
-    cmake --build build-tsan -j "$JOBS" --target par_test
+    cmake --build build-tsan -j "$JOBS" --target par_test csca_check_tool
     ./build-tsan/tests/par_test
+    ./build-tsan/tools/csca_check --smoke --faults=drop1pct --shards=2
   else
     rm -f /tmp/csca_tsan_probe.$$
     echo "== parallel suite: TSan SKIPPED (toolchain lacks -fsanitize=thread support) =="
