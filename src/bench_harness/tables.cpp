@@ -18,6 +18,7 @@ std::vector<SweepSpec> builtin_tables() {
   out.push_back(table_s5_controller());
   out.push_back(table_a1_cover());
   out.push_back(table_fault_degradation());
+  out.push_back(table_fault_ctl());
   return out;
 }
 

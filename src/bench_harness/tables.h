@@ -14,6 +14,7 @@
 //   S5  Cor. 5.1   controllers
 //   A1  DESIGN.md  cover-coarsening substitution ablation
 //   fault  docs/faults.md  ARQ overhead vs drop/dup rate (degradation)
+//   fault_ctl  docs/faults.md  ARQ-aware admission: permits vs loss rate
 //
 // Each table's rows, bound formulas and tolerances live in
 // tables/<id>_*.cpp; bench/bench_*.cpp, tools/csca_sweep and the ctest
@@ -38,6 +39,7 @@ SweepSpec table_s4_synchronizer();
 SweepSpec table_s5_controller();
 SweepSpec table_a1_cover();
 SweepSpec table_fault_degradation();
+SweepSpec table_fault_ctl();
 
 /// All tables, in the id order above.
 std::vector<SweepSpec> builtin_tables();

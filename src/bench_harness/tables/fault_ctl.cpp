@@ -1,0 +1,201 @@
+// fault_ctl — ARQ-aware admission control (BENCH_fault_ctl.json).
+//
+// The fault table (ft_fault.cpp) measures what faults cost; this table
+// verifies who *pays*. Each row runs a protocol under the §5 controller
+// with the ARQ layer slid underneath and one shared ControlMeter closing
+// the admission loop (RunEnv::meter): the root counts the ARQ layer's
+// billed control cost — ACKs, retransmits, control-frame first copies —
+// as implicitly issued permits. The rows sweep the symmetric drop rate p
+// and assert the tentpole invariant plus its paper-style envelope:
+//
+//   cost_within_permits     total billed cost <= permits_issued. Exact
+//                           (tolerance 1.0): algorithm cost consumed
+//                           explicit permits, control cost IS the meter.
+//   control_within_permits  control cost alone <= permits_issued.
+//   permits_over_bound      permits_issued <= kAdmissionHeadroom * R(p)
+//                           * c_pi, with R(p) = kArqBaseOverhead * (1 +
+//                           kArqFaultSlope * p) — the docs/faults.md ARQ
+//                           overhead curve times a flat headroom for
+//                           the metered control machinery itself: the
+//                           2x Accounting-note issuance slack, the
+//                           permit request/grant chains (worst on deep
+//                           families like grid, where chains are long
+//                           relative to E_w), and the ACK tax the meter
+//                           charges on those chains too. The echo rows'
+//                           budget is provisioned at exactly this
+//                           envelope, so the check also certifies the
+//                           provisioning rule: a correct protocol on a
+//                           loss-p channel completes within an
+//                           R(p)-scaled budget.
+//   completed (echo)        the echo still terminates covered and is
+//                           never cut off — provisioned admission does
+//                           not interfere with correct executions.
+//   cut_off (runaway)       the spammer IS cut off, and its total spend
+//                           (spend_over_budget) stays within a small
+//                           factor of the budget even counting every
+//                           retransmit — the blind spot this table
+//                           exists to pin closed: without the meter a
+//                           retransmit storm spends unboundedly past
+//                           the threshold without tripping it.
+#include <memory>
+
+#include "bench_harness/table_common.h"
+#include "bench_harness/tables.h"
+#include "control/controller.h"
+#include "control/protocols.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/reliable_link.h"
+
+namespace csca::bench {
+
+namespace {
+
+// The documented ARQ overhead curve R(p); same constants as ft_fault
+// (docs/faults.md derives them).
+constexpr double kArqBaseOverhead = 2.5;
+constexpr double kArqFaultSlope = 10.0;
+
+// Budget headroom over R(p) * c_pi for the control machinery the meter
+// now bills: explicit issuance (<= 2x consumption), permit chains, and
+// their ACKs. Measured worst case (grid, the deepest family swept) is
+// ~6.3 * c_pi at p = 0; 10 * c_pi at p = 0 leaves real margin without
+// letting a retransmit storm through unnoticed.
+constexpr double kAdmissionHeadroom = 4.0;
+
+double arq_envelope(double p) {
+  return kArqBaseOverhead * (1.0 + kArqFaultSlope * p);
+}
+
+FaultPlan drop_plan(double p) {
+  FaultPlan plan;
+  plan.drop_rate = p;
+  plan.salt = 0xFA17;
+  return plan;
+}
+
+// One metered controlled run: controller over ARQ over the wire, with
+// the shared meter threaded into both layers.
+ControlledRun run_metered(const Graph& g, const DiffusingFactory& factory,
+                          const ControllerConfig& cfg,
+                          const FaultInjector* inj, std::uint64_t seed) {
+  const auto meter = std::make_shared<ControlMeter>();
+  RunEnv env;
+  env.faults = inj;
+  env.meter = meter;
+  env.wrap = [meter](ProcessFactory f) {
+    ArqConfig arq;
+    arq.meter = meter;
+    return arq_factory(std::move(f), arq);
+  };
+  env.unwrap = [](Process& outer) -> Process& {
+    return dynamic_cast<ArqHost&>(outer).inner();
+  };
+  return run_controlled(g, factory, 0, cfg, make_exact_delay(), seed, env);
+}
+
+void add_budget_checks(RowResult& out, const ControlledRun& run) {
+  const double permits = static_cast<double>(run.permits_issued);
+  add_metric(out, "permits_issued", permits);
+  add_metric(out, "exhausted", run.exhausted ? 1 : 0);
+  add_check(out, "cost_within_permits",
+            static_cast<double>(run.stats.total_cost()), permits, 1.0);
+  add_check(out, "control_within_permits",
+            static_cast<double>(run.stats.control_cost), permits, 1.0);
+}
+
+RowResult run_echo(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+  const double p = spec.param;
+  const FaultInjector inj(drop_plan(p), g, spec.seed);
+
+  // Budget provisioned for the channel: c_pi scaled by the expected ARQ
+  // overhead at loss rate p plus the control-machinery headroom.
+  const Weight c_pi = 4 * g.total_weight();
+  const Weight threshold = static_cast<Weight>(
+      kAdmissionHeadroom * arq_envelope(p) * static_cast<double>(c_pi));
+  ControllerConfig cfg{threshold, /*aggregate=*/true};
+
+  const auto run = run_metered(
+      g, [](NodeId v) { return std::make_unique<BroadcastEcho>(v); }, cfg,
+      inj.active() ? &inj : nullptr, spec.seed);
+
+  report_stats(out, m, run.stats);
+  add_metric(out, "c_pi_bound", static_cast<double>(c_pi));
+  add_metric(out, "threshold", static_cast<double>(threshold));
+  add_budget_checks(out, run);
+  add_check(out, "permits_over_bound",
+            static_cast<double>(run.permits_issued),
+            kAdmissionHeadroom * arq_envelope(p) * static_cast<double>(c_pi),
+            1.0);
+  bool completed = !run.exhausted &&
+                   dynamic_cast<BroadcastEcho&>(run.inner(0)).done();
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    completed = completed &&
+                dynamic_cast<BroadcastEcho&>(run.inner(v)).covered();
+  }
+  add_check(out, "completed", completed ? 1.0 : 0.0, 1.0, 1.0,
+            /*min_ratio=*/1.0);
+  return out;
+}
+
+RowResult run_runaway(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+  const double p = spec.param;
+  const FaultInjector inj(drop_plan(p), g, spec.seed);
+
+  const Weight budget = 2000;
+  ControllerConfig cfg{budget, /*aggregate=*/true};
+  const auto run = run_metered(
+      g, [](NodeId) { return std::make_unique<RunawaySpammer>(); }, cfg,
+      inj.active() ? &inj : nullptr, spec.seed);
+
+  report_stats(out, m, run.stats);
+  add_metric(out, "budget", static_cast<double>(budget));
+  add_budget_checks(out, run);
+  // The containment pair: the spammer must hit the budget wall, and its
+  // total spend — retransmits and ACKs included, which is the point of
+  // metered admission — must stay within a small factor of the budget
+  // (grant batches in flight at cutoff plus the ARQ tail account for
+  // the slack).
+  add_check(out, "cut_off", run.exhausted ? 1.0 : 0.0, 1.0, 1.0,
+            /*min_ratio=*/1.0);
+  add_check(out, "spend_over_budget",
+            static_cast<double>(run.stats.total_cost()),
+            static_cast<double>(budget), 2.0);
+  return out;
+}
+
+RowResult run_row(const RowSpec& spec) {
+  return spec.algo == "runaway" ? run_runaway(spec) : run_echo(spec);
+}
+
+}  // namespace
+
+SweepSpec table_fault_ctl() {
+  SweepSpec spec;
+  spec.table = "fault_ctl";
+  spec.title = "ARQ-aware admission - permits vs loss rate";
+  spec.param_name = "drop";
+  spec.run = run_row;
+  for (const char* family : {"gnp", "grid"}) {
+    for (const double p : {0.0, 0.01, 0.02, 0.05}) {
+      spec.rows.push_back({"echo", family, 20, p});
+    }
+  }
+  for (const double p : {0.0, 0.02, 0.05}) {
+    spec.rows.push_back({"runaway", "gnp", 16, p});
+  }
+  for (const double p : {0.0, 0.02}) {
+    spec.smoke_rows.push_back({"echo", "gnp", 12, p});
+  }
+  spec.smoke_rows.push_back({"runaway", "gnp", 12, 0.02});
+  finalize_rows(spec);
+  return spec;
+}
+
+}  // namespace csca::bench

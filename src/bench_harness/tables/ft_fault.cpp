@@ -119,8 +119,10 @@ RowResult run_row(const RowSpec& spec) {
                                       make_exact_delay(), spec.seed, env);
       faulted = run.stats;
       // A correct execution must never be cut off by its controller,
-      // faults or not: the permit ledger meters logical sends, which the
-      // ARQ layer leaves untouched.
+      // faults or not. No ControlMeter is attached here, so the permit
+      // ledger meters logical sends only and the ARQ layer's cost stays
+      // invisible to admission — the metered variant, where that blind
+      // spot is closed, is the fault_ctl table.
       completed = check_echo(run) && !run.exhausted;
       retransmits = total_retransmits(*run.network, g);
     }

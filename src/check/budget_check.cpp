@@ -1,0 +1,35 @@
+#include "check/budget_check.h"
+
+#include <sstream>
+
+namespace csca {
+
+std::vector<std::string> check_controller_budget(
+    const ControlledRun& run, const ControllerConfig& config) {
+  std::vector<std::string> violations;
+  const Weight total = run.stats.total_cost();
+  const Weight control = run.stats.control_cost;
+  if (total > run.permits_issued) {
+    std::ostringstream os;
+    os << "budget bound broken: total billed cost " << total
+       << " (algorithm " << run.stats.algorithm_cost << " + control "
+       << control << ") exceeds permits issued " << run.permits_issued;
+    violations.push_back(os.str());
+  }
+  if (control > run.permits_issued) {
+    std::ostringstream os;
+    os << "control cost " << control << " exceeds permits issued "
+       << run.permits_issued;
+    violations.push_back(os.str());
+  }
+  if (!run.exhausted && run.permits_issued > config.threshold) {
+    std::ostringstream os;
+    os << "permits issued " << run.permits_issued
+       << " overran the threshold " << config.threshold
+       << " without the exhaustion signal firing";
+    violations.push_back(os.str());
+  }
+  return violations;
+}
+
+}  // namespace csca

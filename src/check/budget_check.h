@@ -1,0 +1,33 @@
+// The ARQ-aware controller invariant (docs/faults.md, docs/checking.md).
+//
+// With a ControlMeter threaded from RunEnv into both the controller's
+// root and the ARQ wrap layer, a ControlledRun's permit counter must
+// upper-bound everything the ledger billed:
+//
+//   (B1) total billed cost (algorithm + control) <= permits_issued;
+//   (B2) control cost alone                      <= permits_issued;
+//   (B3) a run that never exhausted stayed within the threshold:
+//        !exhausted  =>  permits_issued <= threshold.
+//
+// B1 is the tentpole bound: every algorithm transmission consumed an
+// explicitly issued permit, and every control transmission was metered
+// into the implicit side of the counter, so the sum cannot escape it.
+// The checks are exact (tolerance-free) for metered runs where all wire
+// traffic passes through the metering ARQ layer; the fault_ctl bench
+// table records them per row with tolerance 1.0 for the same reason.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+
+namespace csca {
+
+/// Verifies B1-B3 against a finished run. Returns human-readable
+/// violation strings (empty = all bounds hold). `config` must be the
+/// one the run was driven with (for the threshold).
+std::vector<std::string> check_controller_budget(
+    const ControlledRun& run, const ControllerConfig& config);
+
+}  // namespace csca

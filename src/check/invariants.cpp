@@ -24,6 +24,8 @@ void DefaultInvariantChecker::ensure_sized(const Network& net) {
   dup_arrivals_.resize(2 * m);
   arq_expected_.assign(2 * m, 0);
   arq_buffered_.resize(2 * m);
+  garbled_sent_.assign(2 * m, 0);
+  arq_invalid_.assign(2 * m, 0);
   sent_algorithm_.assign(m, 0);
   sent_control_.assign(m, 0);
 }
@@ -176,16 +178,24 @@ void DefaultInvariantChecker::on_deliver(const Network& net, NodeId to,
         report(os.str());
       }
     }
-    // Independent replay of the ARQ receiver: DATA frame seqs must
-    // hand up a contiguous prefix per channel (check_arq compares).
-    if (m.type == kArqData && m.data.size() >= 2) {
-      std::int64_t& expected = arq_expected_[ch];
-      if (const std::int64_t seq = m.data[0]; seq == expected) {
-        ++expected;
-        auto& buf = arq_buffered_[ch];
-        while (buf.erase(expected) != 0) ++expected;
-      } else if (seq > expected) {
-        arq_buffered_[ch].insert(seq);
+    // Independent replay of the ARQ receiver: checksum-valid DATA
+    // frame seqs must hand up a contiguous prefix per channel
+    // (check_arq compares). Invalid frames are what receivers silently
+    // discard, so they are tallied for the masking rule instead of
+    // replayed.
+    if (m.type == kArqData || m.type == kArqAck) {
+      if (!arq_frame_valid(m)) {
+        ++arq_invalid_[ch];
+        ++invalid_seen_;
+      } else if (m.type == kArqData) {
+        std::int64_t& expected = arq_expected_[ch];
+        if (const std::int64_t seq = m.data[0]; seq == expected) {
+          ++expected;
+          auto& buf = arq_buffered_[ch];
+          while (buf.erase(expected) != 0) ++expected;
+        } else if (seq > expected) {
+          arq_buffered_[ch].insert(seq);
+        }
       }
     }
     if (net.graph().other(m.edge, m.from) != to) {
@@ -230,6 +240,19 @@ void DefaultInvariantChecker::on_duplicate(const Network& net,
     report(os.str());
   }
   dup_arrivals_[channel_of(net, from, e)].insert(arrival);
+}
+
+void DefaultInvariantChecker::on_garble(const Network& net, NodeId from,
+                                        EdgeId e, double arrival) {
+  ensure_sized(net);
+  ++garbles_seen_;
+  if (arrival < net.now()) {
+    std::ostringstream os;
+    os << "garbled send on edge " << e << " scheduled into the past ("
+       << arrival << ")" << at_time(net.now());
+    report(os.str());
+  }
+  ++garbled_sent_[channel_of(net, from, e)];
 }
 
 void DefaultInvariantChecker::on_finish(const Network& net, NodeId v,
@@ -312,6 +335,19 @@ void DefaultInvariantChecker::check_final(const Network& net) {
          << " phantom duplicate(s) never delivered on a quiescent "
             "network";
       report(os.str());
+    }
+    // The garble masking rule: invalid ARQ frames can only come from
+    // recorded garbles on the same directed channel (a duplicate of a
+    // garbled frame repeats the corruption, but the fate bands are
+    // disjoint, so a garbled send is never also duplicated).
+    for (std::size_t ch = 0; ch < arq_invalid_.size(); ++ch) {
+      if (arq_invalid_[ch] > garbled_sent_[ch]) {
+        std::ostringstream os;
+        os << "channel " << ch << " delivered " << arq_invalid_[ch]
+           << " invalid ARQ frame(s) but only " << garbled_sent_[ch]
+           << " garble(s) were recorded on it";
+        report(os.str());
+      }
     }
     // Attempts that were dropped never become deliveries; surviving
     // duplicates add deliveries the tally never saw as sends.

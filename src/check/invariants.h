@@ -72,6 +72,8 @@ class DefaultInvariantChecker final : public InvariantObserver {
                FaultDropReason reason) override;
   void on_duplicate(const Network& net, NodeId from, EdgeId e,
                     double arrival) override;
+  void on_garble(const Network& net, NodeId from, EdgeId e,
+                 double arrival) override;
 
   /// Gives the checker the injector attached to the network so it can
   /// independently verify the crash / outage rules (no sends from a
@@ -98,6 +100,15 @@ class DefaultInvariantChecker final : public InvariantObserver {
   /// Violations dropped beyond Options::max_violations.
   std::size_t suppressed() const { return suppressed_; }
 
+  /// Garbled sends recorded via on_garble.
+  std::int64_t garbles_seen() const { return garbles_seen_; }
+  /// Checksum-invalid ARQ frames observed at delivery. The masking rule
+  /// (check_final) requires, per channel, invalid deliveries <=
+  /// recorded garbles: garbling is the only legal source of invalid
+  /// frames, and everything the garbler touched that ARQ *can* mask is
+  /// exactly what its checksums catch.
+  std::int64_t invalid_arq_frames_seen() const { return invalid_seen_; }
+
  private:
   void ensure_sized(const Network& net);
   void report(std::string what);
@@ -115,9 +126,15 @@ class DefaultInvariantChecker final : public InvariantObserver {
   // still be delivered around it.
   std::vector<std::multiset<double>> dup_arrivals_;
   // Independent per-channel replay of ARQ DATA frames: next expected
-  // seq and the out-of-order seqs seen so far.
+  // seq and the out-of-order seqs seen so far. Only checksum-valid
+  // frames replay — receivers discard invalid ones, and so does the
+  // model.
   std::vector<std::int64_t> arq_expected_;
   std::vector<std::set<std::int64_t>> arq_buffered_;
+  // Garbled sends and invalid-ARQ-frame deliveries per directed
+  // channel (the masking rule compares them in check_final).
+  std::vector<std::int64_t> garbled_sent_;
+  std::vector<std::int64_t> arq_invalid_;
   // Independent per-edge tallies, indexed [class][edge].
   std::vector<std::int64_t> sent_algorithm_;
   std::vector<std::int64_t> sent_control_;
@@ -125,6 +142,8 @@ class DefaultInvariantChecker final : public InvariantObserver {
   std::int64_t self_schedules_seen_ = 0;
   std::int64_t drops_seen_ = 0;
   std::int64_t dups_seen_ = 0;
+  std::int64_t garbles_seen_ = 0;
+  std::int64_t invalid_seen_ = 0;
   const FaultInjector* faults_ = nullptr;
   double last_now_ = 0.0;
   // Node currently having a message delivered to it; sends by it are

@@ -131,6 +131,7 @@ ScheduleCheckReport check_subject(
       // hard error.
       finding(spec, faulty ? "degraded" : "error",
               "run failed: " + outcome.error);
+      if (faulty) ++report.runs_degraded;
       continue;
     }
     ++report.runs_completed;
@@ -143,6 +144,7 @@ ScheduleCheckReport check_subject(
     for (const std::string& d : outcome.degraded) {
       finding(spec, "degraded", d);
     }
+    if (!outcome.degraded.empty()) ++report.runs_degraded;
     if (faulty) {
       // Which sends a keyed fault stream hits depends on the delay
       // schedule, so faulted digests legitimately differ per schedule:

@@ -98,6 +98,11 @@ struct ScheduleCheckReport {
   int runs = 0;
   int runs_completed = 0;     ///< runs no exception escaped
   int runs_all_finished = 0;  ///< runs where every node finished
+  /// Runs with at least one "degraded" finding. A single faulted run
+  /// can surface many oracle mismatches (one per wrong distance, say);
+  /// summaries that want "how many runs degraded" must use this, not
+  /// the finding count, or one noisy run masquerades as several.
+  int runs_degraded = 0;
   std::string reference_schedule;
   std::string reference_digest;
   std::vector<CheckFinding> findings;

@@ -95,7 +95,9 @@ class ControllerHost final : public HostBase {
         config_(config) {}
 
   bool exhausted() const { return exhausted_; }
-  Weight permits_issued() const { return issued_; }
+  /// Explicit issuance plus metered control overhead: the implicit
+  /// permits the ARQ layer consumed on the root's behalf.
+  Weight permits_issued() const { return issued_ + overhead(); }
 
   void on_start(Context& ctx) override {
     if (!is_initiator_) return;
@@ -163,12 +165,22 @@ class ControllerHost final : public HostBase {
     route_request(ctx, amount, kNoEdge);
   }
 
+  // Control-class transmission cost billed so far by the metered
+  // overhead layer (zero without a meter): physical traffic the root
+  // must treat as already-spent budget even though no permit request
+  // ever asked for it.
+  Weight overhead() const {
+    return config_.meter ? config_.meter->billed : 0;
+  }
+
   /// Handles a permit request for `amount`, arriving from `from`
   /// (kNoEdge = this vertex's own request).
   void route_request(Context& ctx, Weight amount, EdgeId from) {
     if (is_initiator_) {
-      // The root's threshold is the §5 suspension rule.
-      if (issued_ + amount > config_.threshold) {
+      // The root's threshold is the §5 suspension rule, ARQ-aware:
+      // metered control cost counts as issued, so a retransmit storm
+      // eats into the budget instead of bypassing it.
+      if (issued_ + overhead() + amount > config_.threshold) {
         exhausted_ = true;
         return;  // never granted: the requesting subtree suspends
       }
@@ -290,13 +302,17 @@ ControlledRun run_controlled(const Graph& g,
   require(config.threshold >= 0, "threshold must be non-negative");
   ControlledRun out;
   out.unwrap = env.unwrap;
+  // RunEnv::meter feeds the overhead layer's billing into the root's
+  // admission rule (the host config is what the root reads).
+  ControllerConfig cfg = config;
+  if (env.meter != nullptr) cfg.meter = env.meter;
   out.network = std::make_shared<Network>(
       g,
       apply_env(
-          [&g, &factory, initiator, &config](
+          [&g, &factory, initiator, &cfg](
               NodeId v) -> std::unique_ptr<Process> {
             return std::make_unique<ControllerHost>(g, v, v == initiator,
-                                                    factory(v), config);
+                                                    factory(v), cfg);
           },
           env),
       std::move(delay), seed);
@@ -305,6 +321,10 @@ ControlledRun run_controlled(const Graph& g,
   auto& root = dynamic_cast<ControllerHost&>(host_at(out, initiator));
   out.exhausted = root.exhausted();
   out.permits_issued = root.permits_issued();
+  // Overhead billed after the last permit request (e.g. a retransmit
+  // tail) can overrun the threshold without any request being refused;
+  // the budget signal must still fire.
+  if (out.permits_issued > cfg.threshold) out.exhausted = true;
   return out;
 }
 

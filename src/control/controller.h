@@ -50,20 +50,50 @@ struct RunEnv {
   /// process back to the controller host it wraps (e.g. the ArqHost's
   /// inner()). Required when wrap is set; identity when empty.
   std::function<Process&(Process&)> unwrap;
+  /// Shared control-cost meter closing the admission loop under faults:
+  /// pass the same meter here and in the ArqConfig of the wrap layer,
+  /// and the root treats the ARQ layer's billed cost (retransmits,
+  /// ACKs, control-frame first copies) as implicitly issued permits —
+  /// permits_issued then upper-bounds the run's *total* billed cost,
+  /// and a retransmit storm exhausts the budget instead of silently
+  /// bypassing it. Null keeps the PR-5 logical-sends-only behaviour.
+  std::shared_ptr<ControlMeter> meter;
 };
 
 struct ControllerConfig {
+  ControllerConfig() = default;
+  // The meter defaults off, so the many {threshold, aggregate} call
+  // sites predating it stay valid (and warning-free) as written.
+  ControllerConfig(Weight threshold_in, bool aggregate_in,
+                   std::shared_ptr<ControlMeter> meter_in = nullptr)
+      : threshold(threshold_in),
+        aggregate(aggregate_in),
+        meter(std::move(meter_in)) {}
+
   /// Root permit budget; set to (an upper bound on) c_pi.
   Weight threshold = 0;
   /// If false, every request asks for exactly the queued need and goes
   /// all the way to the root — the "naive controller" of §5, for
   /// comparison benches.
   bool aggregate = true;
+  /// Control-cost meter read by the root's admission rule (normally
+  /// threaded from RunEnv::meter by run_controlled). When set, a
+  /// request is refused once explicit issuance plus metered control
+  /// cost would cross the threshold, and permits_issued() reports
+  /// their sum.
+  std::shared_ptr<ControlMeter> meter;
 };
 
 struct ControlledRun {
   RunStats stats;  ///< algorithm = protocol messages, control = permits
-  bool exhausted = false;   ///< the root refused further permits
+  /// The root refused further permits, or (with a RunEnv::meter)
+  /// metered control overhead overran the threshold after the last
+  /// request — either way the budget bound was hit.
+  bool exhausted = false;
+  /// Explicit permits issued by the root plus, with a meter attached,
+  /// the metered control cost (implicit permits). Upper-bounds the
+  /// ledger's total billed cost when the meter covers all control
+  /// traffic (wrap = ARQ with the same meter).
   Weight permits_issued = 0;
   /// Keeps the simulation alive so inner protocol outputs stay readable.
   std::shared_ptr<Network> network;

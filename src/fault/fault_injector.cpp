@@ -11,12 +11,15 @@ FaultInjector::FaultInjector(const FaultPlan& plan, const Graph& g,
     : plan_(plan),
       fate_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0xFA7E)),
       dup_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0xD0B1)),
+      garble_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0x6A8B)),
       crash_time_(static_cast<std::size_t>(g.node_count()),
                   std::numeric_limits<double>::infinity()),
       outages_(static_cast<std::size_t>(g.edge_count())) {
   require(plan.drop_rate >= 0 && plan.dup_rate >= 0 &&
-              plan.drop_rate + plan.dup_rate <= 1.0,
-          "fault plan rates must be non-negative with drop + dup <= 1");
+              plan.garble_rate >= 0 &&
+              plan.drop_rate + plan.dup_rate + plan.garble_rate <= 1.0,
+          "fault plan rates must be non-negative with "
+          "drop + dup + garble <= 1");
   for (const CrashEvent& c : plan.crashes) {
     g.check_node(c.node);
     require(c.at >= 0, "crash time must be non-negative");

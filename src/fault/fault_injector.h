@@ -26,6 +26,7 @@
 
 #include "fault/fault_plan.h"
 #include "graph/graph.h"
+#include "sim/message.h"  // header-only; no link edge onto csca_sim
 #include "util/rng.h"
 
 namespace csca {
@@ -62,18 +63,28 @@ class FaultInjector {
   struct SendFate {
     bool drop = false;
     bool duplicate = false;
+    bool garble = false;
   };
 
   /// Fate of send number `count` (0-based) on directed channel
   /// `channel` (2 * edge + direction, as in channel_delay_key). One
   /// keyed unit draw decides: u < drop_rate drops, u in
-  /// [drop_rate, drop_rate + dup_rate) duplicates.
+  /// [drop_rate, drop_rate + dup_rate) duplicates, u in
+  /// [drop_rate + dup_rate, drop_rate + dup_rate + garble_rate)
+  /// garbles. The bands are disjoint, so a garbled send is delivered
+  /// exactly once (corrupted), never also dropped or duplicated.
   SendFate send_fate(std::uint64_t channel, std::uint64_t count) const {
-    if (plan_.drop_rate == 0 && plan_.dup_rate == 0) return {};
+    if (plan_.drop_rate == 0 && plan_.dup_rate == 0 &&
+        plan_.garble_rate == 0) {
+      return {};
+    }
     const double u = key_to_unit(
         derive_stream_seed(derive_stream_seed(fate_seed_, channel), count));
-    if (u < plan_.drop_rate) return {true, false};
-    if (u < plan_.drop_rate + plan_.dup_rate) return {false, true};
+    if (u < plan_.drop_rate) return {true, false, false};
+    if (u < plan_.drop_rate + plan_.dup_rate) return {false, true, false};
+    if (u < plan_.drop_rate + plan_.dup_rate + plan_.garble_rate) {
+      return {false, false, true};
+    }
     return {};
   }
 
@@ -86,10 +97,34 @@ class FaultInjector {
     return derive_stream_seed(derive_stream_seed(dup_seed_, channel), count);
   }
 
+  /// Applies the corruption for a send whose fate came back garbled:
+  /// XORs a keyed odd (hence nonzero) 64-bit mask into one keyed
+  /// payload word, or into the type tag when the payload is empty. A
+  /// pure function of (run seed, salt, channel, count), so every engine
+  /// corrupts the same logical send identically and sharded runs stay
+  /// bit-identical. The XOR is guaranteed to change the word, which is
+  /// what makes the ARQ checksum's single-word detection bound exact.
+  void garble(std::uint64_t channel, std::uint64_t count, Message& m) const {
+    const std::uint64_t k =
+        derive_stream_seed(derive_stream_seed(garble_seed_, channel), count);
+    const std::uint64_t mask = mix64(k) | 1;
+    if (m.data.empty()) {
+      m.type = static_cast<int>(static_cast<std::uint64_t>(
+                                    static_cast<std::int64_t>(m.type)) ^
+                                mask);
+      return;
+    }
+    const std::size_t i = static_cast<std::size_t>(
+        derive_stream_seed(k, 0x11D3) % m.data.size());
+    m.data[i] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(m.data[i]) ^ mask);
+  }
+
  private:
   FaultPlan plan_;
   std::uint64_t fate_seed_;
   std::uint64_t dup_seed_;
+  std::uint64_t garble_seed_;
   // Crash time per node, +infinity when the node never crashes.
   std::vector<double> crash_time_;
   // Outage intervals [down, up) per edge, in plan order.

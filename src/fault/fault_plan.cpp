@@ -7,7 +7,8 @@
 namespace csca {
 
 std::vector<std::string> builtin_fault_plan_names() {
-  return {"none", "drop1pct", "dup1pct", "crash_one", "link_flap"};
+  return {"none",      "drop1pct",  "drop5pct",  "dup1pct",
+          "garble1pct", "crash_one", "link_flap"};
 }
 
 namespace {
@@ -30,8 +31,16 @@ FaultPlan make_builtin_fault_plan(const std::string& name, const Graph& g) {
     plan.drop_rate = 0.01;
     return plan;
   }
+  if (name == "drop5pct") {
+    plan.drop_rate = 0.05;
+    return plan;
+  }
   if (name == "dup1pct") {
     plan.dup_rate = 0.01;
+    return plan;
+  }
+  if (name == "garble1pct") {
+    plan.garble_rate = 0.01;
     return plan;
   }
   if (name == "crash_one") {

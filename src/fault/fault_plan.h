@@ -46,6 +46,12 @@ struct FaultPlan {
   /// copy of the message (with its own delay draw). Disjoint with drop:
   /// one unit draw decides, so drop_rate + dup_rate must be <= 1.
   double dup_rate = 0;
+  /// Per-send probability that the message is delivered with one keyed
+  /// payload word XOR-corrupted (the type tag when the payload is
+  /// empty). Third band of the same unit draw, so
+  /// drop_rate + dup_rate + garble_rate must be <= 1 and a garbled send
+  /// is never also dropped or duplicated.
+  double garble_rate = 0;
   std::vector<CrashEvent> crashes;
   std::vector<LinkOutage> outages;
   /// Decorrelates the fault stream from everything else derived from
@@ -55,20 +61,22 @@ struct FaultPlan {
 
   /// True when the plan can affect a run at all.
   bool active() const {
-    return drop_rate > 0 || dup_rate > 0 || !crashes.empty() ||
-           !outages.empty();
+    return drop_rate > 0 || dup_rate > 0 || garble_rate > 0 ||
+           !crashes.empty() || !outages.empty();
   }
 };
 
 /// Names accepted by make_builtin_fault_plan, in presentation order:
-/// none, drop1pct, dup1pct, crash_one, link_flap.
+/// none, drop1pct, drop5pct, dup1pct, garble1pct, crash_one, link_flap.
 std::vector<std::string> builtin_fault_plan_names();
 
 /// Builds a named builtin plan against a concrete graph (crash targets
 /// and flapping links are picked from the graph, deterministically):
 ///  - none:      inactive plan (zero rates, no events).
 ///  - drop1pct:  1% keyed drop rate on every channel.
+///  - drop5pct:  5% keyed drop rate on every channel.
 ///  - dup1pct:   1% keyed duplication rate on every channel.
+///  - garble1pct: 1% keyed payload corruption on every channel.
 ///  - crash_one: node n/2 crash-stops at 1.5 * max edge weight.
 ///  - link_flap: three spread-out edges cycle down/up with period
 ///               2 * max edge weight, four outages each.

@@ -4,8 +4,46 @@
 #include <utility>
 
 #include "util/require.h"
+#include "util/rng.h"
 
 namespace csca {
+
+std::int64_t arq_checksum(int type, const std::int64_t* words,
+                          std::size_t n) {
+  std::uint64_t ck = (mix64(0) | 1) *
+                     static_cast<std::uint64_t>(static_cast<std::int64_t>(type));
+  for (std::size_t i = 0; i < n; ++i) {
+    ck += (mix64(i + 1) | 1) * static_cast<std::uint64_t>(words[i]);
+  }
+  return static_cast<std::int64_t>(ck);
+}
+
+Message arq_make_data(std::int64_t seq, const Message& inner) {
+  Message frame(kArqData);
+  frame.data.reserve(3 + inner.data.size());
+  frame.data.push_back(seq);
+  frame.data.push_back(inner.type);
+  frame.data.insert(frame.data.end(), inner.data.begin(), inner.data.end());
+  frame.data.push_back(
+      arq_checksum(kArqData, frame.data.begin(), frame.data.size()));
+  return frame;
+}
+
+Message arq_make_ack(std::int64_t ack) {
+  Message frame(kArqAck);
+  frame.data.push_back(ack);
+  frame.data.push_back(arq_checksum(kArqAck, frame.data.begin(), 1));
+  return frame;
+}
+
+bool arq_frame_valid(const Message& m) {
+  if (m.type != kArqData && m.type != kArqAck) return false;
+  // DATA needs at least [seq, inner type, ck]; ACK exactly [ack, ck].
+  const std::size_t min_words = m.type == kArqData ? 3 : 2;
+  if (m.data.size() < min_words) return false;
+  const std::size_t n = m.data.size() - 1;
+  return m.data[n] == arq_checksum(m.type, m.data.begin(), n);
+}
 
 namespace {
 
@@ -83,11 +121,19 @@ void ArqHost::on_message(Context& ctx, const Message& m) {
     inner_->on_message(ictx, inner_msg);
     return;
   }
+  require(m.type == kArqData || m.type == kArqAck,
+          "ArqHost received a foreign message type");
+  if (!arq_frame_valid(m)) {
+    // Garbled in transit: discard silently. An invalid DATA is not
+    // acknowledged, so the sender's retransmission timer heals the
+    // loss; an invalid ACK is healed by the next (cumulative) one.
+    ++link(m.edge).corrupt;
+    return;
+  }
   if (m.type == kArqData) {
     handle_data(ctx, m);
     return;
   }
-  require(m.type == kArqAck, "ArqHost received a foreign message type");
   handle_ack(m);
 }
 
@@ -97,7 +143,7 @@ void ArqHost::handle_data(Context& ctx, const Message& frame) {
   const std::int64_t seq = frame.at(0);
   if (seq == l.expected) {
     Message inner_msg(static_cast<int>(frame.at(1)),
-                      Payload(frame.data.begin() + 2, frame.data.end()));
+                      Payload(frame.data.begin() + 2, frame.data.end() - 1));
     inner_msg.from = frame.from;
     inner_msg.edge = e;
     ++l.expected;
@@ -120,7 +166,7 @@ void ArqHost::handle_data(Context& ctx, const Message& frame) {
     // message until the gap fills.
     if (l.buffered.find(seq) == l.buffered.end()) {
       Message inner_msg(static_cast<int>(frame.at(1)),
-                        Payload(frame.data.begin() + 2, frame.data.end()));
+                        Payload(frame.data.begin() + 2, frame.data.end() - 1));
       inner_msg.from = frame.from;
       inner_msg.edge = e;
       l.buffered.emplace(seq, std::move(inner_msg));
@@ -130,7 +176,8 @@ void ArqHost::handle_data(Context& ctx, const Message& frame) {
   //
   // Always (re-)acknowledge cumulatively: a lost ACK is healed by the
   // duplicate DATA the ensuing retransmission produces.
-  ctx.send(e, Message(kArqAck, {l.expected}), MsgClass::kControl);
+  bill_control(e);
+  ctx.send(e, arq_make_ack(l.expected), MsgClass::kControl);
 }
 
 void ArqHost::handle_ack(const Message& frame) {
@@ -161,6 +208,7 @@ void ArqHost::handle_timer(Context& ctx, const Message& m) {
   }
   // Retransmission is pure overhead: billed kControl regardless of the
   // inner send's class.
+  bill_control(e);
   ctx.send(e, it->frame, MsgClass::kControl);
   l.retransmit_times.push_back(ctx.now());
   ctx.schedule_self(timeout(e, attempt + 1),
@@ -192,14 +240,11 @@ void ArqHost::engine_send(NodeId /*from*/, EdgeId e, Message m,
     return;
   }
   const std::int64_t seq = l.next_seq++;
-  Message frame(kArqData);
-  frame.data.reserve(2 + m.data.size());
-  frame.data.push_back(seq);
-  frame.data.push_back(m.type);
-  frame.data.insert(frame.data.end(), m.data.begin(), m.data.end());
+  Message frame = arq_make_data(seq, m);
   l.unacked.push_back(Pending{seq, frame});
   // First copy rides in the inner send's own class: the algorithm
   // ledger of a faulted+ARQ run records the protocol's own sends.
+  if (cls == MsgClass::kControl) bill_control(e);
   cur_->send(e, std::move(frame), cls);
   cur_->schedule_self(timeout(e, 0), Message(kArqTimer, {e, seq, 0}));
 }
@@ -245,6 +290,14 @@ bool ArqHost::any_peer_dead() const {
 
 std::int64_t ArqHost::suppressed_sends(EdgeId e) const {
   return link(e).suppressed;
+}
+
+std::int64_t ArqHost::corrupt_frames(EdgeId e) const {
+  return link(e).corrupt;
+}
+
+void ArqHost::bill_control(EdgeId e) {
+  if (cfg_.meter) cfg_.meter->billed += graph_->weight(e);
 }
 
 ProcessFactory arq_factory(ProcessFactory inner, ArqConfig cfg) {

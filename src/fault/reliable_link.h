@@ -36,16 +36,51 @@
 #include <vector>
 
 #include "sim/engine.h"
+#include "sim/message.h"
 
 namespace csca {
 
 /// ARQ frame type tags. Inner protocols must not use these values.
 enum ArqTag : int {
-  kArqData = 71001,   ///< [seq, inner type, inner payload...]
-  kArqAck = 71002,    ///< [cumulative ack: next seq expected]
+  kArqData = 71001,   ///< [seq, inner type, inner payload..., checksum]
+  kArqAck = 71002,    ///< [cumulative ack: next seq expected, checksum]
   kArqTimer = 71003,  ///< self only: [edge, seq, attempt]
   kArqSelf = 71004,   ///< wrapped inner self-delivery: [inner type, ...]
 };
+
+// ---------------------------------------------------------------------
+// Wire framing, shared by the asynchronous ArqHost and the pulse-domain
+// SyncArqHost (fault/sync_reliable_link.h) and by the invariant
+// checker's replay. Every frame that crosses the wire carries a
+// trailing checksum word: a positional sum with odd multipliers,
+//
+//   ck = c_0 * type + sum_i c_{i+1} * word_i,   c_j = mix64(j) | 1.
+//
+// Odd multipliers are units mod 2^64, so changing any single word w_j
+// changes the sum by c_j * (w_j' - w_j) != 0 — the checksum provably
+// detects every single-word corruption, which is exactly the damage
+// class FaultInjector::garble inflicts (one keyed word XORed with a
+// nonzero mask). Receivers silently discard invalid frames: an invalid
+// DATA is not acknowledged, so the sender's retransmission heals it —
+// garbling is masked the same way a drop is, at retransmission cost.
+// What ARQ can NOT mask: garbles on unframed traffic (no checksum, no
+// retransmission), and a garble-induced retransmit exhaustion still
+// declares the peer dead. See docs/faults.md.
+// ---------------------------------------------------------------------
+
+/// Checksum over a frame's type tag and its first n payload words.
+std::int64_t arq_checksum(int type, const std::int64_t* words,
+                          std::size_t n);
+
+/// Builds the DATA frame [seq, inner type, inner payload..., ck].
+Message arq_make_data(std::int64_t seq, const Message& inner);
+
+/// Builds the ACK frame [ack, ck].
+Message arq_make_ack(std::int64_t ack);
+
+/// True iff m is a structurally complete kArqData / kArqAck frame whose
+/// trailing checksum matches the rest of the frame.
+bool arq_frame_valid(const Message& m);
 
 struct ArqConfig {
   /// Initial retransmit timeout on edge e is timeout_factor * w(e). A
@@ -57,6 +92,15 @@ struct ArqConfig {
   /// Retransmissions before the peer is declared dead. Attempt numbers
   /// run 0 (first transmission) through max_retries.
   int max_retries = 12;
+  /// Optional shared control-cost meter. When set, every control-class
+  /// wire transmission the host performs (ACKs, retransmissions, and
+  /// first copies of inner kControl sends) adds w(e) to meter->billed
+  /// at send time — the feedback path that lets the §5 controller's
+  /// admission see physical retransmit cost (RunEnv::meter threads the
+  /// same meter into ControllerConfig). Billed whether or not the
+  /// channel then swallows the copy, matching the engines' ledger rule
+  /// that transmission attempts are always charged.
+  std::shared_ptr<ControlMeter> meter;
 };
 
 /// Wraps one node's process behind the ARQ layer. Built by arq_factory;
@@ -86,6 +130,9 @@ class ArqHost final : public Process, private EngineBackend {
   bool any_peer_dead() const;
   /// Inner sends suppressed because the link was already peer-dead.
   std::int64_t suppressed_sends(EdgeId e) const;
+  /// Frames arriving on e that failed checksum validation and were
+  /// silently discarded (healed by retransmission).
+  std::int64_t corrupt_frames(EdgeId e) const;
 
  private:
   struct Pending {
@@ -104,11 +151,14 @@ class ArqHost final : public Process, private EngineBackend {
     std::int64_t expected = 0;
     std::map<std::int64_t, Message> buffered;  ///< out-of-order inner msgs
     std::int64_t delivered = 0;
+    std::int64_t corrupt = 0;  ///< invalid frames discarded
   };
 
   Link& link(EdgeId e);
   const Link& link(EdgeId e) const;
   double timeout(EdgeId e, int attempt) const;
+  // Meter hook for a control-class wire send on e (no-op without one).
+  void bill_control(EdgeId e);
   void handle_data(Context& ctx, const Message& frame);
   void handle_ack(const Message& frame);
   void handle_timer(Context& ctx, const Message& m);

@@ -205,6 +205,10 @@ struct ShardEngine::Shard final : public EngineBackend {
     eng->last_arrival_[channel] = arrival;
     m.from = from;
     m.edge = e;
+    // Keyed corruption, identical to the sequential engine's: a pure
+    // function of (seed, salt, channel, count), so the delivered bytes
+    // match at every shard count.
+    if (fate.garble) faults.garble(channel, count, m);
     Message dup;
     if (fate.duplicate) dup = m;
     charge();

@@ -207,4 +207,17 @@ struct RunStats {
   Weight total_cost() const { return algorithm_cost + control_cost; }
 };
 
+/// Shared running total of control-class transmission cost, written by
+/// an overhead layer (the ARQ reliable links) and read by an admission
+/// authority (the §5 controller's root) inside the same sequential run.
+/// This is how physical overhead that never asks for permits — ARQ
+/// retransmits and ACKs under a fault plan — still counts against the
+/// root's permit threshold: the root treats `billed` as implicitly
+/// issued. Sequential-engine only: writer and reader share one event
+/// loop, so there is no synchronization (and must not be any need for
+/// it). See control/controller.h (RunEnv::meter) and docs/faults.md.
+struct ControlMeter {
+  Weight billed = 0;
+};
+
 }  // namespace csca

@@ -134,12 +134,19 @@ void Network::engine_send_faulty(NodeId from, EdgeId e, const Edge& edge,
   last_arrival_[channel] = arrival;
   m.from = from;
   m.edge = e;
+  // Garbling corrupts the delivered copy only; the ledger charge and
+  // the FIFO clamp are those of a normal send (the attempt looked
+  // healthy to the sender).
+  if (fate.garble) faults_->garble(channel, count, m);
   Message dup;
   if (fate.duplicate) dup = m;
   require(seq_ != UINT32_MAX, "event sequence space exhausted");
   queue_.push(HeapKey{arrival, seq_++}, std::move(m));
   charge();
-  if (observer_) observer_->on_send(*this, from, e, cls, d, arrival);
+  if (observer_) {
+    observer_->on_send(*this, from, e, cls, d, arrival);
+    if (fate.garble) observer_->on_garble(*this, from, e, arrival);
+  }
   if (fate.duplicate) {
     // Phantom copy with its own keyed delay draw; clamped behind the
     // original (the clamp was just committed) but never committing the

@@ -82,6 +82,14 @@ class InvariantObserver {
   /// per-edge counters. Only fires with faults attached.
   virtual void on_duplicate(const Network&, NodeId /*from*/, EdgeId /*e*/,
                             double /*arrival*/) {}
+
+  /// A send by `from` on edge e was queued *corrupted* (one keyed
+  /// payload word XORed — see FaultInjector::garble) and will arrive at
+  /// `arrival`. Fires right after the on_send hook for the same send;
+  /// the ledger charged the attempt normally. Only fires with faults
+  /// attached.
+  virtual void on_garble(const Network&, NodeId /*from*/, EdgeId /*e*/,
+                         double /*arrival*/) {}
 };
 
 /// Simulation host: graph + processes + event queue + cost ledger.

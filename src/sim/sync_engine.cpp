@@ -19,7 +19,7 @@ SyncEngine::SyncEngine(const Graph& g, const ProcessFactory& factory,
   }
 }
 
-void SyncEngine::do_send(NodeId from, EdgeId e, Message m) {
+void SyncEngine::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
   const Edge& edge = graph_->edge(e);
   require(edge.u == from || edge.v == from,
           "process may only send on its own incident edges");
@@ -30,6 +30,15 @@ void SyncEngine::do_send(NodeId from, EdgeId e, Message m) {
   }
   m.from = from;
   m.edge = e;
+  const auto charge = [&] {
+    if (cls == MsgClass::kAlgorithm) {
+      ++stats_.algorithm_messages;
+      stats_.algorithm_cost += edge.w;
+    } else {
+      ++stats_.control_messages;
+      stats_.control_cost += edge.w;
+    }
+  };
   if (faults_ != nullptr) {
     // Mirror of Network::engine_send_faulty in the pulse domain: the
     // attempt is always charged, fates are keyed by the per-channel
@@ -39,8 +48,7 @@ void SyncEngine::do_send(NodeId from, EdgeId e, Message m) {
     const std::size_t channel =
         static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
     const std::uint64_t count = channel_sends_[channel]++;
-    ++stats_.algorithm_messages;
-    stats_.algorithm_cost += edge.w;
+    charge();
     const NodeId to = graph_->other(e, from);
     const double arrival = static_cast<double>(pulse_ + edge.w);
     const FaultInjector::SendFate fate = faults_->send_fate(channel, count);
@@ -48,6 +56,9 @@ void SyncEngine::do_send(NodeId from, EdgeId e, Message m) {
         faults_->link_down(e, arrival) || faults_->crashed(to, arrival)) {
       return;
     }
+    // Corrupts the delivered copy only (the charge above is that of a
+    // healthy-looking send); same keyed mask as the async engines.
+    if (fate.garble) faults_->garble(channel, count, m);
     check_event_bounds(pulse_ + edge.w);
     if (fate.duplicate) {
       // The phantom copy arrives one transmission later (p + 2w), the
@@ -67,8 +78,7 @@ void SyncEngine::do_send(NodeId from, EdgeId e, Message m) {
   }
   check_event_bounds(pulse_ + edge.w);
   queue_.push(event_key(pulse_ + edge.w, 0, seq_++), std::move(m));
-  ++stats_.algorithm_messages;
-  stats_.algorithm_cost += edge.w;
+  charge();
 }
 
 void SyncEngine::set_faults(const FaultInjector* f) {

@@ -85,8 +85,8 @@ class SyncEngine {
     NodeId self() const override { return self_; }
     const Graph& graph() const override { return *eng_->graph_; }
     std::int64_t pulse() const override { return eng_->pulse_; }
-    void send(EdgeId e, Message m) override {
-      eng_->do_send(self_, e, std::move(m));
+    void send(EdgeId e, Message m, MsgClass cls) override {
+      eng_->do_send(self_, e, std::move(m), cls);
     }
     void schedule_wakeup(std::int64_t at_pulse) override {
       eng_->do_wakeup(self_, at_pulse);
@@ -120,7 +120,7 @@ class SyncEngine {
             "event sequence space exhausted");
   }
 
-  void do_send(NodeId from, EdgeId e, Message m);
+  void do_send(NodeId from, EdgeId e, Message m, MsgClass cls);
   void do_wakeup(NodeId v, std::int64_t at_pulse);
   void do_finish(NodeId v);
   void ensure_started();

@@ -29,8 +29,15 @@ class SyncContext {
 
   /// Sends m over incident edge e; it arrives at pulse() + w(e). Under
   /// the in-synch discipline (Def. 4.2), pulse() must be divisible by
-  /// w(e).
-  virtual void send(EdgeId e, Message m) = 0;
+  /// w(e). `cls` picks the ledger side the transmission is billed to:
+  /// protocol traffic is kAlgorithm, wrapper overhead (the pulse-domain
+  /// ARQ layer's retransmits and acks) is kControl.
+  virtual void send(EdgeId e, Message m, MsgClass cls) = 0;
+
+  /// Convenience overload: protocol sends are algorithm-class.
+  void send(EdgeId e, Message m) {
+    send(e, std::move(m), MsgClass::kAlgorithm);
+  }
 
   /// Requests an on_wakeup call at the given future pulse (> pulse()).
   virtual void schedule_wakeup(std::int64_t at_pulse) = 0;

@@ -158,8 +158,8 @@ class HostBase : public Process {
     NodeId self() const override { return host_->self_; }
     const Graph& graph() const override { return *host_->g_; }
     std::int64_t pulse() const override { return host_->cur_pulse_; }
-    void send(EdgeId e, Message m) override {
-      host_->sync_send(*net_, e, std::move(m));
+    void send(EdgeId e, Message m, MsgClass cls) override {
+      host_->sync_send(*net_, e, std::move(m), cls);
     }
     void schedule_wakeup(std::int64_t at_pulse) override {
       require(at_pulse > host_->cur_pulse_,
@@ -173,7 +173,7 @@ class HostBase : public Process {
     Context* net_;
   };
 
-  void sync_send(Context& ctx, EdgeId e, Message m) {
+  void sync_send(Context& ctx, EdgeId e, Message m, MsgClass cls) {
     const Weight w = g_->weight(e);
     if (shared_->kind == SynchronizerKind::kGammaW) {
       require(cur_pulse_ % w == 0,
@@ -185,7 +185,10 @@ class HostBase : public Process {
     wrapped.data.push_back(cur_pulse_);
     wrapped.data.push_back(m.type);
     wrapped.data.insert(wrapped.data.end(), m.data.begin(), m.data.end());
-    ctx.send(e, std::move(wrapped), MsgClass::kAlgorithm);
+    // The hosted protocol's class carries through the wrapper: hosted
+    // kControl overhead (e.g. a pulse-domain ARQ layer) stays control
+    // traffic on the asynchronous ledger too.
+    ctx.send(e, std::move(wrapped), cls);
     on_send_counted(e);
   }
 

@@ -16,8 +16,8 @@ class InSynchAdapter::VirtualCtx final : public SyncContext {
   const Graph& graph() const override { return *adapter_->original_; }
   std::int64_t pulse() const override { return actual_->pulse() / 4; }
 
-  void send(EdgeId e, Message m) override {
-    adapter_->virtual_send(*actual_, pulse(), e, std::move(m));
+  void send(EdgeId e, Message m, MsgClass cls) override {
+    adapter_->virtual_send(*actual_, pulse(), e, std::move(m), cls);
   }
 
   void schedule_wakeup(std::int64_t at_pulse) override {
@@ -51,7 +51,7 @@ InSynchAdapter::Slot& InSynchAdapter::slot_at(SyncContext& ctx,
 
 void InSynchAdapter::virtual_send(SyncContext& ctx,
                                   std::int64_t virtual_pulse, EdgeId e,
-                                  Message m) {
+                                  Message m, MsgClass cls) {
   // Step 3: the first actual pulse divisible by the normalized weight
   // (next_w of Def. 4.7), at or after the virtual event's actual time.
   const Weight w_hat = ctx.edge_weight(e);
@@ -64,9 +64,10 @@ void InSynchAdapter::virtual_send(SyncContext& ctx,
   wrapped.data.push_back(m.type);
   wrapped.data.insert(wrapped.data.end(), m.data.begin(), m.data.end());
   if (slot == ctx.pulse()) {
-    ctx.send(e, std::move(wrapped));
+    ctx.send(e, std::move(wrapped), cls);
   } else {
-    slot_at(ctx, slot).sends.emplace_back(e, std::move(wrapped));
+    slot_at(ctx, slot).sends.push_back(
+        DeferredSend{e, std::move(wrapped), cls});
   }
 }
 
@@ -104,10 +105,10 @@ void InSynchAdapter::on_wakeup(SyncContext& ctx) {
   if (it == slots_.end()) return;
   Slot slot = std::move(it->second);
   slots_.erase(it);
-  for (auto& [e, wrapped] : slot.sends) {
-    ensure(ctx.pulse() % ctx.edge_weight(e) == 0,
+  for (DeferredSend& ds : slot.sends) {
+    ensure(ctx.pulse() % ctx.edge_weight(ds.e) == 0,
            "deferred send missed its in-synch slot");
-    ctx.send(e, std::move(wrapped));
+    ctx.send(ds.e, std::move(ds.msg), ds.cls);
   }
   VirtualCtx vctx(*this, ctx);
   for (Message& m : slot.deliveries) {

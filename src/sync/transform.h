@@ -49,16 +49,24 @@ class InSynchAdapter final : public SyncProcess {
   /// Work scheduled for one actual pulse: sends whose in-synch slot has
   /// come, deliveries whose processing time has come, and at most one
   /// hosted wakeup.
+  /// A deferred hosted send, held until its in-synch slot: the wrapped
+  /// message plus the ledger class the hosted protocol sent it with.
+  struct DeferredSend {
+    EdgeId e = kNoEdge;
+    Message msg;
+    MsgClass cls = MsgClass::kAlgorithm;
+  };
+
   struct Slot {
-    std::vector<std::pair<EdgeId, Message>> sends;  // wrapped messages
-    std::vector<Message> deliveries;                // unwrapped, virtual
+    std::vector<DeferredSend> sends;  // wrapped messages
+    std::vector<Message> deliveries;  // unwrapped, virtual
     bool hosted_wakeup = false;
   };
 
   class VirtualCtx;
 
   void virtual_send(SyncContext& ctx, std::int64_t virtual_pulse,
-                    EdgeId e, Message m);
+                    EdgeId e, Message m, MsgClass cls);
   void virtual_wakeup(SyncContext& ctx, std::int64_t at_virtual);
   Slot& slot_at(SyncContext& ctx, std::int64_t actual_pulse);
 

@@ -1,0 +1,68 @@
+// The ARQ-aware controller budget invariant (check/budget_check.h):
+// B1 total billed cost <= permits issued, B2 control cost <= permits
+// issued, B3 un-exhausted runs stayed inside the threshold. Live-run
+// coverage is in tests/control/controller_test.cpp; here the checker's
+// own logic is pinned against crafted ledgers.
+#include "check/budget_check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace csca {
+namespace {
+
+ControlledRun craft(Weight algo, Weight control, Weight permits,
+                    bool exhausted) {
+  ControlledRun run;
+  run.stats.algorithm_cost = algo;
+  run.stats.control_cost = control;
+  run.permits_issued = permits;
+  run.exhausted = exhausted;
+  return run;
+}
+
+bool any_mentions(const std::vector<std::string>& violations,
+                  const std::string& needle) {
+  for (const std::string& v : violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(BudgetCheck, CleanRunHasNoViolations) {
+  const ControllerConfig cfg{30, true};
+  const auto v = check_controller_budget(craft(10, 5, 20, false), cfg);
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(BudgetCheck, ExhaustedRunMayExceedThresholdButNotPermits) {
+  // Exhaustion legitimizes permits > threshold (the signal fired); the
+  // cost <= permits bounds still apply and still hold here.
+  const ControllerConfig cfg{30, true};
+  const auto v = check_controller_budget(craft(20, 15, 40, true), cfg);
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+TEST(BudgetCheck, EachBrokenBoundIsNamed) {
+  const ControllerConfig cfg{30, true};
+  // total = 50 > permits = 35 (B1), control = 40 > permits (B2, implies
+  // B1 here), permits = 35 > threshold = 30 without exhaustion (B3).
+  const auto v = check_controller_budget(craft(10, 40, 35, false), cfg);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_TRUE(any_mentions(v, "total billed cost"));
+  EXPECT_TRUE(any_mentions(v, "control cost"));
+  EXPECT_TRUE(any_mentions(v, "exhaustion signal"));
+}
+
+TEST(BudgetCheck, ExactEqualityIsWithinBounds) {
+  // The invariant is an upper bound with equality allowed: a run that
+  // spends every permitted unit is legal.
+  const ControllerConfig cfg{30, true};
+  const auto v = check_controller_budget(craft(15, 15, 30, false), cfg);
+  EXPECT_TRUE(v.empty()) << v.front();
+}
+
+}  // namespace
+}  // namespace csca

@@ -157,5 +157,49 @@ TEST(ScheduleCheck, BuiltinSubjectsCleanOnSmallGraph) {
   }
 }
 
+TEST(ScheduleCheck, RunsDegradedCountsRunsNotFindings) {
+  // One faulted run can surface many oracle mismatches; the summary
+  // counter must advance once per run, not once per finding — and a
+  // faulty run that dies outright is a degraded run too.
+  const auto active_faults = [](const Graph&) {
+    FaultPlan plan;
+    plan.drop_rate = 0.5;
+    return plan;
+  };
+  std::vector<ScheduleSpec> portfolio;
+  for (const char* name : {"noisy", "broken", "quiet"}) {
+    portfolio.push_back(ScheduleSpec{
+        name, 1, [] { return std::make_unique<ExactDelay>(); },
+        active_faults});
+  }
+  const CheckSubject subject{
+      "fabricated",
+      [](const Graph&, const ScheduleSpec& spec) {
+        SubjectOutcome out;
+        out.digest = "d";
+        if (spec.name == "noisy") {
+          out.degraded = {"dist[1] off", "dist[2] off", "dist[3] off"};
+        } else if (spec.name == "broken") {
+          out.failed = true;
+          out.error = "ensure tripped";
+        }
+        return out;
+      },
+      /*run_par=*/nullptr};
+
+  const ScheduleCheckReport report =
+      check_subject(subject, near_tied_star(), "star", portfolio);
+  EXPECT_EQ(report.runs, 3);
+  EXPECT_EQ(report.runs_completed, 2);
+  EXPECT_EQ(report.runs_degraded, 2) << "noisy + broken, each once";
+  int degraded_findings = 0;
+  for (const CheckFinding& f : report.findings) {
+    if (f.kind == "degraded") ++degraded_findings;
+  }
+  EXPECT_EQ(degraded_findings, 4) << "three mismatches + one failed run";
+  EXPECT_TRUE(report.ok()) << "degraded findings alone must not fail "
+                              "the sweep";
+}
+
 }  // namespace
 }  // namespace csca

@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
+#include "check/budget_check.h"
 #include "control/protocols.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "fault/reliable_link.h"
 #include "graph/generators.h"
 
 namespace csca {
@@ -170,6 +175,113 @@ TEST(Controlled, ThresholdJustBelowCpiTruncatesExecution) {
                                   make_exact_delay());
   EXPECT_TRUE(run.exhausted);
   EXPECT_LT(run.stats.algorithm_cost, c_pi);
+}
+
+// RunEnv with the ARQ layer slid under the controller hosts; `meter`,
+// when non-null, closes the admission loop (the ARQ-aware controller).
+RunEnv arq_env(const FaultInjector* inj,
+               std::shared_ptr<ControlMeter> meter) {
+  RunEnv env;
+  env.faults = inj;
+  env.meter = meter;
+  env.wrap = [meter](ProcessFactory f) {
+    ArqConfig cfg;
+    cfg.meter = meter;
+    return arq_factory(std::move(f), cfg);
+  };
+  env.unwrap = [](Process& outer) -> Process& {
+    return dynamic_cast<ArqHost&>(outer).inner();
+  };
+  return env;
+}
+
+// The bugfix pair pinning the blind spot closed. Same runaway protocol,
+// same ARQ stack, same lossy channel, same threshold — run once with
+// the permit counter blind to retransmit cost and once with the meter
+// feeding it back. Blind: total billed cost blows past permits_issued
+// (the bug this PR fixes — control traffic spent real transmissions the
+// counter never saw). Metered: permits_issued is an upper bound on the
+// total billed cost, exactly.
+TEST(ControlledArq, MeterClosesAdmissionBlindSpotToRetransmitCost) {
+  Rng rng(4);
+  Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 6), rng);
+  FaultPlan plan;
+  plan.drop_rate = 0.1;
+  plan.salt = 0xFA17;
+  const FaultInjector inj(plan, g, 3);
+  const ControllerConfig cfg{1500, true};
+
+  const auto blind = run_controlled(g, spam_factory(), 0, cfg,
+                                    make_uniform_delay(0.1, 1.0), 3,
+                                    arq_env(&inj, nullptr));
+  EXPECT_GT(blind.stats.total_cost(), blind.permits_issued)
+      << "without the meter the ledger must overrun the permit counter "
+         "(otherwise this test pins nothing)";
+
+  const auto metered = run_controlled(g, spam_factory(), 0, cfg,
+                                      make_uniform_delay(0.1, 1.0), 3,
+                                      arq_env(&inj, std::make_shared<ControlMeter>()));
+  EXPECT_TRUE(metered.exhausted);
+  EXPECT_LE(metered.stats.total_cost(), metered.permits_issued);
+  EXPECT_EQ(check_controller_budget(metered, cfg), std::vector<std::string>{});
+}
+
+// Acceptance bar: under the drop5pct builtin a metered ControlledRun of
+// the well-behaved echo satisfies the full budget invariant (B1-B3 of
+// check/budget_check.h) and still completes — provisioned admission
+// never interferes with a correct execution.
+TEST(ControlledArq, MeteredEchoUnderDrop5pctSatisfiesBudgetInvariant) {
+  Rng rng(6);
+  Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 6), rng);
+  const FaultPlan plan = make_builtin_fault_plan("drop5pct", g);
+  const FaultInjector inj(plan, g, 8);
+  const Weight c_pi = 4 * g.total_weight();
+  // Budget provisioned for the metered stack: explicit issuance plus
+  // the ACK tax and retransmit slack (see the fault_ctl bench table for
+  // the envelope's derivation).
+  const ControllerConfig cfg{12 * c_pi, true};
+
+  const auto run = run_controlled(g, echo_factory(), 0, cfg,
+                                  make_uniform_delay(0.1, 1.0), 8,
+                                  arq_env(&inj, std::make_shared<ControlMeter>()));
+  EXPECT_EQ(check_controller_budget(run, cfg), std::vector<std::string>{});
+  EXPECT_FALSE(run.exhausted);
+  EXPECT_LE(run.stats.total_cost(), run.permits_issued);
+  EXPECT_TRUE(dynamic_cast<BroadcastEcho&>(run.inner(0)).done());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_TRUE(dynamic_cast<BroadcastEcho&>(run.inner(v)).covered());
+  }
+}
+
+// A retransmit storm alone must trip the budget: the protocol is cheap
+// and well behaved, but a crashed peer turns the ARQ layer into a pure
+// control-cost source, and the metered counter must notice — where the
+// blind counter reports a run comfortably inside its threshold.
+TEST(ControlledArq, RetransmitStormAgainstCrashedPeerExhaustsBudget) {
+  // 0 -1- 1 -10- 2, node 2 crashed from the start: the wave toward 2 is
+  // retransmitted max_retries times at weight 10 a piece, all control.
+  Graph g(3);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 10);
+  FaultPlan plan;
+  plan.crashes.push_back({2, 0.0});
+  const FaultInjector inj(plan, g, 1);
+  // Generous for the protocol (c_pi = 4 * 11 = 44), small against a
+  // 12-retry storm on the weight-10 edge.
+  const ControllerConfig cfg{60, true};
+
+  const auto metered = run_controlled(g, echo_factory(), 0, cfg,
+                                      make_exact_delay(), 1,
+                                      arq_env(&inj, std::make_shared<ControlMeter>()));
+  EXPECT_TRUE(metered.exhausted);
+  EXPECT_EQ(check_controller_budget(metered, cfg),
+            std::vector<std::string>{});
+
+  const auto blind = run_controlled(g, echo_factory(), 0, cfg,
+                                    make_exact_delay(), 1,
+                                    arq_env(&inj, nullptr));
+  EXPECT_FALSE(blind.exhausted);  // the storm was invisible to admission
+  EXPECT_GT(blind.stats.control_cost, cfg.threshold);
 }
 
 }  // namespace

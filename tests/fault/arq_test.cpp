@@ -302,5 +302,58 @@ TEST(Arq, BudgetedResumePreservesPendingRetransmitTimers) {
   ASSERT_EQ(b.size(), static_cast<std::size_t>(kCount));
 }
 
+// Budget-resume under an *active link outage*: retransmit timers armed
+// while the link is down — and the outage windows themselves — must
+// survive arbitrarily many budget boundaries. Slicing a link_flap +
+// drop run must reproduce the one-shot run bit for bit: ledger, every
+// host's retransmit schedule, and the protocol outcome.
+TEST(Arq, BudgetedResumeUnderLinkFlapMatchesOneShot) {
+  Rng rng(21);
+  const Graph g = connected_gnp(10, 0.3, WeightSpec::uniform(1, 6), rng);
+  FaultPlan plan = make_builtin_fault_plan("link_flap", g);
+  ASSERT_FALSE(plan.outages.empty());
+  plan.drop_rate = 0.15;  // losses on the up links force timers too
+
+  const auto factory = arq_factory(
+      [](NodeId v) { return std::make_unique<FloodProcess>(v, 0); });
+
+  const FaultInjector inj1(plan, g, 13);
+  Network one_shot(g, factory, make_uniform_delay(0, 1), 13);
+  one_shot.set_faults(&inj1);
+  const RunStats full = one_shot.run();
+
+  std::int64_t total_retransmits = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (EdgeId e : g.incident(v)) {
+      total_retransmits += arq_host(one_shot, v).retransmit_count(e);
+    }
+  }
+  EXPECT_GT(total_retransmits, 0) << "plan should force retransmissions";
+
+  const FaultInjector inj2(plan, g, 13);
+  Network sliced(g, factory, make_uniform_delay(0, 1), 13);
+  sliced.set_faults(&inj2);
+  // Slices far smaller than any retransmit timeout or outage window:
+  // every pending timer and every flap crosses many budget boundaries.
+  double budget = 0.9;
+  for (int guard = 0; !sliced.idle() || guard == 0; ++guard) {
+    ASSERT_LT(guard, 10000) << "sliced run failed to quiesce";
+    sliced.run(budget);
+    budget += 0.9;
+  }
+  expect_stats_identical(full, sliced.stats(), "link-flap sliced");
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    for (EdgeId e : g.incident(v)) {
+      EXPECT_EQ(arq_host(one_shot, v).retransmit_times(e),
+                arq_host(sliced, v).retransmit_times(e))
+          << "node " << v << " edge " << e;
+    }
+    EXPECT_EQ(
+        dynamic_cast<FloodProcess&>(arq_inner(one_shot, v)).reached(),
+        dynamic_cast<FloodProcess&>(arq_inner(sliced, v)).reached())
+        << "node " << v;
+  }
+}
+
 }  // namespace
 }  // namespace csca

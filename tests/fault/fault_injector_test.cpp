@@ -138,7 +138,7 @@ TEST(BuiltinFaultPlans, AllNamesBuildAndValidate) {
   Rng rng(5);
   const Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 9), rng);
   const auto names = builtin_fault_plan_names();
-  ASSERT_EQ(names.size(), 5u);
+  ASSERT_EQ(names.size(), 7u);
   for (const std::string& name : names) {
     const FaultPlan plan = make_builtin_fault_plan(name, g);
     // Every builtin must materialize cleanly against the graph.
@@ -154,9 +154,16 @@ TEST(BuiltinFaultPlans, ShapesMatchTheirNames) {
   const FaultPlan drop = make_builtin_fault_plan("drop1pct", g);
   EXPECT_DOUBLE_EQ(drop.drop_rate, 0.01);
   EXPECT_DOUBLE_EQ(drop.dup_rate, 0.0);
+  const FaultPlan drop5 = make_builtin_fault_plan("drop5pct", g);
+  EXPECT_DOUBLE_EQ(drop5.drop_rate, 0.05);
+  EXPECT_DOUBLE_EQ(drop5.dup_rate, 0.0);
   const FaultPlan dup = make_builtin_fault_plan("dup1pct", g);
   EXPECT_DOUBLE_EQ(dup.drop_rate, 0.0);
   EXPECT_DOUBLE_EQ(dup.dup_rate, 0.01);
+  const FaultPlan garble = make_builtin_fault_plan("garble1pct", g);
+  EXPECT_DOUBLE_EQ(garble.garble_rate, 0.01);
+  EXPECT_DOUBLE_EQ(garble.drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(garble.dup_rate, 0.0);
   const FaultPlan crash = make_builtin_fault_plan("crash_one", g);
   ASSERT_EQ(crash.crashes.size(), 1u);
   EXPECT_EQ(crash.crashes[0].node, g.node_count() / 2);

@@ -308,6 +308,103 @@ TEST(FaultSyncEngine, DropAndCrashSemantics) {
   }
 }
 
+// Satellite audit, pinned: duplicate billing. A duplicated send is
+// channel noise — delivered twice, charged ONCE, on every engine. With
+// a fixed-burst workload (receivers never send, so extra deliveries
+// cannot echo into extra sends) the entire cost ledger under a dup plan
+// must be *identical* to the fault-free golden run, while the event
+// count shows the duplicates really happened.
+TEST(FaultNetwork, DupPlanLeavesGoldenLedgerIdenticalOnAllEngines) {
+  // Node 0 bursts k mixed-class messages per incident edge; everyone
+  // else only counts.
+  class Burst final : public Process {
+   public:
+    void on_start(Context& ctx) override {
+      if (ctx.self() != 0) return;
+      for (int i = 0; i < 6; ++i) {
+        for (EdgeId e : ctx.incident()) {
+          ctx.send(e, Message{0, {i}},
+                   i % 2 != 0 ? MsgClass::kAlgorithm : MsgClass::kControl);
+        }
+      }
+    }
+    void on_message(Context&, const Message&) override { ++deliveries; }
+    int deliveries = 0;
+  };
+  class PulseBurst final : public SyncProcess {
+   public:
+    void on_start(SyncContext& ctx) override {
+      if (ctx.self() != 0) return;
+      for (int i = 0; i < 6; ++i) {
+        for (EdgeId e : ctx.incident()) {
+          ctx.send(e, Message{0, {i}},
+                   i % 2 != 0 ? MsgClass::kAlgorithm : MsgClass::kControl);
+        }
+      }
+    }
+    void on_message(SyncContext&, const Message&) override {}
+  };
+  Rng rng(7);
+  const Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 9), rng);
+  const auto factory = [](NodeId) { return std::make_unique<Burst>(); };
+  const auto sync_factory = [](NodeId) {
+    return std::make_unique<PulseBurst>();
+  };
+  for (const char* name : {"dup1pct", "dup_heavy"}) {
+    FaultPlan plan;
+    if (std::string(name) == "dup1pct") {
+      plan = make_builtin_fault_plan("dup1pct", g);
+    } else {
+      plan.dup_rate = 1.0;  // every send doubled: the sharp billing probe
+    }
+    const FaultInjector inj(plan, g, 5);
+
+    Network golden(g, factory, make_uniform_delay(0, 1), 5);
+    const RunStats base = golden.run();
+    Network dup(g, factory, make_uniform_delay(0, 1), 5);
+    dup.set_faults(&inj);
+    const RunStats net_stats = dup.run();
+    // The billing side is byte-identical to the golden fault-free run...
+    EXPECT_EQ(net_stats.algorithm_messages, base.algorithm_messages) << name;
+    EXPECT_EQ(net_stats.control_messages, base.control_messages) << name;
+    EXPECT_EQ(net_stats.algorithm_cost, base.algorithm_cost) << name;
+    EXPECT_EQ(net_stats.control_cost, base.control_cost) << name;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      EXPECT_EQ(dup.edge_message_count(e), golden.edge_message_count(e))
+          << name << " edge " << e;
+    }
+    if (plan.dup_rate == 1.0) {
+      // ...while the duplicates demonstrably arrived.
+      EXPECT_EQ(net_stats.events, 2 * base.events) << name;
+    } else {
+      EXPECT_GE(net_stats.events, base.events) << name;
+    }
+
+    ShardEngine sharded(g, factory, make_uniform_delay(0, 1), 5,
+                        ShardEngine::Options{2, 0});
+    sharded.set_faults(&inj);
+    const RunStats shard_stats = sharded.run();
+    EXPECT_EQ(shard_stats.algorithm_cost, base.algorithm_cost) << name;
+    EXPECT_EQ(shard_stats.control_cost, base.control_cost) << name;
+    EXPECT_EQ(shard_stats.events, net_stats.events) << name;
+
+    SyncEngine plain(g, sync_factory);
+    const RunStats sync_base = plain.run();
+    SyncEngine faulted(g, sync_factory);
+    faulted.set_faults(&inj);
+    const RunStats sync_stats = faulted.run();
+    EXPECT_EQ(sync_stats.algorithm_messages, sync_base.algorithm_messages)
+        << name;
+    EXPECT_EQ(sync_stats.control_messages, sync_base.control_messages)
+        << name;
+    EXPECT_EQ(sync_stats.algorithm_cost, sync_base.algorithm_cost) << name;
+    EXPECT_EQ(sync_stats.control_cost, sync_base.control_cost) << name;
+    if (plan.dup_rate == 1.0) {
+      EXPECT_EQ(sync_stats.events, 2 * sync_base.events) << name;
+    }
+  }
+}
+
 TEST(FaultNetwork, SetFaultsRejectedAfterStart) {
   Graph g(2);
   g.add_edge(0, 1, 1);

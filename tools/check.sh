@@ -6,7 +6,11 @@
 # configurations, then again here sequentially vs parallelized to show
 # the multi-run harness wall-clock side by side, and once more under a
 # builtin fault plan (plain + sharded; the TSan leg repeats the sharded
-# faulted run) to gate the fault-injection hooks. The table-sweep gate
+# faulted run) to gate the fault-injection hooks. The fault smoke also
+# drives the metered fault_ctl table (csca_sweep --table=fault_ctl)
+# sequentially, at --jobs N with a byte-for-byte diff, and again in the
+# TSan leg, so a drifting admission bound fails with its row named. The
+# table-sweep gate
 # runs the conformance tier (ctest -L conformance), then csca_sweep's
 # smoke grids at --jobs=1 vs --jobs=N and diffs the BENCH_<id>.json
 # trees byte for byte.
@@ -53,6 +57,16 @@ echo "== fault smoke: portfolio under a 1% drop plan (see docs/faults.md) =="
 ./build/tools/csca_check --smoke --faults=drop1pct
 ./build/tools/csca_check --smoke --faults=drop1pct --shards=2
 
+echo "== fault smoke: ARQ-aware admission table (fault_ctl) =="
+# The metered-controller grid: permits vs loss rate, each row bound by
+# the R(p) retransmission envelope. A drifting row fails csca_sweep by
+# name; the --jobs run must reproduce the sequential JSON byte for byte.
+./build/tools/csca_sweep --smoke --table=fault_ctl --out-dir=build/fault_ctl_j1
+./build/tools/csca_sweep --smoke --table=fault_ctl --jobs="$JOBS" \
+  --out-dir=build/fault_ctl_jN
+diff build/fault_ctl_j1/BENCH_fault_ctl.json build/fault_ctl_jN/BENCH_fault_ctl.json \
+  || { echo "check.sh: fault_ctl output differs across --jobs" >&2; exit 1; }
+
 echo "== table sweep: conformance tier + --jobs byte-identity =="
 ctest --test-dir build -L conformance --output-on-failure -j "$JOBS"
 ./build/tools/csca_sweep --list
@@ -78,9 +92,14 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     rm -f /tmp/csca_tsan_probe.$$
     echo "== parallel suite: TSan build (par_test + faulted shard run) =="
     cmake -B build-tsan -S . -DCSCA_TSAN=ON -DCSCA_WERROR=ON >/dev/null
-    cmake --build build-tsan -j "$JOBS" --target par_test csca_check_tool
+    cmake --build build-tsan -j "$JOBS" --target par_test csca_check_tool csca_sweep
     ./build-tsan/tests/par_test
     ./build-tsan/tools/csca_check --smoke --faults=drop1pct --shards=2
+    # The metered fault_ctl grid with parallel rows: ARQ retransmit
+    # billing feeds the admission counter across RunPool workers, so
+    # this is the data-race-sensitive path of the fault smoke.
+    ./build-tsan/tools/csca_sweep --smoke --table=fault_ctl --jobs=2 \
+      --out-dir=build-tsan/fault_ctl
   else
     rm -f /tmp/csca_tsan_probe.$$
     echo "== parallel suite: TSan SKIPPED (toolchain lacks -fsanitize=thread support) =="

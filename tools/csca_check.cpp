@@ -178,16 +178,16 @@ int main(int argc, char** argv) {
       runs += report.runs;
       if (fault_mode) {
         // The point of a fault sweep: which subjects still run to
-        // completion, which still terminate everywhere, and how often.
-        int degraded = 0;
-        for (const CheckFinding& f : report.findings) {
-          if (f.kind == "degraded") ++degraded;
-        }
+        // completion, which still terminate everywhere, and how many
+        // *runs* degraded. runs_degraded counts each run once; tallying
+        // degraded findings here would count one noisy run (many oracle
+        // mismatch lines) as several.
         std::printf("%-10s %-8s %s  completed %d/%d, all-finished %d, "
                     "degraded %d\n",
                     s.subject->name.c_str(), s.family->name.c_str(),
                     report.ok() ? "ok " : "FAIL", report.runs_completed,
-                    report.runs, report.runs_all_finished, degraded);
+                    report.runs, report.runs_all_finished,
+                    report.runs_degraded);
       } else if (verbose || !report.ok()) {
         std::printf("%-10s %-8s %-3d schedules  %s  %s\n",
                     s.subject->name.c_str(), s.family->name.c_str(),
