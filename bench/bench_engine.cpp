@@ -56,14 +56,14 @@ class Storm final : public Process {
   void on_start(Context& ctx) override {
     if (ctx.self() != 0) return;
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {ttl_, 0, 0, 0}});
+      ctx.send(e, Message{0, {ttl_, 0, 0, 0}}, MsgClass::kAlgorithm);
     }
   }
   void on_message(Context& ctx, const Message& m) override {
     const std::int64_t ttl = m.at(0);
     if (ttl <= 0) return;
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {ttl - 1, m.at(1) + 1, ctx.self(), m.at(3)}});
+      ctx.send(e, Message{0, {ttl - 1, m.at(1) + 1, ctx.self(), m.at(3)}}, MsgClass::kAlgorithm);
     }
   }
 
@@ -77,14 +77,14 @@ class SyncStorm final : public SyncProcess {
   void on_start(SyncContext& ctx) override {
     if (ctx.self() != 0) return;
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {ttl_, 0, 0, 0}});
+      ctx.send(e, Message{0, {ttl_, 0, 0, 0}}, MsgClass::kAlgorithm);
     }
   }
   void on_message(SyncContext& ctx, const Message& m) override {
     const std::int64_t ttl = m.at(0);
     if (ttl <= 0) return;
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {ttl - 1, m.at(1) + 1, ctx.self(), m.at(3)}});
+      ctx.send(e, Message{0, {ttl - 1, m.at(1) + 1, ctx.self(), m.at(3)}}, MsgClass::kAlgorithm);
     }
   }
 
@@ -112,7 +112,7 @@ class RingToken final : public Process {
         if (ctx.neighbor(e) == (self_ + 1) % n_) succ_ = e;
       }
     }
-    ctx.send(succ_, Message{0, {remaining - 1, self_, 0, 0}});
+    ctx.send(succ_, Message{0, {remaining - 1, self_, 0, 0}}, MsgClass::kAlgorithm);
   }
   NodeId self_;
   int n_, k_;

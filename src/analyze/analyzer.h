@@ -1,0 +1,44 @@
+// Tree scanning and suppression application for the static analyzer.
+//
+// analyze() walks the requested roots under the repo root, classifies
+// each source file by its repo-relative path (which decides rule
+// scope; see rules.h FileCtx), runs the rules, applies inline
+// suppressions, and returns a canonically sorted Report. Directory
+// iteration order is discarded — files are sorted by relative path
+// before scanning — so the report is byte-identical regardless of
+// filesystem enumeration order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/report.h"
+#include "analyze/rules.h"
+
+namespace csca::analyze {
+
+struct AnalyzerConfig {
+  /// Repo root all roots and reported paths are relative to.
+  std::string repo_root = ".";
+  /// Directories (or single files) to scan, relative to repo_root.
+  std::vector<std::string> roots;
+};
+
+/// File extensions scanned: .h .hpp .cpp .cc .cxx
+bool scannable_file(const std::string& path);
+
+/// Rule-scope classification from a repo-relative path. Exposed for
+/// the scope tests in tests/analyze/.
+FileCtx classify_path(const std::string& rel_path);
+
+/// Scans one in-memory file (fixture tests use this directly). The
+/// returned findings are suppression-filtered; suppressed hits land in
+/// `suppressed`, malformed directives come back as SUP-1 findings.
+void analyze_source(const FileCtx& scope, const std::string& text,
+                    std::vector<Finding>& findings,
+                    std::vector<Suppressed>& suppressed);
+
+/// Scans the tree. Throws std::runtime_error on unreadable roots.
+Report analyze(const AnalyzerConfig& cfg);
+
+}  // namespace csca::analyze

@@ -1,0 +1,56 @@
+// A lightweight C++ lexer for the determinism & cost-accounting static
+// analyzer (docs/analysis.md).
+//
+// The rules in rules.h work on token patterns, not an AST: every
+// contract they enforce (no unordered-container range-iteration, no
+// wall-clock reads, explicit MsgClass at send sites, ledger mutation
+// confinement) is visible at the token level, so a full frontend —
+// libclang, a parser, a preprocessor — would buy nothing but a
+// dependency the container does not ship. The lexer's only obligations
+// are (a) never misclassify code as comment/string or vice versa, so
+// rules neither fire on prose nor miss code, and (b) carry line
+// numbers, so findings and suppressions anchor to file:line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace csca::analyze {
+
+enum class TokKind {
+  kIdentifier,  ///< [A-Za-z_][A-Za-z0-9_]*
+  kNumber,      ///< integer / float literals incl. hex floats, separators
+  kString,      ///< "..." incl. raw strings and encoding prefixes
+  kCharLit,     ///< '...'
+  kPunct,       ///< operators & punctuation, longest-match (::, ->, +=, ...)
+  kComment,     ///< // ... or /* ... */, text includes the delimiters
+};
+
+/// One token. `text` views into the lexed buffer, which must outlive the
+/// token. `line` is 1-based and refers to the token's first character.
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;
+  int line = 0;
+
+  bool is(TokKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool ident(std::string_view t) const {
+    return is(TokKind::kIdentifier, t);
+  }
+  bool punct(std::string_view t) const { return is(TokKind::kPunct, t); }
+};
+
+/// Lexes the whole buffer. Unterminated strings/comments are tolerated
+/// (the token runs to end of input): the analyzer must degrade to "scan
+/// what is there", never crash on a source file the compiler would
+/// reject anyway.
+std::vector<Token> lex(std::string_view text);
+
+/// The tokens of `toks` with comments removed — what the code rules
+/// scan. Comment tokens are what the suppression parser scans.
+std::vector<Token> strip_comments(const std::vector<Token>& toks);
+
+}  // namespace csca::analyze

@@ -1,0 +1,100 @@
+#include "analyze/report.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace csca::analyze {
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void canonicalize(Report& r) {
+  std::sort(r.findings.begin(), r.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.path, a.line, a.rule, a.message) <
+                     std::tie(b.path, b.line, b.rule, b.message);
+            });
+  std::sort(r.suppressed.begin(), r.suppressed.end(),
+            [](const Suppressed& a, const Suppressed& b) {
+              return std::tie(a.path, a.line, a.rule, a.reason) <
+                     std::tie(b.path, b.line, b.rule, b.reason);
+            });
+}
+
+std::string to_json(const Report& r) {
+  std::string out;
+  out += "{\n  \"tool\": \"csca_analyze\",\n  \"roots\": [";
+  for (std::size_t i = 0; i < r.roots.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_json_string(out, r.roots[i]);
+  }
+  out += "],\n  \"files_scanned\": " + std::to_string(r.files_scanned);
+  out += ",\n  \"finding_count\": " + std::to_string(r.findings.size());
+  out += ",\n  \"suppressed_count\": " + std::to_string(r.suppressed.size());
+  out += ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < r.findings.size(); ++i) {
+    const Finding& f = r.findings[i];
+    out += i > 0 ? ",\n    " : "\n    ";
+    out += "{\"rule\": ";
+    append_json_string(out, f.rule);
+    out += ", \"path\": ";
+    append_json_string(out, f.path);
+    out += ", \"line\": " + std::to_string(f.line) + ", \"message\": ";
+    append_json_string(out, f.message);
+    out += "}";
+  }
+  out += r.findings.empty() ? "]" : "\n  ]";
+  out += ",\n  \"suppressed\": [";
+  for (std::size_t i = 0; i < r.suppressed.size(); ++i) {
+    const Suppressed& s = r.suppressed[i];
+    out += i > 0 ? ",\n    " : "\n    ";
+    out += "{\"rule\": ";
+    append_json_string(out, s.rule);
+    out += ", \"path\": ";
+    append_json_string(out, s.path);
+    out += ", \"line\": " + std::to_string(s.line) + ", \"reason\": ";
+    append_json_string(out, s.reason);
+    out += "}";
+  }
+  out += r.suppressed.empty() ? "]" : "\n  ]";
+  out += "\n}\n";
+  return out;
+}
+
+std::string to_text(const Report& r) {
+  std::ostringstream out;
+  for (const Finding& f : r.findings) {
+    out << f.path << ":" << f.line << ": " << f.rule << ": " << f.message
+        << "\n";
+  }
+  out << "csca_analyze: " << r.findings.size() << " finding"
+      << (r.findings.size() == 1 ? "" : "s") << " (" << r.suppressed.size()
+      << " suppressed) across " << r.files_scanned << " files\n";
+  return out.str();
+}
+
+}  // namespace csca::analyze

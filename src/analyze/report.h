@@ -1,0 +1,62 @@
+// Findings, suppressions, and the deterministic report formats of the
+// static analyzer (docs/analysis.md).
+//
+// Determinism is a contract here, not a nicety: the analyzer polices
+// the repo's bit-identical-runs guarantee, so its own output must be
+// byte-identical run to run — findings are sorted by (path, line,
+// rule), the JSON carries no timestamps or absolute paths, and the
+// report-determinism test (tests/analyze/) diffs two scans byte for
+// byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace csca::analyze {
+
+/// One rule violation at a source location. `path` is repo-relative
+/// with forward slashes.
+struct Finding {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string message;
+
+  friend bool operator==(const Finding&, const Finding&) = default;
+};
+
+/// One honored inline suppression: a finding that matched an
+/// allow-annotation (rules.h documents the syntax). Kept in the
+/// report so "every shipped suppression carries a written reason" is
+/// auditable from the JSON alone.
+struct Suppressed {
+  std::string rule;
+  std::string path;
+  int line = 0;
+  std::string reason;
+};
+
+struct Report {
+  std::vector<std::string> roots;   ///< as given on the command line
+  int files_scanned = 0;
+  std::vector<Finding> findings;    ///< unsuppressed; sorted
+  std::vector<Suppressed> suppressed;  ///< sorted
+
+  bool clean() const { return findings.empty(); }
+};
+
+/// Sorts findings/suppressions into the canonical (path, line, rule)
+/// order. analyze() calls this; exposed for tests that build reports
+/// by hand.
+void canonicalize(Report& r);
+
+/// The machine format: pretty-printed JSON, canonical field order,
+/// trailing newline. Byte-identical for identical file contents.
+std::string to_json(const Report& r);
+
+/// The human format: one `path:line: RULE: message` line per finding
+/// plus a summary that always states the finding count (the check.sh
+/// gate requires the count to be printed even when clean).
+std::string to_text(const Report& r);
+
+}  // namespace csca::analyze

@@ -45,7 +45,11 @@ RowResult run_row(const RowSpec& spec) {
   } else {
     const auto run =
         run_spt_hybrid(g, 0, 2, 8, [] { return make_exact_delay(); });
+    // The hybrid races two finished runs; this local RunStats is a
+    // report-row carrier for their summed ledgers, not a live ledger.
+    // csca-analyze: allow(COST-2): row carrier aggregating two finished run ledgers
     stats.algorithm_cost = run.total_cost();
+    // csca-analyze: allow(COST-2): row carrier aggregating two finished run ledgers
     stats.algorithm_messages = run.synch_stats.total_messages() +
                                run.recur_stats.total_messages();
     stats.completion_time = std::max(run.synch_stats.completion_time,

@@ -57,7 +57,7 @@ void CentralizedTreeProcess::begin_local_report(Context& ctx) {
   best_ = local_candidate();
   reports_pending_ = static_cast<int>(my_children_edges_.size());
   for (EdgeId e : my_children_edges_) {
-    ctx.send(e, Message{tag(kProbe), {phase_}});
+    ctx.send(e, Message{tag(kProbe), {phase_}}, MsgClass::kAlgorithm);
   }
   if (reports_pending_ == 0) report_ready(ctx);
 }
@@ -70,7 +70,7 @@ void CentralizedTreeProcess::report_ready(Context& ctx) {
   ctx.send(parent_edge_of_[static_cast<std::size_t>(self_)],
            Message{tag(kReport),
                    {phase_, best_.edge == kNoEdge ? -1 : best_.edge,
-                    best_.key}});
+                    best_.key}}, MsgClass::kAlgorithm);
 }
 
 void CentralizedTreeProcess::phase_complete(Context& ctx) {
@@ -97,7 +97,7 @@ void CentralizedTreeProcess::send_add(Context& ctx) {
   const std::int64_t aux_value = aux_for_new_node(chosen_);
   // Broadcast first (children edges reflect the pre-add tree), then apply.
   for (EdgeId e : my_children_edges_) {
-    ctx.send(e, Message{tag(kAdd), {phase_, chosen_.edge, aux_value}});
+    ctx.send(e, Message{tag(kAdd), {phase_, chosen_.edge, aux_value}}, MsgClass::kAlgorithm);
   }
   apply_add(ctx, chosen_.edge, aux_value);
 }
@@ -128,16 +128,16 @@ void CentralizedTreeProcess::apply_add(Context& ctx, EdgeId e,
                                 kNoEdge
                             ? -1
                             : parent_edge_of_[static_cast<std::size_t>(t)],
-                        aux_of_[static_cast<std::size_t>(t)]}});
+                        aux_of_[static_cast<std::size_t>(t)]}}, MsgClass::kAlgorithm);
     }
-    ctx.send(e, Message{tag(kJoinEnd), {phase_}});
+    ctx.send(e, Message{tag(kJoinEnd), {phase_}}, MsgClass::kAlgorithm);
   }
 }
 
 void CentralizedTreeProcess::finish_all(Context& ctx) {
   done_ = true;
   for (EdgeId e : my_children_edges_) {
-    ctx.send(e, Message{tag(kDone)});
+    ctx.send(e, Message{tag(kDone)}, MsgClass::kAlgorithm);
   }
   ctx.finish();
   if (self_ == root_ && arbiter_ != nullptr) {
@@ -182,7 +182,7 @@ void CentralizedTreeProcess::on_message(Context& ctx, const Message& m) {
     case kAdd: {
       phase_ = static_cast<int>(m.at(0));
       for (EdgeId e : my_children_edges_) {
-        ctx.send(e, Message{tag(kAdd), {m.at(0), m.at(1), m.at(2)}});
+        ctx.send(e, Message{tag(kAdd), {m.at(0), m.at(1), m.at(2)}}, MsgClass::kAlgorithm);
       }
       apply_add(ctx, static_cast<EdgeId>(m.at(1)), m.at(2));
       return;
@@ -214,7 +214,7 @@ void CentralizedTreeProcess::on_message(Context& ctx, const Message& m) {
         }
       }
       ctx.send(parent_edge_of_[static_cast<std::size_t>(self_)],
-               Message{tag(kAccept)});
+               Message{tag(kAccept)}, MsgClass::kAlgorithm);
       return;
     }
     case kAccept: {
@@ -222,14 +222,14 @@ void CentralizedTreeProcess::on_message(Context& ctx, const Message& m) {
         start_phase(ctx);
       } else {
         ctx.send(parent_edge_of_[static_cast<std::size_t>(self_)],
-                 Message{tag(kAccept)});
+                 Message{tag(kAccept)}, MsgClass::kAlgorithm);
       }
       return;
     }
     case kDone: {
       done_ = true;
       for (EdgeId e : my_children_edges_) {
-        ctx.send(e, Message{tag(kDone)});
+        ctx.send(e, Message{tag(kDone)}, MsgClass::kAlgorithm);
       }
       ctx.finish();
       return;

@@ -52,18 +52,18 @@ void DfsProcess::advance(Context& ctx) {
       }
       advance(ctx);  // the doubling check now passes
     } else {
-      ctx.send(parent_edge_, Message{tag(kUp), {new_est}});
+      ctx.send(parent_edge_, Message{tag(kUp), {new_est}}, MsgClass::kAlgorithm);
     }
     return;
   }
 
   est_ += w;
   if (backtracking) {
-    ctx.send(e, Message{tag(kBack), {est_, est_known_root_}});
+    ctx.send(e, Message{tag(kBack), {est_, est_known_root_}}, MsgClass::kAlgorithm);
     ctx.finish();  // this node's subtree is fully explored
   } else {
     tried_idx_ = next_idx_;
-    ctx.send(e, Message{tag(kVisit), {est_, est_known_root_}});
+    ctx.send(e, Message{tag(kVisit), {est_, est_known_root_}}, MsgClass::kAlgorithm);
   }
 }
 
@@ -71,7 +71,7 @@ void DfsProcess::on_message(Context& ctx, const Message& m) {
   switch (untag(m.type)) {
     case kVisit: {
       if (visited_) {
-        ctx.send(m.edge, Message{tag(kReject)});
+        ctx.send(m.edge, Message{tag(kReject)}, MsgClass::kAlgorithm);
         return;
       }
       visited_ = true;
@@ -105,11 +105,11 @@ void DfsProcess::on_message(Context& ctx, const Message& m) {
           pending_is_local_ = false;
           return;
         }
-        ctx.send(resume_child_edge_, Message{tag(kResume), {est_root_}});
+        ctx.send(resume_child_edge_, Message{tag(kResume), {est_root_}}, MsgClass::kAlgorithm);
         resume_child_edge_ = kNoEdge;
       } else {
         resume_child_edge_ = m.edge;
-        ctx.send(parent_edge_, Message{tag(kUp), {m.at(0)}});
+        ctx.send(parent_edge_, Message{tag(kUp), {m.at(0)}}, MsgClass::kAlgorithm);
       }
       return;
     }
@@ -117,7 +117,7 @@ void DfsProcess::on_message(Context& ctx, const Message& m) {
       if (resume_child_edge_ != kNoEdge) {
         const EdgeId down = resume_child_edge_;
         resume_child_edge_ = kNoEdge;
-        ctx.send(down, Message{tag(kResume), {m.at(0)}});
+        ctx.send(down, Message{tag(kResume), {m.at(0)}}, MsgClass::kAlgorithm);
       } else {
         // The token holder that initiated the report.
         est_known_root_ = m.at(0);
@@ -136,7 +136,7 @@ void DfsProcess::resume_root(Context& ctx) {
   if (pending_is_local_) {
     advance(ctx);
   } else {
-    ctx.send(resume_child_edge_, Message{tag(kResume), {est_root_}});
+    ctx.send(resume_child_edge_, Message{tag(kResume), {est_root_}}, MsgClass::kAlgorithm);
     resume_child_edge_ = kNoEdge;
   }
 }

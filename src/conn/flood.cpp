@@ -21,7 +21,7 @@ void FloodProcess::on_message(Context& ctx, const Message& m) {
 void FloodProcess::spread(Context& ctx) {
   reached_ = true;
   for (EdgeId e : ctx.incident()) {
-    if (e != parent_edge_) ctx.send(e, Message{kFloodMsg});
+    if (e != parent_edge_) ctx.send(e, Message{kFloodMsg}, MsgClass::kAlgorithm);
   }
   ctx.finish();
 }

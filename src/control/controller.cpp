@@ -29,8 +29,8 @@ class HostBase : public Process {
     NodeId self() const override { return host_->self_; }
     const Graph& graph() const override { return *host_->g_; }
     double now() const override { return net_->now(); }
-    void send(EdgeId e, Message m) override {
-      host_->inner_send(*net_, e, std::move(m));
+    void send(EdgeId e, Message m, MsgClass cls) override {
+      host_->inner_send(*net_, e, std::move(m), cls);
     }
     void finish() override { net_->finish(); }
 
@@ -39,7 +39,8 @@ class HostBase : public Process {
     Context* net_;
   };
 
-  virtual void inner_send(Context& ctx, EdgeId e, Message m) = 0;
+  virtual void inner_send(Context& ctx, EdgeId e, Message m,
+                          MsgClass cls) = 0;
 
   void deliver(Context& ctx, const Message& wrapped) {
     Message m{static_cast<int>(wrapped.at(0))};
@@ -80,8 +81,9 @@ class PassthroughHost final : public HostBase {
   }
 
  protected:
-  void inner_send(Context& ctx, EdgeId e, Message m) override {
-    ctx.send(e, wrap(m), MsgClass::kAlgorithm);
+  void inner_send(Context& ctx, EdgeId e, Message m,
+                  MsgClass cls) override {
+    ctx.send(e, wrap(m), cls);
   }
 };
 
@@ -135,15 +137,16 @@ class ControllerHost final : public HostBase {
   }
 
  protected:
-  void inner_send(Context& ctx, EdgeId e, Message m) override {
+  void inner_send(Context& ctx, EdgeId e, Message m,
+                  MsgClass cls) override {
     const Weight w = g_->weight(e);
     if (pending_.empty() && balance_ >= w) {
       balance_ -= w;
       consumed_ += w;
-      ctx.send(e, wrap(m), MsgClass::kAlgorithm);
+      ctx.send(e, wrap(m), cls);
       return;
     }
-    pending_.emplace_back(e, std::move(m));
+    pending_.push_back(PendingSend{e, std::move(m), cls});
     pending_need_ += w;
     maybe_request(ctx);
   }
@@ -217,23 +220,29 @@ class ControllerHost final : public HostBase {
 
   void flush(Context& ctx) {
     while (!pending_.empty()) {
-      const Weight w = g_->weight(pending_.front().first);
+      const Weight w = g_->weight(pending_.front().e);
       if (balance_ < w) break;
       balance_ -= w;
       consumed_ += w;
       pending_need_ -= w;
-      auto [e, m] = std::move(pending_.front());
+      PendingSend p = std::move(pending_.front());
       pending_.pop_front();
-      ctx.send(e, wrap(m), MsgClass::kAlgorithm);
+      ctx.send(p.e, wrap(p.m), p.cls);
     }
     maybe_request(ctx);
   }
+
+  struct PendingSend {
+    EdgeId e;
+    Message m;
+    MsgClass cls;
+  };
 
   ControllerConfig config_;
   EdgeId parent_edge_ = kNoEdge;
   Weight balance_ = 0;
   Weight consumed_ = 0;
-  std::deque<std::pair<EdgeId, Message>> pending_;
+  std::deque<PendingSend> pending_;
   Weight pending_need_ = 0;
   Weight last_request_ = 0;
   bool request_outstanding_ = false;

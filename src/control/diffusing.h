@@ -23,7 +23,10 @@ class DiffusingContext {
   /// w(e) units of the resource"). Under a controller the send may be
   /// delayed until permits arrive, or dropped entirely once the root
   /// threshold is exhausted.
-  virtual void send(EdgeId e, Message m) = 0;
+  /// `cls` picks the ledger side the (possibly delayed) transmission is
+  /// billed to, threaded through the controller's permit machinery to
+  /// the underlying network send (COST-1: never defaulted).
+  virtual void send(EdgeId e, Message m, MsgClass cls) = 0;
 
   virtual void finish() = 0;
 

@@ -26,21 +26,21 @@ class BroadcastEcho final : public DiffusingProcess {
       return;
     }
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{kWave});
+      ctx.send(e, Message{kWave}, MsgClass::kAlgorithm);
     }
   }
 
   void on_message(DiffusingContext& ctx, const Message& m) override {
     if (m.type == kWave) {
       if (covered_) {
-        ctx.send(m.edge, Message{kEcho});
+        ctx.send(m.edge, Message{kEcho}, MsgClass::kAlgorithm);
         return;
       }
       covered_ = true;
       parent_ = m.edge;
       expected_ = static_cast<int>(ctx.incident().size()) - 1;
       for (EdgeId e : ctx.incident()) {
-        if (e != parent_) ctx.send(e, Message{kWave});
+        if (e != parent_) ctx.send(e, Message{kWave}, MsgClass::kAlgorithm);
       }
       maybe_echo(ctx);
       return;
@@ -60,7 +60,7 @@ class BroadcastEcho final : public DiffusingProcess {
     if (echoes_ < expected_) return;
     done_ = true;
     if (parent_ != kNoEdge) {
-      ctx.send(parent_, Message{kEcho});
+      ctx.send(parent_, Message{kEcho}, MsgClass::kAlgorithm);
     }
     ctx.finish();
   }
@@ -79,13 +79,13 @@ class RunawaySpammer final : public DiffusingProcess {
  public:
   void on_start(DiffusingContext& ctx) override {
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0});
+      ctx.send(e, Message{0}, MsgClass::kAlgorithm);
     }
   }
 
   void on_message(DiffusingContext& ctx, const Message& m) override {
     ++received_;
-    ctx.send(m.edge, Message{0});
+    ctx.send(m.edge, Message{0}, MsgClass::kAlgorithm);
   }
 
   std::int64_t received() const { return received_; }

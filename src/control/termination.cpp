@@ -58,14 +58,14 @@ class DetectorHost final : public Process {
     NodeId self() const override { return host_->self_; }
     const Graph& graph() const override { return *host_->g_; }
     double now() const override { return net_->now(); }
-    void send(EdgeId e, Message m) override {
+    void send(EdgeId e, Message m, MsgClass cls) override {
       ++host_->deficit_;
       Message wrapped{kWrappedTag};
       wrapped.data.reserve(m.data.size() + 1);
       wrapped.data.push_back(m.type);
       wrapped.data.insert(wrapped.data.end(), m.data.begin(),
                           m.data.end());
-      net_->send(e, std::move(wrapped), MsgClass::kAlgorithm);
+      net_->send(e, std::move(wrapped), cls);
     }
     void finish() override { net_->finish(); }
 

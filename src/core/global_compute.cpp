@@ -27,11 +27,11 @@ void GlobalComputeProcess::try_report(Context& ctx) {
     result_ = acc_;
     has_result_ = true;
     for (EdgeId e : children_edges_) {
-      ctx.send(e, Message{kDown, {result_}});
+      ctx.send(e, Message{kDown, {result_}}, MsgClass::kAlgorithm);
     }
     ctx.finish();
   } else {
-    ctx.send(parent_edge_, Message{kUp, {acc_}});
+    ctx.send(parent_edge_, Message{kUp, {acc_}}, MsgClass::kAlgorithm);
   }
 }
 
@@ -48,7 +48,7 @@ void GlobalComputeProcess::on_message(Context& ctx, const Message& m) {
       result_ = m.at(0);
       has_result_ = true;
       for (EdgeId e : children_edges_) {
-        ctx.send(e, Message{kDown, {result_}});
+        ctx.send(e, Message{kDown, {result_}}, MsgClass::kAlgorithm);
       }
       ctx.finish();
       return;

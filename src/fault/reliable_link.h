@@ -149,7 +149,11 @@ class ArqHost final : public Process, private EngineBackend {
     std::int64_t suppressed = 0;
     // Receiver side.
     std::int64_t expected = 0;
-    std::map<std::int64_t, Message> buffered;  ///< out-of-order inner msgs
+    // Out-of-order inner msgs. Ordered map as a determinism proof
+    // sketch (DET-1, docs/analysis.md): the drain walks find(expected)
+    // in ascending seq, so delivery order is the sender's send order
+    // regardless of the arrival schedule the injector produced.
+    std::map<std::int64_t, Message> buffered;
     std::int64_t delivered = 0;
     std::int64_t corrupt = 0;  ///< invalid frames discarded
   };

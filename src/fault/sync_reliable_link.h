@@ -83,6 +83,9 @@ class SyncArqHost final : public SyncProcess {
     std::int64_t suppressed = 0;
     // Receiver side.
     std::int64_t expected = 0;
+    // Ordered so the drain (find(expected), ascending seq) replays the
+    // sender's send order under any loss/reorder pattern — the DET-1
+    // proof sketch, same as the async layer (docs/analysis.md).
     std::map<std::int64_t, Message> buffered;
     std::int64_t delivered = 0;
     std::int64_t corrupt = 0;
@@ -112,6 +115,11 @@ class SyncArqHost final : public SyncProcess {
   ArqConfig cfg_;
   const Graph* graph_ = nullptr;
   std::vector<Link> links_;
+  // Determinism proof sketch (DET-1, docs/analysis.md): timers_ is
+  // read only through find(p) at the firing pulse, and each pulse's
+  // vector fires in arm order, so retransmit order is a pure function
+  // of the run history. The two sets are point-inserted/erased, never
+  // iterated — their order cannot reach message order at all.
   std::map<std::int64_t, std::vector<Timer>> timers_;  ///< by due pulse
   std::set<std::int64_t> armed_pulses_;   ///< engine wakeups requested
   std::set<std::int64_t> inner_wakeups_;  ///< pulses the inner asked for

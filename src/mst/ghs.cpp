@@ -78,7 +78,7 @@ void GhsProcess::wakeup(Context& ctx) {
   level_ = 0;
   state_ = kFound;
   find_count_ = 0;
-  ctx.send(m, Message{kConnect, {0}});
+  ctx.send(m, Message{kConnect, {0}}, MsgClass::kAlgorithm);
 }
 
 void GhsProcess::on_message(Context& ctx, const Message& m) {
@@ -119,7 +119,7 @@ void GhsProcess::handle(Context& ctx, const Message& m) {
         // Absorb the lower-level fragment.
         edge_state(m.edge) = kBranchEdge;
         ctx.send(m.edge, Message{kInitiate,
-                                 {level_, fragment_, state_, guess_}});
+                                 {level_, fragment_, state_, guess_}}, MsgClass::kAlgorithm);
         if (state_ == kFind) ++find_count_;
       } else if (edge_state(m.edge) == kBasic) {
         defer(m);
@@ -127,7 +127,7 @@ void GhsProcess::handle(Context& ctx, const Message& m) {
         // Both ends chose this edge: merge into a level l+1 fragment
         // whose identity is the core edge.
         ctx.send(m.edge,
-                 Message{kInitiate, {level_ + 1, m.edge, kFind, 1}});
+                 Message{kInitiate, {level_ + 1, m.edge, kFind, 1}}, MsgClass::kAlgorithm);
       }
       return;
     }
@@ -146,7 +146,7 @@ void GhsProcess::handle(Context& ctx, const Message& m) {
       for (EdgeId e : g_->incident(self_)) {
         if (e == m.edge || edge_state(e) != kBranchEdge) continue;
         ctx.send(e, Message{kInitiate,
-                            {level_, fragment_, state_, guess_}});
+                            {level_, fragment_, state_, guess_}}, MsgClass::kAlgorithm);
         if (state_ == kFind) ++find_count_;
       }
       if (state_ == kFind) start_tests(ctx);
@@ -160,7 +160,7 @@ void GhsProcess::handle(Context& ctx, const Message& m) {
         return;
       }
       if (m.at(1) != fragment_) {
-        ctx.send(m.edge, Message{kAccept});
+        ctx.send(m.edge, Message{kAccept}, MsgClass::kAlgorithm);
         return;
       }
       if (edge_state(m.edge) == kBasic) edge_state(m.edge) = kRejected;
@@ -173,7 +173,7 @@ void GhsProcess::handle(Context& ctx, const Message& m) {
         --tests_outstanding_;
         local_test_result(ctx, m.edge, /*accepted=*/false);
       } else {
-        ctx.send(m.edge, Message{kReject});
+        ctx.send(m.edge, Message{kReject}, MsgClass::kAlgorithm);
       }
       return;
     }
@@ -250,7 +250,7 @@ void GhsProcess::handle(Context& ctx, const Message& m) {
         find_count_ = 0;
         for (EdgeId e : g_->incident(self_)) {
           if (e == parent_edge_ || edge_state(e) != kBranchEdge) continue;
-          ctx.send(e, Message{kRetry, {guess_}});
+          ctx.send(e, Message{kRetry, {guess_}}, MsgClass::kAlgorithm);
           ++find_count_;
         }
         start_tests(ctx);
@@ -278,7 +278,7 @@ void GhsProcess::handle(Context& ctx, const Message& m) {
       parent_edge_ = m.edge;
       for (EdgeId e : g_->incident(self_)) {
         if (e == m.edge || edge_state(e) != kBranchEdge) continue;
-        ctx.send(e, Message{kRetry, {guess_}});
+        ctx.send(e, Message{kRetry, {guess_}}, MsgClass::kAlgorithm);
         ++find_count_;
       }
       start_tests(ctx);
@@ -304,7 +304,7 @@ void GhsProcess::start_tests(Context& ctx) {
     if (t != kNoEdge) {
       outstanding_test_edges_.push_back(t);
       tests_outstanding_ = 1;
-      ctx.send(t, Message{kTest, {level_, fragment_}});
+      ctx.send(t, Message{kTest, {level_, fragment_}}, MsgClass::kAlgorithm);
       return;
     }
   } else {
@@ -316,7 +316,7 @@ void GhsProcess::start_tests(Context& ctx) {
     tests_outstanding_ =
         static_cast<int>(outstanding_test_edges_.size());
     for (EdgeId e : outstanding_test_edges_) {
-      ctx.send(e, Message{kTest, {level_, fragment_}});
+      ctx.send(e, Message{kTest, {level_, fragment_}}, MsgClass::kAlgorithm);
     }
     if (tests_outstanding_ > 0) return;
   }
@@ -352,16 +352,16 @@ void GhsProcess::maybe_report(Context& ctx) {
   ctx.send(parent_edge_,
            Message{kReport,
                    {best_moe_ == kNoEdge ? -1 : best_moe_,
-                    has_more ? 1 : 0}});
+                    has_more ? 1 : 0}}, MsgClass::kAlgorithm);
 }
 
 void GhsProcess::change_root(Context& ctx) {
   ensure(best_route_ != kNoEdge, "change_root without a best edge");
   if (edge_state(best_route_) == kBranchEdge) {
-    ctx.send(best_route_, Message{kChangeRoot});
+    ctx.send(best_route_, Message{kChangeRoot}, MsgClass::kAlgorithm);
   } else {
     edge_state(best_route_) = kBranchEdge;
-    ctx.send(best_route_, Message{kConnect, {level_}});
+    ctx.send(best_route_, Message{kConnect, {level_}}, MsgClass::kAlgorithm);
   }
 }
 
@@ -371,7 +371,7 @@ void GhsProcess::halt(Context& ctx, NodeId leader) {
   leader_ = leader;
   for (EdgeId e : g_->incident(self_)) {
     if (e != parent_edge_ && edge_state(e) == kBranchEdge) {
-      ctx.send(e, Message{kHalt, {leader}});
+      ctx.send(e, Message{kHalt, {leader}}, MsgClass::kAlgorithm);
     }
   }
   ctx.finish();

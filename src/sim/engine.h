@@ -45,8 +45,11 @@ class Context {
   Weight edge_weight(EdgeId e) const { return graph().weight(e); }
 
   /// Sends m to the other endpoint of incident edge e. Costs w(e) in the
-  /// ledger class cls.
-  void send(EdgeId e, Message m, MsgClass cls = MsgClass::kAlgorithm);
+  /// ledger class cls. The class is deliberately not defaulted: the
+  /// paper's analyses split every measure into algorithm vs control
+  /// cost, so each send site must say which side of the ledger it bills
+  /// (COST-1 in docs/analysis.md).
+  void send(EdgeId e, Message m, MsgClass cls);
 
   /// Schedules m for delivery to this node itself after `delay` time
   /// units (>= 0). Local computation is free in the model, so this costs

@@ -34,11 +34,6 @@ class SyncContext {
   /// ARQ layer's retransmits and acks) is kControl.
   virtual void send(EdgeId e, Message m, MsgClass cls) = 0;
 
-  /// Convenience overload: protocol sends are algorithm-class.
-  void send(EdgeId e, Message m) {
-    send(e, std::move(m), MsgClass::kAlgorithm);
-  }
-
   /// Requests an on_wakeup call at the given future pulse (> pulse()).
   virtual void schedule_wakeup(std::int64_t at_pulse) = 0;
 

@@ -85,7 +85,7 @@ class InSynchBellmanFord final : public SyncProcess {
     auto [it, inserted] = last_sent_.try_emplace(e, -1);
     if (!inserted && it->second == dist_) return;  // nothing new to say
     it->second = dist_;
-    ctx.send(e, Message{0, {dist_}});
+    ctx.send(e, Message{0, {dist_}}, MsgClass::kAlgorithm);
   }
 
   NodeId self_;
@@ -93,6 +93,11 @@ class InSynchBellmanFord final : public SyncProcess {
   const std::vector<Weight>* orig_w_;
   Weight dist_ = -1;
   EdgeId parent_edge_ = kNoEdge;
+  // Determinism proof sketch (DET-1, docs/analysis.md): pending_ is
+  // read only through find(pulse) when that pulse fires, and the
+  // per-pulse vector sends in enqueue order; last_sent_ is point
+  // lookups only. Neither container's iteration order reaches the
+  // wire.
   std::map<std::int64_t, std::vector<EdgeId>> pending_;
   std::map<EdgeId, Weight> last_sent_;
 };

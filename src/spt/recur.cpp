@@ -59,7 +59,7 @@ void SptRecurProcess::adopt(Context& ctx, EdgeId via, Weight value) {
 
 void SptRecurProcess::send_tracked(Context& ctx, EdgeId e, Message m) {
   ++deficit_;
-  ctx.send(e, std::move(m));
+  ctx.send(e, std::move(m), MsgClass::kAlgorithm);
 }
 
 void SptRecurProcess::on_message(Context& ctx, const Message& m) {
@@ -77,7 +77,7 @@ void SptRecurProcess::on_message(Context& ctx, const Message& m) {
       count_pending_ = static_cast<int>(children_.size());
       count_acc_ = 1;
       for (EdgeId e : children_) {
-        ctx.send(e, Message{kCountReq, {m.at(0)}});
+        ctx.send(e, Message{kCountReq, {m.at(0)}}, MsgClass::kAlgorithm);
       }
       maybe_count_done(ctx);
       return;
@@ -132,7 +132,7 @@ void SptRecurProcess::process_tracked(Context& ctx, const Message& m) {
       ensure(false, "not a tracked message");
   }
   if (was_engaged) {
-    ctx.send(m.edge, Message{kAck});
+    ctx.send(m.edge, Message{kAck}, MsgClass::kAlgorithm);
   }
   maybe_disengage(ctx);
 }
@@ -153,7 +153,7 @@ void SptRecurProcess::maybe_disengage(Context& ctx) {
     engaged_ = false;
     const EdgeId e = engager_;
     engager_ = kNoEdge;
-    ctx.send(e, Message{kAck});
+    ctx.send(e, Message{kAck}, MsgClass::kAlgorithm);
   }
 }
 
@@ -163,7 +163,7 @@ void SptRecurProcess::start_count(Context& ctx) {
   count_pending_ = static_cast<int>(children_.size());
   count_acc_ = 1;
   for (EdgeId e : children_) {
-    ctx.send(e, Message{kCountReq, {band_}});
+    ctx.send(e, Message{kCountReq, {band_}}, MsgClass::kAlgorithm);
   }
   maybe_count_done(ctx);
 }
@@ -172,7 +172,7 @@ void SptRecurProcess::maybe_count_done(Context& ctx) {
   if (count_pending_ > 0) return;
   if (!is_source_) {
     ensure(parent_edge_ != kNoEdge, "counted node must have a parent");
-    ctx.send(parent_edge_, Message{kCountResp, {band_, count_acc_}});
+    ctx.send(parent_edge_, Message{kCountResp, {band_, count_acc_}}, MsgClass::kAlgorithm);
     return;
   }
   if (count_acc_ == g_->node_count()) {
@@ -187,7 +187,7 @@ void SptRecurProcess::finish_all(Context& ctx) {
   if (done_) return;
   done_ = true;
   for (EdgeId e : children_) {
-    ctx.send(e, Message{kDone});
+    ctx.send(e, Message{kDone}, MsgClass::kAlgorithm);
   }
   ctx.finish();
 }

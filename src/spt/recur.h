@@ -74,7 +74,9 @@ class SptRecurProcess final : public Process {
   EdgeId parent_edge_ = kNoEdge;
   std::vector<EdgeId> children_;
   std::int64_t band_ = 0;
-  std::map<EdgeId, Weight> last_offer_;  // smallest value sent per edge
+  // Smallest value sent per edge. Point lookups only (never iterated),
+  // so its order cannot feed message order (DET-1, docs/analysis.md).
+  std::map<EdgeId, Weight> last_offer_;
 
   // Dijkstra-Scholten state.
   bool engaged_ = false;

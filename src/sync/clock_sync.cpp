@@ -69,7 +69,7 @@ class AlphaClock final : public ClockBase {
     const bool more = record_pulse(ctx);
     const std::int64_t p = current_pulse();
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {p}});
+      ctx.send(e, Message{0, {p}}, MsgClass::kAlgorithm);
     }
     if (more) try_generate(ctx);  // degree-0 safety (n == 1)
   }
@@ -107,7 +107,7 @@ class BetaClock final : public ClockBase {
       }
       case kGo: {
         for (EdgeId e : children_edges_) {
-          ctx.send(e, Message{kGo});
+          ctx.send(e, Message{kGo}, MsgClass::kAlgorithm);
         }
         generate(ctx);
         return;
@@ -129,11 +129,11 @@ class BetaClock final : public ClockBase {
     reported_ = true;
     if (is_root_) {
       for (EdgeId e : children_edges_) {
-        ctx.send(e, Message{kGo});
+        ctx.send(e, Message{kGo}, MsgClass::kAlgorithm);
       }
       generate(ctx);
     } else {
-      ctx.send(parent_edge_, Message{kDone});
+      ctx.send(parent_edge_, Message{kDone}, MsgClass::kAlgorithm);
     }
   }
 
@@ -191,7 +191,7 @@ class GammaClock final : public ClockBase {
       }
       case kTreeDone: {
         for (EdgeId e : mem.children_edges) {
-          ctx.send(e, Message{kTreeDone, {m.at(0), m.at(1)}});
+          ctx.send(e, Message{kTreeDone, {m.at(0), m.at(1)}}, MsgClass::kAlgorithm);
         }
         mem.tree_done = std::max(mem.tree_done, m.at(1));
         try_generate(ctx);
@@ -244,12 +244,12 @@ class GammaClock final : public ClockBase {
     mem.reported = p;
     if (mem.is_leader) {
       for (EdgeId e : mem.children_edges) {
-        ctx.send(e, Message{kTreeDone, {mem.tree_index, p}});
+        ctx.send(e, Message{kTreeDone, {mem.tree_index, p}}, MsgClass::kAlgorithm);
       }
       mem.tree_done = std::max(mem.tree_done, p);
       try_generate(ctx);
     } else {
-      ctx.send(mem.parent_edge, Message{kDone, {mem.tree_index, p}});
+      ctx.send(mem.parent_edge, Message{kDone, {mem.tree_index, p}}, MsgClass::kAlgorithm);
     }
   }
 

@@ -72,8 +72,11 @@ GammaPartition build_gamma_partition(const Graph& g,
     }
   }
 
-  // One preferred edge per neighboring cluster pair: the smallest edge id
-  // connecting them.
+  // One preferred edge per neighboring cluster pair: the smallest edge
+  // id connecting them. Ordered map as a determinism proof sketch
+  // (DET-1, docs/analysis.md): the fill loop below iterates it, and
+  // (cluster, cluster) keys make that walk — and hence each node's
+  // preferred-edge list order — a pure function of the graph.
   std::map<std::pair<int, int>, EdgeId> preferred;
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     if (!edge_mask[static_cast<std::size_t>(e)]) continue;

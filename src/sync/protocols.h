@@ -33,7 +33,7 @@ class InSynchFlood final : public SyncProcess {
     auto it = pending_.find(p);
     if (it == pending_.end()) return;
     for (EdgeId e : it->second) {
-      ctx.send(e, Message{0});
+      ctx.send(e, Message{0}, MsgClass::kAlgorithm);
     }
     pending_.erase(it);
   }
@@ -47,7 +47,7 @@ class InSynchFlood final : public SyncProcess {
     for (EdgeId e : ctx.incident()) {
       const Weight w = ctx.edge_weight(e);
       if (reached_at_ % w == 0) {
-        ctx.send(e, Message{0});
+        ctx.send(e, Message{0}, MsgClass::kAlgorithm);
       } else {
         const std::int64_t at = (reached_at_ / w + 1) * w;
         auto [it, inserted] = pending_.try_emplace(at);

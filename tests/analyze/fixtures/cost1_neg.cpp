@@ -1,0 +1,14 @@
+// COST-1 negative fixture: every send site names its billing class and
+// the signature has no default.
+struct EdgeId { int v; };
+struct Message { int type; };
+enum class MsgClass { kAlgorithm, kControl };
+
+struct Ctx {
+  void send(EdgeId e, Message m, MsgClass cls);
+};
+
+void emit(Ctx& ctx, EdgeId e) {
+  ctx.send(e, Message{1}, MsgClass::kAlgorithm);
+  ctx.send(e, Message{2}, MsgClass::kControl);
+}

@@ -1,0 +1,13 @@
+// COST-1 positive fixture: a defaulted billing parameter and a
+// two-argument send call site.
+struct EdgeId { int v; };
+struct Message { int type; };
+enum class MsgClass { kAlgorithm, kControl };
+
+struct Ctx {
+  void send(EdgeId e, Message m, MsgClass cls = MsgClass::kAlgorithm);
+};
+
+void emit(Ctx& ctx, EdgeId e) {
+  ctx.send(e, Message{1});
+}

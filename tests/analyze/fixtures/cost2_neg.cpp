@@ -1,0 +1,9 @@
+// COST-2 negative fixture: ledger fields are only read.
+struct RunStats {
+  long algorithm_messages;
+  long control_messages;
+};
+
+long total(const RunStats& stats) {
+  return stats.algorithm_messages + stats.control_messages;
+}

@@ -1,0 +1,11 @@
+// COST-2 positive fixture: ledger fields written outside the engine
+// accessor sites.
+struct RunStats {
+  long algorithm_messages;
+  double algorithm_cost;
+};
+
+void tamper(RunStats& stats) {
+  stats.algorithm_messages += 1;
+  stats.algorithm_cost = 5.0;
+}

@@ -1,0 +1,15 @@
+// DET-1 negative fixture: the range-for drains an ordered map; the
+// unordered container is only used for point lookups, which are
+// schedule-independent.
+#include <map>
+#include <unordered_map>
+
+int drain_ordered() {
+  std::map<int, int> pending;
+  std::unordered_map<int, int> index;
+  int sum = 0;
+  for (const auto& [seq, payload] : pending) sum += payload;
+  auto it = index.find(3);
+  if (it != index.end()) sum += it->second;
+  return sum;
+}

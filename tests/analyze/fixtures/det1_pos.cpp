@@ -1,0 +1,15 @@
+// DET-1 positive fixture: range-iteration over an unordered container.
+// Scanned with sim_visible = true (as if it lived under src/sim/).
+// Fixtures are analyzer input, not build input — they are never
+// compiled.
+#include <unordered_map>
+
+int drain_pending() {
+  std::unordered_map<int, int> pending;
+  pending.emplace(1, 2);
+  int sum = 0;
+  for (const auto& [seq, payload] : pending) {
+    sum += payload;
+  }
+  return sum;
+}

@@ -1,0 +1,13 @@
+// DET-2 negative fixture: keyed streams, virtual time, and member
+// access. `s.rand()` is a member spelled rand, not the CRT rand() —
+// the rule must not flag calls reached through member access.
+struct Stream {
+  unsigned next();
+};
+
+unsigned keyed(Stream& s, double virtual_now) {
+  unsigned x = s.next();
+  x += s.rand();  // member function of Stream, declared elsewhere
+  if (virtual_now > 1.0) ++x;
+  return x;
+}

@@ -1,0 +1,12 @@
+// DET-2 positive fixture: ambient entropy and wall-clock reads.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+unsigned ambient() {
+  unsigned x = static_cast<unsigned>(rand());
+  std::random_device rd;
+  x += rd();
+  const auto t = std::chrono::steady_clock::now();
+  return x + static_cast<unsigned>(t.time_since_epoch().count());
+}

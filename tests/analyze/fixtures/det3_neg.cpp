@@ -1,0 +1,14 @@
+// DET-3 negative fixture: stable-id keys only.
+#include <functional>
+#include <map>
+#include <set>
+
+using NodeId = int;
+
+int stable_keys() {
+  std::map<NodeId, double> dist;
+  std::set<NodeId, std::less<NodeId>> frontier;
+  dist[0] = 0.0;
+  frontier.insert(0);
+  return static_cast<int>(dist.size() + frontier.size());
+}

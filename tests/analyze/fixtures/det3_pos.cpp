@@ -1,0 +1,16 @@
+// DET-3 positive fixture: pointer-keyed ordering containers and an
+// address laundered to an integer.
+#include <cstdint>
+#include <map>
+#include <set>
+
+struct Node {};
+
+int pointer_keys(Node* a) {
+  std::map<Node*, int> rank;
+  std::set<const Node*> seen;
+  rank[a] = 1;
+  seen.insert(a);
+  const auto tiebreak = reinterpret_cast<std::uintptr_t>(a);
+  return static_cast<int>(tiebreak % 7) + static_cast<int>(seen.size());
+}

@@ -1,0 +1,9 @@
+// DET-4 negative fixture: seeds derived through the keyed stream API;
+// no raw engine names appear.
+#include <cstdint>
+
+std::uint64_t derive_stream_seed(std::uint64_t root, std::uint64_t key);
+
+std::uint64_t keyed_seed(std::uint64_t root) {
+  return derive_stream_seed(root, 7);
+}

@@ -1,0 +1,7 @@
+// DET-4 positive fixture: a raw std engine outside util/.
+#include <random>
+
+unsigned raw_engine(unsigned seed) {
+  std::mt19937 gen(seed);
+  return gen();
+}

@@ -1,0 +1,15 @@
+// Malformed-suppression fixture: each directive below is broken in a
+// different way, so each must surface as a SUP-1 finding — and none of
+// them silences the DET-4 hit underneath it (fail-safe: a broken
+// directive suppresses nothing).
+#include <random>
+
+unsigned bad(unsigned seed) {
+  // csca-analyze: allow(DET-9): no such rule
+  std::mt19937 a(seed);
+  // csca-analyze: allow(DET-4)
+  std::mt19937 b(seed ^ 1);
+  // csca-analyze: allow(DET-4):
+  std::mt19937 c(seed ^ 2);
+  return a() + b() + c();
+}

@@ -1,0 +1,10 @@
+// Suppression fixture: the DET-4 hit below carries a reasoned
+// annotation on the line above, so it must land in `suppressed`, not
+// `findings`.
+#include <random>
+
+unsigned legacy_replay(unsigned seed) {
+  // csca-analyze: allow(DET-4): frozen legacy generator kept for golden replay
+  std::mt19937 gen(seed);
+  return gen();
+}

@@ -49,7 +49,7 @@ class FinishThenSend final : public Process {
   void on_start(Context& ctx) override {
     if (ctx.self() != 0) return;
     ctx.finish();
-    ctx.send(ctx.incident()[0], Message{0});
+    ctx.send(ctx.incident()[0], Message{0}, MsgClass::kAlgorithm);
   }
   void on_message(Context&, const Message&) override {}
 };

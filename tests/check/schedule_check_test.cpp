@@ -46,7 +46,7 @@ class FirstProbeWins final : public Process {
 
   void on_start(Context& ctx) override {
     if (ctx.self() == kCenter) return;
-    ctx.send(ctx.incident()[0], Message{0});
+    ctx.send(ctx.incident()[0], Message{0}, MsgClass::kAlgorithm);
     ctx.finish();
   }
 

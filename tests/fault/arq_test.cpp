@@ -38,7 +38,7 @@ class SeqPeer final : public Process {
   void on_start(Context& ctx) override {
     if (ctx.self() != 0) return;
     for (int i = 0; i < count_; ++i) {
-      ctx.send(0, Message{100, {i}});
+      ctx.send(0, Message{100, {i}}, MsgClass::kAlgorithm);
     }
   }
   void on_message(Context& ctx, const Message& m) override {
@@ -180,11 +180,11 @@ TEST(Arq, SendsAfterPeerDeathAreSuppressed) {
    public:
     void on_start(Context& ctx) override {
       if (ctx.self() != 0) return;
-      ctx.send(0, Message{100, {0}});
+      ctx.send(0, Message{100, {0}}, MsgClass::kAlgorithm);
       ctx.schedule_self(500.0, Message{200});
     }
     void on_message(Context& ctx, const Message& m) override {
-      if (m.type == 200) ctx.send(0, Message{100, {1}});
+      if (m.type == 200) ctx.send(0, Message{100, {1}}, MsgClass::kAlgorithm);
     }
   };
   const Graph g = one_edge(1);

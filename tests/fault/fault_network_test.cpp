@@ -35,7 +35,7 @@ class Storm final : public Process {
   void on_start(Context& ctx) override {
     if (ctx.self() != 0) return;
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {ttl_}});
+      ctx.send(e, Message{0, {ttl_}}, MsgClass::kAlgorithm);
     }
   }
   void on_message(Context& ctx, const Message& m) override {
@@ -56,7 +56,7 @@ class Storm final : public Process {
 class OneShotCounter final : public Process {
  public:
   void on_start(Context& ctx) override {
-    if (ctx.self() == 0) ctx.send(0, Message{7});
+    if (ctx.self() == 0) ctx.send(0, Message{7}, MsgClass::kAlgorithm);
   }
   void on_message(Context&, const Message&) override { ++deliveries; }
   int deliveries = 0;
@@ -264,12 +264,12 @@ TEST(FaultSyncEngine, DropAndCrashSemantics) {
     void on_start(SyncContext& ctx) override {
       if (ctx.self() != 0) return;
       seen = true;
-      for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+      for (EdgeId e : ctx.incident()) ctx.send(e, Message{0}, MsgClass::kAlgorithm);
     }
     void on_message(SyncContext& ctx, const Message&) override {
       if (seen) return;
       seen = true;
-      for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+      for (EdgeId e : ctx.incident()) ctx.send(e, Message{0}, MsgClass::kAlgorithm);
     }
     bool seen = false;
   };

@@ -58,7 +58,7 @@ TEST(Garble, RawChannelCorruptionIsKeyedAndChargedOnce) {
   class RecordingPeer final : public Process {
    public:
     void on_start(Context& ctx) override {
-      if (ctx.self() == 0) ctx.send(0, Message{5, {10, 20, 30}});
+      if (ctx.self() == 0) ctx.send(0, Message{5, {10, 20, 30}}, MsgClass::kAlgorithm);
     }
     void on_message(Context&, const Message& m) override {
       received.push_back(m);
@@ -147,7 +147,7 @@ TEST(Garble, CheckerFlagsInvalidFrameWithoutRecordedGarble) {
       if (ctx.self() != 0) return;
       Message fake = arq_make_data(0, Message{7, {1}});
       fake.data[fake.data.size() - 1] ^= 1;  // break the checksum
-      ctx.send(0, std::move(fake));
+      ctx.send(0, std::move(fake), MsgClass::kAlgorithm);
     }
     void on_message(Context&, const Message&) override {}
   };

@@ -25,7 +25,7 @@ class PulseSeqPeer final : public SyncProcess {
   void on_start(SyncContext& ctx) override {
     if (ctx.self() != 0) return;
     for (int i = 0; i < count_; ++i) {
-      ctx.send(0, Message{100, {i}});
+      ctx.send(0, Message{100, {i}}, MsgClass::kAlgorithm);
     }
   }
   void on_message(SyncContext&, const Message& m) override {

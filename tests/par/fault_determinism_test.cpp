@@ -62,7 +62,7 @@ class Storm final : public Process {
   void on_start(Context& ctx) override {
     if (ctx.self() != 0) return;
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {ttl_, 0, 0, 0}});
+      ctx.send(e, Message{0, {ttl_, 0, 0, 0}}, MsgClass::kAlgorithm);
     }
   }
   void on_message(Context& ctx, const Message& m) override {
@@ -122,7 +122,7 @@ class ClampedStorm final : public Process {
   void on_start(Context& ctx) override {
     if (ctx.self() != 0) return;
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {3, -3}});
+      ctx.send(e, Message{0, {3, -3}}, MsgClass::kAlgorithm);
     }
   }
   void on_message(Context& ctx, const Message& m) override {

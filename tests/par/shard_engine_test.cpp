@@ -35,7 +35,7 @@ class Storm final : public Process {
   void on_start(Context& ctx) override {
     if (ctx.self() != 0) return;
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {ttl_, 0, 0, 0}});
+      ctx.send(e, Message{0, {ttl_, 0, 0, 0}}, MsgClass::kAlgorithm);
     }
   }
   void on_message(Context& ctx, const Message& m) override {
@@ -160,13 +160,13 @@ TEST(ShardEngine, FifoPreservedAcrossShardBoundaryUnderZeroDelayTies) {
    public:
     void on_start(Context& ctx) override {
       if (ctx.self() != 0) return;
-      for (int i = 0; i < 100; ++i) ctx.send(ctx.incident()[0], Message{i});
+      for (int i = 0; i < 100; ++i) ctx.send(ctx.incident()[0], Message{i}, MsgClass::kAlgorithm);
     }
     void on_message(Context& ctx, const Message& m) override {
       received.push_back(m.type);
       if (ctx.self() == 1 && m.type % 10 == 0) {
         for (int i = 0; i < 5; ++i) {
-          ctx.send(m.edge, Message{1000 + 5 * (m.type / 10) + i});
+          ctx.send(m.edge, Message{1000 + 5 * (m.type / 10) + i}, MsgClass::kAlgorithm);
         }
       }
     }
@@ -196,13 +196,13 @@ TEST(ShardEngine, ZeroDelayCascadeRunsInWaveRounds) {
   class Relay final : public Process {
    public:
     void on_start(Context& ctx) override {
-      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{1});
+      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{1}, MsgClass::kAlgorithm);
     }
     void on_message(Context& ctx, const Message& m) override {
       hops = m.type;
       for (EdgeId e : ctx.incident()) {
         if (ctx.neighbor(e) > ctx.self()) {
-          ctx.send(e, Message{m.type + 1});
+          ctx.send(e, Message{m.type + 1}, MsgClass::kAlgorithm);
         }
       }
       ctx.finish();

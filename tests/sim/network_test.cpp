@@ -16,14 +16,14 @@ class Echo final : public Process {
 
   void on_start(Context& ctx) override {
     if (!initiator_) return;
-    for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+    for (EdgeId e : ctx.incident()) ctx.send(e, Message{0}, MsgClass::kAlgorithm);
   }
 
   void on_message(Context& ctx, const Message& m) override {
     last_type = m.type;
     last_from = m.from;
     receive_time = ctx.now();
-    if (m.type == 0) ctx.send(m.edge, Message{1});
+    if (m.type == 0) ctx.send(m.edge, Message{1}, MsgClass::kAlgorithm);
     ctx.finish();
   }
 
@@ -81,7 +81,7 @@ TEST(Network, DelayModelViolationRejected) {
 class Trespasser final : public Process {
  public:
   void on_start(Context& ctx) override {
-    if (ctx.self() == 0) ctx.send(1, Message{0});  // edge 1 = (1,2)
+    if (ctx.self() == 0) ctx.send(1, Message{0}, MsgClass::kAlgorithm);  // edge 1 = (1,2)
   }
   void on_message(Context&, const Message&) override {}
 };
@@ -102,7 +102,7 @@ class FifoSender final : public Process {
   void on_start(Context& ctx) override {
     if (ctx.self() != 0) return;
     for (int i = 0; i < 50; ++i) {
-      ctx.send(ctx.incident()[0], Message{i});
+      ctx.send(ctx.incident()[0], Message{i}, MsgClass::kAlgorithm);
     }
   }
   void on_message(Context&, const Message& m) override {
@@ -131,17 +131,17 @@ class FloodLike final : public Process {
   void on_start(Context& ctx) override {
     if (!is_initiator_) return;
     reached_ = true;
-    for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+    for (EdgeId e : ctx.incident()) ctx.send(e, Message{0}, MsgClass::kAlgorithm);
   }
   void on_message(Context& ctx, const Message& m) override {
     if (m.type == 1) return;  // a reply
     if (!reached_) {
       reached_ = true;
       for (EdgeId e : ctx.incident()) {
-        if (e != m.edge) ctx.send(e, Message{0});
+        if (e != m.edge) ctx.send(e, Message{0}, MsgClass::kAlgorithm);
       }
     }
-    ctx.send(m.edge, Message{1});
+    ctx.send(m.edge, Message{1}, MsgClass::kAlgorithm);
   }
 
  private:
@@ -163,7 +163,7 @@ class Relay final : public Process {
  private:
   void forward(Context& ctx) {
     for (EdgeId e : ctx.incident()) {
-      if (ctx.neighbor(e) == ctx.self() + 1) ctx.send(e, Message{0});
+      if (ctx.neighbor(e) == ctx.self() + 1) ctx.send(e, Message{0}, MsgClass::kAlgorithm);
     }
     ctx.finish();
   }
@@ -333,7 +333,7 @@ class Storm final : public Process {
   void on_start(Context& ctx) override {
     if (ctx.self() != 0) return;
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {ttl_, 0, 0, 0}});
+      ctx.send(e, Message{0, {ttl_, 0, 0, 0}}, MsgClass::kAlgorithm);
     }
   }
   void on_message(Context& ctx, const Message& m) override {
@@ -394,14 +394,14 @@ TEST(Network, FifoPreservedUnderZeroDelayTies) {
    public:
     void on_start(Context& ctx) override {
       if (ctx.self() != 0) return;
-      for (int i = 0; i < 100; ++i) ctx.send(ctx.incident()[0], Message{i});
+      for (int i = 0; i < 100; ++i) ctx.send(ctx.incident()[0], Message{i}, MsgClass::kAlgorithm);
     }
     void on_message(Context& ctx, const Message& m) override {
       received.push_back(m.type);
       // Echo bursts back so ties also occur on the reverse channel.
       if (ctx.self() == 1 && m.type % 10 == 0) {
         for (int i = 0; i < 5; ++i) {
-          ctx.send(m.edge, Message{1000 + 5 * (m.type / 10) + i});
+          ctx.send(m.edge, Message{1000 + 5 * (m.type / 10) + i}, MsgClass::kAlgorithm);
         }
       }
     }
@@ -472,7 +472,7 @@ TEST(Network, CompletionTimeIgnoresTrailingSelfDelivery) {
   class DeferAfterEcho final : public Process {
    public:
     void on_start(Context& ctx) override {
-      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{0});
+      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{0}, MsgClass::kAlgorithm);
     }
     void on_message(Context& ctx, const Message& m) override {
       if (m.edge != kNoEdge) ctx.schedule_self(8.0, Message{1});

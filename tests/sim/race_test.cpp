@@ -20,7 +20,7 @@ class Walker final : public Process {
   void hop(Context& ctx) {
     for (EdgeId e : ctx.incident()) {
       if (ctx.neighbor(e) == ctx.self() + 1) {
-        ctx.send(e, Message{0});
+        ctx.send(e, Message{0}, MsgClass::kAlgorithm);
         return;
       }
     }
@@ -98,12 +98,12 @@ TEST(Race, WinnerLedgerExcludesPostFinishActivity) {
   class FinishAndReply final : public Process {
    public:
     void on_start(Context& ctx) override {
-      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{0});
+      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{0}, MsgClass::kAlgorithm);
     }
     void on_message(Context& ctx, const Message& m) override {
       done = true;
       ctx.finish();
-      ctx.send(m.edge, Message{1});
+      ctx.send(m.edge, Message{1}, MsgClass::kAlgorithm);
     }
     bool done = false;
   };

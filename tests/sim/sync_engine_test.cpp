@@ -23,7 +23,7 @@ class SyncFlood final : public SyncProcess {
  private:
   void spread(SyncContext& ctx) {
     reached_at = ctx.pulse();
-    for (EdgeId e : ctx.incident()) ctx.send(e, Message{0});
+    for (EdgeId e : ctx.incident()) ctx.send(e, Message{0}, MsgClass::kAlgorithm);
     ctx.finish();
   }
 };
@@ -59,7 +59,7 @@ class OffBeat final : public SyncProcess {
     if (ctx.self() == 0) ctx.schedule_wakeup(2);
   }
   void on_wakeup(SyncContext& ctx) override {
-    ctx.send(ctx.incident()[0], Message{0});
+    ctx.send(ctx.incident()[0], Message{0}, MsgClass::kAlgorithm);
   }
   void on_message(SyncContext&, const Message&) override {}
 };
@@ -174,7 +174,7 @@ TEST(SyncEngine, MessagesDeliveredBeforeWakeupAtSamePulse) {
    public:
     void on_start(SyncContext& ctx) override {
       if (ctx.self() == 1) ctx.schedule_wakeup(5);
-      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{0});
+      if (ctx.self() == 0) ctx.send(ctx.incident()[0], Message{0}, MsgClass::kAlgorithm);
     }
     void on_message(SyncContext&, const Message&) override {
       order.push_back('m');

@@ -117,7 +117,7 @@ TEST(Synchronizer, GammaWInSynchViolationThrows) {
       if (ctx.self() == 0) ctx.schedule_wakeup(2);
     }
     void on_wakeup(SyncContext& ctx) override {
-      ctx.send(ctx.incident()[0], Message{0});
+      ctx.send(ctx.incident()[0], Message{0}, MsgClass::kAlgorithm);
     }
     void on_message(SyncContext&, const Message&) override {}
   };

@@ -33,7 +33,7 @@ class ExactFlood final : public SyncProcess {
   void spread(SyncContext& ctx) {
     reached_at_ = ctx.pulse();
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0});  // sends at arbitrary pulses: NOT in-synch
+      ctx.send(e, Message{0}, MsgClass::kAlgorithm);  // sends at arbitrary pulses: NOT in-synch
     }
     ctx.finish();
   }
@@ -55,7 +55,7 @@ class DelayedGossip final : public SyncProcess {
 
   void on_wakeup(SyncContext& ctx) override {
     for (EdgeId e : ctx.incident()) {
-      ctx.send(e, Message{0, {self_}});
+      ctx.send(e, Message{0, {self_}}, MsgClass::kAlgorithm);
     }
     ctx.finish();
   }

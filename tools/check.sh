@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full verification gate: tier-1 suite with warnings promoted to errors,
 # the same suite under ASan+UBSan, the parallel suite under TSan, the
-# lint pass, and the engine bench in smoke mode. The protocol-analysis
+# static-analysis gate (csca_analyze over src/ tools/ bench/; see
+# docs/analysis.md), the lint pass, and the engine bench in smoke mode. The protocol-analysis
 # sweep (csca_check --smoke) runs as a ctest entry in both
 # configurations, then again here sequentially vs parallelized to show
 # the multi-run harness wall-clock side by side, and once more under a
@@ -16,6 +17,7 @@
 # trees byte for byte.
 #
 # Usage: tools/check.sh [--jobs N] [--no-sanitize] [--no-tsan] [--no-lint]
+#                       [--no-analyze]
 # (from the repo root). --jobs caps build parallelism and is forwarded
 # to csca_check --jobs for the harness timing comparison.
 set -euo pipefail
@@ -25,6 +27,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 RUN_SANITIZE=1
 RUN_TSAN=1
 RUN_LINT=1
+RUN_ANALYZE=1
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs) shift
@@ -37,7 +40,8 @@ while [[ $# -gt 0 ]]; do
     --no-sanitize) RUN_SANITIZE=0 ;;
     --no-tsan) RUN_TSAN=0 ;;
     --no-lint) RUN_LINT=0 ;;
-    *) echo "usage: tools/check.sh [--jobs N] [--no-sanitize] [--no-tsan] [--no-lint]" >&2
+    --no-analyze) RUN_ANALYZE=0 ;;
+    *) echo "usage: tools/check.sh [--jobs N] [--no-sanitize] [--no-tsan] [--no-lint] [--no-analyze]" >&2
        exit 2 ;;
   esac
   shift
@@ -47,6 +51,16 @@ echo "== tier-1: plain build (-Werror) =="
 cmake -B build -S . -DCSCA_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_ANALYZE" == 1 ]]; then
+  echo "== static analysis (csca_analyze; docs/analysis.md) =="
+  # The determinism & cost-accounting analyzer over every scanned root.
+  # Prints the finding count even when clean; exits nonzero on any
+  # unsuppressed finding. The analyze ctest tier re-runs the analyzer's
+  # own fixture corpus + self-scan.
+  ./build/tools/csca_analyze src tools bench
+  ctest --test-dir build -L analyze --output-on-failure -j "$JOBS"
+fi
 
 echo "== protocol sweep: sequential vs multi-run harness (--jobs $JOBS) =="
 ./build/tools/csca_check --smoke

@@ -1,0 +1,76 @@
+// csca_analyze — the determinism & cost-accounting static analyzer
+// front end (docs/analysis.md).
+//
+// Scans the given directories (default: src tools bench) for
+// violations of the repo's determinism and ledger contracts, prints a
+// human report, optionally writes the deterministic JSON report, and
+// exits nonzero when any unsuppressed finding remains. Wired into
+// tools/check.sh as a gate and into ctest as the `analyze` tier.
+//
+// Usage:
+//   csca_analyze [--repo-root=DIR] [--json=PATH] [--list-rules] [DIR...]
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--repo-root=DIR] [--json=PATH] [--list-rules] [DIR...]\n"
+               "  scans DIR... (default: src tools bench) relative to "
+               "--repo-root (default: .)\n"
+               "  exit status: 0 clean, 1 findings, 2 usage/io error\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  csca::analyze::AnalyzerConfig cfg;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : csca::analyze::rule_table()) {
+        std::cout << r.id << "  " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg.rfind("--repo-root=", 0) == 0) {
+      cfg.repo_root = arg.substr(12);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      cfg.roots.push_back(arg);
+    }
+  }
+  if (cfg.roots.empty()) cfg.roots = {"src", "tools", "bench"};
+
+  csca::analyze::Report report;
+  try {
+    report = csca::analyze::analyze(cfg);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << csca::analyze::to_text(report);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "csca_analyze: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << csca::analyze::to_json(report);
+  }
+  return report.clean() ? 0 : 1;
+}
