@@ -413,7 +413,7 @@ void bench_parallel(bool smoke, const std::string& path) {
   std::vector<ParRow> shard_rows;
   for (const int k : {1, 2, 4, 8}) {
     ShardEngine eng(g, factory, make_uniform_delay(0.1, 0.9), 1234,
-                    ShardEngine::Options{k, 0});
+                    ShardEngine::Options{k, 0, {}});
     const auto t0 = std::chrono::steady_clock::now();
     const RunStats stats = eng.run();
     const double secs = std::chrono::duration<double>(

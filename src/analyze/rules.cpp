@@ -330,6 +330,95 @@ void cost2(const FileCtx& ctx, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------- SCALE-1
+// Loop bodies as token ranges: for each `for`/`while` head, the body is
+// the `{...}` block after the close-paren, or the single statement up
+// to the next top-level `;` when unbraced. A difference array marks
+// tokens covered by at least one body, so nested loops flag each
+// allocation once. Inside a marked range, a `new` expression or a
+// make_unique/make_shared call is a per-element heap allocation: on the
+// per-node/per-event paths this runs n (or worse, event-count) times
+// and defeats the pooled-arena memory model that the million-node
+// capacity target rests on. Per-shard or per-run loops that allocate
+// O(k) times are the intended suppression case — the annotation states
+// why the trip count is not n.
+void scale1(const FileCtx& ctx, std::vector<Finding>& out) {
+  if (!ctx.sim_visible) return;
+  const std::vector<Token>& t = *ctx.code;
+
+  std::vector<int> delta(t.size() + 1, 0);
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if ((!t[i].ident("for") && !t[i].ident("while")) ||
+        !t[i + 1].punct("(")) {
+      continue;
+    }
+    const std::size_t close = find_close_paren(t, i + 1);
+    if (close == kNpos) continue;
+    const std::size_t begin = close + 1;
+    std::size_t end = kNpos;
+    if (at(t, begin).punct("{")) {
+      int brace = 0;
+      for (std::size_t j = begin; j < t.size(); ++j) {
+        if (t[j].punct("{")) ++brace;
+        else if (t[j].punct("}") && --brace == 0) {
+          end = j;
+          break;
+        }
+      }
+    } else {
+      // Unbraced body: one statement, to the `;` outside all brackets.
+      // The `do { } while (cond);` tail lands here with an empty range.
+      int paren = 0;
+      int bracket = 0;
+      int brace = 0;
+      for (std::size_t j = begin; j < t.size(); ++j) {
+        if (t[j].kind != TokKind::kPunct) continue;
+        const std::string_view p = t[j].text;
+        if (p == "(") ++paren;
+        else if (p == ")") --paren;
+        else if (p == "[") ++bracket;
+        else if (p == "]") --bracket;
+        else if (p == "{") ++brace;
+        else if (p == "}") --brace;
+        else if (p == ";" && paren == 0 && bracket == 0 && brace == 0) {
+          end = j;
+          break;
+        }
+      }
+    }
+    if (end == kNpos) continue;
+    ++delta[begin];
+    --delta[end];
+  }
+
+  int depth = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    depth += delta[i];
+    if (depth <= 0 || t[i].kind != TokKind::kIdentifier) continue;
+    const std::string_view name = t[i].text;
+    const Token& prev = i > 0 ? t[i - 1] : at(t, kNpos);
+    if (name == "new" && !prev.ident("operator")) {
+      out.push_back(Finding{
+          "SCALE-1", ctx.path, t[i].line,
+          "'new' inside a loop in simulation-visible code: per-element "
+          "heap allocation defeats the pooled-arena memory model "
+          "(sim/process_store.h) — hoist the allocation or reserve up "
+          "front, or annotate why the trip count is bounded with "
+          "csca-analyze: allow(SCALE-1)"});
+    } else if ((name == "make_unique" || name == "make_shared") &&
+               at(t, i + 1).punct("<")) {
+      out.push_back(Finding{
+          "SCALE-1", ctx.path, t[i].line,
+          "'" + std::string(name) +
+              "' inside a loop in simulation-visible code: per-element "
+              "heap allocation defeats the pooled-arena memory model "
+              "(sim/process_store.h) — hoist the allocation or pool the "
+              "states, or annotate why the trip count is bounded with "
+              "csca-analyze: allow(SCALE-1)"});
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& rule_table() {
@@ -343,6 +432,8 @@ const std::vector<RuleInfo>& rule_table() {
       {"DET-4", "RNG construction routes through the keyed Rng API"},
       {"COST-1", "send sites name an explicit MsgClass; no defaults"},
       {"COST-2", "ledger/meter fields mutate only at accessor sites"},
+      {"SCALE-1",
+       "no per-element heap allocation inside simulation-visible loops"},
       {"SUP-1", "suppressions name a known rule and carry a reason"},
   };
   return kTable;
@@ -362,6 +453,7 @@ void run_rules(const FileCtx& ctx, std::vector<Finding>& out) {
   det4(ctx, out);
   cost1(ctx, out);
   cost2(ctx, out);
+  scale1(ctx, out);
 }
 
 std::vector<Suppression> parse_suppressions(

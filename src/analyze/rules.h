@@ -23,6 +23,12 @@
 //          billed) are mutated only at their engine accessor sites —
 //          scattered writes would unmoor the golden ledgers and the
 //          B1–B3 budget invariants from the engines' charging rule.
+//   SCALE-1 no per-element heap allocation inside loops in
+//          simulation-visible code — a `new`/make_unique/make_shared
+//          per node or per event defeats the pooled-arena memory model
+//          (sim/process_store.h) that the million-node capacity target
+//          (docs/scale.md) rests on. Bounded per-shard/per-run loops
+//          are the intended suppression case.
 //   SUP-1  (meta) every suppression names a known rule and carries a
 //          non-empty reason.
 //

@@ -19,6 +19,7 @@ std::vector<SweepSpec> builtin_tables() {
   out.push_back(table_a1_cover());
   out.push_back(table_fault_degradation());
   out.push_back(table_fault_ctl());
+  out.push_back(table_scale());
   return out;
 }
 

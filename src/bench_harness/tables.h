@@ -15,6 +15,7 @@
 //   A1  DESIGN.md  cover-coarsening substitution ablation
 //   fault  docs/faults.md  ARQ overhead vs drop/dup rate (degradation)
 //   fault_ctl  docs/faults.md  ARQ-aware admission: permits vs loss rate
+//   scale  docs/scale.md  capacity scaling: CSR + pooled state, n to 10^6
 //
 // Each table's rows, bound formulas and tolerances live in
 // tables/<id>_*.cpp; bench/bench_*.cpp, tools/csca_sweep and the ctest
@@ -40,6 +41,7 @@ SweepSpec table_s5_controller();
 SweepSpec table_a1_cover();
 SweepSpec table_fault_degradation();
 SweepSpec table_fault_ctl();
+SweepSpec table_scale();
 
 /// All tables, in the id order above.
 std::vector<SweepSpec> builtin_tables();

@@ -90,7 +90,7 @@ SubjectOutcome run_on_shards(const Graph& g, const ProcessFactory& factory,
   SubjectOutcome out;
   try {
     ShardEngine eng(g, factory, spec.make_delay(), spec.seed,
-                    ShardEngine::Options{shards, 0});
+                    ShardEngine::Options{shards, 0, {}});
     const std::optional<FaultInjector> inj = make_injector(g, spec);
     if (inj) eng.set_faults(&*inj);
     out.stats = eng.run();

@@ -209,7 +209,7 @@ SubjectOutcome run_synchronized_bf(const Graph& g, const ScheduleSpec& spec,
     if (shards > 0) {
       par = std::make_unique<ShardEngine>(ng, snet.host_factory(factory),
                                           spec.make_delay(), spec.seed,
-                                          ShardEngine::Options{shards, 0});
+                                          ShardEngine::Options{shards, 0, {}});
       if (inj) par->set_faults(&*inj);
       out.stats = par->run();
       host = par.get();

@@ -30,12 +30,15 @@ FloodRun run_flood(const Graph& g, NodeId initiator,
                    std::unique_ptr<DelayModel> delay, std::uint64_t seed) {
   g.check_node(initiator);
   require(is_connected(g), "run_flood requires a connected graph");
-  Network net(
-      g,
-      [initiator](NodeId v) {
-        return std::make_unique<FloodProcess>(v, initiator);
-      },
-      std::move(delay), seed);
+  // Pooled store: all n FloodProcess states in one contiguous arena
+  // (bytes/node, not allocations/node — see sim/process_store.h).
+  Network net(g,
+              Network::ProcessStore::pooled<FloodProcess>(
+                  g.node_count(),
+                  [initiator](NodeId v) {
+                    return FloodProcess(v, initiator);
+                  }),
+              std::move(delay), seed);
   RunStats stats = net.run();
   std::vector<EdgeId> parents(static_cast<std::size_t>(g.node_count()),
                               kNoEdge);

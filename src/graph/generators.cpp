@@ -38,6 +38,7 @@ Weight WeightSpec::sample(Rng& rng) const {
 Graph path_graph(int n, WeightSpec weights, Rng& rng) {
   require(n >= 1, "path_graph requires n >= 1");
   Graph g(n);
+  g.reserve_edges(n > 0 ? static_cast<std::size_t>(n) : 0);
   for (NodeId v = 0; v + 1 < n; ++v) {
     g.add_edge(v, v + 1, weights.sample(rng));
   }
@@ -54,6 +55,7 @@ Graph cycle_graph(int n, WeightSpec weights, Rng& rng) {
 Graph grid_graph(int rows, int cols, WeightSpec weights, Rng& rng) {
   require(rows >= 1 && cols >= 1, "grid dimensions must be >= 1");
   Graph g(rows * cols);
+  g.reserve_edges(static_cast<std::size_t>(2) * rows * cols);
   const auto id = [cols](int r, int c) { return r * cols + c; };
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
@@ -71,6 +73,7 @@ Graph grid_graph(int rows, int cols, WeightSpec weights, Rng& rng) {
 Graph complete_graph(int n, WeightSpec weights, Rng& rng) {
   require(n >= 1, "complete_graph requires n >= 1");
   Graph g(n);
+  g.reserve_edges(static_cast<std::size_t>(n) * (n - 1) / 2);
   for (NodeId u = 0; u < n; ++u) {
     for (NodeId v = u + 1; v < n; ++v) {
       g.add_edge(u, v, weights.sample(rng));
@@ -82,6 +85,7 @@ Graph complete_graph(int n, WeightSpec weights, Rng& rng) {
 Graph random_tree(int n, WeightSpec weights, Rng& rng) {
   require(n >= 1, "random_tree requires n >= 1");
   Graph g(n);
+  g.reserve_edges(n > 0 ? static_cast<std::size_t>(n) - 1 : 0);
   for (NodeId v = 1; v < n; ++v) {
     const NodeId parent =
         static_cast<NodeId>(rng.uniform_int(0, v - 1));
@@ -159,6 +163,7 @@ Graph random_geometric(int n, double radius, Weight scale, Rng& rng) {
 Graph spt_heavy_family(int n) {
   require(n >= 3, "spt_heavy_family requires n >= 3");
   Graph g(n);
+  g.reserve_edges(static_cast<std::size_t>(2) * n);
   for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 2);
   for (NodeId v = 2; v < n; ++v) g.add_edge(0, v, 2 * v - 1);
   return g;
@@ -167,6 +172,7 @@ Graph spt_heavy_family(int n) {
 Graph mst_deep_family(int n) {
   require(n >= 4, "mst_deep_family requires n >= 4");
   Graph g(n);
+  g.reserve_edges(static_cast<std::size_t>(2) * n);
   for (NodeId v = 1; v < n; ++v) g.add_edge(0, v, 2);
   for (NodeId v = 1; v + 1 < n; ++v) g.add_edge(v, v + 1, 1);
   return g;
@@ -184,6 +190,7 @@ Graph lower_bound_family(int n, Weight x) {
   require(n >= 4, "lower_bound_family requires n >= 4");
   const Weight heavy = pow4(x);
   Graph g(n);
+  g.reserve_edges(static_cast<std::size_t>(3) * n / 2);
   for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, x);
   for (int j = 0; j < n / 2; ++j) {
     const int mirror = n - 1 - j;

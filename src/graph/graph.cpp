@@ -1,10 +1,49 @@
 #include "graph/graph.h"
 
+#include <algorithm>
+
 namespace csca {
 
-Graph::Graph(int n) {
+namespace {
+
+// splitmix64 finisher: full-avalanche mix of the packed endpoint pair.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Graph::Graph(int n) : n_(n) {
   require(n >= 0, "node count must be non-negative");
-  incident_.resize(static_cast<std::size_t>(n));
+  degree_.resize(static_cast<std::size_t>(n), 0);
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  csr_dirty_ = false;  // the empty CSR is valid for an edgeless graph
+}
+
+std::uint64_t Graph::pair_key(NodeId u, NodeId v) {
+  const auto lo = static_cast<std::uint64_t>(std::min(u, v));
+  const auto hi = static_cast<std::uint64_t>(std::max(u, v));
+  return (lo << 32) | hi;
+}
+
+void Graph::index_grow(std::size_t min_slots) {
+  std::size_t slots = 16;
+  while (slots < min_slots) slots *= 2;
+  index_.assign(slots, kNoEdge);
+  for (EdgeId id = 0; id < edge_count(); ++id) {
+    const Edge& ed = edges_[static_cast<std::size_t>(id)];
+    index_insert(pair_key(ed.u, ed.v), id);
+  }
+}
+
+void Graph::index_insert(std::uint64_t key, EdgeId id) {
+  const std::size_t mask = index_.size() - 1;
+  std::size_t slot = mix(key) & mask;
+  while (index_[slot] != kNoEdge) slot = (slot + 1) & mask;
+  index_[slot] = id;
 }
 
 EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
@@ -15,23 +54,75 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
   require(!has_edge(u, v), "parallel edges are not allowed");
   const EdgeId id = edge_count();
   edges_.push_back(Edge{u, v, w});
-  incident_[static_cast<std::size_t>(u)].push_back(id);
-  incident_[static_cast<std::size_t>(v)].push_back(id);
+  // Keep the probe chains short: grow at 1/2 load.
+  if (index_.empty() || (edges_.size() + 1) * 2 > index_.size()) {
+    index_grow((edges_.size() + 1) * 4);
+  } else {
+    index_insert(pair_key(u, v), id);
+  }
+  ++degree_[static_cast<std::size_t>(u)];
+  ++degree_[static_cast<std::size_t>(v)];
   total_weight_ += w;
   max_weight_ = std::max(max_weight_, w);
+  csr_dirty_ = true;
   return id;
+}
+
+void Graph::reserve_edges(std::size_t m) {
+  edges_.reserve(m);
+  if ((m + 1) * 2 > index_.size()) index_grow((m + 1) * 4);
 }
 
 EdgeId Graph::find_edge(NodeId u, NodeId v) const {
   check_node(u);
   check_node(v);
-  // Scan from the lower-degree endpoint.
-  const NodeId from = degree(u) <= degree(v) ? u : v;
-  const NodeId to = from == u ? v : u;
-  for (EdgeId e : incident(from)) {
-    if (other(e, from) == to) return e;
+  if (index_.empty() || u == v) return kNoEdge;
+  const std::uint64_t key = pair_key(u, v);
+  const std::size_t mask = index_.size() - 1;
+  std::size_t slot = mix(key) & mask;
+  while (index_[slot] != kNoEdge) {
+    const Edge& ed = edges_[static_cast<std::size_t>(index_[slot])];
+    if (pair_key(ed.u, ed.v) == key) return index_[slot];
+    slot = (slot + 1) & mask;
   }
   return kNoEdge;
+}
+
+void Graph::build_csr() const {
+  // Counting sort by endpoint: one pass to place each edge id (and the
+  // opposite endpoint) into both endpoints' slices. Edges are scanned in
+  // id order, so each node's slice comes out in insertion order —
+  // byte-identical to the historical per-node push_back layout.
+  const std::size_t n = static_cast<std::size_t>(n_);
+  offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    offsets_[v + 1] =
+        offsets_[v] + static_cast<std::size_t>(degree_[v]);
+  }
+  const std::size_t arcs = offsets_[n];
+  csr_edges_.assign(arcs, kNoEdge);
+  csr_nodes_.assign(arcs, kNoNode);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (EdgeId id = 0; id < edge_count(); ++id) {
+    const Edge& ed = edges_[static_cast<std::size_t>(id)];
+    const std::size_t su = cursor[static_cast<std::size_t>(ed.u)]++;
+    csr_edges_[su] = id;
+    csr_nodes_[su] = ed.v;
+    const std::size_t sv = cursor[static_cast<std::size_t>(ed.v)]++;
+    csr_edges_[sv] = id;
+    csr_nodes_[sv] = ed.u;
+  }
+  csr_dirty_ = false;
+}
+
+std::size_t Graph::memory_bytes() const {
+  if (csr_dirty_) build_csr();
+  return edges_.capacity() * sizeof(Edge) +
+         degree_.capacity() * sizeof(int) +
+         index_.capacity() * sizeof(EdgeId) +
+         offsets_.capacity() * sizeof(std::size_t) +
+         csr_edges_.capacity() * sizeof(EdgeId) +
+         csr_nodes_.capacity() * sizeof(NodeId);
 }
 
 Weight total_weight(const Graph& g, std::span<const EdgeId> edge_set) {

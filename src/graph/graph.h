@@ -5,6 +5,21 @@
 // bound on its delay. Nodes are dense integers [0, n); edges are dense
 // integers [0, m) referring into a single edge table, so protocols and
 // algorithms can key per-edge state by EdgeId.
+//
+// Storage is CSR (compressed sparse row): adjacency lives in two flat
+// arrays sliced by a shared offset table, rather than one heap vector per
+// node. The CSR arrays are rebuilt lazily after mutation — add_edge only
+// appends to the edge table and bumps degrees, and the first adjacency
+// read after a mutation runs one O(n + m) counting pass that lays out
+// every node's incident list (in edge-insertion order, so reads are
+// byte-identical to the historical per-node push_back layout). Graphs
+// here are built once and then read millions of times, so amortized this
+// is one rebuild per graph; the payoff is 10^6-node adjacency in three
+// contiguous allocations instead of n + 1.
+//
+// Duplicate-edge rejection and find_edge use an open-addressing hash
+// index over endpoint pairs (O(1) expected), so building an m-edge graph
+// is O(n + m) instead of O(sum of min-degrees).
 #pragma once
 
 #include <cstdint>
@@ -30,6 +45,52 @@ struct Edge {
   Weight w = 0;
 };
 
+/// One incident arc as seen from a fixed node v: the edge id and the
+/// endpoint that is not v. What a hot traversal loop needs per hop,
+/// without an edge-table load or an endpoint comparison.
+struct Arc {
+  EdgeId edge;
+  NodeId node;
+};
+
+/// Zero-copy view over a node's incident arcs, in edge-insertion order.
+/// Backed by two parallel CSR slices; iteration touches only those two
+/// contiguous arrays. Invalidated, like any span, by graph mutation.
+class NeighborView {
+ public:
+  class iterator {
+   public:
+    Arc operator*() const { return Arc{*e_, *n_}; }
+    iterator& operator++() {
+      ++e_;
+      ++n_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return e_ != o.e_; }
+    bool operator==(const iterator& o) const { return e_ == o.e_; }
+
+   private:
+    friend class NeighborView;
+    iterator(const EdgeId* e, const NodeId* n) : e_(e), n_(n) {}
+    const EdgeId* e_;
+    const NodeId* n_;
+  };
+
+  NeighborView(const EdgeId* edges, const NodeId* nodes, std::size_t size)
+      : edges_(edges), nodes_(nodes), size_(size) {}
+
+  iterator begin() const { return iterator(edges_, nodes_); }
+  iterator end() const { return iterator(edges_ + size_, nodes_ + size_); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  Arc operator[](std::size_t i) const { return Arc{edges_[i], nodes_[i]}; }
+
+ private:
+  const EdgeId* edges_;
+  const NodeId* nodes_;
+  std::size_t size_;
+};
+
 /// Weighted undirected multigraph-free graph. Immutable node count; edges
 /// are appended via add_edge. Self-loops and parallel edges are rejected,
 /// matching the standard network model.
@@ -42,7 +103,12 @@ class Graph {
   /// Requires valid distinct endpoints and that the edge not already exist.
   EdgeId add_edge(NodeId u, NodeId v, Weight w);
 
-  int node_count() const { return static_cast<int>(incident_.size()); }
+  /// Pre-sizes the edge table (and the duplicate-rejection index) for m
+  /// edges, so generators building million-edge graphs don't pay
+  /// geometric regrowth.
+  void reserve_edges(std::size_t m);
+
+  int node_count() const { return n_; }
   int edge_count() const { return static_cast<int>(edges_.size()); }
 
   const Edge& edge(EdgeId e) const {
@@ -54,11 +120,28 @@ class Graph {
   /// Ids of edges incident to v, in insertion order.
   std::span<const EdgeId> incident(NodeId v) const {
     check_node(v);
-    return incident_[static_cast<std::size_t>(v)];
+    if (csr_dirty_) build_csr();
+    const std::size_t b = offsets_[static_cast<std::size_t>(v)];
+    const std::size_t e = offsets_[static_cast<std::size_t>(v) + 1];
+    return {csr_edges_.data() + b, e - b};
+  }
+
+  /// Incident arcs of v — (edge id, other endpoint) pairs — in insertion
+  /// order, straight out of the CSR arrays. The hot-loop API: one hop
+  /// costs two contiguous loads and no edge-table lookup, vs.
+  /// incident() + other() which re-reads the 16-byte Edge record and
+  /// branches on which endpoint is v.
+  NeighborView neighbors(NodeId v) const {
+    check_node(v);
+    if (csr_dirty_) build_csr();
+    const std::size_t b = offsets_[static_cast<std::size_t>(v)];
+    const std::size_t e = offsets_[static_cast<std::size_t>(v) + 1];
+    return NeighborView(csr_edges_.data() + b, csr_nodes_.data() + b, e - b);
   }
 
   int degree(NodeId v) const {
-    return static_cast<int>(incident(v).size());
+    check_node(v);
+    return degree_[static_cast<std::size_t>(v)];
   }
 
   /// The endpoint of e that is not v. Requires v to be an endpoint of e.
@@ -70,7 +153,8 @@ class Graph {
 
   Weight weight(EdgeId e) const { return edge(e).w; }
 
-  /// Id of the edge {u, v}, or kNoEdge if absent. O(min-degree).
+  /// Id of the edge {u, v}, or kNoEdge if absent. O(1) expected via the
+  /// endpoint-pair hash index.
   EdgeId find_edge(NodeId u, NodeId v) const;
   bool has_edge(NodeId u, NodeId v) const {
     return find_edge(u, v) != kNoEdge;
@@ -82,15 +166,42 @@ class Graph {
   /// Maximum edge weight W. Zero on an edgeless graph.
   Weight max_weight() const { return max_weight_; }
 
+  /// Heap bytes held by the topology: edge table + CSR arrays + degree
+  /// and offset tables + the endpoint-pair index. The denominator side
+  /// of the bench_scale bytes/node accounting (docs/scale.md).
+  std::size_t memory_bytes() const;
+
   void check_node(NodeId v) const {
     require(v >= 0 && v < node_count(), "node id out of range");
   }
 
  private:
+  void build_csr() const;
+  void index_insert(std::uint64_t key, EdgeId id);
+  void index_grow(std::size_t min_slots);
+  static std::uint64_t pair_key(NodeId u, NodeId v);
+
+  int n_ = 0;
   std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> incident_;
+  std::vector<int> degree_;
   Weight total_weight_ = 0;
   Weight max_weight_ = 0;
+
+  // Open-addressing index: slot -> edge id (kNoEdge = empty). Keys are
+  // recomputed from the edge table on probe, so the index itself is one
+  // flat int array. Linear probing, load factor <= 1/2, power-of-two
+  // sized; insertion order never affects reads, so it is deterministic.
+  std::vector<EdgeId> index_;
+
+  // Lazily (re)built CSR adjacency. `mutable` + dirty flag: all mutation
+  // happens during single-threaded graph construction, and the first
+  // adjacency read (also single-threaded — engines and partitioners
+  // touch adjacency before spawning workers) triggers the rebuild, so
+  // concurrent readers only ever see a clean CSR.
+  mutable bool csr_dirty_ = true;
+  mutable std::vector<std::size_t> offsets_;  // n + 1 entries
+  mutable std::vector<EdgeId> csr_edges_;     // 2m entries
+  mutable std::vector<NodeId> csr_nodes_;     // 2m entries, parallel
 };
 
 /// Total weight of a set of edges of g.

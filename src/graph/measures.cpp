@@ -33,9 +33,8 @@ Weight max_neighbor_distance(const Graph& g) {
   Weight d = 0;
   for (NodeId v = 0; v < g.node_count(); ++v) {
     const auto sp = dijkstra(g, v);
-    for (EdgeId e : g.incident(v)) {
-      const NodeId u = g.other(e, v);
-      d = std::max(d, sp.dist[static_cast<std::size_t>(u)]);
+    for (const Arc a : g.neighbors(v)) {
+      d = std::max(d, sp.dist[static_cast<std::size_t>(a.node)]);
     }
   }
   return d;
@@ -58,9 +57,8 @@ NetworkMeasures measure(const Graph& g) {
       out.comm_D =
           std::max(out.comm_D, sp.dist[static_cast<std::size_t>(u)]);
     }
-    for (EdgeId e : g.incident(v)) {
-      const NodeId u = g.other(e, v);
-      out.d = std::max(out.d, sp.dist[static_cast<std::size_t>(u)]);
+    for (const Arc a : g.neighbors(v)) {
+      out.d = std::max(out.d, sp.dist[static_cast<std::size_t>(a.node)]);
     }
   }
   return out;

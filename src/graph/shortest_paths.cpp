@@ -41,12 +41,13 @@ ShortestPaths dijkstra_impl(const Graph& g, NodeId src,
     heap.pop();
     if (done[static_cast<std::size_t>(v)]) continue;
     done[static_cast<std::size_t>(v)] = 1;
-    for (EdgeId e : g.incident(v)) {
+    for (const Arc a : g.neighbors(v)) {
+      const EdgeId e = a.edge;
       if (allowed_edges != nullptr &&
           !(*allowed_edges)[static_cast<std::size_t>(e)]) {
         continue;
       }
-      const NodeId u = g.other(e, v);
+      const NodeId u = a.node;
       const Weight nd = d + g.weight(e);
       Weight& du = out.dist[static_cast<std::size_t>(u)];
       if (du == ShortestPaths::kUnreachable || nd < du) {

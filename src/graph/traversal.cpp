@@ -16,11 +16,10 @@ Components connected_components(const Graph& g) {
     while (!stack.empty()) {
       const NodeId v = stack.back();
       stack.pop_back();
-      for (EdgeId e : g.incident(v)) {
-        const NodeId u = g.other(e, v);
-        if (out.component[static_cast<std::size_t>(u)] == -1) {
-          out.component[static_cast<std::size_t>(u)] = id;
-          stack.push_back(u);
+      for (const Arc a : g.neighbors(v)) {
+        if (out.component[static_cast<std::size_t>(a.node)] == -1) {
+          out.component[static_cast<std::size_t>(a.node)] = id;
+          stack.push_back(a.node);
         }
       }
     }
@@ -41,8 +40,8 @@ std::vector<int> hop_distances(const Graph& g, NodeId src) {
   while (!q.empty()) {
     const NodeId v = q.front();
     q.pop();
-    for (EdgeId e : g.incident(v)) {
-      const NodeId u = g.other(e, v);
+    for (const Arc a : g.neighbors(v)) {
+      const NodeId u = a.node;
       if (dist[static_cast<std::size_t>(u)] != -1) continue;
       dist[static_cast<std::size_t>(u)] =
           dist[static_cast<std::size_t>(v)] + 1;

@@ -6,34 +6,28 @@
 
 namespace csca {
 
-std::vector<int> ShardPartition::sizes() const {
-  std::vector<int> out(static_cast<std::size_t>(shards), 0);
-  for (int s : shard_of) ++out[static_cast<std::size_t>(s)];
-  return out;
+namespace {
+
+using Cand = std::pair<Weight, NodeId>;
+
+// Max-heap of (attraction, node): attraction is the total weight of
+// edges from `node` into the shard currently being grown. Entries go
+// stale when a node's attraction grows or the node is assigned; stale
+// entries are skipped on pop (lazy deletion). Ties prefer the smaller
+// node id so the result is independent of heap internals.
+bool cand_less(const Cand& a, const Cand& b) {
+  return a.first < b.first || (a.first == b.first && a.second > b.second);
 }
 
-ShardPartition partition_shards(const Graph& g, int k) {
-  require(k >= 1, "shard count must be >= 1");
+// The historical weighted-greedy BFS: grows shards one at a time to a
+// ceil(n / k) node target. Runs verbatim for hub-free graphs — the
+// delegate path below only wraps it with hub pre-assignment.
+ShardPartition partition_greedy(const Graph& g, int k) {
   const int n = g.node_count();
   ShardPartition out;
   out.shard_of.assign(static_cast<std::size_t>(n), -1);
-  if (n == 0) {
-    out.shards = 1;
-    return out;
-  }
-  k = std::min(k, n);
   const int target = (n + k - 1) / k;
 
-  // Max-heap of (attraction, node): attraction is the total weight of
-  // edges from `node` into the shard currently being grown. Entries go
-  // stale when a node's attraction grows or the node is assigned;
-  // stale entries are skipped on pop (lazy deletion). Ties prefer the
-  // smaller node id so the result is independent of heap internals.
-  using Cand = std::pair<Weight, NodeId>;
-  const auto cand_less = [](const Cand& a, const Cand& b) {
-    return a.first < b.first ||
-           (a.first == b.first && a.second > b.second);
-  };
   std::vector<Weight> attraction(static_cast<std::size_t>(n), 0);
 
   int assigned = 0;
@@ -44,8 +38,8 @@ ShardPartition partition_shards(const Graph& g, int k) {
     // (disconnected remainder), reseed the same shard from the next
     // unassigned node: each pass fills exactly min(target, remaining)
     // nodes, so the shard count never exceeds k.
-    std::priority_queue<Cand, std::vector<Cand>, decltype(cand_less)>
-        frontier(cand_less);
+    std::priority_queue<Cand, std::vector<Cand>, decltype(&cand_less)>
+        frontier(&cand_less);
     std::fill(attraction.begin(), attraction.end(), Weight{0});
     int size = 0;
     while (size < target && assigned < n) {
@@ -62,18 +56,138 @@ ShardPartition partition_shards(const Graph& g, int k) {
       out.shard_of[vi] = shard;
       ++size;
       ++assigned;
-      for (EdgeId e : g.incident(v)) {
-        const NodeId u = g.other(e, v);
-        const auto ui = static_cast<std::size_t>(u);
+      for (const Arc a : g.neighbors(v)) {
+        const auto ui = static_cast<std::size_t>(a.node);
         if (out.shard_of[ui] != -1) continue;
-        attraction[ui] += g.weight(e);
-        frontier.push({attraction[ui], u});
+        attraction[ui] += g.weight(a.edge);
+        frontier.push({attraction[ui], a.node});
       }
     }
     ++shard;
   }
   out.shards = shard;
   return out;
+}
+
+// Delegate path: hubs are pre-assigned round-robin (descending degree),
+// then each shard grows around its hubs — the pass's frontier is seeded
+// from the hubs' neighborhoods, so leaves cluster with *a* hub while
+// distinct hubs land on distinct workers.
+ShardPartition partition_with_hubs(const Graph& g, int k,
+                                   std::vector<NodeId> hubs) {
+  const int n = g.node_count();
+  ShardPartition out;
+  out.shard_of.assign(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    out.shard_of[static_cast<std::size_t>(hubs[i])] =
+        static_cast<int>(i) % k;
+  }
+  int assigned = static_cast<int>(hubs.size());
+  const int rest = n - assigned;
+  const int target = (rest + k - 1) / k;
+
+  std::vector<Weight> attraction(static_cast<std::size_t>(n), 0);
+  NodeId scan = 0;
+  for (int shard = 0; shard < k && assigned < n; ++shard) {
+    std::priority_queue<Cand, std::vector<Cand>, decltype(&cand_less)>
+        frontier(&cand_less);
+    std::fill(attraction.begin(), attraction.end(), Weight{0});
+    // Seed with the neighborhoods of this shard's hubs.
+    for (std::size_t i = static_cast<std::size_t>(shard); i < hubs.size();
+         i += static_cast<std::size_t>(k)) {
+      for (const Arc a : g.neighbors(hubs[i])) {
+        const auto ui = static_cast<std::size_t>(a.node);
+        if (out.shard_of[ui] != -1) continue;
+        attraction[ui] += g.weight(a.edge);
+        frontier.push({attraction[ui], a.node});
+      }
+    }
+    int size = 0;
+    while (size < target && assigned < n) {
+      if (frontier.empty()) {
+        while (out.shard_of[static_cast<std::size_t>(scan)] != -1) ++scan;
+        frontier.push({Weight{0}, scan});
+      }
+      const auto [gain, v] = frontier.top();
+      frontier.pop();
+      const auto vi = static_cast<std::size_t>(v);
+      if (out.shard_of[vi] != -1 || gain != attraction[vi]) continue;
+      out.shard_of[vi] = shard;
+      ++size;
+      ++assigned;
+      for (const Arc a : g.neighbors(v)) {
+        const auto ui = static_cast<std::size_t>(a.node);
+        if (out.shard_of[ui] != -1) continue;
+        attraction[ui] += g.weight(a.edge);
+        frontier.push({attraction[ui], a.node});
+      }
+    }
+  }
+  // k passes at ceil(rest / k) each cover every non-hub node; anything
+  // else is a bug in the accounting above.
+  require(assigned == n, "hub partition left nodes unassigned");
+
+  // A shard can end up empty only in the degenerate all-hubs case with
+  // fewer hubs than k; compact ids so the engine never sees an empty
+  // shard.
+  std::vector<int> count(static_cast<std::size_t>(k), 0);
+  for (int s : out.shard_of) ++count[static_cast<std::size_t>(s)];
+  std::vector<int> remap(static_cast<std::size_t>(k), -1);
+  int next = 0;
+  for (int s = 0; s < k; ++s) {
+    if (count[static_cast<std::size_t>(s)] > 0) {
+      remap[static_cast<std::size_t>(s)] = next++;
+    }
+  }
+  if (next != k) {
+    for (int& s : out.shard_of) s = remap[static_cast<std::size_t>(s)];
+  }
+  out.shards = next;
+  out.hubs = std::move(hubs);
+  return out;
+}
+
+}  // namespace
+
+std::vector<int> ShardPartition::sizes() const {
+  std::vector<int> out(static_cast<std::size_t>(shards), 0);
+  for (int s : shard_of) ++out[static_cast<std::size_t>(s)];
+  return out;
+}
+
+ShardPartition partition_shards(const Graph& g, int k) {
+  return partition_shards(g, k, PartitionOptions{});
+}
+
+ShardPartition partition_shards(const Graph& g, int k,
+                                const PartitionOptions& opt) {
+  require(k >= 1, "shard count must be >= 1");
+  const int n = g.node_count();
+  if (n == 0) {
+    ShardPartition out;
+    out.shards = 1;
+    return out;
+  }
+  k = std::min(k, n);
+
+  // Hub detection (see header). Meaningless at k = 1, and the absolute
+  // degree floor keeps regular families on the historical path.
+  std::vector<NodeId> hubs;
+  if (k > 1 && opt.hub_factor > 0 && g.edge_count() > 0) {
+    const double mean =
+        2.0 * static_cast<double>(g.edge_count()) / static_cast<double>(n);
+    const double cut = std::max(static_cast<double>(opt.hub_min_degree),
+                                static_cast<double>(opt.hub_factor) * mean);
+    for (NodeId v = 0; v < n; ++v) {
+      if (static_cast<double>(g.degree(v)) >= cut) hubs.push_back(v);
+    }
+    std::sort(hubs.begin(), hubs.end(), [&](NodeId a, NodeId b) {
+      return g.degree(a) > g.degree(b) ||
+             (g.degree(a) == g.degree(b) && a < b);
+    });
+  }
+  if (hubs.empty()) return partition_greedy(g, k);
+  return partition_with_hubs(g, k, std::move(hubs));
 }
 
 }  // namespace csca

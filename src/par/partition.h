@@ -10,12 +10,22 @@
 // w-scaled lookahead while a light one contributes little — keeping
 // light edges out of the cut keeps the conservative safe windows wide.
 //
+// High-degree hubs get delegate treatment (the HavoqGT idea, adapted to
+// the single-owner model the engine's bit-identity contract requires):
+// star-like families would otherwise pack a hub *and* its ceil(n/k)
+// nearest leaves into one shard, serializing most of the run. When a
+// graph has hubs — degree far above the mean — they are assigned first,
+// round-robin across shards in descending degree order, so hub-incident
+// event load spreads over all workers; the greedy growth then fills the
+// shards around them. Graphs without hubs (grids, paths, gnp) take the
+// historical code path, bit for bit.
+//
 // src/partition/ (the paper's radius covers) solves a different
 // problem: its clusters overlap by construction, and an event must have
 // exactly one owner. Hence this small dedicated partitioner.
 //
-// Deterministic: a pure function of the graph (+ k). The parallel
-// engine's reproducibility contract starts here.
+// Deterministic: a pure function of the graph (+ k + options). The
+// parallel engine's reproducibility contract starts here.
 #pragma once
 
 #include <vector>
@@ -27,6 +37,8 @@ namespace csca {
 struct ShardPartition {
   int shards = 1;
   std::vector<int> shard_of;  ///< node -> shard id in [0, shards)
+  /// Delegate hubs, descending degree (empty when none qualified).
+  std::vector<NodeId> hubs;
 
   int shard(NodeId v) const {
     return shard_of[static_cast<std::size_t>(v)];
@@ -35,8 +47,19 @@ struct ShardPartition {
   std::vector<int> sizes() const;
 };
 
+/// Hub detection knobs. A node is a delegate hub when its degree is at
+/// least hub_factor times the mean degree AND at least hub_min_degree;
+/// the absolute floor keeps every small/regular test graph on the
+/// historical partition path.
+struct PartitionOptions {
+  int hub_factor = 8;
+  int hub_min_degree = 64;
+};
+
 /// Partitions g's nodes into at most k non-empty shards (fewer only
 /// when k > n). Requires k >= 1.
 ShardPartition partition_shards(const Graph& g, int k);
+ShardPartition partition_shards(const Graph& g, int k,
+                                const PartitionOptions& opt);
 
 }  // namespace csca

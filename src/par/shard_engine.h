@@ -2,8 +2,9 @@
 //
 // Partitions the graph's nodes into k shards (par/partition.h), gives
 // each shard its own event queue, clock, and worker, forwards
-// cross-shard sends through SPSC channels (par/spsc.h), and advances
-// shards in conservative CMB-style rounds bounded by per-boundary-edge
+// cross-shard sends through per-destination mailboxes flushed over SPSC
+// channels (par/spsc.h) at round barriers, and advances shards in
+// conservative CMB-style rounds bounded by per-boundary-edge
 // lookahead. Its contract is strict: **the execution is bit-identical
 // to the sequential Network** — same per-node delivery sequences, same
 // digests, same RunStats ledger — at every shard/thread count. Two
@@ -52,6 +53,18 @@
 //            generation-by-generation delivery refines the sequential
 //            same-time order. Guarantees progress every round.
 //
+// Cross-shard traffic is coalesced: a send to another shard appends to
+// the sender's per-destination mailbox (a plain vector), and each
+// parallel phase flushes every non-empty mailbox as one SPSC push at
+// its end — one channel allocation per (sender, dest, phase) instead of
+// one per message. Consumed batch buffers return to their sender over a
+// reverse SPSC channel, so steady state recycles buffers instead of
+// allocating. Safe-time semantics are untouched: messages were only
+// ever observed at the post-phase drain barrier, and batches preserve
+// the per-channel push order, so delivery order — and with it the
+// keyed-delay bit-identity contract — is byte-identical to per-message
+// pushes.
+//
 // Shared state is written under strict ownership (per-channel counters
 // by the channel's unique sender shard, per-node state by the owner
 // shard), and rounds are separated by the RunPool barrier, so the
@@ -71,6 +84,7 @@
 #include "par/spsc.h"
 #include "sim/delay.h"
 #include "sim/engine.h"
+#include "sim/process_store.h"
 #include "util/rng.h"
 
 namespace csca {
@@ -82,13 +96,22 @@ class ShardEngine final : public ProcessHost {
   struct Options {
     int shards = 1;
     int threads = 0;  ///< pool workers; 0 means one per shard
+    /// Hub/delegate handling for the node partition (par/partition.h).
+    PartitionOptions partition;
   };
+
+  using ProcessStore = PooledStore<Process>;
 
   ShardEngine(const Graph& g, const ProcessFactory& factory,
               std::unique_ptr<DelayModel> delay, std::uint64_t seed,
               Options opt);
   ShardEngine(const Graph& g, const ProcessFactory& factory,
               std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1);
+  /// Hosts a pre-built (typically pooled) store of g.node_count()
+  /// processes; no per-node allocation inside the engine.
+  ShardEngine(const Graph& g, ProcessStore store,
+              std::unique_ptr<DelayModel> delay, std::uint64_t seed,
+              Options opt);
   ~ShardEngine() override;
 
   /// Runs the protocol to quiescence and returns the merged ledger.
@@ -113,7 +136,12 @@ class ShardEngine final : public ProcessHost {
   const RunStats& stats() const override { return stats_; }
   Process& process(NodeId v) override {
     graph_->check_node(v);
-    return *processes_[static_cast<std::size_t>(v)];
+    return processes_.at(v);
+  }
+
+  /// Bytes of pooled per-node protocol state (see docs/scale.md).
+  std::size_t process_state_bytes() const {
+    return processes_.state_bytes();
   }
   bool finished(NodeId v) const override {
     return finish_time_[static_cast<std::size_t>(v)] >= 0;
@@ -152,6 +180,11 @@ class ShardEngine final : public ProcessHost {
     Message msg;
   };
 
+  /// A coalesced mailbox flush: every cross-shard message one sender
+  /// shard produced for one destination during one parallel phase, in
+  /// channel push order.
+  using Batch = std::vector<CrossMsg>;
+
   struct Shard;
 
   static constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -159,14 +192,25 @@ class ShardEngine final : public ProcessHost {
   static std::size_t class_index(MsgClass cls) {
     return cls == MsgClass::kAlgorithm ? 0 : 1;
   }
-  SpscChannel<CrossMsg>& channel(int from, int to) {
+  /// Forward channel: batches flowing from shard `from` to shard `to`
+  /// (producer = from's worker, consumer = to's worker).
+  SpscChannel<Batch>& channel(int from, int to) {
     return *channels_[static_cast<std::size_t>(from) *
                           static_cast<std::size_t>(part_.shards) +
                       static_cast<std::size_t>(to)];
   }
+  /// Reverse channel recycling emptied batch buffers: producer = the
+  /// shard that consumed the batch (`from`), consumer = the shard that
+  /// will refill it (`to`). Same unique-producer/unique-consumer pairing
+  /// as the forward channel, just mirrored.
+  SpscChannel<Batch>& return_channel(int from, int to) {
+    return *returns_[static_cast<std::size_t>(from) *
+                         static_cast<std::size_t>(part_.shards) +
+                     static_cast<std::size_t>(to)];
+  }
 
   const Graph* graph_;
-  std::vector<std::unique_ptr<Process>> processes_;
+  ProcessStore processes_;
   std::unique_ptr<DelayModel> delay_;
   std::uint64_t seed_;
   ShardPartition part_;
@@ -182,7 +226,8 @@ class ShardEngine final : public ProcessHost {
   std::vector<double> finish_time_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<std::unique_ptr<SpscChannel<CrossMsg>>> channels_;
+  std::vector<std::unique_ptr<SpscChannel<Batch>>> channels_;
+  std::vector<std::unique_ptr<SpscChannel<Batch>>> returns_;
   std::vector<double> cross_min_;  // k x k lookahead closure (see above)
   std::vector<double> next_t_;
   std::vector<double> bound_;

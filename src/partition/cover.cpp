@@ -25,10 +25,10 @@ std::vector<Weight> restricted_distances(const Graph& g, NodeId src,
     const auto [d, v] = heap.top();
     heap.pop();
     if (d > dist[static_cast<std::size_t>(v)]) continue;
-    for (EdgeId e : g.incident(v)) {
-      const NodeId u = g.other(e, v);
+    for (const Arc a : g.neighbors(v)) {
+      const NodeId u = a.node;
       if (!allowed[static_cast<std::size_t>(u)]) continue;
-      const Weight nd = d + g.weight(e);
+      const Weight nd = d + g.weight(a.edge);
       Weight& du = dist[static_cast<std::size_t>(u)];
       if (du == ShortestPaths::kUnreachable || nd < du) {
         du = nd;

@@ -25,14 +25,14 @@ RootedTree induced_spt(const Graph& g, const Cluster& cluster,
     const auto [d, v] = heap.top();
     heap.pop();
     if (d > dist[static_cast<std::size_t>(v)]) continue;
-    for (EdgeId e : g.incident(v)) {
-      const NodeId u = g.other(e, v);
+    for (const Arc a : g.neighbors(v)) {
+      const NodeId u = a.node;
       if (!in[static_cast<std::size_t>(u)]) continue;
-      const Weight nd = d + g.weight(e);
+      const Weight nd = d + g.weight(a.edge);
       Weight& du = dist[static_cast<std::size_t>(u)];
       if (du == -1 || nd < du) {
         du = nd;
-        parent[static_cast<std::size_t>(u)] = e;
+        parent[static_cast<std::size_t>(u)] = a.edge;
         heap.emplace(nd, u);
       }
     }

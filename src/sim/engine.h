@@ -41,6 +41,10 @@ class Context {
   std::span<const EdgeId> incident() const {
     return graph().incident(self_);
   }
+  /// Incident arcs (edge id, other endpoint) straight out of the CSR
+  /// arrays — the zero-copy form of the incident()/neighbor() pair for
+  /// per-hop loops (see graph/graph.h).
+  NeighborView neighbors() const { return graph().neighbors(self_); }
   NodeId neighbor(EdgeId e) const { return graph().other(e, self_); }
   Weight edge_weight(EdgeId e) const { return graph().weight(e); }
 

@@ -8,7 +8,13 @@ namespace csca {
 
 Network::Network(const Graph& g, const ProcessFactory& factory,
                  std::unique_ptr<DelayModel> delay, std::uint64_t seed)
+    : Network(g, ProcessStore::from_factory(g.node_count(), factory),
+              std::move(delay), seed) {}
+
+Network::Network(const Graph& g, ProcessStore store,
+                 std::unique_ptr<DelayModel> delay, std::uint64_t seed)
     : graph_(&g),
+      processes_(std::move(store)),
       delay_(std::move(delay)),
       rng_(seed),
       seed_(seed),
@@ -18,12 +24,13 @@ Network::Network(const Graph& g, const ProcessFactory& factory,
           std::vector<std::int64_t>(static_cast<std::size_t>(g.edge_count()), 0)},
       finish_time_(static_cast<std::size_t>(g.node_count()), -1.0) {
   require(delay_ != nullptr, "delay model must not be null");
-  processes_.reserve(static_cast<std::size_t>(g.node_count()));
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    auto p = factory(v);
-    require(p != nullptr, "process factory returned null");
-    processes_.push_back(std::move(p));
-  }
+  require(processes_.size() == g.node_count(),
+          "process store size must match the node count");
+  // Pre-size the tiered queue from the topology: wavefront workloads
+  // hold O(n + m) deliveries in flight at peak, and million-event runs
+  // should not pay repeated far-tier regrowth to discover that.
+  queue_.reserve(static_cast<std::size_t>(g.node_count()) +
+                 static_cast<std::size_t>(g.edge_count()));
 }
 
 void Network::set_keyed_delays(bool on) {
@@ -207,7 +214,7 @@ void Network::ensure_started() {
     // A node crashed at time 0 never participates at all.
     if (faults_ != nullptr && faults_->crashed(v, 0.0)) continue;
     Context ctx = make_context(v);
-    processes_[static_cast<std::size_t>(v)]->on_start(ctx);
+    processes_.at(v).on_start(ctx);
   }
 }
 
@@ -233,7 +240,7 @@ void Network::deliver(HeapKey key) {
   ++stats_.events;
   if (observer_) observer_->on_deliver(*this, to, msg, now_);
   Context ctx = make_context(to);
-  processes_[static_cast<std::size_t>(to)]->on_message(ctx, msg);
+  processes_.at(to).on_message(ctx, msg);
 }
 
 RunStats Network::run(double max_time) {

@@ -24,6 +24,7 @@
 #include "sim/engine.h"
 #include "sim/event_heap.h"
 #include "sim/message.h"
+#include "sim/process_store.h"
 #include "util/rng.h"
 
 namespace csca {
@@ -96,10 +97,17 @@ class InvariantObserver {
 class Network : public ProcessHost, private EngineBackend {
  public:
   using ProcessFactory = csca::ProcessFactory;
+  using ProcessStore = PooledStore<Process>;
 
   /// Builds one process per node via factory. The delay model services
   /// every edge; seed drives all its randomness.
   Network(const Graph& g, const ProcessFactory& factory,
+          std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1);
+
+  /// Hosts a pre-built (typically pooled — see sim/process_store.h)
+  /// store of g.node_count() processes. The million-node entry point:
+  /// no per-node allocation happens inside the engine.
+  Network(const Graph& g, ProcessStore store,
           std::unique_ptr<DelayModel> delay, std::uint64_t seed = 1);
 
   /// Switches delay draws to the keyed entry point
@@ -162,7 +170,12 @@ class Network : public ProcessHost, private EngineBackend {
 
   Process& process(NodeId v) override {
     graph_->check_node(v);
-    return *processes_[static_cast<std::size_t>(v)];
+    return processes_.at(v);
+  }
+
+  /// Bytes of pooled per-node protocol state (see docs/scale.md).
+  std::size_t process_state_bytes() const {
+    return processes_.state_bytes();
   }
 
   const Graph& graph() const override { return *graph_; }
@@ -220,7 +233,7 @@ class Network : public ProcessHost, private EngineBackend {
   void deliver(HeapKey key);
 
   const Graph* graph_;
-  std::vector<std::unique_ptr<Process>> processes_;
+  ProcessStore processes_;
   std::unique_ptr<DelayModel> delay_;
   Rng rng_;
   std::uint64_t seed_;

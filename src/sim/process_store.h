@@ -1,0 +1,110 @@
+// Pooled per-node protocol state.
+//
+// Engines host one process per node. The historical representation — a
+// vector of unique_ptr built from a factory — costs one heap allocation
+// per node and scatters protocol state across the allocator's arenas,
+// which is exactly the footprint shape the bench_scale bytes/node
+// accounting exists to kill (ROADMAP item 2; same idiom as the pooled
+// Message arena in sim/message.h and the EventHeap slot arena).
+//
+// A PooledStore interns all n processes of one concrete type into a
+// single contiguous array and erases the type behind a function-pointer
+// thunk, so engines address "process v" without knowing the concrete
+// type and without a pointer chase per node. The factory path stays as a
+// fallback (PooledStore::from_factory) for heterogeneous or
+// move-averse process types; every engine constructor taking a
+// ProcessFactory simply wraps it.
+//
+// State lifetime: the store owns the processes; engines take the store
+// by value (it is a couple of pointers plus a shared_ptr) and the
+// analysis layer keeps reading protocol state through
+// ProcessHost::process_as after the run, exactly as before.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/require.h"
+
+namespace csca {
+
+/// Type-erased contiguous store of n objects derived from Base.
+/// Base = Process for the asynchronous engines, SyncProcess for the
+/// pulse engine.
+template <typename Base>
+class PooledStore {
+ public:
+  using Factory = std::function<std::unique_ptr<Base>(NodeId)>;
+
+  PooledStore() = default;
+
+  /// Interns n processes of concrete type T into one contiguous arena.
+  /// make(v) returns the T for node v by value; T must be movable.
+  template <typename T, typename MakeFn>
+  static PooledStore pooled(int n, MakeFn make) {
+    static_assert(std::is_base_of_v<Base, T>,
+                  "pooled element type must derive from the store base");
+    require(n >= 0, "store size must be non-negative");
+    auto arena = std::make_shared<std::vector<T>>();
+    arena->reserve(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) arena->emplace_back(make(v));
+    PooledStore s;
+    s.count_ = n;
+    s.data_ = arena->data();
+    s.at_ = [](void* data, std::size_t i) -> Base* {
+      return static_cast<T*>(data) + i;
+    };
+    s.state_bytes_ = static_cast<std::size_t>(n) * sizeof(T);
+    s.owner_ = std::move(arena);
+    return s;
+  }
+
+  /// Fallback: one heap object per node via the historical factory.
+  /// Keeps arbitrary (non-movable, heterogeneous) process types working;
+  /// state_bytes() then counts only the pointer array, since element
+  /// footprints are behind opaque vtables.
+  static PooledStore from_factory(int n, const Factory& factory) {
+    require(n >= 0, "store size must be non-negative");
+    auto slots = std::make_shared<std::vector<std::unique_ptr<Base>>>();
+    slots->reserve(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      auto p = factory(v);
+      require(p != nullptr, "process factory returned null");
+      slots->push_back(std::move(p));
+    }
+    PooledStore s;
+    s.count_ = n;
+    s.data_ = slots->data();
+    s.at_ = [](void* data, std::size_t i) -> Base* {
+      return (*(static_cast<std::unique_ptr<Base>*>(data) + i)).get();
+    };
+    s.state_bytes_ =
+        static_cast<std::size_t>(n) * sizeof(std::unique_ptr<Base>);
+    s.owner_ = std::move(slots);
+    return s;
+  }
+
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  Base& at(NodeId v) const {
+    require(v >= 0 && v < count_, "process store index out of range");
+    return *at_(data_, static_cast<std::size_t>(v));
+  }
+
+  /// Bytes of pooled protocol state (the numerator of the bench_scale
+  /// bytes/node metric for the arena path; see docs/scale.md).
+  std::size_t state_bytes() const { return state_bytes_; }
+
+ private:
+  int count_ = 0;
+  void* data_ = nullptr;
+  Base* (*at_)(void*, std::size_t) = nullptr;
+  std::size_t state_bytes_ = 0;
+  std::shared_ptr<void> owner_;
+};
+
+}  // namespace csca

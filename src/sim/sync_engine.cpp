@@ -8,15 +8,22 @@ namespace csca {
 
 SyncEngine::SyncEngine(const Graph& g, const ProcessFactory& factory,
                        bool enforce_in_synch)
+    : SyncEngine(g, ProcessStore::from_factory(g.node_count(), factory),
+                 enforce_in_synch) {}
+
+SyncEngine::SyncEngine(const Graph& g, ProcessStore store,
+                       bool enforce_in_synch)
     : graph_(&g),
+      processes_(std::move(store)),
       enforce_in_synch_(enforce_in_synch),
       finished_(static_cast<std::size_t>(g.node_count()), 0) {
-  processes_.reserve(static_cast<std::size_t>(g.node_count()));
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    auto p = factory(v);
-    require(p != nullptr, "process factory returned null");
-    processes_.push_back(std::move(p));
-  }
+  require(processes_.size() == g.node_count(),
+          "process store size must match the node count");
+  // Pre-size the tiered queue from the topology (cf. Network): the
+  // pulse engine's far horizon fills with one event per in-flight
+  // transmission, O(n + m) for the synchronous wavefront protocols.
+  queue_.reserve(static_cast<std::size_t>(g.node_count()) +
+                 static_cast<std::size_t>(g.edge_count()));
 }
 
 void SyncEngine::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
@@ -112,7 +119,7 @@ void SyncEngine::ensure_started() {
   for (NodeId v = 0; v < graph_->node_count(); ++v) {
     if (faults_ != nullptr && faults_->crashed(v, 0.0)) continue;
     EngineContext ctx(*this, v);
-    processes_[static_cast<std::size_t>(v)]->on_start(ctx);
+    processes_.at(v).on_start(ctx);
   }
 }
 
@@ -133,9 +140,9 @@ RunStats SyncEngine::run(std::int64_t max_pulse) {
         msg.edge == kNoEdge ? msg.from : graph_->other(msg.edge, msg.from);
     EngineContext ctx(*this, to);
     if (!is_wakeup) {
-      processes_[static_cast<std::size_t>(to)]->on_message(ctx, msg);
+      processes_.at(to).on_message(ctx, msg);
     } else {
-      processes_[static_cast<std::size_t>(to)]->on_wakeup(ctx);
+      processes_.at(to).on_wakeup(ctx);
     }
   }
   return stats_;

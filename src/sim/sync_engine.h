@@ -21,6 +21,7 @@
 #include "graph/graph.h"
 #include "sim/event_heap.h"
 #include "sim/message.h"
+#include "sim/process_store.h"
 #include "sim/sync_process.h"
 
 namespace csca {
@@ -30,10 +31,16 @@ class FaultInjector;
 class SyncEngine {
  public:
   using ProcessFactory = std::function<std::unique_ptr<SyncProcess>(NodeId)>;
+  using ProcessStore = PooledStore<SyncProcess>;
 
   /// If enforce_in_synch, sends on an edge of weight w are only legal at
   /// pulses divisible by w (Def. 4.2); a violating protocol throws.
   SyncEngine(const Graph& g, const ProcessFactory& factory,
+             bool enforce_in_synch = false);
+
+  /// Hosts a pre-built (typically pooled) store of g.node_count()
+  /// processes; no per-node allocation inside the engine.
+  SyncEngine(const Graph& g, ProcessStore store,
              bool enforce_in_synch = false);
 
   /// Runs until quiescence or until the next pending event lies beyond
@@ -58,7 +65,12 @@ class SyncEngine {
 
   SyncProcess& process(NodeId v) {
     graph_->check_node(v);
-    return *processes_[static_cast<std::size_t>(v)];
+    return processes_.at(v);
+  }
+
+  /// Bytes of pooled per-node protocol state (see docs/scale.md).
+  std::size_t process_state_bytes() const {
+    return processes_.state_bytes();
   }
 
   template <typename T>
@@ -126,7 +138,7 @@ class SyncEngine {
   void ensure_started();
 
   const Graph* graph_;
-  std::vector<std::unique_ptr<SyncProcess>> processes_;
+  ProcessStore processes_;
   bool enforce_in_synch_;
   std::int64_t pulse_ = 0;
   std::uint32_t seq_ = 0;

@@ -45,14 +45,14 @@ GammaPartition build_gamma_partition(const Graph& g,
       std::vector<std::pair<NodeId, EdgeId>> next;  // (node, parent edge)
       std::vector<char> seen(n, 0);
       for (NodeId v : frontier) {
-        for (EdgeId e : g.incident(v)) {
-          if (!edge_mask[static_cast<std::size_t>(e)]) continue;
-          const NodeId u = g.other(e, v);
+        for (const Arc a : g.neighbors(v)) {
+          if (!edge_mask[static_cast<std::size_t>(a.edge)]) continue;
+          const NodeId u = a.node;
           if (out.covered(u) || seen[static_cast<std::size_t>(u)]) {
             continue;
           }
           seen[static_cast<std::size_t>(u)] = 1;
-          next.emplace_back(u, e);
+          next.emplace_back(u, a.edge);
         }
       }
       if (next.empty() ||

@@ -151,6 +151,21 @@ TEST(AnalyzeRules, Cost2NegativeReadsAreClean) {
   EXPECT_TRUE(scan("cost2_neg.cpp").findings.empty());
 }
 
+// ------------------------------------------------------------ SCALE-1
+
+TEST(AnalyzeRules, Scale1PositiveFiresOnEachLoopAllocation) {
+  EXPECT_EQ(rule_lines(scan("scale1_pos.cpp", sim_scope())),
+            (RuleLines{{"SCALE-1", 14}, {"SCALE-1", 18}}));
+}
+
+TEST(AnalyzeRules, Scale1SilentOutsideSimVisibleScope) {
+  EXPECT_TRUE(scan("scale1_pos.cpp").findings.empty());
+}
+
+TEST(AnalyzeRules, Scale1NegativeHoistedAllocationIsClean) {
+  EXPECT_TRUE(scan("scale1_neg.cpp", sim_scope()).findings.empty());
+}
+
 // The rules read code tokens only: entropy names inside comments,
 // string literals, and raw strings are not findings.
 TEST(AnalyzeRules, CommentsAndStringsAreNotCode) {

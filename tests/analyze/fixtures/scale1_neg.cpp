@@ -1,0 +1,22 @@
+// SCALE-1 negative fixture: the allocations are hoisted above the
+// loops — one arena sized for all n elements, one pre-reserved vector.
+// The loops only fill storage that already exists.
+#include <memory>
+#include <vector>
+
+struct Node {
+  int id;
+};
+
+int build(int n) {
+  auto arena = std::make_unique<Node[]>(static_cast<std::size_t>(n));
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    arena[v].id = v;
+    ids.push_back(v);
+  }
+  int sum = 0;
+  for (int id : ids) sum += arena[id].id;
+  return sum;
+}

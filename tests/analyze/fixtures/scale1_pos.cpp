@@ -1,0 +1,26 @@
+// SCALE-1 positive fixture: heap allocation per loop iteration — one
+// braced make_unique, one unbraced-body `new`. Scanned with
+// sim_visible = true (as if it lived under src/sim/).
+#include <memory>
+#include <vector>
+
+struct Node {
+  int id;
+};
+
+int build(int n) {
+  std::vector<std::unique_ptr<Node>> owned;
+  for (int v = 0; v < n; ++v) {
+    owned.push_back(std::make_unique<Node>());
+  }
+  std::vector<Node*> raw;
+  int i = 0;
+  while (i < n) raw.push_back(new Node{i++});
+  int sum = 0;
+  for (const auto& p : owned) sum += p->id;
+  for (Node* p : raw) {
+    sum += p->id;
+    delete p;
+  }
+  return sum;
+}

@@ -93,9 +93,9 @@ TEST(FaultFreePath, InactivePlanIsByteIdenticalOnAllEngines) {
   }
 
   ShardEngine par_plain(g, storm_factory(), make_uniform_delay(0, 1), 5,
-                        ShardEngine::Options{2, 0});
+                        ShardEngine::Options{2, 0, {}});
   ShardEngine par_faulted(g, storm_factory(), make_uniform_delay(0, 1), 5,
-                          ShardEngine::Options{2, 0});
+                          ShardEngine::Options{2, 0, {}});
   par_faulted.set_faults(&inj);
   expect_stats_identical(par_plain.run(), par_faulted.run(), "shards");
 }
@@ -381,7 +381,7 @@ TEST(FaultNetwork, DupPlanLeavesGoldenLedgerIdenticalOnAllEngines) {
     }
 
     ShardEngine sharded(g, factory, make_uniform_delay(0, 1), 5,
-                        ShardEngine::Options{2, 0});
+                        ShardEngine::Options{2, 0, {}});
     sharded.set_faults(&inj);
     const RunStats shard_stats = sharded.run();
     EXPECT_EQ(shard_stats.algorithm_cost, base.algorithm_cost) << name;

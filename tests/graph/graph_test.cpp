@@ -92,6 +92,59 @@ TEST(Graph, TotalWeightOfEdgeSubset) {
   EXPECT_EQ(total_weight(g, subset), 14);
 }
 
+TEST(Graph, NeighborsPairsEdgeWithOtherEndpoint) {
+  Graph g(4);
+  const EdgeId e01 = g.add_edge(0, 1, 1);
+  const EdgeId e02 = g.add_edge(0, 2, 2);
+  const EdgeId e12 = g.add_edge(1, 2, 3);
+  std::vector<std::pair<EdgeId, NodeId>> seen;
+  for (const Arc a : g.neighbors(2)) seen.emplace_back(a.edge, a.node);
+  EXPECT_EQ(seen, (std::vector<std::pair<EdgeId, NodeId>>{{e02, 0},
+                                                          {e12, 1}}));
+  EXPECT_EQ(g.neighbors(3).size(), 0u);
+  EXPECT_TRUE(g.neighbors(3).empty());
+  EXPECT_EQ(g.neighbors(0).size(), static_cast<std::size_t>(g.degree(0)));
+  EXPECT_EQ(g.neighbors(0)[0].edge, e01);
+}
+
+// The CSR arrays rebuild lazily after mutation; slices must always
+// list a node's edges in insertion (edge-id) order — the layout every
+// golden ledger was recorded against.
+TEST(Graph, CsrRebuildsAfterInterleavedReadsAndInserts) {
+  Graph g(5);
+  const EdgeId e01 = g.add_edge(0, 1, 1);
+  EXPECT_EQ(g.incident(0).size(), 1u);  // forces a CSR build...
+  const EdgeId e03 = g.add_edge(0, 3, 2);  // ...then dirties it
+  const EdgeId e04 = g.add_edge(0, 4, 3);
+  const auto inc0 = g.incident(0);
+  EXPECT_EQ(std::vector<EdgeId>(inc0.begin(), inc0.end()),
+            (std::vector<EdgeId>{e01, e03, e04}));
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Graph, FindEdgeSurvivesIndexGrowth) {
+  const int n = 200;  // path: enough inserts to grow the hash index
+  Graph g(n);
+  g.reserve_edges(static_cast<std::size_t>(n));
+  std::vector<EdgeId> ids;
+  for (NodeId v = 0; v + 1 < n; ++v) ids.push_back(g.add_edge(v, v + 1, 1));
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    EXPECT_EQ(g.find_edge(v, v + 1), ids[static_cast<std::size_t>(v)]);
+    EXPECT_EQ(g.find_edge(v + 1, v), ids[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_EQ(g.find_edge(0, n - 1), kNoEdge);
+}
+
+TEST(Graph, MemoryBytesGrowsWithEdges) {
+  Graph g(16);
+  const std::size_t empty = g.memory_bytes();
+  EXPECT_GT(empty, 0u);
+  for (NodeId v = 0; v + 1 < 16; ++v) g.add_edge(v, v + 1, 1);
+  EXPECT_EQ(g.incident(8).size(), 2u);
+  EXPECT_GT(g.memory_bytes(), empty);
+}
+
 TEST(DisjointSets, UniteAndFind) {
   DisjointSets ds(5);
   EXPECT_FALSE(ds.same(0, 1));

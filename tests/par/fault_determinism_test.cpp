@@ -181,7 +181,7 @@ TEST(FaultDeterminism, ShardEngineMatchesKeyedNetworkUnderAllFaultClasses) {
         const std::string label = std::string(p.name) + "/" + sched.name +
                                   "@" + std::to_string(shards) + "shards";
         ShardEngine eng(g, factory, sched.make(), sched.seed,
-                        ShardEngine::Options{shards, 0});
+                        ShardEngine::Options{shards, 0, {}});
         eng.set_faults(&inj);
         const RunStats par_stats = eng.run();
         expect_stats_identical(par_stats, ref_stats, label);
@@ -220,7 +220,7 @@ TEST(FaultDeterminism, ArqRecoveryIsBitIdenticalAcrossShardCounts) {
   for (const int shards : {1, 2, 4}) {
     const std::string label = std::to_string(shards) + "shards";
     ShardEngine eng(g, factory, make_uniform_delay(0.0, 1.0), seed,
-                    ShardEngine::Options{shards, 0});
+                    ShardEngine::Options{shards, 0, {}});
     eng.set_faults(&inj);
     const RunStats par_stats = eng.run();
     expect_stats_identical(par_stats, ref_stats, label);

@@ -128,7 +128,7 @@ TEST(ShardEngine, MatchesKeyedNetworkBitForBitOnRandomSchedules) {
       const std::string label = std::string(sched.name) + "@" +
                                 std::to_string(shards) + "shards";
       ShardEngine eng(g, factory, sched.make(), sched.seed,
-                      ShardEngine::Options{shards, 0});
+                      ShardEngine::Options{shards, 0, {}});
       const RunStats par_stats = eng.run();
       expect_stats_identical(par_stats, ref_stats, label);
       for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -176,7 +176,7 @@ TEST(ShardEngine, FifoPreservedAcrossShardBoundaryUnderZeroDelayTies) {
   g.add_edge(0, 1, 1);
   ShardEngine eng(
       g, [](NodeId) { return std::make_unique<BurstSender>(); },
-      make_uniform_delay(0.0, 1.0), 2026, ShardEngine::Options{2, 0});
+      make_uniform_delay(0.0, 1.0), 2026, ShardEngine::Options{2, 0, {}});
   ASSERT_EQ(eng.shard_count(), 2);
   ASSERT_NE(eng.partition().shard(0), eng.partition().shard(1));
   eng.run();
@@ -219,7 +219,7 @@ TEST(ShardEngine, ZeroDelayCascadeRunsInWaveRounds) {
   EXPECT_EQ(ref_stats.completion_time, 0.0);
 
   ShardEngine eng(g, factory, make_uniform_delay(0.0, 0.0), 5,
-                  ShardEngine::Options{3, 0});
+                  ShardEngine::Options{3, 0, {}});
   const RunStats par_stats = eng.run();
   expect_stats_identical(par_stats, ref_stats, "zero-delay cascade");
   EXPECT_GT(eng.wave_rounds(), 0)
@@ -236,7 +236,7 @@ TEST(ShardEngine, RunIsSingleShot) {
   const Graph g = path_graph(4, WeightSpec::constant(1), rng);
   ShardEngine eng(
       g, [](NodeId) { return std::make_unique<Storm>(1); },
-      make_exact_delay(), 1, ShardEngine::Options{2, 0});
+      make_exact_delay(), 1, ShardEngine::Options{2, 0, {}});
   eng.run();
   EXPECT_THROW(eng.run(), std::exception);
 }
@@ -248,10 +248,10 @@ TEST(ShardEngine, ThreadCountMayDifferFromShardCount) {
   const Graph g = connected_gnp(14, 0.3, WeightSpec::uniform(1, 8), rng);
   const auto factory = [](NodeId) { return std::make_unique<Storm>(2); };
   ShardEngine wide(g, factory, make_uniform_delay(0.0, 1.0), 11,
-                   ShardEngine::Options{4, 0});
+                   ShardEngine::Options{4, 0, {}});
   const RunStats a = wide.run();
   ShardEngine narrow(g, factory, make_uniform_delay(0.0, 1.0), 11,
-                     ShardEngine::Options{4, 1});
+                     ShardEngine::Options{4, 1, {}});
   const RunStats b = narrow.run();
   expect_stats_identical(a, b, "threads=4 vs threads=1");
 }

@@ -100,5 +100,84 @@ TEST(ShardPartition, HeavyEdgesPreferentiallyInternal) {
   EXPECT_NE(p.shard(0), p.shard(4));
 }
 
+// ---- delegate (hub) partitioning ------------------------------------
+
+// `centers` star centers joined in a chain, each with `leaves` leaves.
+// Leaf ids: centers + c*leaves + l for center c.
+Graph hub_chain(int centers, int leaves) {
+  Graph g(centers + centers * leaves);
+  for (NodeId c = 0; c + 1 < centers; ++c) g.add_edge(c, c + 1, 1);
+  NodeId next = centers;
+  for (NodeId c = 0; c < centers; ++c) {
+    for (int l = 0; l < leaves; ++l) g.add_edge(c, next++, 1);
+  }
+  return g;
+}
+
+TEST(ShardPartition, HubsDetectedAndSpreadRoundRobin) {
+  // Four degree-71/72 centers clear the 64-degree floor; round-robin
+  // assignment must put two on each of two shards instead of letting
+  // the greedy growth stack all four heavy mailboxes on one worker.
+  const Graph g = hub_chain(4, 70);
+  const ShardPartition p = partition_shards(g, 2);
+  expect_valid(p, g, 2);
+  ASSERT_EQ(p.hubs.size(), 4u);
+  std::vector<NodeId> hubs = p.hubs;
+  std::sort(hubs.begin(), hubs.end());
+  EXPECT_EQ(hubs, (std::vector<NodeId>{0, 1, 2, 3}));
+  int per_shard[2] = {0, 0};
+  for (const NodeId h : p.hubs) ++per_shard[p.shard(h)];
+  EXPECT_EQ(per_shard[0], 2);
+  EXPECT_EQ(per_shard[1], 2);
+}
+
+TEST(ShardPartition, LeavesClusterWithTheirHub) {
+  const Graph g = hub_chain(4, 70);
+  const ShardPartition p = partition_shards(g, 2);
+  int co_located = 0;
+  for (NodeId c = 0; c < 4; ++c) {
+    for (int l = 0; l < 70; ++l) {
+      const NodeId leaf = 4 + c * 70 + l;
+      if (p.shard(leaf) == p.shard(c)) ++co_located;
+    }
+  }
+  // The per-shard growth is seeded from that shard's hubs'
+  // neighborhoods, so leaves overwhelmingly follow their center.
+  EXPECT_GE(co_located, 4 * 70 * 9 / 10);
+}
+
+TEST(ShardPartition, HubFreeGraphsTakeTheLegacyPath) {
+  // Regular small graphs stay under the 64-degree floor: the default
+  // options must reproduce the historical greedy partition exactly
+  // (the layout every pinned sharded golden was recorded against).
+  Rng rng(4);
+  const Graph g = grid_graph(6, 6, WeightSpec::uniform(1, 8), rng);
+  for (int k : {2, 4}) {
+    const ShardPartition with_detection = partition_shards(g, k);
+    PartitionOptions off;
+    off.hub_factor = 0;
+    const ShardPartition legacy = partition_shards(g, k, off);
+    EXPECT_EQ(with_detection.shard_of, legacy.shard_of) << k;
+    EXPECT_TRUE(with_detection.hubs.empty()) << k;
+  }
+}
+
+TEST(ShardPartition, HubDetectionDisabledByOptions) {
+  const Graph g = hub_chain(4, 70);
+  PartitionOptions off;
+  off.hub_factor = 0;
+  const ShardPartition p = partition_shards(g, 2, off);
+  expect_valid(p, g, 2);
+  EXPECT_TRUE(p.hubs.empty());
+}
+
+TEST(ShardPartition, SingleShardNeverDelegates) {
+  const Graph g = hub_chain(4, 70);
+  const ShardPartition p = partition_shards(g, 1);
+  expect_valid(p, g, 1);
+  EXPECT_EQ(p.shards, 1);
+  EXPECT_TRUE(p.hubs.empty());
+}
+
 }  // namespace
 }  // namespace csca

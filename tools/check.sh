@@ -2,7 +2,8 @@
 # Full verification gate: tier-1 suite with warnings promoted to errors,
 # the same suite under ASan+UBSan, the parallel suite under TSan, the
 # static-analysis gate (csca_analyze over src/ tools/ bench/; see
-# docs/analysis.md), the lint pass, and the engine bench in smoke mode. The protocol-analysis
+# docs/analysis.md), the lint pass, and the engine + capacity benches
+# in smoke mode. The protocol-analysis
 # sweep (csca_check --smoke) runs as a ctest entry in both
 # configurations, then again here sequentially vs parallelized to show
 # the multi-run harness wall-clock side by side, and once more under a
@@ -132,5 +133,11 @@ fi
 echo "== engine bench (smoke) =="
 ./build/bench/bench_engine --smoke --out=build/BENCH_engine.json \
   --par-out=build/BENCH_parallel.json
+
+echo "== capacity bench (scale table, smoke; docs/scale.md) =="
+# Deterministic small-n rows of the scale table (the full 10^6-node
+# rows run via bench_scale/csca_sweep without --smoke). Prints the
+# state/graph bytes-per-node split and the process peak RSS.
+./build/bench/bench_scale --smoke --out-dir=build/scale_smoke
 
 echo "check.sh: all gates passed"
