@@ -61,6 +61,7 @@ FileCtx classify_path(const std::string& rel_path) {
   for (std::string_view f :
        {"src/sim/message.h", "src/sim/network.cpp",
         "src/sim/sync_engine.cpp", "src/par/shard_engine.cpp",
+        "src/par/timewarp_engine.cpp",
         "src/fault/reliable_link.cpp", "src/fault/sync_reliable_link.cpp"}) {
     if (rel_path == f) ctx.ledger_accessor = true;
   }

@@ -20,6 +20,7 @@ std::vector<SweepSpec> builtin_tables() {
   out.push_back(table_fault_degradation());
   out.push_back(table_fault_ctl());
   out.push_back(table_scale());
+  out.push_back(table_timewarp());
   return out;
 }
 

@@ -42,6 +42,7 @@ SweepSpec table_a1_cover();
 SweepSpec table_fault_degradation();
 SweepSpec table_fault_ctl();
 SweepSpec table_scale();
+SweepSpec table_timewarp();
 
 /// All tables, in the id order above.
 std::vector<SweepSpec> builtin_tables();

@@ -103,10 +103,29 @@ SubjectOutcome run_on_shards(const Graph& g, const ProcessFactory& factory,
   return out;
 }
 
+SubjectOutcome run_on_timewarp(const Graph& g, const ProcessFactory& factory,
+                               const ScheduleSpec& spec, int shards,
+                               const DigestFn& digest) {
+  SubjectOutcome out;
+  try {
+    TimeWarpEngine eng(g, factory, spec.make_delay(), spec.seed,
+                       TimeWarpEngine::Options{shards, 0, 256, {}});
+    const std::optional<FaultInjector> inj = make_injector(g, spec);
+    if (inj) eng.set_faults(&*inj);
+    out.stats = eng.run();
+    out.finished_nodes = count_finished(eng, g);
+    out.digest = digest(eng, inj ? out.degraded : out.violations);
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.error = e.what();
+  }
+  return out;
+}
+
 ScheduleCheckReport check_subject(
     const CheckSubject& subject, const Graph& g,
     const std::string& graph_name,
-    std::span<const ScheduleSpec> portfolio, int shards) {
+    std::span<const ScheduleSpec> portfolio, int shards, ParBackend backend) {
   require(!portfolio.empty(), "schedule portfolio must not be empty");
   require(shards == 0 || subject.run_par != nullptr,
           "subject has no parallel runner");
@@ -121,9 +140,9 @@ ScheduleCheckReport check_subject(
   bool have_reference = false;
   for (const ScheduleSpec& spec : portfolio) {
     const bool faulty = spec.make_faults && spec.make_faults(g).active();
-    const SubjectOutcome outcome = shards > 0
-                                       ? subject.run_par(g, spec, shards)
-                                       : subject.run(g, spec);
+    const SubjectOutcome outcome =
+        shards > 0 ? subject.run_par(g, spec, shards, backend)
+                   : subject.run(g, spec);
     ++report.runs;
     if (outcome.failed) {
       // A protocol ensure() tripping under injected faults is expected

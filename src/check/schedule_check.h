@@ -32,6 +32,7 @@
 
 #include "fault/fault_plan.h"
 #include "par/shard_engine.h"
+#include "par/timewarp_engine.h"
 #include "sim/network.h"
 
 namespace csca {
@@ -70,17 +71,28 @@ struct SubjectOutcome {
   std::string error;
 };
 
+/// Which parallel engine a sharded replay runs on. Both honor the same
+/// bit-identity contract against the keyed sequential Network, so the
+/// portfolio means the same thing on either — the backend dimension
+/// exists to catch bugs specific to one engine's synchronization
+/// (conservative windows vs optimistic rollback).
+enum class ParBackend {
+  kShard,     ///< conservative windows (par/shard_engine.h)
+  kTimeWarp,  ///< optimistic rollback + GVT commit (par/timewarp_engine.h)
+};
+
 /// A protocol adapter: given a graph and a schedule, run the protocol
 /// to completion with the invariant checker attached and digest its
 /// output. The digest must cover exactly the schedule-invariant part of
 /// the output (an MST edge set, distances — not a first-receipt tree).
-/// run_par replays the same subject on the sharded conservative engine
-/// (par/shard_engine.h) with the given shard count — same digest
-/// contract, but without the sequential-only invariant observer.
+/// run_par replays the same subject on the selected parallel engine
+/// with the given shard count — same digest contract, but without the
+/// sequential-only invariant observer.
 struct CheckSubject {
   std::string name;
   std::function<SubjectOutcome(const Graph&, const ScheduleSpec&)> run;
-  std::function<SubjectOutcome(const Graph&, const ScheduleSpec&, int)>
+  std::function<SubjectOutcome(const Graph&, const ScheduleSpec&, int,
+                               ParBackend)>
       run_par;
 };
 
@@ -131,7 +143,8 @@ ScheduleCheckReport check_subject(const CheckSubject& subject,
                                   const Graph& g,
                                   const std::string& graph_name,
                                   std::span<const ScheduleSpec> portfolio,
-                                  int shards = 0);
+                                  int shards = 0,
+                                  ParBackend backend = ParBackend::kShard);
 
 /// Digests read results through ProcessHost, so one digest closure
 /// validates the sequential and the sharded engine bit-for-bit.
@@ -157,5 +170,13 @@ SubjectOutcome run_checked(const Graph& g, const ProcessFactory& factory,
 SubjectOutcome run_on_shards(const Graph& g, const ProcessFactory& factory,
                              const ScheduleSpec& spec, int shards,
                              const DigestFn& digest);
+
+/// Optimistic counterpart of run_on_shards: the same factory and digest
+/// on a TimeWarpEngine. Deliveries that are speculated and rolled back
+/// never reach the committed ledger the digest reads, so the outcome is
+/// byte-comparable to both other engines.
+SubjectOutcome run_on_timewarp(const Graph& g, const ProcessFactory& factory,
+                               const ScheduleSpec& spec, int shards,
+                               const DigestFn& digest);
 
 }  // namespace csca

@@ -167,12 +167,13 @@ DigestFn spt_recur_digest(const Graph& g) {
 // reference run on the weighted synchronous engine supplies t_pi, then
 // the hosted asynchronous run executes under `spec` — on the sequential
 // Network with the invariant checker attached (shards == 0), or on the
-// sharded conservative engine via the synchronizer's host_factory
+// selected parallel engine via the synchronizer's host_factory
 // (shards > 0). The SynchronizedNetwork is built either way: it owns
 // the shared coordination data (beta tree, gamma partitions) the hosts
 // read.
 SubjectOutcome run_synchronized_bf(const Graph& g, const ScheduleSpec& spec,
-                                   SynchronizerKind kind, int shards) {
+                                   SynchronizerKind kind, int shards,
+                                   ParBackend backend) {
   SubjectOutcome out;
   try {
     const Graph ng =
@@ -205,16 +206,26 @@ SubjectOutcome run_synchronized_bf(const Graph& g, const ScheduleSpec& spec,
                              spec.make_delay(), spec.seed);
     ProcessHost* host = nullptr;
     std::unique_ptr<ShardEngine> par;
+    std::unique_ptr<TimeWarpEngine> opt_par;
     int hosted_finished = 0;
     if (shards > 0) {
-      par = std::make_unique<ShardEngine>(ng, snet.host_factory(factory),
-                                          spec.make_delay(), spec.seed,
-                                          ShardEngine::Options{shards, 0, {}});
-      if (inj) par->set_faults(&*inj);
-      out.stats = par->run();
-      host = par.get();
+      if (backend == ParBackend::kTimeWarp) {
+        opt_par = std::make_unique<TimeWarpEngine>(
+            ng, snet.host_factory(factory), spec.make_delay(), spec.seed,
+            TimeWarpEngine::Options{shards, 0, 256, {}});
+        if (inj) opt_par->set_faults(&*inj);
+        out.stats = opt_par->run();
+        host = opt_par.get();
+      } else {
+        par = std::make_unique<ShardEngine>(
+            ng, snet.host_factory(factory), spec.make_delay(), spec.seed,
+            ShardEngine::Options{shards, 0, {}});
+        if (inj) par->set_faults(&*inj);
+        out.stats = par->run();
+        host = par.get();
+      }
       for (NodeId v = 0; v < ng.node_count(); ++v) {
-        if (SynchronizedNetwork::hosted_finished_in(*par, v)) {
+        if (SynchronizedNetwork::hosted_finished_in(*host, v)) {
           ++hosted_finished;
         }
       }
@@ -279,9 +290,11 @@ CheckSubject plain_subject(std::string name, FactoryFn make_factory,
     return run_checked(g, make_factory(g), s, make_digest(g));
   };
   out.run_par = [make_factory, make_digest](const Graph& g,
-                                            const ScheduleSpec& s,
-                                            int shards) {
-    return run_on_shards(g, make_factory(g), s, shards, make_digest(g));
+                                            const ScheduleSpec& s, int shards,
+                                            ParBackend backend) {
+    return backend == ParBackend::kTimeWarp
+               ? run_on_timewarp(g, make_factory(g), s, shards, make_digest(g))
+               : run_on_shards(g, make_factory(g), s, shards, make_digest(g));
   };
   return out;
 }
@@ -290,10 +303,11 @@ CheckSubject sync_subject(std::string name, SynchronizerKind kind) {
   CheckSubject out;
   out.name = std::move(name);
   out.run = [kind](const Graph& g, const ScheduleSpec& s) {
-    return run_synchronized_bf(g, s, kind, /*shards=*/0);
+    return run_synchronized_bf(g, s, kind, /*shards=*/0, ParBackend::kShard);
   };
-  out.run_par = [kind](const Graph& g, const ScheduleSpec& s, int shards) {
-    return run_synchronized_bf(g, s, kind, shards);
+  out.run_par = [kind](const Graph& g, const ScheduleSpec& s, int shards,
+                       ParBackend backend) {
+    return run_synchronized_bf(g, s, kind, shards, backend);
   };
   return out;
 }

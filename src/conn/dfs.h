@@ -44,6 +44,16 @@ class DfsProcess final : public Process {
   Weight center_estimate() const { return est_; }
   Weight root_estimate() const { return est_root_; }
 
+  // Optimistic-engine snapshots. The arbiter pointer is shared
+  // configuration (owned by the host driving the run), not per-event
+  // state, so the plain member copy is the correct deep copy.
+  std::unique_ptr<Process> save_state() const override {
+    return std::make_unique<DfsProcess>(*this);
+  }
+  void restore_state(const Process& saved) override {
+    *this = dynamic_cast<const DfsProcess&>(saved);
+  }
+
  private:
   enum MsgType {
     kVisit = 0,   // token moves forward; data = [est, estr]

@@ -28,6 +28,14 @@ class FloodProcess final : public Process {
   EdgeId parent_edge() const { return parent_edge_; }
   bool reached() const { return reached_; }
 
+  // Optimistic-engine snapshots (plain value copy).
+  std::unique_ptr<Process> save_state() const override {
+    return std::make_unique<FloodProcess>(*this);
+  }
+  void restore_state(const Process& saved) override {
+    *this = dynamic_cast<const FloodProcess&>(saved);
+  }
+
  private:
   void spread(Context& ctx);
 

@@ -101,6 +101,28 @@ class ControllerHost final : public HostBase {
   /// permits the ARQ layer consumed on the root's behalf.
   Weight permits_issued() const { return issued_ + overhead(); }
 
+  // Optimistic-engine state saving: the snapshot is a full host copy
+  // whose inner protocol is cloned, so restoring from it cannot alias
+  // live state (a snapshot may outlive several rollbacks).
+  std::unique_ptr<Process> save_state() const override {
+    std::unique_ptr<DiffusingProcess> inner_copy = inner_->clone_state();
+    require(inner_copy != nullptr,
+            "controller rollback needs DiffusingProcess::clone_state");
+    auto copy = std::make_unique<ControllerHost>(
+        *g_, self_, is_initiator_, std::move(inner_copy), config_);
+    copy->copy_controller_state(*this);
+    return copy;
+  }
+
+  void restore_state(const Process& saved) override {
+    const auto& s = dynamic_cast<const ControllerHost&>(saved);
+    std::unique_ptr<DiffusingProcess> inner_copy = s.inner_->clone_state();
+    require(inner_copy != nullptr,
+            "controller rollback needs DiffusingProcess::clone_state");
+    inner_ = std::move(inner_copy);
+    copy_controller_state(s);
+  }
+
   void on_start(Context& ctx) override {
     if (!is_initiator_) return;
     Ctx c(*this, ctx);
@@ -152,6 +174,19 @@ class ControllerHost final : public HostBase {
   }
 
  private:
+  void copy_controller_state(const ControllerHost& o) {
+    parent_edge_ = o.parent_edge_;
+    balance_ = o.balance_;
+    consumed_ = o.consumed_;
+    pending_ = o.pending_;
+    pending_need_ = o.pending_need_;
+    last_request_ = o.last_request_;
+    request_outstanding_ = o.request_outstanding_;
+    grant_route_ = o.grant_route_;
+    issued_ = o.issued_;
+    exhausted_ = o.exhausted_;
+  }
+
   void maybe_request(Context& ctx) {
     if (request_outstanding_ || pending_.empty()) return;
     const Weight need = pending_need_ - balance_;
@@ -271,6 +306,26 @@ ProcessFactory apply_env(ProcessFactory base, const RunEnv& env) {
 
 }  // namespace
 
+ProcessFactory controller_host_factory(const Graph& g,
+                                       const DiffusingFactory& factory,
+                                       NodeId initiator,
+                                       const ControllerConfig& config) {
+  g.check_node(initiator);
+  require(config.threshold >= 0, "threshold must be non-negative");
+  // The graph is captured by reference (like every engine); the caller
+  // keeps it alive for the lifetime of the hosts.
+  return [&g, factory, initiator,
+          config](NodeId v) -> std::unique_ptr<Process> {
+    return std::make_unique<ControllerHost>(g, v, v == initiator,
+                                            factory(v), config);
+  };
+}
+
+ControllerView controller_view(const Process& host) {
+  const auto& h = dynamic_cast<const ControllerHost&>(host);
+  return ControllerView{h.exhausted(), h.permits_issued()};
+}
+
 DiffusingProcess& ControlledRun::inner(NodeId v) const {
   require(network != nullptr, "run has no live network");
   Process& outer = network->process(v);
@@ -316,14 +371,7 @@ ControlledRun run_controlled(const Graph& g,
   ControllerConfig cfg = config;
   if (env.meter != nullptr) cfg.meter = env.meter;
   out.network = std::make_shared<Network>(
-      g,
-      apply_env(
-          [&g, &factory, initiator, &cfg](
-              NodeId v) -> std::unique_ptr<Process> {
-            return std::make_unique<ControllerHost>(g, v, v == initiator,
-                                                    factory(v), cfg);
-          },
-          env),
+      g, apply_env(controller_host_factory(g, factory, initiator, cfg), env),
       std::move(delay), seed);
   if (env.faults != nullptr) out.network->set_faults(env.faults);
   out.stats = out.network->run();

@@ -108,6 +108,29 @@ struct ControlledRun {
 using DiffusingFactory =
     std::function<std::unique_ptr<DiffusingProcess>(NodeId)>;
 
+/// Snapshot of a controller host's admission state. Only the
+/// initiator's host issues permits, so the root's view carries the
+/// run-level budget signals (the fields ControlledRun publishes).
+struct ControllerView {
+  bool exhausted = false;
+  Weight permits_issued = 0;
+};
+
+/// The host factory run_controlled drives its Network with, exposed so
+/// the parallel engines can run the same controller stack. The hosts
+/// implement save_state/restore_state by cloning the inner protocol
+/// (DiffusingProcess::clone_state), which is what lets the optimistic
+/// Time Warp backend roll a controller vertex back.
+ProcessFactory controller_host_factory(const Graph& g,
+                                       const DiffusingFactory& factory,
+                                       NodeId initiator,
+                                       const ControllerConfig& config);
+
+/// Reads the admission state of a host built by
+/// controller_host_factory (meaningful at the initiator). Throws if
+/// `host` is not such a host.
+ControllerView controller_view(const Process& host);
+
 /// Runs the protocol bare (no metering); the baseline c_pi measurement.
 /// max_time bounds runaway protocols.
 ControlledRun run_uncontrolled(

@@ -5,6 +5,8 @@
 // meters every send against a permit budget.
 #pragma once
 
+#include <memory>
+
 #include "graph/graph.h"
 #include "sim/message.h"
 
@@ -45,6 +47,13 @@ class DiffusingProcess {
   virtual void on_start(DiffusingContext&) {}
 
   virtual void on_message(DiffusingContext&, const Message& m) = 0;
+
+  /// Deep copy for optimistic-engine state saving: controller hosts
+  /// running under the Time Warp backend clone their inner protocol
+  /// when they snapshot themselves. Default: unsupported (null).
+  virtual std::unique_ptr<DiffusingProcess> clone_state() const {
+    return nullptr;
+  }
 };
 
 }  // namespace csca

@@ -57,6 +57,15 @@ class GhsProcess final : public Process {
   /// One-line state dump for stall diagnostics.
   std::string debug_string() const;
 
+  // Optimistic-engine snapshots (plain value copy; the graph pointer is
+  // shared topology, everything else is per-node value state).
+  std::unique_ptr<Process> save_state() const override {
+    return std::make_unique<GhsProcess>(*this);
+  }
+  void restore_state(const Process& saved) override {
+    *this = dynamic_cast<const GhsProcess&>(saved);
+  }
+
  private:
   enum MsgType {
     kConnect = 0,    // data = [level]

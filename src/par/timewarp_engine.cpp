@@ -1,0 +1,902 @@
+#include "par/timewarp_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <unordered_map>
+
+#include "fault/fault_injector.h"
+#include "par/calqueue.h"
+#include "par/state_save.h"
+
+namespace csca {
+
+// ---------------------------------------------------------------------------
+// Shard: one optimistic event loop. Owns a subset of nodes, their
+// pending and processed-but-uncommitted events, their state snapshots,
+// and the undo records that make every speculative side effect exactly
+// reversible. Implements EngineBackend so protocol Contexts route sends
+// straight here.
+// ---------------------------------------------------------------------------
+
+struct TimeWarpEngine::Shard final : public EngineBackend {
+  Shard(TimeWarpEngine* engine, int shard_id)
+      : eng(engine), id(shard_id), states(&engine->processes_) {}
+
+  /// A pending event: arrival time, birth certificate (parent handler's
+  /// lineage + send index within that handler), and the arena slot
+  /// holding the message body. Same ordering as ShardEngine's Entry.
+  struct Entry {
+    double t = 0;
+    const Lineage* parent = nullptr;
+    std::uint32_t send_index = 0;
+    std::uint32_t slot = 0;
+  };
+
+  // -- ordering (same total order as ShardEngine::Shard, compared by
+  // value) ------------------------------------------------------------------
+  //
+  // ShardEngine can compare lineage chains by pointer: each handler
+  // executes once, so a record's address is its identity. Under Time
+  // Warp a positive that was annihilated and later re-sent (its sender
+  // rolled back and re-executed) reaches the receiver as a fresh slot,
+  // and its re-executed ancestors republish records that are value-equal
+  // but pointer-distinct to the originals. Descendants of the original
+  // and of the re-send can transiently coexist in one pending queue (the
+  // original's are dead, awaiting their scrub), so pointer-based
+  // equality would declare such chains incomparable — and a single
+  // incomparable pair breaks the strict weak ordering the pending heap
+  // needs, corrupting pop order between unrelated entries. The walk
+  // below therefore treats pointer-distinct levels with equal
+  // (t, send_index) as equal and carries the root-most send-index
+  // divergence as the tie, so duplicates land in the same equivalence
+  // class as their originals and every genuinely distinct pair stays
+  // strictly ordered.
+
+  /// Compares two chains leaf-up by value: <0, 0, >0. `tie` seeds the
+  /// send-index divergence of a deeper (leaf-ward) level; a difference
+  /// found closer to the root overrides it.
+  static int lineage_cmp(const Lineage* a, const Lineage* b, int tie) {
+    while (true) {
+      if (a == b) return tie;
+      if (a->t != b->t) return a->t < b->t ? -1 : 1;
+      if (a->parent == nullptr || b->parent == nullptr) {
+        if (a->origin != b->origin) return a->origin < b->origin ? -1 : 1;
+        return tie;
+      }
+      if (a->send_index != b->send_index) {
+        tie = a->send_index < b->send_index ? -1 : 1;
+      }
+      if (a->parent == b->parent) return tie;
+      a = a->parent;
+      b = b->parent;
+    }
+  }
+
+  static bool lineage_before(const Lineage* a, const Lineage* b) {
+    return lineage_cmp(a, b, 0) < 0;
+  }
+
+  static bool entry_before(const Entry& x, const Entry& y) {
+    if (x.t != y.t) return x.t < y.t;
+    if (x.parent == y.parent) return x.send_index < y.send_index;
+    // Pointer-distinct parents: the entries' own send indices are the
+    // leaf-level tie, decisive exactly when the parents are duplicates.
+    const int tie = x.send_index < y.send_index
+                        ? -1
+                        : (x.send_index > y.send_index ? 1 : 0);
+    return lineage_cmp(x.parent, y.parent, tie) < 0;
+  }
+
+  struct EntryTime {
+    double operator()(const Entry& e) const { return e.t; }
+  };
+  struct EntryAfter {
+    bool operator()(const Entry& x, const Entry& y) const {
+      return entry_before(y, x);
+    }
+  };
+
+  // -- speculative side-effect journal -------------------------------------
+
+  /// One reversible side effect of a speculatively executed handler.
+  /// rollback_from replays an event's records in reverse, so after undo
+  /// every engine-level counter holds the exact value it had before the
+  /// handler ran — the re-execution then re-draws byte-identical keyed
+  /// delays and fault fates.
+  struct Undo {
+    enum Kind : std::uint8_t {
+      kCount,    ///< a: channel — consumed one per-channel send count
+      kArrival,  ///< a: channel, d: previous FIFO clamp value
+      kCharge,   ///< a: channel, cls: class index — one ledger charge
+      kLocal,    ///< a: slot — enqueued a same-shard event
+      kCross,    ///< a: uid, dest: shard, d: arrival t — cross send
+      kFinish,   ///< a: node — set its finish time (was unset)
+    };
+    Kind kind = kCount;
+    std::uint8_t cls = 0;
+    std::int32_t dest = 0;
+    std::uint64_t a = 0;
+    double d = 0;
+  };
+
+  /// A processed-but-uncommitted event, in entry order: everything
+  /// needed to either commit it (bill the ledger deltas, fossil-collect
+  /// the snapshot) or roll it back (undo records, snapshot handle).
+  struct Done {
+    Entry entry;
+    NodeId node = kNoNode;
+    std::uint32_t save = 0;
+    std::int64_t alg_msgs = 0;
+    std::int64_t ctl_msgs = 0;
+    Weight alg_cost = 0;
+    Weight ctl_cost = 0;
+    bool is_edge = false;
+    std::vector<Undo> undo;
+    /// Exception the handler threw, if any. A throw during speculation
+    /// may just mean the event ran on a mis-ordered history (e.g. a
+    /// protocol invariant sees an ack before its cross-shard send has
+    /// arrived), so it is held rather than raised: a rollback discards
+    /// it with the speculation, and only if the event commits — its
+    /// history then provably equal to the sequential run's — does the
+    /// error surface, exactly where the sequential engine would throw.
+    std::exception_ptr error;
+  };
+
+  // -- message slots --------------------------------------------------------
+
+  /// Slot lifecycle. A slot keeps its message body across delivery
+  /// (rollback re-delivers from it); it frees only at commit or when a
+  /// dead (annihilated) entry is scrubbed off the pending queue.
+  enum : std::uint8_t { kEmpty = 0, kPendingSlot, kProcessedSlot, kDeadSlot };
+
+  std::uint32_t alloc_slot(Message&& m) {
+    std::uint32_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+      slots[slot] = std::move(m);
+    } else {
+      slot = static_cast<std::uint32_t>(slots.size());
+      slots.push_back(std::move(m));
+      slot_entry.push_back(Entry{});
+      slot_state.push_back(kEmpty);
+      slot_uid.push_back(0);
+      slot_lineage.push_back(nullptr);
+    }
+    slot_lineage[slot] = nullptr;
+    return slot;
+  }
+
+  void free_slot(std::uint32_t slot) {
+    if (slot_uid[slot] != 0) {
+      by_uid.erase(slot_uid[slot]);
+      slot_uid[slot] = 0;
+    }
+    slot_state[slot] = kEmpty;
+    free_slots.push_back(slot);
+  }
+
+  void push_local(double t, const Lineage* parent, std::uint32_t send_index,
+                  Message&& m) {
+    const std::uint32_t slot = alloc_slot(std::move(m));
+    const Entry en{t, parent, send_index, slot};
+    slot_state[slot] = kPendingSlot;
+    slot_entry[slot] = en;
+    slot_uid[slot] = 0;
+    pending.push(en);
+    if (recording) {
+      cur_undo.push_back(Undo{Undo::kLocal, 0, 0, slot, 0.0});
+    }
+  }
+
+  // -- lineage (identical arena discipline to ShardEngine) -----------------
+
+  const Lineage* handler_lineage() {
+    if (cur_lineage == nullptr) {
+      if (cur_is_start) {
+        arena.push_back(Lineage{-1.0, nullptr, 0, cur_node});
+        cur_lineage = &arena.back();
+      } else if (slot_lineage[cur_slot] != nullptr) {
+        // Re-execution after a rollback republishes the record the
+        // first execution allocated: pre- and post-rollback descendants
+        // then share chain pointers, which keeps lineage_cmp on its
+        // cheap pointer-equality exits and bounds arena growth. (The
+        // comparison itself is value-based, so the duplicates that slot
+        // memoization cannot prevent — an annihilated positive re-sent
+        // into a fresh slot — still order correctly.)
+        cur_lineage = slot_lineage[cur_slot];
+      } else {
+        arena.push_back(Lineage{now, cur_parent, cur_send_index, cur_node});
+        cur_lineage = &arena.back();
+        slot_lineage[cur_slot] = cur_lineage;
+      }
+    }
+    return cur_lineage;
+  }
+
+  // -- EngineBackend -------------------------------------------------------
+
+  double engine_now() const override { return now; }
+  const Graph& engine_graph() const override { return *eng->graph_; }
+
+  /// Bills one message of class cls on `channel`: the engine-level
+  /// per-channel count moves immediately (undoable), but the RunStats
+  /// deltas accumulate on the *current event* and reach the committed
+  /// ledger only if GVT passes it — never speculatively.
+  void bill(MsgClass cls, Weight w, std::size_t channel) {
+    ++eng->channel_messages_[class_index(cls)][channel];
+    if (recording) {
+      cur_undo.push_back(Undo{Undo::kCharge,
+                              static_cast<std::uint8_t>(class_index(cls)), 0,
+                              channel, 0.0});
+      if (cls == MsgClass::kAlgorithm) {
+        ++cur_alg_msgs;
+        cur_alg_cost += w;
+      } else {
+        ++cur_ctl_msgs;
+        cur_ctl_cost += w;
+      }
+    } else {
+      // on_start sends run once, before any speculation, and can never
+      // be rolled back: they commit immediately.
+      if (cls == MsgClass::kAlgorithm) {
+        ++start_stats.algorithm_messages;
+        start_stats.algorithm_cost += w;
+      } else {
+        ++start_stats.control_messages;
+        start_stats.control_cost += w;
+      }
+    }
+  }
+
+  std::uint64_t next_uid() {
+    return (static_cast<std::uint64_t>(id + 1) << 48) | uid_counter++;
+  }
+
+  void route(int dest, double t, const Lineage* lin, std::uint32_t idx,
+             Message&& m) {
+    if (dest == id) {
+      push_local(t, lin, idx, std::move(m));
+    } else {
+      const std::uint64_t uid = next_uid();
+      outbox[static_cast<std::size_t>(dest)].push_back(
+          TwCross{t, lin, idx, uid, false, std::move(m)});
+      if (recording) {
+        cur_undo.push_back(Undo{Undo::kCross, 0, dest, uid, t});
+      }
+    }
+  }
+
+  void engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) override {
+    const Graph& g = *eng->graph_;
+    const Edge& edge = g.edge(e);
+    require(edge.u == from || edge.v == from,
+            "process may only send on its own incident edges");
+    // Same directed-channel FIFO clamp and keyed draw as the sequential
+    // engine and ShardEngine. The channel's unique sender node lives in
+    // exactly this shard, so counters — and their rollback rewinds,
+    // which run on this same worker — are race-free.
+    const std::size_t channel =
+        static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+    if (eng->faults_ != nullptr) {
+      engine_send_faulty(from, e, edge, channel, std::move(m), cls);
+      return;
+    }
+    const double d = eng->delay_->delay_keyed(
+        e, edge.w,
+        channel_delay_key(eng->seed_, channel, eng->channel_sends_[channel]++));
+    if (recording) cur_undo.push_back(Undo{Undo::kCount, 0, 0, channel, 0.0});
+    require(d >= 0.0 && d <= static_cast<double>(edge.w),
+            "delay model produced delay outside [0, w(e)]");
+    require(d >= eng->delay_->min_delay(e, edge.w),
+            "delay model drew below its declared min_delay");
+    if (recording) {
+      cur_undo.push_back(
+          Undo{Undo::kArrival, 0, 0, channel, eng->last_arrival_[channel]});
+    }
+    const double arrival = std::max(now + d, eng->last_arrival_[channel]);
+    eng->last_arrival_[channel] = arrival;
+
+    m.from = from;
+    m.edge = e;
+    bill(cls, edge.w, channel);
+
+    const Lineage* lin = handler_lineage();
+    require(sends_in_handler != UINT32_MAX, "send index space exhausted");
+    const std::uint32_t idx = sends_in_handler++;
+    const NodeId to = g.other(e, from);
+    route(eng->part_.shard(to), arrival, lin, idx, std::move(m));
+  }
+
+  /// Mirror of ShardEngine::engine_send_faulty (itself a mirror of the
+  /// sequential engine's): identical keyed fate for the identical
+  /// logical send, identical count-consumption and FIFO-clamp order —
+  /// and every consumed count / clamp update journaled, so a rolled-back
+  /// faulted send replays its exact fate on re-execution.
+  void engine_send_faulty(NodeId from, EdgeId e, const Edge& edge,
+                          std::size_t channel, Message m, MsgClass cls) {
+    const FaultInjector& faults = *eng->faults_;
+    if (faults.crashed(from, now)) return;
+    const std::uint64_t count = eng->channel_sends_[channel]++;
+    if (recording) cur_undo.push_back(Undo{Undo::kCount, 0, 0, channel, 0.0});
+    const FaultInjector::SendFate fate = faults.send_fate(channel, count);
+    if (fate.drop || faults.link_down(e, now)) {
+      bill(cls, edge.w, channel);
+      return;
+    }
+    const double d = eng->delay_->delay_keyed(
+        e, edge.w, channel_delay_key(eng->seed_, channel, count));
+    require(d >= 0.0 && d <= static_cast<double>(edge.w),
+            "delay model produced delay outside [0, w(e)]");
+    require(d >= eng->delay_->min_delay(e, edge.w),
+            "delay model drew below its declared min_delay");
+    const double arrival = std::max(now + d, eng->last_arrival_[channel]);
+    const NodeId to = eng->graph_->other(e, from);
+    if (faults.link_down(e, arrival) || faults.crashed(to, arrival)) {
+      bill(cls, edge.w, channel);
+      return;
+    }
+    if (recording) {
+      cur_undo.push_back(
+          Undo{Undo::kArrival, 0, 0, channel, eng->last_arrival_[channel]});
+    }
+    eng->last_arrival_[channel] = arrival;
+    m.from = from;
+    m.edge = e;
+    if (fate.garble) faults.garble(channel, count, m);
+    Message dup;
+    if (fate.duplicate) dup = m;
+    bill(cls, edge.w, channel);
+    const Lineage* lin = handler_lineage();
+    require(sends_in_handler != UINT32_MAX, "send index space exhausted");
+    const std::uint32_t idx = sends_in_handler++;
+    const int dest = eng->part_.shard(to);
+    route(dest, arrival, lin, idx, std::move(m));
+    if (fate.duplicate) {
+      const double d2 = eng->delay_->delay_keyed(
+          e, edge.w, faults.dup_delay_key(channel, count));
+      require(d2 >= 0.0 && d2 <= static_cast<double>(edge.w),
+              "delay model produced delay outside [0, w(e)]");
+      require(d2 >= eng->delay_->min_delay(e, edge.w),
+              "delay model drew below its declared min_delay");
+      const double arr2 = std::max(now + d2, eng->last_arrival_[channel]);
+      if (!faults.link_down(e, arr2) && !faults.crashed(to, arr2)) {
+        require(sends_in_handler != UINT32_MAX, "send index space exhausted");
+        const std::uint32_t idx2 = sends_in_handler++;
+        route(dest, arr2, lin, idx2, std::move(dup));
+      }
+    }
+  }
+
+  void engine_schedule_self(NodeId v, double delay, Message m) override {
+    require(delay >= 0.0, "self-delivery delay must be non-negative");
+    if (eng->faults_ != nullptr && eng->faults_->crashed(v, now + delay))
+      return;
+    m.from = v;
+    m.edge = kNoEdge;
+    const Lineage* lin = handler_lineage();
+    require(sends_in_handler != UINT32_MAX, "send index space exhausted");
+    const std::uint32_t idx = sends_in_handler++;
+    push_local(now + delay, lin, idx, std::move(m));
+  }
+
+  void engine_finish(NodeId v) override {
+    double& t = eng->finish_time_[static_cast<std::size_t>(v)];
+    if (t < 0) {
+      t = now;
+      if (recording) {
+        cur_undo.push_back(Undo{Undo::kFinish, 0, 0,
+                                static_cast<std::uint64_t>(v), 0.0});
+      }
+    }
+  }
+
+  // -- rollback ------------------------------------------------------------
+
+  /// Undoes every processed event at or after `cut` in entry order,
+  /// newest first: side effects replay in reverse, protocol state
+  /// restores from its pre-event snapshot, cross-shard sends turn into
+  /// anti-messages, local children die in place, and the event itself
+  /// re-enters the pending queue for re-execution. Committed events are
+  /// never reached: commitment requires t < GVT, and every straggler or
+  /// anti-message has t >= GVT (it was in flight, and hence a GVT
+  /// floor, at the barrier before it arrived).
+  /// Replays one journal record in reverse.
+  void undo_one(const Undo& u) {
+    switch (u.kind) {
+      case Undo::kCount:
+        --eng->channel_sends_[u.a];
+        break;
+      case Undo::kArrival:
+        eng->last_arrival_[u.a] = u.d;
+        break;
+      case Undo::kCharge:
+        --eng->channel_messages_[u.cls][u.a];
+        break;
+      case Undo::kLocal: {
+        // The child is pending: if it had been processed it sits
+        // later in the done suffix and was undone before its
+        // parent, and it cannot have committed (its time is at or
+        // above the cut's, which is at or above GVT).
+        require(slot_state[u.a] == kPendingSlot,
+                "rollback found a local child in an impossible state");
+        slot_state[u.a] = kDeadSlot;
+        break;
+      }
+      case Undo::kCross:
+        outbox[static_cast<std::size_t>(u.dest)].push_back(
+            TwCross{u.d, nullptr, 0, u.a, true, Message{}});
+        ++anti_sent;
+        break;
+      case Undo::kFinish:
+        eng->finish_time_[u.a] = -1.0;
+        break;
+    }
+  }
+
+  void rollback_from(const Entry& cut) {
+    std::int64_t undone = 0;
+    while (!done.empty() && !entry_before(done.back().entry, cut)) {
+      Done d = std::move(done.back());
+      done.pop_back();
+      for (auto it = d.undo.rbegin(); it != d.undo.rend(); ++it) {
+        undo_one(*it);
+      }
+      states.restore(d.node, d.save);
+      states.drop(d.save);
+      slot_state[d.entry.slot] = kPendingSlot;
+      pending.push(d.entry);
+      d.undo.clear();
+      undo_pool.push_back(std::move(d.undo));
+      ++undone;
+    }
+    if (undone > 0) {
+      ++rollback_count;
+      rolled_back += undone;
+    }
+  }
+
+  // -- round phases (called from pool workers, one worker per shard) -------
+
+  void start() {
+    now = 0;
+    cur_is_start = true;
+    recording = false;
+    for (NodeId v : owned) {
+      if (eng->faults_ != nullptr && eng->faults_->crashed(v, 0.0)) continue;
+      cur_node = v;
+      cur_lineage = nullptr;
+      sends_in_handler = 0;
+      Context ctx = make_context(v);
+      eng->processes_.at(v).on_start(ctx);
+    }
+    cur_is_start = false;
+    flush_out();
+  }
+
+  /// Coalesced mailbox flush (same buffer recycling as ShardEngine).
+  /// Returns the minimum event time over everything flushed — positives
+  /// by arrival, anti-messages by their target's time — which is this
+  /// shard's in-flight contribution to the round's GVT candidate.
+  double flush_out() {
+    double sent_min = kInf;
+    for (int b = 0; b < eng->part_.shards; ++b) {
+      if (b == id) continue;
+      Batch& box = outbox[static_cast<std::size_t>(b)];
+      if (box.empty()) continue;
+      for (const TwCross& c : box) sent_min = std::min(sent_min, c.t);
+      eng->channel(id, b).push(std::move(box));
+      Batch next;
+      eng->return_channel(b, id).pop(next);
+      next.clear();
+      box = std::move(next);
+    }
+    return sent_min;
+  }
+
+  void drain_in() {
+    for (int a = 0; a < eng->part_.shards; ++a) {
+      if (a == id) continue;
+      eng->channel(a, id).drain([this, a](Batch&& batch) {
+        for (TwCross& cm : batch) {
+          if (cm.anti) {
+            handle_anti(cm);
+          } else {
+            handle_positive(std::move(cm));
+          }
+        }
+        batch.clear();
+        eng->return_channel(id, a).push(std::move(batch));
+      });
+    }
+  }
+
+  void handle_positive(TwCross&& cm) {
+    Entry en{cm.t, cm.parent, cm.send_index, 0};
+    // Straggler: the message lands before something already executed.
+    // Roll the suffix back first so the pending queue only ever holds
+    // events after every processed one.
+    if (!done.empty() && entry_before(en, done.back().entry)) {
+      rollback_from(en);
+    }
+    const std::uint32_t slot = alloc_slot(std::move(cm.msg));
+    en.slot = slot;
+    slot_state[slot] = kPendingSlot;
+    slot_entry[slot] = en;
+    slot_uid[slot] = cm.uid;
+    by_uid.emplace(cm.uid, slot);
+    pending.push(en);
+  }
+
+  void handle_anti(const TwCross& cm) {
+    // FIFO SPSC channels: the positive always precedes its anti, so the
+    // lookup cannot miss.
+    const auto it = by_uid.find(cm.uid);
+    require(it != by_uid.end(), "anti-message arrived before its positive");
+    const std::uint32_t slot = it->second;
+    if (slot_state[slot] == kProcessedSlot) {
+      // Executed already: roll back through it (inclusive), which
+      // re-enqueues it pending — then annihilate in place.
+      rollback_from(slot_entry[slot]);
+    }
+    require(slot_state[slot] == kPendingSlot,
+            "annihilation target in an impossible state");
+    slot_state[slot] = kDeadSlot;
+    slot_uid[slot] = 0;
+    by_uid.erase(cm.uid);
+    ++annihilated;
+  }
+
+  /// Pops annihilated entries off the head of the pending queue and
+  /// frees their slots. Keeps the published pending minimum live: a
+  /// dead head would floor GVT with an event that will never execute.
+  void scrub_dead() {
+    while (!pending.empty() && slot_state[pending.top().slot] == kDeadSlot) {
+      const Entry en = pending.pop();
+      free_slot(en.slot);
+    }
+  }
+
+  void deliver(const Entry& ev) {
+    now = ev.t;
+    ++spec_events;
+    if (!done.empty()) {
+      require(entry_before(done.back().entry, ev),
+              "speculative delivery out of entry order");
+    }
+    // Copy, not move: the slot keeps the body for re-delivery if this
+    // very delivery is later rolled back. Copy before the handler runs —
+    // its sends may grow (and reallocate) the slot arena.
+    Message msg = slots[ev.slot];
+    const NodeId to =
+        msg.edge == kNoEdge ? msg.from : eng->graph_->other(msg.edge, msg.from);
+    cur_t = ev.t;
+    cur_parent = ev.parent;
+    cur_send_index = ev.send_index;
+    cur_node = to;
+    cur_slot = ev.slot;
+    cur_lineage = nullptr;
+    sends_in_handler = 0;
+    cur_alg_msgs = cur_ctl_msgs = 0;
+    cur_alg_cost = cur_ctl_cost = 0;
+    recording = true;
+    const std::uint32_t save = states.save(to);
+    Context ctx = make_context(to);
+    try {
+      eng->processes_.at(to).on_message(ctx, msg);
+    } catch (...) {
+      // Mis-speculation can run a handler on an impossible history and
+      // trip a protocol invariant. Unwind the partial execution (the
+      // journal covers side effects up to the throw; the snapshot
+      // covers the state) and hold the error on the done record — see
+      // Done::error for when it surfaces.
+      recording = false;
+      for (auto it = cur_undo.rbegin(); it != cur_undo.rend(); ++it) {
+        undo_one(*it);
+      }
+      cur_undo.clear();
+      states.restore(to, save);
+      done.push_back(Done{ev, to, save, 0, 0, 0, 0, msg.edge != kNoEdge,
+                          take_undo_vec(), std::current_exception()});
+      return;
+    }
+    recording = false;
+    done.push_back(Done{ev, to, save, cur_alg_msgs, cur_ctl_msgs, cur_alg_cost,
+                        cur_ctl_cost, msg.edge != kNoEdge,
+                        std::move(cur_undo), nullptr});
+    cur_undo = take_undo_vec();
+  }
+
+  std::vector<Undo> take_undo_vec() {
+    if (undo_pool.empty()) return {};
+    std::vector<Undo> v = std::move(undo_pool.back());
+    undo_pool.pop_back();
+    return v;
+  }
+
+  /// Executes up to `budget` pending events in entry order. Annihilated
+  /// entries reached along the way are scrubbed for free.
+  void speculate(int budget) {
+    while (budget != 0) {
+      scrub_dead();
+      if (pending.empty()) break;
+      const Entry ev = pending.pop();
+      slot_state[ev.slot] = kProcessedSlot;
+      deliver(ev);
+      --budget;
+    }
+  }
+
+  TimeWarpEngine* eng;
+  int id;
+  std::vector<NodeId> owned;  // ascending node ids
+  double now = 0;
+
+  TieredCalQueue<Entry, EntryTime, EntryAfter> pending;
+  std::deque<Done> done;  // processed, uncommitted; entry order
+  std::vector<Message> slots;
+  std::vector<Entry> slot_entry;
+  std::vector<std::uint8_t> slot_state;
+  std::vector<std::uint64_t> slot_uid;  // 0 = local (no uid)
+  std::vector<const Lineage*> slot_lineage;  // record published by slot's handler
+  std::vector<std::uint32_t> free_slots;
+  std::unordered_map<std::uint64_t, std::uint32_t> by_uid;
+  std::deque<Lineage> arena;  // pointer-stable lineage records
+  std::vector<Batch> outbox;  // per-destination mailboxes (k entries)
+  SavedStates states;
+  std::vector<std::vector<Undo>> undo_pool;  // recycled journal buffers
+  std::vector<Undo> cur_undo;
+  std::uint64_t uid_counter = 0;
+
+  // Current handler identity (for lazy lineage creation) and its
+  // accumulating ledger deltas.
+  double cur_t = 0;
+  const Lineage* cur_parent = nullptr;
+  std::uint32_t cur_send_index = 0;
+  NodeId cur_node = kNoNode;
+  std::uint32_t cur_slot = 0;
+  bool cur_is_start = false;
+  const Lineage* cur_lineage = nullptr;
+  std::uint32_t sends_in_handler = 0;
+  bool recording = false;
+  std::int64_t cur_alg_msgs = 0;
+  std::int64_t cur_ctl_msgs = 0;
+  Weight cur_alg_cost = 0;
+  Weight cur_ctl_cost = 0;
+
+  RunStats start_stats;  // on_start sends: committed immediately
+
+  // Per-shard counters, summed serially each GVT round.
+  std::int64_t spec_events = 0;
+  std::int64_t rollback_count = 0;
+  std::int64_t rolled_back = 0;
+  std::int64_t anti_sent = 0;
+  std::int64_t annihilated = 0;
+};
+
+// ---------------------------------------------------------------------------
+// TimeWarpEngine
+// ---------------------------------------------------------------------------
+
+TimeWarpEngine::TimeWarpEngine(const Graph& g, const ProcessFactory& factory,
+                               std::unique_ptr<DelayModel> delay,
+                               std::uint64_t seed, Options opt)
+    : TimeWarpEngine(g, ProcessStore::from_factory(g.node_count(), factory),
+                     std::move(delay), seed, opt) {}
+
+TimeWarpEngine::TimeWarpEngine(const Graph& g, ProcessStore store,
+                               std::unique_ptr<DelayModel> delay,
+                               std::uint64_t seed, Options opt)
+    : graph_(&g),
+      processes_(std::move(store)),
+      delay_(std::move(delay)),
+      seed_(seed),
+      part_(partition_shards(g, opt.shards, opt.partition)),
+      quantum_(opt.quantum),
+      last_arrival_(static_cast<std::size_t>(2 * g.edge_count()), 0.0),
+      channel_sends_(static_cast<std::size_t>(2 * g.edge_count()), 0),
+      channel_messages_{
+          std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
+                                    0),
+          std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
+                                    0)},
+      finish_time_(static_cast<std::size_t>(g.node_count()), -1.0) {
+  require(delay_ != nullptr, "delay model must not be null");
+  require(opt.threads >= 0, "thread count must be >= 0");
+  require(opt.quantum >= 1, "speculation quantum must be >= 1");
+  require(processes_.size() == g.node_count(),
+          "process store size must match the node count");
+
+  const int k = part_.shards;
+  shards_.reserve(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    // csca-analyze: allow(SCALE-1): k per-shard bodies, not per-node
+    shards_.push_back(std::make_unique<Shard>(this, s));
+    shards_.back()->outbox.resize(static_cast<std::size_t>(k));
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    shards_[static_cast<std::size_t>(part_.shard(v))]->owned.push_back(v);
+  }
+  channels_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+  returns_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    for (int b = 0; b < k; ++b) {
+      if (a == b) continue;
+      const auto idx = static_cast<std::size_t>(a * k + b);
+      // csca-analyze: allow(SCALE-1): k^2 channel endpoints, not per-node
+      channels_[idx] = std::make_unique<SpscChannel<Batch>>();
+      // csca-analyze: allow(SCALE-1): k^2 return channels, not per-node
+      returns_[idx] = std::make_unique<SpscChannel<Batch>>();
+    }
+  }
+
+  pending_min_.assign(static_cast<std::size_t>(k), kInf);
+  in_flight_min_.assign(static_cast<std::size_t>(k), kInf);
+  budget_.assign(static_cast<std::size_t>(k), quantum_);
+  const int threads = opt.threads > 0 ? std::min(opt.threads, k) : k;
+  pool_ = std::make_unique<RunPool>(threads);
+}
+
+TimeWarpEngine::TimeWarpEngine(const Graph& g, const ProcessFactory& factory,
+                               std::unique_ptr<DelayModel> delay,
+                               std::uint64_t seed)
+    : TimeWarpEngine(g, factory, std::move(delay), seed, Options{}) {}
+
+TimeWarpEngine::~TimeWarpEngine() = default;
+
+void TimeWarpEngine::set_faults(const FaultInjector* f) {
+  require(!ran_, "faults must be attached before run()");
+  faults_ = (f != nullptr && f->active()) ? f : nullptr;
+}
+
+RunStats TimeWarpEngine::run() {
+  require(!ran_, "TimeWarpEngine::run is single-shot");
+  ran_ = true;
+  const auto ks = static_cast<std::size_t>(part_.shards);
+
+  pool_->run_indexed(ks, [this](std::size_t s) { shards_[s]->start(); });
+  for (const auto& sh : shards_) {
+    stats_.algorithm_messages += sh->start_stats.algorithm_messages;
+    stats_.control_messages += sh->start_stats.control_messages;
+    stats_.algorithm_cost += sh->start_stats.algorithm_cost;
+    stats_.control_cost += sh->start_stats.control_cost;
+  }
+
+  for (;;) {
+    ++rounds_;
+    for (int s = 0; s < part_.shards; ++s) {
+      int b = quantum_;
+      if (pace_hook_) {
+        const int p = pace_hook_(s, rounds_);
+        if (p >= 0) b = p;
+      }
+      budget_[static_cast<std::size_t>(s)] = b;
+    }
+    pool_->run_indexed(ks, [this](std::size_t s) {
+      Shard& sh = *shards_[s];
+      sh.drain_in();
+      sh.speculate(budget_[s]);
+      in_flight_min_[s] = sh.flush_out();
+      sh.scrub_dead();
+      pending_min_[s] = sh.pending.min_time();
+    });
+    if (!gvt_round()) break;
+  }
+  return stats_;
+}
+
+void TimeWarpEngine::commit_shard(Shard& sh, double bound, double& max_freed) {
+  while (!sh.done.empty() && sh.done.front().entry.t < bound) {
+    Shard::Done& d = sh.done.front();
+    if (d.error != nullptr) {
+      // The event survived to commit, so every event before it is
+      // committed and its history equals the sequential run's: the
+      // handler's throw is genuine, not a mis-speculation artifact.
+      std::rethrow_exception(d.error);
+    }
+    stats_.algorithm_messages += d.alg_msgs;
+    stats_.control_messages += d.ctl_msgs;
+    stats_.algorithm_cost += d.alg_cost;
+    stats_.control_cost += d.ctl_cost;
+    ++stats_.events;
+    if (d.is_edge) {
+      stats_.completion_time = std::max(stats_.completion_time, d.entry.t);
+    }
+    if (commit_hook_) {
+      commit_hook_(CommittedEvent{d.entry.t, d.node, d.is_edge});
+    }
+    sh.states.drop(d.save);
+    max_freed = std::max(max_freed, d.entry.t);
+    sh.free_slot(d.entry.slot);
+    d.undo.clear();
+    sh.undo_pool.push_back(std::move(d.undo));
+    sh.done.pop_front();
+  }
+}
+
+bool TimeWarpEngine::gvt_round() {
+  double min_pending = kInf;
+  double min_flight = kInf;
+  for (std::size_t s = 0; s < pending_min_.size(); ++s) {
+    min_pending = std::min(min_pending, pending_min_[s]);
+    min_flight = std::min(min_flight, in_flight_min_[s]);
+  }
+  const double cand = std::min(min_pending, min_flight);
+  // GVT is monotone: everything pending or in flight descends from
+  // processing events at or above the previous GVT, and handlers only
+  // generate arrivals at or after their own time.
+  require(cand >= gvt_, "GVT regressed");
+  gvt_ = cand;
+
+  rollbacks_ = 0;
+  rolled_back_events_ = 0;
+  anti_messages_ = 0;
+  annihilations_ = 0;
+  speculative_events_ = 0;
+  for (const auto& sh : shards_) {
+    rollbacks_ += sh->rollback_count;
+    rolled_back_events_ += sh->rolled_back;
+    anti_messages_ += sh->anti_sent;
+    annihilations_ += sh->annihilated;
+    speculative_events_ += sh->spec_events;
+  }
+
+  double max_freed = -kInf;
+  for (auto& sh : shards_) commit_shard(*sh, gvt_, max_freed);
+
+  const bool finished = cand == kInf;
+  if (finished) {
+    for (const auto& sh : shards_) {
+      require(sh->done.empty() && sh->pending.empty(),
+              "terminated with uncommitted events");
+      require(sh->by_uid.empty(),
+              "terminated with unannihilated positives");
+    }
+  }
+  if (gvt_hook_) {
+    gvt_hook_(GvtSample{rounds_, gvt_, min_pending, min_flight, stats_.events,
+                        max_freed});
+  }
+  return !finished;
+}
+
+bool TimeWarpEngine::all_finished() const {
+  return std::all_of(finish_time_.begin(), finish_time_.end(),
+                     [](double t) { return t >= 0; });
+}
+
+double TimeWarpEngine::last_finish_time() const {
+  require(all_finished(), "not all nodes have finished");
+  return *std::max_element(finish_time_.begin(), finish_time_.end());
+}
+
+std::int64_t TimeWarpEngine::edge_message_count(EdgeId e) const {
+  const auto c = static_cast<std::size_t>(2 * e);
+  return channel_messages_[0][c] + channel_messages_[0][c + 1] +
+         channel_messages_[1][c] + channel_messages_[1][c + 1];
+}
+
+std::int64_t TimeWarpEngine::edge_message_count(EdgeId e, MsgClass cls) const {
+  const auto c = static_cast<std::size_t>(2 * e);
+  const auto& counts = channel_messages_[class_index(cls)];
+  return counts[c] + counts[c + 1];
+}
+
+std::int64_t TimeWarpEngine::max_edge_message_count() const {
+  std::int64_t best = 0;
+  for (EdgeId e = 0; e < graph_->edge_count(); ++e) {
+    best = std::max(best, edge_message_count(e));
+  }
+  return best;
+}
+
+std::int64_t TimeWarpEngine::max_edge_message_count(MsgClass cls) const {
+  std::int64_t best = 0;
+  for (EdgeId e = 0; e < graph_->edge_count(); ++e) {
+    best = std::max(best, edge_message_count(e, cls));
+  }
+  return best;
+}
+
+}  // namespace csca

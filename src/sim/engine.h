@@ -84,6 +84,22 @@ class Process {
 
   /// Invoked for each delivered message.
   virtual void on_message(Context&, const Message& m) = 0;
+
+  /// Deep copy of the protocol state, for engines that need to undo
+  /// deliveries (the optimistic backend in par/timewarp_engine.h saves
+  /// before every speculative delivery and restores on rollback). The
+  /// default returns null — "not supported" — and the optimistic engine
+  /// refuses to host such a process; conservative engines never call
+  /// it. Concrete protocols opt in with a two-line override pair
+  /// (copy-construct / copy-assign).
+  virtual std::unique_ptr<Process> save_state() const { return nullptr; }
+
+  /// Restores this process to the state captured by save_state().
+  /// `saved` is a value returned from save_state() on this same object.
+  virtual void restore_state(const Process& saved) {
+    (void)saved;
+    require(false, "process does not implement restore_state");
+  }
 };
 
 /// Builds the process for node v. Engines call it once per node.

@@ -21,8 +21,11 @@
 // ProcessHost::process_as after the run, exactly as before.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -30,6 +33,21 @@
 #include "util/require.h"
 
 namespace csca {
+
+namespace detail {
+
+/// Snapshot slab for PooledStore elements of concrete type T: one typed
+/// deque with a slot free list (arena-style — no per-snapshot heap
+/// object). Each consumer (e.g. one optimistic-engine shard) owns its
+/// own slab, so concurrent snapshotting of disjoint node sets needs no
+/// locks.
+template <typename T>
+struct SnapshotSlab {
+  std::deque<T> slots;
+  std::vector<std::uint32_t> free;
+};
+
+}  // namespace detail
 
 /// Type-erased contiguous store of n objects derived from Base.
 /// Base = Process for the asynchronous engines, SyncProcess for the
@@ -58,6 +76,39 @@ class PooledStore {
       return static_cast<T*>(data) + i;
     };
     s.state_bytes_ = static_cast<std::size_t>(n) * sizeof(T);
+    if constexpr (std::is_copy_constructible_v<T> &&
+                  std::is_copy_assignable_v<T>) {
+      // Snapshot thunks for the optimistic engine: saving copies the
+      // element into a caller-owned slab of the same concrete type
+      // (detail::SnapshotSlab — one deque, slots recycled through a
+      // free list, so the SCALE-1 allocation model holds), restoring
+      // copy-assigns it back. Copy-averse types simply get no thunks
+      // and fall back to the Process::save_state virtuals.
+      using Slab = detail::SnapshotSlab<T>;
+      s.make_slab_ = []() -> std::shared_ptr<void> {
+        return std::make_shared<Slab>();
+      };
+      s.save_ = [](void* snap, void* data, std::size_t i) -> std::uint32_t {
+        auto& sl = *static_cast<Slab*>(snap);
+        const T& src = *(static_cast<T*>(data) + i);
+        if (!sl.free.empty()) {
+          const std::uint32_t h = sl.free.back();
+          sl.free.pop_back();
+          sl.slots[h] = src;
+          return h;
+        }
+        sl.slots.push_back(src);
+        return static_cast<std::uint32_t>(sl.slots.size() - 1);
+      };
+      s.restore_ = [](void* snap, void* data, std::size_t i,
+                      std::uint32_t h) {
+        auto& sl = *static_cast<Slab*>(snap);
+        *(static_cast<T*>(data) + i) = sl.slots[h];
+      };
+      s.drop_ = [](void* snap, std::uint32_t h) {
+        static_cast<Slab*>(snap)->free.push_back(h);
+      };
+    }
     s.owner_ = std::move(arena);
     return s;
   }
@@ -99,12 +150,49 @@ class PooledStore {
   /// bytes/node metric for the arena path; see docs/scale.md).
   std::size_t state_bytes() const { return state_bytes_; }
 
+  /// True when the store can snapshot elements by slab copy (the pooled
+  /// path with a copyable element type). When false, optimistic engines
+  /// fall back to the per-process save_state/restore_state virtuals.
+  bool snapshots_supported() const { return save_ != nullptr; }
+
+  /// Allocates a fresh snapshot slab. Each concurrent consumer (one
+  /// optimistic-engine shard, say) owns its own slab; the store itself
+  /// stays immutable, so disjoint node sets snapshot without locks.
+  std::shared_ptr<void> make_snapshot_slab() const {
+    require(make_slab_ != nullptr, "store has no snapshot support");
+    return make_slab_();
+  }
+
+  /// Copies element v into a slot of `slab` and returns its handle.
+  std::uint32_t save_snapshot(void* slab, NodeId v) const {
+    require(v >= 0 && v < count_, "process store index out of range");
+    return save_(slab, data_, static_cast<std::size_t>(v));
+  }
+
+  /// Copy-assigns the snapshot in `handle` back over element v. The
+  /// handle stays live (restore does not consume it).
+  void restore_snapshot(void* slab, NodeId v, std::uint32_t handle) const {
+    require(v >= 0 && v < count_, "process store index out of range");
+    restore_(slab, data_, static_cast<std::size_t>(v), handle);
+  }
+
+  /// Releases a snapshot slot of `slab` for reuse (fossil collection).
+  void drop_snapshot(void* slab, std::uint32_t handle) const {
+    drop_(slab, handle);
+  }
+
  private:
   int count_ = 0;
   void* data_ = nullptr;
   Base* (*at_)(void*, std::size_t) = nullptr;
   std::size_t state_bytes_ = 0;
   std::shared_ptr<void> owner_;
+
+  // Optional snapshot thunks (pooled path, copyable T only).
+  std::shared_ptr<void> (*make_slab_)() = nullptr;
+  std::uint32_t (*save_)(void*, void*, std::size_t) = nullptr;
+  void (*restore_)(void*, void*, std::size_t, std::uint32_t) = nullptr;
+  void (*drop_)(void*, std::uint32_t) = nullptr;
 };
 
 }  // namespace csca

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "graph/graph.h"
@@ -60,6 +61,15 @@ class SyncProcess {
 
   /// Invoked at pulses requested via schedule_wakeup.
   virtual void on_wakeup(SyncContext&) {}
+
+  /// Deep copy for optimistic-engine state saving: synchronizer hosts
+  /// running under the Time Warp backend (par/timewarp_engine.h) clone
+  /// their hosted protocol when they snapshot themselves. Default:
+  /// unsupported (null) — the host's save then fails with a clear
+  /// message instead of slicing the hosted state.
+  virtual std::unique_ptr<SyncProcess> clone_state() const {
+    return nullptr;
+  }
 };
 
 }  // namespace csca

@@ -61,6 +61,12 @@ class InSynchBellmanFord final : public SyncProcess {
   Weight dist() const { return dist_; }
   EdgeId parent_edge() const { return parent_edge_; }
 
+  // Optimistic-engine snapshots: synchronizer hosts clone their hosted
+  // protocol through this when saving (orig_w_ is shared config).
+  std::unique_ptr<SyncProcess> clone_state() const override {
+    return std::make_unique<InSynchBellmanFord>(*this);
+  }
+
  private:
   void announce(SyncContext& ctx) {
     for (EdgeId e : ctx.incident()) {

@@ -41,6 +41,14 @@ class SptRecurProcess final : public Process {
   bool done() const { return done_; }
   std::int64_t strips_run() const { return band_; }
 
+  // Optimistic-engine snapshots (plain value copy).
+  std::unique_ptr<Process> save_state() const override {
+    return std::make_unique<SptRecurProcess>(*this);
+  }
+  void restore_state(const Process& saved) override {
+    *this = dynamic_cast<const SptRecurProcess&>(saved);
+  }
+
  private:
   enum MsgType {
     kGo = 0,        // tracked; data = [band]

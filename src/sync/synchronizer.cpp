@@ -103,6 +103,37 @@ class HostBase : public Process {
   std::int64_t pulses_executed() const { return cur_pulse_; }
   bool hosted_finished() const { return hosted_finished_; }
 
+  // Optimistic-engine snapshots: every member is a plain value except
+  // the hosted protocol, which is deep-copied through
+  // SyncProcess::clone_state. The concrete hosts' save_state/
+  // restore_state overrides ride on these.
+  HostBase(const HostBase& o)
+      : g_(o.g_),
+        self_(o.self_),
+        hosted_(clone_hosted(o)),
+        shared_(o.shared_),
+        cur_pulse_(o.cur_pulse_),
+        advancing_(o.advancing_),
+        hosted_finished_(o.hosted_finished_),
+        buffer_(o.buffer_),
+        buffer_seq_(o.buffer_seq_),
+        wakeups_(o.wakeups_) {}
+
+  HostBase& operator=(const HostBase& o) {
+    if (this == &o) return *this;
+    g_ = o.g_;
+    self_ = o.self_;
+    hosted_ = clone_hosted(o);
+    shared_ = o.shared_;
+    cur_pulse_ = o.cur_pulse_;
+    advancing_ = o.advancing_;
+    hosted_finished_ = o.hosted_finished_;
+    buffer_ = o.buffer_;
+    buffer_seq_ = o.buffer_seq_;
+    wakeups_ = o.wakeups_;
+    return *this;
+  }
+
  protected:
   enum BaseMsg { kWrapped = 0, kAck = 1 };
 
@@ -215,6 +246,14 @@ class HostBase : public Process {
     after_pulse(ctx, p);
   }
 
+  static std::unique_ptr<SyncProcess> clone_hosted(const HostBase& o) {
+    auto p = o.hosted_->clone_state();
+    require(p != nullptr,
+            "hosted protocol does not implement clone_state, so its host "
+            "cannot be snapshotted for optimistic execution");
+    return p;
+  }
+
   const Graph* g_;
   NodeId self_;
   std::unique_ptr<SyncProcess> hosted_;
@@ -236,6 +275,13 @@ class AlphaHost final : public HostBase {
             const SynchronizedNetwork::Shared& sh)
       : HostBase(g, self, std::move(sp), sh),
         neighbor_safe_(static_cast<std::size_t>(g.degree(self)), -1) {}
+
+  std::unique_ptr<Process> save_state() const override {
+    return std::make_unique<AlphaHost>(*this);
+  }
+  void restore_state(const Process& saved) override {
+    *this = dynamic_cast<const AlphaHost&>(saved);
+  }
 
  protected:
   enum Msg { kSafe = 10 };
@@ -293,6 +339,13 @@ class BetaHost final : public HostBase {
     children_ = sh.beta_children[static_cast<std::size_t>(self)];
     child_done_.assign(children_.size(), -1);
     is_root_ = self == sh.beta_root;
+  }
+
+  std::unique_ptr<Process> save_state() const override {
+    return std::make_unique<BetaHost>(*this);
+  }
+  void restore_state(const Process& saved) override {
+    *this = dynamic_cast<const BetaHost&>(saved);
   }
 
  protected:
@@ -397,6 +450,13 @@ class GammaWHost final : public HostBase {
       lvl.child_ready.assign(lvl.children.size(), -1);
       lvl.pref_safe.assign(lvl.preferred.size(), -1);
     }
+  }
+
+  std::unique_ptr<Process> save_state() const override {
+    return std::make_unique<GammaWHost>(*this);
+  }
+  void restore_state(const Process& saved) override {
+    *this = dynamic_cast<const GammaWHost&>(saved);
   }
 
  protected:

@@ -83,7 +83,7 @@ TEST(ShardEngineDeterminism, MatrixAcrossSubjectsFamiliesSchedulesShards) {
           const std::string plabel =
               label + "@" + std::to_string(shards) + "shards";
           const SubjectOutcome par =
-              subject.run_par(family.graph, spec, shards);
+              subject.run_par(family.graph, spec, shards, ParBackend::kShard);
           ASSERT_FALSE(par.failed) << plabel << ": " << par.error;
           EXPECT_TRUE(par.violations.empty()) << plabel;
           EXPECT_EQ(par.digest, seq.digest) << plabel;

@@ -82,6 +82,21 @@ echo "== fault smoke: ARQ-aware admission table (fault_ctl) =="
 diff build/fault_ctl_j1/BENCH_fault_ctl.json build/fault_ctl_jN/BENCH_fault_ctl.json \
   || { echo "check.sh: fault_ctl output differs across --jobs" >&2; exit 1; }
 
+echo "== timewarp smoke: optimistic backend (docs/optimistic.md) =="
+# The optimistic (Time Warp) backend over the same smoke portfolio the
+# shard runs cover above, plus its dedicated ctest tier (calendar
+# queue, rollback torture, GVT/fossil properties, bit-identity matrix)
+# and the timewarp table's smoke grid at --jobs 1 vs N byte for byte.
+./build/tools/csca_check --smoke --backend=timewarp --shards=2
+./build/tools/csca_check --smoke --backend=timewarp --shards=4 \
+  --faults=drop1pct
+ctest --test-dir build -L timewarp --output-on-failure -j "$JOBS"
+./build/tools/csca_sweep --smoke --table=timewarp --out-dir=build/timewarp_j1
+./build/tools/csca_sweep --smoke --table=timewarp --jobs="$JOBS" \
+  --out-dir=build/timewarp_jN
+diff build/timewarp_j1/BENCH_timewarp.json build/timewarp_jN/BENCH_timewarp.json \
+  || { echo "check.sh: timewarp output differs across --jobs" >&2; exit 1; }
+
 echo "== table sweep: conformance tier + --jobs byte-identity =="
 ctest --test-dir build -L conformance --output-on-failure -j "$JOBS"
 ./build/tools/csca_sweep --list
@@ -105,11 +120,15 @@ if [[ "$RUN_TSAN" == 1 ]]; then
        -o /tmp/csca_tsan_probe.$$ 2>/dev/null \
      && /tmp/csca_tsan_probe.$$ 2>/dev/null; then
     rm -f /tmp/csca_tsan_probe.$$
-    echo "== parallel suite: TSan build (par_test + faulted shard run) =="
+    echo "== parallel suite: TSan build (par_test + timewarp_test + faulted shard run) =="
     cmake -B build-tsan -S . -DCSCA_TSAN=ON -DCSCA_WERROR=ON >/dev/null
-    cmake --build build-tsan -j "$JOBS" --target par_test csca_check_tool csca_sweep
+    cmake --build build-tsan -j "$JOBS" --target par_test timewarp_test csca_check_tool csca_sweep
     ./build-tsan/tests/par_test
+    ./build-tsan/tests/timewarp_test
     ./build-tsan/tools/csca_check --smoke --faults=drop1pct --shards=2
+    # The optimistic backend's cross-shard paths (anti-message channels,
+    # GVT reduction, fossil frees) under the race detector.
+    ./build-tsan/tools/csca_check --smoke --backend=timewarp --shards=2
     # The metered fault_ctl grid with parallel rows: ARQ retransmit
     # billing feeds the admission counter across RunPool workers, so
     # this is the data-race-sensitive path of the fault smoke.

@@ -20,8 +20,13 @@
 //   --jobs=N         run (subject, family) sweeps on N worker threads;
 //                    output and exit code are identical to --jobs=1
 //                    (results merge in submission order)
-//   --shards=K       replay subjects on the sharded conservative engine
-//                    with K shards instead of the sequential engine
+//   --shards=K       replay subjects on a parallel engine with K shards
+//                    instead of the sequential engine
+//   --backend=NAME   which parallel engine --shards uses: "shard" (the
+//                    conservative default) or "timewarp" (optimistic
+//                    rollback + GVT commit). Digests and ledgers are
+//                    engine-independent, so the report means the same
+//                    thing either way.
 //   --list           print subjects and families, run nothing
 //   -v               per-(subject, family) digest lines even when clean
 //
@@ -48,7 +53,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: csca_check [--smoke] [--subject=NAME] "
                "[--family=NAME] [--faults=PLAN] [--jobs=N] [--shards=K] "
-               "[--list] [-v]\n");
+               "[--backend=shard|timewarp] [--list] [-v]\n");
   return 2;
 }
 
@@ -60,6 +65,8 @@ int main(int argc, char** argv) {
   bool verbose = false;
   int jobs = 1;
   int shards = 0;
+  ParBackend backend = ParBackend::kShard;
+  std::string backend_name = "shard";
   std::string only_subject;
   std::string only_family;
   std::string faults_name;
@@ -83,6 +90,15 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       shards = std::atoi(arg.c_str() + std::strlen("--shards="));
       if (shards < 1) return usage();
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      backend_name = arg.substr(std::strlen("--backend="));
+      if (backend_name == "shard") {
+        backend = ParBackend::kShard;
+      } else if (backend_name == "timewarp") {
+        backend = ParBackend::kTimeWarp;
+      } else {
+        return usage();
+      }
     } else {
       return usage();
     }
@@ -156,14 +172,15 @@ int main(int argc, char** argv) {
       reports.reserve(sweeps.size());
       for (const Sweep& s : sweeps) {
         reports.push_back(check_subject(*s.subject, s.family->graph,
-                                        s.family->name, portfolio, shards));
+                                        s.family->name, portfolio, shards,
+                                        backend));
       }
     } else {
       RunPool pool(jobs);
       reports = pool.map(sweeps.size(), [&](std::size_t i) {
         const Sweep& s = sweeps[i];
         return check_subject(*s.subject, s.family->graph, s.family->name,
-                             portfolio, shards);
+                             portfolio, shards, backend);
       });
     }
     const double wall =
@@ -215,7 +232,9 @@ int main(int argc, char** argv) {
                   f.detail.c_str());
     }
     std::string engine_note =
-        shards > 0 ? ", " + std::to_string(shards) + " shards" : "";
+        shards > 0
+            ? ", " + std::to_string(shards) + " shards (" + backend_name + ")"
+            : "";
     if (fault_mode) engine_note += ", faults=" + faults_name;
     std::printf("csca_check: %d runs (%zu sweeps x %zu schedules%s), "
                 "%zu finding(s) (%zu degraded)%s [%d job(s), %.2fs]\n",
