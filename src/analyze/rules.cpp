@@ -314,7 +314,8 @@ void cost2(const FileCtx& ctx, std::vector<Finding>& out) {
     if (t[i + 1].kind != TokKind::kIdentifier ||
         !any_of(t[i + 1].text,
                 {"algorithm_messages", "control_messages",
-                 "algorithm_cost", "control_cost", "billed"})) {
+                 "recovery_messages", "algorithm_cost", "control_cost",
+                 "recovery_cost", "billed"})) {
       continue;
     }
     if (t[i + 2].kind == TokKind::kPunct &&

@@ -21,6 +21,7 @@ std::vector<SweepSpec> builtin_tables() {
   out.push_back(table_fault_ctl());
   out.push_back(table_scale());
   out.push_back(table_timewarp());
+  out.push_back(table_churn());
   return out;
 }
 

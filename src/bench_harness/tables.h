@@ -16,6 +16,7 @@
 //   fault  docs/faults.md  ARQ overhead vs drop/dup rate (degradation)
 //   fault_ctl  docs/faults.md  ARQ-aware admission: permits vs loss rate
 //   scale  docs/scale.md  capacity scaling: CSR + pooled state, n to 10^6
+//   churn  docs/faults.md  recovery cost vs churn rate (restabilization)
 //
 // Each table's rows, bound formulas and tolerances live in
 // tables/<id>_*.cpp; bench/bench_*.cpp, tools/csca_sweep and the ctest
@@ -43,6 +44,7 @@ SweepSpec table_fault_degradation();
 SweepSpec table_fault_ctl();
 SweepSpec table_scale();
 SweepSpec table_timewarp();
+SweepSpec table_churn();
 
 /// All tables, in the id order above.
 std::vector<SweepSpec> builtin_tables();

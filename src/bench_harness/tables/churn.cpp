@@ -1,0 +1,127 @@
+// churn — recovery cost vs churn rate (BENCH_churn.json).
+//
+// Each row runs a structure-building protocol (GHS MST or the recursive
+// SPT) through a RestabilizingRun under a weight-redraw churn plan: 3
+// epochs, each re-drawing a keyed `redraw` fraction of the edge weights
+// (the row's param). The run bills every message churn made necessary —
+// the per-epoch dirty probe plus any re-execution — to
+// MsgClass::kRecovery, and the row checks that ledger class against the
+// paper-style recovery envelope
+//
+//   recovery_cost <= sum_k [ 2 * W(G_k) + rebuild_k * C_pi(G_k) ]
+//
+// where G_k is the graph after epoch k's re-draws (the table replays
+// apply_churn_weights on its own copy, so the per-epoch terms use the
+// exact weights the run saw), 2 * W(G_k) is the dirty probe's exact
+// cost (a PIF wave crosses every edge twice), rebuild_k is 1 iff the
+// epoch's certificate check failed, and C_pi is the protocol's own
+// construction bound from the F3/F4 tables — script-E + script-V log n
+// for GHS, script-E + (script-D / tau + 2) * 2 script-V for the
+// recursive SPT with tau = max edge weight. The tolerance carries only
+// the rebuild term's slack (the probe term is exact), so it matches the
+// F3/F4 construction tolerances. final_valid asserts the live structure
+// passes its certificate against the final weights.
+#include <string>
+
+#include "bench_harness/table_common.h"
+#include "bench_harness/tables.h"
+#include "control/restabilize.h"
+
+namespace csca::bench {
+
+namespace {
+
+constexpr int kEpochs = 3;
+
+ChurnPlan redraw_plan(double fraction) {
+  ChurnPlan plan;
+  for (int k = 0; k < kEpochs; ++k) {
+    ChurnEpoch ep;
+    ep.at = static_cast<double>(k + 1);
+    ep.redraw_fraction = fraction;
+    plan.epochs.push_back(ep);
+  }
+  return plan;
+}
+
+// The protocol's construction-cost bound on the current weights — the
+// same bills (and tolerances) the F3/F4 tables hold the fault-free
+// builders to.
+double rebuild_bill(const Graph& g, RestabilizeSubject subject) {
+  const NetworkMeasures m = measure(g);
+  const double e = static_cast<double>(m.comm_E);
+  const double v = static_cast<double>(m.comm_V);
+  if (subject == RestabilizeSubject::kMst) {
+    return e + v * log2n(m.n);
+  }
+  const double d = static_cast<double>(m.comm_D);
+  const double tau = static_cast<double>(std::max<Weight>(1, g.max_weight()));
+  return e + (d / tau + 2) * 2 * v;
+}
+
+RowResult run_row(const RowSpec& spec) {
+  RowResult out;
+  const Graph g = make_family(spec.family, spec.n, spec.seed);
+  const NetworkMeasures m = measure(g);
+  const RestabilizeSubject subject = spec.algo == "mst"
+                                         ? RestabilizeSubject::kMst
+                                         : RestabilizeSubject::kSpt;
+
+  RestabilizeOptions opts;
+  opts.subject = subject;
+  opts.churn = redraw_plan(spec.param);
+  opts.seed = spec.seed;
+  const RestabilizeReport report = run_restabilizing(g, opts);
+
+  // Replay the keyed re-draws on a private copy to recover each epoch's
+  // exact weights, and assemble the envelope term by term.
+  Graph work = g;
+  double envelope = 0;
+  for (std::size_t k = 0; k < report.epochs.size(); ++k) {
+    apply_churn_weights(opts.churn, k, opts.seed, work);
+    envelope += 2.0 * static_cast<double>(work.total_weight());
+    if (report.epochs[k].restabilized) {
+      envelope += rebuild_bill(work, subject);
+    }
+  }
+
+  report_stats(out, m, report.total);
+  add_metric(out, "epochs", static_cast<double>(report.epochs.size()));
+  add_metric(out, "restabilizations",
+             static_cast<double>(report.restabilizations));
+  add_metric(out, "recovery_msgs",
+             static_cast<double>(report.total.recovery_messages));
+  add_metric(out, "recovery_cost",
+             static_cast<double>(report.total.recovery_cost));
+  add_check(out, "recovery_over_bound",
+            static_cast<double>(report.total.recovery_cost), envelope, 3.0);
+  add_check(out, "final_valid", report.final_valid ? 1.0 : 0.0, 1.0, 1.0,
+            /*min_ratio=*/1.0);
+  return out;
+}
+
+}  // namespace
+
+SweepSpec table_churn() {
+  SweepSpec spec;
+  spec.table = "churn";
+  spec.title = "Dynamic topology - recovery cost vs churn rate";
+  spec.param_name = "redraw";
+  spec.run = run_row;
+  for (const char* family : {"gnp", "geometric", "grid"}) {
+    for (const char* algo : {"mst", "spt"}) {
+      for (const double p : {0.1, 0.25, 0.5}) {
+        spec.rows.push_back({algo, family, 24, p});
+      }
+    }
+  }
+  for (const char* algo : {"mst", "spt"}) {
+    for (const double p : {0.1, 0.5}) {
+      spec.smoke_rows.push_back({algo, "gnp", 12, p});
+    }
+  }
+  finalize_rows(spec);
+  return spec;
+}
+
+}  // namespace csca::bench

@@ -1,0 +1,140 @@
+#include "check/byzantine_check.h"
+
+#include <sstream>
+
+#include "fault/fault_injector.h"
+
+namespace csca {
+
+ByzantineContainmentChecker::ByzantineContainmentChecker(
+    std::vector<NodeId> allowed)
+    : allowed_(std::move(allowed)) {}
+
+void ByzantineContainmentChecker::ensure_sized(const Network& net) {
+  if (sized_) return;
+  sized_ = true;
+  const auto n = static_cast<std::size_t>(net.graph().node_count());
+  const auto m = static_cast<std::size_t>(net.graph().edge_count());
+  is_allowed_.assign(n, 0);
+  for (const NodeId v : allowed_) {
+    if (v >= 0 && v < net.graph().node_count()) {
+      is_allowed_[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  equivocations_.assign(n, 0);
+  forgeries_.assign(n, 0);
+  attempts_.assign(2 * m, {});
+  channel_equiv_.assign(2 * m, 0);
+  channel_forge_.assign(2 * m, 0);
+}
+
+void ByzantineContainmentChecker::report(std::string what) {
+  violations_.push_back(std::move(what));
+}
+
+void ByzantineContainmentChecker::count_attempt(const Network& net,
+                                                NodeId from, EdgeId e,
+                                                bool delivered) {
+  ensure_sized(net);
+  if (e < 0 || e >= net.graph().edge_count()) return;
+  const Edge& edge = net.graph().edge(e);
+  const std::size_t ch =
+      static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+  attempts_[ch].push_back(delivered ? 1 : 0);
+}
+
+void ByzantineContainmentChecker::on_send(const Network& net, NodeId from,
+                                          EdgeId e, MsgClass /*cls*/,
+                                          double /*delay*/,
+                                          double /*arrival*/) {
+  count_attempt(net, from, e, true);
+}
+
+void ByzantineContainmentChecker::on_drop(const Network& net, NodeId from,
+                                          EdgeId e, MsgClass /*cls*/,
+                                          FaultDropReason /*reason*/) {
+  count_attempt(net, from, e, false);
+}
+
+void ByzantineContainmentChecker::on_byzantine(const Network& net,
+                                               NodeId from, EdgeId e,
+                                               bool forged,
+                                               double arrival) {
+  ensure_sized(net);
+  const char* kind = forged ? "forgery" : "equivocation";
+  if (from < 0 || from >= net.graph().node_count()) {
+    std::ostringstream os;
+    os << "byzantine " << kind << " attributed to out-of-range node "
+       << from;
+    report(os.str());
+    return;
+  }
+  if (is_allowed_[static_cast<std::size_t>(from)] == 0) {
+    // The containment rule proper: corruption escaped the configured
+    // corruption set. Name the node so the report is actionable.
+    std::ostringstream os;
+    os << "byzantine containment violated: " << kind << " by node "
+       << from << " on edge " << e << " (t=" << arrival
+       << "), which is outside the corruption set";
+    report(os.str());
+  }
+  if (forged) {
+    ++forgeries_[static_cast<std::size_t>(from)];
+    ++total_forge_;
+  } else {
+    ++equivocations_[static_cast<std::size_t>(from)];
+    ++total_equiv_;
+  }
+  const Edge& edge = net.graph().edge(e);
+  const std::size_t ch =
+      static_cast<std::size_t>(2 * e) + (from == edge.u ? 0 : 1);
+  if (forged) {
+    ++channel_forge_[ch];
+  } else {
+    ++channel_equiv_[ch];
+  }
+}
+
+void ByzantineContainmentChecker::check_final(const Network& net) {
+  ensure_sized(net);
+  if (faults_ == nullptr) return;
+  const Graph& g = net.graph();
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const Edge& edge = g.edge(e);
+    for (int dir = 0; dir < 2; ++dir) {
+      const std::size_t ch = static_cast<std::size_t>(2 * e) +
+                             static_cast<std::size_t>(dir);
+      const NodeId sender = dir == 0 ? edge.u : edge.v;
+      std::int64_t want_equiv = 0;
+      std::int64_t want_forge = 0;
+      if (faults_->byzantine(sender)) {
+        const auto& attempts = attempts_[ch];
+        for (std::size_t cnt = 0; cnt < attempts.size(); ++cnt) {
+          if (attempts[cnt] == 0) continue;  // dropped: never corrupted
+          switch (faults_->byzantine_fate(ch, cnt)) {
+            case FaultInjector::ByzantineFate::kEquivocate:
+              ++want_equiv;
+              break;
+            case FaultInjector::ByzantineFate::kForge:
+              ++want_forge;
+              break;
+            case FaultInjector::ByzantineFate::kNone:
+              break;
+          }
+        }
+      }
+      if (want_equiv != channel_equiv_[ch] ||
+          want_forge != channel_forge_[ch]) {
+        std::ostringstream os;
+        os << "byzantine influence on channel " << ch << " (sender "
+           << sender << ") diverges from the keyed stream: observed ("
+           << channel_equiv_[ch] << " equivocations, "
+           << channel_forge_[ch] << " forgeries) but the plan's draws "
+           << "give (" << want_equiv << ", " << want_forge << ")";
+        report(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace csca

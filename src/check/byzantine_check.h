@@ -1,0 +1,98 @@
+// Byzantine containment checker.
+//
+// The fault model (fault/fault_plan.h) promises that byzantine
+// corruption — equivocation and checksum-forging — originates *only*
+// from the plan's configured corruption set, and only as the keyed
+// per-channel draw stream dictates. This observer verifies that
+// containment independently of the injector's own bookkeeping:
+//
+//   * every on_byzantine event names a sender inside the allowed
+//     corruption set (a corruption attributed to an honest node is a
+//     violation, reported with the node's id);
+//   * per-sender tallies of equivocations and forgeries are exposed so
+//     tests can assert that influence is bounded (and nonzero where the
+//     plan says it must be);
+//   * check_final replays the keyed byzantine stream against the
+//     per-channel send counts this checker observed and requires the
+//     observed corruption events to match the replay exactly — the
+//     faulty influence is precisely the plan's draws, no more, no less.
+//
+// Attach to a Network via set_observer (it forwards the send/deliver
+// hooks it does not use), give it the plan's corruption set (or an
+// intentionally smaller set, to demonstrate a catch), and read
+// ok()/violations() after the run. Sequential-engine only, like every
+// InvariantObserver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace csca {
+
+class FaultInjector;
+
+class ByzantineContainmentChecker final : public InvariantObserver {
+ public:
+  /// `allowed` is the corruption set the checker will accept byzantine
+  /// events from — normally FaultPlan::byzantine, but tests pass a
+  /// smaller set to prove the catch fires.
+  explicit ByzantineContainmentChecker(std::vector<NodeId> allowed);
+
+  void on_send(const Network& net, NodeId from, EdgeId e, MsgClass cls,
+               double delay, double arrival) override;
+  void on_drop(const Network& net, NodeId from, EdgeId e, MsgClass cls,
+               FaultDropReason reason) override;
+  void on_byzantine(const Network& net, NodeId from, EdgeId e,
+                    bool forged, double arrival) override;
+
+  /// Enables the check_final stream replay (optional): the injector
+  /// whose keyed draws the observed events must reproduce.
+  void set_faults(const FaultInjector* f) { faults_ = f; }
+
+  /// Replays the byzantine stream over the observed per-channel send
+  /// counts and compares against the observed corruption tallies.
+  /// Requires set_faults; a no-op without it.
+  void check_final(const Network& net);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+
+  std::int64_t equivocations(NodeId v) const {
+    return equivocations_[static_cast<std::size_t>(v)];
+  }
+  std::int64_t forgeries(NodeId v) const {
+    return forgeries_[static_cast<std::size_t>(v)];
+  }
+  std::int64_t total_equivocations() const { return total_equiv_; }
+  std::int64_t total_forgeries() const { return total_forge_; }
+
+ private:
+  void ensure_sized(const Network& net);
+  void report(std::string what);
+  void count_attempt(const Network& net, NodeId from, EdgeId e,
+                     bool delivered);
+
+  std::vector<NodeId> allowed_;
+  std::vector<char> is_allowed_;  // materialized per node once sized
+  std::vector<std::string> violations_;
+  std::vector<std::int64_t> equivocations_;
+  std::vector<std::int64_t> forgeries_;
+  // Per directed channel, the attempt sequence in observed order: 1 for
+  // a delivered send (on_send), 0 for a dropped one (on_drop). Both
+  // consume a keyed count, but corruption only applies to delivered
+  // attempts — check_final replays the stream over exactly this record.
+  std::vector<std::vector<char>> attempts_;
+  std::vector<std::int64_t> channel_equiv_;
+  std::vector<std::int64_t> channel_forge_;
+  std::int64_t total_equiv_ = 0;
+  std::int64_t total_forge_ = 0;
+  const FaultInjector* faults_ = nullptr;
+  bool sized_ = false;
+};
+
+}  // namespace csca

@@ -28,6 +28,7 @@ void DefaultInvariantChecker::ensure_sized(const Network& net) {
   arq_invalid_.assign(2 * m, 0);
   sent_algorithm_.assign(m, 0);
   sent_control_.assign(m, 0);
+  sent_recovery_.assign(m, 0);
 }
 
 void DefaultInvariantChecker::report(std::string what) {
@@ -97,8 +98,9 @@ void DefaultInvariantChecker::on_send(const Network& net, NodeId from,
     report(os.str());
   }
   chan.push_back(arrival);
-  auto& tally = cls == MsgClass::kAlgorithm ? sent_algorithm_
-                                            : sent_control_;
+  auto& tally = cls == MsgClass::kAlgorithm  ? sent_algorithm_
+                : cls == MsgClass::kControl  ? sent_control_
+                                             : sent_recovery_;
   ++tally[static_cast<std::size_t>(e)];
 }
 
@@ -216,8 +218,9 @@ void DefaultInvariantChecker::on_drop(const Network& net, NodeId from,
   ++drops_seen_;
   // The attempt is charged to the ledger even though nothing was
   // queued, so it joins the send tally — but not the channel queue.
-  auto& tally = cls == MsgClass::kAlgorithm ? sent_algorithm_
-                                            : sent_control_;
+  auto& tally = cls == MsgClass::kAlgorithm  ? sent_algorithm_
+                : cls == MsgClass::kControl  ? sent_control_
+                                             : sent_recovery_;
   ++tally[static_cast<std::size_t>(e)];
   const Edge& edge = net.graph().edge(e);
   if (edge.u != from && edge.v != from) {
@@ -275,37 +278,48 @@ void DefaultInvariantChecker::check_final(const Network& net) {
   // the engine's counters vs this checker's independent tally.
   std::int64_t algo_msgs = 0;
   std::int64_t ctrl_msgs = 0;
+  std::int64_t rec_msgs = 0;
   Weight algo_cost = 0;
   Weight ctrl_cost = 0;
+  Weight rec_cost = 0;
   std::int64_t total_sends = 0;
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const auto i = static_cast<std::size_t>(e);
     const std::int64_t a = net.edge_message_count(e, MsgClass::kAlgorithm);
     const std::int64_t c = net.edge_message_count(e, MsgClass::kControl);
+    const std::int64_t r = net.edge_message_count(e, MsgClass::kRecovery);
     algo_msgs += a;
     ctrl_msgs += c;
+    rec_msgs += r;
     algo_cost += a * g.weight(e);
     ctrl_cost += c * g.weight(e);
-    total_sends += a + c;
-    if (a != sent_algorithm_[i] || c != sent_control_[i]) {
+    rec_cost += r * g.weight(e);
+    total_sends += a + c + r;
+    if (a != sent_algorithm_[i] || c != sent_control_[i] ||
+        r != sent_recovery_[i]) {
       std::ostringstream os;
       os << "edge " << e << " per-class counters (" << a << ", " << c
-         << ") disagree with the observed sends ("
-         << sent_algorithm_[i] << ", " << sent_control_[i] << ")";
+         << ", " << r << ") disagree with the observed sends ("
+         << sent_algorithm_[i] << ", " << sent_control_[i] << ", "
+         << sent_recovery_[i] << ")";
       report(os.str());
     }
   }
   if (algo_msgs != stats.algorithm_messages ||
       ctrl_msgs != stats.control_messages ||
+      rec_msgs != stats.recovery_messages ||
       algo_cost != stats.algorithm_cost ||
-      ctrl_cost != stats.control_cost) {
+      ctrl_cost != stats.control_cost ||
+      rec_cost != stats.recovery_cost) {
     std::ostringstream os;
     os << "ledger conservation failed: per-edge sums give msgs=("
-       << algo_msgs << ", " << ctrl_msgs << ") cost=(" << algo_cost
-       << ", " << ctrl_cost << ") but RunStats holds msgs=("
+       << algo_msgs << ", " << ctrl_msgs << ", " << rec_msgs
+       << ") cost=(" << algo_cost << ", " << ctrl_cost << ", "
+       << rec_cost << ") but RunStats holds msgs=("
        << stats.algorithm_messages << ", " << stats.control_messages
-       << ") cost=(" << stats.algorithm_cost << ", "
-       << stats.control_cost << ")";
+       << ", " << stats.recovery_messages << ") cost=("
+       << stats.algorithm_cost << ", " << stats.control_cost << ", "
+       << stats.recovery_cost << ")";
     report(os.str());
   }
   if (stats.events != deliveries_seen_) {

@@ -138,6 +138,7 @@ class DefaultInvariantChecker final : public InvariantObserver {
   // Independent per-edge tallies, indexed [class][edge].
   std::vector<std::int64_t> sent_algorithm_;
   std::vector<std::int64_t> sent_control_;
+  std::vector<std::int64_t> sent_recovery_;
   std::int64_t deliveries_seen_ = 0;
   std::int64_t self_schedules_seen_ = 0;
   std::int64_t drops_seen_ = 0;

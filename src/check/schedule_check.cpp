@@ -22,9 +22,16 @@ int count_finished(const ProcessHost& host, const Graph& g) {
 // fault-free path and byte-identical ledgers).
 std::optional<FaultInjector> make_injector(const Graph& g,
                                            const ScheduleSpec& spec) {
-  if (!spec.make_faults) return std::nullopt;
-  FaultInjector inj(spec.make_faults(g), g, spec.seed);
-  if (!inj.active()) return std::nullopt;
+  if (!spec.make_faults && !spec.make_churn) return std::nullopt;
+  const FaultPlan plan =
+      spec.make_faults ? spec.make_faults(g) : FaultPlan{};
+  std::optional<FaultInjector> inj;
+  if (spec.make_churn) {
+    inj.emplace(plan, spec.make_churn(g), g, spec.seed);
+  } else {
+    inj.emplace(plan, g, spec.seed);
+  }
+  if (!inj->active()) return std::nullopt;
   return inj;
 }
 
@@ -32,21 +39,21 @@ std::optional<FaultInjector> make_injector(const Graph& g,
 
 std::vector<ScheduleSpec> default_portfolio() {
   std::vector<ScheduleSpec> out;
-  out.push_back({"exact", 1, [] { return make_exact_delay(); }, {}});
+  out.push_back({"exact", 1, [] { return make_exact_delay(); }, {}, {}});
   out.push_back({"uniform[0,1)#101", 101,
-                 [] { return make_uniform_delay(0, 1); }, {}});
+                 [] { return make_uniform_delay(0, 1); }, {}, {}});
   out.push_back({"uniform[0,1)#202", 202,
-                 [] { return make_uniform_delay(0, 1); }, {}});
+                 [] { return make_uniform_delay(0, 1); }, {}, {}});
   out.push_back({"uniform[0,0.5)#303", 303,
-                 [] { return make_uniform_delay(0, 0.5); }, {}});
+                 [] { return make_uniform_delay(0, 0.5); }, {}, {}});
   out.push_back({"twopoint(0.5)#404", 404,
-                 [] { return make_two_point_delay(0.5); }, {}});
+                 [] { return make_two_point_delay(0.5); }, {}, {}});
   out.push_back({"twopoint(0.9)#505", 505,
-                 [] { return make_two_point_delay(0.9); }, {}});
+                 [] { return make_two_point_delay(0.9); }, {}, {}});
   out.push_back(
-      {"edgefrac(7)", 7, [] { return make_edge_fraction_delay(7); }, {}});
-  out.push_back(
-      {"edgefrac(99)", 99, [] { return make_edge_fraction_delay(99); }, {}});
+      {"edgefrac(7)", 7, [] { return make_edge_fraction_delay(7); }, {}, {}});
+  out.push_back({"edgefrac(99)", 99,
+                 [] { return make_edge_fraction_delay(99); }, {}, {}});
   return out;
 }
 
@@ -139,7 +146,9 @@ ScheduleCheckReport check_subject(
   };
   bool have_reference = false;
   for (const ScheduleSpec& spec : portfolio) {
-    const bool faulty = spec.make_faults && spec.make_faults(g).active();
+    const bool faulty =
+        (spec.make_faults && spec.make_faults(g).active()) ||
+        (spec.make_churn && spec.make_churn(g).active());
     const SubjectOutcome outcome =
         shards > 0 ? subject.run_par(g, spec, shards, backend)
                    : subject.run(g, spec);

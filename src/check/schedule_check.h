@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/churn_plan.h"
 #include "fault/fault_plan.h"
 #include "par/shard_engine.h"
 #include "par/timewarp_engine.h"
@@ -48,6 +49,12 @@ struct ScheduleSpec {
   std::uint64_t seed = 1;
   std::function<std::unique_ptr<DelayModel>()> make_delay;
   std::function<FaultPlan(const Graph&)> make_faults;  ///< optional
+  /// Optional dynamic-topology schedule composed into the injector
+  /// (liveness intervals only — single-run sweeps never cross an epoch
+  /// boundary, so weight re-draws do not apply here; see
+  /// fault/churn_plan.h). Active churn switches the sweep to
+  /// degraded-mode reporting exactly like an active fault plan.
+  std::function<ChurnPlan(const Graph&)> make_churn;
 };
 
 /// The standard portfolio (8 schedules): exact worst case, three

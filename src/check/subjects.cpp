@@ -195,8 +195,14 @@ SubjectOutcome run_synchronized_bf(const Graph& g, const ScheduleSpec& spec,
     // Injector built against ng: outage/crash builtins scale their
     // times off edge weights, and ng is the graph the engine runs on.
     std::optional<FaultInjector> inj;
-    if (spec.make_faults) {
-      inj.emplace(spec.make_faults(ng), ng, spec.seed);
+    if (spec.make_faults || spec.make_churn) {
+      const FaultPlan plan =
+          spec.make_faults ? spec.make_faults(ng) : FaultPlan{};
+      if (spec.make_churn) {
+        inj.emplace(plan, spec.make_churn(ng), ng, spec.seed);
+      } else {
+        inj.emplace(plan, ng, spec.seed);
+      }
       if (!inj->active()) inj.reset();
     }
     // Under active faults, oracle shortfalls are expected degradation.

@@ -1,0 +1,100 @@
+// Self-stabilizing recovery under dynamic topology churn.
+//
+// A RestabilizingRun executes a structure-building protocol (GHS MST or
+// the recursive SPT) to quiescence, then walks the ChurnPlan epoch by
+// epoch. At each epoch it:
+//
+//   1. applies the epoch's keyed weight re-draws to its working copy of
+//      the graph (apply_churn_weights; the support graph is fixed, so
+//      only weights move between run slices — see fault/churn_plan.h);
+//   2. runs a broadcast-echo *dirty probe* over the live topology,
+//      billed to MsgClass::kRecovery: the distributed detection sweep
+//      that tells every node an epoch boundary passed and collects the
+//      echo wave back at the root (cost Theta(sum of edge weights),
+//      the term the recovery envelope charges per epoch);
+//   3. decides validity of the *live* structure with the centralized
+//      certificate check — the KKP-style cycle-property rule
+//      (mst_cycle_violations) for MST subjects, the route-consistency
+//      rule (spt_route_violations) for SPT — exactly the predicates a
+//      distributed verifier decides, evaluated on the claimed
+//      structure the previous slice left behind;
+//   4. when the structure is invalidated, re-executes the protocol on
+//      the re-weighted graph with Network::set_recovery_billing(true),
+//      so every message of the recovery run lands in the kRecovery
+//      ledger class, and adopts the rebuilt structure as the new live
+//      state.
+//
+// The cumulative ledger therefore separates the initial construction
+// (algorithm/control) from everything churn made necessary (recovery),
+// which is what the churn bench table's envelope bound is checked
+// against: per epoch, recovery cost <= probe envelope + (structure
+// invalidated ? re-execution envelope : 0).
+//
+// Fault plans compose: the same FaultPlan is materialized against every
+// slice (message-rate faults keep their keyed streams; crash/outage
+// schedules apply within each slice's own clock). Sequential-engine
+// only — the cross-engine churn determinism matrix exercises the
+// injector path instead (tests/fault/churn_determinism_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/churn_plan.h"
+#include "fault/fault_plan.h"
+#include "graph/graph.h"
+#include "sim/message.h"
+
+namespace csca {
+
+enum class RestabilizeSubject {
+  kMst,  ///< GHS; live state = branch edge set, checked by cycle rule
+  kSpt,  ///< recursive SPT; live state = distance vector, route rule
+};
+
+struct RestabilizeOptions {
+  RestabilizeSubject subject = RestabilizeSubject::kMst;
+  ChurnPlan churn;
+  /// Composed message/crash/outage (and byzantine) faults; applied to
+  /// every slice, inactive by default.
+  FaultPlan faults;
+  std::uint64_t seed = 1;
+  /// SPT source / probe root.
+  NodeId root = 0;
+  /// Wall-clock cap per slice, for runs faults may keep from quiescing.
+  double max_time_per_slice = 1e9;
+};
+
+/// One churn epoch's recovery accounting.
+struct EpochReport {
+  double at = 0;                ///< the epoch's scheduled virtual time
+  int changed_edges = 0;        ///< weight re-draws applied
+  std::int64_t violations = 0;  ///< certificate violations detected
+  bool restabilized = false;    ///< protocol re-executed this epoch
+  /// Recovery-class traffic of this epoch (dirty probe, plus the
+  /// re-execution when the structure was invalidated).
+  std::int64_t recovery_messages = 0;
+  Weight recovery_cost = 0;
+};
+
+struct RestabilizeReport {
+  /// Cumulative ledger: initial run (algorithm/control) plus every
+  /// epoch's probe and re-execution traffic (recovery).
+  RunStats total;
+  std::vector<EpochReport> epochs;
+  /// The live structure passes its certificate check after the final
+  /// epoch (against the final weights).
+  bool final_valid = false;
+  /// Epochs whose certificate check failed (== number of re-executions).
+  int restabilizations = 0;
+};
+
+/// Runs `subject` under `opts.churn` on a working copy of g (the
+/// caller's graph is never mutated). Requires a connected graph with
+/// n >= 2 and a churn plan without edge/node liveness events (weight
+/// re-draws only — liveness churn composes through the FaultInjector
+/// path instead, where delivery semantics are defined).
+RestabilizeReport run_restabilizing(const Graph& g,
+                                    const RestabilizeOptions& opts);
+
+}  // namespace csca

@@ -1,0 +1,278 @@
+#include "fault/churn_plan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/require.h"
+#include "util/rng.h"
+
+namespace csca {
+
+namespace {
+
+// Stream tags for the two independent churn draws (decision / weight),
+// disjoint from the injector's fate (0xFA7E), dup (0xD0B1) and garble
+// (0x6A8B) streams.
+constexpr std::uint64_t kRedrawPickStream = 0xC0D1;
+constexpr std::uint64_t kRedrawWeightStream = 0xC0D2;
+
+std::uint64_t churn_base(const ChurnPlan& plan, std::uint64_t run_seed,
+                         std::uint64_t stream) {
+  return derive_stream_seed(mix64(run_seed) ^ plan.salt, stream);
+}
+
+std::uint64_t churn_key(const ChurnPlan& plan, std::uint64_t run_seed,
+                        std::uint64_t stream, std::size_t epoch, EdgeId e) {
+  return derive_stream_seed(
+      derive_stream_seed(churn_base(plan, run_seed, stream), epoch),
+      static_cast<std::uint64_t>(e));
+}
+
+}  // namespace
+
+bool ChurnPlan::active() const {
+  for (const ChurnEpoch& ep : epochs) {
+    if (ep.redraw_fraction > 0 || !ep.edges_down.empty() ||
+        !ep.edges_up.empty() || !ep.leaves.empty() || !ep.joins.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<double> ChurnPlan::epoch_times() const {
+  std::vector<double> times;
+  times.reserve(epochs.size());
+  for (const ChurnEpoch& ep : epochs) times.push_back(ep.at);
+  return times;
+}
+
+void ChurnPlan::validate(const Graph& g) const {
+  double prev = -1.0;
+  // id -> live state as of the last event seen (alternation tracking);
+  // absent from the map = no event yet.
+  std::map<EdgeId, bool> edge_up;
+  std::map<NodeId, bool> node_present;
+  for (std::size_t k = 0; k < epochs.size(); ++k) {
+    const ChurnEpoch& ep = epochs[k];
+    require(ep.at >= 0, "churn plan: epoch time must be non-negative");
+    require(ep.at > prev,
+            "churn plan: epoch times must be strictly increasing");
+    prev = ep.at;
+    require(ep.redraw_fraction >= 0 && ep.redraw_fraction <= 1,
+            "churn plan: redraw fraction must be in [0, 1]");
+    // Range + duplicate checks first: an id repeated inside one list
+    // would otherwise trip the alternation rule below with a confusing
+    // message.
+    std::vector<EdgeId> epoch_edges;
+    for (EdgeId e : ep.edges_down) {
+      require(e >= 0 && e < g.edge_count(),
+              "churn plan: edges_down id out of range");
+      epoch_edges.push_back(e);
+    }
+    for (EdgeId e : ep.edges_up) {
+      require(e >= 0 && e < g.edge_count(),
+              "churn plan: edges_up id out of range");
+      epoch_edges.push_back(e);
+    }
+    std::sort(epoch_edges.begin(), epoch_edges.end());
+    require(std::adjacent_find(epoch_edges.begin(), epoch_edges.end()) ==
+                epoch_edges.end(),
+            "churn plan: edge listed twice in one epoch");
+    std::vector<NodeId> epoch_nodes;
+    for (NodeId v : ep.leaves) {
+      require(v >= 0 && v < g.node_count(),
+              "churn plan: leaves id out of range");
+      epoch_nodes.push_back(v);
+    }
+    for (NodeId v : ep.joins) {
+      require(v >= 0 && v < g.node_count(),
+              "churn plan: joins id out of range");
+      epoch_nodes.push_back(v);
+    }
+    std::sort(epoch_nodes.begin(), epoch_nodes.end());
+    require(std::adjacent_find(epoch_nodes.begin(), epoch_nodes.end()) ==
+                epoch_nodes.end(),
+            "churn plan: node listed twice in one epoch");
+    for (EdgeId e : ep.edges_down) {
+      const auto it = edge_up.find(e);
+      require(it == edge_up.end() || it->second,
+              "churn plan: edges_down on an already-down edge");
+      edge_up[e] = false;
+    }
+    for (EdgeId e : ep.edges_up) {
+      const auto it = edge_up.find(e);
+      // First event `up` = edge dark from time 0; otherwise must follow
+      // a `down`.
+      require(it == edge_up.end() || !it->second,
+              "churn plan: edges_up on an edge that is already up");
+      edge_up[e] = true;
+    }
+    for (NodeId v : ep.leaves) {
+      const auto it = node_present.find(v);
+      require(it == node_present.end() || it->second,
+              "churn plan: leave of an already-absent node");
+      node_present[v] = false;
+    }
+    for (NodeId v : ep.joins) {
+      const auto it = node_present.find(v);
+      // First event `join` = node absent from time 0 (late joiner).
+      require(it == node_present.end() || !it->second,
+              "churn plan: join of a node that is already present");
+      node_present[v] = true;
+    }
+  }
+  require(redraw_max_weight >= 0,
+          "churn plan: redraw_max_weight must be non-negative");
+}
+
+bool churn_redraws_edge(const ChurnPlan& plan, std::size_t epoch,
+                        std::uint64_t run_seed, EdgeId e) {
+  require(epoch < plan.epochs.size(), "churn epoch index out of range");
+  const double frac = plan.epochs[epoch].redraw_fraction;
+  if (frac <= 0) return false;
+  return key_to_unit(churn_key(plan, run_seed, kRedrawPickStream, epoch, e)) <
+         frac;
+}
+
+Weight churn_redrawn_weight(const ChurnPlan& plan, std::size_t epoch,
+                            std::uint64_t run_seed, EdgeId e, Weight max_w) {
+  require(max_w >= 1, "churn redraw needs a positive max weight");
+  const std::uint64_t k =
+      churn_key(plan, run_seed, kRedrawWeightStream, epoch, e);
+  return 1 + static_cast<Weight>(mix64(k) % static_cast<std::uint64_t>(max_w));
+}
+
+int apply_churn_weights(const ChurnPlan& plan, std::size_t epoch,
+                        std::uint64_t run_seed, Graph& g) {
+  require(epoch < plan.epochs.size(), "churn epoch index out of range");
+  const Weight max_w = plan.redraw_max_weight > 0
+                           ? plan.redraw_max_weight
+                           : std::max<Weight>(g.max_weight(), 1);
+  int changed = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!churn_redraws_edge(plan, epoch, run_seed, e)) continue;
+    const Weight w = churn_redrawn_weight(plan, epoch, run_seed, e, max_w);
+    if (w != g.weight(e)) {
+      g.set_weight(e, w);
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+std::vector<std::string> builtin_churn_plan_names() {
+  return {"none",       "weights_mild", "weights_heavy",
+          "edge_churn", "node_churn",   "full_churn"};
+}
+
+std::string builtin_churn_plan_description(const std::string& name) {
+  if (name == "none") return "inactive plan (no epochs)";
+  if (name == "weights_mild") {
+    return "3 epochs re-drawing 10% of edge weights each";
+  }
+  if (name == "weights_heavy") {
+    return "3 epochs re-drawing 50% of edge weights each";
+  }
+  if (name == "edge_churn") {
+    return "three spread edges down at epoch 1, back at epoch 2; one flaps";
+  }
+  if (name == "node_churn") {
+    return "node n/3 leaves then rejoins; node 2n/3 joins late";
+  }
+  if (name == "full_churn") {
+    return "weights_mild + edge_churn + node_churn combined";
+  }
+  require(false, "unknown builtin churn plan: " + name);
+  return {};
+}
+
+namespace {
+
+double epoch_spacing(const Graph& g) {
+  return 2.0 * static_cast<double>(std::max<Weight>(g.max_weight(), 1));
+}
+
+void add_weight_epochs(ChurnPlan& plan, const Graph& g, double fraction) {
+  const double gap = epoch_spacing(g);
+  for (int k = 1; k <= 3; ++k) {
+    ChurnEpoch ep;
+    ep.at = gap * static_cast<double>(k);
+    ep.redraw_fraction = fraction;
+    plan.epochs.push_back(ep);
+  }
+}
+
+// Three spread-out edges (same picks as link_flap) down during
+// [epoch 1, epoch 2); the first of them flaps again at epoch 3.
+void add_edge_churn(ChurnPlan& plan, const Graph& g) {
+  const double gap = epoch_spacing(g);
+  while (plan.epochs.size() < 3) {
+    ChurnEpoch ep;
+    ep.at = gap * static_cast<double>(plan.epochs.size() + 1);
+    plan.epochs.push_back(ep);
+  }
+  const EdgeId m = g.edge_count();
+  std::vector<EdgeId> picks;
+  for (const EdgeId e : {EdgeId{0}, m / 3, (2 * m) / 3}) {
+    if (e < m && std::find(picks.begin(), picks.end(), e) == picks.end()) {
+      picks.push_back(e);
+    }
+  }
+  for (EdgeId e : picks) {
+    plan.epochs[0].edges_down.push_back(e);
+    plan.epochs[1].edges_up.push_back(e);
+  }
+  if (!picks.empty()) plan.epochs[2].edges_down.push_back(picks[0]);
+}
+
+void add_node_churn(ChurnPlan& plan, const Graph& g) {
+  const double gap = epoch_spacing(g);
+  while (plan.epochs.size() < 3) {
+    ChurnEpoch ep;
+    ep.at = gap * static_cast<double>(plan.epochs.size() + 1);
+    plan.epochs.push_back(ep);
+  }
+  const NodeId n = g.node_count();
+  const NodeId leaver = n / 3;
+  const NodeId joiner = (2 * n) / 3;
+  if (n >= 2 && leaver != joiner) {
+    plan.epochs[0].leaves.push_back(leaver);
+    plan.epochs[2].joins.push_back(leaver);
+    // First event `join` = absent from time 0.
+    plan.epochs[0].joins.push_back(joiner);
+  }
+}
+
+}  // namespace
+
+ChurnPlan make_builtin_churn_plan(const std::string& name, const Graph& g) {
+  ChurnPlan plan;
+  if (name == "none") return plan;
+  if (name == "weights_mild") {
+    add_weight_epochs(plan, g, 0.1);
+    return plan;
+  }
+  if (name == "weights_heavy") {
+    add_weight_epochs(plan, g, 0.5);
+    return plan;
+  }
+  if (name == "edge_churn") {
+    add_edge_churn(plan, g);
+    return plan;
+  }
+  if (name == "node_churn") {
+    add_node_churn(plan, g);
+    return plan;
+  }
+  if (name == "full_churn") {
+    add_weight_epochs(plan, g, 0.1);
+    add_edge_churn(plan, g);
+    add_node_churn(plan, g);
+    return plan;
+  }
+  require(false, "unknown builtin churn plan: " + name);
+  return plan;
+}
+
+}  // namespace csca

@@ -1,0 +1,114 @@
+// Declarative dynamic-topology model for a single simulation run.
+//
+// A ChurnPlan is a schedule of *epochs* at increasing virtual times;
+// each epoch can re-draw a keyed fraction of the edge weights, take
+// edges down or bring them back up, and let nodes leave or (re)join.
+// Like a FaultPlan, the plan is pure data, and everything stochastic
+// about it is a pure function of (run seed, plan salt, edge/node id,
+// epoch index) — so a churned run is bit-identical on the sequential
+// Network, the SyncEngine, the conservative ShardEngine and the
+// optimistic TimeWarp backend, at any shard or job count.
+//
+// The support-graph trick keeps the engines' fixed-size world intact:
+// the node and edge *sets* never change. "Down" edges and "absent"
+// nodes are liveness intervals compiled into the FaultInjector (they
+// reuse the outage / crash machinery, which every engine already
+// honors on its send path and which TimeWarp's rollback already
+// re-evaluates purely), and a node that joins at epoch k is simply
+// absent during [0, t_k). Weight re-draws are the one mutation that
+// cannot happen mid-flight — the conservative engine's lookahead and
+// the pulse domain's arithmetic both assume w(e) is stable within a
+// run slice — so they apply only at epoch boundaries, between run
+// slices, via apply_churn_weights (the RestabilizingRun driver in
+// control/restabilize.h is the canonical consumer). See docs/faults.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace csca {
+
+/// One scheduled churn epoch at virtual time `at`.
+struct ChurnEpoch {
+  double at = 0;
+  /// Fraction of edges whose weight is re-drawn at this epoch. The
+  /// per-edge decision and the fresh weight are keyed draws (see
+  /// churn_redraws_edge / churn_redrawn_weight).
+  double redraw_fraction = 0;
+  std::vector<EdgeId> edges_down;  ///< edges that go dark at `at`
+  std::vector<EdgeId> edges_up;    ///< edges that come back (or appear)
+  std::vector<NodeId> leaves;      ///< nodes that depart at `at`
+  std::vector<NodeId> joins;       ///< nodes that (re)join at `at`
+};
+
+/// The full dynamic-topology schedule for one run. Default-constructed
+/// plans are inactive. Liveness convention: per edge (and per node) the
+/// events must alternate, and the *first* event fixes the initial
+/// state — an edge whose first event is `edges_up` was dark from time 0
+/// (it "appears"); a node whose first event is `joins` was absent from
+/// time 0 (a late joiner). An edge/node with no events is always live.
+struct ChurnPlan {
+  std::vector<ChurnEpoch> epochs;  ///< strictly increasing `at`
+  /// Re-drawn weights are uniform in [1, redraw_max_weight]; 0 means
+  /// "use the graph's max_weight() at apply time".
+  Weight redraw_max_weight = 0;
+  /// Decorrelates churn draws from delay, fate and dup streams.
+  std::uint64_t salt = 0xC4E7;
+
+  /// True when the plan can affect a run at all.
+  bool active() const;
+
+  /// Validates the schedule against a concrete graph: epoch times
+  /// strictly increasing and non-negative, redraw fractions in [0, 1],
+  /// ids in range, no id listed twice in one epoch, and the
+  /// alternation rule above. Throws a named error on the first
+  /// violation.
+  void validate(const Graph& g) const;
+
+  /// The epoch times, in schedule order.
+  std::vector<double> epoch_times() const;
+};
+
+/// Keyed per-edge decision: does edge e re-draw its weight at epoch k?
+/// Pure function of (plan salt, run seed, epoch, edge).
+bool churn_redraws_edge(const ChurnPlan& plan, std::size_t epoch,
+                        std::uint64_t run_seed, EdgeId e);
+
+/// The fresh weight for a re-drawn edge: uniform in [1, max_w], keyed
+/// by (plan salt, run seed, epoch, edge) independently of the re-draw
+/// decision.
+Weight churn_redrawn_weight(const ChurnPlan& plan, std::size_t epoch,
+                            std::uint64_t run_seed, EdgeId e, Weight max_w);
+
+/// Applies epoch k's weight re-draws to g (Graph::set_weight) and
+/// returns the number of edges whose weight actually changed. Must only
+/// be called between run slices — never while an engine holds in-flight
+/// events drawn against the old weights.
+int apply_churn_weights(const ChurnPlan& plan, std::size_t epoch,
+                        std::uint64_t run_seed, Graph& g);
+
+/// Names accepted by make_builtin_churn_plan, in presentation order:
+/// none, weights_mild, weights_heavy, edge_churn, node_churn, full_churn.
+std::vector<std::string> builtin_churn_plan_names();
+
+/// One-line description of a builtin churn plan (for --list-plans).
+std::string builtin_churn_plan_description(const std::string& name);
+
+/// Builds a named builtin plan against a concrete graph (epoch spacing
+/// scales with the max edge weight; churned edges/nodes are picked from
+/// the graph deterministically):
+///  - none:          inactive plan (no epochs).
+///  - weights_mild:  3 epochs re-drawing 10% of the edge weights each.
+///  - weights_heavy: 3 epochs re-drawing 50% of the edge weights each.
+///  - edge_churn:    three spread-out edges go down at epoch 1 and come
+///                   back at epoch 2; one further edge flaps at epoch 3.
+///  - node_churn:    node n/3 leaves at epoch 1 and rejoins at epoch 3;
+///                   node 2n/3 joins late (absent until epoch 1).
+///  - full_churn:    weights_mild + edge_churn + node_churn combined.
+/// Rejects unknown names.
+ChurnPlan make_builtin_churn_plan(const std::string& name, const Graph& g);
+
+}  // namespace csca

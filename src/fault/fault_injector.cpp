@@ -2,9 +2,20 @@
 
 #include <limits>
 
+#include "fault/frame_checksum.h"
 #include "util/require.h"
 
 namespace csca {
+
+namespace {
+
+// ARQ frame tags, mirrored from fault/reliable_link.h (csca_fault sits
+// *above* csca_sim, so this layer cannot include it; the values are
+// pinned by the wire-format tests).
+constexpr int kFrameData = 71001;
+constexpr int kFrameAck = 71002;
+
+}  // namespace
 
 FaultInjector::FaultInjector(const FaultPlan& plan, const Graph& g,
                              std::uint64_t run_seed)
@@ -12,28 +23,120 @@ FaultInjector::FaultInjector(const FaultPlan& plan, const Graph& g,
       fate_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0xFA7E)),
       dup_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0xD0B1)),
       garble_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0x6A8B)),
+      byz_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0xB42A)),
+      equiv_seed_(derive_stream_seed(mix64(run_seed) ^ plan.salt, 0xE041)),
       crash_time_(static_cast<std::size_t>(g.node_count()),
                   std::numeric_limits<double>::infinity()),
       outages_(static_cast<std::size_t>(g.edge_count())) {
-  require(plan.drop_rate >= 0 && plan.dup_rate >= 0 &&
-              plan.garble_rate >= 0 &&
-              plan.drop_rate + plan.dup_rate + plan.garble_rate <= 1.0,
-          "fault plan rates must be non-negative with "
-          "drop + dup + garble <= 1");
+  plan.validate(g);
   for (const CrashEvent& c : plan.crashes) {
-    g.check_node(c.node);
-    require(c.at >= 0, "crash time must be non-negative");
     double& t = crash_time_[static_cast<std::size_t>(c.node)];
     t = std::min(t, c.at);
   }
   for (const LinkOutage& o : plan.outages) {
-    require(o.edge >= 0 && o.edge < g.edge_count(),
-            "outage edge id out of range");
-    require(o.down_at >= 0 && o.up_at > o.down_at,
-            "outage interval must be non-empty with down_at >= 0");
     outages_[static_cast<std::size_t>(o.edge)].emplace_back(o.down_at,
-                                                           o.up_at);
+                                                            o.up_at);
   }
+  compile_byzantine(g);
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, const ChurnPlan& churn,
+                             const Graph& g, std::uint64_t run_seed)
+    : FaultInjector(plan, g, run_seed) {
+  churn.validate(g);
+  compile_churn(churn, g);
+}
+
+void FaultInjector::compile_byzantine(const Graph& g) {
+  if (plan_.byzantine.empty() ||
+      (plan_.equivocate_rate == 0 && plan_.forge_rate == 0)) {
+    return;
+  }
+  has_byzantine_ = true;
+  is_byzantine_.assign(static_cast<std::size_t>(g.node_count()), false);
+  for (NodeId v : plan_.byzantine) {
+    is_byzantine_[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+void FaultInjector::compile_churn(const ChurnPlan& churn, const Graph& g) {
+  // Liveness sweep: walk the epochs in time order and turn the
+  // alternating down/up (leave/join) events into half-open intervals.
+  // A first event `up`/`join` opens an initial [0, t) span; a trailing
+  // `down`/`leave` runs to +infinity.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> edge_down_since(
+      static_cast<std::size_t>(g.edge_count()), -1.0);
+  std::vector<bool> edge_saw_event(static_cast<std::size_t>(g.edge_count()),
+                                   false);
+  std::vector<double> node_gone_since(
+      static_cast<std::size_t>(g.node_count()), -1.0);
+  std::vector<bool> node_saw_event(static_cast<std::size_t>(g.node_count()),
+                                   false);
+  if (absences_.empty()) {
+    absences_.resize(static_cast<std::size_t>(g.node_count()));
+  }
+  for (const ChurnEpoch& ep : churn.epochs) {
+    if (ep.redraw_fraction > 0 || !ep.edges_down.empty() ||
+        !ep.edges_up.empty() || !ep.leaves.empty() || !ep.joins.empty()) {
+      churn_live_ = true;
+    }
+    for (EdgeId e : ep.edges_down) {
+      edge_down_since[static_cast<std::size_t>(e)] = ep.at;
+      edge_saw_event[static_cast<std::size_t>(e)] = true;
+    }
+    for (EdgeId e : ep.edges_up) {
+      const auto i = static_cast<std::size_t>(e);
+      const double since = edge_saw_event[i] ? edge_down_since[i] : 0.0;
+      if (ep.at > since) outages_[i].emplace_back(since, ep.at);
+      edge_down_since[i] = -1.0;
+      edge_saw_event[i] = true;
+    }
+    for (NodeId v : ep.leaves) {
+      node_gone_since[static_cast<std::size_t>(v)] = ep.at;
+      node_saw_event[static_cast<std::size_t>(v)] = true;
+    }
+    for (NodeId v : ep.joins) {
+      const auto i = static_cast<std::size_t>(v);
+      const double since = node_saw_event[i] ? node_gone_since[i] : 0.0;
+      if (ep.at > since) {
+        absences_[i].emplace_back(since, ep.at);
+        has_absences_ = true;
+      }
+      node_gone_since[i] = -1.0;
+      node_saw_event[i] = true;
+    }
+  }
+  for (std::size_t i = 0; i < edge_down_since.size(); ++i) {
+    if (edge_down_since[i] >= 0) {
+      outages_[i].emplace_back(edge_down_since[i], kInf);
+    }
+  }
+  for (std::size_t i = 0; i < node_gone_since.size(); ++i) {
+    if (node_gone_since[i] >= 0) {
+      absences_[i].emplace_back(node_gone_since[i], kInf);
+      has_absences_ = true;
+    }
+  }
+}
+
+void FaultInjector::forge(std::uint64_t channel, std::uint64_t count,
+                          Message& m) const {
+  const std::uint64_t k =
+      derive_stream_seed(derive_stream_seed(byz_seed_, channel),
+                         derive_stream_seed(count, 0xF063));
+  if ((m.type == kFrameData || m.type == kFrameAck) && m.data.size() >= 2) {
+    // Corrupt one non-checksum word, then re-patch the trailing
+    // checksum so the forged frame still verifies.
+    const std::size_t body = m.data.size() - 1;
+    const std::size_t i =
+        static_cast<std::size_t>(derive_stream_seed(k, 0x11D3) % body);
+    m.data[i] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(m.data[i]) ^ (mix64(k) | 1));
+    m.data[body] = frame_checksum(m.type, m.data.begin(), body);
+    return;
+  }
+  corrupt_word(k, m);
 }
 
 }  // namespace csca

@@ -1,19 +1,29 @@
-// Engine-facing view of a FaultPlan.
+// Engine-facing view of a FaultPlan (and, optionally, a ChurnPlan).
 //
 // The injector materializes a plan against a concrete graph (per-node
-// crash times, per-edge outage intervals) and answers the three
-// questions the engines ask on their send/schedule paths:
+// crash times, per-edge outage intervals) and answers the questions the
+// engines ask on their send/schedule paths:
 //
-//   crashed(v, t)      — has v crash-stopped by time t?
-//   link_down(e, t)    — is edge e inside an outage interval at t?
+//   crashed(v, t)      — has v crash-stopped by t, or is it absent
+//                        (churn: left / not yet joined) at t?
+//   link_down(e, t)    — is edge e inside an outage or churn-down
+//                        interval at t?
 //   send_fate(ch, cnt) — is send number cnt on directed channel ch
 //                        dropped, duplicated, or delivered normally?
+//   byzantine_fate(..) — does byzantine sender corruption (equivocate /
+//                        forge) apply to this send?
 //
 // send_fate is a pure function of (run seed, plan salt, channel, count)
 // — the same keyed-per-channel-stream discipline as delay_keyed /
 // channel_delay_key — so every engine (sequential, keyed sequential,
-// sharded at any shard count) draws identical fates for the same
-// logical send, and the fault stream never perturbs delay draws.
+// sharded at any shard count, optimistic) draws identical fates for the
+// same logical send, and the fault stream never perturbs delay draws.
+// The churn liveness intervals are static data compiled at
+// construction, so churned runs inherit the same bit-identity for free:
+// every lookup is a pure function of (plan, id, t), which is also what
+// makes them rollback-safe on the Time Warp backend (a re-executed send
+// re-derives the identical answer; the undo journal already rewinds the
+// per-channel counts the keyed draws consume).
 //
 // All fault decisions are made at *send* time (crash schedules and
 // outage intervals are static data, and the arrival time is known when
@@ -24,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/churn_plan.h"
 #include "fault/fault_plan.h"
 #include "graph/graph.h"
 #include "sim/message.h"  // header-only; no link edge onto csca_sim
@@ -35,23 +46,43 @@ class FaultInjector {
  public:
   /// Materializes `plan` against `g`. `run_seed` should be the engine's
   /// seed so fates are reproducible from the same single seed as
-  /// everything else. Rejects out-of-range crash nodes / outage edges,
-  /// malformed intervals, and drop_rate + dup_rate outside [0, 1].
+  /// everything else. Validates the plan (FaultPlan::validate): rejects
+  /// out-of-range ids, malformed or overlapping outage intervals, and
+  /// rates outside [0, 1].
   FaultInjector(const FaultPlan& plan, const Graph& g,
                 std::uint64_t run_seed);
 
+  /// Same, with a dynamic-topology schedule composed in: the churn
+  /// plan's edge down/up transitions become extra outage-style
+  /// intervals and its node leave/join spans become absence intervals
+  /// folded into crashed(). (Weight re-draws are *not* consumed here —
+  /// they mutate the Graph between run slices via apply_churn_weights;
+  /// see churn_plan.h.) Both plans are validated.
+  FaultInjector(const FaultPlan& plan, const ChurnPlan& churn,
+                const Graph& g, std::uint64_t run_seed);
+
   /// False for a zero-rate, event-free plan; engines treat attaching an
   /// inactive injector exactly like attaching none.
-  bool active() const { return plan_.active(); }
+  bool active() const { return plan_.active() || churn_live_; }
   const FaultPlan& plan() const { return plan_; }
 
   double crash_time(NodeId v) const {
     return crash_time_[static_cast<std::size_t>(v)];
   }
+  /// Crash-stop *or* churn absence: true when v must not run handlers,
+  /// send, or receive at time t. Unlike pure crash-stop this is not
+  /// monotone in t — a churned node that joins at t_k is dead before
+  /// t_k and live after (its on_start never runs; it participates from
+  /// its first delivery).
   bool crashed(NodeId v, double t) const {
-    return t >= crash_time_[static_cast<std::size_t>(v)];
+    if (t >= crash_time_[static_cast<std::size_t>(v)]) return true;
+    if (!has_absences_) return false;
+    for (const auto& [lo, hi] : absences_[static_cast<std::size_t>(v)]) {
+      if (t >= lo && t < hi) return true;
+    }
+    return false;
   }
-  bool any_crashes() const { return !plan_.crashes.empty(); }
+  bool any_crashes() const { return !plan_.crashes.empty() || has_absences_; }
 
   bool link_down(EdgeId e, double t) const {
     for (const auto& [down, up] : outages_[static_cast<std::size_t>(e)]) {
@@ -107,6 +138,56 @@ class FaultInjector {
   void garble(std::uint64_t channel, std::uint64_t count, Message& m) const {
     const std::uint64_t k =
         derive_stream_seed(derive_stream_seed(garble_seed_, channel), count);
+    corrupt_word(k, m);
+  }
+
+  /// Is v in the plan's corruption set (with a byzantine rate > 0)?
+  bool byzantine(NodeId v) const {
+    return has_byzantine_ && is_byzantine_[static_cast<std::size_t>(v)];
+  }
+  bool any_byzantine() const { return has_byzantine_; }
+
+  enum class ByzantineFate { kNone, kEquivocate, kForge };
+
+  /// Byzantine action for send `count` on channel `channel`, drawn on
+  /// its own keyed stream (independent of send_fate, so a send can be
+  /// both e.g. duplicated and equivocated). Only meaningful when the
+  /// sender is byzantine; callers gate on byzantine(from).
+  ByzantineFate byzantine_fate(std::uint64_t channel,
+                               std::uint64_t count) const {
+    const double u = key_to_unit(
+        derive_stream_seed(derive_stream_seed(byz_seed_, channel), count));
+    if (u < plan_.equivocate_rate) return ByzantineFate::kEquivocate;
+    if (u < plan_.equivocate_rate + plan_.forge_rate) {
+      return ByzantineFate::kForge;
+    }
+    return ByzantineFate::kNone;
+  }
+
+  /// Equivocation: corrupts one keyed payload word with a mask keyed by
+  /// the *directed channel*, so the copies a byzantine node emits to
+  /// different neighbors in the same round disagree by construction.
+  /// Pure function of (run seed, salt, channel, count).
+  void equivocate(std::uint64_t channel, std::uint64_t count,
+                  Message& m) const {
+    corrupt_word(
+        derive_stream_seed(derive_stream_seed(equiv_seed_, channel), count),
+        m);
+  }
+
+  /// Forgery: corrupts one keyed payload word and then, when the frame
+  /// is a checksummed ARQ DATA/ACK frame, re-patches the trailing
+  /// checksum so arq_frame_valid accepts the forged frame — damage the
+  /// reliable-link layer cannot detect or heal. On unframed traffic the
+  /// corruption lands as-is (there is no checksum to forge past).
+  void forge(std::uint64_t channel, std::uint64_t count, Message& m) const;
+
+ private:
+  void compile_churn(const ChurnPlan& churn, const Graph& g);
+  void compile_byzantine(const Graph& g);
+  // Shared corruption primitive: XOR mix64(k)|1 into payload word
+  // (k % size), or the type tag when the payload is empty.
+  static void corrupt_word(std::uint64_t k, Message& m) {
     const std::uint64_t mask = mix64(k) | 1;
     if (m.data.empty()) {
       m.type = static_cast<int>(static_cast<std::uint64_t>(
@@ -120,15 +201,24 @@ class FaultInjector {
         static_cast<std::uint64_t>(m.data[i]) ^ mask);
   }
 
- private:
   FaultPlan plan_;
   std::uint64_t fate_seed_;
   std::uint64_t dup_seed_;
   std::uint64_t garble_seed_;
+  std::uint64_t byz_seed_;
+  std::uint64_t equiv_seed_;
   // Crash time per node, +infinity when the node never crashes.
   std::vector<double> crash_time_;
-  // Outage intervals [down, up) per edge, in plan order.
+  // Outage intervals [down, up) per edge, in plan order (churn-derived
+  // down spans appended after the plan's own outages).
   std::vector<std::vector<std::pair<double, double>>> outages_;
+  // Churn absence intervals [lo, hi) per node; empty when no churn.
+  bool churn_live_ = false;
+  bool has_absences_ = false;
+  std::vector<std::vector<std::pair<double, double>>> absences_;
+  // Corruption-set membership, materialized for O(1) lookups.
+  bool has_byzantine_ = false;
+  std::vector<bool> is_byzantine_;
 };
 
 }  // namespace csca

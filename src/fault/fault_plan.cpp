@@ -1,14 +1,85 @@
 #include "fault/fault_plan.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/require.h"
 
 namespace csca {
 
 std::vector<std::string> builtin_fault_plan_names() {
-  return {"none",      "drop1pct",  "drop5pct",  "dup1pct",
-          "garble1pct", "crash_one", "link_flap"};
+  return {"none",      "drop1pct",  "drop5pct",  "dup1pct",  "garble1pct",
+          "crash_one", "link_flap", "equiv2pct", "forge2pct"};
+}
+
+std::string builtin_fault_plan_description(const std::string& name) {
+  if (name == "none") return "inactive plan (zero rates, no events)";
+  if (name == "drop1pct") return "1% keyed drop rate on every channel";
+  if (name == "drop5pct") return "5% keyed drop rate on every channel";
+  if (name == "dup1pct") return "1% keyed duplication rate on every channel";
+  if (name == "garble1pct") {
+    return "1% keyed payload corruption on every channel";
+  }
+  if (name == "crash_one") {
+    return "node n/2 crash-stops at 1.5 * max edge weight";
+  }
+  if (name == "link_flap") {
+    return "three spread edges cycle down/up, four outages each";
+  }
+  if (name == "equiv2pct") {
+    return "byzantine node n/2 equivocates on 2% of its sends";
+  }
+  if (name == "forge2pct") {
+    return "byzantine node n/2 forges 2% of its sends past the ARQ checksum";
+  }
+  require(false, "unknown builtin fault plan: " + name);
+  return {};
+}
+
+void FaultPlan::validate(const Graph& g) const {
+  require(drop_rate >= 0 && dup_rate >= 0 && garble_rate >= 0 &&
+              drop_rate + dup_rate + garble_rate <= 1.0,
+          "fault plan rates must be non-negative with "
+          "drop + dup + garble <= 1");
+  require(equivocate_rate >= 0 && forge_rate >= 0 &&
+              equivocate_rate + forge_rate <= 1.0,
+          "fault plan byzantine rates must be non-negative with "
+          "equivocate + forge <= 1");
+  for (const CrashEvent& c : crashes) {
+    require(c.node >= 0 && c.node < g.node_count(),
+            "fault plan crash node id out of range");
+    require(c.at >= 0, "fault plan crash time must be non-negative");
+  }
+  // Per-edge interval lists, then a sort + sweep to reject overlaps:
+  // two outages whose [down, up) windows intersect on the same edge
+  // would make link_down's answer depend on which interval is checked
+  // first in no useful way, and almost always indicate a plan bug.
+  std::vector<std::vector<std::pair<double, double>>> per_edge(
+      static_cast<std::size_t>(g.edge_count()));
+  for (const LinkOutage& o : outages) {
+    require(o.edge >= 0 && o.edge < g.edge_count(),
+            "fault plan outage edge id out of range");
+    require(o.down_at >= 0 && o.up_at > o.down_at,
+            "fault plan outage interval must be non-empty with "
+            "down_at >= 0");
+    per_edge[static_cast<std::size_t>(o.edge)].emplace_back(o.down_at,
+                                                            o.up_at);
+  }
+  for (auto& intervals : per_edge) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      require(intervals[i].first >= intervals[i - 1].second,
+              "fault plan outage intervals overlap on the same edge");
+    }
+  }
+  std::vector<NodeId> byz = byzantine;
+  std::sort(byz.begin(), byz.end());
+  require(std::adjacent_find(byz.begin(), byz.end()) == byz.end(),
+          "fault plan byzantine node listed twice");
+  for (NodeId v : byz) {
+    require(v >= 0 && v < g.node_count(),
+            "fault plan byzantine node id out of range");
+  }
 }
 
 namespace {
@@ -61,6 +132,16 @@ FaultPlan make_builtin_fault_plan(const std::string& name, const Graph& g) {
         plan.outages.push_back({e, down, down + period / 2});
       }
     }
+    return plan;
+  }
+  if (name == "equiv2pct") {
+    plan.byzantine.push_back(g.node_count() / 2);
+    plan.equivocate_rate = 0.02;
+    return plan;
+  }
+  if (name == "forge2pct") {
+    plan.byzantine.push_back(g.node_count() / 2);
+    plan.forge_rate = 0.02;
     return plan;
   }
   require(false, "unknown builtin fault plan: " + name);

@@ -54,6 +54,24 @@ struct FaultPlan {
   double garble_rate = 0;
   std::vector<CrashEvent> crashes;
   std::vector<LinkOutage> outages;
+  /// The corruption set: nodes under adversarial control. Byzantine
+  /// behavior is applied (with the keyed per-send rates below) only to
+  /// messages *originating* at these nodes; everyone else's traffic is
+  /// untouched. This is what the containment rule in
+  /// check/byzantine_check.h asserts against.
+  std::vector<NodeId> byzantine;
+  /// Per-send probability that a byzantine sender equivocates: the
+  /// payload is corrupted with a *channel-keyed* mask, so the copies a
+  /// node sends to different neighbors in the same round disagree by
+  /// construction. Keyed like send fates, on an independent stream.
+  double equivocate_rate = 0;
+  /// Per-send probability that a byzantine sender forges the frame:
+  /// one payload word is corrupted and, when the message is an ARQ
+  /// DATA/ACK frame, the trailing checksum is re-patched so
+  /// arq_frame_valid still accepts it — damage the reliable-link layer
+  /// cannot detect. Second band of the same byzantine unit draw, so
+  /// equivocate_rate + forge_rate must be <= 1.
+  double forge_rate = 0;
   /// Decorrelates the fault stream from everything else derived from
   /// the run seed (and lets two plans with equal rates draw different
   /// fates under the same seed).
@@ -62,13 +80,29 @@ struct FaultPlan {
   /// True when the plan can affect a run at all.
   bool active() const {
     return drop_rate > 0 || dup_rate > 0 || garble_rate > 0 ||
-           !crashes.empty() || !outages.empty();
+           !crashes.empty() || !outages.empty() ||
+           (!byzantine.empty() && (equivocate_rate > 0 || forge_rate > 0));
   }
+
+  /// Validates the plan against a concrete graph: rates in range
+  /// (drop + dup + garble <= 1, equivocate + forge <= 1), crash nodes /
+  /// outage edges / byzantine nodes in range, non-negative times,
+  /// well-formed non-empty outage intervals, and no two outage
+  /// intervals overlapping on the same edge. Throws a named error on
+  /// the first violation. Called by the FaultInjector constructor and
+  /// by every engine's set_faults, so a malformed plan fails loudly
+  /// instead of silently misbehaving.
+  void validate(const Graph& g) const;
 };
 
 /// Names accepted by make_builtin_fault_plan, in presentation order:
-/// none, drop1pct, drop5pct, dup1pct, garble1pct, crash_one, link_flap.
+/// none, drop1pct, drop5pct, dup1pct, garble1pct, crash_one, link_flap,
+/// equiv2pct, forge2pct.
 std::vector<std::string> builtin_fault_plan_names();
+
+/// One-line description of a builtin fault plan (csca_check
+/// --list-plans). Rejects unknown names.
+std::string builtin_fault_plan_description(const std::string& name);
 
 /// Builds a named builtin plan against a concrete graph (crash targets
 /// and flapping links are picked from the graph, deterministically):
@@ -80,6 +114,10 @@ std::vector<std::string> builtin_fault_plan_names();
 ///  - crash_one: node n/2 crash-stops at 1.5 * max edge weight.
 ///  - link_flap: three spread-out edges cycle down/up with period
 ///               2 * max edge weight, four outages each.
+///  - equiv2pct: node n/2 is byzantine and equivocates on 2% of its
+///               sends (channel-keyed conflicting payloads).
+///  - forge2pct: node n/2 is byzantine and forges 2% of its sends
+///               (corruption that passes the ARQ checksum).
 /// Rejects unknown names.
 FaultPlan make_builtin_fault_plan(const std::string& name, const Graph& g);
 

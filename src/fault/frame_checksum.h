@@ -1,0 +1,30 @@
+// The wire-frame checksum formula, header-only so it is usable both
+// below csca_sim (fault_injector.cpp forges frames that must still
+// verify) and above it (reliable_link.cpp builds and validates frames).
+//
+//   ck = c_0 * type + sum_i c_{i+1} * word_i,   c_j = mix64(j) | 1.
+//
+// Odd multipliers are units mod 2^64, so any single-word change moves
+// the sum — the exact detection bound the ARQ layer's masking rule and
+// FaultInjector::garble are calibrated against (see reliable_link.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace csca {
+
+/// Checksum over a frame's type tag and its first n payload words.
+inline std::int64_t frame_checksum(int type, const std::int64_t* words,
+                                   std::size_t n) {
+  std::uint64_t ck = (mix64(0) | 1) *
+                     static_cast<std::uint64_t>(static_cast<std::int64_t>(type));
+  for (std::size_t i = 0; i < n; ++i) {
+    ck += (mix64(i + 1) | 1) * static_cast<std::uint64_t>(words[i]);
+  }
+  return static_cast<std::int64_t>(ck);
+}
+
+}  // namespace csca

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/frame_checksum.h"
 #include "util/require.h"
 #include "util/rng.h"
 
@@ -10,12 +11,7 @@ namespace csca {
 
 std::int64_t arq_checksum(int type, const std::int64_t* words,
                           std::size_t n) {
-  std::uint64_t ck = (mix64(0) | 1) *
-                     static_cast<std::uint64_t>(static_cast<std::int64_t>(type));
-  for (std::size_t i = 0; i < n; ++i) {
-    ck += (mix64(i + 1) | 1) * static_cast<std::uint64_t>(words[i]);
-  }
-  return static_cast<std::int64_t>(ck);
+  return frame_checksum(type, words, n);
 }
 
 Message arq_make_data(std::int64_t seq, const Message& inner) {

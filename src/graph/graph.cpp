@@ -68,6 +68,21 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, Weight w) {
   return id;
 }
 
+void Graph::set_weight(EdgeId e, Weight w) {
+  require(e >= 0 && e < edge_count(), "edge id out of range");
+  require(w >= 1, "edge weights must be >= 1");
+  Edge& ed = edges_[static_cast<std::size_t>(e)];
+  total_weight_ += w - ed.w;
+  const bool shrank_max = ed.w == max_weight_ && w < max_weight_;
+  ed.w = w;
+  if (w > max_weight_) {
+    max_weight_ = w;
+  } else if (shrank_max) {
+    max_weight_ = 0;
+    for (const Edge& x : edges_) max_weight_ = std::max(max_weight_, x.w);
+  }
+}
+
 void Graph::reserve_edges(std::size_t m) {
   edges_.reserve(m);
   if ((m + 1) * 2 > index_.size()) index_grow((m + 1) * 4);

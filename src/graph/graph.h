@@ -153,6 +153,11 @@ class Graph {
 
   Weight weight(EdgeId e) const { return edge(e).w; }
 
+  /// Re-assigns w(e) (churn epochs between run slices; docs/faults.md).
+  /// Requires w >= 1. Maintains total_weight_/max_weight_ and leaves the
+  /// CSR arrays alone — they store ids, not weights — so no rebuild.
+  void set_weight(EdgeId e, Weight w);
+
   /// Id of the edge {u, v}, or kNoEdge if absent. O(1) expected via the
   /// endpoint-pair hash index.
   EdgeId find_edge(NodeId u, NodeId v) const;

@@ -34,4 +34,16 @@ RootedTree mst_tree(const Graph& g, NodeId root);
 bool is_minimum_spanning_forest(const Graph& g,
                                 std::vector<EdgeId> edge_set);
 
+/// Cycle-property certificate check (the KKP-style verification rule):
+/// a claimed tree edge set (in_tree[e] != 0) is the minimum spanning
+/// forest iff it is acyclic, spans every component, and no non-tree
+/// edge is edge_less than the heaviest tree edge on the cycle it
+/// closes. Returns the number of violated conditions — 0 iff in_tree is
+/// the unique MSF of g (after, e.g., churn re-drew edge weights under
+/// the structure). Counts: one per cycle among tree edges, one per
+/// component-splitting deficit, and one per cycle-property-violating
+/// non-tree edge.
+std::int64_t mst_cycle_violations(const Graph& g,
+                                  const std::vector<char>& in_tree);
+
 }  // namespace csca

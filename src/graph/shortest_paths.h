@@ -46,4 +46,17 @@ ShortestPaths dijkstra_subgraph(const Graph& g, NodeId src,
 /// Weighted distance between two nodes (kUnreachable if disconnected).
 Weight distance(const Graph& g, NodeId u, NodeId v);
 
+/// Route-consistency certificate check for a claimed distance vector:
+/// dist is the single-source shortest-path solution from src iff
+/// dist[src] == 0, every edge satisfies the triangle inequality
+/// |dist[u] - dist[v]| <= w(e) (no relaxing edge remains), and every
+/// non-source node has some incident edge achieving
+/// dist[v] == dist[u] + w(e) (a consistent route to follow home).
+/// Returns the number of violated conditions — 0 iff dist matches
+/// dijkstra(g, src) on a connected graph. Used by the self-stabilizing
+/// wrapper to detect an SPT invalidated by churn without re-running the
+/// protocol.
+std::int64_t spt_route_violations(const Graph& g, NodeId src,
+                                  const std::vector<Weight>& dist);
+
 }  // namespace csca

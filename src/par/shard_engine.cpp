@@ -147,9 +147,12 @@ struct ShardEngine::Shard final : public EngineBackend {
     if (cls == MsgClass::kAlgorithm) {
       ++stats.algorithm_messages;
       stats.algorithm_cost += edge.w;
-    } else {
+    } else if (cls == MsgClass::kControl) {
       ++stats.control_messages;
       stats.control_cost += edge.w;
+    } else {
+      ++stats.recovery_messages;
+      stats.recovery_cost += edge.w;
     }
 
     const Lineage* lin = handler_lineage();
@@ -181,9 +184,12 @@ struct ShardEngine::Shard final : public EngineBackend {
       if (cls == MsgClass::kAlgorithm) {
         ++stats.algorithm_messages;
         stats.algorithm_cost += edge.w;
-      } else {
+      } else if (cls == MsgClass::kControl) {
         ++stats.control_messages;
         stats.control_cost += edge.w;
+      } else {
+        ++stats.recovery_messages;
+        stats.recovery_cost += edge.w;
       }
     };
     const FaultInjector::SendFate fate = faults.send_fate(channel, count);
@@ -210,6 +216,16 @@ struct ShardEngine::Shard final : public EngineBackend {
     // function of (seed, salt, channel, count), so the delivered bytes
     // match at every shard count.
     if (fate.garble) faults.garble(channel, count, m);
+    // Byzantine sender corruption, before the duplicate splits off —
+    // same order as Network::engine_send_faulty.
+    if (faults.byzantine(from)) {
+      const auto byz = faults.byzantine_fate(channel, count);
+      if (byz == FaultInjector::ByzantineFate::kEquivocate) {
+        faults.equivocate(channel, count, m);
+      } else if (byz == FaultInjector::ByzantineFate::kForge) {
+        faults.forge(channel, count, m);
+      }
+    }
     Message dup;
     if (fate.duplicate) dup = m;
     charge();
@@ -402,6 +418,8 @@ ShardEngine::ShardEngine(const Graph& g, ProcessStore store,
           std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
                                     0),
           std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
+                                    0),
+          std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
                                     0)},
       finish_time_(static_cast<std::size_t>(g.node_count()), -1.0) {
   require(delay_ != nullptr, "delay model must not be null");
@@ -479,6 +497,7 @@ ShardEngine::~ShardEngine() = default;
 void ShardEngine::set_faults(const FaultInjector* f) {
   require(!ran_, "faults must be attached before run()");
   faults_ = (f != nullptr && f->active()) ? f : nullptr;
+  if (faults_ != nullptr) faults_->plan().validate(*graph_);
 }
 
 RunStats ShardEngine::run() {
@@ -539,8 +558,10 @@ RunStats ShardEngine::run() {
   for (const auto& sh : shards_) {
     stats_.algorithm_messages += sh->stats.algorithm_messages;
     stats_.control_messages += sh->stats.control_messages;
+    stats_.recovery_messages += sh->stats.recovery_messages;
     stats_.algorithm_cost += sh->stats.algorithm_cost;
     stats_.control_cost += sh->stats.control_cost;
+    stats_.recovery_cost += sh->stats.recovery_cost;
     stats_.completion_time =
         std::max(stats_.completion_time, sh->stats.completion_time);
     stats_.events += sh->stats.events;
@@ -561,7 +582,8 @@ double ShardEngine::last_finish_time() const {
 std::int64_t ShardEngine::edge_message_count(EdgeId e) const {
   const auto c = static_cast<std::size_t>(2 * e);
   return channel_messages_[0][c] + channel_messages_[0][c + 1] +
-         channel_messages_[1][c] + channel_messages_[1][c + 1];
+         channel_messages_[1][c] + channel_messages_[1][c + 1] +
+         channel_messages_[2][c] + channel_messages_[2][c + 1];
 }
 
 std::int64_t ShardEngine::edge_message_count(EdgeId e, MsgClass cls) const {

@@ -190,7 +190,9 @@ class ShardEngine final : public ProcessHost {
   static constexpr double kInf = std::numeric_limits<double>::infinity();
 
   static std::size_t class_index(MsgClass cls) {
-    return cls == MsgClass::kAlgorithm ? 0 : 1;
+    return cls == MsgClass::kAlgorithm ? 0
+           : cls == MsgClass::kControl ? 1
+                                       : 2;
   }
   /// Forward channel: batches flowing from shard `from` to shard `to`
   /// (producer = from's worker, consumer = to's worker).
@@ -220,7 +222,7 @@ class ShardEngine final : public ProcessHost {
   // these vectors are written race-free without locks.
   std::vector<double> last_arrival_;
   std::vector<std::uint64_t> channel_sends_;
-  std::array<std::vector<std::int64_t>, 2> channel_messages_;
+  std::array<std::vector<std::int64_t>, kMsgClassCount> channel_messages_;
 
   // Owner-shard-written per-node state.
   std::vector<double> finish_time_;

@@ -129,8 +129,10 @@ struct TimeWarpEngine::Shard final : public EngineBackend {
     std::uint32_t save = 0;
     std::int64_t alg_msgs = 0;
     std::int64_t ctl_msgs = 0;
+    std::int64_t rec_msgs = 0;
     Weight alg_cost = 0;
     Weight ctl_cost = 0;
+    Weight rec_cost = 0;
     bool is_edge = false;
     std::vector<Undo> undo;
     /// Exception the handler threw, if any. A throw during speculation
@@ -233,9 +235,12 @@ struct TimeWarpEngine::Shard final : public EngineBackend {
       if (cls == MsgClass::kAlgorithm) {
         ++cur_alg_msgs;
         cur_alg_cost += w;
-      } else {
+      } else if (cls == MsgClass::kControl) {
         ++cur_ctl_msgs;
         cur_ctl_cost += w;
+      } else {
+        ++cur_rec_msgs;
+        cur_rec_cost += w;
       }
     } else {
       // on_start sends run once, before any speculation, and can never
@@ -243,9 +248,12 @@ struct TimeWarpEngine::Shard final : public EngineBackend {
       if (cls == MsgClass::kAlgorithm) {
         ++start_stats.algorithm_messages;
         start_stats.algorithm_cost += w;
-      } else {
+      } else if (cls == MsgClass::kControl) {
         ++start_stats.control_messages;
         start_stats.control_cost += w;
+      } else {
+        ++start_stats.recovery_messages;
+        start_stats.recovery_cost += w;
       }
     }
   }
@@ -345,6 +353,18 @@ struct TimeWarpEngine::Shard final : public EngineBackend {
     m.from = from;
     m.edge = e;
     if (fate.garble) faults.garble(channel, count, m);
+    // Byzantine sender corruption, before the duplicate splits off —
+    // same order as Network::engine_send_faulty. Pure keyed function of
+    // (seed, salt, channel, count): a rolled-back corrupted send
+    // re-corrupts identically on re-execution.
+    if (faults.byzantine(from)) {
+      const auto byz = faults.byzantine_fate(channel, count);
+      if (byz == FaultInjector::ByzantineFate::kEquivocate) {
+        faults.equivocate(channel, count, m);
+      } else if (byz == FaultInjector::ByzantineFate::kForge) {
+        faults.forge(channel, count, m);
+      }
+    }
     Message dup;
     if (fate.duplicate) dup = m;
     bill(cls, edge.w, channel);
@@ -578,8 +598,8 @@ struct TimeWarpEngine::Shard final : public EngineBackend {
     cur_slot = ev.slot;
     cur_lineage = nullptr;
     sends_in_handler = 0;
-    cur_alg_msgs = cur_ctl_msgs = 0;
-    cur_alg_cost = cur_ctl_cost = 0;
+    cur_alg_msgs = cur_ctl_msgs = cur_rec_msgs = 0;
+    cur_alg_cost = cur_ctl_cost = cur_rec_cost = 0;
     recording = true;
     const std::uint32_t save = states.save(to);
     Context ctx = make_context(to);
@@ -597,13 +617,15 @@ struct TimeWarpEngine::Shard final : public EngineBackend {
       }
       cur_undo.clear();
       states.restore(to, save);
-      done.push_back(Done{ev, to, save, 0, 0, 0, 0, msg.edge != kNoEdge,
-                          take_undo_vec(), std::current_exception()});
+      done.push_back(Done{ev, to, save, 0, 0, 0, 0, 0, 0,
+                          msg.edge != kNoEdge, take_undo_vec(),
+                          std::current_exception()});
       return;
     }
     recording = false;
-    done.push_back(Done{ev, to, save, cur_alg_msgs, cur_ctl_msgs, cur_alg_cost,
-                        cur_ctl_cost, msg.edge != kNoEdge,
+    done.push_back(Done{ev, to, save, cur_alg_msgs, cur_ctl_msgs,
+                        cur_rec_msgs, cur_alg_cost, cur_ctl_cost,
+                        cur_rec_cost, msg.edge != kNoEdge,
                         std::move(cur_undo), nullptr});
     cur_undo = take_undo_vec();
   }
@@ -662,8 +684,10 @@ struct TimeWarpEngine::Shard final : public EngineBackend {
   bool recording = false;
   std::int64_t cur_alg_msgs = 0;
   std::int64_t cur_ctl_msgs = 0;
+  std::int64_t cur_rec_msgs = 0;
   Weight cur_alg_cost = 0;
   Weight cur_ctl_cost = 0;
+  Weight cur_rec_cost = 0;
 
   RunStats start_stats;  // on_start sends: committed immediately
 
@@ -697,6 +721,8 @@ TimeWarpEngine::TimeWarpEngine(const Graph& g, ProcessStore store,
       last_arrival_(static_cast<std::size_t>(2 * g.edge_count()), 0.0),
       channel_sends_(static_cast<std::size_t>(2 * g.edge_count()), 0),
       channel_messages_{
+          std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
+                                    0),
           std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
                                     0),
           std::vector<std::int64_t>(static_cast<std::size_t>(2 * g.edge_count()),
@@ -748,6 +774,7 @@ TimeWarpEngine::~TimeWarpEngine() = default;
 void TimeWarpEngine::set_faults(const FaultInjector* f) {
   require(!ran_, "faults must be attached before run()");
   faults_ = (f != nullptr && f->active()) ? f : nullptr;
+  if (faults_ != nullptr) faults_->plan().validate(*graph_);
 }
 
 RunStats TimeWarpEngine::run() {
@@ -759,8 +786,10 @@ RunStats TimeWarpEngine::run() {
   for (const auto& sh : shards_) {
     stats_.algorithm_messages += sh->start_stats.algorithm_messages;
     stats_.control_messages += sh->start_stats.control_messages;
+    stats_.recovery_messages += sh->start_stats.recovery_messages;
     stats_.algorithm_cost += sh->start_stats.algorithm_cost;
     stats_.control_cost += sh->start_stats.control_cost;
+    stats_.recovery_cost += sh->start_stats.recovery_cost;
   }
 
   for (;;) {
@@ -797,8 +826,10 @@ void TimeWarpEngine::commit_shard(Shard& sh, double bound, double& max_freed) {
     }
     stats_.algorithm_messages += d.alg_msgs;
     stats_.control_messages += d.ctl_msgs;
+    stats_.recovery_messages += d.rec_msgs;
     stats_.algorithm_cost += d.alg_cost;
     stats_.control_cost += d.ctl_cost;
+    stats_.recovery_cost += d.rec_cost;
     ++stats_.events;
     if (d.is_edge) {
       stats_.completion_time = std::max(stats_.completion_time, d.entry.t);
@@ -874,7 +905,8 @@ double TimeWarpEngine::last_finish_time() const {
 std::int64_t TimeWarpEngine::edge_message_count(EdgeId e) const {
   const auto c = static_cast<std::size_t>(2 * e);
   return channel_messages_[0][c] + channel_messages_[0][c + 1] +
-         channel_messages_[1][c] + channel_messages_[1][c + 1];
+         channel_messages_[1][c] + channel_messages_[1][c + 1] +
+         channel_messages_[2][c] + channel_messages_[2][c + 1];
 }
 
 std::int64_t TimeWarpEngine::edge_message_count(EdgeId e, MsgClass cls) const {

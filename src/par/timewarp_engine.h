@@ -228,7 +228,9 @@ class TimeWarpEngine final : public ProcessHost {
   static constexpr double kInf = std::numeric_limits<double>::infinity();
 
   static std::size_t class_index(MsgClass cls) {
-    return cls == MsgClass::kAlgorithm ? 0 : 1;
+    return cls == MsgClass::kAlgorithm ? 0
+           : cls == MsgClass::kControl ? 1
+                                       : 2;
   }
   SpscChannel<Batch>& channel(int from, int to) {
     return *channels_[static_cast<std::size_t>(from) *
@@ -258,7 +260,7 @@ class TimeWarpEngine final : public ProcessHost {
   // runs on the owning shard's worker, so the rewinds are too.
   std::vector<double> last_arrival_;
   std::vector<std::uint64_t> channel_sends_;
-  std::array<std::vector<std::int64_t>, 2> channel_messages_;
+  std::array<std::vector<std::int64_t>, kMsgClassCount> channel_messages_;
 
   // Owner-shard-written per-node state.
   std::vector<double> finish_time_;

@@ -23,7 +23,12 @@ namespace csca {
 enum class MsgClass {
   kAlgorithm,  ///< messages of the protocol under study
   kControl,    ///< synchronizer / controller overhead messages
+  kRecovery,   ///< re-stabilization traffic after topology churn
 };
+
+/// Number of MsgClass values; per-class engine arrays size from this so
+/// adding a class is a one-line change plus the billing branches.
+inline constexpr int kMsgClassCount = 3;
 
 /// Payload storage with a small-buffer optimization. Almost every
 /// protocol message in this repo carries at most 4 int64 fields (tags,
@@ -144,6 +149,15 @@ class Payload {
   }
 
   // Leaves o empty with inline storage.
+  //
+  // The copy below is bounded by o.size_, so it never reads an
+  // uninitialized inline word; GCC 12's inliner cannot prove that for
+  // a moved-from temporary and flags -Wmaybe-uninitialized spuriously
+  // at some call sites under -O2 (observed in sanitizer builds).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
   void steal(Payload& o) noexcept {
     if (o.data_ == o.inline_) {
       std::copy(o.data_, o.data_ + o.size_, inline_);
@@ -159,6 +173,9 @@ class Payload {
     }
     o.size_ = 0;
   }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
   std::int64_t* data_ = inline_;
   std::uint32_t size_ = 0;
@@ -196,15 +213,19 @@ static_assert(sizeof(Message) == 64, "message should fill one cache line");
 struct RunStats {
   std::int64_t algorithm_messages = 0;
   std::int64_t control_messages = 0;
+  std::int64_t recovery_messages = 0;
   Weight algorithm_cost = 0;  ///< sum of w(e) over algorithm messages
   Weight control_cost = 0;    ///< sum of w(e) over control messages
+  Weight recovery_cost = 0;   ///< sum of w(e) over recovery messages
   double completion_time = 0; ///< time of the last delivered edge message
   std::int64_t events = 0;    ///< total deliveries processed
 
   std::int64_t total_messages() const {
-    return algorithm_messages + control_messages;
+    return algorithm_messages + control_messages + recovery_messages;
   }
-  Weight total_cost() const { return algorithm_cost + control_cost; }
+  Weight total_cost() const {
+    return algorithm_cost + control_cost + recovery_cost;
+  }
 };
 
 /// Shared running total of control-class transmission cost, written by

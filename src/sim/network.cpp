@@ -21,6 +21,7 @@ Network::Network(const Graph& g, ProcessStore store,
       last_arrival_(static_cast<std::size_t>(2 * g.edge_count()), 0.0),
       edge_messages_{
           std::vector<std::int64_t>(static_cast<std::size_t>(g.edge_count()), 0),
+          std::vector<std::int64_t>(static_cast<std::size_t>(g.edge_count()), 0),
           std::vector<std::int64_t>(static_cast<std::size_t>(g.edge_count()), 0)},
       finish_time_(static_cast<std::size_t>(g.node_count()), -1.0) {
   require(delay_ != nullptr, "delay model must not be null");
@@ -44,6 +45,10 @@ void Network::set_keyed_delays(bool on) {
 }
 
 void Network::engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
+  // Recovery passes re-bill everything the re-executed protocol sends
+  // (see set_recovery_billing); the remap happens before any counter is
+  // touched so the per-class ledgers stay conserved.
+  if (recovery_billing_) cls = MsgClass::kRecovery;
   const Edge& edge = graph_->edge(e);
   require(edge.u == from || edge.v == from,
           "process may only send on its own incident edges");
@@ -75,9 +80,12 @@ void Network::engine_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
   if (cls == MsgClass::kAlgorithm) {
     ++stats_.algorithm_messages;
     stats_.algorithm_cost += edge.w;
-  } else {
+  } else if (cls == MsgClass::kControl) {
     ++stats_.control_messages;
     stats_.control_cost += edge.w;
+  } else {
+    ++stats_.recovery_messages;
+    stats_.recovery_cost += edge.w;
   }
   if (observer_) observer_->on_send(*this, from, e, cls, d, arrival);
 }
@@ -101,9 +109,12 @@ void Network::engine_send_faulty(NodeId from, EdgeId e, const Edge& edge,
     if (cls == MsgClass::kAlgorithm) {
       ++stats_.algorithm_messages;
       stats_.algorithm_cost += edge.w;
-    } else {
+    } else if (cls == MsgClass::kControl) {
       ++stats_.control_messages;
       stats_.control_cost += edge.w;
+    } else {
+      ++stats_.recovery_messages;
+      stats_.recovery_cost += edge.w;
     }
   };
   const FaultInjector::SendFate fate = faults_->send_fate(channel, count);
@@ -145,6 +156,19 @@ void Network::engine_send_faulty(NodeId from, EdgeId e, const Edge& edge,
   // the FIFO clamp are those of a normal send (the attempt looked
   // healthy to the sender).
   if (fate.garble) faults_->garble(channel, count, m);
+  // Byzantine sender corruption rides its own keyed draw stream and is
+  // applied before the duplicate copy splits off, so a duplicated
+  // equivocation delivers two identically-corrupted copies — the same
+  // order every engine follows.
+  auto byz = FaultInjector::ByzantineFate::kNone;
+  if (faults_->byzantine(from)) {
+    byz = faults_->byzantine_fate(channel, count);
+    if (byz == FaultInjector::ByzantineFate::kEquivocate) {
+      faults_->equivocate(channel, count, m);
+    } else if (byz == FaultInjector::ByzantineFate::kForge) {
+      faults_->forge(channel, count, m);
+    }
+  }
   Message dup;
   if (fate.duplicate) dup = m;
   require(seq_ != UINT32_MAX, "event sequence space exhausted");
@@ -153,6 +177,11 @@ void Network::engine_send_faulty(NodeId from, EdgeId e, const Edge& edge,
   if (observer_) {
     observer_->on_send(*this, from, e, cls, d, arrival);
     if (fate.garble) observer_->on_garble(*this, from, e, arrival);
+    if (byz != FaultInjector::ByzantineFate::kNone) {
+      observer_->on_byzantine(*this, from, e,
+                              byz == FaultInjector::ByzantineFate::kForge,
+                              arrival);
+    }
   }
   if (fate.duplicate) {
     // Phantom copy with its own keyed delay draw; clamped behind the
@@ -179,6 +208,10 @@ void Network::engine_send_faulty(NodeId from, EdgeId e, const Edge& edge,
 void Network::set_faults(const FaultInjector* f) {
   require(!started_, "faults must be attached before the first step");
   faults_ = (f != nullptr && f->active()) ? f : nullptr;
+  // Re-validate against *this* network's graph: the injector validated
+  // at construction, but attaching it to a different topology would
+  // silently mis-target every id-keyed event.
+  if (faults_ != nullptr) faults_->plan().validate(*graph_);
   if (faults_ != nullptr && channel_sends_.empty()) {
     channel_sends_.assign(static_cast<std::size_t>(2 * graph_->edge_count()),
                           0);

@@ -91,6 +91,16 @@ class InvariantObserver {
   /// attached.
   virtual void on_garble(const Network&, NodeId /*from*/, EdgeId /*e*/,
                          double /*arrival*/) {}
+
+  /// A byzantine sender corrupted its own send on edge e before it hit
+  /// the wire: `forged` distinguishes a checksum-patched forgery from
+  /// an equivocation (channel-keyed conflicting payload). Fires right
+  /// after the on_send hook for the same send; the ledger charged the
+  /// attempt normally. Only fires with faults attached. The containment
+  /// checker (check/byzantine_check.h) asserts `from` stays inside the
+  /// plan's configured corruption set.
+  virtual void on_byzantine(const Network&, NodeId /*from*/, EdgeId /*e*/,
+                            bool /*forged*/, double /*arrival*/) {}
 };
 
 /// Simulation host: graph + processes + event queue + cost ledger.
@@ -156,7 +166,8 @@ class Network : public ProcessHost, private EngineBackend {
   std::int64_t edge_message_count(EdgeId e) const override {
     require(e >= 0 && e < graph_->edge_count(), "edge id out of range");
     const auto i = static_cast<std::size_t>(e);
-    return edge_messages_[0][i] + edge_messages_[1][i];
+    return edge_messages_[0][i] + edge_messages_[1][i] +
+           edge_messages_[2][i];
   }
 
   std::int64_t edge_message_count(EdgeId e, MsgClass cls) const override {
@@ -205,6 +216,20 @@ class Network : public ProcessHost, private EngineBackend {
   void set_faults(const FaultInjector* f);
   const FaultInjector* faults() const { return faults_; }
 
+  /// Recovery-billing mode: every send is billed to MsgClass::kRecovery
+  /// regardless of the class named at the send site. This is how a
+  /// re-executed protocol (control/restabilize.h) charges its entire
+  /// traffic to the recovery side of the ledger without its send sites
+  /// — whose explicit classes the COST-1 analyzer rule pins — knowing
+  /// they are running inside a recovery pass. Must be set before the
+  /// first step.
+  void set_recovery_billing(bool on) {
+    require(!started_,
+            "recovery billing must be chosen before the first step");
+    recovery_billing_ = on;
+  }
+  bool recovery_billing() const { return recovery_billing_; }
+
  private:
   // Pending deliveries are pooled Messages keyed by (arrival, send
   // sequence) — the seq tie-break makes the order total, so delivery
@@ -216,7 +241,9 @@ class Network : public ProcessHost, private EngineBackend {
   // metadata, keeping each pooled node to one cache line.
 
   static std::size_t class_index(MsgClass cls) {
-    return cls == MsgClass::kAlgorithm ? 0 : 1;
+    return cls == MsgClass::kAlgorithm ? 0
+           : cls == MsgClass::kControl ? 1
+                                       : 2;
   }
 
   double engine_now() const override { return now_; }
@@ -243,7 +270,7 @@ class Network : public ProcessHost, private EngineBackend {
   // last arrival time per directed edge (2 * edge + direction bit).
   std::vector<double> last_arrival_;
   // per-link message counts, indexed [class][edge].
-  std::array<std::vector<std::int64_t>, 2> edge_messages_;
+  std::array<std::vector<std::int64_t>, kMsgClassCount> edge_messages_;
   std::vector<double> finish_time_;
   RunStats stats_;
   InvariantObserver* observer_ = nullptr;
@@ -254,6 +281,7 @@ class Network : public ProcessHost, private EngineBackend {
   bool keyed_delays_ = false;
   std::vector<std::uint64_t> channel_sends_;
   const FaultInjector* faults_ = nullptr;
+  bool recovery_billing_ = false;
 };
 
 }  // namespace csca

@@ -41,9 +41,12 @@ void SyncEngine::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
     if (cls == MsgClass::kAlgorithm) {
       ++stats_.algorithm_messages;
       stats_.algorithm_cost += edge.w;
-    } else {
+    } else if (cls == MsgClass::kControl) {
       ++stats_.control_messages;
       stats_.control_cost += edge.w;
+    } else {
+      ++stats_.recovery_messages;
+      stats_.recovery_cost += edge.w;
     }
   };
   if (faults_ != nullptr) {
@@ -66,6 +69,16 @@ void SyncEngine::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
     // Corrupts the delivered copy only (the charge above is that of a
     // healthy-looking send); same keyed mask as the async engines.
     if (fate.garble) faults_->garble(channel, count, m);
+    // Byzantine sender corruption, before the duplicate splits off —
+    // same order as Network::engine_send_faulty.
+    if (faults_->byzantine(from)) {
+      const auto byz = faults_->byzantine_fate(channel, count);
+      if (byz == FaultInjector::ByzantineFate::kEquivocate) {
+        faults_->equivocate(channel, count, m);
+      } else if (byz == FaultInjector::ByzantineFate::kForge) {
+        faults_->forge(channel, count, m);
+      }
+    }
     check_event_bounds(pulse_ + edge.w);
     if (fate.duplicate) {
       // The phantom copy arrives one transmission later (p + 2w), the
@@ -91,6 +104,7 @@ void SyncEngine::do_send(NodeId from, EdgeId e, Message m, MsgClass cls) {
 void SyncEngine::set_faults(const FaultInjector* f) {
   require(!started_, "faults must be attached before the first step");
   faults_ = (f != nullptr && f->active()) ? f : nullptr;
+  if (faults_ != nullptr) faults_->plan().validate(*graph_);
   if (faults_ != nullptr && channel_sends_.empty()) {
     channel_sends_.assign(static_cast<std::size_t>(2 * graph_->edge_count()),
                           0);

@@ -138,7 +138,7 @@ TEST(AnalyzeRules, Cost1NegativeExplicitClassesAreClean) {
 
 TEST(AnalyzeRules, Cost2PositiveFiresOnEachLedgerWrite) {
   EXPECT_EQ(rule_lines(scan("cost2_pos.cpp")),
-            (RuleLines{{"COST-2", 9}, {"COST-2", 10}}));
+            (RuleLines{{"COST-2", 10}, {"COST-2", 11}, {"COST-2", 12}}));
 }
 
 TEST(AnalyzeRules, Cost2SilentInsideLedgerAccessorFiles) {

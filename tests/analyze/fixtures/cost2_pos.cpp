@@ -3,9 +3,11 @@
 struct RunStats {
   long algorithm_messages;
   double algorithm_cost;
+  double recovery_cost;
 };
 
 void tamper(RunStats& stats) {
   stats.algorithm_messages += 1;
   stats.algorithm_cost = 5.0;
+  stats.recovery_cost += 2.0;
 }

@@ -129,7 +129,7 @@ TEST(ScheduleCheck, InvariantViolationsAreReportedWithTheirSchedule) {
     }
   };
   ScheduleSpec bad{"too_slow", 1,
-                   [] { return std::make_unique<TooSlowDelay>(); }, {}};
+                   [] { return std::make_unique<TooSlowDelay>(); }, {}, {}};
   Rng rng(11);
   const Graph g = path_graph(3, WeightSpec::constant(2), rng);
   const SubjectOutcome out = run_checked(
@@ -170,7 +170,7 @@ TEST(ScheduleCheck, RunsDegradedCountsRunsNotFindings) {
   for (const char* name : {"noisy", "broken", "quiet"}) {
     portfolio.push_back(ScheduleSpec{
         name, 1, [] { return std::make_unique<ExactDelay>(); },
-        active_faults});
+        active_faults, {}});
   }
   const CheckSubject subject{
       "fabricated",

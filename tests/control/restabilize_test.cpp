@@ -1,0 +1,216 @@
+// RestabilizingRun: epoch-by-epoch recovery accounting under keyed
+// weight re-draws — the dirty probe's exact 2 * W(G) cost, certificate
+// detection (KKP cycle rule / SPT route rule), kRecovery billing
+// separation from the initial construction, and the liveness-churn
+// precondition.
+#include "control/restabilize.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "fault/churn_plan.h"
+#include "graph/generators.h"
+#include "graph/mst.h"
+#include "graph/shortest_paths.h"
+#include "mst/ghs.h"
+#include "sim/delay.h"
+
+namespace csca {
+namespace {
+
+Graph test_graph(int n = 14, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return connected_gnp(n, 0.3, WeightSpec::uniform(1, 9), rng);
+}
+
+ChurnPlan redraw_plan(double fraction, int epochs = 3) {
+  ChurnPlan plan;
+  for (int k = 0; k < epochs; ++k) {
+    ChurnEpoch ep;
+    ep.at = static_cast<double>(k + 1);
+    ep.redraw_fraction = fraction;
+    plan.epochs.push_back(ep);
+  }
+  return plan;
+}
+
+// Replays the keyed re-draws the run applied, to recover each epoch's
+// exact total weight.
+std::vector<Weight> epoch_weights(const Graph& g, const ChurnPlan& plan,
+                                  std::uint64_t seed) {
+  Graph work = g;
+  std::vector<Weight> w;
+  for (std::size_t k = 0; k < plan.epochs.size(); ++k) {
+    apply_churn_weights(plan, k, seed, work);
+    w.push_back(work.total_weight());
+  }
+  return w;
+}
+
+// A zero-redraw epoch never invalidates the structure, so its entire
+// recovery bill is the dirty probe — whose PIF cost is exactly 2 W(G).
+TEST(Restabilize, ProbeCostsExactlyTwiceTotalWeight) {
+  const Graph g = test_graph();
+  RestabilizeOptions opts;
+  opts.subject = RestabilizeSubject::kMst;
+  opts.churn = redraw_plan(0.0, 2);
+  opts.seed = 5;
+  const RestabilizeReport report = run_restabilizing(g, opts);
+
+  ASSERT_EQ(report.epochs.size(), 2u);
+  EXPECT_EQ(report.restabilizations, 0);
+  EXPECT_TRUE(report.final_valid);
+  for (const EpochReport& er : report.epochs) {
+    EXPECT_EQ(er.changed_edges, 0);
+    EXPECT_EQ(er.violations, 0);
+    EXPECT_FALSE(er.restabilized);
+    EXPECT_EQ(er.recovery_cost, 2 * g.total_weight());
+    EXPECT_EQ(er.recovery_messages, 2 * g.edge_count());
+  }
+}
+
+// Heavy re-draws invalidate the MST; the run detects it via the cycle
+// rule, re-executes under kRecovery billing, and ends valid against the
+// final weights. The initial construction's ledger classes stay
+// untouched by everything churn added.
+TEST(Restabilize, MstDetectsAndRestabilizes) {
+  const Graph g = test_graph(16, 3);
+  RestabilizeOptions opts;
+  opts.subject = RestabilizeSubject::kMst;
+  opts.churn = redraw_plan(0.6);
+  opts.seed = 9;
+  const RestabilizeReport report = run_restabilizing(g, opts);
+
+  ASSERT_EQ(report.epochs.size(), 3u);
+  EXPECT_GT(report.restabilizations, 0) << "60% re-draws never broke the MST";
+  EXPECT_TRUE(report.final_valid);
+
+  // Construction classes = exactly one fault-free GHS build on g.
+  const RunStats base =
+      run_ghs(g, GhsMode::kSerialScan, make_exact_delay(), opts.seed).stats;
+  EXPECT_EQ(report.total.algorithm_messages, base.algorithm_messages);
+  EXPECT_EQ(report.total.algorithm_cost, base.algorithm_cost);
+  EXPECT_EQ(report.total.control_messages, base.control_messages);
+  EXPECT_EQ(report.total.control_cost, base.control_cost);
+
+  // Everything churn made necessary is in the recovery class, and the
+  // per-epoch reports add up to the run total.
+  std::int64_t rec_msgs = 0;
+  Weight rec_cost = 0;
+  const std::vector<Weight> w = epoch_weights(g, opts.churn, opts.seed);
+  for (std::size_t k = 0; k < report.epochs.size(); ++k) {
+    const EpochReport& er = report.epochs[k];
+    rec_msgs += er.recovery_messages;
+    rec_cost += er.recovery_cost;
+    EXPECT_GE(er.recovery_cost, 2 * w[k]) << "epoch " << k;
+    if (er.restabilized) {
+      EXPECT_GT(er.violations, 0) << "epoch " << k;
+      EXPECT_GT(er.recovery_cost, 2 * w[k]) << "epoch " << k;
+    } else {
+      EXPECT_EQ(er.recovery_cost, 2 * w[k]) << "epoch " << k;
+    }
+  }
+  EXPECT_EQ(report.total.recovery_messages, rec_msgs);
+  EXPECT_EQ(report.total.recovery_cost, rec_cost);
+  EXPECT_GT(rec_cost, 0);
+}
+
+TEST(Restabilize, SptDetectsAndRestabilizes) {
+  const Graph g = test_graph(14, 11);
+  RestabilizeOptions opts;
+  opts.subject = RestabilizeSubject::kSpt;
+  opts.churn = redraw_plan(0.6);
+  opts.seed = 4;
+  opts.root = 2;
+  const RestabilizeReport report = run_restabilizing(g, opts);
+
+  ASSERT_EQ(report.epochs.size(), 3u);
+  EXPECT_GT(report.restabilizations, 0)
+      << "60% re-draws never broke the SPT";
+  EXPECT_TRUE(report.final_valid);
+  EXPECT_GT(report.total.recovery_cost, 0);
+  EXPECT_GT(report.total.algorithm_messages, 0);
+}
+
+// The caller's graph is never mutated, even though the run re-draws
+// weights internally.
+TEST(Restabilize, CallerGraphIsUntouched) {
+  const Graph g = test_graph(12, 5);
+  std::vector<Weight> before;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) before.push_back(g.weight(e));
+
+  RestabilizeOptions opts;
+  opts.churn = redraw_plan(0.8);
+  opts.seed = 21;
+  run_restabilizing(g, opts);
+
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(g.weight(e), before[static_cast<std::size_t>(e)])
+        << "edge " << e;
+  }
+}
+
+// An empty churn plan degenerates to one plain construction: no epochs,
+// no recovery traffic, and a valid structure.
+TEST(Restabilize, NoChurnMeansNoRecoveryTraffic) {
+  const Graph g = test_graph();
+  RestabilizeOptions opts;
+  opts.seed = 3;
+  const RestabilizeReport report = run_restabilizing(g, opts);
+  EXPECT_TRUE(report.epochs.empty());
+  EXPECT_EQ(report.restabilizations, 0);
+  EXPECT_EQ(report.total.recovery_messages, 0);
+  EXPECT_EQ(report.total.recovery_cost, 0);
+  EXPECT_GT(report.total.algorithm_messages, 0);
+  EXPECT_TRUE(report.final_valid);
+}
+
+// Liveness churn (edge/node events) is the FaultInjector path's job;
+// the restabilizing driver takes weight re-draws only and says so.
+TEST(Restabilize, RejectsLivenessChurn) {
+  const Graph g = test_graph();
+  RestabilizeOptions opts;
+  opts.churn = redraw_plan(0.1, 1);
+  opts.churn.epochs[0].edges_down.push_back(0);
+  try {
+    run_restabilizing(g, opts);
+    FAIL() << "liveness churn must be rejected";
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find("weight-redraw churn only"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// The centralized certificate rules the driver decides with: positive
+// and negative fixtures for both subjects.
+TEST(Restabilize, CertificateRulesCatchBrokenStructures) {
+  const Graph g = test_graph(12, 13);
+
+  // MST: the true MSF passes; adding one non-tree edge closes a cycle
+  // and fails the cycle rule.
+  std::vector<char> in_tree(static_cast<std::size_t>(g.edge_count()), 0);
+  for (EdgeId e : kruskal_mst(g)) in_tree[static_cast<std::size_t>(e)] = 1;
+  EXPECT_EQ(mst_cycle_violations(g, in_tree), 0);
+  std::vector<char> broken = in_tree;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!in_tree[static_cast<std::size_t>(e)]) {
+      broken[static_cast<std::size_t>(e)] = 1;  // close a cycle
+      break;
+    }
+  }
+  EXPECT_GT(mst_cycle_violations(g, broken), 0);
+
+  // SPT: true distances pass; perturbing one non-source distance fails
+  // the route rules.
+  const std::vector<Weight> dist = dijkstra(g, 0).dist;
+  EXPECT_EQ(spt_route_violations(g, 0, dist), 0);
+  std::vector<Weight> wrong = dist;
+  wrong[wrong.size() - 1] = -5;  // no incident edge can be tight
+  EXPECT_GT(spt_route_violations(g, 0, wrong), 0);
+}
+
+}  // namespace
+}  // namespace csca

@@ -1,0 +1,228 @@
+// ChurnPlan semantics: named validation errors, keyed re-draw
+// determinism, the builtin plan registry, and the injector's compiled
+// liveness intervals (absences + churn outages).
+#include "fault/churn_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
+#include "graph/generators.h"
+
+namespace csca {
+namespace {
+
+Graph test_graph(int n = 12, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  return connected_gnp(n, 0.3, WeightSpec::uniform(1, 9), rng);
+}
+
+// Expects `plan.validate(g)` to throw with `needle` in the message.
+void expect_rejected(const ChurnPlan& plan, const Graph& g,
+                     const std::string& needle) {
+  try {
+    plan.validate(g);
+    FAIL() << "expected validate to reject: " << needle;
+  } catch (const std::exception& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(ChurnPlanValidate, AcceptsDefaultAndWellFormedPlans) {
+  const Graph g = test_graph();
+  ChurnPlan plan;
+  EXPECT_FALSE(plan.active());
+  plan.validate(g);  // inactive plan is fine
+
+  ChurnEpoch e1;
+  e1.at = 1.0;
+  e1.redraw_fraction = 0.5;
+  e1.edges_down.push_back(0);
+  ChurnEpoch e2;
+  e2.at = 2.0;
+  e2.edges_up.push_back(0);
+  plan.epochs = {e1, e2};
+  EXPECT_TRUE(plan.active());
+  plan.validate(g);
+  EXPECT_EQ(plan.epoch_times(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(ChurnPlanValidate, RejectsNegativeAndNonIncreasingTimes) {
+  const Graph g = test_graph();
+  ChurnPlan plan;
+  plan.epochs.push_back({-1.0, 0, {}, {}, {}, {}});
+  expect_rejected(plan, g, "epoch time must be non-negative");
+
+  plan.epochs.clear();
+  plan.epochs.push_back({2.0, 0, {}, {}, {}, {}});
+  plan.epochs.push_back({2.0, 0, {}, {}, {}, {}});
+  expect_rejected(plan, g, "strictly increasing");
+}
+
+TEST(ChurnPlanValidate, RejectsOutOfRangeIdsAndFractions) {
+  const Graph g = test_graph();
+  ChurnPlan plan;
+  plan.epochs.push_back({1.0, 1.5, {}, {}, {}, {}});
+  expect_rejected(plan, g, "redraw fraction must be in [0, 1]");
+
+  plan.epochs = {{1.0, 0, {g.edge_count()}, {}, {}, {}}};
+  expect_rejected(plan, g, "edges_down id out of range");
+
+  plan.epochs = {{1.0, 0, {}, {g.edge_count() + 3}, {}, {}}};
+  expect_rejected(plan, g, "edges_up id out of range");
+
+  plan.epochs = {{1.0, 0, {}, {}, {g.node_count()}, {}}};
+  expect_rejected(plan, g, "leaves id out of range");
+
+  plan.epochs = {{1.0, 0, {}, {}, {}, {g.node_count()}}};
+  expect_rejected(plan, g, "joins id out of range");
+}
+
+TEST(ChurnPlanValidate, RejectsDuplicateIdsInOneEpoch) {
+  const Graph g = test_graph();
+  ChurnPlan plan;
+  plan.epochs = {{1.0, 0, {2, 2}, {}, {}, {}}};
+  expect_rejected(plan, g, "edge listed twice in one epoch");
+
+  plan.epochs = {{1.0, 0, {}, {}, {3}, {3}}};
+  expect_rejected(plan, g, "node listed twice in one epoch");
+}
+
+TEST(ChurnPlanValidate, EnforcesAlternation) {
+  const Graph g = test_graph();
+  // Edge down twice without coming up in between.
+  ChurnPlan plan;
+  plan.epochs = {{1.0, 0, {1}, {}, {}, {}}, {2.0, 0, {1}, {}, {}, {}}};
+  expect_rejected(plan, g, "edges_down on an already-down edge");
+
+  // up / up: the first `up` marks "dark from time 0", the second is a
+  // double-up.
+  plan.epochs = {{1.0, 0, {}, {1}, {}, {}}, {2.0, 0, {}, {1}, {}, {}}};
+  expect_rejected(plan, g, "already up");
+
+  // leave / leave.
+  plan.epochs = {{1.0, 0, {}, {}, {2}, {}}, {2.0, 0, {}, {}, {2}, {}}};
+  expect_rejected(plan, g, "leave of an already-absent node");
+
+  // join of a node that never left (first event `join` is a late
+  // joiner; join again after that is a double-join).
+  plan.epochs = {{1.0, 0, {}, {}, {}, {2}}, {2.0, 0, {}, {}, {}, {2}}};
+  expect_rejected(plan, g, "already present");
+}
+
+// The keyed draws are pure functions of (plan salt, seed, epoch, edge):
+// same inputs, same decision and weight; different salt or seed moves
+// the draws.
+TEST(ChurnPlanDraws, KeyedRedrawsAreDeterministicAndSaltSensitive) {
+  const Graph g = test_graph(16, 3);
+  ChurnPlan plan;
+  plan.epochs = {{1.0, 0.5, {}, {}, {}, {}}, {2.0, 0.5, {}, {}, {}, {}}};
+
+  int redrawn = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const bool pick = churn_redraws_edge(plan, 0, 42, e);
+    EXPECT_EQ(pick, churn_redraws_edge(plan, 0, 42, e));
+    if (pick) {
+      ++redrawn;
+      const Weight w = churn_redrawn_weight(plan, 0, 42, e, 9);
+      EXPECT_EQ(w, churn_redrawn_weight(plan, 0, 42, e, 9));
+      EXPECT_GE(w, 1);
+      EXPECT_LE(w, 9);
+    }
+  }
+  EXPECT_GT(redrawn, 0);
+
+  ChurnPlan salted = plan;
+  salted.salt = 0x1234;
+  int moved = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (churn_redraws_edge(plan, 0, 42, e) !=
+        churn_redraws_edge(salted, 0, 42, e)) {
+      ++moved;
+    }
+    if (churn_redraws_edge(plan, 0, 42, e) !=
+        churn_redraws_edge(plan, 1, 42, e)) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0) << "salt and epoch must decorrelate the draws";
+}
+
+TEST(ChurnPlanDraws, ApplyChurnWeightsMutatesOnlyPickedEdges) {
+  const Graph g = test_graph(16, 5);
+  ChurnPlan plan;
+  plan.epochs = {{1.0, 0.4, {}, {}, {}, {}}};
+
+  Graph a = g;
+  const int changed = apply_churn_weights(plan, 0, 42, a);
+  EXPECT_GT(changed, 0);
+  Graph b = g;
+  EXPECT_EQ(changed, apply_churn_weights(plan, 0, 42, b));
+
+  int diffs = 0;
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(a.weight(e), b.weight(e)) << "edge " << e;
+    if (a.weight(e) != g.weight(e)) {
+      ++diffs;
+      EXPECT_TRUE(churn_redraws_edge(plan, 0, 42, e)) << "edge " << e;
+    } else if (!churn_redraws_edge(plan, 0, 42, e)) {
+      EXPECT_EQ(a.weight(e), g.weight(e));
+    }
+  }
+  EXPECT_EQ(diffs, changed);
+}
+
+TEST(BuiltinChurnPlans, AllNamesBuildValidateAndDescribe) {
+  const Graph g = test_graph();
+  const auto names = builtin_churn_plan_names();
+  ASSERT_EQ(names.size(), 6u);
+  for (const std::string& name : names) {
+    const ChurnPlan plan = make_builtin_churn_plan(name, g);
+    plan.validate(g);
+    EXPECT_EQ(plan.active(), name != "none") << name;
+    EXPECT_FALSE(builtin_churn_plan_description(name).empty()) << name;
+  }
+  EXPECT_THROW(make_builtin_churn_plan("bogus", g), std::exception);
+  EXPECT_THROW(builtin_churn_plan_description("bogus"), std::exception);
+}
+
+// The injector compiles liveness churn into absences and outages:
+// a leaver is crashed() inside its absence span and live again after
+// rejoining; a late joiner is crashed() before its join; a churned-down
+// edge reports link_down during exactly its dark span.
+TEST(ChurnInjector, CompilesLivenessIntervals) {
+  const Graph g = test_graph(12, 11);
+  const ChurnPlan churn = make_builtin_churn_plan("full_churn", g);
+  const FaultInjector inj(FaultPlan{}, churn, g, 42);
+  EXPECT_TRUE(inj.active());
+  EXPECT_TRUE(inj.any_crashes());
+
+  const double t1 = churn.epochs[0].at;
+  const double t3 = churn.epochs[2].at;
+  const NodeId leaver = g.node_count() / 3;
+  const NodeId joiner = (2 * g.node_count()) / 3;
+
+  EXPECT_FALSE(inj.crashed(leaver, 0.0));
+  EXPECT_TRUE(inj.crashed(leaver, t1));
+  EXPECT_TRUE(inj.crashed(leaver, (t1 + t3) / 2));
+  EXPECT_FALSE(inj.crashed(leaver, t3));
+
+  EXPECT_TRUE(inj.crashed(joiner, 0.0));
+  EXPECT_TRUE(inj.crashed(joiner, t1 / 2));
+  EXPECT_FALSE(inj.crashed(joiner, t1));
+
+  const EdgeId flapper = 0;  // first pick of edge_churn
+  const double t2 = churn.epochs[1].at;
+  EXPECT_FALSE(inj.link_down(flapper, 0.0));
+  EXPECT_TRUE(inj.link_down(flapper, t1));
+  EXPECT_TRUE(inj.link_down(flapper, (t1 + t2) / 2));
+  EXPECT_FALSE(inj.link_down(flapper, t2));
+  EXPECT_TRUE(inj.link_down(flapper, t3)) << "flaps again at epoch 3";
+}
+
+}  // namespace
+}  // namespace csca

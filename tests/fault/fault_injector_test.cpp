@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "fault/fault_plan.h"
 #include "graph/generators.h"
@@ -49,6 +51,70 @@ TEST(FaultInjector, RejectsMalformedPlans) {
   FaultPlan empty_interval;
   empty_interval.outages.push_back({0, 2.0, 2.0});
   EXPECT_ANY_THROW(FaultInjector(empty_interval, g, 1));
+}
+
+// FaultPlan::validate throws *named* errors — callers (csca_check
+// --faults, every engine's set_faults) surface these verbatim, so the
+// text is part of the contract.
+TEST(FaultPlanValidate, NamedErrorsForEachRule) {
+  const Graph g = triangle();
+  const auto expect_named = [&](const FaultPlan& plan,
+                                const std::string& needle) {
+    try {
+      plan.validate(g);
+      FAIL() << "expected validate to reject: " << needle;
+    } catch (const std::exception& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "actual message: " << e.what();
+    }
+  };
+
+  FaultPlan overlapping;
+  overlapping.outages.push_back({0, 1.0, 5.0});
+  overlapping.outages.push_back({0, 4.0, 6.0});
+  expect_named(overlapping, "outage intervals overlap on the same edge");
+  // Touching intervals are fine ([1,5) then [5,6)), and so is overlap
+  // on *different* edges.
+  FaultPlan touching;
+  touching.outages.push_back({0, 1.0, 5.0});
+  touching.outages.push_back({0, 5.0, 6.0});
+  touching.outages.push_back({1, 4.0, 6.0});
+  touching.validate(g);
+
+  FaultPlan negative_crash;
+  negative_crash.crashes.push_back({0, -1.0});
+  expect_named(negative_crash, "crash time must be non-negative");
+
+  FaultPlan negative_outage;
+  negative_outage.outages.push_back({0, -2.0, 1.0});
+  expect_named(negative_outage, "outage interval must be non-empty");
+
+  FaultPlan bad_crash_node;
+  bad_crash_node.crashes.push_back({g.node_count(), 1.0});
+  expect_named(bad_crash_node, "crash node id out of range");
+
+  FaultPlan bad_outage_edge;
+  bad_outage_edge.outages.push_back({g.edge_count(), 0.0, 1.0});
+  expect_named(bad_outage_edge, "outage edge id out of range");
+
+  FaultPlan bad_rates;
+  bad_rates.drop_rate = 0.5;
+  bad_rates.dup_rate = 0.3;
+  bad_rates.garble_rate = 0.3;
+  expect_named(bad_rates, "drop + dup + garble <= 1");
+
+  FaultPlan bad_byz_rates;
+  bad_byz_rates.equivocate_rate = 0.6;
+  bad_byz_rates.forge_rate = 0.6;
+  expect_named(bad_byz_rates, "equivocate + forge <= 1");
+
+  FaultPlan bad_byz_node;
+  bad_byz_node.byzantine.push_back(g.node_count() + 1);
+  expect_named(bad_byz_node, "byzantine node id out of range");
+
+  FaultPlan dup_byz;
+  dup_byz.byzantine = {1, 1};
+  expect_named(dup_byz, "byzantine node listed twice");
 }
 
 TEST(FaultInjector, CrashTimesAndIntervalSemantics) {
@@ -138,7 +204,7 @@ TEST(BuiltinFaultPlans, AllNamesBuildAndValidate) {
   Rng rng(5);
   const Graph g = connected_gnp(12, 0.3, WeightSpec::uniform(1, 9), rng);
   const auto names = builtin_fault_plan_names();
-  ASSERT_EQ(names.size(), 7u);
+  ASSERT_EQ(names.size(), 9u);
   for (const std::string& name : names) {
     const FaultPlan plan = make_builtin_fault_plan(name, g);
     // Every builtin must materialize cleanly against the graph.

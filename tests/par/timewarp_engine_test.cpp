@@ -272,6 +272,46 @@ TEST(TimeWarpEngine, MatchesBudgetSlicedSequentialReference) {
   }
 }
 
+// The triple composition: faults (link_flap outage windows) x budget
+// slicing x optimistic execution. The resumed, budget-sliced sequential
+// reference re-evaluates link_down against the same virtual clock no
+// matter where its slice boundaries fall, and the one-shot TimeWarp run
+// — whose rollbacks re-derive outage answers purely — must land on the
+// same committed state bit-for-bit.
+TEST(TimeWarpEngine, FaultedBudgetSlicedReferenceMatchesBitForBit) {
+  Rng rng(13);
+  const Graph g = connected_gnp(20, 0.25, WeightSpec::uniform(1, 9), rng);
+  const auto factory = [](NodeId) { return std::make_unique<Storm>(3); };
+  const std::uint64_t seed = 77;
+  const FaultPlan plan = make_builtin_fault_plan("link_flap", g);
+  ASSERT_FALSE(plan.outages.empty());
+  const FaultInjector inj(plan, g, seed);
+
+  Network ref(g, factory, make_uniform_delay(0.0, 1.0), seed);
+  ref.set_keyed_delays(true);
+  ref.set_faults(&inj);
+  // Resume in slices deliberately unaligned with the flap period, so
+  // outage boundaries fall inside slices and on their edges.
+  RunStats ref_stats;
+  for (double budget = 0.7;; budget += 0.7) {
+    ref_stats = ref.run(budget);
+    if (ref.all_finished() || budget > 96.0) break;
+  }
+  const RunStats final_ref = ref.run();  // drain whatever remains
+  EXPECT_GT(final_ref.events, 0);
+
+  for (const int shards : {1, 2, 4}) {
+    const std::string label = std::to_string(shards) + "shards";
+    TimeWarpEngine eng(g, factory, make_uniform_delay(0.0, 1.0), seed,
+                       TimeWarpEngine::Options{shards, 0, 256, {}});
+    eng.set_faults(&inj);
+    const RunStats par_stats = eng.run();
+    expect_stats_identical(par_stats, final_ref, label);
+    expect_hosts_identical(eng, ref, g, label);
+    expect_speculation_conserved(eng, label);
+  }
+}
+
 // All-zero delays are the conservative engine's worst case (zero
 // lookahead collapses it to wave rounds); the optimistic engine has no
 // windows to collapse and must still commit the identical result.

@@ -97,6 +97,22 @@ ctest --test-dir build -L timewarp --output-on-failure -j "$JOBS"
 diff build/timewarp_j1/BENCH_timewarp.json build/timewarp_jN/BENCH_timewarp.json \
   || { echo "check.sh: timewarp output differs across --jobs" >&2; exit 1; }
 
+echo "== churn smoke: dynamic topology + restabilization (docs/faults.md) =="
+# The churn tier: churn-plan semantics, the cross-engine churn
+# determinism matrix, byzantine containment, and the restabilizing
+# recovery driver — then the portfolio composed with a builtin churn
+# plan on each backend, and the churn table's recovery-cost envelope at
+# --jobs 1 vs N byte for byte.
+ctest --test-dir build -L churn --output-on-failure -j "$JOBS"
+./build/tools/csca_check --smoke --churn=edge_churn
+./build/tools/csca_check --smoke --churn=full_churn --faults=drop1pct --shards=2
+./build/tools/csca_check --smoke --churn=node_churn --backend=timewarp --shards=2
+./build/tools/csca_sweep --smoke --table=churn --out-dir=build/churn_j1
+./build/tools/csca_sweep --smoke --table=churn --jobs="$JOBS" \
+  --out-dir=build/churn_jN
+diff build/churn_j1/BENCH_churn.json build/churn_jN/BENCH_churn.json \
+  || { echo "check.sh: churn output differs across --jobs" >&2; exit 1; }
+
 echo "== table sweep: conformance tier + --jobs byte-identity =="
 ctest --test-dir build -L conformance --output-on-failure -j "$JOBS"
 ./build/tools/csca_sweep --list
@@ -120,11 +136,14 @@ if [[ "$RUN_TSAN" == 1 ]]; then
        -o /tmp/csca_tsan_probe.$$ 2>/dev/null \
      && /tmp/csca_tsan_probe.$$ 2>/dev/null; then
     rm -f /tmp/csca_tsan_probe.$$
-    echo "== parallel suite: TSan build (par_test + timewarp_test + faulted shard run) =="
+    echo "== parallel suite: TSan build (par_test + timewarp_test + churn_test + faulted shard run) =="
     cmake -B build-tsan -S . -DCSCA_TSAN=ON -DCSCA_WERROR=ON >/dev/null
-    cmake --build build-tsan -j "$JOBS" --target par_test timewarp_test csca_check_tool csca_sweep
+    cmake --build build-tsan -j "$JOBS" --target par_test timewarp_test churn_test csca_check_tool csca_sweep
     ./build-tsan/tests/par_test
     ./build-tsan/tests/timewarp_test
+    # The churn tier's cross-engine matrix (ShardEngine + TimeWarp under
+    # liveness churn, RunPool-mapped cells) under the race detector.
+    ./build-tsan/tests/churn_test
     ./build-tsan/tools/csca_check --smoke --faults=drop1pct --shards=2
     # The optimistic backend's cross-shard paths (anti-message channels,
     # GVT reduction, fossil frees) under the race detector.

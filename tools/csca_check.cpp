@@ -5,18 +5,26 @@
 //
 // Usage:
 //   csca_check [--smoke] [--subject=NAME] [--family=NAME]
-//              [--faults=PLAN] [--jobs=N] [--shards=K] [--list] [-v]
+//              [--faults=PLAN] [--churn=PLAN] [--jobs=N] [--shards=K]
+//              [--list] [--list-plans] [--help] [-v]
 //
 //   --smoke          tiny graphs (the ctest gate; seconds, ASan-safe)
 //   --subject=NAME   only the named subject (see --list)
 //   --family=NAME    only the named graph family
 //   --faults=PLAN    run every schedule under the named builtin fault
-//                    plan (see --list). Protocol degradation (wrong
-//                    oracle answers, unterminated runs, ensure()
+//                    plan (see --list-plans). Protocol degradation
+//                    (wrong oracle answers, unterminated runs, ensure()
 //                    failures) is reported as "degraded" and does not
 //                    fail the sweep — only invariant violations and
 //                    errors do. Each sweep line then reports how many
 //                    runs completed and how many fully terminated.
+//   --churn=PLAN     compose the named builtin churn plan's liveness
+//                    intervals into every run (edge down/up spans,
+//                    node leave/join absences). Composable with
+//                    --faults; switches to degraded-mode reporting the
+//                    same way.
+//   --list-plans     print fault and churn plans with one-line
+//                    descriptions, run nothing
 //   --jobs=N         run (subject, family) sweeps on N worker threads;
 //                    output and exit code are identical to --jobs=1
 //                    (results merge in submission order)
@@ -42,6 +50,7 @@
 #include <vector>
 
 #include "check/subjects.h"
+#include "fault/churn_plan.h"
 #include "fault/fault_plan.h"
 #include "par/run_pool.h"
 
@@ -49,12 +58,40 @@ using namespace csca;
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
                "usage: csca_check [--smoke] [--subject=NAME] "
-               "[--family=NAME] [--faults=PLAN] [--jobs=N] [--shards=K] "
-               "[--backend=shard|timewarp] [--list] [-v]\n");
+               "[--family=NAME] [--faults=PLAN] [--churn=PLAN] [--jobs=N] "
+               "[--shards=K] [--backend=shard|timewarp] [--list] "
+               "[--list-plans] [--help] [-v]\n");
+  std::fprintf(out, "fault plans:");
+  for (const auto& n : builtin_fault_plan_names()) {
+    std::fprintf(out, " %s", n.c_str());
+  }
+  std::fprintf(out, "\nchurn plans:");
+  for (const auto& n : builtin_churn_plan_names()) {
+    std::fprintf(out, " %s", n.c_str());
+  }
+  std::fprintf(out, "\n(--list-plans prints one-line descriptions)\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
+}
+
+int list_plans() {
+  std::printf("fault plans:\n");
+  for (const auto& n : builtin_fault_plan_names()) {
+    std::printf("  %-12s %s\n", n.c_str(),
+                builtin_fault_plan_description(n).c_str());
+  }
+  std::printf("churn plans:\n");
+  for (const auto& n : builtin_churn_plan_names()) {
+    std::printf("  %-12s %s\n", n.c_str(),
+                builtin_churn_plan_description(n).c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -70,12 +107,18 @@ int main(int argc, char** argv) {
   std::string only_subject;
   std::string only_family;
   std::string faults_name;
+  std::string churn_name;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--list") {
       list = true;
+    } else if (arg == "--list-plans") {
+      return list_plans();
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout);
+      return 0;
     } else if (arg == "-v") {
       verbose = true;
     } else if (arg.rfind("--subject=", 0) == 0) {
@@ -84,6 +127,8 @@ int main(int argc, char** argv) {
       only_family = arg.substr(std::strlen("--family="));
     } else if (arg.rfind("--faults=", 0) == 0) {
       faults_name = arg.substr(std::strlen("--faults="));
+    } else if (arg.rfind("--churn=", 0) == 0) {
+      churn_name = arg.substr(std::strlen("--churn="));
     } else if (arg.rfind("--jobs=", 0) == 0) {
       jobs = std::atoi(arg.c_str() + std::strlen("--jobs="));
       if (jobs < 1) return usage();
@@ -120,6 +165,10 @@ int main(int argc, char** argv) {
       for (const auto& n : builtin_fault_plan_names()) {
         std::printf(" %s", n.c_str());
       }
+      std::printf("\nchurn plans:");
+      for (const auto& n : builtin_churn_plan_names()) {
+        std::printf(" %s", n.c_str());
+      }
       std::printf("\n");
       return 0;
     }
@@ -133,13 +182,36 @@ int main(int argc, char** argv) {
       }
       if (!known) {
         std::fprintf(stderr, "csca_check: unknown fault plan \"%s\" "
-                             "(see --list)\n",
+                             "(see --list-plans)\n",
                      faults_name.c_str());
         return 2;
       }
       for (ScheduleSpec& spec : portfolio) {
         spec.make_faults = [faults_name](const Graph& g) {
-          return make_builtin_fault_plan(faults_name, g);
+          FaultPlan plan = make_builtin_fault_plan(faults_name, g);
+          // Named validation errors surface per sweep with the graph
+          // they were materialized against.
+          plan.validate(g);
+          return plan;
+        };
+      }
+    }
+    if (!churn_name.empty()) {
+      bool known = false;
+      for (const auto& n : builtin_churn_plan_names()) {
+        known = known || n == churn_name;
+      }
+      if (!known) {
+        std::fprintf(stderr, "csca_check: unknown churn plan \"%s\" "
+                             "(see --list-plans)\n",
+                     churn_name.c_str());
+        return 2;
+      }
+      for (ScheduleSpec& spec : portfolio) {
+        spec.make_churn = [churn_name](const Graph& g) {
+          ChurnPlan churn = make_builtin_churn_plan(churn_name, g);
+          churn.validate(g);
+          return churn;
         };
       }
     }
@@ -188,7 +260,7 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
 
-    const bool fault_mode = !faults_name.empty();
+    const bool fault_mode = !faults_name.empty() || !churn_name.empty();
     int runs = 0;
     std::vector<CheckFinding> findings;
     for (std::size_t i = 0; i < sweeps.size(); ++i) {
@@ -235,7 +307,8 @@ int main(int argc, char** argv) {
         shards > 0
             ? ", " + std::to_string(shards) + " shards (" + backend_name + ")"
             : "";
-    if (fault_mode) engine_note += ", faults=" + faults_name;
+    if (!faults_name.empty()) engine_note += ", faults=" + faults_name;
+    if (!churn_name.empty()) engine_note += ", churn=" + churn_name;
     std::printf("csca_check: %d runs (%zu sweeps x %zu schedules%s), "
                 "%zu finding(s) (%zu degraded)%s [%d job(s), %.2fs]\n",
                 runs, sweeps.size(), portfolio.size(), engine_note.c_str(),
